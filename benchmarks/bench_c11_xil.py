@@ -1,0 +1,94 @@
+"""Experiment C11 (Section 2.4): MiL/SiL testing finds controller bugs
+before any hardware exists, much faster than real time.
+
+The XiL suite runs a nominal controller and three buggy variants at MiL
+and SiL level; we report pass/fail per case and the realtime factor
+(simulated seconds per wall-clock second) — the paper's "using the full
+potential of computing power of a PC" argument.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _tables import print_table
+from repro.xil import (
+    BuggyCruiseController,
+    CruiseController,
+    LoopAssertions,
+    XilTestCase,
+    XilTestSuite,
+)
+
+ASSERTIONS = LoopAssertions(
+    max_overshoot=2.0, max_settling_time=110.0, max_steady_state_error=0.5
+)
+
+
+def build_suite(level: str) -> XilTestSuite:
+    return XilTestSuite([
+        XilTestCase(
+            name="nominal",
+            build_controller=lambda: CruiseController(25.0),
+            assertions=ASSERTIONS, level=level, duration=120.0,
+        ),
+        XilTestCase(
+            name="bug:sign",
+            build_controller=lambda: BuggyCruiseController(25.0, "sign"),
+            assertions=ASSERTIONS, level=level, duration=120.0,
+        ),
+        XilTestCase(
+            name="bug:windup",
+            build_controller=lambda: BuggyCruiseController(25.0, "windup"),
+            assertions=LoopAssertions(
+                max_overshoot=0.35, max_settling_time=110.0,
+                max_steady_state_error=0.5,
+            ),
+            level=level, duration=120.0,
+        ),
+        XilTestCase(
+            name="bug:gain",
+            build_controller=lambda: BuggyCruiseController(25.0, "gain"),
+            assertions=LoopAssertions(
+                max_overshoot=0.35, max_settling_time=110.0,
+                max_steady_state_error=0.5,
+            ),
+            level=level, duration=120.0,
+        ),
+    ])
+
+
+@pytest.mark.benchmark(group="c11")
+def test_c11_xil(benchmark):
+    def sweep():
+        results = {}
+        for level in ("MiL", "SiL"):
+            suite = build_suite(level)
+            failures = suite.run()
+            results[level] = (suite, failures)
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for level, (suite, failures) in results.items():
+        for name, passed, messages, loop in suite.results:
+            rows.append((
+                level, name, "PASS" if passed else "FAIL",
+                f"{loop.realtime_factor:.0f}x",
+                messages[0][:40] if messages else "",
+            ))
+    print_table(
+        "C11: XiL suite verdicts and realtime factors",
+        ["level", "case", "verdict", "speed", "first failure"],
+        rows,
+        width=18,
+    )
+    for level, (suite, failures) in results.items():
+        verdicts = {name: passed for name, passed, _m, _r in suite.results}
+        assert verdicts["nominal"], f"nominal failed at {level}"
+        assert not verdicts["bug:sign"]
+        assert not verdicts["bug:windup"]
+        assert not verdicts["bug:gain"]
+        # the virtual loop runs far faster than the real plant would
+        for _name, _p, _m, loop in suite.results:
+            assert loop.realtime_factor > 10.0

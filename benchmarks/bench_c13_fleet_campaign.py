@@ -1,0 +1,98 @@
+"""Experiment C13 (Section 3.4, closing the loop): fleet OTA campaigns.
+
+"With such monitoring capabilities, faults can easily be detected, the
+conditions leading to such faults recorded and ... transferred to the
+manufacturer ... In turn, an update can be created and rolled out to
+remedy the detected error."
+
+Two campaigns over an 8-vehicle fleet (waves of 2, 1 s soak each):
+
+* a healthy update — must reach every vehicle with zero regressions;
+* a regressive update (its control task overruns) — the first wave's
+  monitors must catch it, the campaign must abort, the wave must roll
+  back, and the remaining 6 vehicles must stay on the old version.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _tables import print_table
+from repro.core import CampaignManager, Fleet
+from repro.model import AppModel, Asil
+from repro.osal import TaskSpec
+from repro.security import TrustStore
+from repro.sim import Simulator, Tracer
+
+FLEET_SIZE = 8
+
+
+def app_v(version, *, buggy=False):
+    task = (
+        TaskSpec(name="fn_bug", period=0.01, wcet=0.009, deadline=0.001)
+        if buggy
+        else TaskSpec(name="fn_loop", period=0.01, wcet=0.001, deadline=0.008)
+    )
+    return AppModel(
+        name="fn", tasks=(task,), asil=Asil.C,
+        memory_kib=64, image_kib=128, version=version,
+    )
+
+
+def run_campaign(buggy: bool):
+    sim = Simulator(tracer=Tracer())
+    store = TrustStore()
+    store.generate_key("oem")
+    fleet = Fleet(sim, store, size=FLEET_SIZE)
+    fleet.deploy_everywhere(app_v((1, 0)), "oem")
+    sim.run(until=sim.now + 0.5)
+    manager = CampaignManager(
+        fleet, "oem", wave_size=2, soak_time=1.0,
+        abort_regression_ratio=0.5,
+    )
+    result = manager.rollout(app_v((1, 0)), app_v((1, 1), buggy=buggy))
+    versions = fleet.versions("fn")
+    on_new = sum(1 for v in versions.values() if v == (1, 1))
+    on_old = sum(1 for v in versions.values() if v == (1, 0))
+    total_regressions = sum(w.regressions for w in result.waves)
+    return {
+        "waves": len(result.waves),
+        "aborted": result.aborted,
+        "rolled_back": result.rolled_back,
+        "on_new": on_new,
+        "on_old": on_old,
+        "regressions": total_regressions,
+    }
+
+
+@pytest.mark.benchmark(group="c13")
+def test_c13_fleet_campaign(benchmark):
+    def sweep():
+        return {
+            "healthy v1.1": run_campaign(buggy=False),
+            "regressive v1.1": run_campaign(buggy=True),
+        }
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for name, r in table.items():
+        rows.append((
+            name, r["waves"], "yes" if r["aborted"] else "no",
+            r["regressions"], f"{r['on_new']}/{FLEET_SIZE}",
+            f"{r['on_old']}/{FLEET_SIZE}",
+        ))
+    print_table(
+        "C13: staged fleet rollout with monitor-gated waves",
+        ["campaign", "waves run", "aborted", "regressions", "on v1.1",
+         "on v1.0"],
+        rows,
+        width=16,
+    )
+    healthy = table["healthy v1.1"]
+    assert not healthy["aborted"]
+    assert healthy["on_new"] == FLEET_SIZE
+    assert healthy["regressions"] == 0
+    bad = table["regressive v1.1"]
+    assert bad["aborted"] and bad["rolled_back"]
+    assert bad["waves"] == 1          # stopped after the first wave
+    assert bad["on_old"] == FLEET_SIZE  # wave rolled back, rest spared

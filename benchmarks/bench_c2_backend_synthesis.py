@@ -1,0 +1,70 @@
+"""Experiment C2 (Section 3.1 / ref [21]): schedule synthesis belongs in
+the backend.
+
+Sweep the task-set size; synthesize the time-triggered table on the OEM
+backend and on a 200 MHz ECU.  Report synthesis wall time (simulated) and
+the speedup; backend tables additionally pass simulation validation
+before release.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _tables import fmt_ratio, print_table
+from repro.core import ComputeSite, ScheduleManagementFramework
+from repro.hw import EcuSpec
+from repro.sim import RngStreams, Simulator
+from repro.workloads import synthetic_task_set
+
+
+def synthesize_at(tasks, site, validate):
+    sim = Simulator()
+    framework = ScheduleManagementFramework(sim)
+    outcomes = []
+    framework.synthesize(tasks, site, validate=validate).add_callback(
+        outcomes.append
+    )
+    sim.run()
+    return outcomes[0]
+
+
+@pytest.mark.benchmark(group="c2")
+def test_c2_backend_synthesis(benchmark):
+    sizes = (4, 8, 16, 24)
+    backend = ComputeSite.backend()
+    legacy = ComputeSite.on_ecu(EcuSpec("legacy", cpu_mhz=200.0))
+
+    def sweep():
+        rows = []
+        for n in sizes:
+            tasks = synthetic_task_set(
+                RngStreams(7), n, 0.5, stream=f"c2.{n}",
+            )
+            cloud = synthesize_at(tasks, backend, validate=True)
+            onboard = synthesize_at(tasks, legacy, validate=False)
+            rows.append((n, cloud, onboard))
+        return rows
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for n, cloud, onboard in results:
+        rows.append((
+            n,
+            f"{cloud.total_time * 1e3:.3f} ms",
+            f"{onboard.total_time * 1e3:.3f} ms",
+            fmt_ratio(onboard.total_time, cloud.total_time),
+            "yes" if cloud.validated else "no",
+            "yes" if cloud.feasible else "no",
+        ))
+    print_table(
+        "C2: TT table synthesis, backend vs on-ECU",
+        ["#tasks", "backend", "on-ECU", "slowdown", "validated", "feasible"],
+        rows,
+    )
+    for n, cloud, onboard in results:
+        assert cloud.feasible == onboard.feasible
+        if cloud.feasible:
+            assert cloud.validated  # backend tables are simulation-tested
+        # the backend is orders of magnitude faster
+        assert onboard.synthesis_time > cloud.synthesis_time * 100

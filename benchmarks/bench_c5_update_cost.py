@@ -1,0 +1,92 @@
+"""Experiment C5 (Section 3.2): the resource cost of staged updates.
+
+"The disadvantage of such an update is of course the additional amount of
+resources required in the update process, as every application to be
+updated needs to be instantiated twice."
+
+Sweep the app's memory footprint; measure the node's peak memory during a
+staged vs a stop-restart update, and the peak/steady ratio.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _tables import print_table
+from repro.core import DynamicPlatform, UpdateOrchestrator
+from repro.hw import centralized_topology
+from repro.model import AppModel, Asil
+from repro.osal import TaskSpec
+from repro.security import TrustStore, build_package
+from repro.sim import Simulator
+
+
+def app_of(memory_kib: float, version=(1, 0)):
+    return AppModel(
+        name="subject",
+        tasks=(TaskSpec(name="subject_loop", period=0.01, wcet=0.0005),),
+        asil=Asil.C, memory_kib=memory_kib, image_kib=256, version=version,
+    )
+
+
+def run_update(memory_kib: float, strategy: str):
+    sim = Simulator()
+    store = TrustStore()
+    store.generate_key("oem")
+    platform = DynamicPlatform(
+        sim, centralized_topology(n_platforms=1), trust_store=store
+    )
+    orchestrator = UpdateOrchestrator(platform)
+    platform.install(build_package(app_of(memory_kib), store, "oem"), "platform_0")
+    sim.run()
+    platform.start_app("subject", "platform_0")
+    node = platform.node("platform_0")
+    steady = node.state.memory_used_kib
+    peak = [steady]
+
+    def sample():
+        peak[0] = max(peak[0], node.state.memory_used_kib)
+        if sim.now < 2.0:
+            sim.schedule(0.005, sample)
+
+    sample()
+    new_pkg = build_package(app_of(memory_kib, (1, 1)), store, "oem")
+    if strategy == "staged":
+        sim.at(0.1, lambda: orchestrator.staged_update(
+            "subject", "platform_0", new_pkg, startup_latency=0.05))
+    else:
+        sim.at(0.1, lambda: orchestrator.stop_update_restart(
+            "subject", "platform_0", new_pkg))
+    sim.run(until=2.1)
+    return steady, peak[0]
+
+
+@pytest.mark.benchmark(group="c5")
+def test_c5_update_cost(benchmark):
+    sizes = (64.0, 1024.0, 16384.0)
+
+    def sweep():
+        out = []
+        for size in sizes:
+            s_steady, s_peak = run_update(size, "staged")
+            r_steady, r_peak = run_update(size, "stop_restart")
+            out.append((size, s_steady, s_peak, r_peak))
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for size, steady, staged_peak, restart_peak in results:
+        rows.append((
+            f"{size:.0f}", f"{steady:.0f}", f"{staged_peak:.0f}",
+            f"{staged_peak / steady:.2f}x", f"{restart_peak:.0f}",
+        ))
+    print_table(
+        "C5: peak node memory during update (KiB)",
+        ["app KiB", "steady", "staged peak", "staged ratio", "restart peak"],
+        rows,
+    )
+    for size, steady, staged_peak, restart_peak in results:
+        # the paper's 2x: both instances resident simultaneously
+        assert staged_peak == pytest.approx(2 * steady, rel=0.01)
+        # stop/restart never holds both
+        assert restart_peak <= steady * 1.01

@@ -1,0 +1,112 @@
+"""Experiment C8 (Section 4.1): package security and the update master.
+
+Three sub-tables:
+
+1. the verdict matrix — valid / tampered / forged / unsigned packages
+   against a capable ECU (all attacks rejected, all legitimate installs
+   pass);
+2. install latency per ECU class — the crypto-less ECU must go through
+   the update master, paying verification-at-master plus transfer;
+3. master redundancy — installs keep succeeding after the primary master
+   fails (with a failover count), and fail only when all masters are
+   down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from _tables import print_table
+from repro.core import DynamicPlatform
+from repro.hw import centralized_topology
+from repro.model import AppModel
+from repro.security import TrustStore, build_package, forged_package
+from repro.sim import Simulator
+
+
+def app_of(image_kib=512.0, name="pkg_app"):
+    return AppModel(name=name, memory_kib=16, image_kib=image_kib)
+
+
+def make_platform():
+    sim = Simulator()
+    store = TrustStore()
+    store.generate_key("oem")
+    platform = DynamicPlatform(
+        sim, centralized_topology(n_platforms=2), trust_store=store
+    )
+    platform.setup_update_masters(["platform_0", "platform_1"])
+    return sim, store, platform
+
+
+def install_outcome(platform, sim, package, node):
+    outcome = []
+    platform.install(package, node).add_callback(
+        lambda ok: outcome.append((sim.now, ok))
+    )
+    start = sim.now
+    sim.run()
+    return outcome[0][1], outcome[0][0] - start
+
+
+@pytest.mark.benchmark(group="c8")
+def test_c8_package_security(benchmark):
+    def sweep():
+        out = {}
+        # 1. verdict matrix
+        sim, store, platform = make_platform()
+        valid = build_package(app_of(), store, "oem")
+        out["valid"] = install_outcome(platform, sim, valid, "platform_0")
+        sim, store, platform = make_platform()
+        pkg = build_package(app_of(), store, "oem").tampered()
+        out["tampered"] = install_outcome(platform, sim, pkg, "platform_0")
+        sim, store, platform = make_platform()
+        out["forged"] = install_outcome(
+            platform, sim, forged_package(app_of()), "platform_0"
+        )
+        sim, store, platform = make_platform()
+        unsigned = replace(build_package(app_of(), store, "oem"), signature=None)
+        out["unsigned"] = install_outcome(platform, sim, unsigned, "platform_0")
+        # 2. per-ECU-class latency (accelerated platform vs weak via master)
+        sim, store, platform = make_platform()
+        out["install@platform"] = install_outcome(
+            platform, sim, build_package(app_of(), store, "oem"), "platform_1"
+        )
+        sim, store, platform = make_platform()
+        out["install@weak"] = install_outcome(
+            platform, sim, build_package(app_of(image_kib=64), store, "oem"),
+            "zone_sensor_0",
+        )
+        # 3. master failover
+        sim, store, platform = make_platform()
+        platform.update_masters.masters[0].fail()
+        out["weak, master failed"] = install_outcome(
+            platform, sim, build_package(app_of(image_kib=64), store, "oem"),
+            "zone_sensor_0",
+        )
+        failovers = platform.update_masters.failovers
+        return out, failovers
+
+    (table, failovers) = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        (name, "accepted" if ok else "rejected", f"{latency * 1e3:.2f} ms")
+        for name, (ok, latency) in table.items()
+    ]
+    print_table(
+        "C8: package installation outcomes",
+        ["scenario", "verdict", "latency"],
+        rows,
+        width=20,
+    )
+    assert table["valid"][0]
+    assert not table["tampered"][0]
+    assert not table["forged"][0]
+    assert not table["unsigned"][0]
+    assert table["install@weak"][0]
+    # the weak ECU pays the master round trip: noticeably slower than a
+    # local accelerated verify
+    assert table["install@weak"][1] > table["install@platform"][1]
+    assert table["weak, master failed"][0]
+    assert failovers >= 1

@@ -1,0 +1,126 @@
+"""Experiment F1 (Figure 1 / Section 1): ECU consolidation.
+
+Claim: consolidating the federated one-function-per-ECU architecture onto
+a small number of dynamic-platform computers cuts ECU count and hardware
+cost while keeping every deterministic task set schedulable.
+
+For a growing number of vehicle functions we build (a) the federated
+baseline (one ECU per app) and (b) a consolidated deployment found by
+first-fit onto platform computers, verify both, and compare ECU count and
+cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _tables import print_table
+from repro.baselines import federated_deployment
+from repro.hw import centralized_topology
+from repro.model import Deployment, SystemModel, verify
+from repro.osal import Criticality, first_fit_partition
+from repro.sim import RngStreams
+from repro.workloads import synthetic_app_set
+
+
+def consolidate(apps, topology):
+    """First-fit the apps onto the platform computers of ``topology``."""
+    platform_specs = [e for e in topology.ecus if e.name.startswith("platform")]
+    deployment = Deployment()
+    # treat each core of each platform computer as a bin
+    bins = []
+    for spec in platform_specs:
+        for core in range(spec.cores):
+            bins.append((spec, core, []))
+    for app in sorted(apps, key=lambda a: a.utilization, reverse=True):
+        det_tasks = [
+            t for t in app.tasks if t.criticality is Criticality.DETERMINISTIC
+        ]
+        placed = False
+        for spec, core, resident in bins:
+            existing = [t for a in resident for t in a.tasks]
+            combined = existing + list(app.tasks)
+            utilization = sum(t.utilization for t in combined) / spec.speed_factor
+            if utilization <= 0.7:
+                resident.append(app)
+                deployment.place(app.name, spec.name, core)
+                placed = True
+                break
+        if not placed:
+            head = [e for e in topology.ecus if e.name == "head_unit"]
+            if head and not app.is_deterministic:
+                deployment.place(app.name, "head_unit", 0)
+                placed = True
+        if not placed:
+            return None
+    return deployment
+
+
+def run_f1(n_functions: int, seed: int = 42):
+    apps = synthetic_app_set(
+        RngStreams(seed), n_functions, det_fraction=0.6,
+        utilization_per_app=0.06,
+    )
+    federated_topo, federated_dep = federated_deployment(apps)
+    central_topo = centralized_topology(n_platforms=2)
+    central_dep = consolidate(apps, central_topo)
+    # verification of the consolidated mapping
+    model = SystemModel(central_topo)
+    for app in apps:
+        model.add_app(app)
+    ok = False
+    if central_dep is not None:
+        ok = verify(model, central_dep).ok
+    # the zone sensors and head unit exist in both worlds; compare only
+    # the function-hosting boxes
+    federated_boxes = len(apps)
+    central_boxes = len(
+        {central_dep.ecu_of(a.name) for a in apps}
+    ) if central_dep else None
+    federated_cost = sum(
+        federated_topo.ecu(f"ecu_{a.name}").unit_cost for a in apps
+    )
+    central_cost = (
+        sum(
+            central_topo.ecu(name).unit_cost
+            for name in {central_dep.ecu_of(a.name) for a in apps}
+        )
+        if central_dep
+        else None
+    )
+    return {
+        "functions": n_functions,
+        "federated_ecus": federated_boxes,
+        "central_ecus": central_boxes,
+        "federated_cost": federated_cost,
+        "central_cost": central_cost,
+        "central_ok": ok,
+    }
+
+
+@pytest.mark.benchmark(group="f1")
+def test_f1_consolidation(benchmark):
+    rows = []
+
+    def sweep():
+        results = [run_f1(n) for n in (10, 20, 30, 40, 60)]
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for r in results:
+        rows.append((
+            r["functions"], r["federated_ecus"], r["central_ecus"],
+            f"{r['federated_cost']:.0f}", f"{r['central_cost']:.0f}",
+            "yes" if r["central_ok"] else "NO",
+        ))
+    print_table(
+        "F1: ECU consolidation (federated vs dynamic platform)",
+        ["#functions", "fed ECUs", "central ECUs", "fed cost", "central cost",
+         "verified"],
+        rows,
+    )
+    final = results[-1]
+    assert final["central_ecus"] is not None
+    assert final["central_ecus"] < final["federated_ecus"] / 3
+    assert final["central_cost"] < final["federated_cost"]
+    assert final["central_ok"]

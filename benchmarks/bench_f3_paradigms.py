@@ -1,0 +1,129 @@
+"""Experiment F3 (Figure 3 / Section 2.1): the three communication
+paradigms deliver their distinct semantics and latency profiles.
+
+One producer/server ECU and one consumer ECU on 100 Mbit/s Ethernet:
+
+* event — publish latency per payload size (one-way);
+* message — RPC round-trip latency (two-way);
+* stream — per-sample in-order playout latency at 30 Hz.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _tables import print_table
+from repro.hw import BusSpec, EcuSpec, Topology
+from repro.middleware import (
+    Endpoint,
+    EventConsumer,
+    EventProducer,
+    RpcClient,
+    RpcServer,
+    ServiceRegistry,
+    StreamSink,
+    StreamSource,
+)
+from repro.network import VehicleNetwork
+from repro.sim import Simulator
+
+
+def world():
+    topo = Topology()
+    topo.add_bus(BusSpec("eth", "ethernet", 100e6))
+    for name in ("prod", "cons"):
+        topo.add_ecu(EcuSpec(name, ports=(("eth0", "ethernet"),)))
+        topo.attach(name, "eth0", "eth")
+    sim = Simulator()
+    net = VehicleNetwork(sim, topo)
+    registry = ServiceRegistry()
+    eps = {n: Endpoint(sim, net, n, registry) for n in ("prod", "cons")}
+    return sim, eps
+
+
+def measure_event(payload_bytes: int, n: int = 50):
+    sim, eps = world()
+    producer = EventProducer(eps["prod"], 0x100, 1, provider_app="p")
+    latencies = []
+    EventConsumer(
+        eps["cons"], 0x100, 1, client_app="c", on_data=lambda m: None
+    )
+    sim.run()
+
+    def publish(k=0):
+        if k >= n:
+            return
+        t0 = sim.now
+        for sig in producer.publish("x", payload_bytes):
+            sig.add_callback(lambda _m, t0=t0: latencies.append(sim.now - t0))
+        sim.schedule(0.001, publish, k + 1)
+
+    publish()
+    sim.run()
+    return sum(latencies) / len(latencies)
+
+
+def measure_rpc(payload_bytes: int, n: int = 50):
+    sim, eps = world()
+    server = RpcServer(eps["prod"], 0x200, provider_app="p")
+    server.register_method(1, lambda req: ("ok", payload_bytes))
+    client = RpcClient(eps["cons"], 0x200, client_app="c")
+    latencies = []
+
+    def call(k=0):
+        if k >= n:
+            return
+        t0 = sim.now
+        client.call(1, payload_bytes=payload_bytes).add_callback(
+            lambda _r, t0=t0: latencies.append(sim.now - t0)
+        )
+        sim.schedule(0.001, call, k + 1)
+
+    call()
+    sim.run()
+    return sum(latencies) / len(latencies)
+
+
+def measure_stream(payload_bytes: int, n: int = 50):
+    sim, eps = world()
+    source = StreamSource(
+        eps["prod"], 0x300, 1, provider_app="p",
+        sample_bytes=payload_bytes, period=0.033,
+    )
+    sink = StreamSink(eps["cons"], 0x300, 1, client_app="c")
+    source.start("cons", n_samples=n)
+    sim.run(until=n * 0.033 + 1.0)
+    latencies = sink.playout_latencies()
+    assert len(latencies) == n
+    assert [m.sequence for m in sink.released] == list(range(n))
+    return sum(latencies) / len(latencies)
+
+
+@pytest.mark.benchmark(group="f3")
+def test_f3_paradigms(benchmark):
+    sizes = (64, 512, 4096, 32768)
+
+    def sweep():
+        return {
+            "event": [measure_event(s) for s in sizes],
+            "message(RPC)": [measure_rpc(s) for s in sizes],
+            "stream": [measure_stream(s) for s in sizes],
+        }
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for paradigm, values in table.items():
+        for size, latency in zip(sizes, values):
+            rows.append((paradigm, size, f"{latency * 1e6:.1f} us"))
+    print_table(
+        "F3: mean delivery latency per paradigm and payload",
+        ["paradigm", "payload B", "latency"],
+        rows,
+        width=16,
+    )
+    for i in range(len(sizes)):
+        # two-way RPC costs more than one-way event at equal payload
+        assert table["message(RPC)"][i] > table["event"][i]
+    # latency grows with payload for every paradigm
+    for values in table.values():
+        assert values[-1] > values[0]

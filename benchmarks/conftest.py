@@ -1,0 +1,7 @@
+"""Benchmark-suite configuration: make `_tables` importable and force -s
+style output so the experiment tables are visible in benchmark runs."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Fleet OTA campaign: monitoring-gated waves and automatic rollback.
+
+The paper's Section 3.4 loop, end to end: runtime monitors detect faults,
+reports reach the manufacturer, and updates roll out (or roll back) in
+response.  A ten-vehicle fleet receives a regressive update; the first
+wave's monitors catch the deadline overruns, the campaign aborts, the
+wave rolls back, and eight vehicles never see the bad version.
+"""
+
+from repro.core import CampaignManager, Fleet
+from repro.model import AppModel, Asil
+from repro.osal import TaskSpec
+from repro.security import TrustStore
+from repro.sim import Simulator, Tracer
+
+
+def version(v, *, buggy=False):
+    task = (
+        TaskSpec(name="lk_bug", period=0.01, wcet=0.009, deadline=0.001)
+        if buggy
+        else TaskSpec(name="lk_loop", period=0.01, wcet=0.001, deadline=0.008)
+    )
+    return AppModel(
+        name="lane_keeper", tasks=(task,), asil=Asil.C,
+        memory_kib=128, image_kib=256, version=v,
+    )
+
+
+def main() -> None:
+    sim = Simulator(tracer=Tracer())
+    store = TrustStore()
+    store.generate_key("oem_release_key")
+    fleet = Fleet(sim, store, size=10)
+    fleet.deploy_everywhere(version((1, 0)), "oem_release_key")
+    sim.run(until=sim.now + 0.5)
+    print(f"fleet of {len(fleet.vehicles)} vehicles on lane_keeper v1.0\n")
+
+    manager = CampaignManager(
+        fleet, "oem_release_key", wave_size=2, soak_time=1.0,
+        abort_regression_ratio=0.5,
+    )
+    print("rolling out v1.1 (which, unknown to the OEM, overruns its "
+          "deadline)...")
+    result = manager.rollout(version((1, 0)), version((1, 1), buggy=True))
+    for wave in result.waves:
+        print(f"  wave {wave.wave}: vehicles {wave.vehicle_indices} "
+              f"updated={wave.updated} regressions={wave.regressions}")
+    print(f"  campaign aborted: {result.aborted}, "
+          f"wave rolled back: {result.rolled_back}")
+    versions = fleet.versions("lane_keeper")
+    spared = sum(1 for v in versions.values() if v == (1, 0))
+    print(f"  vehicles on v1.0 after rollback: {spared}/10\n")
+
+    sim.run(until=sim.now + 1.0)  # let fault reports reach the backend
+    reports = sum(len(v.backend.received) for v in fleet.vehicles)
+    print(f"fault reports at the manufacturer backend: {reports}")
+    print("the OEM fixes the bug and ships v1.2 ...\n")
+
+    result2 = manager.rollout(version((1, 0)), version((1, 2)))
+    print(f"v1.2 campaign: {len(result2.waves)} waves, "
+          f"aborted={result2.aborted}, "
+          f"updated={result2.vehicles_updated}/10")
+    assert result2.vehicles_updated == 10
+    print("\nfleet campaign OK: the monitoring loop contained the bad "
+          "update and delivered the fix")
+
+
+if __name__ == "__main__":
+    main()

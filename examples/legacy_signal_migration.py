@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Migrating a legacy signal database to service-oriented interfaces.
+
+Section 2 of the paper describes today's pain: signals defined by bit
+offsets, described differently per ECU, some not documented at all.
+This script takes a representative body-domain catalog, migrates every
+documented signal to an owned, versioned event interface, reports the
+undocumented tail — and then actually *runs* one migrated interface over
+the simulated network to show the result is executable, not just
+paperwork.
+"""
+
+from repro.hw import BusSpec, EcuSpec, Topology
+from repro.middleware import (
+    Endpoint,
+    EventConsumer,
+    EventProducer,
+    ServiceRegistry,
+)
+from repro.model import legacy_body_catalog, migrate_catalog
+from repro.network import VehicleNetwork
+from repro.sim import Simulator
+
+
+def main() -> None:
+    catalog = legacy_body_catalog()
+    print(f"legacy catalog: {len(catalog.signals)} signals in "
+          f"{len({s.frame_id for s in catalog.signals})} CAN frames")
+    print("undocumented:", ", ".join(s.name for s in catalog.undocumented()))
+
+    report = migrate_catalog(catalog)
+    print()
+    print(report.summary())
+    print()
+    for interface in report.interfaces:
+        reqs = interface.requirements
+        print(f"  {interface.name:24s} owner={interface.owner:12s} "
+              f"{interface.payload_bytes} B @ "
+              f"{1 / reqs.period:.0f} Hz" if reqs.period else "")
+
+    # prove a migrated interface runs: vehicle_speed as an event service
+    print("\nrunning sig_vehicle_speed over simulated Ethernet:")
+    topo = Topology()
+    topo.add_bus(BusSpec("eth", "ethernet", 100e6))
+    for name in ("esp_ecu", "dash_ecu"):
+        topo.add_ecu(EcuSpec(name, ports=(("eth0", "ethernet"),)))
+        topo.attach(name, "eth0", "eth")
+    sim = Simulator()
+    net = VehicleNetwork(sim, topo)
+    registry = ServiceRegistry()
+    esp = Endpoint(sim, net, "esp_ecu", registry)
+    dash = Endpoint(sim, net, "dash_ecu", registry)
+
+    speed_interface = next(
+        i for i in report.interfaces if i.name == "sig_vehicle_speed"
+    )
+    producer = EventProducer(esp, 0x1000, 1, provider_app=speed_interface.owner)
+    received = []
+    EventConsumer(
+        dash, 0x1000, 1, client_app="dashboard",
+        on_data=lambda m: received.append((sim.now, m.payload)),
+    )
+    sim.run()
+
+    def publish(k=0):
+        if k >= 5:
+            return
+        producer.publish(
+            {"speed_kmh": 50 + k}, speed_interface.payload_bytes
+        )
+        sim.schedule(speed_interface.requirements.period, publish, k + 1)
+
+    publish()
+    sim.run()
+    for t, payload in received:
+        print(f"  [{t * 1e3:7.3f} ms] dashboard <- {payload}")
+    assert len(received) == 5
+    print("\nmigration OK: the legacy signal now travels as a typed, owned "
+          "event service")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""OTA update campaign: staged vs stop/restart vs naive switch vs the
+firmware-image status quo.
+
+A cruise-control application is updated while the (simulated) vehicle is
+in motion.  The script prints, per strategy, the longest interval during
+which no instance of the function was running — and contrasts it with
+today's whole-firmware-image reflash at the dealership.
+"""
+
+from repro.baselines import FirmwareImageUpdater
+from repro.core import DynamicPlatform, UpdateOrchestrator
+from repro.hw import centralized_topology
+from repro.model import AppModel, Asil
+from repro.osal import TaskSpec
+from repro.security import TrustStore, build_package
+from repro.sim import Simulator
+
+
+def cruise_app(version=(1, 0)) -> AppModel:
+    return AppModel(
+        name="cruise",
+        tasks=(TaskSpec(name="cruise_loop", period=0.01, wcet=0.001),),
+        asil=Asil.C, memory_kib=128, image_kib=512, version=version,
+    )
+
+
+def run_strategy(strategy: str, clock_skew: float = 0.0) -> float:
+    """Returns the longest observed control gap (s)."""
+    sim = Simulator()
+    store = TrustStore()
+    store.generate_key("oem")
+    platform = DynamicPlatform(
+        sim, centralized_topology(n_platforms=2), trust_store=store
+    )
+    orchestrator = UpdateOrchestrator(platform)
+    platform.install(build_package(cruise_app(), store, "oem"), "platform_0")
+    sim.run()
+    platform.start_app("cruise", "platform_0")
+
+    longest = [0.0]
+    down_since = [None]
+
+    def probe():
+        alive = bool(platform.running_instances("cruise"))
+        if not alive and down_since[0] is None:
+            down_since[0] = sim.now
+        if alive and down_since[0] is not None:
+            longest[0] = max(longest[0], sim.now - down_since[0])
+            down_since[0] = None
+        if sim.now < 3.0:
+            sim.schedule(0.001, probe)
+
+    probe()
+    new_pkg = build_package(cruise_app((1, 1)), store, "oem")
+    if strategy == "staged":
+        sim.at(0.5, lambda: orchestrator.staged_update(
+            "cruise", "platform_0", new_pkg))
+    elif strategy == "stop_restart":
+        sim.at(0.5, lambda: orchestrator.stop_update_restart(
+            "cruise", "platform_0", new_pkg))
+    else:
+        orchestrator.naive_switch(
+            "cruise", "platform_0", new_pkg,
+            switch_at=0.5, clock_skew=clock_skew,
+        )
+    sim.run(until=3.2)
+    return longest[0]
+
+
+def main() -> None:
+    print("updating a live 100 Hz control function (3 s drive):\n")
+    for label, strategy, skew in (
+        ("staged update (paper, Section 3.2)", "staged", 0.0),
+        ("stop - update - restart", "stop_restart", 0.0),
+        ("naive coordinated switch, no skew", "naive", 0.0),
+        ("naive coordinated switch, 50 ms skew", "naive", 0.05),
+    ):
+        gap = run_strategy(strategy, skew)
+        print(f"  {label:42s} control gap = {gap * 1e3:7.1f} ms")
+
+    # the status quo: reflash the whole ECU at the dealership
+    sim = Simulator()
+    updater = FirmwareImageUpdater(sim)
+    reports = []
+    updater.update("cruise_ecu", firmware_image_kib=2048).add_callback(
+        reports.append
+    )
+    sim.run()
+    print(f"  {'firmware-image reflash (status quo)':42s} "
+          f"control gap = {reports[0].downtime * 1e3:7.1f} ms "
+          "(vehicle parked)")
+    print("\nthe staged strategy is the only one with zero functional gap.")
+
+
+if __name__ == "__main__":
+    main()

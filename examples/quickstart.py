@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Quickstart: bring up a dynamic platform, install a signed app, run it.
+
+This walks the paper's core loop end to end in ~50 lines:
+
+1. build a centralized E/E topology (two platform computers on TSN);
+2. start the dynamic platform with a trust store;
+3. package + sign a deterministic control application;
+4. install it over the air (signature verified on the ECU);
+5. start it (admission control runs automatically);
+6. let the vehicle "drive" for two simulated seconds;
+7. read the runtime monitor's certification evidence.
+"""
+
+from repro.core import DynamicPlatform, RuntimeMonitor
+from repro.hw import centralized_topology
+from repro.model import AppModel, Asil
+from repro.osal import TaskSpec
+from repro.security import TrustStore, build_package
+from repro.sim import Simulator, Tracer
+
+
+def main() -> None:
+    # 1-2. world + platform
+    tracer = Tracer()
+    sim = Simulator(tracer=tracer)
+    store = TrustStore()
+    store.generate_key("oem_release_key")
+    platform = DynamicPlatform(
+        sim, centralized_topology(n_platforms=2), trust_store=store
+    )
+    monitor = RuntimeMonitor(sim)
+
+    # 3. a deterministic 100 Hz control app, ASIL C
+    app = AppModel(
+        name="lane_keeper",
+        tasks=(
+            TaskSpec(
+                name="lane_loop", period=0.01, wcet=0.002,
+                deadline=0.008, jitter_tolerance=0.001,
+            ),
+        ),
+        asil=Asil.C,
+        memory_kib=256,
+        image_kib=1024,
+    )
+    package = build_package(app, store, "oem_release_key")
+    monitor.watch(app.tasks[0])
+
+    # 4. over-the-air install: signature checked on the target ECU
+    platform.install(package, "platform_0").add_callback(
+        lambda ok: print(f"[{sim.now:8.4f}s] install verified: {ok}")
+    )
+    sim.run()
+
+    # 5. start (admission control checks schedulability, memory, OS class)
+    instance = platform.start_app("lane_keeper", "platform_0")
+    print(f"[{sim.now:8.4f}s] {instance.qualified_name} -> {instance.state.value}")
+
+    # 6. drive
+    sim.run(until=2.0)
+
+    # 7. evidence
+    stats = monitor.stats("lane_loop")
+    print(f"[{sim.now:8.4f}s] releases={stats.releases} "
+          f"completions={stats.completions} "
+          f"deadline_misses={stats.deadline_misses} "
+          f"max_jitter={stats.max_jitter * 1e6:.1f}us")
+    assert stats.deadline_misses == 0
+    print("quickstart OK: the app ran deterministically on the platform")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+All metadata lives in pyproject.toml; this file only enables
+``python setup.py develop`` on environments without the ``wheel``
+package (offline editable installs).
+"""
+
+from setuptools import setup
+
+setup()

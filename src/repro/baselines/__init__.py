@@ -1,0 +1,20 @@
+"""Baselines: the static federated architecture and whole-firmware-image
+update process that the dynamic platform is compared against."""
+
+from .static_platform import (
+    DIAG_FLASH_RATE,
+    FirmwareImageUpdater,
+    FirmwareUpdateReport,
+    REBOOT_TIME,
+    federated_deployment,
+    federated_topology_for,
+)
+
+__all__ = [
+    "DIAG_FLASH_RATE",
+    "FirmwareImageUpdater",
+    "FirmwareUpdateReport",
+    "REBOOT_TIME",
+    "federated_deployment",
+    "federated_topology_for",
+]

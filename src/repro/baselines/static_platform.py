@@ -1,0 +1,118 @@
+"""The static, federated baseline the paper argues against (Figure 1).
+
+One function per ECU, whole-firmware-image updates at the dealership:
+
+* :func:`federated_deployment` — maps each app of a system model to its
+  own dedicated legacy ECU (building the topology to match), the
+  one-function-per-box architecture of today;
+* :class:`FirmwareImageUpdater` — models the current update process:
+  the vehicle must be stationary, the complete image is flashed, the ECU
+  reboots; the function is down for the whole procedure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..errors import ConfigurationError
+from ..hw.catalog import domain_controller, infotainment_unit, legacy_ecu
+from ..hw.topology import BusSpec, Topology
+from ..model.applications import AppModel
+from ..model.deployment import Deployment
+from ..model.system import SystemModel
+from ..sim import Signal, Simulator
+
+#: Flash throughput over the diagnostic link (bytes/second) — a slow
+#: CAN-based bootloader protocol.
+DIAG_FLASH_RATE = 30_000.0
+
+#: ECU reboot time after reflash.
+REBOOT_TIME = 4.0
+
+
+def federated_topology_for(apps: List[AppModel]) -> Topology:
+    """One legacy ECU per app (spec scaled to the app), CAN backbone."""
+    topo = Topology("federated_baseline")
+    topo.add_bus(BusSpec("can_a", "can", 500_000.0))
+    topo.add_bus(BusSpec("eth_diag", "ethernet", 100_000_000.0))
+    gateway = domain_controller("gateway")
+    topo.add_ecu(gateway)
+    topo.attach("gateway", "can0", "can_a")
+    topo.attach("gateway", "eth0", "eth_diag")
+    for index, app in enumerate(apps):
+        needs_fast = app.needs_gpu or app.memory_kib > 4096
+        if needs_fast:
+            ecu = infotainment_unit(
+                f"ecu_{app.name}",
+                ports=(("eth0", "ethernet"),),
+            )
+            topo.add_ecu(ecu)
+            topo.attach(ecu.name, "eth0", "eth_diag")
+        else:
+            ecu = legacy_ecu(
+                f"ecu_{app.name}",
+                memory_kib=max(512, int(app.memory_kib * 2)),
+                flash_kib=max(2048, int(app.image_kib * 2)),
+            )
+            topo.add_ecu(ecu)
+            topo.attach(ecu.name, "can0", "can_a")
+    return topo
+
+
+def federated_deployment(model_apps: List[AppModel]) -> Tuple[Topology, Deployment]:
+    """The baseline mapping: app_i -> ecu_app_i."""
+    topo = federated_topology_for(model_apps)
+    deployment = Deployment()
+    for app in model_apps:
+        deployment.place(app.name, f"ecu_{app.name}")
+    return topo, deployment
+
+
+@dataclass
+class FirmwareUpdateReport:
+    """Measured outcome of a firmware-image update."""
+
+    ecu: str
+    image_kib: float
+    flash_time: float
+    downtime: float
+    requires_standstill: bool = True
+
+
+class FirmwareImageUpdater:
+    """Whole-image update process of the static architecture.
+
+    "For most of the ECUs, there is no smaller unit than the complete
+    firmware image" — so even a one-line fix reflashes everything, with
+    the vehicle parked at the dealership.
+    """
+
+    def __init__(self, sim: Simulator, *, flash_rate: float = DIAG_FLASH_RATE) -> None:
+        if flash_rate <= 0:
+            raise ConfigurationError("flash rate must be positive")
+        self.sim = sim
+        self.flash_rate = flash_rate
+        self.reports: List[FirmwareUpdateReport] = []
+
+    def flash_time(self, firmware_image_kib: float) -> float:
+        return firmware_image_kib * 1024.0 / self.flash_rate
+
+    def update(self, ecu_name: str, firmware_image_kib: float) -> Signal:
+        """Reflash an ECU; the signal fires with the report when done."""
+        result = self.sim.signal(name=f"flash.{ecu_name}")
+        flash = self.flash_time(firmware_image_kib)
+        downtime = flash + REBOOT_TIME
+
+        def finish() -> None:
+            report = FirmwareUpdateReport(
+                ecu=ecu_name,
+                image_kib=firmware_image_kib,
+                flash_time=flash,
+                downtime=downtime,
+            )
+            self.reports.append(report)
+            result.fire(report)
+
+        self.sim.schedule(downtime, finish)
+        return result

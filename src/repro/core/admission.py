@@ -1,0 +1,130 @@
+"""Admission control (Section 5.3 refs [6], [19]; Section 3.1 CPU).
+
+Before an application is instantiated on a node, the controller performs
+the compositional checks: will every deterministic task — existing and
+incoming — still meet its deadline, does the memory fit, is the OS class
+right, and does mixed-criticality co-location have MMU backing.  The
+platform refuses the app otherwise, which is what keeps runtime dynamics
+safe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..model.applications import AppModel
+from ..osal.analysis import is_schedulable_fp, scaled_utilization
+from ..osal.task import Criticality
+from .node import PlatformNode
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of an admission test."""
+
+    admitted: bool
+    app: str
+    node: str
+    core_index: int
+    reasons: tuple = ()
+    predicted_utilization: float = 0.0
+
+    def __bool__(self) -> bool:
+        return self.admitted
+
+
+class AdmissionController:
+    """Runs the admission battery for one platform."""
+
+    def __init__(self, *, nda_budget_share: Optional[float] = 0.3) -> None:
+        self.nda_budget_share = nda_budget_share
+        self.admitted_count = 0
+        self.rejected_count = 0
+
+    def test(
+        self, node: PlatformNode, app: AppModel, core_index: int = 0
+    ) -> AdmissionDecision:
+        """Check whether ``app`` may be instantiated on ``node``/core."""
+        reasons: List[str] = []
+        spec = node.spec
+        if node.failed:
+            reasons.append("node has failed")
+        if not 0 <= core_index < len(node.cores):
+            reasons.append(f"core {core_index} out of range")
+            core_index = 0
+        if app.memory_kib > node.memory_headroom_kib():
+            reasons.append(
+                f"insufficient memory ({app.memory_kib:g} KiB needed, "
+                f"{node.memory_headroom_kib():g} free)"
+            )
+        if app.has_deterministic_tasks and not spec.os_class.supports_deterministic:
+            reasons.append(
+                f"deterministic app on non-real-time OS {spec.os_class.value}"
+            )
+        if app.needs_gpu and not spec.has_gpu:
+            reasons.append("GPU required but not present")
+        if app.needs_mmu_isolation and not spec.has_mmu:
+            reasons.append("MMU isolation required but not present")
+        mixed = self._would_be_mixed(node, app)
+        if mixed and not spec.has_mmu:
+            reasons.append("mixed-criticality co-location without MMU")
+        utilization = 0.0
+        if app.has_deterministic_tasks:
+            existing = node.deterministic_tasks_on_core(core_index)
+            incoming = [
+                t
+                for t in app.tasks
+                if t.criticality is Criticality.DETERMINISTIC
+            ]
+            combined = existing + incoming
+            utilization = scaled_utilization(combined, spec.speed_factor)
+            # deterministic tasks must fit in the share left over after the
+            # NDA budget server's reservation
+            budget_margin = 1.0 - (self.nda_budget_share or 0.0)
+            if utilization > budget_margin + 1e-12:
+                reasons.append(
+                    f"deterministic utilization {utilization:.3f} exceeds "
+                    f"available share {budget_margin:.3f}"
+                )
+            elif not is_schedulable_fp(combined, spec.speed_factor):
+                reasons.append("response-time analysis failed")
+        decision = AdmissionDecision(
+            admitted=not reasons,
+            app=app.name,
+            node=node.name,
+            core_index=core_index,
+            reasons=tuple(reasons),
+            predicted_utilization=utilization,
+        )
+        if decision.admitted:
+            self.admitted_count += 1
+        else:
+            self.rejected_count += 1
+        return decision
+
+    def best_core(
+        self, node: PlatformNode, app: AppModel
+    ) -> Optional[AdmissionDecision]:
+        """Try every core; return the first admitting decision or ``None``."""
+        for index in range(len(node.cores)):
+            decision = self.test(node, app, index)
+            if decision:
+                return decision
+        return None
+
+    @staticmethod
+    def _would_be_mixed(node: PlatformNode, app: AppModel) -> bool:
+        """Would admitting ``app`` put DA and NDA apps side by side?"""
+        from .application import AppState
+
+        has_det = app.is_deterministic
+        has_nda = bool(app.tasks) and not app.is_deterministic
+        for instance in node.instances.values():
+            if instance.state not in (AppState.RUNNING, AppState.STARTING):
+                continue
+            if instance.model.is_deterministic:
+                has_det = True
+            elif instance.model.tasks:
+                has_nda = True
+        return has_det and has_nda

@@ -1,0 +1,170 @@
+"""Runtime application instances and their lifecycle.
+
+An :class:`AppInstance` is one running copy of an
+:class:`~repro.model.applications.AppModel` on one platform node.  The
+same app may be instantiated more than once — for redundancy (Section
+3.3) and during staged updates (Section 3.2) — distinguished by
+``instance_id``.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict, List, Optional
+
+from ..errors import PlatformError
+from ..model.applications import AppModel
+from ..osal.core import Core, PeriodicSource
+from ..osal.task import Criticality
+from ..sim import Simulator
+
+
+class AppState(Enum):
+    """Lifecycle states of an application instance."""
+
+    INSTALLED = "installed"
+    STARTING = "starting"
+    RUNNING = "running"
+    STOPPING = "stopping"
+    STOPPED = "stopped"
+    FAILED = "failed"
+
+
+#: Legal lifecycle transitions.
+_TRANSITIONS = {
+    AppState.INSTALLED: {AppState.STARTING},
+    AppState.STARTING: {AppState.RUNNING, AppState.FAILED},
+    AppState.RUNNING: {AppState.STOPPING, AppState.FAILED},
+    AppState.STOPPING: {AppState.STOPPED},
+    AppState.STOPPED: {AppState.STARTING},
+    AppState.FAILED: {AppState.STARTING, AppState.STOPPED},
+}
+
+
+class AppInstance:
+    """One deployed copy of an application on a node.
+
+    The instance owns the periodic sources feeding the node's scheduler
+    and an opaque ``internal_state`` dict that staged updates synchronise
+    (Section 3.2, step 2).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        model: AppModel,
+        node_name: str,
+        core: Core,
+        *,
+        instance_id: int = 1,
+        process_name: Optional[str] = None,
+    ) -> None:
+        self.sim = sim
+        self.model = model
+        self.node_name = node_name
+        self.core = core
+        self.instance_id = instance_id
+        self.process_name = process_name or f"{model.name}#{instance_id}"
+        self.state = AppState.INSTALLED
+        self.sources: List[PeriodicSource] = []
+        self.internal_state: Dict[str, object] = {}
+        self.started_at: Optional[float] = None
+        self.stopped_at: Optional[float] = None
+        self.failure_reason: Optional[str] = None
+
+    # -- state machine ---------------------------------------------------------
+
+    def _transition(self, new_state: AppState) -> None:
+        allowed = _TRANSITIONS.get(self.state, set())
+        if new_state not in allowed:
+            raise PlatformError(
+                f"{self.qualified_name}: illegal transition "
+                f"{self.state.value} -> {new_state.value}"
+            )
+        self.state = new_state
+        self.sim.trace(
+            "app.state",
+            app=self.model.name,
+            instance=self.instance_id,
+            node=self.node_name,
+            state=new_state.value,
+        )
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.model.name}#{self.instance_id}@{self.node_name}"
+
+    @property
+    def is_running(self) -> bool:
+        return self.state is AppState.RUNNING
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def start(self, *, startup_latency: float = 0.0) -> None:
+        """Begin execution: create one periodic source per task."""
+        self._transition(AppState.STARTING)
+        if startup_latency > 0:
+            self.sim.schedule(startup_latency, self._activate)
+        else:
+            self._activate()
+
+    def _activate(self) -> None:
+        if self.state is not AppState.STARTING:
+            return  # failed or stopped while starting
+        for task in self.model.tasks:
+            self.sources.append(
+                PeriodicSource(self.sim, self.core, task)
+            )
+        self.started_at = self.sim.now
+        self._transition(AppState.RUNNING)
+
+    def stop(self) -> None:
+        """Stop releasing jobs and cancel queued work."""
+        self._transition(AppState.STOPPING)
+        for source in self.sources:
+            source.stop()
+        for task in self.model.tasks:
+            self.core.cancel_jobs_of(task.name)
+        self.sources.clear()
+        self.stopped_at = self.sim.now
+        self._transition(AppState.STOPPED)
+
+    def fail(self, reason: str) -> None:
+        """Crash the instance (fault injection / node failure)."""
+        if self.state in (AppState.STOPPED, AppState.FAILED):
+            return
+        for source in self.sources:
+            source.stop()
+        self.sources.clear()
+        self.failure_reason = reason
+        self.state = AppState.FAILED
+        self.sim.trace(
+            "app.failed",
+            app=self.model.name,
+            instance=self.instance_id,
+            node=self.node_name,
+            reason=reason,
+        )
+
+    # -- state synchronisation (staged updates) -----------------------------------
+
+    def state_size_bytes(self) -> int:
+        """Serialised size of the internal state (sync cost model)."""
+        return 64 + 32 * len(self.internal_state)
+
+    def snapshot_state(self) -> Dict[str, object]:
+        return dict(self.internal_state)
+
+    def adopt_state(self, snapshot: Dict[str, object]) -> None:
+        self.internal_state = dict(snapshot)
+
+    # -- metrics --------------------------------------------------------------------
+
+    def deadline_misses(self) -> int:
+        return sum(src.miss_count() for src in self.sources)
+
+    def jobs_released(self) -> int:
+        return sum(len(src.jobs) for src in self.sources)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<AppInstance {self.qualified_name} {self.state.value}>"

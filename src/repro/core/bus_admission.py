@@ -1,0 +1,141 @@
+"""Runtime communication admission: bus headroom checks.
+
+Complements CPU/memory admission (Section 3.1): before an app that adds
+periodic network traffic is admitted, the platform checks that every bus
+segment on its routes keeps headroom.  Two sources of truth are combined:
+
+* **planned** load — the offered bandwidth of the app's modelled
+  interfaces (like the verification engine, but incremental);
+* **observed** load — a sliding-window measurement of what each segment
+  actually carried in the running vehicle, which catches traffic the
+  model did not anticipate.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..errors import AdmissionError
+from ..model.deployment import Deployment
+from ..model.system import SystemModel
+from ..network.gateway import VehicleNetwork
+from ..sim import Simulator
+
+#: Keep buses below this fraction of their raw capacity.
+BUS_HEADROOM_LIMIT = 0.8
+
+
+class BusLoadTracker:
+    """Sliding-window observed utilization per bus segment."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: VehicleNetwork,
+        *,
+        window: float = 1.0,
+        sample_period: float = 0.1,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.window = window
+        self.sample_period = sample_period
+        self._samples: Dict[str, Deque[Tuple[float, int]]] = {
+            name: deque() for name in network.buses
+        }
+        self._running = True
+        sim.process(self._sampler(), name="bus_load_tracker")
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _sampler(self):
+        while self._running:
+            for name, bus in self.network.buses.items():
+                samples = self._samples[name]
+                samples.append((self.sim.now, bus.transmit_time))
+                while samples and samples[0][0] < self.sim.now - self.window:
+                    samples.popleft()
+            yield self.sample_period
+
+    def observed_utilization(self, bus_name: str) -> float:
+        """Wire occupancy of ``bus_name`` over the sliding window."""
+        samples = self._samples.get(bus_name)
+        if not samples or len(samples) < 2:
+            return 0.0
+        (t0, b0), (t1, b1) = samples[0], samples[-1]
+        if t1 <= t0:
+            return 0.0
+        return (b1 - b0) / (t1 - t0)
+
+    def observed_bps(self, bus_name: str) -> float:
+        """Observed load expressed as bits/second of raw capacity."""
+        capacity = self.network.bus(bus_name).bitrate_bps
+        return self.observed_utilization(bus_name) * capacity
+
+
+@dataclass(frozen=True)
+class BusAdmissionDecision:
+    """Outcome of a communication admission test."""
+
+    admitted: bool
+    app: str
+    reasons: Tuple[str, ...] = ()
+
+    def __bool__(self) -> bool:
+        return self.admitted
+
+
+def offered_load_of(
+    model: SystemModel, app_name: str, deployment: Deployment
+) -> Dict[str, float]:
+    """Additional bits/second per bus if ``app_name`` starts under
+    ``deployment`` — producer side and consumer side of its interfaces."""
+    load: Dict[str, float] = {}
+    for producer, consumer, interface in model.communication_pairs():
+        if app_name not in (producer, consumer):
+            continue
+        if not (deployment.is_placed(producer) and deployment.is_placed(consumer)):
+            continue
+        src = deployment.ecu_of(producer)
+        dst = deployment.ecu_of(consumer)
+        if src == dst:
+            continue
+        bandwidth = interface.offered_bandwidth_bps()
+        if not bandwidth:
+            continue
+        for bus in model.topology.route_buses(src, dst):
+            load[bus.name] = load.get(bus.name, 0.0) + bandwidth
+    return load
+
+
+def admit_communication(
+    model: SystemModel,
+    app_name: str,
+    deployment: Deployment,
+    *,
+    tracker: Optional[BusLoadTracker] = None,
+    limit: float = BUS_HEADROOM_LIMIT,
+) -> BusAdmissionDecision:
+    """Check bus headroom for starting ``app_name``.
+
+    Combines the app's planned offered load with the tracker's observed
+    utilization (when available).  Returns a decision; callers that want
+    exceptions can ``raise_if_denied``-style check the boolean.
+    """
+    reasons: List[str] = []
+    for bus_name, added_bps in offered_load_of(model, app_name, deployment).items():
+        capacity = model.topology.bus(bus_name).bitrate_bps
+        observed = tracker.observed_bps(bus_name) if tracker is not None else 0.0
+        projected = (observed + added_bps) / capacity
+        if projected > limit:
+            reasons.append(
+                f"bus {bus_name}: projected load {projected:.1%} exceeds "
+                f"{limit:.0%} (observed {observed / 1e6:.2f} Mb/s + "
+                f"added {added_bps / 1e6:.2f} Mb/s)"
+            )
+    return BusAdmissionDecision(
+        admitted=not reasons, app=app_name, reasons=tuple(reasons)
+    )

@@ -1,0 +1,236 @@
+"""Fleet-level OTA campaigns with monitoring-driven rollback.
+
+Section 3.4 closes the loop the campaign manager implements: faults
+detected by runtime monitoring are "transferred to the manufacturer for
+further examinations.  In turn, an update can be created and rolled out
+to remedy the detected error."
+
+:class:`Fleet` instantiates N simulated vehicles (each with its own
+topology, dynamic platform, runtime monitor and backend uplink) inside
+one simulation.  :class:`CampaignManager` rolls a package out in waves,
+watching each wave's monitors before releasing the next — and aborting
+plus rolling back to the previous version when the regression rate
+crosses the threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..errors import UpdateError
+from ..hw.ecu import CryptoCapability, OsClass
+from ..hw.topology import BusSpec, EcuSpec, Topology
+from ..model.applications import AppModel
+from ..security.crypto import TrustStore
+from ..security.package import SoftwarePackage, build_package
+from ..sim import Signal, Simulator, Tracer
+from .monitor import BackendLink, RuntimeMonitor
+from .platform import DynamicPlatform
+from .update import UpdateOrchestrator
+
+
+def _vehicle_topology(index: int) -> Topology:
+    topo = Topology(f"vehicle_{index}")
+    topo.add_bus(BusSpec(f"eth_{index}", "ethernet", 1e9, tsn_capable=True))
+    topo.add_ecu(EcuSpec(
+        f"vecu_{index}", cpu_mhz=1000.0, cores=2, memory_kib=1 << 18,
+        flash_kib=1 << 20, has_mmu=True, os_class=OsClass.POSIX_RT,
+        crypto=CryptoCapability.ACCELERATED,
+        ports=(("eth0", "ethernet"),),
+    ))
+    topo.attach(f"vecu_{index}", "eth0", f"eth_{index}")
+    return topo
+
+
+@dataclass
+class Vehicle:
+    """One fleet member: platform + monitor + uplink."""
+
+    index: int
+    platform: DynamicPlatform
+    monitor: RuntimeMonitor
+    backend: BackendLink
+
+    @property
+    def node_name(self) -> str:
+        return f"vecu_{self.index}"
+
+    def fault_count(self) -> int:
+        """Faults that indicate a functional regression.
+
+        Period deviations are excluded: during a staged update both
+        instances briefly release the same task, which looks like period
+        noise to the monitor but is expected handover behaviour.
+        """
+        return len([
+            f for f in self.monitor.faults if f.kind in ("deadline", "jitter")
+        ])
+
+    def running_version(self, app_name: str) -> Optional[tuple]:
+        instances = self.platform.running_instances(app_name)
+        if not instances:
+            return None
+        return instances[0].model.version
+
+
+class Fleet:
+    """N simulated vehicles sharing one simulation clock."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        store: TrustStore,
+        *,
+        size: int,
+    ) -> None:
+        if size < 1:
+            raise UpdateError("fleet needs at least one vehicle")
+        self.sim = sim
+        self.store = store
+        self.vehicles: List[Vehicle] = []
+        for index in range(size):
+            platform = DynamicPlatform(
+                sim, _vehicle_topology(index), trust_store=store
+            )
+            backend = BackendLink(sim, uplink_latency=0.1)
+            monitor = RuntimeMonitor(
+                sim, backend=backend, core_prefix=f"vecu_{index}.",
+            )
+            self.vehicles.append(
+                Vehicle(index=index, platform=platform, monitor=monitor,
+                        backend=backend)
+            )
+
+    def deploy_everywhere(self, app: AppModel, key_id: str) -> None:
+        """Install + start the app on every vehicle; monitors watch it."""
+        for vehicle in self.vehicles:
+            package = build_package(app, self.store, key_id)
+            vehicle.platform.install(package, vehicle.node_name)
+        self.sim.run(until=self.sim.now + 1.0)
+        for vehicle in self.vehicles:
+            vehicle.platform.start_app(app.name, vehicle.node_name)
+            for task in app.tasks:
+                vehicle.monitor.watch(task)
+
+    def versions(self, app_name: str) -> Dict[int, Optional[tuple]]:
+        return {
+            v.index: v.running_version(app_name) for v in self.vehicles
+        }
+
+
+@dataclass
+class WaveResult:
+    """Outcome of one rollout wave."""
+
+    wave: int
+    vehicle_indices: List[int]
+    updated: int
+    regressions: int
+
+
+@dataclass
+class CampaignResult:
+    """Final outcome of a campaign."""
+
+    app: str
+    target_version: tuple
+    waves: List[WaveResult] = field(default_factory=list)
+    aborted: bool = False
+    rolled_back: bool = False
+
+    @property
+    def vehicles_updated(self) -> int:
+        return sum(w.updated for w in self.waves)
+
+
+class CampaignManager:
+    """Staged fleet rollout with monitor-gated waves and rollback."""
+
+    def __init__(
+        self,
+        fleet: Fleet,
+        key_id: str,
+        *,
+        wave_size: int = 2,
+        soak_time: float = 1.0,
+        abort_regression_ratio: float = 0.5,
+    ) -> None:
+        if wave_size < 1:
+            raise UpdateError("wave size must be >= 1")
+        self.fleet = fleet
+        self.key_id = key_id
+        self.wave_size = wave_size
+        self.soak_time = soak_time
+        self.abort_regression_ratio = abort_regression_ratio
+        self.results: List[CampaignResult] = []
+
+    def rollout(
+        self,
+        old_app: AppModel,
+        new_app: AppModel,
+    ) -> CampaignResult:
+        """Run the campaign to completion (synchronously drives the sim).
+
+        Vehicles are updated wave by wave with the staged strategy; after
+        each wave soaks, vehicles whose monitors recorded new faults count
+        as regressions.  Crossing the abort ratio rolls the affected wave
+        back to ``old_app`` and stops the campaign.
+        """
+        if new_app.name != old_app.name:
+            raise UpdateError("update must target the same application")
+        sim = self.fleet.sim
+        result = CampaignResult(app=new_app.name, target_version=new_app.version)
+        vehicles = list(self.fleet.vehicles)
+        wave_index = 0
+        position = 0
+        while position < len(vehicles):
+            wave = vehicles[position:position + self.wave_size]
+            wave_index += 1
+            baseline = {v.index: v.fault_count() for v in wave}
+            updated = 0
+            for vehicle in wave:
+                package = build_package(new_app, self.fleet.store, self.key_id)
+                orchestrator = UpdateOrchestrator(vehicle.platform)
+                done: List = []
+                orchestrator.staged_update(
+                    new_app.name, vehicle.node_name, package
+                ).add_callback(done.append)
+                sim.run(until=sim.now + 0.5)
+                if done and done[0].success:
+                    updated += 1
+                    for task in new_app.tasks:
+                        vehicle.monitor.watch(task)
+            # soak: let the new version run under observation
+            sim.run(until=sim.now + self.soak_time)
+            regressions = sum(
+                1 for v in wave if v.fault_count() > baseline[v.index]
+            )
+            result.waves.append(WaveResult(
+                wave=wave_index,
+                vehicle_indices=[v.index for v in wave],
+                updated=updated,
+                regressions=regressions,
+            ))
+            if wave and regressions / len(wave) >= self.abort_regression_ratio:
+                result.aborted = True
+                self._rollback_wave(wave, old_app)
+                result.rolled_back = True
+                break
+            position += self.wave_size
+        self.results.append(result)
+        return result
+
+    def _rollback_wave(self, wave: List[Vehicle], old_app: AppModel) -> None:
+        """Staged-update the wave's vehicles back to the previous version."""
+        sim = self.fleet.sim
+        for vehicle in wave:
+            package = build_package(old_app, self.fleet.store, self.key_id)
+            orchestrator = UpdateOrchestrator(vehicle.platform)
+            try:
+                orchestrator.staged_update(
+                    old_app.name, vehicle.node_name, package
+                )
+            except UpdateError:
+                continue  # the app died entirely; nothing to roll back
+            sim.run(until=sim.now + 0.5)

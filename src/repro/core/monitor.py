@@ -1,0 +1,215 @@
+"""Runtime monitoring (Section 3.4).
+
+"Such monitoring capabilities need to especially target the key
+parameters of deterministic applications, such as period, deadline,
+jitter, memory usage, etc.  With such monitoring capabilities, faults can
+easily be detected, the conditions leading to such faults recorded and,
+if an internet connection is available, be transferred to the
+manufacturer for further examinations."
+
+The monitor subscribes to the simulator's trace stream (``os.release`` /
+``os.done``), keeps per-task statistics, raises :class:`FaultRecord`
+objects on violations, and ships them to a :class:`BackendLink` when one
+is attached.  It also exposes the aggregate statistics that "efficiently
+support the safety certification processes".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..osal.task import TaskSpec
+from ..sim import Simulator, TraceEntry
+
+
+@dataclass
+class TaskStats:
+    """Running statistics for one monitored task."""
+
+    spec: TaskSpec
+    releases: int = 0
+    completions: int = 0
+    deadline_misses: int = 0
+    jitter_violations: int = 0
+    max_response: float = 0.0
+    max_jitter: float = 0.0
+    last_release: Optional[float] = None
+    max_period_drift: float = 0.0
+
+    @property
+    def miss_ratio(self) -> float:
+        if self.completions == 0:
+            return 0.0
+        return self.deadline_misses / self.completions
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One detected violation, with the conditions that led to it."""
+
+    time: float
+    task: str
+    kind: str  # "deadline" | "jitter" | "period" | "memory"
+    detail: str
+
+
+class BackendLink:
+    """Models the (optional) internet connection to the manufacturer."""
+
+    def __init__(self, sim: Simulator, *, uplink_latency: float = 0.2) -> None:
+        self.sim = sim
+        self.uplink_latency = uplink_latency
+        self.received: List[FaultRecord] = []
+        self.connected = True
+
+    def ship(self, record: FaultRecord) -> None:
+        if not self.connected:
+            return
+        self.sim.schedule(self.uplink_latency, self.received.append, record)
+
+
+class RuntimeMonitor:
+    """Watches deterministic task behaviour through the trace stream."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        *,
+        backend: Optional[BackendLink] = None,
+        period_drift_tolerance: float = 0.1,
+        core_prefix: str = "",
+    ) -> None:
+        """``core_prefix`` scopes the monitor to cores whose names start
+        with it — required when several vehicles (or platforms) share one
+        simulation and tracer."""
+        self.sim = sim
+        self.backend = backend
+        self.period_drift_tolerance = period_drift_tolerance
+        self.core_prefix = core_prefix
+        self._watched: Dict[str, TaskStats] = {}
+        self.faults: List[FaultRecord] = []
+        self.trace_events_processed = 0
+        sim.tracer.subscribe(self._on_trace)
+
+    # -- configuration ---------------------------------------------------------
+
+    def watch(self, task: TaskSpec) -> TaskStats:
+        """Start monitoring a task (idempotent)."""
+        if task.name not in self._watched:
+            self._watched[task.name] = TaskStats(spec=task)
+        return self._watched[task.name]
+
+    def unwatch(self, task_name: str) -> None:
+        self._watched.pop(task_name, None)
+
+    def stats(self, task_name: str) -> TaskStats:
+        return self._watched[task_name]
+
+    @property
+    def watched_tasks(self) -> List[str]:
+        return list(self._watched)
+
+    # -- trace ingestion -----------------------------------------------------------
+
+    def _on_trace(self, entry: TraceEntry) -> None:
+        if entry.category not in ("os.release", "os.done"):
+            return
+        if self.core_prefix and not str(entry.get("core", "")).startswith(
+            self.core_prefix
+        ):
+            return
+        if entry.category == "os.release":
+            self._on_release(entry)
+        else:
+            self._on_done(entry)
+
+    def _on_release(self, entry: TraceEntry) -> None:
+        stats = self._watched.get(entry["task"])
+        if stats is None:
+            return
+        self.trace_events_processed += 1
+        stats.releases += 1
+        if stats.last_release is not None:
+            observed_period = entry.time - stats.last_release
+            drift = abs(observed_period - stats.spec.period) / stats.spec.period
+            stats.max_period_drift = max(stats.max_period_drift, drift)
+            if drift > self.period_drift_tolerance:
+                self._fault(
+                    entry.time,
+                    stats.spec.name,
+                    "period",
+                    f"observed period {observed_period:.6f}s deviates "
+                    f"{drift:.1%} from nominal {stats.spec.period:.6f}s",
+                )
+        stats.last_release = entry.time
+
+    def _on_done(self, entry: TraceEntry) -> None:
+        stats = self._watched.get(entry["task"])
+        if stats is None:
+            return
+        self.trace_events_processed += 1
+        stats.completions += 1
+        response = entry["response"]
+        jitter = entry["jitter"]
+        stats.max_response = max(stats.max_response, response)
+        stats.max_jitter = max(stats.max_jitter, jitter)
+        if entry["missed"]:
+            stats.deadline_misses += 1
+            self._fault(
+                entry.time,
+                stats.spec.name,
+                "deadline",
+                f"response {response:.6f}s exceeded deadline "
+                f"{stats.spec.effective_deadline:.6f}s",
+            )
+        if jitter > stats.spec.jitter_tolerance:
+            stats.jitter_violations += 1
+            self._fault(
+                entry.time,
+                stats.spec.name,
+                "jitter",
+                f"start jitter {jitter:.6f}s exceeded tolerance "
+                f"{stats.spec.jitter_tolerance:.6f}s",
+            )
+
+    # -- memory polling ----------------------------------------------------------------
+
+    def check_memory(self, node, limit_fraction: float = 0.95) -> Optional[FaultRecord]:
+        """Poll a node's memory occupancy against a high-water mark."""
+        spec = node.spec
+        used = node.state.memory_used_kib
+        if used > spec.memory_kib * limit_fraction:
+            return self._fault(
+                self.sim.now,
+                spec.name,
+                "memory",
+                f"{used:g} KiB of {spec.memory_kib:g} KiB in use",
+            )
+        return None
+
+    # -- fault handling -----------------------------------------------------------------
+
+    def _fault(self, time: float, task: str, kind: str, detail: str) -> FaultRecord:
+        record = FaultRecord(time=time, task=task, kind=kind, detail=detail)
+        self.faults.append(record)
+        if self.backend is not None:
+            self.backend.ship(record)
+        return record
+
+    def faults_of_kind(self, kind: str) -> List[FaultRecord]:
+        return [f for f in self.faults if f.kind == kind]
+
+    def certification_report(self) -> Dict[str, Dict[str, float]]:
+        """Aggregate per-task evidence for safety certification."""
+        return {
+            name: {
+                "releases": stats.releases,
+                "completions": stats.completions,
+                "miss_ratio": stats.miss_ratio,
+                "max_response": stats.max_response,
+                "max_jitter": stats.max_jitter,
+                "max_period_drift": stats.max_period_drift,
+            }
+            for name, stats in self._watched.items()
+        }

@@ -1,0 +1,206 @@
+"""Per-ECU runtime of the dynamic platform.
+
+A :class:`PlatformNode` bundles everything one ECU contributes to the
+platform: its cores (running the mixed-criticality policy of DESIGN.md
+decision D1), its memory manager, its middleware endpoint and its
+installed images.  The :class:`~repro.core.platform.DynamicPlatform`
+coordinates nodes into the vehicle-wide platform of Figure 2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import ConfigurationError, PlatformError
+from ..hw.ecu import EcuSpec, EcuState
+from ..middleware.endpoint import Endpoint
+from ..middleware.registry import ServiceRegistry
+from ..network.gateway import VehicleNetwork
+from ..osal.core import Core
+from ..osal.memory import MemoryManager
+from ..osal.policies import BudgetServer, MixedCriticalityPolicy
+from ..sim import Simulator
+from .application import AppInstance, AppState
+
+
+class PlatformNode:
+    """One ECU participating in the dynamic platform."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        spec: EcuSpec,
+        network: VehicleNetwork,
+        registry: ServiceRegistry,
+        *,
+        nda_budget_share: Optional[float] = 0.3,
+        nda_budget_period: float = 0.01,
+    ) -> None:
+        self.sim = sim
+        self.spec = spec
+        self.state = EcuState(spec)
+        self.memory = MemoryManager(self.state)
+        self.endpoint = Endpoint(sim, network, spec.name, registry)
+        self.cores: List[Core] = []
+        for index in range(spec.cores):
+            if nda_budget_share is not None:
+                server = BudgetServer(
+                    capacity=nda_budget_share * nda_budget_period,
+                    period=nda_budget_period,
+                )
+            else:
+                server = None
+            policy = MixedCriticalityPolicy(server=server)
+            self.cores.append(
+                Core(sim, f"{spec.name}.core{index}", spec.speed_factor, policy)
+            )
+        self.instances: Dict[str, AppInstance] = {}
+        self._installed_images: Dict[str, float] = {}
+        self.failed = False
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    # -- image management -----------------------------------------------------------
+
+    def store_image(self, app_name: str, image_kib: float) -> None:
+        """Persist an application image in flash."""
+        if app_name in self._installed_images:
+            # replacing an image: free the old one first
+            self.state.free_flash(self._installed_images[app_name])
+        self.state.allocate_flash(image_kib)
+        self._installed_images[app_name] = image_kib
+
+    def drop_image(self, app_name: str) -> None:
+        size = self._installed_images.pop(app_name, None)
+        if size is not None:
+            self.state.free_flash(size)
+
+    def has_image(self, app_name: str) -> bool:
+        return app_name in self._installed_images
+
+    # -- instances --------------------------------------------------------------------
+
+    def instantiate(
+        self, model, *, core_index: int = 0, instance_id: int = 1
+    ) -> AppInstance:
+        """Create (but do not start) an app instance on a core.
+
+        Allocates the app's RAM in its own process (or a shared one when
+        the model allows combining, per Section 3.1 Memory).
+        """
+        if self.failed:
+            raise PlatformError(f"node {self.name} has failed")
+        if not 0 <= core_index < len(self.cores):
+            raise ConfigurationError(
+                f"{self.name}: core {core_index} out of range"
+            )
+        key = f"{model.name}#{instance_id}"
+        if key in self.instances:
+            raise PlatformError(f"{key} already instantiated on {self.name}")
+        process_name = key if model.own_process else "shared_pool"
+        if model.own_process or process_name not in {
+            p.name for p in self.memory.processes
+        }:
+            self.memory.spawn(
+                process_name if model.own_process else process_name,
+                model.memory_kib,
+                resident=model.name,
+            )
+        else:
+            self.memory.process(process_name).add_resident(model.name)
+            self.state.allocate_memory(model.memory_kib)
+        instance = AppInstance(
+            self.sim,
+            model,
+            self.name,
+            self.cores[core_index],
+            instance_id=instance_id,
+            process_name=process_name,
+        )
+        self.instances[key] = instance
+        return instance
+
+    def tear_down(self, app_name: str, instance_id: int = 1) -> None:
+        """Remove an instance, releasing its process memory."""
+        key = f"{app_name}#{instance_id}"
+        instance = self.instances.pop(key, None)
+        if instance is None:
+            raise PlatformError(f"{key} is not instantiated on {self.name}")
+        if instance.state is AppState.RUNNING:
+            instance.stop()
+        if instance.model.own_process:
+            self.memory.kill(instance.process_name)
+        else:
+            self.memory.process(instance.process_name).remove_resident(app_name)
+            self.state.free_memory(instance.model.memory_kib)
+
+    def instance(self, app_name: str, instance_id: int = 1) -> AppInstance:
+        key = f"{app_name}#{instance_id}"
+        try:
+            return self.instances[key]
+        except KeyError:
+            raise PlatformError(
+                f"{key} is not instantiated on {self.name}"
+            ) from None
+
+    def instances_of(self, app_name: str) -> List[AppInstance]:
+        return [
+            inst
+            for key, inst in self.instances.items()
+            if inst.model.name == app_name
+        ]
+
+    # -- load accounting ----------------------------------------------------------------
+
+    def deterministic_tasks_on_core(self, core_index: int) -> List:
+        """Deterministic tasks of running/starting instances on a core."""
+        from ..osal.task import Criticality
+
+        tasks = []
+        for instance in self.instances.values():
+            if instance.core is not self.cores[core_index]:
+                continue
+            if instance.state in (AppState.RUNNING, AppState.STARTING):
+                tasks.extend(
+                    t
+                    for t in instance.model.tasks
+                    if t.criticality is Criticality.DETERMINISTIC
+                )
+        return tasks
+
+    def memory_headroom_kib(self) -> float:
+        return self.state.memory_free_kib
+
+    # -- failure ---------------------------------------------------------------------------
+
+    def fail(self) -> List[AppInstance]:
+        """ECU failure: halt cores, crash instances, detach from network.
+
+        Returns the instances that were running when the node died.
+        """
+        self.failed = True
+        self.state.fail(self.sim.now)
+        victims = [
+            inst
+            for inst in self.instances.values()
+            if inst.state in (AppState.RUNNING, AppState.STARTING)
+        ]
+        for core in self.cores:
+            core.halt()
+        for instance in victims:
+            instance.fail("node failure")
+        self.endpoint.detach()
+        self.endpoint.registry.withdraw_all_of_ecu(self.name)
+        self.sim.trace("node.failed", node=self.name)
+        return victims
+
+    def recover(self) -> None:
+        """Bring the node back empty (instances must be re-installed)."""
+        self.failed = False
+        self.state.recover()
+        for core in self.cores:
+            core.resume()
+        self.endpoint.reattach()
+        self.sim.trace("node.recovered", node=self.name)

@@ -1,0 +1,221 @@
+"""The dynamic platform (Figure 2): the paper's core contribution.
+
+The :class:`DynamicPlatform` spans the platform-capable ECUs of a
+topology and offers the app-store-like API the paper envisions:
+
+* **install** — verify the signed package (delegating to an update
+  master when the target ECU lacks crypto), store the image;
+* **start** — run admission control, instantiate, start;
+* **stop / uninstall** — the reverse;
+* hooks for the update orchestrator, redundancy manager and runtime
+  monitor, which live in their own modules.
+
+Freedom of interference is provided by construction: each node's cores
+run the mixed-criticality policy (CPU), each app gets its own process
+(memory, MMU permitting), and deterministic traffic is mapped to
+protected bus mechanisms by the middleware QoS (communication).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import AdmissionError, PlatformError, SecurityError
+from ..hw.topology import Topology
+from ..middleware.registry import ServiceRegistry
+from ..model.applications import AppModel
+from ..network.gateway import VehicleNetwork
+from ..security.crypto import TrustStore
+from ..security.package import PackageVerifier, SoftwarePackage
+from ..security.update_master import UpdateMaster, UpdateMasterGroup
+from ..sim import Signal, Simulator
+from .admission import AdmissionController, AdmissionDecision
+from .application import AppInstance, AppState
+from .node import PlatformNode
+
+
+class DynamicPlatform:
+    """Vehicle-wide dynamic platform over a set of ECUs."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        *,
+        node_names: Optional[List[str]] = None,
+        nda_budget_share: Optional[float] = 0.3,
+        trust_store: Optional[TrustStore] = None,
+    ) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.network = VehicleNetwork(sim, topology)
+        self.registry = ServiceRegistry()
+        self.trust_store = trust_store or TrustStore()
+        self.admission = AdmissionController(nda_budget_share=nda_budget_share)
+        self.nodes: Dict[str, PlatformNode] = {}
+        names = node_names or [e.name for e in topology.ecus]
+        for name in names:
+            spec = topology.ecu(name)
+            self.nodes[name] = PlatformNode(
+                sim,
+                spec,
+                self.network,
+                self.registry,
+                nda_budget_share=nda_budget_share,
+            )
+        self._verifiers: Dict[str, PackageVerifier] = {}
+        self.update_masters: Optional[UpdateMasterGroup] = None
+        self.models: Dict[str, AppModel] = {}
+        self.installs_rejected = 0
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def node(self, name: str) -> PlatformNode:
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise PlatformError(f"{name!r} is not a platform node") from None
+
+    def verifier_for(self, node_name: str) -> PackageVerifier:
+        if node_name not in self._verifiers:
+            self._verifiers[node_name] = PackageVerifier(
+                self.sim, self.node(node_name).spec, self.trust_store
+            )
+        return self._verifiers[node_name]
+
+    def setup_update_masters(self, node_names: List[str]) -> UpdateMasterGroup:
+        """Designate redundant update masters (Section 4.1)."""
+        masters = [
+            UpdateMaster(
+                self.sim,
+                self.node(name).endpoint,
+                self.node(name).spec,
+                self.trust_store,
+            )
+            for name in node_names
+        ]
+        self.update_masters = UpdateMasterGroup(masters)
+        return self.update_masters
+
+    # -- install ------------------------------------------------------------------
+
+    def install(self, package: SoftwarePackage, node_name: str) -> Signal:
+        """Verify and store a package on a node.
+
+        The returned signal fires with ``True`` on success.  Weak ECUs
+        (no crypto) delegate verification and transfer to the update
+        master group; packages failing verification are rejected and
+        never stored.
+        """
+        node = self.node(node_name)
+        result = self.sim.signal(name=f"install.{package.app.name}")
+        verifier = self.verifier_for(node_name)
+
+        def complete(ok: bool) -> None:
+            if ok:
+                node.store_image(package.app.name, package.image_kib)
+                self.models[package.app.name] = package.app
+            else:
+                self.installs_rejected += 1
+            self.sim.trace(
+                "platform.install",
+                app=package.app.name,
+                node=node_name,
+                ok=ok,
+            )
+            result.fire(ok)
+
+        if verifier.can_verify:
+            verifier.verify(package).add_callback(complete)
+        else:
+            if self.update_masters is None:
+                raise SecurityError(
+                    f"{node_name} cannot verify packages and no update "
+                    "master is configured"
+                )
+            self.update_masters.administer_install(
+                package, node_name
+            ).add_callback(complete)
+        return result
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    def start_app(
+        self,
+        app_name: str,
+        node_name: str,
+        *,
+        core_index: Optional[int] = None,
+        instance_id: int = 1,
+        startup_latency: float = 0.0,
+    ) -> AppInstance:
+        """Admission-check, instantiate and start an installed app.
+
+        Raises:
+            AdmissionError: if the admission battery rejects the app.
+            PlatformError: if the app was never installed on the node.
+        """
+        node = self.node(node_name)
+        if not node.has_image(app_name):
+            raise PlatformError(
+                f"{app_name!r} has no installed image on {node_name}"
+            )
+        model = self.models[app_name]
+        if core_index is None:
+            decision = self.admission.best_core(node, model)
+            if decision is None:
+                decision = self.admission.test(node, model, 0)
+        else:
+            decision = self.admission.test(node, model, core_index)
+        if not decision:
+            raise AdmissionError(
+                f"{app_name} rejected on {node_name}: "
+                + "; ".join(decision.reasons)
+            )
+        instance = node.instantiate(
+            model, core_index=decision.core_index, instance_id=instance_id
+        )
+        instance.start(startup_latency=startup_latency)
+        return instance
+
+    def stop_app(self, app_name: str, node_name: str, instance_id: int = 1) -> None:
+        """Stop a running instance (keeps the image installed)."""
+        instance = self.node(node_name).instance(app_name, instance_id)
+        instance.stop()
+
+    def uninstall(self, app_name: str, node_name: str) -> None:
+        """Remove all instances and the image of an app from a node."""
+        node = self.node(node_name)
+        for instance in list(node.instances_of(app_name)):
+            node.tear_down(app_name, instance.instance_id)
+        node.drop_image(app_name)
+
+    # -- queries --------------------------------------------------------------------
+
+    def running_instances(self, app_name: Optional[str] = None) -> List[AppInstance]:
+        out = []
+        for node in self.nodes.values():
+            for instance in node.instances.values():
+                if instance.state is not AppState.RUNNING:
+                    continue
+                if app_name is None or instance.model.name == app_name:
+                    out.append(instance)
+        return out
+
+    def where_is(self, app_name: str) -> List[str]:
+        """Node names currently hosting running instances of an app."""
+        return sorted({i.node_name for i in self.running_instances(app_name)})
+
+    def total_deterministic_misses(self) -> int:
+        return sum(
+            inst.deadline_misses() for inst in self.running_instances()
+        )
+
+    # -- failure injection -------------------------------------------------------------
+
+    def fail_node(self, node_name: str) -> List[AppInstance]:
+        """Inject an ECU failure; returns the instances that died."""
+        return self.node(node_name).fail()
+
+    def recover_node(self, node_name: str) -> None:
+        self.node(node_name).recover()

@@ -1,0 +1,235 @@
+"""Runtime reconfiguration: moving applications between ECUs.
+
+Section 2.3: "the deployment of a function to a hardware can depend on
+the installed applications and current load of every hardware component
+in the vehicle", and ref [20] proposes runtime activation/deactivation of
+components coordinated by a synchronization component.
+
+:class:`ReconfigurationManager` implements live **migration** of an app
+from one platform node to another with the same staged mechanics as an
+update (Section 3.2), plus a **load balancer** that proposes migrations
+when a node's deterministic utilization crosses a threshold — always
+gated by admission control on the target, so a reconfiguration can never
+create an unsafe state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..errors import AdmissionError, PlatformError, UpdateError
+from ..middleware.registry import ServiceOffer
+from ..osal.analysis import scaled_utilization
+from ..osal.task import Criticality
+from ..sim import Signal, Simulator
+from .application import AppInstance, AppState
+from .platform import DynamicPlatform
+from .update import REDIRECT_LATENCY, STATE_SYNC_RATE
+
+#: Extra per-migration latency for shipping the image if the target does
+#: not hold it yet is paid through the normal install path instead.
+MIGRATION_HANDOVER_LATENCY = 0.002
+
+
+@dataclass
+class MigrationReport:
+    """Measured outcome of one live migration."""
+
+    app: str
+    source: str
+    target: str
+    started_at: float
+    finished_at: float = 0.0
+    downtime: float = 0.0
+    success: bool = False
+    failure_reason: Optional[str] = None
+
+    @property
+    def duration(self) -> float:
+        return self.finished_at - self.started_at
+
+
+class ReconfigurationManager:
+    """Live migration and load balancing on a :class:`DynamicPlatform`."""
+
+    def __init__(self, platform: DynamicPlatform) -> None:
+        self.platform = platform
+        self.sim: Simulator = platform.sim
+        self.reports: List[MigrationReport] = []
+
+    # -- live migration -------------------------------------------------------
+
+    def migrate(
+        self,
+        app_name: str,
+        source: str,
+        target: str,
+        *,
+        startup_latency: float = 0.01,
+    ) -> Signal:
+        """Move a running app from ``source`` to ``target`` without a gap.
+
+        Staged mechanics: admission-check the target, start a second
+        instance there, synchronise state, redirect service offers, stop
+        the source instance.  The signal fires with a
+        :class:`MigrationReport`.
+
+        Raises:
+            PlatformError / UpdateError / AdmissionError synchronously on
+            precondition failures (nothing has been changed yet).
+        """
+        if source == target:
+            raise UpdateError("source and target node are identical")
+        source_node = self.platform.node(source)
+        target_node = self.platform.node(target)
+        running = [
+            inst
+            for inst in source_node.instances_of(app_name)
+            if inst.state is AppState.RUNNING
+        ]
+        if not running:
+            raise UpdateError(f"{app_name} is not running on {source}")
+        old = max(running, key=lambda i: i.instance_id)
+        if not target_node.has_image(app_name):
+            raise PlatformError(
+                f"{app_name!r} has no installed image on {target}; "
+                "install it first"
+            )
+        model = self.platform.models[app_name]
+        decision = self.platform.admission.best_core(target_node, model)
+        if decision is None:
+            raise AdmissionError(
+                f"target {target} cannot admit {app_name}"
+            )
+        report = MigrationReport(
+            app=app_name, source=source, target=target,
+            started_at=self.sim.now,
+        )
+        result = self.sim.signal(name=f"migrate.{app_name}")
+        new = target_node.instantiate(
+            model, core_index=decision.core_index, instance_id=1
+        )
+        new.start(startup_latency=startup_latency)
+        sync_time = old.state_size_bytes() / STATE_SYNC_RATE
+
+        def synced() -> None:
+            new.adopt_state(old.snapshot_state())
+            self.sim.schedule(
+                REDIRECT_LATENCY + MIGRATION_HANDOVER_LATENCY, redirected
+            )
+
+        def redirected() -> None:
+            self._move_offers(app_name, source, target)
+            old.stop()
+            source_node.tear_down(app_name, old.instance_id)
+            report.success = True
+            report.downtime = 0.0
+            report.finished_at = self.sim.now
+            self.reports.append(report)
+            self.sim.trace(
+                "reconfig.migrated",
+                app=app_name, source=source, target=target,
+                duration=report.duration,
+            )
+            result.fire(report)
+
+        self.sim.schedule(startup_latency + sync_time, synced)
+        return result
+
+    def _move_offers(self, app_name: str, source: str, target: str) -> None:
+        registry = self.platform.registry
+        for offer in list(registry.offers):
+            if offer.provider_app == app_name and offer.ecu == source:
+                registry.withdraw(offer.service_id, offer.instance_id)
+                registry.offer(
+                    ServiceOffer(
+                        service_id=offer.service_id,
+                        instance_id=offer.instance_id,
+                        ecu=target,
+                        provider_app=app_name,
+                        version=offer.version,
+                    )
+                )
+
+    # -- load balancing ---------------------------------------------------------
+
+    def node_det_utilization(self, node_name: str) -> float:
+        """Worst per-core deterministic utilization on a node."""
+        node = self.platform.node(node_name)
+        worst = 0.0
+        for index in range(len(node.cores)):
+            tasks = node.deterministic_tasks_on_core(index)
+            if tasks:
+                worst = max(
+                    worst, scaled_utilization(tasks, node.spec.speed_factor)
+                )
+        return worst
+
+    def propose_rebalance(
+        self, *, threshold: float = 0.6
+    ) -> List[Tuple[str, str, str]]:
+        """(app, source, target) moves that would relieve overloaded nodes.
+
+        A node is overloaded when its worst core exceeds ``threshold``
+        deterministic utilization.  For each overloaded node, the
+        lightest migratable deterministic app is proposed for the least
+        loaded other node that admits it and holds (or could hold) the
+        image.  Pure proposal — nothing is executed.
+        """
+        proposals: List[Tuple[str, str, str]] = []
+        loads = {
+            name: self.node_det_utilization(name)
+            for name, node in self.platform.nodes.items()
+            if not node.failed
+        }
+        for name, load in sorted(loads.items(), key=lambda kv: -kv[1]):
+            if load <= threshold:
+                continue
+            node = self.platform.node(name)
+            candidates = [
+                inst
+                for inst in node.instances.values()
+                if inst.state is AppState.RUNNING
+                and inst.model.has_deterministic_tasks
+            ]
+            candidates.sort(key=lambda i: i.model.utilization)
+            for instance in candidates:
+                target = self._pick_target(instance.model, exclude=name, loads=loads)
+                if target is not None:
+                    proposals.append((instance.model.name, name, target))
+                    break
+        return proposals
+
+    def _pick_target(self, model, *, exclude: str, loads) -> Optional[str]:
+        options = [
+            (load, name)
+            for name, load in loads.items()
+            if name != exclude and not self.platform.node(name).failed
+        ]
+        options.sort()
+        for _load, name in options:
+            decision = self.platform.admission.best_core(
+                self.platform.node(name), model
+            )
+            if decision is not None:
+                return name
+        return None
+
+    def rebalance(self, *, threshold: float = 0.6) -> List[Signal]:
+        """Execute every proposal (installing images on targets first)."""
+        signals = []
+        for app_name, source, target in self.propose_rebalance(
+            threshold=threshold
+        ):
+            target_node = self.platform.node(target)
+            if not target_node.has_image(app_name):
+                # image handover from the source's flash store
+                source_node = self.platform.node(source)
+                if not source_node.has_image(app_name):
+                    continue
+                target_node.store_image(
+                    app_name, self.platform.models[app_name].image_kib
+                )
+            signals.append(self.migrate(app_name, source, target))
+        return signals

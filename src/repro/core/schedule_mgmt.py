@@ -1,0 +1,178 @@
+"""Cloud-based schedule management (Section 3.1 CPU / ref [21]).
+
+"Generating a new schedule at runtime is potentially computationally
+expensive.  We propose to generate a schedule from the model and test
+this schedule in simulations in the backend, also against the current
+configuration of the installing vehicle."
+
+:class:`ScheduleManagementFramework` synthesises time-triggered tables on
+a chosen :class:`ComputeSite` (the OEM backend or the vehicle ECU itself),
+charges the synthesis work to that site's compute rate, and — on the
+backend — validates the table by actually *simulating* it against the
+vehicle's task configuration before releasing it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..errors import SchedulingError
+from ..hw.ecu import EcuSpec
+from ..osal.task import TaskSpec, hyperperiod
+from ..osal.timetable import TimeTable, TimeTriggeredExecutive, synthesize_table
+from ..osal.core import Core  # noqa: F401 - re-exported context
+from ..sim import Signal, Simulator
+
+
+@dataclass(frozen=True)
+class ComputeSite:
+    """Where synthesis runs and how fast it computes.
+
+    ``rate`` is elementary placement steps per second.  The backend is a
+    server farm; an ECU computes proportionally to its clock.
+    """
+
+    name: str
+    rate: float
+
+    @classmethod
+    def backend(cls) -> "ComputeSite":
+        return cls(name="backend", rate=50_000_000.0)
+
+    @classmethod
+    def on_ecu(cls, spec: EcuSpec) -> "ComputeSite":
+        # ~500 placement steps per MHz-second: table synthesis is pointer
+        # chasing, which embedded cores do poorly
+        return cls(name=spec.name, rate=spec.cpu_mhz * 500.0)
+
+
+@dataclass
+class SynthesisOutcome:
+    """Result of a synthesis request."""
+
+    table: Optional[TimeTable]
+    site: str
+    synthesis_time: float
+    validation_time: float
+    validated: bool
+    feasible: bool
+    error: Optional[str] = None
+
+    @property
+    def total_time(self) -> float:
+        return self.synthesis_time + self.validation_time
+
+
+def validate_by_simulation(
+    table: TimeTable, tasks: List[TaskSpec], speed_factor: float = 1.0
+) -> bool:
+    """Run the table in a throwaway simulation for two hyperperiods and
+    check that no deterministic job misses its deadline.
+
+    This is the backend's "test this schedule in simulations ... against
+    the current configuration" step — a digital twin of the target ECU.
+    """
+    from ..osal.core import PeriodicSource
+
+    twin = Simulator()
+    executive = TimeTriggeredExecutive(twin, "twin", table)
+
+    from ..sim import PRIORITY_URGENT
+
+    class _Feed:
+        def __init__(self, sim, executive, task, speed):
+            self.sim = sim
+            self.executive = executive
+            self.task = task
+            self.scaled = task.wcet / speed
+            self.k = 0
+            sim.at(task.offset, self.release, priority=PRIORITY_URGENT)
+
+        def release(self):
+            from ..osal.task import Job
+
+            job = Job(
+                task=self.task,
+                release_time=self.sim.now,
+                absolute_deadline=self.sim.now + self.task.effective_deadline,
+                remaining=self.scaled,
+            )
+            self.executive.submit(job)
+            self.k += 1
+            self.sim.at(
+                self.task.offset + self.k * self.task.period,
+                self.release,
+                priority=PRIORITY_URGENT,
+            )
+
+    for task in tasks:
+        _Feed(twin, executive, task, speed_factor)
+    horizon = 2 * hyperperiod(tasks)
+    twin.run(until=horizon)
+    return all(not job.missed_deadline for job in executive.completed_jobs) and (
+        len(executive.completed_jobs) > 0
+    )
+
+
+class ScheduleManagementFramework:
+    """Synthesis requests against backend or on-ECU compute sites."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.outcomes: List[SynthesisOutcome] = []
+
+    def synthesize(
+        self,
+        tasks: List[TaskSpec],
+        site: ComputeSite,
+        *,
+        speed_factor: float = 1.0,
+        validate: bool = True,
+    ) -> Signal:
+        """Request a table; the signal fires with a :class:`SynthesisOutcome`.
+
+        Synthesis work is metered in placement steps and charged to the
+        site's rate; backend requests additionally run the simulation
+        validation (charged at 1/20 of the synthesis cost, dominated by
+        the twin setup).
+        """
+        result = self.sim.signal(name=f"synth.{site.name}")
+        work_steps: List[int] = []
+        error: Optional[str] = None
+        table: Optional[TimeTable] = None
+        try:
+            table = synthesize_table(
+                tasks, speed_factor, work_factor_out=work_steps
+            )
+        except SchedulingError as exc:
+            error = str(exc)
+        steps = work_steps[0] if work_steps else len(tasks) * 10
+        synthesis_time = steps / site.rate
+
+        def finish() -> None:
+            validated = False
+            validation_time = 0.0
+            if table is not None and validate and site.name == "backend":
+                validated = validate_by_simulation(table, tasks, speed_factor)
+                validation_time = synthesis_time / 20.0
+            outcome = SynthesisOutcome(
+                table=table,
+                site=site.name,
+                synthesis_time=synthesis_time,
+                validation_time=validation_time,
+                validated=validated,
+                feasible=table is not None,
+                error=error,
+            )
+            self.outcomes.append(outcome)
+            self.sim.trace(
+                "schedule.synthesized",
+                site=site.name,
+                feasible=outcome.feasible,
+                time=outcome.total_time,
+            )
+            result.fire(outcome)
+
+        self.sim.schedule(synthesis_time, finish)
+        return result

@@ -1,0 +1,164 @@
+"""Core platform services (Section 1.1).
+
+"The dynamic platform integrates functionality common to multiple
+applications. ... Additional functions can be logging, persistence
+services (e.g., for configurations), and diagnosis, which is especially
+important to the automotive industry."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..middleware.endpoint import Endpoint
+from ..middleware.paradigms import RpcServer
+from ..sim import Simulator
+
+#: Service ids reserved for platform services.
+LOGGING_SERVICE_ID = 0x0F01
+PERSISTENCE_SERVICE_ID = 0x0F02
+DIAGNOSIS_SERVICE_ID = 0x0F03
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    time: float
+    source: str
+    level: str
+    message: str
+
+
+class LoggingService:
+    """Platform-wide structured log sink with level filtering."""
+
+    LEVELS = ("debug", "info", "warning", "error")
+
+    def __init__(self, sim: Simulator, *, min_level: str = "debug") -> None:
+        if min_level not in self.LEVELS:
+            raise ConfigurationError(f"unknown log level {min_level!r}")
+        self.sim = sim
+        self.min_level = min_level
+        self.records: List[LogRecord] = []
+        self.dropped = 0
+
+    def log(self, source: str, level: str, message: str) -> None:
+        if level not in self.LEVELS:
+            raise ConfigurationError(f"unknown log level {level!r}")
+        if self.LEVELS.index(level) < self.LEVELS.index(self.min_level):
+            self.dropped += 1
+            return
+        self.records.append(
+            LogRecord(time=self.sim.now, source=source, level=level, message=message)
+        )
+
+    def records_from(self, source: str) -> List[LogRecord]:
+        return [r for r in self.records if r.source == source]
+
+    def records_at_least(self, level: str) -> List[LogRecord]:
+        threshold = self.LEVELS.index(level)
+        return [r for r in self.records if self.LEVELS.index(r.level) >= threshold]
+
+
+class PersistenceService:
+    """Versioned key-value store for app configuration.
+
+    Every write creates a new version; reads return the latest committed
+    value.  ``rollback`` restores the previous version — the platform's
+    safety net for bad configuration pushes.
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._store: Dict[str, List[Tuple[float, Any]]] = {}
+
+    def put(self, key: str, value: Any) -> int:
+        """Write a value; returns the new version number (1-based)."""
+        history = self._store.setdefault(key, [])
+        history.append((self.sim.now, value))
+        return len(history)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        history = self._store.get(key)
+        if not history:
+            return default
+        return history[-1][1]
+
+    def version_count(self, key: str) -> int:
+        return len(self._store.get(key, []))
+
+    def rollback(self, key: str) -> Any:
+        """Drop the latest version; returns the now-current value.
+
+        Raises:
+            ConfigurationError: if there is no earlier version.
+        """
+        history = self._store.get(key)
+        if not history or len(history) < 2:
+            raise ConfigurationError(f"nothing to roll back for {key!r}")
+        history.pop()
+        return history[-1][1]
+
+    def keys(self) -> List[str]:
+        return list(self._store)
+
+
+@dataclass
+class DiagnosticTroubleCode:
+    """A stored DTC with occurrence count and freeze-frame data."""
+
+    code: str
+    first_seen: float
+    last_seen: float
+    count: int = 1
+    freeze_frame: Dict[str, Any] = field(default_factory=dict)
+
+
+class DiagnosisService:
+    """Collects DTCs and answers diagnostic queries (optionally over RPC)."""
+
+    def __init__(self, sim: Simulator, endpoint: Optional[Endpoint] = None) -> None:
+        self.sim = sim
+        self._dtcs: Dict[str, DiagnosticTroubleCode] = {}
+        self.server: Optional[RpcServer] = None
+        if endpoint is not None:
+            self.server = RpcServer(
+                endpoint, DIAGNOSIS_SERVICE_ID, provider_app="diagnosis_service"
+            )
+            self.server.register_method(1, self._rpc_read_dtcs)
+            self.server.register_method(2, self._rpc_clear_dtcs)
+
+    def report(self, code: str, freeze_frame: Optional[Dict[str, Any]] = None) -> None:
+        """Record an occurrence of a trouble code."""
+        existing = self._dtcs.get(code)
+        if existing is None:
+            self._dtcs[code] = DiagnosticTroubleCode(
+                code=code,
+                first_seen=self.sim.now,
+                last_seen=self.sim.now,
+                freeze_frame=freeze_frame or {},
+            )
+        else:
+            existing.count += 1
+            existing.last_seen = self.sim.now
+            if freeze_frame:
+                existing.freeze_frame = freeze_frame
+
+    def dtcs(self) -> List[DiagnosticTroubleCode]:
+        return sorted(self._dtcs.values(), key=lambda d: d.first_seen)
+
+    def clear(self) -> int:
+        """Erase all stored DTCs (tester command); returns the count."""
+        n = len(self._dtcs)
+        self._dtcs.clear()
+        return n
+
+    # -- RPC methods -----------------------------------------------------------
+
+    def _rpc_read_dtcs(self, request) -> tuple:
+        codes = [d.code for d in self.dtcs()]
+        return codes, 4 * max(1, len(codes))
+
+    def _rpc_clear_dtcs(self, request) -> tuple:
+        return self.clear(), 4

@@ -1,0 +1,343 @@
+"""Update orchestration (Section 3.2).
+
+Three strategies, matching the paper's discussion:
+
+* :meth:`UpdateOrchestrator.staged_update` — the paper's proposal for
+  deterministic applications: (1) start the new version in parallel,
+  (2) synchronise internal state, (3) redirect traffic, (4) stop the old
+  version.  Costs double resources while in flight (the paper's stated
+  disadvantage, measured by benchmark C5) but keeps the function
+  available throughout.
+* :meth:`UpdateOrchestrator.stop_update_restart` — the simple strategy
+  that is acceptable for non-deterministic applications: stop, swap the
+  image, restart.  The function is down for the whole swap.
+* :meth:`UpdateOrchestrator.naive_switch` — the baseline the paper warns
+  about: a centrally organised switchover at an agreed instant, which
+  "requires high accuracy clock synchronization and a single point of
+  failure is created".  Clock skew between the stop and start commands
+  opens a visible service gap (or double-running overlap).
+
+:meth:`UpdateOrchestrator.update_path` chains staged updates over a set
+of dependent applications, verifying each intermediate step before
+proceeding (the paper's distributed update paths).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..errors import UpdateError
+from ..security.package import SoftwarePackage
+from ..sim import Signal, Simulator
+from .application import AppInstance, AppState
+from .platform import DynamicPlatform
+
+#: Throughput of instance-state synchronisation (bytes/second).
+STATE_SYNC_RATE = 10_000_000.0
+
+#: Time to redirect service bindings to the new instance.
+REDIRECT_LATENCY = 0.001
+
+#: Flash-write throughput for image swaps (bytes/second).
+FLASH_WRITE_RATE = 2_000_000.0
+
+
+@dataclass
+class UpdateReport:
+    """Measured outcome of one update operation."""
+
+    app: str
+    strategy: str
+    started_at: float
+    finished_at: float = 0.0
+    downtime: float = 0.0
+    peak_extra_memory_kib: float = 0.0
+    success: bool = False
+    failure_reason: Optional[str] = None
+
+    @property
+    def duration(self) -> float:
+        return self.finished_at - self.started_at
+
+
+class UpdateOrchestrator:
+    """Coordinates application updates on a :class:`DynamicPlatform`."""
+
+    def __init__(self, platform: DynamicPlatform) -> None:
+        self.platform = platform
+        self.sim: Simulator = platform.sim
+        self.reports: List[UpdateReport] = []
+
+    # -- staged (paper proposal) ----------------------------------------------------
+
+    def staged_update(
+        self,
+        app_name: str,
+        node_name: str,
+        package: SoftwarePackage,
+        *,
+        startup_latency: float = 0.01,
+    ) -> Signal:
+        """Zero-downtime update of a (deterministic) application.
+
+        The returned signal fires with the :class:`UpdateReport`.
+        """
+        node = self.platform.node(node_name)
+        old = self._running_instance(node, app_name)
+        report = UpdateReport(
+            app=app_name, strategy="staged", started_at=self.sim.now,
+            peak_extra_memory_kib=package.app.memory_kib,
+        )
+        result = self.sim.signal(name=f"update.{app_name}")
+
+        def fail(reason: str) -> None:
+            report.success = False
+            report.failure_reason = reason
+            report.finished_at = self.sim.now
+            self.reports.append(report)
+            result.fire(report)
+
+        def step1_installed(ok: bool) -> None:
+            if not ok:
+                fail("package verification failed")
+                return
+            # (1) start the new version in parallel
+            try:
+                new = node.instantiate(
+                    self.platform.models[app_name],
+                    core_index=node.cores.index(old.core),
+                    instance_id=old.instance_id + 1,
+                )
+            except Exception as exc:  # noqa: BLE001 - surfaced in report
+                fail(f"parallel instantiation failed: {exc}")
+                return
+            new.start(startup_latency=startup_latency)
+            sync_time = old.state_size_bytes() / STATE_SYNC_RATE
+            self.sim.schedule(
+                startup_latency + sync_time, step2_synced, new
+            )
+
+        def step2_synced(new: AppInstance) -> None:
+            # (2) synchronise internal state
+            new.adopt_state(old.snapshot_state())
+            # (3) redirect all traffic to the new instance
+            self.sim.schedule(REDIRECT_LATENCY, step3_redirected, new)
+
+        def step3_redirected(new: AppInstance) -> None:
+            self._redirect_offers(app_name, node_name, new.instance_id)
+            # (4) stop the old version
+            old.stop()
+            node.tear_down(app_name, old.instance_id)
+            report.success = True
+            report.downtime = 0.0
+            report.finished_at = self.sim.now
+            self.reports.append(report)
+            self.sim.trace(
+                "update.staged_done", app=app_name, node=node_name,
+                duration=report.duration,
+            )
+            result.fire(report)
+
+        self.platform.install(package, node_name).add_callback(step1_installed)
+        return result
+
+    @staticmethod
+    def _running_instance(node, app_name: str) -> AppInstance:
+        """The currently running instance of an app on a node."""
+        candidates = [
+            inst
+            for inst in node.instances_of(app_name)
+            if inst.state is AppState.RUNNING
+        ]
+        if not candidates:
+            raise UpdateError(
+                f"{app_name} is not running on {node.name}"
+            )
+        return max(candidates, key=lambda i: i.instance_id)
+
+    def _redirect_offers(
+        self, app_name: str, node_name: str, new_instance_id: int
+    ) -> None:
+        """Point service offers of the app at the new instance."""
+        registry = self.platform.registry
+        for offer in list(registry.offers):
+            if offer.provider_app == app_name and offer.ecu == node_name:
+                registry.withdraw(offer.service_id, offer.instance_id)
+                from ..middleware.registry import ServiceOffer
+
+                registry.offer(
+                    ServiceOffer(
+                        service_id=offer.service_id,
+                        instance_id=offer.instance_id,
+                        ecu=node_name,
+                        provider_app=app_name,
+                        version=offer.version,
+                    )
+                )
+
+    # -- stop/update/restart (NDA strategy) -----------------------------------------
+
+    def stop_update_restart(
+        self,
+        app_name: str,
+        node_name: str,
+        package: SoftwarePackage,
+        *,
+        startup_latency: float = 0.01,
+    ) -> Signal:
+        """Take the app down, swap the image, restart.
+
+        Fine for non-deterministic applications ("their impact might be
+        limited to user experience"); measures the downtime it causes.
+        """
+        node = self.platform.node(node_name)
+        old = self._running_instance(node, app_name)
+        report = UpdateReport(
+            app=app_name, strategy="stop_update_restart",
+            started_at=self.sim.now,
+        )
+        result = self.sim.signal(name=f"update.{app_name}")
+        down_since = self.sim.now
+        # (1) stop
+        old.stop()
+        node.tear_down(app_name, old.instance_id)
+        flash_time = package.image_kib * 1024.0 / FLASH_WRITE_RATE
+
+        def after_verify(ok: bool) -> None:
+            if not ok:
+                report.success = False
+                report.failure_reason = "package verification failed"
+                report.finished_at = self.sim.now
+                self.reports.append(report)
+                result.fire(report)
+                return
+            self.sim.schedule(flash_time, restart)
+
+        def restart() -> None:
+            instance = self.platform.start_app(
+                app_name, node_name, instance_id=1,
+                startup_latency=startup_latency,
+            )
+            self.sim.schedule(startup_latency, finish, instance)
+
+        def finish(instance: AppInstance) -> None:
+            report.success = True
+            report.downtime = self.sim.now - down_since
+            report.finished_at = self.sim.now
+            self.reports.append(report)
+            result.fire(report)
+
+        # (2) verify + flash the new image
+        self.platform.install(package, node_name).add_callback(after_verify)
+        return result
+
+    # -- naive synchronized switch (baseline) ------------------------------------------
+
+    def naive_switch(
+        self,
+        app_name: str,
+        node_name: str,
+        package: SoftwarePackage,
+        *,
+        switch_at: float,
+        clock_skew: float = 0.0,
+        startup_latency: float = 0.01,
+    ) -> Signal:
+        """Centrally coordinated cut-over at ``switch_at``.
+
+        The stop command executes at ``switch_at``; the start command at
+        ``switch_at + clock_skew`` (skew between the two clocks involved).
+        Positive skew opens a service gap of ``skew + startup_latency``;
+        even zero skew leaves the startup latency as a gap — the staged
+        strategy hides both.
+        """
+        if switch_at < self.sim.now:
+            raise UpdateError("switch time already passed")
+        node = self.platform.node(node_name)
+        report = UpdateReport(
+            app=app_name, strategy="naive_switch", started_at=self.sim.now,
+        )
+        result = self.sim.signal(name=f"update.{app_name}")
+
+        def do_install(ok: bool) -> None:
+            if not ok:
+                report.success = False
+                report.failure_reason = "package verification failed"
+                report.finished_at = self.sim.now
+                self.reports.append(report)
+                result.fire(report)
+                return
+            self.sim.at(switch_at, do_stop)
+            self.sim.at(max(switch_at + clock_skew, self.sim.now), do_start)
+
+        down_marker = [0.0]
+
+        def do_stop() -> None:
+            old = self._running_instance(node, app_name)
+            old.stop()
+            node.tear_down(app_name, old.instance_id)
+            down_marker[0] = self.sim.now
+
+        def do_start() -> None:
+            instance = self.platform.start_app(
+                app_name, node_name, instance_id=1,
+                startup_latency=startup_latency,
+            )
+            self.sim.schedule(startup_latency, finish)
+
+        def finish() -> None:
+            report.success = True
+            report.downtime = self.sim.now - down_marker[0]
+            report.finished_at = self.sim.now
+            self.reports.append(report)
+            result.fire(report)
+
+        self.platform.install(package, node_name).add_callback(do_install)
+        return result
+
+    # -- distributed update paths ----------------------------------------------------------
+
+    def update_path(
+        self,
+        steps: List[tuple],
+        *,
+        verify_step: Optional[Callable[[str], bool]] = None,
+        startup_latency: float = 0.01,
+    ) -> Signal:
+        """Staged-update several dependent apps one at a time.
+
+        ``steps`` is a list of ``(app_name, node_name, package)``.  After
+        each step, ``verify_step(app_name)`` is consulted (e.g. a runtime
+        monitor check); a failing verification aborts the remaining path —
+        "by verifying the safety of every intermediate update step, the
+        safety of the complete update can be ensured".
+
+        The signal fires with the list of per-step reports.
+        """
+        result = self.sim.signal(name="update.path")
+        reports: List[UpdateReport] = []
+
+        def run_step(index: int) -> None:
+            if index >= len(steps):
+                result.fire(reports)
+                return
+            app_name, node_name, package = steps[index]
+
+            def done(report: UpdateReport) -> None:
+                reports.append(report)
+                if not report.success:
+                    result.fire(reports)
+                    return
+                if verify_step is not None and not verify_step(app_name):
+                    report.failure_reason = "intermediate verification failed"
+                    result.fire(reports)
+                    return
+                run_step(index + 1)
+
+            self.staged_update(
+                app_name, node_name, package, startup_latency=startup_latency
+            ).add_callback(done)
+
+        run_step(0)
+        return result

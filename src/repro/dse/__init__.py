@@ -1,0 +1,25 @@
+"""Design space exploration: mapping problems, GA/SA/random engines and
+Pareto archives (paper Section 2.3)."""
+
+from .engines import (
+    Candidate,
+    ParetoArchive,
+    SearchResult,
+    annealing_search,
+    exhaustive_search,
+    genetic_search,
+    random_search,
+)
+from .problem import Evaluation, MappingProblem
+
+__all__ = [
+    "Candidate",
+    "Evaluation",
+    "MappingProblem",
+    "ParetoArchive",
+    "SearchResult",
+    "annealing_search",
+    "exhaustive_search",
+    "genetic_search",
+    "random_search",
+]

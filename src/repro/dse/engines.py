@@ -1,0 +1,210 @@
+"""Search engines for the mapping problem: GA, SA, random and exhaustive.
+
+All engines draw randomness from a named
+:class:`~repro.sim.rng.RngStreams` stream so explorations are exactly
+reproducible, and all maintain the same :class:`ParetoArchive` so results
+are comparable across engines (the C10 benchmark races them).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..model.deployment import Deployment
+from ..sim.rng import RngStreams
+from .problem import Evaluation, MappingProblem
+
+
+@dataclass
+class Candidate:
+    """One explored solution."""
+
+    genome: List[int]
+    evaluation: Evaluation
+
+    @property
+    def score(self) -> float:
+        return self.evaluation.weighted_score()
+
+
+class ParetoArchive:
+    """Non-dominated feasible solutions found so far."""
+
+    def __init__(self) -> None:
+        self.members: List[Candidate] = []
+
+    def offer(self, candidate: Candidate) -> bool:
+        """Insert if non-dominated; returns True if accepted."""
+        if not candidate.evaluation.feasible:
+            return False
+        for member in self.members:
+            if member.evaluation.dominates(candidate.evaluation):
+                return False
+            if (
+                member.genome == candidate.genome
+                and member.evaluation == candidate.evaluation
+            ):
+                return False  # exact duplicate
+        self.members = [
+            m
+            for m in self.members
+            if not candidate.evaluation.dominates(m.evaluation)
+        ]
+        self.members.append(candidate)
+        return True
+
+    def best_by_score(self) -> Optional[Candidate]:
+        if not self.members:
+            return None
+        return min(self.members, key=lambda c: c.score)
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one engine run."""
+
+    best: Optional[Candidate]
+    archive: ParetoArchive
+    evaluations: int
+    engine: str
+
+    @property
+    def found_feasible(self) -> bool:
+        return self.best is not None and self.best.evaluation.feasible
+
+
+def _random_genome(problem: MappingProblem, rng) -> List[int]:
+    return [rng.randrange(n) for n in problem.genome_bounds()]
+
+
+def random_search(
+    problem: MappingProblem,
+    streams: RngStreams,
+    *,
+    budget: int = 200,
+    stream: str = "dse.random",
+) -> SearchResult:
+    """Uniform random sampling — the baseline every heuristic must beat."""
+    rng = streams.stream(stream)
+    archive = ParetoArchive()
+    best: Optional[Candidate] = None
+    for _ in range(budget):
+        genome = _random_genome(problem, rng)
+        candidate = Candidate(genome, problem.evaluate_genome(genome))
+        archive.offer(candidate)
+        if best is None or candidate.score < best.score:
+            best = candidate
+    return SearchResult(best, archive, budget, "random")
+
+
+def exhaustive_search(problem: MappingProblem, *, limit: int = 200_000) -> SearchResult:
+    """Enumerate the full space (guarded by ``limit``)."""
+    size = 1
+    for n in problem.genome_bounds():
+        size *= n
+    if size > limit:
+        raise ConfigurationError(
+            f"space of {size} deployments exceeds exhaustive limit {limit}"
+        )
+    archive = ParetoArchive()
+    best: Optional[Candidate] = None
+    count = 0
+    for combo in itertools.product(*(range(n) for n in problem.genome_bounds())):
+        genome = list(combo)
+        candidate = Candidate(genome, problem.evaluate_genome(genome))
+        archive.offer(candidate)
+        if best is None or candidate.score < best.score:
+            best = candidate
+        count += 1
+    return SearchResult(best, archive, count, "exhaustive")
+
+
+def genetic_search(
+    problem: MappingProblem,
+    streams: RngStreams,
+    *,
+    population: int = 30,
+    generations: int = 25,
+    crossover_rate: float = 0.9,
+    mutation_rate: float = 0.15,
+    tournament: int = 3,
+    stream: str = "dse.ga",
+) -> SearchResult:
+    """A plain generational GA with tournament selection and elitism."""
+    rng = streams.stream(stream)
+    bounds = problem.genome_bounds()
+    archive = ParetoArchive()
+
+    def evaluate(genome: List[int]) -> Candidate:
+        candidate = Candidate(genome, problem.evaluate_genome(genome))
+        archive.offer(candidate)
+        return candidate
+
+    pop = [evaluate(_random_genome(problem, rng)) for _ in range(population)]
+    evaluations = population
+    best = min(pop, key=lambda c: c.score)
+
+    def pick() -> Candidate:
+        contenders = [rng.choice(pop) for _ in range(tournament)]
+        return min(contenders, key=lambda c: c.score)
+
+    for _ in range(generations):
+        next_pop = [best]  # elitism
+        while len(next_pop) < population:
+            parent_a, parent_b = pick(), pick()
+            if rng.random() < crossover_rate and len(bounds) > 1:
+                cut = rng.randrange(1, len(bounds))
+                child = parent_a.genome[:cut] + parent_b.genome[cut:]
+            else:
+                child = list(parent_a.genome)
+            for i in range(len(child)):
+                if rng.random() < mutation_rate:
+                    child[i] = rng.randrange(bounds[i])
+            candidate = evaluate(child)
+            evaluations += 1
+            next_pop.append(candidate)
+        pop = next_pop
+        generation_best = min(pop, key=lambda c: c.score)
+        if generation_best.score < best.score:
+            best = generation_best
+    return SearchResult(best, archive, evaluations, "ga")
+
+
+def annealing_search(
+    problem: MappingProblem,
+    streams: RngStreams,
+    *,
+    budget: int = 600,
+    initial_temperature: float = 500.0,
+    cooling: float = 0.995,
+    stream: str = "dse.sa",
+) -> SearchResult:
+    """Simulated annealing over single-gene moves."""
+    rng = streams.stream(stream)
+    bounds = problem.genome_bounds()
+    archive = ParetoArchive()
+    current_genome = _random_genome(problem, rng)
+    current = Candidate(current_genome, problem.evaluate_genome(current_genome))
+    archive.offer(current)
+    best = current
+    temperature = initial_temperature
+    for _ in range(budget):
+        neighbour = list(current.genome)
+        position = rng.randrange(len(bounds))
+        neighbour[position] = rng.randrange(bounds[position])
+        candidate = Candidate(neighbour, problem.evaluate_genome(neighbour))
+        archive.offer(candidate)
+        delta = candidate.score - current.score
+        if delta <= 0 or rng.random() < math.exp(-delta / max(temperature, 1e-9)):
+            current = candidate
+        if candidate.score < best.score:
+            best = candidate
+        temperature *= cooling
+    return SearchResult(best, archive, budget + 1, "sa")

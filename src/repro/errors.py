@@ -1,0 +1,52 @@
+"""Exception hierarchy for the repro package.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch the whole family with one handler while still distinguishing the
+individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """An inconsistency was detected inside the discrete-event kernel."""
+
+
+class ConfigurationError(ReproError):
+    """A component was configured with invalid or contradictory parameters."""
+
+
+class ModelError(ReproError):
+    """A system model (DSL artifact) is malformed."""
+
+
+class VerificationError(ReproError):
+    """The verification engine rejected a model or deployment."""
+
+
+class SchedulingError(ReproError):
+    """A schedule could not be constructed or was violated at runtime."""
+
+
+class AdmissionError(ReproError):
+    """The platform rejected an application at admission control."""
+
+
+class UpdateError(ReproError):
+    """A staged update could not be carried out safely."""
+
+
+class SecurityError(ReproError):
+    """A security check (signature, authentication, authorization) failed."""
+
+
+class NetworkError(ReproError):
+    """A frame could not be transmitted or routed."""
+
+
+class PlatformError(ReproError):
+    """The dynamic platform detected an illegal lifecycle transition."""

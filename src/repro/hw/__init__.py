@@ -1,0 +1,32 @@
+"""Hardware models: ECU specs, buses and vehicle topologies."""
+
+from .catalog import (
+    catalog_specs,
+    centralized_topology,
+    domain_controller,
+    federated_topology,
+    infotainment_unit,
+    legacy_ecu,
+    platform_computer,
+    weak_ecu,
+)
+from .ecu import CRYPTO_RATES, CryptoCapability, EcuSpec, EcuState, OsClass
+from .topology import BusSpec, Topology
+
+__all__ = [
+    "BusSpec",
+    "CRYPTO_RATES",
+    "CryptoCapability",
+    "EcuSpec",
+    "EcuState",
+    "OsClass",
+    "Topology",
+    "catalog_specs",
+    "centralized_topology",
+    "domain_controller",
+    "federated_topology",
+    "infotainment_unit",
+    "legacy_ecu",
+    "platform_computer",
+    "weak_ecu",
+]

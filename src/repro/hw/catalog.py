@@ -1,0 +1,182 @@
+"""A catalog of representative automotive ECU classes and topologies.
+
+The classes follow the paper's Section 1: legacy ECUs with "CPUs with
+200 MHz or less", infotainment as the exception, and future consolidated
+high-performance platform computers (the RACE-style central platform of
+Section 5.2).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .ecu import CryptoCapability, EcuSpec, OsClass
+from .topology import BusSpec, Topology
+
+
+def legacy_ecu(name: str, **overrides) -> EcuSpec:
+    """A classic single-function ECU: 200 MHz, no MMU, CAN only."""
+    params = dict(
+        name=name,
+        cpu_mhz=200.0,
+        cores=1,
+        memory_kib=512,
+        flash_kib=2048,
+        has_mmu=False,
+        crypto=CryptoCapability.SOFTWARE,
+        os_class=OsClass.RTOS,
+        ports=(("can0", "can"),),
+        unit_cost=20.0,
+    )
+    params.update(overrides)
+    return EcuSpec(**params)
+
+
+def weak_ecu(name: str, **overrides) -> EcuSpec:
+    """A cost-optimised sensor/actuator ECU without usable crypto (Section 4.1)."""
+    params = dict(
+        name=name,
+        cpu_mhz=80.0,
+        cores=1,
+        memory_kib=128,
+        flash_kib=512,
+        has_mmu=False,
+        crypto=CryptoCapability.NONE,
+        os_class=OsClass.BARE_METAL,
+        ports=(("can0", "can"),),
+        unit_cost=8.0,
+    )
+    params.update(overrides)
+    return EcuSpec(**params)
+
+
+def domain_controller(name: str, **overrides) -> EcuSpec:
+    """A domain controller: multicore, MMU, FlexRay + Ethernet + CAN."""
+    params = dict(
+        name=name,
+        cpu_mhz=800.0,
+        cores=2,
+        memory_kib=64 * 1024,
+        flash_kib=256 * 1024,
+        has_mmu=True,
+        crypto=CryptoCapability.SOFTWARE,
+        os_class=OsClass.POSIX_RT,
+        ports=(("can0", "can"), ("fr0", "flexray"), ("eth0", "ethernet")),
+        unit_cost=90.0,
+    )
+    params.update(overrides)
+    return EcuSpec(**params)
+
+
+def platform_computer(name: str, **overrides) -> EcuSpec:
+    """A consolidated central platform computer hosting the dynamic platform."""
+    params = dict(
+        name=name,
+        cpu_mhz=2000.0,
+        cores=8,
+        memory_kib=4 * 1024 * 1024,
+        flash_kib=32 * 1024 * 1024,
+        has_mmu=True,
+        has_gpu=True,
+        crypto=CryptoCapability.ACCELERATED,
+        os_class=OsClass.POSIX_RT,
+        ports=(("eth0", "ethernet"), ("eth1", "ethernet"), ("can0", "can")),
+        unit_cost=450.0,
+    )
+    params.update(overrides)
+    return EcuSpec(**params)
+
+
+def infotainment_unit(name: str, **overrides) -> EcuSpec:
+    """The head unit: fast but general-purpose OS — NDAs only."""
+    params = dict(
+        name=name,
+        cpu_mhz=1500.0,
+        cores=4,
+        memory_kib=2 * 1024 * 1024,
+        flash_kib=16 * 1024 * 1024,
+        has_mmu=True,
+        has_gpu=True,
+        crypto=CryptoCapability.SOFTWARE,
+        os_class=OsClass.POSIX_GP,
+        ports=(("eth0", "ethernet"),),
+        unit_cost=200.0,
+    )
+    params.update(overrides)
+    return EcuSpec(**params)
+
+
+def federated_topology(n_function_ecus: int = 12) -> Topology:
+    """A Figure-1-style federated architecture: one ECU per function.
+
+    ``n_function_ecus`` legacy ECUs spread over two CAN segments joined by a
+    gateway domain controller, plus an infotainment unit on Ethernet.
+    """
+    topo = Topology("federated")
+    can_a = topo.add_bus(BusSpec("can_powertrain", "can", 500_000.0))
+    can_b = topo.add_bus(BusSpec("can_body", "can", 250_000.0))
+    eth = topo.add_bus(BusSpec("eth_info", "ethernet", 100_000_000.0))
+
+    gateway = domain_controller("gateway")
+    topo.add_ecu(gateway)
+    topo.attach("gateway", "can0", can_a.name)
+    topo.attach("gateway", "eth0", eth.name)
+
+    bridge = domain_controller("body_gateway")
+    topo.add_ecu(bridge)
+    topo.attach("body_gateway", "can0", can_b.name)
+    topo.attach("body_gateway", "eth0", eth.name)
+
+    for i in range(n_function_ecus):
+        bus = can_a if i % 2 == 0 else can_b
+        ecu = legacy_ecu(f"ecu_{i:02d}")
+        topo.add_ecu(ecu)
+        topo.attach(ecu.name, "can0", bus.name)
+
+    head = infotainment_unit("head_unit")
+    topo.add_ecu(head)
+    topo.attach("head_unit", "eth0", eth.name)
+    return topo
+
+
+def centralized_topology(n_platforms: int = 2, tsn: bool = True) -> Topology:
+    """A consolidated architecture: platform computers on a TSN backbone.
+
+    ``n_platforms`` platform computers (>=2 gives hardware redundancy,
+    Section 3.3) plus a zone of legacy sensors/actuators on CAN bridged
+    through the first platform computer.
+    """
+    if n_platforms < 1:
+        raise ValueError("need at least one platform computer")
+    topo = Topology("centralized")
+    backbone = topo.add_bus(
+        BusSpec("eth_backbone", "ethernet", 1_000_000_000.0, tsn_capable=tsn)
+    )
+    can_zone = topo.add_bus(BusSpec("can_zone", "can", 500_000.0))
+
+    for i in range(n_platforms):
+        pc = platform_computer(f"platform_{i}")
+        topo.add_ecu(pc)
+        topo.attach(pc.name, "eth0", backbone.name)
+    topo.attach("platform_0", "can0", can_zone.name)
+
+    for i in range(4):
+        sensor = weak_ecu(f"zone_sensor_{i}")
+        topo.add_ecu(sensor)
+        topo.attach(sensor.name, "can0", can_zone.name)
+
+    head = infotainment_unit("head_unit")
+    topo.add_ecu(head)
+    topo.attach("head_unit", "eth0", backbone.name)
+    return topo
+
+
+def catalog_specs() -> List[EcuSpec]:
+    """One example of every ECU class (for docs and quick experiments)."""
+    return [
+        legacy_ecu("legacy_example"),
+        weak_ecu("weak_example"),
+        domain_controller("domain_example"),
+        platform_computer("platform_example"),
+        infotainment_unit("infotainment_example"),
+    ]

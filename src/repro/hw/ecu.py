@@ -1,0 +1,190 @@
+"""Electronic Control Unit (ECU) resource models.
+
+An :class:`EcuSpec` is a static description of a control unit's resources —
+the attributes the paper's modeling approach says the hardware DSL must
+capture (Section 2.2): computational and storage resources, hardware support
+for encryption, and the network interfaces connecting it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Optional, Tuple
+
+from ..errors import ConfigurationError
+
+
+class OsClass(Enum):
+    """Operating-system class running on an ECU.
+
+    The paper (Section 1.1) distinguishes RTOSs, required for deterministic
+    applications, from general-purpose (POSIX, non-real-time) OSs that may
+    only host non-deterministic applications.
+    """
+
+    RTOS = "rtos"
+    POSIX_RT = "posix_rt"
+    POSIX_GP = "posix_gp"
+    BARE_METAL = "bare_metal"
+
+    @property
+    def supports_deterministic(self) -> bool:
+        """Whether deterministic applications may run on this OS class."""
+        return self in (OsClass.RTOS, OsClass.POSIX_RT, OsClass.BARE_METAL)
+
+
+class CryptoCapability(Enum):
+    """How fast an ECU can perform cryptographic operations (Section 4.1)."""
+
+    NONE = "none"          # cannot verify signatures at all
+    SOFTWARE = "software"  # slow software crypto
+    ACCELERATED = "accelerated"  # dedicated crypto hardware
+
+
+#: Relative crypto throughput per capability class, in bytes/second of
+#: signature-verification work.  SOFTWARE on a 200 MHz-class ECU is slow;
+#: an accelerator is ~50x faster.  NONE maps to zero (delegation required).
+CRYPTO_RATES: Dict[CryptoCapability, float] = {
+    CryptoCapability.NONE: 0.0,
+    CryptoCapability.SOFTWARE: 200_000.0,
+    CryptoCapability.ACCELERATED: 10_000_000.0,
+}
+
+
+@dataclass(frozen=True)
+class EcuSpec:
+    """Static resource description of an ECU.
+
+    Attributes:
+        name: unique identifier within a topology.
+        cpu_mhz: clock rate of each core; WCETs in the workload model are
+            normalised to a 200 MHz reference core, so a 1000 MHz ECU runs
+            a task in 1/5 of its reference WCET.
+        cores: number of identical cores.
+        memory_kib: RAM available to applications.
+        flash_kib: persistent storage for application images.
+        has_mmu: whether memory protection between processes is available —
+            the paper calls this out as a hardware requirement for freedom
+            of interference in memory.
+        has_gpu: accelerator availability for neural-network workloads.
+        crypto: cryptographic capability class.
+        os_class: operating system installed.
+        ports: names of network interfaces, mapped to the bus technology
+            they attach to ("can", "flexray", "ethernet").
+    """
+
+    name: str
+    cpu_mhz: float = 200.0
+    cores: int = 1
+    memory_kib: int = 512
+    flash_kib: int = 2048
+    has_mmu: bool = False
+    has_gpu: bool = False
+    crypto: CryptoCapability = CryptoCapability.SOFTWARE
+    os_class: OsClass = OsClass.RTOS
+    ports: Tuple[Tuple[str, str], ...] = (("can0", "can"),)
+    unit_cost: float = 25.0
+
+    def __post_init__(self) -> None:
+        if self.cpu_mhz <= 0:
+            raise ConfigurationError(f"{self.name}: cpu_mhz must be positive")
+        if self.cores < 1:
+            raise ConfigurationError(f"{self.name}: cores must be >= 1")
+        if self.memory_kib < 0 or self.flash_kib < 0:
+            raise ConfigurationError(f"{self.name}: negative memory")
+        port_names = [p for p, _t in self.ports]
+        if len(port_names) != len(set(port_names)):
+            raise ConfigurationError(f"{self.name}: duplicate port names")
+
+    @property
+    def speed_factor(self) -> float:
+        """Execution-speed multiplier relative to the 200 MHz reference."""
+        return self.cpu_mhz / 200.0
+
+    @property
+    def crypto_rate(self) -> float:
+        """Signature-verification throughput in bytes/second."""
+        return CRYPTO_RATES[self.crypto]
+
+    @property
+    def total_capacity(self) -> float:
+        """Aggregate normalised compute capacity (cores x speed factor)."""
+        return self.cores * self.speed_factor
+
+    def port_technology(self, port: str) -> str:
+        """Return the bus technology of ``port``.
+
+        Raises:
+            ConfigurationError: if the ECU has no such port.
+        """
+        for name, tech in self.ports:
+            if name == port:
+                return tech
+        raise ConfigurationError(f"{self.name}: unknown port {port!r}")
+
+    def scale_wcet(self, reference_wcet: float) -> float:
+        """Convert a reference-core WCET to this ECU's execution time."""
+        return reference_wcet / self.speed_factor
+
+
+@dataclass
+class EcuState:
+    """Mutable runtime state of an ECU inside a simulation.
+
+    Tracks resource occupancy so that admission control and the monitors can
+    observe memory and flash headroom, and whether the unit has failed.
+    """
+
+    spec: EcuSpec
+    memory_used_kib: float = 0.0
+    flash_used_kib: float = 0.0
+    failed: bool = False
+    failure_time: Optional[float] = None
+    labels: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def memory_free_kib(self) -> float:
+        return self.spec.memory_kib - self.memory_used_kib
+
+    @property
+    def flash_free_kib(self) -> float:
+        return self.spec.flash_kib - self.flash_used_kib
+
+    def allocate_memory(self, kib: float) -> None:
+        """Reserve RAM; raises if the ECU would be oversubscribed."""
+        if kib < 0:
+            raise ConfigurationError("cannot allocate negative memory")
+        if kib > self.memory_free_kib:
+            raise ConfigurationError(
+                f"{self.spec.name}: out of memory "
+                f"({kib} KiB requested, {self.memory_free_kib} free)"
+            )
+        self.memory_used_kib += kib
+
+    def free_memory(self, kib: float) -> None:
+        """Return RAM previously taken with :meth:`allocate_memory`."""
+        self.memory_used_kib = max(0.0, self.memory_used_kib - kib)
+
+    def allocate_flash(self, kib: float) -> None:
+        """Reserve flash; raises if the image store would overflow."""
+        if kib > self.flash_free_kib:
+            raise ConfigurationError(
+                f"{self.spec.name}: out of flash "
+                f"({kib} KiB requested, {self.flash_free_kib} free)"
+            )
+        self.flash_used_kib += kib
+
+    def free_flash(self, kib: float) -> None:
+        """Return flash previously taken with :meth:`allocate_flash`."""
+        self.flash_used_kib = max(0.0, self.flash_used_kib - kib)
+
+    def fail(self, time: float) -> None:
+        """Mark the ECU as failed (fault injection)."""
+        self.failed = True
+        self.failure_time = time
+
+    def recover(self) -> None:
+        """Clear the failure flag (repair / restart)."""
+        self.failed = False
+        self.failure_time = None

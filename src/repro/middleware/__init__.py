@@ -1,0 +1,67 @@
+"""Service-oriented middleware: SOME/IP-style messaging, discovery and the
+event / message / stream communication paradigms of the paper's Figure 3."""
+
+from .durability import (
+    DeadlineMonitor,
+    DeadlineViolation,
+    DurableEventProducer,
+)
+from .endpoint import (
+    Endpoint,
+    MessageHandler,
+    QOS_BULK,
+    QOS_CONTROL,
+    QOS_DEFAULT,
+    QoS,
+)
+from .paradigms import (
+    EventConsumer,
+    EventProducer,
+    RpcClient,
+    RpcServer,
+    StreamSink,
+    StreamSource,
+)
+from .registry import BindingGuard, ServiceOffer, ServiceRegistry, Subscription
+from .wire import (
+    CAN_SEGMENT_PAYLOAD,
+    ETH_SEGMENT_PAYLOAD,
+    FLEXRAY_SEGMENT_PAYLOAD,
+    HEADER_BYTES,
+    Message,
+    MessageType,
+    ReturnCode,
+    segment_payload_for,
+    segments_needed,
+)
+
+__all__ = [
+    "BindingGuard",
+    "CAN_SEGMENT_PAYLOAD",
+    "DeadlineMonitor",
+    "DeadlineViolation",
+    "DurableEventProducer",
+    "ETH_SEGMENT_PAYLOAD",
+    "Endpoint",
+    "EventConsumer",
+    "EventProducer",
+    "FLEXRAY_SEGMENT_PAYLOAD",
+    "HEADER_BYTES",
+    "Message",
+    "MessageHandler",
+    "MessageType",
+    "QOS_BULK",
+    "QOS_CONTROL",
+    "QOS_DEFAULT",
+    "QoS",
+    "ReturnCode",
+    "RpcClient",
+    "RpcServer",
+    "ServiceOffer",
+    "ServiceRegistry",
+    "StreamSink",
+    "StreamSource",
+    "Subscription",
+    "segment_payload_for",
+    "segments_needed",
+]

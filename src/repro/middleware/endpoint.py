@@ -1,0 +1,247 @@
+"""Middleware endpoint: one per ECU.
+
+The endpoint turns :class:`~repro.middleware.wire.Message` objects into
+bus frames (segmenting to the smallest MTU along the route), reassembles
+incoming segments, and dispatches complete messages to registered
+handlers.  It also implements service discovery round trips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import ConfigurationError, NetworkError
+from ..network import TrafficClass, VehicleNetwork
+from ..sim import Signal, Simulator
+from .registry import ServiceOffer, ServiceRegistry
+from .wire import (
+    HEADER_BYTES,
+    Message,
+    MessageType,
+    ReturnCode,
+    segment_payload_for,
+    segments_needed,
+)
+
+#: Handler signature for incoming messages.
+MessageHandler = Callable[[Message], None]
+
+
+@dataclass(frozen=True)
+class QoS:
+    """Quality-of-service attributes of a transmission.
+
+    Attributes:
+        priority: technology-neutral priority (CAN-style: lower = more
+            urgent, 0..2047).
+        traffic_class: deterministic transmissions ride protected bus
+            mechanisms (CAN low IDs, FlexRay static slots, TSN gates).
+        deadline: optional end-to-end latency requirement, used by
+            monitors and verification (not enforced by the network).
+    """
+
+    priority: int = 0x300
+    traffic_class: TrafficClass = TrafficClass.NON_DETERMINISTIC
+    deadline: Optional[float] = None
+
+
+#: QoS presets mirroring the application model.
+QOS_CONTROL = QoS(priority=0x040, traffic_class=TrafficClass.DETERMINISTIC)
+QOS_DEFAULT = QoS()
+QOS_BULK = QoS(priority=0x700, traffic_class=TrafficClass.NON_DETERMINISTIC)
+
+
+class Endpoint:
+    """Middleware instance bound to one ECU."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: VehicleNetwork,
+        ecu_name: str,
+        registry: ServiceRegistry,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.ecu_name = ecu_name
+        self.registry = registry
+        self._handlers: Dict[Tuple[int, MessageType], List[MessageHandler]] = {}
+        self._default_handlers: List[MessageHandler] = []
+        #: (session_id) -> [received segments, needed, message]
+        self._reassembly: Dict[int, List] = {}
+        self.messages_sent = 0
+        self.messages_received = 0
+        self.detached = False
+        network.register_receiver(ecu_name, self._on_frame)
+
+    # -- handler registration ---------------------------------------------------
+
+    def on_message(
+        self, service_id: int, msg_type: MessageType, handler: MessageHandler
+    ) -> None:
+        """Dispatch messages of (service, type) to ``handler``.
+
+        Multiple handlers may coexist (e.g. a consumer plus a deadline
+        monitor); all of them are invoked in registration order.
+        """
+        self._handlers.setdefault((service_id, msg_type), []).append(handler)
+
+    def on_any_message(self, handler: MessageHandler) -> None:
+        """Fallback handler for messages without a specific registration."""
+        self._default_handlers.append(handler)
+
+    def detach(self) -> None:
+        """Disconnect from the network (ECU failure / shutdown)."""
+        self.detached = True
+        self.network.unregister_receiver(self.ecu_name)
+
+    def reattach(self) -> None:
+        """Reconnect after recovery."""
+        self.detached = False
+        self.network.register_receiver(self.ecu_name, self._on_frame)
+
+    # -- sending ---------------------------------------------------------------
+
+    def send(self, message: Message, qos: QoS = QOS_DEFAULT) -> Signal:
+        """Transmit ``message``; the signal fires (with the message) once
+        the destination has reassembled all segments.
+
+        Local delivery (dst == own ECU) bypasses the network with zero
+        latency, mirroring RTE-local communication.
+        """
+        done = self.sim.signal(name=f"mw.{message.src}->{message.dst}")
+        self.messages_sent += 1
+        if message.dst == self.ecu_name:
+            self.sim.schedule(0.0, self._deliver_local, message, done)
+            return done
+        self._transmit(self.ecu_name, message, qos, done)
+        return done
+
+    def _segment_sizes(self, src: str, message: Message) -> List[int]:
+        """Frame payload sizes (bytes on each frame) for the live route."""
+        route_buses = self.network.route_buses(src, message.dst)
+        min_segment = min(
+            segment_payload_for(spec.technology) for spec in route_buses
+        )
+        total = message.total_bytes
+        n_segments = segments_needed(total, min_segment)
+        sizes = []
+        remaining = total
+        can_route = min_segment == segment_payload_for("can")
+        for _ in range(n_segments):
+            seg = min(min_segment, remaining) if remaining > 0 else 0
+            remaining -= seg
+            # ISO-TP style: one transport byte per CAN frame
+            sizes.append(min(seg + 1, 8) if can_route else max(seg, 1))
+        return sizes
+
+    def _transmit(self, src: str, message: Message, qos: QoS, done: Signal) -> None:
+        sizes = self._segment_sizes(src, message)
+        n_segments = len(sizes)
+        for index, frame_payload in enumerate(sizes):
+            marker = (message, index, n_segments, done)
+            self.network.send(
+                src,
+                message.dst,
+                frame_payload,
+                priority=qos.priority,
+                traffic_class=qos.traffic_class,
+                payload=marker,
+                label=f"svc{message.service_id:04x}.{message.msg_type.value}",
+            )
+
+    def _deliver_local(self, message: Message, done: Signal) -> None:
+        self.messages_received += 1
+        self._dispatch(message)
+        done.fire(message)
+
+    # -- receiving --------------------------------------------------------------
+
+    def _on_frame(self, frame) -> None:
+        if self.detached:
+            return
+        marker = frame.payload
+        if not isinstance(marker, tuple) or len(marker) != 4:
+            return  # not a middleware frame
+        message, index, n_segments, done = marker
+        if message.dst != self.ecu_name:
+            return
+        state = self._reassembly.get(message.session_id)
+        if state is None:
+            state = [0, n_segments, message, done]
+            self._reassembly[message.session_id] = state
+        state[0] += 1
+        if state[0] >= state[1]:
+            del self._reassembly[message.session_id]
+            self.messages_received += 1
+            self._dispatch(message)
+            if not done.fired:
+                done.fire(message)
+
+    def _dispatch(self, message: Message) -> None:
+        self.sim.trace(
+            "mw.delivery",
+            ecu=self.ecu_name,
+            service=message.service_id,
+            type=message.msg_type.value,
+            session=message.session_id,
+            size=message.payload_bytes,
+        )
+        handlers = self._handlers.get((message.service_id, message.msg_type))
+        if handlers:
+            for handler in list(handlers):
+                handler(message)
+            return
+        for fallback in self._default_handlers:
+            fallback(message)
+
+    # -- discovery ---------------------------------------------------------------
+
+    def discover(
+        self, service_id: int, *, client_app: str = ""
+    ) -> Signal:
+        """Resolve a service over the network (FIND/OFFER round trip).
+
+        The returned signal fires with the :class:`ServiceOffer`.  The
+        directory lookup is authoritative; the round trip to the provider
+        models SOME/IP-SD latency.  Raises synchronously on unknown
+        services or denied bindings.
+        """
+        offer = self.registry.find(
+            service_id, client_app=client_app, client_ecu=self.ecu_name
+        )
+        result = self.sim.signal(name=f"sd.{service_id:04x}")
+        if offer.ecu == self.ecu_name:
+            self.sim.schedule(0.0, result.fire, offer)
+            return result
+        find_msg = Message(
+            service_id=service_id,
+            method_id=0,
+            msg_type=MessageType.FIND_SERVICE,
+            payload_bytes=16,
+            src=self.ecu_name,
+            dst=offer.ecu,
+        )
+
+        def on_find_done(_msg) -> None:
+            offer_msg = Message(
+                service_id=service_id,
+                method_id=0,
+                msg_type=MessageType.OFFER_SERVICE,
+                payload_bytes=32,
+                src=offer.ecu,
+                dst=self.ecu_name,
+            )
+            back = self.sim.signal()
+            back.add_callback(lambda _m: result.fire(offer))
+            self._send_from(offer.ecu, offer_msg, QOS_DEFAULT, back)
+
+        self.send(find_msg, QOS_DEFAULT).add_callback(on_find_done)
+        return result
+
+    def _send_from(
+        self, src_ecu: str, message: Message, qos: QoS, done: Signal
+    ) -> None:
+        """Send a message on behalf of another ECU (SD reply modelling)."""
+        self._transmit(src_ecu, message, qos, done)

@@ -1,0 +1,431 @@
+"""The three communication paradigms of Section 2.1 / Figure 3.
+
+* **Event** — one-way publish/subscribe.  The interface owner is the
+  *producer*; consumers subscribe to a topic and receive notifications.
+* **Message** — two-way request/response enabling RPC.  The interface
+  owner is the *consumer offering the service*.
+* **Stream** — one-way continuous data where each sample depends on its
+  predecessors; the sink only releases a sample once every earlier sample
+  has arrived (head-of-line semantics of a codec).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..errors import ConfigurationError, NetworkError
+from ..sim import Signal
+from .endpoint import Endpoint, QOS_DEFAULT, QoS
+from .registry import ServiceOffer, ServiceRegistry
+from .wire import Message, MessageType, ReturnCode
+
+
+# ---------------------------------------------------------------------------
+# Event paradigm
+# ---------------------------------------------------------------------------
+
+
+class EventProducer:
+    """Owner side of an event interface: offers a topic, publishes data."""
+
+    def __init__(
+        self,
+        endpoint: Endpoint,
+        service_id: int,
+        eventgroup: int,
+        *,
+        provider_app: str,
+        instance_id: int = 1,
+    ) -> None:
+        self.endpoint = endpoint
+        self.service_id = service_id
+        self.eventgroup = eventgroup
+        self.provider_app = provider_app
+        self.published = 0
+        endpoint.registry.offer(
+            ServiceOffer(
+                service_id=service_id,
+                instance_id=instance_id,
+                ecu=endpoint.ecu_name,
+                provider_app=provider_app,
+            )
+        )
+        endpoint.on_message(service_id, MessageType.SUBSCRIBE, self._on_subscribe)
+
+    def _on_subscribe(self, message: Message) -> None:
+        ack = Message(
+            service_id=self.service_id,
+            method_id=self.eventgroup,
+            msg_type=MessageType.SUBSCRIBE_ACK,
+            payload_bytes=8,
+            src=self.endpoint.ecu_name,
+            dst=message.src,
+        )
+        self.endpoint.send(ack, QOS_DEFAULT)
+
+    def publish(
+        self, payload: object, payload_bytes: int, qos: QoS = QOS_DEFAULT
+    ) -> List[Signal]:
+        """Send a notification to every active subscriber.
+
+        Returns one delivery signal per subscriber (empty list if nobody
+        listens — publishing into the void is legal).
+        """
+        self.published += 1
+        signals = []
+        for sub in self.endpoint.registry.subscribers(
+            self.service_id, self.eventgroup
+        ):
+            note = Message(
+                service_id=self.service_id,
+                method_id=self.eventgroup,
+                msg_type=MessageType.NOTIFICATION,
+                payload_bytes=payload_bytes,
+                src=self.endpoint.ecu_name,
+                dst=sub.client_ecu,
+                payload=payload,
+                sender_app=self.provider_app,
+            )
+            signals.append(self.endpoint.send(note, qos))
+        return signals
+
+
+class EventConsumer:
+    """Consumer side: subscribes to a topic and receives notifications."""
+
+    def __init__(
+        self,
+        endpoint: Endpoint,
+        service_id: int,
+        eventgroup: int,
+        *,
+        client_app: str,
+        on_data: Callable[[Message], None],
+    ) -> None:
+        self.endpoint = endpoint
+        self.service_id = service_id
+        self.eventgroup = eventgroup
+        self.client_app = client_app
+        self.on_data = on_data
+        self.received = 0
+        self.subscribed = endpoint.sim.signal(name=f"sub.{service_id:04x}")
+        endpoint.on_message(service_id, MessageType.NOTIFICATION, self._on_note)
+        endpoint.on_message(service_id, MessageType.SUBSCRIBE_ACK, self._on_ack)
+        self._subscribe()
+
+    def _subscribe(self) -> None:
+        # registry side first (authorization enforced here) ...
+        offer = self.endpoint.registry.find(
+            self.service_id,
+            client_app=self.client_app,
+            client_ecu=self.endpoint.ecu_name,
+        )
+        self.endpoint.registry.subscribe(
+            self.service_id, self.eventgroup, self.client_app, self.endpoint.ecu_name
+        )
+        # ... then the on-wire subscribe round trip
+        sub = Message(
+            service_id=self.service_id,
+            method_id=self.eventgroup,
+            msg_type=MessageType.SUBSCRIBE,
+            payload_bytes=16,
+            src=self.endpoint.ecu_name,
+            dst=offer.ecu,
+            sender_app=self.client_app,
+        )
+        self.endpoint.send(sub, QOS_DEFAULT)
+
+    def _on_ack(self, message: Message) -> None:
+        if not self.subscribed.fired:
+            self.subscribed.fire(message)
+
+    def _on_note(self, message: Message) -> None:
+        self.received += 1
+        self.on_data(message)
+
+    def unsubscribe(self) -> None:
+        self.endpoint.registry.unsubscribe(
+            self.service_id, self.eventgroup, self.client_app
+        )
+
+
+# ---------------------------------------------------------------------------
+# Message (RPC) paradigm
+# ---------------------------------------------------------------------------
+
+
+class RpcServer:
+    """Owner side of a message interface: offers callable methods."""
+
+    def __init__(
+        self,
+        endpoint: Endpoint,
+        service_id: int,
+        *,
+        provider_app: str,
+        instance_id: int = 1,
+    ) -> None:
+        self.endpoint = endpoint
+        self.service_id = service_id
+        self.provider_app = provider_app
+        self._methods: Dict[int, Callable[[Message], object]] = {}
+        self._method_latency: Dict[int, float] = {}
+        self.calls_served = 0
+        endpoint.registry.offer(
+            ServiceOffer(
+                service_id=service_id,
+                instance_id=instance_id,
+                ecu=endpoint.ecu_name,
+                provider_app=provider_app,
+            )
+        )
+        endpoint.on_message(service_id, MessageType.REQUEST, self._on_request)
+
+    def register_method(
+        self,
+        method_id: int,
+        handler: Callable[[Message], object],
+        *,
+        latency: float = 0.0,
+    ) -> None:
+        """Expose ``handler`` as method ``method_id``.
+
+        ``latency`` models the provider-side processing time before the
+        response goes out.
+        """
+        self._methods[method_id] = handler
+        self._method_latency[method_id] = latency
+
+    def _on_request(self, request: Message) -> None:
+        handler = self._methods.get(request.method_id)
+        if handler is None:
+            self._respond(request, None, 0, ReturnCode.UNKNOWN_METHOD)
+            return
+        latency = self._method_latency[request.method_id]
+        if latency > 0:
+            self.endpoint.sim.schedule(latency, self._serve, request, handler)
+        else:
+            self._serve(request, handler)
+
+    def _serve(self, request: Message, handler: Callable[[Message], object]) -> None:
+        self.calls_served += 1
+        result = handler(request)
+        payload_bytes = 8
+        if isinstance(result, tuple) and len(result) == 2:
+            result, payload_bytes = result
+        self._respond(request, result, payload_bytes, ReturnCode.OK)
+
+    def _respond(
+        self,
+        request: Message,
+        payload: object,
+        payload_bytes: int,
+        code: ReturnCode,
+    ) -> None:
+        response = Message(
+            service_id=self.service_id,
+            method_id=request.method_id,
+            msg_type=MessageType.RESPONSE,
+            payload_bytes=payload_bytes,
+            src=self.endpoint.ecu_name,
+            dst=request.src,
+            payload=payload,
+            session_id=request.session_id,
+            return_code=code,
+            sender_app=self.provider_app,
+        )
+        self.endpoint.send(response, QOS_DEFAULT)
+
+
+class RpcClient:
+    """Caller side of a message interface."""
+
+    def __init__(
+        self,
+        endpoint: Endpoint,
+        service_id: int,
+        *,
+        client_app: str,
+    ) -> None:
+        self.endpoint = endpoint
+        self.service_id = service_id
+        self.client_app = client_app
+        self._pending: Dict[int, Signal] = {}
+        self.calls_made = 0
+        self.timeouts = 0
+        endpoint.on_message(service_id, MessageType.RESPONSE, self._on_response)
+
+    def call(
+        self,
+        method_id: int,
+        payload: object = None,
+        payload_bytes: int = 16,
+        *,
+        qos: QoS = QOS_DEFAULT,
+        timeout: Optional[float] = None,
+    ) -> Signal:
+        """Invoke a method; the signal fires with the response message.
+
+        On timeout the signal fires with ``None`` instead.
+        """
+        offer = self.endpoint.registry.find(
+            self.service_id,
+            client_app=self.client_app,
+            client_ecu=self.endpoint.ecu_name,
+        )
+        request = Message(
+            service_id=self.service_id,
+            method_id=method_id,
+            msg_type=MessageType.REQUEST,
+            payload_bytes=payload_bytes,
+            src=self.endpoint.ecu_name,
+            dst=offer.ecu,
+            payload=payload,
+            sender_app=self.client_app,
+        )
+        self.calls_made += 1
+        result = self.endpoint.sim.signal(name=f"rpc.{self.service_id:04x}")
+        self._pending[request.session_id] = result
+        if timeout is not None:
+            self.endpoint.sim.schedule(
+                timeout, self._expire, request.session_id
+            )
+        self.endpoint.send(request, qos)
+        return result
+
+    def _on_response(self, response: Message) -> None:
+        waiter = self._pending.pop(response.session_id, None)
+        if waiter is not None and not waiter.fired:
+            waiter.fire(response)
+
+    def _expire(self, session_id: int) -> None:
+        waiter = self._pending.pop(session_id, None)
+        if waiter is not None and not waiter.fired:
+            self.timeouts += 1
+            waiter.fire(None)
+
+
+# ---------------------------------------------------------------------------
+# Stream paradigm
+# ---------------------------------------------------------------------------
+
+
+class StreamSource:
+    """Producer of a continuous, order-dependent sample stream."""
+
+    def __init__(
+        self,
+        endpoint: Endpoint,
+        service_id: int,
+        channel: int,
+        *,
+        provider_app: str,
+        sample_bytes: int,
+        period: float,
+        qos: QoS = QOS_DEFAULT,
+        instance_id: int = 1,
+    ) -> None:
+        if period <= 0:
+            raise ConfigurationError("stream period must be positive")
+        self.endpoint = endpoint
+        self.service_id = service_id
+        self.channel = channel
+        self.provider_app = provider_app
+        self.sample_bytes = sample_bytes
+        self.period = period
+        self.qos = qos
+        self.sequence = 0
+        self._running = False
+        self._dst: Optional[str] = None
+        endpoint.registry.offer(
+            ServiceOffer(
+                service_id=service_id,
+                instance_id=instance_id,
+                ecu=endpoint.ecu_name,
+                provider_app=provider_app,
+            )
+        )
+
+    def start(self, dst_ecu: str, n_samples: Optional[int] = None) -> None:
+        """Begin streaming to ``dst_ecu`` (``n_samples`` bounds the run)."""
+        self._dst = dst_ecu
+        self._running = True
+        self._remaining = n_samples
+        self._emit()
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _emit(self) -> None:
+        if not self._running or self._dst is None:
+            return
+        if self._remaining is not None:
+            if self._remaining <= 0:
+                self._running = False
+                return
+            self._remaining -= 1
+        sample = Message(
+            service_id=self.service_id,
+            method_id=self.channel,
+            msg_type=MessageType.STREAM_SAMPLE,
+            payload_bytes=self.sample_bytes,
+            src=self.endpoint.ecu_name,
+            dst=self._dst,
+            sequence=self.sequence,
+            payload={"seq": self.sequence, "t": self.endpoint.sim.now},
+            sender_app=self.provider_app,
+        )
+        self.sequence += 1
+        self.endpoint.send(sample, self.qos)
+        self.endpoint.sim.schedule(self.period, self._emit)
+
+
+class StreamSink:
+    """Consumer enforcing the stream dependency: sample *k* is released to
+    the application only after samples 0..k-1 have all arrived."""
+
+    def __init__(
+        self,
+        endpoint: Endpoint,
+        service_id: int,
+        channel: int,
+        *,
+        client_app: str,
+        on_sample: Optional[Callable[[Message], None]] = None,
+    ) -> None:
+        self.endpoint = endpoint
+        self.service_id = service_id
+        self.channel = channel
+        self.client_app = client_app
+        self.on_sample = on_sample
+        self.next_expected = 0
+        self._held: Dict[int, Message] = {}
+        self.released: List[Message] = []
+        self.release_times: List[float] = []
+        endpoint.on_message(service_id, MessageType.STREAM_SAMPLE, self._on_sample)
+
+    def _on_sample(self, message: Message) -> None:
+        if message.sequence is None:
+            raise NetworkError("stream sample without sequence number")
+        self._held[message.sequence] = message
+        while self.next_expected in self._held:
+            sample = self._held.pop(self.next_expected)
+            self.next_expected += 1
+            self.released.append(sample)
+            self.release_times.append(self.endpoint.sim.now)
+            if self.on_sample is not None:
+                self.on_sample(sample)
+
+    @property
+    def samples_pending(self) -> int:
+        """Samples held back waiting for a predecessor."""
+        return len(self._held)
+
+    def playout_latencies(self) -> List[float]:
+        """Per-sample latency from emission to in-order release."""
+        return [
+            release - sample.payload["t"]
+            for sample, release in zip(self.released, self.release_times)
+            if isinstance(sample.payload, dict) and "t" in sample.payload
+        ]

@@ -1,0 +1,173 @@
+"""Service registry and discovery.
+
+The registry answers *find-service* queries and administers event-group
+subscriptions.  It also carries the security integration point: a
+**binding guard** — installed by :mod:`repro.security.access_control` —
+is consulted before any client/service binding is created, implementing
+the paper's Section 4.2 requirement that "the binding partners are
+authenticated and that communication is authorized".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..errors import ConfigurationError, SecurityError
+
+#: Guard signature: (client_app, client_ecu, service_id) -> allowed?
+BindingGuard = Callable[[str, str, int], bool]
+
+
+@dataclass(frozen=True)
+class ServiceOffer:
+    """A service instance offered on the network."""
+
+    service_id: int
+    instance_id: int
+    ecu: str
+    provider_app: str
+    version: Tuple[int, int] = (1, 0)
+
+    @property
+    def key(self) -> Tuple[int, int]:
+        return (self.service_id, self.instance_id)
+
+
+@dataclass
+class Subscription:
+    """One client's subscription to an eventgroup of a service."""
+
+    service_id: int
+    eventgroup: int
+    client_app: str
+    client_ecu: str
+    active: bool = True
+
+
+class ServiceRegistry:
+    """Logically centralised service directory.
+
+    Physically, SOME/IP-SD is a multicast protocol; its discovery latency
+    is modelled by the endpoints (they exchange FIND/OFFER messages over
+    the simulated network before using the directory answer).  The
+    directory itself holds the authoritative state.
+    """
+
+    def __init__(self) -> None:
+        self._offers: Dict[Tuple[int, int], ServiceOffer] = {}
+        self._subscriptions: List[Subscription] = []
+        self._guard: Optional[BindingGuard] = None
+        self.denied_bindings = 0
+
+    # -- security hook --------------------------------------------------------
+
+    def set_binding_guard(self, guard: Optional[BindingGuard]) -> None:
+        """Install (or clear) the authorization guard for new bindings."""
+        self._guard = guard
+
+    def _check_binding(self, client_app: str, client_ecu: str, service_id: int) -> None:
+        if self._guard is not None and not self._guard(
+            client_app, client_ecu, service_id
+        ):
+            self.denied_bindings += 1
+            raise SecurityError(
+                f"binding of {client_app!r}@{client_ecu} to service "
+                f"{service_id:#06x} denied"
+            )
+
+    # -- offers ----------------------------------------------------------------
+
+    def offer(self, offer: ServiceOffer) -> None:
+        """Register a service instance.  Re-offering replaces the entry."""
+        self._offers[offer.key] = offer
+
+    def withdraw(self, service_id: int, instance_id: int) -> None:
+        """Remove an offer (provider stopping or failing)."""
+        self._offers.pop((service_id, instance_id), None)
+
+    def withdraw_all_of_ecu(self, ecu: str) -> int:
+        """Drop every offer hosted on ``ecu`` (ECU failure). Returns count."""
+        doomed = [k for k, o in self._offers.items() if o.ecu == ecu]
+        for key in doomed:
+            del self._offers[key]
+        return len(doomed)
+
+    def find(
+        self,
+        service_id: int,
+        *,
+        client_app: str = "",
+        client_ecu: str = "",
+        instance_id: Optional[int] = None,
+    ) -> ServiceOffer:
+        """Resolve a service id to an offer, enforcing the binding guard.
+
+        Raises:
+            ConfigurationError: if no instance of the service is offered.
+            SecurityError: if the binding guard denies the client.
+        """
+        self._check_binding(client_app, client_ecu, service_id)
+        candidates = [
+            o
+            for o in self._offers.values()
+            if o.service_id == service_id
+            and (instance_id is None or o.instance_id == instance_id)
+        ]
+        if not candidates:
+            raise ConfigurationError(f"service {service_id:#06x} not offered")
+        candidates.sort(key=lambda o: o.instance_id)
+        return candidates[0]
+
+    def instances_of(self, service_id: int) -> List[ServiceOffer]:
+        """All offered instances of a service (for redundancy failover)."""
+        return sorted(
+            (o for o in self._offers.values() if o.service_id == service_id),
+            key=lambda o: o.instance_id,
+        )
+
+    @property
+    def offers(self) -> List[ServiceOffer]:
+        return list(self._offers.values())
+
+    # -- subscriptions ------------------------------------------------------------
+
+    def subscribe(
+        self, service_id: int, eventgroup: int, client_app: str, client_ecu: str
+    ) -> Subscription:
+        """Create (or reactivate) a subscription, enforcing the guard."""
+        self._check_binding(client_app, client_ecu, service_id)
+        for sub in self._subscriptions:
+            if (
+                sub.service_id == service_id
+                and sub.eventgroup == eventgroup
+                and sub.client_app == client_app
+                and sub.client_ecu == client_ecu
+            ):
+                sub.active = True
+                return sub
+        sub = Subscription(service_id, eventgroup, client_app, client_ecu)
+        self._subscriptions.append(sub)
+        return sub
+
+    def unsubscribe(self, service_id: int, eventgroup: int, client_app: str) -> None:
+        for sub in self._subscriptions:
+            if (
+                sub.service_id == service_id
+                and sub.eventgroup == eventgroup
+                and sub.client_app == client_app
+            ):
+                sub.active = False
+
+    def subscribers(self, service_id: int, eventgroup: int) -> List[Subscription]:
+        """Active subscriptions for a service/eventgroup."""
+        return [
+            s
+            for s in self._subscriptions
+            if s.service_id == service_id
+            and s.eventgroup == eventgroup
+            and s.active
+        ]
+
+    def subscriptions_of(self, client_app: str) -> List[Subscription]:
+        return [s for s in self._subscriptions if s.client_app == client_app]

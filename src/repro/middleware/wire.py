@@ -1,0 +1,113 @@
+"""SOME/IP-style wire format and transport segmentation.
+
+Messages between applications are "no longer based on signals defined by
+bit offsets, but on complex objects" (Section 2.2).  The middleware frames
+every message with a SOME/IP-like header and segments it to fit the
+smallest MTU along the route (ISO-TP style on CAN, plain fragmentation on
+Ethernet).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from ..errors import NetworkError
+
+#: SOME/IP header: message id (4) + length (4) + request id (4) +
+#: protocol/interface version, message type, return code (4).
+HEADER_BYTES = 16
+
+#: Effective payload bytes per CAN frame under ISO-TP style segmentation
+#: (one byte of each 8-byte frame is consumed by the transport protocol).
+CAN_SEGMENT_PAYLOAD = 7
+
+#: Effective payload per Ethernet frame (MTU minus middleware header).
+ETH_SEGMENT_PAYLOAD = 1400
+
+#: Effective payload per FlexRay dynamic-segment frame.
+FLEXRAY_SEGMENT_PAYLOAD = 254
+
+
+class MessageType(Enum):
+    """SOME/IP message types used by the three paradigms."""
+
+    REQUEST = "request"               # RPC call expecting a response
+    RESPONSE = "response"             # RPC response
+    NOTIFICATION = "notification"     # event publication
+    STREAM_SAMPLE = "stream_sample"   # one sample of a stream
+    SUBSCRIBE = "subscribe"           # eventgroup subscription
+    SUBSCRIBE_ACK = "subscribe_ack"
+    FIND_SERVICE = "find_service"     # service discovery
+    OFFER_SERVICE = "offer_service"
+
+
+class ReturnCode(Enum):
+    OK = "ok"
+    NOT_REACHABLE = "not_reachable"
+    NOT_AUTHORIZED = "not_authorized"
+    UNKNOWN_SERVICE = "unknown_service"
+    UNKNOWN_METHOD = "unknown_method"
+    ERROR = "error"
+
+
+_session_ids = itertools.count(1)
+
+
+@dataclass
+class Message:
+    """One middleware message (possibly larger than any single frame).
+
+    Attributes:
+        service_id: the service this message belongs to.
+        method_id: method (RPC), eventgroup (notification) or channel id.
+        msg_type: see :class:`MessageType`.
+        payload_bytes: size of the serialised complex object.
+        payload: the object itself (carried opaquely by the simulation).
+        src / dst: application-level endpoint ECU names.
+        session_id: correlates requests with responses.
+        return_code: set on responses.
+    """
+
+    service_id: int
+    method_id: int
+    msg_type: MessageType
+    payload_bytes: int
+    src: str
+    dst: str
+    payload: object = None
+    session_id: int = field(default_factory=lambda: next(_session_ids))
+    return_code: ReturnCode = ReturnCode.OK
+    sequence: Optional[int] = None  # stream sample ordering
+    sender_app: str = ""
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes < 0:
+            raise NetworkError("message payload size cannot be negative")
+
+    @property
+    def total_bytes(self) -> int:
+        """Payload plus the middleware header."""
+        return self.payload_bytes + HEADER_BYTES
+
+
+def segment_payload_for(technology: str) -> int:
+    """Effective per-frame payload for a bus technology."""
+    if technology == "can":
+        return CAN_SEGMENT_PAYLOAD
+    if technology == "ethernet":
+        return ETH_SEGMENT_PAYLOAD
+    if technology == "flexray":
+        return FLEXRAY_SEGMENT_PAYLOAD
+    raise NetworkError(f"unknown technology {technology!r}")
+
+
+def segments_needed(total_bytes: int, segment_payload: int) -> int:
+    """Number of frames needed to move ``total_bytes``."""
+    if segment_payload <= 0:
+        raise NetworkError("segment payload must be positive")
+    if total_bytes <= 0:
+        return 1  # header-only message still needs one frame
+    return -(-total_bytes // segment_payload)  # ceil division

@@ -1,0 +1,66 @@
+"""Modeling DSLs: types, interfaces, applications, deployments and the
+verification engine (paper Section 2.2 / 2.3)."""
+
+from .applications import AppModel, Asil, RequiredInterface, check_asil_dependencies
+from .codegen import (
+    MiddlewareConfig,
+    SERVICE_ID_BASE,
+    derive_qos,
+    generate_config,
+    generate_stub,
+)
+from .deployment import Deployment, Placement, VariantSpace
+from .interfaces import InterfaceDef, InterfaceKind, InterfaceRequirements
+from .signals import (
+    SignalCatalog,
+    SignalDef,
+    legacy_body_catalog,
+    migrate_catalog,
+)
+from .system import SystemModel
+from .types import ArrayType, DataType, Primitive, StructType, TypeRegistry, standard_types
+from .verification import (
+    BUS_UTILIZATION_LIMIT,
+    Severity,
+    VerificationResult,
+    Violation,
+    estimate_latency,
+    verify,
+    verify_variant_space,
+)
+
+__all__ = [
+    "AppModel",
+    "ArrayType",
+    "Asil",
+    "BUS_UTILIZATION_LIMIT",
+    "DataType",
+    "Deployment",
+    "InterfaceDef",
+    "InterfaceKind",
+    "InterfaceRequirements",
+    "MiddlewareConfig",
+    "Placement",
+    "Primitive",
+    "RequiredInterface",
+    "SERVICE_ID_BASE",
+    "Severity",
+    "SignalCatalog",
+    "SignalDef",
+    "StructType",
+    "SystemModel",
+    "TypeRegistry",
+    "VariantSpace",
+    "VerificationResult",
+    "Violation",
+    "check_asil_dependencies",
+    "derive_qos",
+    "estimate_latency",
+    "generate_config",
+    "generate_stub",
+    "legacy_body_catalog",
+    "migrate_catalog",
+    "standard_types",
+    "verify",
+    "verify_variant_space",
+]

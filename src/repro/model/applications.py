@@ -1,0 +1,156 @@
+"""Application DSL: the unit of addition and update (Section 1.1).
+
+"In analogy to the consumer electronics world, an application (app) is the
+smallest unit of addition and update."  An :class:`AppModel` declares its
+tasks, the interfaces it provides and requires, its resource needs, and
+its safety level — everything the verification engine, admission control
+and security layer reason over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ModelError
+from ..osal.task import Criticality, TaskSpec
+
+
+class Asil(IntEnum):
+    """ISO 26262 automotive safety integrity levels (ordered QM < A < ... < D)."""
+
+    QM = 0
+    A = 1
+    B = 2
+    C = 3
+    D = 4
+
+
+@dataclass(frozen=True)
+class RequiredInterface:
+    """A dependency on an interface owned by another application."""
+
+    name: str
+    version: Tuple[int, int] = (1, 0)
+
+
+@dataclass(frozen=True)
+class AppModel:
+    """One application in the system model.
+
+    Attributes:
+        name: unique application name.
+        tasks: the app's task set (periods/WCETs on the reference core).
+        provides: names of interfaces this app owns.
+        requires: interfaces (and versions) this app consumes.
+        asil: safety integrity level.
+        memory_kib: RAM footprint when instantiated.
+        image_kib: flash footprint of the installable package.
+        needs_gpu: requires a GPU-equipped ECU.
+        needs_mmu_isolation: must be placed in a private process.
+        own_process: run in a dedicated process even if combinable.
+        fail_operational: requires hot-standby replicas at runtime
+            (Section 3.3) — the verification engine checks the topology
+            offers enough capable hosts.
+        min_replicas: replica count when ``fail_operational`` is set.
+        version: application software version (for updates).
+    """
+
+    name: str
+    tasks: Tuple[TaskSpec, ...] = ()
+    provides: Tuple[str, ...] = ()
+    requires: Tuple[RequiredInterface, ...] = ()
+    asil: Asil = Asil.QM
+    memory_kib: float = 256.0
+    image_kib: float = 1024.0
+    needs_gpu: bool = False
+    needs_mmu_isolation: bool = False
+    own_process: bool = True
+    fail_operational: bool = False
+    min_replicas: int = 2
+    version: Tuple[int, int] = (1, 0)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ModelError("application needs a name")
+        task_names = [t.name for t in self.tasks]
+        if len(task_names) != len(set(task_names)):
+            raise ModelError(f"app {self.name!r}: duplicate task names")
+        if self.memory_kib < 0 or self.image_kib < 0:
+            raise ModelError(f"app {self.name!r}: negative resource sizes")
+        if self.fail_operational and self.min_replicas < 2:
+            raise ModelError(
+                f"app {self.name!r}: fail-operational needs >= 2 replicas"
+            )
+        det = self.has_deterministic_tasks
+        if self.asil >= Asil.C and not det and self.tasks:
+            raise ModelError(
+                f"app {self.name!r}: ASIL {self.asil.name} requires "
+                "deterministic tasks"
+            )
+
+    @property
+    def has_deterministic_tasks(self) -> bool:
+        return any(t.criticality is Criticality.DETERMINISTIC for t in self.tasks)
+
+    @property
+    def is_deterministic(self) -> bool:
+        """An app is deterministic iff all of its tasks are."""
+        return bool(self.tasks) and all(
+            t.criticality is Criticality.DETERMINISTIC for t in self.tasks
+        )
+
+    @property
+    def utilization(self) -> float:
+        return sum(t.utilization for t in self.tasks)
+
+    def task(self, name: str) -> TaskSpec:
+        for t in self.tasks:
+            if t.name == name:
+                return t
+        raise ModelError(f"app {self.name!r} has no task {name!r}")
+
+    def bumped(self, *, minor: bool = True) -> "AppModel":
+        """A copy with the version bumped (update packaging helper)."""
+        from dataclasses import replace
+
+        major, min_v = self.version
+        new_version = (major, min_v + 1) if minor else (major + 1, 0)
+        return replace(self, version=new_version)
+
+
+def check_asil_dependencies(
+    apps: Dict[str, AppModel], interface_owner: Dict[str, str]
+) -> List[str]:
+    """Verify the safety-rating rule of Section 3.
+
+    "Only with correct safe dependencies can a software module be
+    considered safe": every interface an app depends on must be owned by
+    an app with an ASIL at least as high as the dependent's.
+
+    Returns a list of human-readable violations (empty = ok).
+    """
+    violations = []
+    for app in apps.values():
+        for req in app.requires:
+            owner_name = interface_owner.get(req.name)
+            if owner_name is None:
+                violations.append(
+                    f"{app.name}: required interface {req.name!r} has no owner"
+                )
+                continue
+            owner = apps.get(owner_name)
+            if owner is None:
+                violations.append(
+                    f"{app.name}: interface {req.name!r} owned by unknown app "
+                    f"{owner_name!r}"
+                )
+                continue
+            if owner.asil < app.asil:
+                violations.append(
+                    f"{app.name} (ASIL {app.asil.name}) depends on "
+                    f"{req.name!r} provided by {owner.name} "
+                    f"(ASIL {owner.asil.name})"
+                )
+    return violations

@@ -1,0 +1,159 @@
+"""Code/config generation from the model (the "Integration is key" part
+of Section 2.2: "generate code stubs, configurations for communication
+stacks and a middleware on devices, or input for simulation environments").
+
+Outputs:
+
+* :class:`MiddlewareConfig` — service-id assignment, QoS per interface,
+  and the subscription/access-control matrices consumed by
+  :mod:`repro.core` (platform bring-up) and
+  :mod:`repro.security.access_control` (ACL derivation, Section 4.2);
+* :func:`generate_stub` — human-readable Python stub code for an
+  application, useful for docs and as the paper's "code stubs" artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from ..errors import ModelError
+from ..middleware.endpoint import QOS_BULK, QOS_CONTROL, QOS_DEFAULT, QoS
+from .interfaces import InterfaceDef, InterfaceKind
+from .system import SystemModel
+
+#: Service ids are assigned from this base, in interface definition order.
+SERVICE_ID_BASE = 0x1000
+
+
+@dataclass
+class MiddlewareConfig:
+    """Everything the runtime needs to wire services for a system model."""
+
+    service_ids: Dict[str, int] = field(default_factory=dict)
+    qos: Dict[str, QoS] = field(default_factory=dict)
+    #: interface -> (owner app, consumer app names)
+    producers: Dict[str, str] = field(default_factory=dict)
+    consumers: Dict[str, List[str]] = field(default_factory=dict)
+    #: app -> service ids it may bind to (the access-control matrix)
+    allowed_bindings: Dict[str, Set[int]] = field(default_factory=dict)
+
+    def service_id(self, interface_name: str) -> int:
+        try:
+            return self.service_ids[interface_name]
+        except KeyError:
+            raise ModelError(f"no service id for {interface_name!r}") from None
+
+    def qos_for(self, interface_name: str) -> QoS:
+        return self.qos.get(interface_name, QOS_DEFAULT)
+
+    def may_bind(self, app_name: str, service_id: int) -> bool:
+        """The Section 4.2 check: is this binding in the model?"""
+        return service_id in self.allowed_bindings.get(app_name, set())
+
+
+def derive_qos(model: SystemModel, interface: InterfaceDef) -> QoS:
+    """Map an interface's kind + owner criticality to transport QoS."""
+    owner = model.app(interface.owner)
+    if owner.is_deterministic and interface.kind is not InterfaceKind.STREAM:
+        return QOS_CONTROL
+    if interface.kind is InterfaceKind.STREAM:
+        return QOS_BULK
+    return QOS_DEFAULT
+
+
+def generate_config(model: SystemModel) -> MiddlewareConfig:
+    """Derive the full middleware configuration from the system model.
+
+    The access-control matrix contains, per app, exactly the services it
+    owns or explicitly requires — "These definitions should be
+    automatically extracted from the modeling approach" (Section 4.2).
+    """
+    violations = model.structural_violations()
+    if violations:
+        raise ModelError(
+            "cannot generate config for an inconsistent model: "
+            + "; ".join(violations)
+        )
+    config = MiddlewareConfig()
+    for index, interface in enumerate(model.interfaces):
+        sid = interface.service_id or (SERVICE_ID_BASE + index)
+        config.service_ids[interface.name] = sid
+        config.qos[interface.name] = derive_qos(model, interface)
+        config.producers[interface.name] = interface.owner
+        config.consumers[interface.name] = [
+            app.name for app in model.consumers_of(interface.name)
+        ]
+        config.allowed_bindings.setdefault(interface.owner, set()).add(sid)
+        for consumer in config.consumers[interface.name]:
+            config.allowed_bindings.setdefault(consumer, set()).add(sid)
+    for app in model.apps:
+        config.allowed_bindings.setdefault(app.name, set())
+    return config
+
+
+def generate_stub(model: SystemModel, app_name: str) -> str:
+    """Emit a Python skeleton for one application's middleware bindings."""
+    app = model.app(app_name)
+    config = generate_config(model)
+    docstring = (
+        f"Generated stub for application {app.name!r} "
+        f"(v{app.version[0]}.{app.version[1]}, ASIL {app.asil.name})."
+    )
+    lines = [
+        f'"""{docstring}"""',
+        "",
+        "from repro.middleware import (",
+        "    EventConsumer, EventProducer, RpcClient, RpcServer,",
+        "    StreamSink, StreamSource,",
+        ")",
+        "",
+        f"def bind_{app.name}(endpoint):",
+    ]
+    body: List[str] = []
+    for name in app.provides:
+        interface = model.interface(name)
+        sid = config.service_id(name)
+        if interface.kind is InterfaceKind.EVENT:
+            body.append(
+                f"    {name} = EventProducer(endpoint, {sid:#06x}, 1, "
+                f"provider_app={app.name!r})"
+            )
+        elif interface.kind is InterfaceKind.MESSAGE:
+            body.append(
+                f"    {name} = RpcServer(endpoint, {sid:#06x}, "
+                f"provider_app={app.name!r})"
+            )
+            body.append(
+                f"    # {name}.register_method(1, handler)  # TODO implement"
+            )
+        else:
+            body.append(
+                f"    {name} = StreamSource(endpoint, {sid:#06x}, 1, "
+                f"provider_app={app.name!r}, "
+                f"sample_bytes={interface.payload_bytes}, "
+                f"period={interface.requirements.period})"
+            )
+    for req in app.requires:
+        interface = model.interface(req.name)
+        sid = config.service_id(req.name)
+        if interface.kind is InterfaceKind.EVENT:
+            body.append(
+                f"    {req.name}_sub = EventConsumer(endpoint, {sid:#06x}, 1, "
+                f"client_app={app.name!r}, on_data=on_{req.name})"
+            )
+        elif interface.kind is InterfaceKind.MESSAGE:
+            body.append(
+                f"    {req.name}_client = RpcClient(endpoint, {sid:#06x}, "
+                f"client_app={app.name!r})"
+            )
+        else:
+            body.append(
+                f"    {req.name}_sink = StreamSink(endpoint, {sid:#06x}, 1, "
+                f"client_app={app.name!r})"
+            )
+    if not body:
+        body.append("    pass")
+    lines.extend(body)
+    lines.append("")
+    return "\n".join(lines)

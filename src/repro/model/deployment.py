@@ -1,0 +1,139 @@
+"""Deployment DSL: mapping applications to ECUs, with variability.
+
+Section 2.3: "it can be necessary to include variances in the model and
+not define every mapping and interconnection uniquely.  The final mapping
+might only be applied in the vehicle on the road.  However, it needs to be
+ensured that every possible mapping is functional, safe, and secure."
+
+:class:`Deployment` is one concrete mapping; :class:`VariantSpace`
+describes the allowed alternatives per app and can enumerate every
+concrete deployment for exhaustive pre-verification.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..errors import ModelError
+
+
+@dataclass
+class Placement:
+    """Where one app runs: ECU plus (for multicore) a core index."""
+
+    ecu: str
+    core: int = 0
+
+    def __post_init__(self) -> None:
+        if self.core < 0:
+            raise ModelError("core index cannot be negative")
+
+
+class Deployment:
+    """A concrete app -> placement mapping."""
+
+    def __init__(self, mapping: Optional[Dict[str, Placement]] = None) -> None:
+        self._mapping: Dict[str, Placement] = dict(mapping or {})
+
+    def place(self, app_name: str, ecu: str, core: int = 0) -> "Deployment":
+        """Assign (or reassign) an app.  Returns self for chaining."""
+        self._mapping[app_name] = Placement(ecu, core)
+        return self
+
+    def remove(self, app_name: str) -> None:
+        self._mapping.pop(app_name, None)
+
+    def placement(self, app_name: str) -> Placement:
+        try:
+            return self._mapping[app_name]
+        except KeyError:
+            raise ModelError(f"app {app_name!r} is not placed") from None
+
+    def ecu_of(self, app_name: str) -> str:
+        return self.placement(app_name).ecu
+
+    def is_placed(self, app_name: str) -> bool:
+        return app_name in self._mapping
+
+    @property
+    def apps(self) -> List[str]:
+        return list(self._mapping)
+
+    def apps_on(self, ecu: str) -> List[str]:
+        return [a for a, p in self._mapping.items() if p.ecu == ecu]
+
+    def apps_on_core(self, ecu: str, core: int) -> List[str]:
+        return [
+            a
+            for a, p in self._mapping.items()
+            if p.ecu == ecu and p.core == core
+        ]
+
+    def used_ecus(self) -> List[str]:
+        return sorted({p.ecu for p in self._mapping.values()})
+
+    def copy(self) -> "Deployment":
+        return Deployment(
+            {a: Placement(p.ecu, p.core) for a, p in self._mapping.items()}
+        )
+
+    def as_dict(self) -> Dict[str, Tuple[str, int]]:
+        return {a: (p.ecu, p.core) for a, p in self._mapping.items()}
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Deployment):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<Deployment {self.as_dict()}>"
+
+
+class VariantSpace:
+    """Allowed placements per application.
+
+    ``candidates[app] = [(ecu, core), ...]`` — the dynamic platform may
+    realise any combination at runtime, so all of them must be verified.
+    """
+
+    def __init__(self) -> None:
+        self._candidates: Dict[str, List[Tuple[str, int]]] = {}
+
+    def allow(self, app_name: str, ecu: str, core: int = 0) -> "VariantSpace":
+        self._candidates.setdefault(app_name, [])
+        option = (ecu, core)
+        if option not in self._candidates[app_name]:
+            self._candidates[app_name].append(option)
+        return self
+
+    def candidates(self, app_name: str) -> List[Tuple[str, int]]:
+        try:
+            return list(self._candidates[app_name])
+        except KeyError:
+            raise ModelError(f"no variants declared for {app_name!r}") from None
+
+    @property
+    def apps(self) -> List[str]:
+        return list(self._candidates)
+
+    def size(self) -> int:
+        """Number of concrete deployments in the space."""
+        total = 1
+        for options in self._candidates.values():
+            total *= len(options)
+        return total if self._candidates else 0
+
+    def enumerate(self) -> Iterator[Deployment]:
+        """Yield every concrete deployment (use only for small spaces)."""
+        if not self._candidates:
+            return
+        names = list(self._candidates)
+        for combo in itertools.product(
+            *(self._candidates[n] for n in names)
+        ):
+            deployment = Deployment()
+            for name, (ecu, core) in zip(names, combo):
+                deployment.place(name, ecu, core)
+            yield deployment

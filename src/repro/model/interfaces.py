@@ -1,0 +1,121 @@
+"""Interface definitions (the interface DSL of Section 2.2).
+
+Every interface has an **owner** "who controls interface description,
+version, etc." — the producer for events and streams, the service
+provider for messages.  Requirements (latency, jitter, bandwidth) are
+attached here and checked by the verification engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional, Tuple
+
+from ..errors import ModelError
+from .types import DataType
+
+
+class InterfaceKind(Enum):
+    """The paradigm an interface uses (Figure 3)."""
+
+    EVENT = "event"
+    MESSAGE = "message"
+    STREAM = "stream"
+
+
+@dataclass(frozen=True)
+class InterfaceRequirements:
+    """Non-functional requirements on an interface.
+
+    Attributes:
+        max_latency: end-to-end deadline per transfer (s).
+        max_jitter: tolerated delivery jitter (s).
+        min_bandwidth_bps: required sustained bandwidth (streams).
+        period: nominal transfer period (events / streams), used to derive
+            offered network load.
+    """
+
+    max_latency: Optional[float] = None
+    max_jitter: Optional[float] = None
+    min_bandwidth_bps: Optional[float] = None
+    period: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        for name in ("max_latency", "max_jitter", "min_bandwidth_bps", "period"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ModelError(f"requirement {name} must be positive")
+
+
+@dataclass(frozen=True)
+class InterfaceDef:
+    """One typed interface between applications.
+
+    Attributes:
+        name: unique interface name.
+        kind: event / message / stream.
+        owner: the application owning the definition (producer for
+            event/stream, providing consumer for message).
+        data_type: payload type (request type for messages).
+        response_type: messages only — the response payload type.
+        version: (major, minor).  Clients require an equal major and a
+            provider minor >= their own (SOME/IP compatibility rule).
+        service_id: wire-level service identifier; assigned by codegen if 0.
+        requirements: non-functional attributes.
+    """
+
+    name: str
+    kind: InterfaceKind
+    owner: str
+    data_type: DataType
+    response_type: Optional[DataType] = None
+    version: Tuple[int, int] = (1, 0)
+    service_id: int = 0
+    requirements: InterfaceRequirements = field(default_factory=InterfaceRequirements)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ModelError("interface needs a name")
+        if not self.owner:
+            raise ModelError(f"interface {self.name!r} needs an owner")
+        if self.kind is InterfaceKind.MESSAGE and self.response_type is None:
+            raise ModelError(
+                f"message interface {self.name!r} needs a response type"
+            )
+        if self.kind is not InterfaceKind.MESSAGE and self.response_type is not None:
+            raise ModelError(
+                f"{self.kind.value} interface {self.name!r} cannot have a "
+                "response type"
+            )
+        major, minor = self.version
+        if major < 0 or minor < 0:
+            raise ModelError(f"interface {self.name!r}: invalid version")
+        if self.kind is InterfaceKind.STREAM and (
+            self.requirements.period is None
+        ):
+            raise ModelError(
+                f"stream interface {self.name!r} must declare a period"
+            )
+
+    @property
+    def payload_bytes(self) -> int:
+        return self.data_type.byte_size()
+
+    @property
+    def response_bytes(self) -> int:
+        if self.response_type is None:
+            return 0
+        return self.response_type.byte_size()
+
+    def offered_bandwidth_bps(self) -> float:
+        """Network load this interface generates per consumer, if periodic."""
+        if self.requirements.period is None:
+            return 0.0
+        return self.payload_bytes * 8.0 / self.requirements.period
+
+    def compatible_with(self, required_version: Tuple[int, int]) -> bool:
+        """SOME/IP rule: equal major, provider minor >= required minor."""
+        major, minor = self.version
+        req_major, req_minor = required_version
+        return major == req_major and minor >= req_minor

@@ -1,0 +1,136 @@
+"""The integrated system model: hardware + interfaces + applications.
+
+This is the "set of Domain-Specific Languages ... to describe the system
+in a formal way, which can be checked for correctness" (Section 2.2), tied
+together in one object that the verification engine, DSE, codegen and the
+dynamic platform all consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import ModelError
+from ..hw.topology import Topology
+from .applications import AppModel, check_asil_dependencies
+from .interfaces import InterfaceDef, InterfaceKind
+
+
+class SystemModel:
+    """Hardware topology, interface catalog and application set."""
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+        self._interfaces: Dict[str, InterfaceDef] = {}
+        self._apps: Dict[str, AppModel] = {}
+
+    # -- construction --------------------------------------------------------
+
+    def add_interface(self, interface: InterfaceDef) -> InterfaceDef:
+        if interface.name in self._interfaces:
+            raise ModelError(f"interface {interface.name!r} already defined")
+        self._interfaces[interface.name] = interface
+        return interface
+
+    def add_app(self, app: AppModel) -> AppModel:
+        if app.name in self._apps:
+            raise ModelError(f"app {app.name!r} already defined")
+        self._apps[app.name] = app
+        return app
+
+    def replace_app(self, app: AppModel) -> AppModel:
+        """Swap an app definition (model side of an update)."""
+        if app.name not in self._apps:
+            raise ModelError(f"cannot update unknown app {app.name!r}")
+        self._apps[app.name] = app
+        return app
+
+    def remove_app(self, name: str) -> None:
+        if name not in self._apps:
+            raise ModelError(f"cannot remove unknown app {name!r}")
+        del self._apps[name]
+
+    # -- queries ----------------------------------------------------------------
+
+    def interface(self, name: str) -> InterfaceDef:
+        try:
+            return self._interfaces[name]
+        except KeyError:
+            raise ModelError(f"unknown interface {name!r}") from None
+
+    def app(self, name: str) -> AppModel:
+        try:
+            return self._apps[name]
+        except KeyError:
+            raise ModelError(f"unknown app {name!r}") from None
+
+    @property
+    def interfaces(self) -> List[InterfaceDef]:
+        return list(self._interfaces.values())
+
+    @property
+    def apps(self) -> List[AppModel]:
+        return list(self._apps.values())
+
+    def interface_owner(self) -> Dict[str, str]:
+        """Interface name -> owning application name."""
+        return {i.name: i.owner for i in self._interfaces.values()}
+
+    def consumers_of(self, interface_name: str) -> List[AppModel]:
+        """Apps that require ``interface_name``."""
+        return [
+            app
+            for app in self._apps.values()
+            if any(r.name == interface_name for r in app.requires)
+        ]
+
+    def communication_pairs(self) -> List[tuple]:
+        """(producer app, consumer app, interface) triples in the model."""
+        pairs = []
+        for interface in self._interfaces.values():
+            for consumer in self.consumers_of(interface.name):
+                pairs.append((interface.owner, consumer.name, interface))
+        return pairs
+
+    # -- structural validation -----------------------------------------------
+
+    def structural_violations(self) -> List[str]:
+        """Model-level checks that need no deployment: ownership, versions,
+        dangling references, ASIL dependency ordering."""
+        violations: List[str] = []
+        owners = self.interface_owner()
+        for interface in self._interfaces.values():
+            if interface.owner not in self._apps:
+                violations.append(
+                    f"interface {interface.name!r} owned by unknown app "
+                    f"{interface.owner!r}"
+                )
+        for app in self._apps.values():
+            for provided in app.provides:
+                if provided not in self._interfaces:
+                    violations.append(
+                        f"app {app.name!r} provides unknown interface "
+                        f"{provided!r}"
+                    )
+                elif self._interfaces[provided].owner != app.name:
+                    violations.append(
+                        f"app {app.name!r} provides {provided!r} but its "
+                        f"owner is {self._interfaces[provided].owner!r}"
+                    )
+            for req in app.requires:
+                if req.name not in self._interfaces:
+                    violations.append(
+                        f"app {app.name!r} requires unknown interface "
+                        f"{req.name!r}"
+                    )
+                    continue
+                interface = self._interfaces[req.name]
+                if not interface.compatible_with(req.version):
+                    violations.append(
+                        f"app {app.name!r} requires {req.name!r} "
+                        f"v{req.version} but provider offers "
+                        f"v{interface.version}"
+                    )
+        violations.extend(check_asil_dependencies(self._apps, owners))
+        return violations

@@ -1,0 +1,187 @@
+"""Complex data types for interface definitions.
+
+Section 2.2: "The communication is no longer based on signals defined by
+bit offsets, but on complex objects, defined by complex data types."  This
+module provides the type system those complex objects are defined in; its
+only runtime job is computing serialised sizes, which drive the network
+simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..errors import ModelError
+
+#: Sizes of the primitive types, in bytes.
+_PRIMITIVE_SIZES: Dict[str, int] = {
+    "bool": 1,
+    "uint8": 1,
+    "int8": 1,
+    "uint16": 2,
+    "int16": 2,
+    "uint32": 4,
+    "int32": 4,
+    "uint64": 8,
+    "int64": 8,
+    "float32": 4,
+    "float64": 8,
+}
+
+
+class DataType:
+    """Base class of the type system.
+
+    Subclasses are frozen dataclasses carrying a ``name`` field.
+    """
+
+    def byte_size(self) -> int:
+        """Serialised size of one value of this type."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return getattr(self, "name", "") or type(self).__name__
+
+
+@dataclass(frozen=True)
+class Primitive(DataType):
+    """A fixed-size scalar."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.name not in _PRIMITIVE_SIZES:
+            raise ModelError(
+                f"unknown primitive {self.name!r}; "
+                f"choose from {sorted(_PRIMITIVE_SIZES)}"
+            )
+
+    def byte_size(self) -> int:
+        return _PRIMITIVE_SIZES[self.name]
+
+
+@dataclass(frozen=True)
+class ArrayType(DataType):
+    """A fixed-length array of a single element type."""
+
+    element: DataType
+    length: int
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise ModelError("array length must be positive")
+
+    def byte_size(self) -> int:
+        return self.element.byte_size() * self.length
+
+    def describe(self) -> str:
+        return self.name or f"{self.element.describe()}[{self.length}]"
+
+
+@dataclass(frozen=True)
+class StructType(DataType):
+    """A named record of (field name, type) pairs."""
+
+    name: str
+    fields: Tuple[Tuple[str, DataType], ...]
+
+    def __post_init__(self) -> None:
+        names = [f for f, _t in self.fields]
+        if len(names) != len(set(names)):
+            raise ModelError(f"struct {self.name!r}: duplicate field names")
+        if not self.fields:
+            raise ModelError(f"struct {self.name!r}: empty struct")
+
+    def byte_size(self) -> int:
+        return sum(t.byte_size() for _f, t in self.fields)
+
+    def field_type(self, field_name: str) -> DataType:
+        for f, t in self.fields:
+            if f == field_name:
+                return t
+        raise ModelError(f"struct {self.name!r} has no field {field_name!r}")
+
+
+class TypeRegistry:
+    """Named types usable across interface definitions."""
+
+    def __init__(self) -> None:
+        self._types: Dict[str, DataType] = {
+            name: Primitive(name) for name in _PRIMITIVE_SIZES
+        }
+
+    def define_struct(
+        self, name: str, fields: List[Tuple[str, str]]
+    ) -> StructType:
+        """Define a struct whose field types are named types."""
+        if name in self._types:
+            raise ModelError(f"type {name!r} already defined")
+        struct = StructType(
+            name=name,
+            fields=tuple((f, self.get(type_name)) for f, type_name in fields),
+        )
+        self._types[name] = struct
+        return struct
+
+    def define_array(self, name: str, element: str, length: int) -> ArrayType:
+        if name in self._types:
+            raise ModelError(f"type {name!r} already defined")
+        array = ArrayType(element=self.get(element), length=length, name=name)
+        self._types[name] = array
+        return array
+
+    def get(self, name: str) -> DataType:
+        try:
+            return self._types[name]
+        except KeyError:
+            raise ModelError(f"unknown type {name!r}") from None
+
+    def size_of(self, name: str) -> int:
+        return self.get(name).byte_size()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._types
+
+
+def standard_types() -> TypeRegistry:
+    """A registry preloaded with common automotive payload types."""
+    reg = TypeRegistry()
+    reg.define_struct(
+        "WheelSpeeds",
+        [("fl", "float32"), ("fr", "float32"), ("rl", "float32"), ("rr", "float32")],
+    )
+    reg.define_struct(
+        "VehicleState",
+        [
+            ("speed_mps", "float32"),
+            ("accel_mps2", "float32"),
+            ("yaw_rate", "float32"),
+            ("steering_angle", "float32"),
+            ("timestamp_us", "uint64"),
+        ],
+    )
+    reg.define_struct(
+        "ObjectHypothesis",
+        [
+            ("id", "uint32"),
+            ("x", "float32"),
+            ("y", "float32"),
+            ("vx", "float32"),
+            ("vy", "float32"),
+            ("classification", "uint8"),
+            ("confidence", "float32"),
+        ],
+    )
+    reg.define_array("ObjectList", "ObjectHypothesis", 32)
+    reg.define_array("CameraFrameChunk", "uint8", 1024)
+    reg.define_struct(
+        "BrakeCommand",
+        [("pressure_bar", "float32"), ("mode", "uint8"), ("timestamp_us", "uint64")],
+    )
+    reg.define_struct(
+        "DiagnosticRecord",
+        [("code", "uint32"), ("severity", "uint8"), ("payload", "uint64")],
+    )
+    return reg

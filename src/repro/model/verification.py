@@ -1,0 +1,367 @@
+"""The verification engine (Section 2.2).
+
+"An attached verification engine should ensure that the interconnections
+and deployment mappings fulfill the defined requirements."
+
+:func:`verify` checks one concrete deployment of a :class:`SystemModel`
+against every rule the paper names:
+
+* resource feasibility — memory, flash, CPU schedulability per core;
+* OS-class rules — deterministic apps only on real-time OSs;
+* hardware attribute rules — GPU, MMU for mixed-criticality co-location;
+* interface wiring — providers exist, versions compatible, routes exist;
+* bandwidth feasibility per bus segment;
+* latency estimates against interface requirements;
+* deterministic traffic only over isolation-capable segments
+  (CAN priority / FlexRay static / TSN);
+* ASIL dependency ordering (via the system model's structural checks).
+
+:func:`verify_variant_space` repeats this for **every** deployment in a
+:class:`VariantSpace` — the paper's requirement that "every possible
+mapping is functional, safe, and secure".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import VerificationError
+from ..hw.ecu import EcuSpec
+from ..middleware.wire import HEADER_BYTES, segment_payload_for, segments_needed
+from ..network.can import can_frame_bits
+from ..network.ethernet import ethernet_wire_bytes
+from ..network.gateway import GATEWAY_LATENCY
+from ..osal.analysis import is_schedulable_fp
+from ..osal.task import Criticality, TaskSpec
+from .deployment import Deployment, VariantSpace
+from .system import SystemModel
+
+
+class Severity(Enum):
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule violation found by the engine."""
+
+    rule: str
+    subject: str
+    message: str
+    severity: Severity = Severity.ERROR
+
+    def __str__(self) -> str:
+        return f"[{self.severity.value}] {self.rule}({self.subject}): {self.message}"
+
+
+@dataclass
+class VerificationResult:
+    """All findings for one deployment."""
+
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not any(v.severity is Severity.ERROR for v in self.violations)
+
+    @property
+    def errors(self) -> List[Violation]:
+        return [v for v in self.violations if v.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Violation]:
+        return [v for v in self.violations if v.severity is Severity.WARNING]
+
+    def add(
+        self,
+        rule: str,
+        subject: str,
+        message: str,
+        severity: Severity = Severity.ERROR,
+    ) -> None:
+        self.violations.append(Violation(rule, subject, message, severity))
+
+    def raise_if_failed(self) -> None:
+        if not self.ok:
+            raise VerificationError(
+                "; ".join(str(v) for v in self.errors)
+            )
+
+
+#: Maximum planned utilization of any bus segment (headroom rule of thumb).
+BUS_UTILIZATION_LIMIT = 0.8
+
+
+def estimate_latency(
+    model: SystemModel, src_ecu: str, dst_ecu: str, payload_bytes: int
+) -> float:
+    """Static end-to-end latency estimate for one message (unloaded net).
+
+    Sum over route segments of per-frame wire time x segment count, plus
+    gateway store-and-forward latency per hop.  This is the quantity the
+    verification engine compares against interface deadlines; contention
+    is the simulator's job.
+    """
+    if src_ecu == dst_ecu:
+        return 0.0
+    buses = model.topology.route_buses(src_ecu, dst_ecu)
+    total_bytes = payload_bytes + HEADER_BYTES
+    latency = 0.0
+    for i, bus in enumerate(buses):
+        seg_payload = segment_payload_for(bus.technology)
+        n_segments = segments_needed(total_bytes, seg_payload)
+        if bus.technology == "can":
+            frame_time = can_frame_bits(8) / bus.bitrate_bps
+        elif bus.technology == "ethernet":
+            frame_bytes = ethernet_wire_bytes(min(total_bytes, seg_payload))
+            frame_time = frame_bytes * 8.0 / bus.bitrate_bps
+        else:  # flexray: half a cycle average wait + slot time, approximated
+            frame_time = (min(total_bytes, seg_payload) + 8) * 8.0 / bus.bitrate_bps
+        latency += n_segments * frame_time
+        if i > 0:
+            latency += GATEWAY_LATENCY
+    return latency
+
+
+def _check_resources(
+    model: SystemModel, deployment: Deployment, result: VerificationResult
+) -> None:
+    for ecu_name in deployment.used_ecus():
+        try:
+            spec = model.topology.ecu(ecu_name)
+        except Exception:
+            result.add("placement", ecu_name, "unknown ECU in deployment")
+            continue
+        apps = [model.app(a) for a in deployment.apps_on(ecu_name)]
+        memory = sum(a.memory_kib for a in apps)
+        if memory > spec.memory_kib:
+            result.add(
+                "memory",
+                ecu_name,
+                f"apps need {memory:g} KiB, ECU has {spec.memory_kib:g}",
+            )
+        flash = sum(a.image_kib for a in apps)
+        if flash > spec.flash_kib:
+            result.add(
+                "flash",
+                ecu_name,
+                f"images need {flash:g} KiB, ECU has {spec.flash_kib:g}",
+            )
+        for app in apps:
+            if app.needs_gpu and not spec.has_gpu:
+                result.add("gpu", app.name, f"needs GPU, {ecu_name} has none")
+        # per-core schedulability of deterministic tasks
+        for core in range(spec.cores):
+            core_apps = [
+                model.app(a) for a in deployment.apps_on_core(ecu_name, core)
+            ]
+            det_tasks: List[TaskSpec] = [
+                t
+                for a in core_apps
+                for t in a.tasks
+                if t.criticality is Criticality.DETERMINISTIC
+            ]
+            if det_tasks and not is_schedulable_fp(det_tasks, spec.speed_factor):
+                result.add(
+                    "schedulability",
+                    f"{ecu_name}.core{core}",
+                    f"deterministic set of {len(det_tasks)} tasks not "
+                    "schedulable",
+                )
+
+
+def _check_os_rules(
+    model: SystemModel, deployment: Deployment, result: VerificationResult
+) -> None:
+    for ecu_name in deployment.used_ecus():
+        try:
+            spec = model.topology.ecu(ecu_name)
+        except Exception:
+            continue
+        apps = [model.app(a) for a in deployment.apps_on(ecu_name)]
+        det_apps = [a for a in apps if a.has_deterministic_tasks]
+        nda_apps = [a for a in apps if not a.has_deterministic_tasks and a.tasks]
+        if det_apps and not spec.os_class.supports_deterministic:
+            result.add(
+                "os_class",
+                ecu_name,
+                f"deterministic apps {[a.name for a in det_apps]} on "
+                f"non-real-time OS {spec.os_class.value}",
+            )
+        if det_apps and nda_apps and not spec.has_mmu:
+            result.add(
+                "mmu",
+                ecu_name,
+                "mixed-criticality co-location requires an MMU for memory "
+                "freedom of interference",
+            )
+        for app in apps:
+            if app.needs_mmu_isolation and not spec.has_mmu:
+                result.add(
+                    "mmu", app.name, f"requires MMU isolation, {ecu_name} has none"
+                )
+
+
+def _check_communication(
+    model: SystemModel, deployment: Deployment, result: VerificationResult
+) -> None:
+    bus_load: Dict[str, float] = {}
+    for producer, consumer, interface in model.communication_pairs():
+        if not deployment.is_placed(producer) or not deployment.is_placed(consumer):
+            result.add(
+                "placement",
+                interface.name,
+                f"{producer} or {consumer} not placed",
+            )
+            continue
+        src = deployment.ecu_of(producer)
+        dst = deployment.ecu_of(consumer)
+        if src == dst:
+            continue  # RTE-local
+        try:
+            buses = model.topology.route_buses(src, dst)
+        except Exception:
+            result.add(
+                "route",
+                interface.name,
+                f"no communication path {src} -> {dst}",
+            )
+            continue
+        det_producer = model.app(producer).is_deterministic
+        for bus in buses:
+            if (
+                det_producer
+                and bus.technology == "ethernet"
+                and not bus.tsn_capable
+            ):
+                result.add(
+                    "isolation",
+                    interface.name,
+                    f"deterministic traffic over non-TSN segment {bus.name}",
+                    severity=Severity.WARNING,
+                )
+            bw = interface.offered_bandwidth_bps()
+            if bw:
+                bus_load[bus.name] = bus_load.get(bus.name, 0.0) + bw
+        reqs = interface.requirements
+        if reqs.max_latency is not None:
+            est = estimate_latency(model, src, dst, interface.payload_bytes)
+            if est > reqs.max_latency:
+                result.add(
+                    "latency",
+                    interface.name,
+                    f"estimated {est * 1e3:.3f} ms exceeds budget "
+                    f"{reqs.max_latency * 1e3:.3f} ms ({src} -> {dst})",
+                )
+        if reqs.min_bandwidth_bps is not None:
+            bottleneck = min(b.bitrate_bps for b in buses)
+            if reqs.min_bandwidth_bps > bottleneck * BUS_UTILIZATION_LIMIT:
+                result.add(
+                    "bandwidth",
+                    interface.name,
+                    f"needs {reqs.min_bandwidth_bps / 1e6:g} Mbit/s, route "
+                    f"bottleneck is {bottleneck / 1e6:g} Mbit/s",
+                )
+    for bus_name, load in bus_load.items():
+        capacity = model.topology.bus(bus_name).bitrate_bps
+        if load > capacity * BUS_UTILIZATION_LIMIT:
+            result.add(
+                "bus_overload",
+                bus_name,
+                f"planned load {load / 1e6:.2f} Mbit/s exceeds "
+                f"{BUS_UTILIZATION_LIMIT:.0%} of {capacity / 1e6:g} Mbit/s",
+            )
+
+
+def _capable_hosts(model: SystemModel, app) -> List[str]:
+    """ECUs that could host ``app`` (capability screen, not load-aware)."""
+    hosts = []
+    for ecu in model.topology.ecus:
+        if app.has_deterministic_tasks and not ecu.os_class.supports_deterministic:
+            continue
+        if app.needs_gpu and not ecu.has_gpu:
+            continue
+        if app.needs_mmu_isolation and not ecu.has_mmu:
+            continue
+        if app.memory_kib > ecu.memory_kib or app.image_kib > ecu.flash_kib:
+            continue
+        hosts.append(ecu.name)
+    return hosts
+
+
+def _check_redundancy(
+    model: SystemModel, deployment: Deployment, result: VerificationResult
+) -> None:
+    """Section 3.3: fail-operational apps need enough capable hosts —
+    "it might be necessary to install multiple ECUs running the dynamic
+    platform"."""
+    for app in model.apps:
+        if not app.fail_operational:
+            continue
+        hosts = _capable_hosts(model, app)
+        if len(hosts) < app.min_replicas:
+            result.add(
+                "redundancy",
+                app.name,
+                f"fail-operational app needs {app.min_replicas} capable "
+                f"hosts, topology offers {len(hosts)} ({hosts})",
+            )
+
+
+def verify(model: SystemModel, deployment: Deployment) -> VerificationResult:
+    """Check one deployment against all rules.  Never raises; inspect
+    :attr:`VerificationResult.ok`."""
+    result = VerificationResult()
+    for message in model.structural_violations():
+        result.add("structure", "model", message)
+    for app in model.apps:
+        if not deployment.is_placed(app.name):
+            result.add("placement", app.name, "app is not placed")
+    for app_name in deployment.apps:
+        try:
+            model.app(app_name)
+        except Exception:
+            result.add("placement", app_name, "deployment places unknown app")
+    for app_name in deployment.apps:
+        placement = deployment.placement(app_name)
+        try:
+            spec = model.topology.ecu(placement.ecu)
+        except Exception:
+            result.add("placement", app_name, f"unknown ECU {placement.ecu!r}")
+            continue
+        if placement.core >= spec.cores:
+            result.add(
+                "placement",
+                app_name,
+                f"core {placement.core} out of range on {placement.ecu} "
+                f"({spec.cores} cores)",
+            )
+    _check_resources(model, deployment, result)
+    _check_os_rules(model, deployment, result)
+    _check_communication(model, deployment, result)
+    _check_redundancy(model, deployment, result)
+    return result
+
+
+def verify_variant_space(
+    model: SystemModel, space: VariantSpace
+) -> Tuple[int, int, Dict[str, VerificationResult]]:
+    """Verify every concrete deployment of ``space``.
+
+    Returns ``(n_ok, n_total, failures)`` where ``failures`` maps a
+    deployment's repr to its failing result.
+    """
+    n_ok = 0
+    n_total = 0
+    failures: Dict[str, VerificationResult] = {}
+    for deployment in space.enumerate():
+        n_total += 1
+        result = verify(model, deployment)
+        if result.ok:
+            n_ok += 1
+        else:
+            failures[repr(deployment.as_dict())] = result
+    return n_ok, n_total, failures

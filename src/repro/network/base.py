@@ -1,0 +1,100 @@
+"""Common bus interface.
+
+Every bus simulator exposes the same surface so that the middleware and
+gateway layers are technology-agnostic:
+
+* :meth:`BusModel.submit` — enqueue a frame for transmission; returns a
+  :class:`~repro.sim.kernel.Signal` that fires with the frame on complete
+  delivery;
+* :meth:`BusModel.add_listener` — register a reception callback for an
+  attached ECU.
+
+Delivery semantics: the listener of the destination ECU (or every listener
+except the sender, for broadcast frames) is invoked at the instant the last
+bit arrives.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..errors import NetworkError
+from ..sim import Signal, Simulator
+from .frame import Frame
+
+Listener = Callable[[Frame], None]
+
+
+class BusModel:
+    """Abstract base for CAN, FlexRay and Ethernet segment simulators."""
+
+    technology = "abstract"
+
+    def __init__(self, sim: Simulator, name: str, bitrate_bps: float) -> None:
+        if bitrate_bps <= 0:
+            raise NetworkError(f"bus {name!r}: bitrate must be positive")
+        self.sim = sim
+        self.name = name
+        self.bitrate_bps = bitrate_bps
+        self._listeners: Dict[str, Listener] = {}
+        self.frames_delivered = 0
+        self.bytes_delivered = 0
+        #: accumulated seconds the medium spent transmitting (wire
+        #: occupancy; the basis for observed-utilization measurements)
+        self.transmit_time = 0.0
+
+    def record_transmission(self, seconds: float) -> None:
+        """Account wire occupancy for a completed transmission."""
+        self.transmit_time += seconds
+
+    # -- attachment --------------------------------------------------------
+
+    def add_listener(self, ecu_name: str, listener: Listener) -> None:
+        """Register ``listener`` as ECU ``ecu_name``'s receive handler."""
+        self._listeners[ecu_name] = listener
+
+    def remove_listener(self, ecu_name: str) -> None:
+        """Detach an ECU's receive handler (e.g. on ECU failure)."""
+        self._listeners.pop(ecu_name, None)
+
+    @property
+    def attached_ecus(self) -> List[str]:
+        return list(self._listeners)
+
+    # -- transmission --------------------------------------------------------
+
+    def submit(self, frame: Frame) -> Signal:
+        """Queue ``frame``; the returned signal fires on delivery."""
+        raise NotImplementedError
+
+    # -- shared helpers ------------------------------------------------------
+
+    def _deliver(self, frame: Frame, done: Optional[Signal]) -> None:
+        """Mark ``frame`` delivered now and fan it out to receivers."""
+        frame.delivered_at = self.sim.now
+        self.frames_delivered += 1
+        self.bytes_delivered += frame.payload_bytes
+        self.sim.trace(
+            "net.delivery",
+            bus=self.name,
+            frame_id=frame.frame_id,
+            src=frame.src,
+            dst=frame.dst,
+            label=frame.label,
+            latency=frame.latency,
+            traffic_class=frame.traffic_class.value,
+        )
+        if frame.dst is None:
+            for ecu, listener in list(self._listeners.items()):
+                if ecu != frame.src:
+                    listener(frame)
+        else:
+            listener = self._listeners.get(frame.dst)
+            if listener is not None:
+                listener(frame)
+        if done is not None:
+            done.fire(frame)
+
+    def wire_time(self, wire_bytes: float) -> float:
+        """Seconds to clock ``wire_bytes`` onto this bus."""
+        return wire_bytes * 8.0 / self.bitrate_bps

@@ -1,0 +1,119 @@
+"""CAN bus simulator with identifier-based arbitration.
+
+Classic CAN 2.0A semantics at frame granularity:
+
+* the bus is a single broadcast medium;
+* when the bus goes idle, the pending frame with the **lowest identifier**
+  (``Frame.priority``) wins arbitration, across all attached nodes;
+* transmission is **non-preemptive** — a started frame always completes,
+  so an urgent frame can be blocked for at most one maximal frame time
+  (the classic priority-inversion bound used in CAN response-time
+  analysis);
+* a CAN data frame carries at most 8 payload bytes; larger payloads are
+  rejected (segmentation is a transport-protocol concern, modelled in the
+  middleware layer).
+
+Frame timing uses the standard worst-case stuffed length for an 11-bit
+identifier frame.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..errors import NetworkError
+from ..sim import Signal, Simulator
+from .base import BusModel
+from .frame import Frame
+
+#: Maximum payload of a classic CAN data frame.
+CAN_MAX_PAYLOAD = 8
+
+#: Highest valid 11-bit identifier.
+CAN_MAX_ID = 0x7FF
+
+
+def can_frame_bits(payload_bytes: int) -> int:
+    """Worst-case wire bits of an 11-bit-ID CAN frame with stuffing.
+
+    47 overhead bits, 8 per payload byte, plus worst-case stuff bits on the
+    34 stuffable overhead bits and the payload: floor((34 + 8n - 1) / 4).
+    """
+    if not 0 <= payload_bytes <= CAN_MAX_PAYLOAD:
+        raise NetworkError(
+            f"CAN payload must be 0..{CAN_MAX_PAYLOAD} bytes, got {payload_bytes}"
+        )
+    data_bits = 8 * payload_bytes
+    stuff_bits = (34 + data_bits - 1) // 4
+    return 47 + data_bits + stuff_bits
+
+
+class CanBus(BusModel):
+    """Event-driven CAN segment."""
+
+    technology = "can"
+
+    #: 3-bit interframe space.
+    IFS_BITS = 3
+
+    def __init__(self, sim: Simulator, name: str, bitrate_bps: float) -> None:
+        super().__init__(sim, name, bitrate_bps)
+        # pending (priority/id, submit sequence, frame, done-signal)
+        self._pending: List[Tuple[int, int, Frame, Signal]] = []
+        self._seq = 0
+        self._busy = False
+        self.arbitration_losses = 0
+
+    def submit(self, frame: Frame) -> Signal:
+        """Queue ``frame`` for arbitration; identifier = ``frame.priority``."""
+        if not 0 <= frame.priority <= CAN_MAX_ID:
+            raise NetworkError(
+                f"CAN identifier must be 0..{CAN_MAX_ID}, got {frame.priority}"
+            )
+        can_frame_bits(frame.payload_bytes)  # validates payload size
+        frame.created_at = self.sim.now
+        done = self.sim.signal(name=f"{self.name}.tx")
+        self._seq += 1
+        self._pending.append((frame.priority, self._seq, frame, done))
+        if not self._busy:
+            self._start_next()
+        return done
+
+    # -- internals ---------------------------------------------------------
+
+    def _start_next(self) -> None:
+        if not self._pending:
+            return
+        self._busy = True
+        if len(self._pending) > 1:
+            self.arbitration_losses += len(self._pending) - 1
+        self._pending.sort(key=lambda item: (item[0], item[1]))
+        __, __, frame, done = self._pending.pop(0)
+        duration = can_frame_bits(frame.payload_bytes) / self.bitrate_bps
+        self.sim.trace(
+            "net.tx_start",
+            bus=self.name,
+            frame_id=frame.frame_id,
+            can_id=frame.priority,
+            duration=duration,
+        )
+        self.sim.schedule(duration, self._finish, frame, done, duration)
+
+    def _finish(self, frame: Frame, done: Signal, duration: float) -> None:
+        self.record_transmission(duration)
+        self._deliver(frame, done)
+        # interframe space before the next arbitration round
+        self.sim.schedule(self.IFS_BITS / self.bitrate_bps, self._idle)
+
+    def _idle(self) -> None:
+        self._busy = False
+        self._start_next()
+
+    @property
+    def queue_depth(self) -> int:
+        """Frames currently waiting for arbitration."""
+        return len(self._pending)
+
+    def worst_case_blocking(self) -> float:
+        """Longest time a top-priority frame can wait behind a started frame."""
+        return can_frame_bits(CAN_MAX_PAYLOAD) / self.bitrate_bps

@@ -1,0 +1,203 @@
+"""FlexRay bus simulator: static TDMA segment + dynamic minislot segment.
+
+FlexRay (Section 5.3) "offers a combination of time-triggered deterministic
+communication and priority-based communication, which can be used to
+partition and isolate deterministic and non-deterministic applications."
+
+Model, at frame granularity:
+
+* time is divided into fixed-length **communication cycles**;
+* each cycle starts with a **static segment** of equal-length slots, each
+  statically assigned to one sender — a frame mapped to slot *k* is
+  transmitted in the next cycle whose slot *k* has not started yet;
+* the remainder of the cycle is the **dynamic segment**, arbitrated by
+  frame identifier (lower wins) in minislot order; a dynamic frame is sent
+  only if it fits in the remaining dynamic segment of the current cycle,
+  otherwise it waits for the next cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ConfigurationError, NetworkError
+from ..sim import Signal, Simulator
+from .base import BusModel
+from .frame import Frame, TrafficClass
+
+
+@dataclass(frozen=True)
+class FlexRayConfig:
+    """Cycle layout of a FlexRay cluster.
+
+    Attributes:
+        cycle_length: seconds per communication cycle.
+        static_slots: number of static slots per cycle.
+        static_slot_length: seconds per static slot.
+        slot_payload_bytes: payload capacity of one static slot.
+    """
+
+    cycle_length: float = 0.005
+    static_slots: int = 32
+    static_slot_length: float = 0.0001
+    slot_payload_bytes: int = 32
+
+    def __post_init__(self) -> None:
+        if self.static_slots < 1:
+            raise ConfigurationError("need at least one static slot")
+        if self.static_slot_length <= 0 or self.cycle_length <= 0:
+            raise ConfigurationError("slot and cycle lengths must be positive")
+        if self.static_segment_length >= self.cycle_length:
+            raise ConfigurationError(
+                "static segment does not fit into the cycle "
+                f"({self.static_segment_length} >= {self.cycle_length})"
+            )
+
+    @property
+    def static_segment_length(self) -> float:
+        return self.static_slots * self.static_slot_length
+
+    @property
+    def dynamic_segment_length(self) -> float:
+        return self.cycle_length - self.static_segment_length
+
+    def slot_start(self, cycle: int, slot: int) -> float:
+        """Absolute start time of static ``slot`` in ``cycle``."""
+        return cycle * self.cycle_length + slot * self.static_slot_length
+
+
+class FlexRayBus(BusModel):
+    """Event-driven FlexRay cluster."""
+
+    technology = "flexray"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        bitrate_bps: float = 10_000_000.0,
+        config: Optional[FlexRayConfig] = None,
+    ) -> None:
+        super().__init__(sim, name, bitrate_bps)
+        self.config = config or FlexRayConfig()
+        # slot index -> owning sender ECU
+        self._slot_owner: Dict[int, str] = {}
+        # slot index -> queued (frame, done)
+        self._slot_queue: Dict[int, List[Tuple[Frame, Signal]]] = {}
+        # dynamic frames: (identifier, seq, frame, done)
+        self._dynamic: List[Tuple[int, int, Frame, Signal]] = []
+        self._seq = 0
+        self._cycle_proc_started = False
+        self.static_frames_sent = 0
+        self.dynamic_frames_sent = 0
+        self.dynamic_deferrals = 0
+
+    # -- configuration -------------------------------------------------------
+
+    def assign_slot(self, slot: int, ecu_name: str) -> None:
+        """Statically assign ``slot`` to sender ``ecu_name``."""
+        if not 0 <= slot < self.config.static_slots:
+            raise ConfigurationError(
+                f"slot {slot} out of range 0..{self.config.static_slots - 1}"
+            )
+        if slot in self._slot_owner:
+            raise ConfigurationError(
+                f"slot {slot} already owned by {self._slot_owner[slot]!r}"
+            )
+        self._slot_owner[slot] = ecu_name
+        self._slot_queue[slot] = []
+
+    def slot_of(self, ecu_name: str) -> Optional[int]:
+        """First slot owned by ``ecu_name`` (None if it owns no slot)."""
+        for slot, owner in sorted(self._slot_owner.items()):
+            if owner == ecu_name:
+                return slot
+        return None
+
+    # -- transmission --------------------------------------------------------
+
+    def submit(self, frame: Frame) -> Signal:
+        """Queue a frame.
+
+        Deterministic frames go into the sender's static slot; others are
+        arbitrated in the dynamic segment by ``frame.priority``.
+        """
+        self._ensure_cycle_process()
+        frame.created_at = self.sim.now
+        done = self.sim.signal(name=f"{self.name}.tx")
+        if frame.traffic_class is TrafficClass.DETERMINISTIC:
+            slot = self.slot_of(frame.src)
+            if slot is None:
+                raise NetworkError(
+                    f"{frame.src!r} owns no static slot on {self.name!r}"
+                )
+            if frame.payload_bytes > self.config.slot_payload_bytes:
+                raise NetworkError(
+                    f"frame exceeds static slot payload "
+                    f"({frame.payload_bytes} > {self.config.slot_payload_bytes})"
+                )
+            self._slot_queue[slot].append((frame, done))
+        else:
+            self._seq += 1
+            self._dynamic.append((frame.priority, self._seq, frame, done))
+        return done
+
+    # -- cycle engine --------------------------------------------------------
+
+    def _ensure_cycle_process(self) -> None:
+        if not self._cycle_proc_started:
+            self._cycle_proc_started = True
+            self.sim.process(self._cycle_loop(), name=f"{self.name}.cycle")
+
+    def _cycle_loop(self):
+        cfg = self.config
+        cycle = int(self.sim.now // cfg.cycle_length)
+        while True:
+            cycle_start = cycle * cfg.cycle_length
+            # static segment
+            for slot in range(cfg.static_slots):
+                slot_start = cfg.slot_start(cycle, slot)
+                if slot_start < self.sim.now:
+                    continue
+                wait = slot_start - self.sim.now
+                if wait > 0:
+                    yield wait
+                queue = self._slot_queue.get(slot)
+                if queue:
+                    frame, done = queue.pop(0)
+                    yield cfg.static_slot_length
+                    self.static_frames_sent += 1
+                    self.record_transmission(cfg.static_slot_length)
+                    self._deliver(frame, done)
+                # idle slots simply elapse via the next wait
+            # dynamic segment
+            dyn_start = cycle_start + cfg.static_segment_length
+            dyn_end = cycle_start + cfg.cycle_length
+            if self.sim.now < dyn_start:
+                yield dyn_start - self.sim.now
+            while self._dynamic and self.sim.now < dyn_end:
+                self._dynamic.sort(key=lambda item: (item[0], item[1]))
+                __, __, frame, done = self._dynamic[0]
+                duration = self.wire_time(frame.payload_bytes + 8)
+                if self.sim.now + duration > dyn_end:
+                    self.dynamic_deferrals += 1
+                    break  # does not fit; defer to next cycle
+                self._dynamic.pop(0)
+                yield duration
+                self.dynamic_frames_sent += 1
+                self.record_transmission(duration)
+                self._deliver(frame, done)
+            if dyn_end > self.sim.now:
+                yield dyn_end - self.sim.now
+            cycle += 1
+            if not self._has_pending():
+                # park the cycle engine until the next submit, so that an
+                # idle FlexRay cluster does not keep the simulation alive
+                self._cycle_proc_started = False
+                return
+
+    def _has_pending(self) -> bool:
+        if self._dynamic:
+            return True
+        return any(queue for queue in self._slot_queue.values())

@@ -1,0 +1,249 @@
+"""Gateway ECU logic and the multi-segment vehicle network.
+
+A :class:`VehicleNetwork` instantiates one bus simulator per
+:class:`~repro.hw.topology.BusSpec` in a topology and wires gateway ECUs
+(ECUs attached to more than one bus) to forward frames between segments
+along the topology's shortest routes.  The result is a single
+:meth:`VehicleNetwork.send` primitive with end-to-end delivery signals,
+which the middleware builds on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import ConfigurationError, NetworkError
+from ..sim import Signal, Simulator
+from ..hw.topology import BusSpec, Topology
+from .base import BusModel, Listener
+from .can import CAN_MAX_PAYLOAD, CanBus
+from .ethernet import EthernetBus
+from .flexray import FlexRayBus
+from .frame import Frame, TrafficClass
+from .tsn import GateControlList, TsnBus
+
+#: Per-hop store-and-forward processing delay in a gateway ECU.
+GATEWAY_LATENCY = 0.0002
+
+
+def build_bus(sim: Simulator, spec: BusSpec, gcl: Optional[GateControlList] = None) -> BusModel:
+    """Instantiate the right simulator class for a bus spec."""
+    if spec.technology == "can":
+        return CanBus(sim, spec.name, spec.bitrate_bps)
+    if spec.technology == "flexray":
+        return FlexRayBus(sim, spec.name, spec.bitrate_bps)
+    if spec.technology == "ethernet":
+        if spec.tsn_capable:
+            return TsnBus(sim, spec.name, spec.bitrate_bps, gcl=gcl)
+        return EthernetBus(sim, spec.name, spec.bitrate_bps)
+    raise ConfigurationError(f"no simulator for technology {spec.technology!r}")
+
+
+class VehicleNetwork:
+    """All bus segments of a topology plus gateway forwarding."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        gcl: Optional[GateControlList] = None,
+    ) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.buses: Dict[str, BusModel] = {
+            spec.name: build_bus(sim, spec, gcl) for spec in topology.buses
+        }
+        self._receivers: Dict[str, Callable[[Frame], None]] = {}
+        self.gateway_forwards = 0
+        self._failed_buses: set = set()
+        self.reroutes = 0
+        for ecu in topology.ecus:
+            for bus_spec in topology.buses_of(ecu.name):
+                self.buses[bus_spec.name].add_listener(
+                    ecu.name, self._make_segment_listener(ecu.name)
+                )
+        self._auto_assign_flexray_slots()
+
+    def _auto_assign_flexray_slots(self) -> None:
+        """Give every ECU on a FlexRay cluster one static slot, in
+        attachment order — the minimal viable slot plan; callers needing a
+        custom layout can use :meth:`FlexRayBus.assign_slot` directly."""
+        for spec in self.topology.buses:
+            if spec.technology != "flexray":
+                continue
+            bus = self.buses[spec.name]
+            if not isinstance(bus, FlexRayBus):
+                continue  # pragma: no cover - build_bus guarantees this
+            for slot, ecu in enumerate(self.topology.ecus_on(spec.name)):
+                if slot >= bus.config.static_slots:
+                    break
+                bus.assign_slot(slot, ecu.name)
+
+    # -- endpoint registration ----------------------------------------------
+
+    def register_receiver(self, ecu_name: str, handler: Callable[[Frame], None]) -> None:
+        """Install the ECU-level frame handler (one per ECU)."""
+        self.topology.ecu(ecu_name)
+        self._receivers[ecu_name] = handler
+
+    def unregister_receiver(self, ecu_name: str) -> None:
+        """Remove an ECU's handler (ECU failure or shutdown)."""
+        self._receivers.pop(ecu_name, None)
+
+    def _make_segment_listener(self, ecu_name: str) -> Listener:
+        def on_frame(frame: Frame) -> None:
+            if frame.dst is not None and frame.dst != ecu_name:
+                return
+            handler = self._receivers.get(ecu_name)
+            if handler is not None:
+                handler(frame)
+
+        return on_frame
+
+    # -- sending ------------------------------------------------------------
+
+    # -- bus failure & redundant channels -------------------------------------
+
+    def fail_bus(self, bus_name: str) -> None:
+        """Take a bus segment out of service (cable cut / guardian shutdown).
+
+        Subsequent sends route around it when the topology offers a
+        redundant channel (the RACE-style ring of Section 5.3); otherwise
+        they raise :class:`~repro.errors.ConfigurationError` (no path).
+        """
+        self.bus(bus_name)  # validate
+        self._failed_buses.add(bus_name)
+
+    def repair_bus(self, bus_name: str) -> None:
+        """Return a failed segment to service."""
+        self._failed_buses.discard(bus_name)
+
+    @property
+    def failed_buses(self) -> List[str]:
+        return sorted(self._failed_buses)
+
+    def _route(self, src: str, dst: str) -> List[str]:
+        """Topology route honouring failed segments."""
+        if not self._failed_buses:
+            return self.topology.route(src, dst)
+        import networkx as nx
+
+        graph = self.topology.graph.copy()
+        graph.remove_nodes_from(self._failed_buses)
+        try:
+            route = nx.shortest_path(graph, src, dst)
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            raise ConfigurationError(
+                f"no surviving path {src!r} -> {dst!r} "
+                f"(failed buses: {sorted(self._failed_buses)})"
+            ) from None
+        self.reroutes += 1
+        return route
+
+    def send(
+        self,
+        src: str,
+        dst: str,
+        payload_bytes: int,
+        *,
+        priority: int = 0,
+        traffic_class: TrafficClass = TrafficClass.NON_DETERMINISTIC,
+        payload: object = None,
+        label: str = "",
+    ) -> Signal:
+        """Send a frame end to end, hopping gateways as needed.
+
+        Returns a signal that fires with the final-segment frame once the
+        message reaches ``dst``.  Payloads exceeding a CAN segment's frame
+        limit raise :class:`NetworkError` — segmentation belongs to the
+        transport layer in :mod:`repro.middleware`.
+        """
+        route = self._route(src, dst)
+        # route alternates ecu, bus, ecu, bus, ..., ecu
+        hops: List[Tuple[str, str, str]] = []  # (from_ecu, bus, to_ecu)
+        for i in range(0, len(route) - 1, 2):
+            hops.append((route[i], route[i + 1], route[i + 2]))
+        done = self.sim.signal(name=f"net.{src}->{dst}")
+        self._send_hop(hops, 0, payload_bytes, priority, traffic_class, payload, label, done)
+        return done
+
+    def _send_hop(
+        self,
+        hops: List[Tuple[str, str, str]],
+        index: int,
+        payload_bytes: int,
+        priority: int,
+        traffic_class: TrafficClass,
+        payload: object,
+        label: str,
+        done: Signal,
+    ) -> None:
+        from_ecu, bus_name, to_ecu = hops[index]
+        bus = self.buses[bus_name]
+        frame = Frame(
+            src=from_ecu,
+            dst=to_ecu,
+            payload_bytes=payload_bytes,
+            priority=self._segment_priority(bus, priority, traffic_class),
+            traffic_class=traffic_class,
+            payload=payload,
+            label=label,
+        )
+        leg_done = bus.submit(frame)
+
+        if index == len(hops) - 1:
+            leg_done.add_callback(done.fire)
+            return
+
+        def forward(_frame) -> None:
+            self.gateway_forwards += 1
+            self.sim.schedule(
+                GATEWAY_LATENCY,
+                self._send_hop,
+                hops,
+                index + 1,
+                payload_bytes,
+                priority,
+                traffic_class,
+                payload,
+                label,
+                done,
+            )
+
+        leg_done.add_callback(forward)
+
+    @staticmethod
+    def _segment_priority(bus: BusModel, priority: int, traffic_class: TrafficClass) -> int:
+        """Map a technology-neutral priority onto the segment's scheme.
+
+        The caller passes CAN-style semantics (lower = more urgent, range
+        0..2047).  Ethernet wants PCP 0..7 with higher = more urgent, so we
+        invert and clamp; deterministic traffic is pinned to PCP 7 (the
+        protected TSN class).
+        """
+        if isinstance(bus, (EthernetBus,)):
+            if traffic_class is TrafficClass.DETERMINISTIC:
+                return 7
+            pcp = 6 - min(priority // 300, 6)
+            return max(0, pcp)
+        return priority
+
+    def route_buses(self, src: str, dst: str) -> List[BusSpec]:
+        """Bus specs along the live route (failed segments excluded)."""
+        return [
+            self.topology.bus(node)
+            for node in self._route(src, dst)
+            if node in {b.name for b in self.topology.buses}
+        ]
+
+    # -- stats ----------------------------------------------------------------
+
+    def bus(self, name: str) -> BusModel:
+        """Access one segment simulator by name."""
+        try:
+            return self.buses[name]
+        except KeyError:
+            raise NetworkError(f"unknown bus {name!r}") from None
+
+    def total_frames_delivered(self) -> int:
+        return sum(bus.frames_delivered for bus in self.buses.values())

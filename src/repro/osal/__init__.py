@@ -1,0 +1,59 @@
+"""OS abstraction layer: tasks, schedulers, analysis, memory protection."""
+
+from .analysis import (
+    AnalysisReport,
+    analyse_task_set,
+    first_fit_partition,
+    is_schedulable_edf,
+    is_schedulable_fp,
+    is_schedulable_tt,
+    liu_layland_bound,
+    response_time_analysis,
+    rm_priority_order,
+    scaled_utilization,
+)
+from .core import Core, PeriodicSource, SchedulingPolicy
+from .memory import MemoryManager, OsProcess
+from .policies import (
+    BudgetServer,
+    EdfPolicy,
+    FairSharePolicy,
+    FifoPolicy,
+    FixedPriorityPolicy,
+    MixedCriticalityPolicy,
+)
+from .task import Criticality, Job, TaskSpec, hyperperiod, total_utilization
+from .timetable import TableSlot, TimeTable, TimeTriggeredExecutive, synthesize_table
+
+__all__ = [
+    "AnalysisReport",
+    "BudgetServer",
+    "Core",
+    "Criticality",
+    "EdfPolicy",
+    "FairSharePolicy",
+    "FifoPolicy",
+    "FixedPriorityPolicy",
+    "Job",
+    "MemoryManager",
+    "MixedCriticalityPolicy",
+    "OsProcess",
+    "PeriodicSource",
+    "SchedulingPolicy",
+    "TableSlot",
+    "TaskSpec",
+    "TimeTable",
+    "TimeTriggeredExecutive",
+    "analyse_task_set",
+    "first_fit_partition",
+    "hyperperiod",
+    "is_schedulable_edf",
+    "is_schedulable_fp",
+    "is_schedulable_tt",
+    "liu_layland_bound",
+    "response_time_analysis",
+    "rm_priority_order",
+    "scaled_utilization",
+    "synthesize_table",
+    "total_utilization",
+]

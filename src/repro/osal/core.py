@@ -1,0 +1,372 @@
+"""Single-core preemptive CPU model with pluggable scheduling policy.
+
+The :class:`Core` executes :class:`~repro.osal.task.Job` objects under a
+:class:`SchedulingPolicy`.  It handles the mechanics every policy shares —
+release queues, preemption accounting, quantum expiry, completion tracing —
+while the policy only decides *which* ready job runs next.
+
+Multicore ECUs are modelled as one :class:`Core` per hardware core with a
+partitioned task assignment (the standard approach in automotive
+multicore deployments).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..errors import SchedulingError
+from ..sim import ScheduledCall, Simulator
+from .task import Criticality, Job, TaskSpec
+
+
+class SchedulingPolicy:
+    """Chooses the next job to run.  Stateless unless a subclass says so."""
+
+    #: Whether an arriving higher-priority job may preempt a running one.
+    preemptive = True
+
+    #: Round-robin time slice; ``None`` disables slicing.
+    quantum: Optional[float] = None
+
+    def pick(self, ready: List[Job], now: float) -> Optional[Job]:
+        """Return the job that should occupy the core, or ``None``."""
+        raise NotImplementedError
+
+    def on_quantum_expired(self, job: Job, ready: List[Job]) -> None:
+        """Hook invoked when a sliced job exhausts its quantum."""
+
+    def next_wakeup(self, now: float) -> Optional[float]:
+        """If ``pick`` returned ``None`` despite ready jobs, when to retry.
+
+        Lets budget-style policies park the core until replenishment.
+        """
+        return None
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class Core:
+    """One processing core of an ECU."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        speed_factor: float,
+        policy: SchedulingPolicy,
+    ) -> None:
+        if speed_factor <= 0:
+            raise SchedulingError(f"core {name!r}: speed factor must be positive")
+        self.sim = sim
+        self.name = name
+        self.speed_factor = speed_factor
+        self.policy = policy
+        self.ready: List[Job] = []
+        self.current: Optional[Job] = None
+        self._completion: Optional[ScheduledCall] = None
+        self._quantum_call: Optional[ScheduledCall] = None
+        self._run_started_at = 0.0
+        self.completed_jobs: List[Job] = []
+        self.busy_time = 0.0
+        self._completion_listeners: List[Callable[[Job], None]] = []
+        self.halted = False
+        self._parked_until: Optional[float] = None
+
+    # -- public API ----------------------------------------------------------
+
+    def submit(self, job: Job) -> None:
+        """Release ``job`` on this core."""
+        if self.halted:
+            return
+        self.ready.append(job)
+        self.sim.trace(
+            "os.release",
+            core=self.name,
+            task=job.task.name,
+            job=job.job_id,
+            deadline=job.absolute_deadline,
+        )
+        self._reschedule()
+
+    def submit_task_activation(self, task: TaskSpec, scaled_wcet: float) -> Job:
+        """Create and release a job for ``task`` at the current instant."""
+        job = Job(
+            task=task,
+            release_time=self.sim.now,
+            absolute_deadline=self.sim.now + task.effective_deadline,
+            remaining=scaled_wcet,
+        )
+        self.submit(job)
+        return job
+
+    def on_completion(self, listener: Callable[[Job], None]) -> None:
+        """Register a callback invoked for every finished job."""
+        self._completion_listeners.append(listener)
+
+    def halt(self) -> None:
+        """Stop the core (ECU failure): drop all work, accept nothing new."""
+        self.halted = True
+        self._cancel_timers()
+        self.current = None
+        self.ready.clear()
+
+    def resume(self) -> None:
+        """Bring a halted core back (ECU recovery)."""
+        self.halted = False
+        self._reschedule()
+
+    def cancel_jobs_of(self, task_name: str) -> int:
+        """Remove queued/running jobs of one task (app stop). Returns count."""
+        removed = [j for j in self.ready if j.task.name == task_name]
+        self.ready = [j for j in self.ready if j.task.name != task_name]
+        count = len(removed)
+        if self.current is not None and self.current.task.name == task_name:
+            self._cancel_timers()
+            self.current = None
+            count += 1
+            self._reschedule()
+        return count
+
+    @property
+    def load_snapshot(self) -> int:
+        """Jobs in the system right now (ready + running)."""
+        return len(self.ready) + (1 if self.current is not None else 0)
+
+    def utilization_observed(self) -> float:
+        """Fraction of elapsed simulated time the core was busy."""
+        if self.sim.now == 0:
+            return 0.0
+        busy = self.busy_time
+        if self.current is not None:
+            busy += self.sim.now - self._run_started_at
+        return busy / self.sim.now
+
+    # -- engine ----------------------------------------------------------------
+
+    def _reschedule(self) -> None:
+        if self.halted:
+            return
+        self._sync_current()
+        candidates = list(self.ready)
+        if self.current is not None:
+            candidates.append(self.current)
+        choice = self.policy.pick(candidates, self.sim.now)
+        if choice is not None and choice is self.current:
+            if self._completion is None and self._quantum_call is None:
+                self._start_running(self.current)
+            return
+        if self.current is not None:
+            if not self.policy.preemptive:
+                return  # let the running job finish
+            self._preempt_current()
+        if choice is not None:
+            if choice in self.ready:
+                self.ready.remove(choice)
+            self.current = choice
+            self._start_running(choice)
+        else:
+            self.current = None
+            if self.ready:
+                wake_at = self.policy.next_wakeup(self.sim.now)
+                if wake_at is not None and wake_at > self.sim.now:
+                    if self._parked_until is None or wake_at < self._parked_until:
+                        self._parked_until = wake_at
+                        self.sim.at(wake_at, self._unpark)
+
+    def _sync_current(self) -> None:
+        """Charge the running job for time elapsed since dispatch."""
+        if self.current is None:
+            return
+        if self._completion is None and self._quantum_call is None:
+            return  # not actually executing (mid-transition)
+        elapsed = self.sim.now - self._run_started_at
+        if elapsed > 0:
+            self.current.remaining = max(0.0, self.current.remaining - elapsed)
+            self.busy_time += elapsed
+            self._run_started_at = self.sim.now
+
+    def _preempt_current(self) -> None:
+        job = self.current
+        assert job is not None
+        self._cancel_timers()
+        if job.start_time is not None and job.start_time == self.sim.now:
+            # dispatched and preempted within the same instant: the job
+            # never actually executed, so it has not "started" yet
+            job.start_time = None
+        job.preemptions += 1
+        self.ready.append(job)
+        self.current = None
+        self.sim.trace(
+            "os.preempt", core=self.name, task=job.task.name, job=job.job_id
+        )
+
+    def _start_running(self, job: Job) -> None:
+        if job.start_time is None:
+            job.start_time = self.sim.now
+        self._run_started_at = self.sim.now
+        run_for = job.remaining
+        quantum = self.policy.quantum
+        self._cancel_timers()
+        if quantum is not None and quantum < run_for:
+            self._quantum_call = self.sim.schedule(quantum, self._quantum_expired)
+        else:
+            self._completion = self.sim.schedule(run_for, self._complete)
+
+    def _cancel_timers(self) -> None:
+        if self._completion is not None:
+            self._completion.cancel()
+            self._completion = None
+        if self._quantum_call is not None:
+            self._quantum_call.cancel()
+            self._quantum_call = None
+
+    def _unpark(self) -> None:
+        self._parked_until = None
+        if not self.halted and self.current is None:
+            self._reschedule()
+
+    def _quantum_expired(self) -> None:
+        job = self.current
+        if job is None:
+            return
+        elapsed = self.sim.now - self._run_started_at
+        job.remaining = max(0.0, job.remaining - elapsed)
+        self.busy_time += elapsed
+        self._quantum_call = None
+        self.current = None
+        if job.remaining <= 1e-12:
+            self._finish_job(job)
+        else:
+            self.ready.append(job)
+            self.policy.on_quantum_expired(job, self.ready)
+        self._reschedule()
+
+    def _complete(self) -> None:
+        job = self.current
+        if job is None:
+            return
+        elapsed = self.sim.now - self._run_started_at
+        self.busy_time += elapsed
+        job.remaining = 0.0
+        self._completion = None
+        self.current = None
+        self._finish_job(job)
+        self._reschedule()
+
+    def _finish_job(self, job: Job) -> None:
+        job.finish_time = self.sim.now
+        self.completed_jobs.append(job)
+        self.sim.trace(
+            "os.done",
+            core=self.name,
+            task=job.task.name,
+            job=job.job_id,
+            response=job.response_time,
+            missed=job.missed_deadline,
+            jitter=job.start_jitter,
+        )
+        for listener in self._completion_listeners:
+            listener(job)
+
+
+class PeriodicSource:
+    """Releases jobs of a task periodically onto a core.
+
+    Optional activation jitter models imperfect timers; the draw comes from
+    the simulator-independent RNG stream supplied by the caller so runs stay
+    reproducible.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        core: Core,
+        task: TaskSpec,
+        *,
+        scaled_wcet: Optional[float] = None,
+        activation_jitter: float = 0.0,
+        jitter_draw: Optional[Callable[[], float]] = None,
+        horizon: Optional[float] = None,
+    ) -> None:
+        self.sim = sim
+        self.core = core
+        self.task = task
+        self.scaled_wcet = (
+            scaled_wcet if scaled_wcet is not None else task.wcet / core.speed_factor
+        )
+        self.activation_jitter = activation_jitter
+        self.jitter_draw = jitter_draw
+        self.horizon = horizon
+        self.jobs: List[Job] = []
+        self.stopped = False
+        self._activation_index = 0
+        self._epoch = sim.now
+        self._schedule_activation()
+
+    def stop(self) -> None:
+        """Cease releasing new jobs (running/queued jobs are unaffected)."""
+        self.stopped = True
+
+    def _schedule_activation(self) -> None:
+        # Activation instants are computed as absolute offsets from the
+        # epoch (offset + k * period) — no cumulative float drift — and
+        # fire at urgent priority so a job released at instant T is visible
+        # to any scheduling decision (e.g. a TT slot start) at T.
+        from ..sim import PRIORITY_URGENT
+
+        when = self._epoch + self.task.offset + self._activation_index * self.task.period
+        self.sim.at(max(when, self.sim.now), self._activate, priority=PRIORITY_URGENT)
+
+    def _activate(self) -> None:
+        if self.stopped:
+            return
+        if self.horizon is not None and self.sim.now >= self.horizon:
+            return
+        extra = 0.0
+        if self.activation_jitter > 0 and self.jitter_draw is not None:
+            extra = self.activation_jitter * self.jitter_draw()
+        if extra > 0:
+            self.sim.schedule(extra, self._release_job)
+        else:
+            self._release_job()
+        self._activation_index += 1
+        self._schedule_activation()
+
+    def _release_job(self) -> None:
+        if self.stopped:
+            return
+        job = self.core.submit_task_activation(self.task, self.scaled_wcet)
+        self.jobs.append(job)
+
+    # -- metrics ---------------------------------------------------------------
+
+    def finished_jobs(self) -> List[Job]:
+        return [j for j in self.jobs if j.finished]
+
+    def miss_count(self) -> int:
+        return sum(1 for j in self.finished_jobs() if j.missed_deadline)
+
+    def unfinished_past_deadline(self, now: float) -> int:
+        """Jobs still incomplete although their deadline has passed."""
+        return sum(
+            1
+            for j in self.jobs
+            if not j.finished and j.absolute_deadline < now - 1e-12
+        )
+
+    def miss_ratio(self, now: Optional[float] = None) -> float:
+        """Deadline-miss ratio over all released jobs."""
+        if not self.jobs:
+            return 0.0
+        misses = self.miss_count()
+        if now is not None:
+            misses += self.unfinished_past_deadline(now)
+        return misses / len(self.jobs)
+
+    def response_times(self) -> List[float]:
+        return [j.response_time for j in self.finished_jobs()]
+
+    def max_response_time(self) -> float:
+        times = self.response_times()
+        return max(times) if times else 0.0

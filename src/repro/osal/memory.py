@@ -1,0 +1,113 @@
+"""Process and memory-protection model.
+
+The paper (Section 3.1, Memory): "Freedom of interference between
+applications also requires to fully separate their memory. ... OSs with
+support for memory separation often require a Memory Management Unit" and
+"it is important to define which applications need to run in separate
+processes and which can be combined in a single process."
+
+The model captures exactly the failure mode that matters: a wild write by
+one application corrupts every application sharing its address space.
+With an MMU, each :class:`OsProcess` is its own address space; without
+one, all processes on the ECU share a single space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..errors import ConfigurationError
+from ..hw.ecu import EcuState
+
+
+@dataclass
+class OsProcess:
+    """An OS process hosting one or more application components."""
+
+    name: str
+    memory_kib: float
+    address_space: int
+    residents: Set[str] = field(default_factory=set)
+    corrupted: bool = False
+
+    def add_resident(self, app_name: str) -> None:
+        self.residents.add(app_name)
+
+    def remove_resident(self, app_name: str) -> None:
+        self.residents.discard(app_name)
+
+
+class MemoryManager:
+    """Creates processes and arbitrates address spaces on one ECU."""
+
+    def __init__(self, ecu_state: EcuState) -> None:
+        self.ecu_state = ecu_state
+        self.has_mmu = ecu_state.spec.has_mmu
+        self._processes: Dict[str, OsProcess] = {}
+        self._next_space = 0
+        self.wild_writes = 0
+
+    def spawn(self, name: str, memory_kib: float, resident: Optional[str] = None) -> OsProcess:
+        """Create a process, reserving its memory on the ECU.
+
+        With an MMU every process gets a private address space; without
+        one, all processes share space 0.
+        """
+        if name in self._processes:
+            raise ConfigurationError(f"process {name!r} already exists")
+        self.ecu_state.allocate_memory(memory_kib)
+        if self.has_mmu:
+            space = self._next_space
+            self._next_space += 1
+        else:
+            space = 0
+        proc = OsProcess(name=name, memory_kib=memory_kib, address_space=space)
+        if resident is not None:
+            proc.add_resident(resident)
+        self._processes[name] = proc
+        return proc
+
+    def kill(self, name: str) -> None:
+        """Destroy a process and release its memory."""
+        proc = self._processes.pop(name, None)
+        if proc is None:
+            raise ConfigurationError(f"no such process {name!r}")
+        self.ecu_state.free_memory(proc.memory_kib)
+
+    def process(self, name: str) -> OsProcess:
+        try:
+            return self._processes[name]
+        except KeyError:
+            raise ConfigurationError(f"no such process {name!r}") from None
+
+    @property
+    def processes(self) -> List[OsProcess]:
+        return list(self._processes.values())
+
+    def wild_write(self, source_process: str) -> List[str]:
+        """Simulate a stray pointer write originating in ``source_process``.
+
+        Returns the names of all processes whose memory is corrupted.  With
+        an MMU the blast radius is the faulty process alone; without one it
+        is every process in the shared address space — the paper's argument
+        for making the MMU a hardware requirement of the dynamic platform.
+        """
+        src = self.process(source_process)
+        self.wild_writes += 1
+        victims = [
+            p for p in self._processes.values() if p.address_space == src.address_space
+        ]
+        for victim in victims:
+            victim.corrupted = True
+        return [v.name for v in victims]
+
+    def isolation_groups(self) -> List[Set[str]]:
+        """Process names grouped by shared address space."""
+        groups: Dict[int, Set[str]] = {}
+        for proc in self._processes.values():
+            groups.setdefault(proc.address_space, set()).add(proc.name)
+        return list(groups.values())
+
+    def memory_in_use_kib(self) -> float:
+        return sum(p.memory_kib for p in self._processes.values())

@@ -1,0 +1,41 @@
+"""Security layer: package signing, update masters, lightweight
+authentication/authorization and probabilistic architecture analysis."""
+
+from .access_control import AccessControlMatrix, permissive_matrix
+from .app_analysis import DeploymentSecurityAnalyzer
+from .analysis import (
+    AttackPath,
+    SecurityAnalyzer,
+    SecurityAnnotations,
+    SecurityReport,
+)
+from .auth import AuthBroker, SessionToken
+from .crypto import Signature, TrustStore, digest
+from .package import (
+    PackageVerifier,
+    SoftwarePackage,
+    build_package,
+    forged_package,
+)
+from .update_master import UpdateMaster, UpdateMasterGroup
+
+__all__ = [
+    "AccessControlMatrix",
+    "AttackPath",
+    "AuthBroker",
+    "DeploymentSecurityAnalyzer",
+    "PackageVerifier",
+    "SecurityAnalyzer",
+    "SecurityAnnotations",
+    "SecurityReport",
+    "SessionToken",
+    "Signature",
+    "SoftwarePackage",
+    "TrustStore",
+    "UpdateMaster",
+    "UpdateMasterGroup",
+    "build_package",
+    "digest",
+    "forged_package",
+    "permissive_matrix",
+]

@@ -1,0 +1,102 @@
+"""Model-derived distributed access control (Section 4.2).
+
+"Such an access control method needs to define which client is allowed to
+access which service.  These definitions should be automatically extracted
+from the modeling approach described in Section 2.  This way, the security
+model can be checked already at integration time."
+
+:class:`AccessControlMatrix` is built from the
+:class:`~repro.model.codegen.MiddlewareConfig` and plugs into both the
+service registry (as a binding guard) and the auth broker (as the
+authorizer).  Runtime-adjustable wildcard grants cover the paper's data
+logger case.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..errors import SecurityError
+from ..middleware.registry import ServiceRegistry
+from ..model.codegen import MiddlewareConfig
+
+
+class AccessControlMatrix:
+    """Which application may bind to which service id."""
+
+    def __init__(self, allowed: Optional[Dict[str, Set[int]]] = None) -> None:
+        self._allowed: Dict[str, Set[int]] = {
+            app: set(sids) for app, sids in (allowed or {}).items()
+        }
+        self._wildcards: Set[str] = set()
+        self.checks = 0
+        self.denials = 0
+
+    @classmethod
+    def from_config(cls, config: MiddlewareConfig) -> "AccessControlMatrix":
+        """Extract the matrix from generated middleware configuration."""
+        return cls(allowed=config.allowed_bindings)
+
+    # -- policy edits (runtime-adjustable, Section 4.2) -------------------------
+
+    def grant(self, app: str, service_id: int) -> None:
+        self._allowed.setdefault(app, set()).add(service_id)
+
+    def deny(self, app: str, service_id: int) -> None:
+        self._allowed.get(app, set()).discard(service_id)
+
+    def grant_wildcard(self, app: str) -> None:
+        """Give ``app`` access to every service (the data-logger case).
+
+        The paper flags this as security-sensitive; wildcard holders are
+        tracked so audits can enumerate them.
+        """
+        self._wildcards.add(app)
+
+    def revoke_wildcard(self, app: str) -> None:
+        self._wildcards.discard(app)
+
+    @property
+    def wildcard_holders(self) -> List[str]:
+        return sorted(self._wildcards)
+
+    # -- checks --------------------------------------------------------------------
+
+    def allows(self, app: str, service_id: int) -> bool:
+        self.checks += 1
+        if app in self._wildcards:
+            return True
+        if service_id in self._allowed.get(app, set()):
+            return True
+        self.denials += 1
+        return False
+
+    def services_of(self, app: str) -> Set[int]:
+        return set(self._allowed.get(app, set()))
+
+    # -- integration ---------------------------------------------------------------
+
+    def install_on(self, registry: ServiceRegistry) -> None:
+        """Enforce this matrix on every future binding in ``registry``."""
+        registry.set_binding_guard(
+            lambda client_app, _client_ecu, service_id: self.allows(
+                client_app, service_id
+            )
+        )
+
+    def as_authorizer(self):
+        """Adapter for :meth:`repro.security.auth.AuthBroker.set_authorizer`."""
+        return lambda client_app, service_id: self.allows(client_app, service_id)
+
+
+def permissive_matrix() -> AccessControlMatrix:
+    """The ablation baseline (D4): everything allowed — the Android-style
+    'apps request all available access rights' default the paper warns
+    about."""
+
+    class _Permissive(AccessControlMatrix):
+        def allows(self, app: str, service_id: int) -> bool:  # noqa: D401
+            self.checks += 1
+            return True
+
+    return _Permissive()

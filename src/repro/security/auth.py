@@ -1,0 +1,131 @@
+"""Lightweight authentication and authorization (Section 4.2 / ref [10]).
+
+Before a client may use a service, it runs a session-establishment
+handshake with the authentication broker: one request/response exchange
+that validates the client's credential and issues a session token scoped
+to one service.  Subsequent calls present the token (zero marginal cost —
+the "lightweight" property of [10]: per-message authentication is folded
+into the established session).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Optional, Set, Tuple
+
+from ..errors import SecurityError
+from ..sim import Signal, Simulator
+from .crypto import TrustStore, digest
+
+_token_counter = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class SessionToken:
+    """Authorization to use one service, bound to one client app."""
+
+    token_id: int
+    client_app: str
+    service_id: int
+    issued_at: float
+    expires_at: float
+
+    def valid_at(self, now: float) -> bool:
+        return now <= self.expires_at
+
+
+class AuthBroker:
+    """Issues and validates session tokens.
+
+    Credentials are modelled through the :class:`TrustStore`: a client is
+    *authenticated* iff its key id is known (and not revoked).  Whether an
+    authenticated client is *authorized* for a service is delegated to the
+    access-control policy installed via :meth:`set_authorizer`.
+    """
+
+    #: Simulated broker-side processing time per handshake.
+    HANDSHAKE_CPU_TIME = 0.0002
+
+    def __init__(
+        self,
+        sim: Simulator,
+        store: TrustStore,
+        *,
+        token_lifetime: float = 3600.0,
+    ) -> None:
+        self.sim = sim
+        self.store = store
+        self.token_lifetime = token_lifetime
+        self._authorizer = None
+        self._tokens: Dict[int, SessionToken] = {}
+        self.handshakes = 0
+        self.denials = 0
+
+    def set_authorizer(self, authorizer) -> None:
+        """Install the (client_app, service_id) -> bool policy."""
+        self._authorizer = authorizer
+
+    def establish_session(
+        self, client_app: str, credential_key: str, service_id: int
+    ) -> Signal:
+        """Run the handshake; the signal fires with a token or ``None``."""
+        result = self.sim.signal(name=f"auth.{client_app}")
+        self.sim.schedule(
+            self.HANDSHAKE_CPU_TIME,
+            self._finish_handshake,
+            client_app,
+            credential_key,
+            service_id,
+            result,
+        )
+        return result
+
+    def _finish_handshake(
+        self, client_app: str, credential_key: str, service_id: int, result: Signal
+    ) -> None:
+        self.handshakes += 1
+        if not self.store.knows(credential_key):
+            self.denials += 1
+            result.fire(None)
+            return
+        if self._authorizer is not None and not self._authorizer(
+            client_app, service_id
+        ):
+            self.denials += 1
+            result.fire(None)
+            return
+        token = SessionToken(
+            token_id=next(_token_counter),
+            client_app=client_app,
+            service_id=service_id,
+            issued_at=self.sim.now,
+            expires_at=self.sim.now + self.token_lifetime,
+        )
+        self._tokens[token.token_id] = token
+        result.fire(token)
+
+    def validate(self, token: SessionToken, service_id: int) -> bool:
+        """Check a presented token: known, unexpired, right service."""
+        stored = self._tokens.get(token.token_id)
+        if stored is None or stored != token:
+            return False
+        if token.service_id != service_id:
+            return False
+        return token.valid_at(self.sim.now)
+
+    def revoke_token(self, token_id: int) -> None:
+        self._tokens.pop(token_id, None)
+
+    def revoke_client(self, client_app: str) -> int:
+        """Invalidate all sessions of a client. Returns the count."""
+        doomed = [
+            tid for tid, t in self._tokens.items() if t.client_app == client_app
+        ]
+        for tid in doomed:
+            del self._tokens[tid]
+        return len(doomed)
+
+    @property
+    def active_sessions(self) -> int:
+        return len(self._tokens)

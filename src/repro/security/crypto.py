@@ -1,0 +1,105 @@
+"""Simulated cryptographic primitives.
+
+Real asymmetric cryptography is out of scope for a discrete-event
+reproduction; what matters for the paper's Section 4 is the *protocol*
+behaviour: who holds which key, what verifies against what, and how long
+verification takes on which ECU class.  We therefore model:
+
+* content digests with real SHA-256 (cheap, deterministic);
+* "signatures" as HMACs under named keys held by a
+  :class:`TrustStore` — the store stands in for a PKI: verifying
+  against key id *k* succeeds iff the signature was produced with the
+  secret registered for *k*;
+* verification *cost* as data size divided by the ECU's crypto rate
+  (see :data:`repro.hw.ecu.CRYPTO_RATES`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..errors import SecurityError
+
+
+def digest(data: bytes) -> str:
+    """SHA-256 hex digest of ``data``."""
+    return hashlib.sha256(data).hexdigest()
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A signature over a digest, attributable to a key id."""
+
+    key_id: str
+    mac: str
+
+    def __post_init__(self) -> None:
+        if not self.key_id or not self.mac:
+            raise SecurityError("empty signature fields")
+
+
+class TrustStore:
+    """Holds signing secrets and verifies signatures (PKI stand-in).
+
+    A platform instance trusts exactly the key ids registered in its
+    store; an attacker without the secret cannot produce a valid MAC.
+    """
+
+    def __init__(self) -> None:
+        self._secrets: Dict[str, bytes] = {}
+        self._revoked: set = set()
+
+    def generate_key(self, key_id: str) -> str:
+        """Create and register a fresh signing key; returns the key id."""
+        if key_id in self._secrets:
+            raise SecurityError(f"key {key_id!r} already exists")
+        self._secrets[key_id] = os.urandom(32)
+        return key_id
+
+    def import_key(self, key_id: str, secret: bytes) -> None:
+        """Install a known secret (distributing trust to another store)."""
+        self._secrets[key_id] = secret
+
+    def export_key(self, key_id: str) -> bytes:
+        """Export a secret for distribution to another trust store."""
+        try:
+            return self._secrets[key_id]
+        except KeyError:
+            raise SecurityError(f"unknown key {key_id!r}") from None
+
+    def revoke(self, key_id: str) -> None:
+        """Mark a key as revoked; verification against it will fail."""
+        self._revoked.add(key_id)
+
+    def knows(self, key_id: str) -> bool:
+        return key_id in self._secrets and key_id not in self._revoked
+
+    def sign(self, key_id: str, content_digest: str) -> Signature:
+        """Sign a digest with key ``key_id``."""
+        if key_id not in self._secrets:
+            raise SecurityError(f"cannot sign with unknown key {key_id!r}")
+        if key_id in self._revoked:
+            raise SecurityError(f"cannot sign with revoked key {key_id!r}")
+        mac = hmac.new(
+            self._secrets[key_id], content_digest.encode("ascii"), hashlib.sha256
+        ).hexdigest()
+        return Signature(key_id=key_id, mac=mac)
+
+    def verify(self, signature: Signature, content_digest: str) -> bool:
+        """Check a signature against a digest.
+
+        Returns ``False`` for unknown keys, revoked keys, or MAC
+        mismatches (tampered content or forged signature).
+        """
+        if not self.knows(signature.key_id):
+            return False
+        expected = hmac.new(
+            self._secrets[signature.key_id],
+            content_digest.encode("ascii"),
+            hashlib.sha256,
+        ).hexdigest()
+        return hmac.compare_digest(expected, signature.mac)

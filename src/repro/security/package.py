@@ -1,0 +1,129 @@
+"""Software package security (Section 4.1).
+
+"It needs to be ensured that software updates can only be delivered by
+authenticated authorities."  A :class:`SoftwarePackage` bundles an
+application image with a signature; :class:`PackageVerifier` checks it on
+an ECU, taking simulated time proportional to the image size and the
+ECU's crypto capability.  ECUs without usable crypto must delegate to an
+update master (see :mod:`repro.security.update_master`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..errors import SecurityError
+from ..hw.ecu import EcuSpec
+from ..model.applications import AppModel
+from ..sim import Signal, Simulator
+from .crypto import Signature, TrustStore, digest
+
+
+@dataclass(frozen=True)
+class SoftwarePackage:
+    """An installable, signed application package.
+
+    ``content_digest`` stands in for the full image; tampering is
+    simulated by altering it (see :meth:`tampered`).
+    """
+
+    app: AppModel
+    content_digest: str
+    image_kib: float
+    signature: Optional[Signature] = None
+
+    @property
+    def is_signed(self) -> bool:
+        return self.signature is not None
+
+    def tampered(self) -> "SoftwarePackage":
+        """A copy whose content no longer matches its signature."""
+        return replace(
+            self, content_digest=digest(self.content_digest.encode() + b"!")
+        )
+
+    def resigned_by(self, store: TrustStore, key_id: str) -> "SoftwarePackage":
+        return replace(self, signature=store.sign(key_id, self.content_digest))
+
+
+def build_package(
+    app: AppModel,
+    store: TrustStore,
+    key_id: str,
+    *,
+    content: bytes = b"",
+) -> SoftwarePackage:
+    """Package ``app`` and sign it with ``key_id`` from ``store``."""
+    content_digest = digest(content or f"{app.name}:{app.version}".encode())
+    return SoftwarePackage(
+        app=app,
+        content_digest=content_digest,
+        image_kib=app.image_kib,
+        signature=store.sign(key_id, content_digest),
+    )
+
+
+def forged_package(app: AppModel, *, content: bytes = b"") -> SoftwarePackage:
+    """A package signed with a key the platform does not trust."""
+    rogue = TrustStore()
+    rogue.generate_key("rogue")
+    content_digest = digest(content or f"{app.name}:{app.version}".encode())
+    return SoftwarePackage(
+        app=app,
+        content_digest=content_digest,
+        image_kib=app.image_kib,
+        signature=rogue.sign("rogue", content_digest),
+    )
+
+
+class PackageVerifier:
+    """Verifies packages on a specific ECU, modelling crypto time.
+
+    Verification reads the whole image once: time = image bytes / crypto
+    rate.  ECUs with :attr:`~repro.hw.ecu.CryptoCapability.NONE` cannot
+    verify at all and raise immediately.
+    """
+
+    def __init__(self, sim: Simulator, ecu: EcuSpec, store: TrustStore) -> None:
+        self.sim = sim
+        self.ecu = ecu
+        self.store = store
+        self.verified = 0
+        self.rejected = 0
+
+    @property
+    def can_verify(self) -> bool:
+        return self.ecu.crypto_rate > 0
+
+    def verification_time(self, package: SoftwarePackage) -> float:
+        """Seconds this ECU needs to check the package signature."""
+        if not self.can_verify:
+            raise SecurityError(
+                f"{self.ecu.name}: no crypto capability; delegate to an "
+                "update master"
+            )
+        return package.image_kib * 1024.0 / self.ecu.crypto_rate
+
+    def verify(self, package: SoftwarePackage) -> Signal:
+        """Asynchronously verify; the signal fires with ``True``/``False``."""
+        duration = self.verification_time(package)
+        result = self.sim.signal(name=f"verify.{package.app.name}")
+        self.sim.schedule(duration, self._finish, package, result)
+        return result
+
+    def _finish(self, package: SoftwarePackage, result: Signal) -> None:
+        ok = self.check_now(package)
+        result.fire(ok)
+
+    def check_now(self, package: SoftwarePackage) -> bool:
+        """Synchronous verdict (no time modelling) — used by tests/backend."""
+        if package.signature is None:
+            self.rejected += 1
+            return False
+        ok = self.store.verify(package.signature, package.content_digest)
+        if ok:
+            self.verified += 1
+        else:
+            self.rejected += 1
+        return ok

@@ -1,0 +1,116 @@
+"""Update masters (Section 4.1).
+
+"Not all ECUs might have sufficient power to perform cryptographic
+operations at runtime.  For such ECUs we propose to use an update master
+to which a trust relationship can be established.  This update master can
+in turn ensure the security of and administer the update.  To avoid a
+single point of failure, the update master would need to be instantiated
+in a redundant fashion."
+
+:class:`UpdateMaster` verifies a package on its (capable) host ECU and
+forwards the image to the weak target over the network.
+:class:`UpdateMasterGroup` fails over between redundant masters.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import SecurityError
+from ..hw.ecu import EcuSpec
+from ..middleware.endpoint import QOS_BULK, Endpoint, QoS
+from ..middleware.wire import Message, MessageType
+from ..sim import Signal, Simulator
+from .crypto import TrustStore
+from .package import PackageVerifier, SoftwarePackage
+
+
+class UpdateMaster:
+    """A crypto-capable ECU administering updates for weak ECUs."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        endpoint: Endpoint,
+        ecu: EcuSpec,
+        store: TrustStore,
+    ) -> None:
+        if ecu.crypto_rate <= 0:
+            raise SecurityError(
+                f"{ecu.name} cannot act as update master without crypto"
+            )
+        self.sim = sim
+        self.endpoint = endpoint
+        self.ecu = ecu
+        self.verifier = PackageVerifier(sim, ecu, store)
+        self.failed = False
+        self.installs_administered = 0
+
+    def fail(self) -> None:
+        """Take this master out of service (fault injection)."""
+        self.failed = True
+
+    def recover(self) -> None:
+        self.failed = False
+
+    def administer_install(
+        self, package: SoftwarePackage, target_ecu: str
+    ) -> Signal:
+        """Verify ``package`` here, then push the image to ``target_ecu``.
+
+        The returned signal fires with ``True`` on successful delivery of
+        a valid package, ``False`` if the signature check fails.
+        """
+        if self.failed:
+            raise SecurityError(f"update master {self.ecu.name} is down")
+        result = self.sim.signal(name=f"um.{package.app.name}")
+
+        def after_verify(ok: bool) -> None:
+            if not ok:
+                result.fire(False)
+                return
+            transfer = Message(
+                service_id=0x0F0F,
+                method_id=1,
+                msg_type=MessageType.NOTIFICATION,
+                payload_bytes=int(package.image_kib * 1024),
+                src=self.endpoint.ecu_name,
+                dst=target_ecu,
+                payload=package,
+            )
+            self.installs_administered += 1
+            self.endpoint.send(transfer, QOS_BULK).add_callback(
+                lambda _m: result.fire(True)
+            )
+
+        self.verifier.verify(package).add_callback(after_verify)
+        return result
+
+
+class UpdateMasterGroup:
+    """Redundant update masters with automatic failover."""
+
+    def __init__(self, masters: List[UpdateMaster]) -> None:
+        if not masters:
+            raise SecurityError("need at least one update master")
+        self.masters = list(masters)
+        self.failovers = 0
+
+    def active_master(self) -> UpdateMaster:
+        """The first healthy master.
+
+        Raises:
+            SecurityError: if every master is down.
+        """
+        for index, master in enumerate(self.masters):
+            if not master.failed:
+                if index > 0:
+                    self.failovers += 1
+                return master
+        raise SecurityError("all update masters are down")
+
+    def administer_install(
+        self, package: SoftwarePackage, target_ecu: str
+    ) -> Signal:
+        """Delegate to the first healthy master."""
+        return self.active_master().administer_install(package, target_ecu)

@@ -1,0 +1,31 @@
+"""Discrete-event simulation kernel.
+
+This package is the substrate for every other subsystem: a deterministic
+event queue, a SimPy-style process model, trace recording, seeded random
+streams and shared-resource primitives.
+"""
+
+from .events import PRIORITY_LATE, PRIORITY_NORMAL, PRIORITY_URGENT, EventQueue, ScheduledCall
+from .kernel import Interrupted, Process, Signal, Simulator, Timeout
+from .resources import Resource, Store, ThroughputServer
+from .rng import RngStreams
+from .trace import TraceEntry, Tracer
+
+__all__ = [
+    "EventQueue",
+    "Interrupted",
+    "PRIORITY_LATE",
+    "PRIORITY_NORMAL",
+    "PRIORITY_URGENT",
+    "Process",
+    "Resource",
+    "RngStreams",
+    "ScheduledCall",
+    "Signal",
+    "Simulator",
+    "Store",
+    "ThroughputServer",
+    "Timeout",
+    "TraceEntry",
+    "Tracer",
+]

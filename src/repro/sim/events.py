@@ -1,0 +1,113 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+The kernel is organised around a single priority queue of
+:class:`ScheduledCall` objects.  Each call fires at a simulated time; ties
+are broken first by an integer priority (lower fires first) and then by
+insertion order, which makes every simulation run fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional
+
+from ..errors import SimulationError
+
+#: Default priority for scheduled calls.  Most events use this value.
+PRIORITY_NORMAL = 100
+
+#: Priority for events that must run before normal events at the same time
+#: (e.g. releasing a resource before the next requester polls it).
+PRIORITY_URGENT = 10
+
+#: Priority for bookkeeping that must run after all normal events at the
+#: same instant (e.g. end-of-slot accounting).
+PRIORITY_LATE = 1000
+
+
+class ScheduledCall:
+    """A callback scheduled to run at a fixed simulated time.
+
+    Instances are created through :meth:`repro.sim.kernel.Simulator.schedule`
+    and may be cancelled before they fire via :meth:`cancel`.
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent this call from firing.  Safe to call more than once."""
+        self.cancelled = True
+
+    def __lt__(self, other: "ScheduledCall") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<ScheduledCall t={self.time:.6f} p={self.priority} {state}>"
+
+
+class EventQueue:
+    """Deterministic priority queue of :class:`ScheduledCall` objects."""
+
+    def __init__(self) -> None:
+        self._heap: List[ScheduledCall] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        args: tuple = (),
+        priority: int = PRIORITY_NORMAL,
+    ) -> ScheduledCall:
+        """Insert a call at ``time`` and return a cancellable handle."""
+        call = ScheduledCall(time, priority, next(self._counter), callback, args)
+        heapq.heappush(self._heap, call)
+        return call
+
+    def pop(self) -> ScheduledCall:
+        """Remove and return the earliest non-cancelled call.
+
+        Raises:
+            SimulationError: if the queue holds no live events.
+        """
+        while self._heap:
+            call = heapq.heappop(self._heap)
+            if not call.cancelled:
+                return call
+        raise SimulationError("event queue is empty")
+
+    def peek_time(self) -> Optional[float]:
+        """Return the firing time of the next live event, or ``None``."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()

@@ -1,0 +1,288 @@
+"""The discrete-event simulation kernel.
+
+The kernel offers two programming styles that interoperate freely:
+
+* **callback style** — :meth:`Simulator.schedule` runs a plain function at a
+  later simulated time;
+* **process style** — :meth:`Simulator.process` drives a generator that
+  ``yield``\\ s :class:`Timeout`, :class:`Signal` or :class:`Process` objects,
+  in the spirit of SimPy, which keeps stateful protocol logic readable.
+
+Time is a ``float`` in **seconds**.  Determinism is guaranteed: events at the
+same instant fire in (priority, insertion-order) order, and all randomness
+must flow through :class:`repro.sim.rng.RngStreams`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional, Union
+
+from ..errors import SimulationError
+from .events import PRIORITY_NORMAL, PRIORITY_URGENT, EventQueue, ScheduledCall
+from .trace import Tracer
+
+
+class Timeout:
+    """Yielded by a process to sleep for ``delay`` simulated seconds."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        self.delay = delay
+
+
+class Interrupted(Exception):
+    """Raised inside a process that another party interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Signal:
+    """A one-shot waitable event carrying an optional value.
+
+    Processes wait on a signal by yielding it; callback code waits by
+    registering through :meth:`add_callback`.  Firing an already-fired signal
+    raises :class:`SimulationError` — use a fresh signal per occurrence.
+    """
+
+    __slots__ = ("sim", "fired", "value", "_callbacks", "name")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.fired = False
+        self.value: Any = None
+        self.name = name
+        self._callbacks: List[Callable[[Any], None]] = []
+
+    def fire(self, value: Any = None) -> None:
+        """Fire the signal, waking all waiters at the current instant."""
+        if self.fired:
+            raise SimulationError(f"signal {self.name!r} fired twice")
+        self.fired = True
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            self.sim.schedule(0.0, cb, value, priority=PRIORITY_URGENT)
+
+    def add_callback(self, callback: Callable[[Any], None]) -> None:
+        """Invoke ``callback(value)`` when the signal fires.
+
+        If the signal already fired, the callback runs at the current
+        instant (still asynchronously, preserving event ordering).
+        """
+        if self.fired:
+            self.sim.schedule(0.0, callback, self.value, priority=PRIORITY_URGENT)
+        else:
+            self._callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        state = "fired" if self.fired else "pending"
+        return f"<Signal {self.name!r} {state}>"
+
+
+#: The kinds of object a process generator may yield.
+Yieldable = Union[Timeout, Signal, "Process", float, int]
+
+
+class Process:
+    """A running process driven by the kernel.
+
+    Created via :meth:`Simulator.process`.  A process finishes when its
+    generator returns; the return value becomes :attr:`result` and the
+    :attr:`done` signal fires with it.  If the generator raises, the
+    exception is stored in :attr:`error` and re-raised by the simulator on
+    the next :meth:`Simulator.run` unless ``defused`` (by some party waiting
+    on :attr:`done`).
+    """
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = "") -> None:
+        self.sim = sim
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self.done = Signal(sim, name=f"{self.name}.done")
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self.alive = True
+        self._pending_wait: Optional[ScheduledCall] = None
+        self._waiting_on_signal = False
+
+    # -- kernel internals ------------------------------------------------
+
+    def _step(self, send_value: Any = None, throw: Optional[BaseException] = None):
+        """Advance the generator by one yield."""
+        if not self.alive:
+            return
+        self._pending_wait = None
+        self._waiting_on_signal = False
+        try:
+            if throw is not None:
+                target = self.gen.throw(throw)
+            else:
+                target = self.gen.send(send_value)
+        except StopIteration as stop:
+            self.alive = False
+            self.result = getattr(stop, "value", None)
+            self.done.fire(self.result)
+            return
+        except Interrupted:
+            # Process chose not to handle its interruption: treat as a
+            # clean, intentional termination.
+            self.alive = False
+            self.done.fire(None)
+            return
+        except BaseException as exc:  # noqa: BLE001 - surfaced to caller
+            self.alive = False
+            self.error = exc
+            self.sim._crashed_processes.append(self)
+            self.done.fire(exc)
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: Yieldable) -> None:
+        if isinstance(target, (int, float)):
+            target = Timeout(float(target))
+        if isinstance(target, Timeout):
+            self._pending_wait = self.sim.schedule(target.delay, self._step)
+        elif isinstance(target, Signal):
+            self._waiting_on_signal = True
+            target.add_callback(self._on_signal)
+        elif isinstance(target, Process):
+            self._waiting_on_signal = True
+            target.done.add_callback(self._on_signal)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported object {target!r}"
+            )
+
+    def _on_signal(self, value: Any) -> None:
+        if not self._waiting_on_signal:
+            return  # interrupted while waiting; stale wakeup
+        if isinstance(value, BaseException):
+            self._step(throw=value)
+        else:
+            self._step(send_value=value)
+
+    # -- public API ------------------------------------------------------
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupted` into the process at the current instant."""
+        if not self.alive:
+            return
+        if self._pending_wait is not None:
+            self._pending_wait.cancel()
+            self._pending_wait = None
+        self._waiting_on_signal = False
+        self.sim.schedule(
+            0.0, self._step, None, Interrupted(cause), priority=PRIORITY_URGENT
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        state = "alive" if self.alive else "done"
+        return f"<Process {self.name!r} {state}>"
+
+
+class Simulator:
+    """The simulation world: clock, event queue and process registry."""
+
+    def __init__(self, tracer: Optional[Tracer] = None) -> None:
+        self.now: float = 0.0
+        self.queue = EventQueue()
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self._crashed_processes: List[Process] = []
+        self._running = False
+
+    # -- scheduling ------------------------------------------------------
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = PRIORITY_NORMAL,
+    ) -> ScheduledCall:
+        """Run ``callback(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.queue.push(self.now + delay, callback, args, priority)
+
+    def at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = PRIORITY_NORMAL,
+    ) -> ScheduledCall:
+        """Run ``callback(*args)`` at absolute simulated ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self.now}"
+            )
+        return self.queue.push(time, callback, args, priority)
+
+    def signal(self, name: str = "") -> Signal:
+        """Create a fresh one-shot :class:`Signal`."""
+        return Signal(self, name=name)
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        """Register a generator as a process and start it at this instant."""
+        proc = Process(self, gen, name=name)
+        self.schedule(0.0, proc._step)
+        return proc
+
+    # -- execution -------------------------------------------------------
+
+    def step(self) -> None:
+        """Execute the single next event."""
+        call = self.queue.pop()
+        if call.time < self.now:
+            raise SimulationError("event queue time went backwards")
+        self.now = call.time
+        call.callback(*call.args)
+        self._raise_crashes()
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or the clock passes ``until``.
+
+        When ``until`` is given the clock is always advanced to exactly
+        ``until`` at the end, even if the queue drained earlier.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        try:
+            while True:
+                next_time = self.queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self.step()
+            if until is not None and until > self.now:
+                self.now = until
+        finally:
+            self._running = False
+        self._raise_crashes()
+
+    def _raise_crashes(self) -> None:
+        if self._crashed_processes:
+            proc = self._crashed_processes.pop(0)
+            raise SimulationError(
+                f"process {proc.name!r} crashed: {proc.error!r}"
+            ) from proc.error
+
+    # -- convenience -----------------------------------------------------
+
+    def trace(self, category: str, **fields: Any) -> None:
+        """Record a trace entry stamped with the current simulated time."""
+        self.tracer.record(self.now, category, fields)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<Simulator t={self.now:.6f} pending={len(self.queue)}>"

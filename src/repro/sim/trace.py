@@ -1,0 +1,117 @@
+"""Trace recording for simulations.
+
+Every subsystem records structured trace entries through
+:meth:`repro.sim.kernel.Simulator.trace`.  Traces power the runtime monitor,
+the XiL harness assertions and the benchmark reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """A single timestamped observation."""
+
+    time: float
+    category: str
+    fields: Dict[str, Any]
+
+    def __getitem__(self, key: str) -> Any:
+        return self.fields[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.fields.get(key, default)
+
+
+@dataclass
+class Tracer:
+    """Collects :class:`TraceEntry` records, optionally filtered by category.
+
+    Attributes:
+        enabled: master switch; a disabled tracer costs almost nothing.
+        categories: if non-empty, only these categories are recorded.
+    """
+
+    enabled: bool = True
+    categories: Optional[set] = None
+    entries: List[TraceEntry] = field(default_factory=list)
+    _listeners: List[Callable[[TraceEntry], None]] = field(default_factory=list)
+
+    def record(self, time: float, category: str, fields: Dict[str, Any]) -> None:
+        """Store one entry (and notify listeners) if recording is active."""
+        if not self.enabled:
+            return
+        if self.categories is not None and category not in self.categories:
+            return
+        entry = TraceEntry(time, category, fields)
+        self.entries.append(entry)
+        for listener in self._listeners:
+            listener(entry)
+
+    def subscribe(self, listener: Callable[[TraceEntry], None]) -> None:
+        """Call ``listener`` synchronously for every recorded entry."""
+        self._listeners.append(listener)
+
+    def select(self, category: str, **match: Any) -> List[TraceEntry]:
+        """Return entries of ``category`` whose fields match ``match``."""
+        out = []
+        for entry in self.entries:
+            if entry.category != category:
+                continue
+            if all(entry.get(k) == v for k, v in match.items()):
+                out.append(entry)
+        return out
+
+    def iter_category(self, category: str) -> Iterator[TraceEntry]:
+        """Iterate entries of one category in record order."""
+        return (e for e in self.entries if e.category == category)
+
+    def clear(self) -> None:
+        """Drop all stored entries (listeners stay subscribed)."""
+        self.entries.clear()
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # -- analysis helpers ---------------------------------------------------
+
+    def category_counts(self) -> Dict[str, int]:
+        """Entry count per category."""
+        counts: Dict[str, int] = {}
+        for entry in self.entries:
+            counts[entry.category] = counts.get(entry.category, 0) + 1
+        return counts
+
+    def field_stats(self, category: str, field_name: str) -> Dict[str, float]:
+        """min/max/mean of a numeric field over one category.
+
+        Entries lacking the field (or holding non-numeric values) are
+        skipped; an all-empty selection returns an empty dict.
+        """
+        values = [
+            entry.fields[field_name]
+            for entry in self.iter_category(category)
+            if isinstance(entry.fields.get(field_name), (int, float))
+            and not isinstance(entry.fields.get(field_name), bool)
+        ]
+        if not values:
+            return {}
+        return {
+            "count": float(len(values)),
+            "min": float(min(values)),
+            "max": float(max(values)),
+            "mean": float(sum(values) / len(values)),
+        }
+
+    def summary(self) -> str:
+        """Human-readable one-line-per-category digest."""
+        counts = self.category_counts()
+        if not counts:
+            return "trace: empty"
+        lines = [f"trace: {len(self.entries)} entries"]
+        for category in sorted(counts):
+            lines.append(f"  {category}: {counts[category]}")
+        return "\n".join(lines)

@@ -1,0 +1,21 @@
+"""Workload generation: synthetic task/app sets and the realistic
+automotive application catalog."""
+
+from .automotive import build_app_catalog, reference_system
+from .synthetic import (
+    PERIOD_GRID,
+    synthetic_app,
+    synthetic_app_set,
+    synthetic_task_set,
+    uunifast,
+)
+
+__all__ = [
+    "PERIOD_GRID",
+    "build_app_catalog",
+    "reference_system",
+    "synthetic_app",
+    "synthetic_app_set",
+    "synthetic_task_set",
+    "uunifast",
+]

@@ -1,0 +1,211 @@
+"""A realistic automotive application catalog with typed interfaces.
+
+The functions the paper's introduction motivates: classic control loops
+(motor/suspension domains as "typical contributors" to deterministic
+applications), ADAS functions, and infotainment as the typical
+non-deterministic contributor — wired together through event, message and
+stream interfaces over the standard type registry.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..hw.topology import Topology
+from ..model.applications import AppModel, Asil, RequiredInterface
+from ..model.interfaces import InterfaceDef, InterfaceKind, InterfaceRequirements
+from ..model.system import SystemModel
+from ..model.types import TypeRegistry, standard_types
+from ..osal.task import Criticality, TaskSpec
+
+
+def _det(name: str, period: float, wcet: float, **kw) -> TaskSpec:
+    kw.setdefault("jitter_tolerance", period * 0.1)
+    return TaskSpec(
+        name=name, period=period, wcet=wcet,
+        criticality=Criticality.DETERMINISTIC, **kw,
+    )
+
+
+def _nda(name: str, period: float, wcet: float, **kw) -> TaskSpec:
+    return TaskSpec(
+        name=name, period=period, wcet=wcet,
+        criticality=Criticality.NON_DETERMINISTIC, **kw,
+    )
+
+
+def build_app_catalog(
+    types: TypeRegistry = None,
+) -> Tuple[list, list]:
+    """Return ``(interfaces, apps)`` of the reference vehicle function set."""
+    types = types or standard_types()
+    interfaces = [
+        InterfaceDef(
+            name="wheel_speeds",
+            kind=InterfaceKind.EVENT,
+            owner="wheel_sensor_fusion",
+            data_type=types.get("WheelSpeeds"),
+            requirements=InterfaceRequirements(
+                max_latency=0.005, period=0.010,
+            ),
+        ),
+        InterfaceDef(
+            name="vehicle_state",
+            kind=InterfaceKind.EVENT,
+            owner="vehicle_state_estimator",
+            data_type=types.get("VehicleState"),
+            requirements=InterfaceRequirements(
+                max_latency=0.010, period=0.010,
+            ),
+        ),
+        InterfaceDef(
+            name="object_list",
+            kind=InterfaceKind.EVENT,
+            owner="object_fusion",
+            data_type=types.get("ObjectList"),
+            requirements=InterfaceRequirements(
+                max_latency=0.020, period=0.040,
+            ),
+        ),
+        InterfaceDef(
+            name="brake_request",
+            kind=InterfaceKind.MESSAGE,
+            owner="brake_controller",
+            data_type=types.get("BrakeCommand"),
+            response_type=types.get("uint8"),
+            requirements=InterfaceRequirements(max_latency=0.010),
+        ),
+        InterfaceDef(
+            name="camera_stream",
+            kind=InterfaceKind.STREAM,
+            owner="front_camera",
+            data_type=types.get("CameraFrameChunk"),
+            requirements=InterfaceRequirements(
+                period=0.033, min_bandwidth_bps=2_000_000.0,
+            ),
+        ),
+        InterfaceDef(
+            name="diagnostics",
+            kind=InterfaceKind.MESSAGE,
+            owner="diagnosis_service",
+            data_type=types.get("DiagnosticRecord"),
+            response_type=types.get("uint8"),
+        ),
+        InterfaceDef(
+            name="media_stream",
+            kind=InterfaceKind.STREAM,
+            owner="media_server",
+            data_type=types.get("CameraFrameChunk"),
+            requirements=InterfaceRequirements(
+                period=0.010, min_bandwidth_bps=1_000_000.0,
+            ),
+        ),
+    ]
+    apps = [
+        AppModel(
+            name="wheel_sensor_fusion",
+            tasks=(_det("wheel_read", 0.010, 0.0008),),
+            provides=("wheel_speeds",),
+            asil=Asil.D,
+            memory_kib=128,
+            image_kib=512,
+        ),
+        AppModel(
+            name="vehicle_state_estimator",
+            tasks=(_det("state_est", 0.010, 0.0015),),
+            provides=("vehicle_state",),
+            requires=(RequiredInterface("wheel_speeds"),),
+            asil=Asil.D,
+            memory_kib=256,
+            image_kib=1024,
+        ),
+        AppModel(
+            name="brake_controller",
+            tasks=(_det("brake_loop", 0.005, 0.0010, deadline=0.004),),
+            provides=("brake_request",),
+            requires=(RequiredInterface("vehicle_state"),),
+            asil=Asil.D,
+            memory_kib=192,
+            image_kib=768,
+        ),
+        AppModel(
+            name="suspension_control",
+            tasks=(_det("susp_loop", 0.010, 0.0012),),
+            requires=(RequiredInterface("vehicle_state"),),
+            asil=Asil.C,
+            memory_kib=160,
+            image_kib=640,
+        ),
+        AppModel(
+            name="front_camera",
+            tasks=(_det("capture", 0.033, 0.002),),
+            provides=("camera_stream",),
+            asil=Asil.C,
+            memory_kib=8192,
+            image_kib=4096,
+        ),
+        AppModel(
+            name="object_fusion",
+            tasks=(_det("fuse", 0.040, 0.008),),
+            provides=("object_list",),
+            requires=(
+                RequiredInterface("camera_stream"),
+                RequiredInterface("vehicle_state"),
+            ),
+            asil=Asil.C,
+            memory_kib=16384,
+            image_kib=8192,
+            needs_gpu=True,
+        ),
+        AppModel(
+            name="acc",
+            tasks=(_det("acc_loop", 0.020, 0.003),),
+            requires=(
+                RequiredInterface("object_list"),
+                RequiredInterface("vehicle_state"),
+                RequiredInterface("brake_request"),
+            ),
+            asil=Asil.C,
+            memory_kib=512,
+            image_kib=2048,
+        ),
+        AppModel(
+            name="diagnosis_service",
+            tasks=(_nda("diag_poll", 0.100, 0.002),),
+            provides=("diagnostics",),
+            asil=Asil.QM,
+            memory_kib=512,
+            image_kib=1024,
+        ),
+        AppModel(
+            name="media_server",
+            tasks=(_nda("media_pump", 0.010, 0.004),),
+            provides=("media_stream",),
+            asil=Asil.QM,
+            memory_kib=65536,
+            image_kib=131072,
+        ),
+        AppModel(
+            name="navigation",
+            tasks=(_nda("nav_update", 0.200, 0.050),),
+            requires=(
+                RequiredInterface("vehicle_state"),
+                RequiredInterface("diagnostics"),
+            ),
+            asil=Asil.QM,
+            memory_kib=131072,
+            image_kib=262144,
+        ),
+    ]
+    return interfaces, apps
+
+
+def reference_system(topology: Topology) -> SystemModel:
+    """Assemble the reference SystemModel on an arbitrary topology."""
+    model = SystemModel(topology)
+    interfaces, apps = build_app_catalog()
+    for app in apps:
+        model.add_app(app)
+    for interface in interfaces:
+        model.add_interface(interface)
+    return model

@@ -1,0 +1,138 @@
+"""Synthetic task-set and app-set generators.
+
+UUniFast-based utilization draws with log-uniform periods — the standard
+methodology for schedulability experiments — plus helpers that wrap task
+sets into :class:`~repro.model.applications.AppModel` objects.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from ..errors import ConfigurationError
+from ..model.applications import AppModel, Asil
+from ..osal.task import Criticality, TaskSpec
+from ..sim.rng import RngStreams
+
+
+def uunifast(
+    streams: RngStreams, n: int, total_utilization: float, stream: str = "uunifast"
+) -> List[float]:
+    """Draw ``n`` utilizations summing to ``total_utilization`` (UUniFast)."""
+    if n <= 0:
+        raise ConfigurationError("need at least one task")
+    if total_utilization <= 0:
+        raise ConfigurationError("total utilization must be positive")
+    rng = streams.stream(stream)
+    utilizations = []
+    remaining = total_utilization
+    for i in range(1, n):
+        next_remaining = remaining * rng.random() ** (1.0 / (n - i))
+        utilizations.append(remaining - next_remaining)
+        remaining = next_remaining
+    utilizations.append(remaining)
+    return utilizations
+
+
+#: Period grid used for synthetic deterministic tasks (seconds).  Using a
+#: grid keeps hyperperiods small enough for table synthesis.
+PERIOD_GRID = (0.005, 0.010, 0.020, 0.040, 0.050, 0.100)
+
+
+def synthetic_task_set(
+    streams: RngStreams,
+    n: int,
+    total_utilization: float,
+    *,
+    name_prefix: str = "task",
+    criticality: Criticality = Criticality.DETERMINISTIC,
+    deadline_factor: float = 1.0,
+    stream: str = "taskset",
+) -> List[TaskSpec]:
+    """Generate ``n`` periodic tasks with the given total utilization.
+
+    Periods are drawn from :data:`PERIOD_GRID`; WCETs follow from the
+    UUniFast utilization split.  ``deadline_factor < 1`` produces
+    constrained deadlines.
+    """
+    if not 0 < deadline_factor <= 1.0:
+        raise ConfigurationError("deadline factor must be in (0, 1]")
+    utils = uunifast(streams, n, total_utilization, stream=f"{stream}.u")
+    rng = streams.stream(f"{stream}.periods")
+    tasks = []
+    for i, util in enumerate(utils):
+        period = rng.choice(PERIOD_GRID)
+        wcet = max(util * period, 1e-6)
+        if wcet > period:  # extreme UUniFast draw; clamp to feasible
+            wcet = period * 0.95
+        tasks.append(
+            TaskSpec(
+                name=f"{name_prefix}_{i:03d}",
+                period=period,
+                wcet=wcet,
+                deadline=period * deadline_factor,
+                criticality=criticality,
+                jitter_tolerance=period * 0.1,
+            )
+        )
+    return tasks
+
+
+def synthetic_app(
+    streams: RngStreams,
+    name: str,
+    *,
+    n_tasks: int = 2,
+    utilization: float = 0.1,
+    deterministic: bool = True,
+    asil: Asil = Asil.B,
+    memory_kib: float = 256.0,
+) -> AppModel:
+    """Wrap a synthetic task set into an application model."""
+    criticality = (
+        Criticality.DETERMINISTIC if deterministic else Criticality.NON_DETERMINISTIC
+    )
+    tasks = synthetic_task_set(
+        streams,
+        n_tasks,
+        utilization,
+        name_prefix=f"{name}_t",
+        criticality=criticality,
+        stream=f"app.{name}",
+    )
+    return AppModel(
+        name=name,
+        tasks=tuple(tasks),
+        asil=asil if deterministic else Asil.QM,
+        memory_kib=memory_kib,
+        image_kib=memory_kib * 4,
+    )
+
+
+def synthetic_app_set(
+    streams: RngStreams,
+    n_apps: int,
+    *,
+    det_fraction: float = 0.5,
+    utilization_per_app: float = 0.08,
+    stream: str = "appset",
+) -> List[AppModel]:
+    """A mixed DA/NDA application population for admission experiments."""
+    if not 0 <= det_fraction <= 1:
+        raise ConfigurationError("det_fraction must be in [0, 1]")
+    apps = []
+    n_det = round(n_apps * det_fraction)
+    for i in range(n_apps):
+        deterministic = i < n_det
+        apps.append(
+            synthetic_app(
+                streams,
+                f"app_{i:03d}",
+                n_tasks=1 + (i % 3),
+                utilization=utilization_per_app,
+                deterministic=deterministic,
+                asil=Asil.C if deterministic else Asil.QM,
+            )
+        )
+    return apps

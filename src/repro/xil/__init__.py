@@ -1,0 +1,41 @@
+"""XiL (X-in-the-loop) testing framework: plants, controllers, MiL/SiL
+harness and fault injection (paper Section 2.4)."""
+
+from .controller import (
+    AccController,
+    BuggyCruiseController,
+    CruiseController,
+    PiGains,
+)
+from .harness import (
+    FaultInjector,
+    LoopAssertions,
+    LoopResult,
+    XilTestCase,
+    XilTestSuite,
+    run_mil,
+    run_sil,
+)
+from .plant import AccScenario, LeadVehicle, LongitudinalPlant, VehicleParameters
+from .vil import VilResult, run_vil, vil_topology
+
+__all__ = [
+    "AccController",
+    "AccScenario",
+    "BuggyCruiseController",
+    "CruiseController",
+    "FaultInjector",
+    "LeadVehicle",
+    "LongitudinalPlant",
+    "LoopAssertions",
+    "LoopResult",
+    "PiGains",
+    "VehicleParameters",
+    "VilResult",
+    "XilTestCase",
+    "XilTestSuite",
+    "run_mil",
+    "run_sil",
+    "run_vil",
+    "vil_topology",
+]

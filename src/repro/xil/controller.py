@@ -1,0 +1,132 @@
+"""Controllers under test: cruise control and ACC, plus buggy variants.
+
+The buggy variants exist for benchmark C11 — SiL testing must find them
+long before any hardware exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ConfigurationError
+
+
+@dataclass
+class PiGains:
+    kp: float = 0.12
+    ki: float = 0.02
+    output_low: float = -1.0
+    output_high: float = 1.0
+
+
+class CruiseController:
+    """PI cruise controller with anti-windup clamping."""
+
+    def __init__(self, target_mps: float, gains: Optional[PiGains] = None) -> None:
+        if target_mps < 0:
+            raise ConfigurationError("target speed cannot be negative")
+        self.target_mps = target_mps
+        self.gains = gains or PiGains()
+        self.integral = 0.0
+
+    def reset(self) -> None:
+        self.integral = 0.0
+
+    def compute(self, speed_mps: float, dt: float) -> float:
+        """One control step: returns actuation u in [-1, 1]."""
+        g = self.gains
+        error = self.target_mps - speed_mps
+        candidate = self.integral + error * dt
+        u_unclamped = g.kp * error + g.ki * candidate
+        u = min(max(u_unclamped, g.output_low), g.output_high)
+        if u == u_unclamped:  # anti-windup: only integrate when unsaturated
+            self.integral = candidate
+        return u
+
+    def state_snapshot(self) -> dict:
+        """Internal state for update synchronisation experiments."""
+        return {"integral": self.integral, "target": self.target_mps}
+
+    def adopt_state(self, snapshot: dict) -> None:
+        self.integral = snapshot.get("integral", 0.0)
+
+
+class BuggyCruiseController(CruiseController):
+    """Cruise controller with an injected defect, selectable by kind.
+
+    * ``sign`` — the classic inverted-error bug; the loop diverges.
+    * ``windup`` — no anti-windup; large overshoot after saturation.
+    * ``gain`` — the integral gain was dropped (ki=0); the loop parks
+      below the target with a permanent steady-state error.
+    """
+
+    KINDS = ("sign", "windup", "gain")
+
+    def __init__(self, target_mps: float, kind: str = "sign") -> None:
+        super().__init__(target_mps)
+        if kind not in self.KINDS:
+            raise ConfigurationError(f"unknown bug kind {kind!r}")
+        self.kind = kind
+        if kind == "gain":
+            self.gains = PiGains(kp=0.12, ki=0.0)
+
+    def compute(self, speed_mps: float, dt: float) -> float:
+        g = self.gains
+        error = self.target_mps - speed_mps
+        if self.kind == "sign":
+            # inverted error: the loop pushes away from the target
+            error = -error
+            candidate = self.integral + error * dt
+            u_unclamped = g.kp * error + g.ki * candidate
+            u = min(max(u_unclamped, g.output_low), g.output_high)
+            if u == u_unclamped:
+                self.integral = candidate
+            return u
+        if self.kind == "windup":
+            self.integral += error * dt  # integrates even when saturated
+            u = g.kp * error + g.ki * self.integral
+            return min(max(u, g.output_low), g.output_high)
+        return super().compute(speed_mps, dt)
+
+
+class AccController:
+    """Adaptive cruise control: track a time-gap to the lead vehicle.
+
+    Cascaded structure: an outer gap loop sets a speed correction on top
+    of the set speed, an inner :class:`CruiseController` tracks it.
+    """
+
+    def __init__(
+        self,
+        set_speed_mps: float,
+        *,
+        time_gap_s: float = 1.8,
+        standstill_gap_m: float = 5.0,
+        gap_gain: float = 0.35,
+    ) -> None:
+        self.set_speed_mps = set_speed_mps
+        self.time_gap_s = time_gap_s
+        self.standstill_gap_m = standstill_gap_m
+        self.gap_gain = gap_gain
+        self.inner = CruiseController(set_speed_mps)
+
+    def desired_gap(self, speed_mps: float) -> float:
+        return self.standstill_gap_m + self.time_gap_s * speed_mps
+
+    def compute(self, speed_mps: float, gap_m: float, dt: float) -> float:
+        gap_error = gap_m - self.desired_gap(speed_mps)
+        target = min(
+            self.set_speed_mps, speed_mps + self.gap_gain * gap_error
+        )
+        self.inner.target_mps = max(0.0, target)
+        return self.inner.compute(speed_mps, dt)
+
+    def state_snapshot(self) -> dict:
+        return {
+            "inner": self.inner.state_snapshot(),
+            "set_speed": self.set_speed_mps,
+        }
+
+    def adopt_state(self, snapshot: dict) -> None:
+        self.inner.adopt_state(snapshot.get("inner", {}))

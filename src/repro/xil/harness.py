@@ -1,0 +1,276 @@
+"""XiL test harness (Section 2.4).
+
+Runs controller + plant closed loops at two levels:
+
+* **MiL** (model-in-the-loop) — controller called directly each control
+  period; pure numerics, fastest.
+* **SiL** (software-in-the-loop) — the controller runs on the simulated
+  platform: its control job is scheduled on a :class:`~repro.osal.core.Core`
+  and sensor/actuator values cross the simulated network, so scheduling
+  delay and communication latency shape the loop exactly as they would on
+  a virtual ECU.
+
+Assertions (:class:`LoopAssertions`) check overshoot, settling and
+steady-state error; :class:`FaultInjector` perturbs sensors/actuators.
+"""
+
+from __future__ import annotations
+
+import time as wallclock
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..errors import ConfigurationError
+from ..osal.core import Core
+from ..osal.policies import FixedPriorityPolicy
+from ..osal.task import Job, TaskSpec
+from ..sim import Simulator
+from .controller import CruiseController
+from .plant import LongitudinalPlant
+
+
+@dataclass
+class LoopResult:
+    """Outcome of one closed-loop run."""
+
+    times: List[float]
+    speeds: List[float]
+    target: float
+    level: str
+    wall_seconds: float
+    realtime_factor: float  # simulated seconds per wall second
+
+    def overshoot(self) -> float:
+        """Peak speed above target, in m/s."""
+        if not self.speeds:
+            return 0.0
+        return max(0.0, max(self.speeds) - self.target)
+
+    def settling_time(self, band: float = 0.02) -> Optional[float]:
+        """First time after which speed stays within +/-band*target."""
+        tolerance = band * self.target
+        for i in range(len(self.speeds)):
+            if all(
+                abs(s - self.target) <= tolerance for s in self.speeds[i:]
+            ):
+                return self.times[i]
+        return None
+
+    def steady_state_error(self, tail_fraction: float = 0.2) -> float:
+        n = max(1, int(len(self.speeds) * tail_fraction))
+        tail = self.speeds[-n:]
+        return abs(sum(tail) / len(tail) - self.target)
+
+
+@dataclass
+class LoopAssertions:
+    """Pass/fail criteria for a closed-loop run."""
+
+    max_overshoot: float = 2.0          # m/s
+    max_settling_time: Optional[float] = 60.0
+    max_steady_state_error: float = 0.5  # m/s
+
+    def check(self, result: LoopResult) -> List[str]:
+        """Returns violation messages (empty = pass)."""
+        failures = []
+        overshoot = result.overshoot()
+        if overshoot > self.max_overshoot:
+            failures.append(
+                f"overshoot {overshoot:.2f} m/s > {self.max_overshoot} m/s"
+            )
+        if self.max_settling_time is not None:
+            settling = result.settling_time()
+            if settling is None or settling > self.max_settling_time:
+                failures.append(
+                    f"did not settle within {self.max_settling_time}s "
+                    f"(got {settling})"
+                )
+        sse = result.steady_state_error()
+        if sse > self.max_steady_state_error:
+            failures.append(
+                f"steady-state error {sse:.2f} m/s > "
+                f"{self.max_steady_state_error} m/s"
+            )
+        return failures
+
+
+class FaultInjector:
+    """Sensor/actuator fault models for robustness testing."""
+
+    def __init__(self) -> None:
+        self.sensor_stuck_at: Optional[float] = None
+        self.sensor_dropout_window: Optional[tuple] = None
+        self.actuator_stuck_at: Optional[float] = None
+
+    def sensor(self, true_speed: float, time: float) -> float:
+        if self.sensor_stuck_at is not None:
+            return self.sensor_stuck_at
+        if self.sensor_dropout_window is not None:
+            start, end = self.sensor_dropout_window
+            if start <= time <= end:
+                return 0.0  # sensor reads zero during dropout
+        return true_speed
+
+    def actuator(self, u: float) -> float:
+        if self.actuator_stuck_at is not None:
+            return self.actuator_stuck_at
+        return u
+
+
+def run_mil(
+    controller: CruiseController,
+    plant: LongitudinalPlant,
+    *,
+    duration: float = 60.0,
+    control_period: float = 0.01,
+    faults: Optional[FaultInjector] = None,
+) -> LoopResult:
+    """Model-in-the-loop: direct controller/plant coupling."""
+    faults = faults or FaultInjector()
+    times, speeds = [], []
+    steps = int(duration / control_period)
+    start = wallclock.perf_counter()
+    sim_time = 0.0
+    for _ in range(steps):
+        measured = faults.sensor(plant.speed_mps, sim_time)
+        u = faults.actuator(controller.compute(measured, control_period))
+        plant.step(u, control_period)
+        sim_time += control_period
+        times.append(sim_time)
+        speeds.append(plant.speed_mps)
+    wall = wallclock.perf_counter() - start
+    return LoopResult(
+        times=times,
+        speeds=speeds,
+        target=controller.target_mps,
+        level="MiL",
+        wall_seconds=wall,
+        realtime_factor=duration / wall if wall > 0 else float("inf"),
+    )
+
+
+def run_sil(
+    controller: CruiseController,
+    plant: LongitudinalPlant,
+    *,
+    duration: float = 60.0,
+    control_period: float = 0.01,
+    control_wcet: float = 0.001,
+    core_speed: float = 1.0,
+    actuation_latency: float = 0.0005,
+    faults: Optional[FaultInjector] = None,
+    extra_load: Optional[Callable[[Simulator, Core], None]] = None,
+) -> LoopResult:
+    """Software-in-the-loop: the control task is *scheduled* on a core.
+
+    The plant advances every control period; the controller output is
+    computed inside a scheduled job and applied after ``actuation_latency``
+    — so scheduler preemption and latency are part of the loop.
+    """
+    faults = faults or FaultInjector()
+    sim = Simulator()
+    core = Core(sim, "vecu", core_speed, FixedPriorityPolicy())
+    if extra_load is not None:
+        extra_load(sim, core)
+    task = TaskSpec(name="ctl", period=control_period, wcet=control_wcet)
+    times: List[float] = []
+    speeds: List[float] = []
+    pending_u = [0.0]
+    in_flight: dict = {}  # job_id -> measured speed
+
+    def on_done(finished_job: Job) -> None:
+        measured = in_flight.pop(finished_job.job_id, None)
+        if measured is None:
+            return
+        u = faults.actuator(controller.compute(measured, control_period))
+        sim.schedule(actuation_latency, lambda: pending_u.__setitem__(0, u))
+
+    core.on_completion(on_done)
+
+    def control_cycle() -> None:
+        # plant advanced with the last actuation value (zero-order hold)
+        plant.step(pending_u[0], control_period)
+        times.append(sim.now)
+        speeds.append(plant.speed_mps)
+        measured = faults.sensor(plant.speed_mps, sim.now)
+        job = Job(
+            task=task,
+            release_time=sim.now,
+            absolute_deadline=sim.now + task.effective_deadline,
+            remaining=control_wcet / core_speed,
+        )
+        in_flight[job.job_id] = measured
+        core.submit(job)
+        if sim.now + control_period <= duration + 1e-9:
+            sim.schedule(control_period, control_cycle)
+
+    start = wallclock.perf_counter()
+    sim.schedule(0.0, control_cycle)
+    sim.run(until=duration + 0.1)
+    wall = wallclock.perf_counter() - start
+    return LoopResult(
+        times=times,
+        speeds=speeds,
+        target=controller.target_mps,
+        level="SiL",
+        wall_seconds=wall,
+        realtime_factor=duration / wall if wall > 0 else float("inf"),
+    )
+
+
+@dataclass
+class XilTestCase:
+    """One named test: build a loop, run it, check assertions."""
+
+    name: str
+    build_controller: Callable[[], CruiseController]
+    assertions: LoopAssertions = field(default_factory=LoopAssertions)
+    level: str = "MiL"
+    duration: float = 60.0
+    initial_speed: float = 0.0
+    faults: Optional[FaultInjector] = None
+
+    def run(self) -> tuple:
+        """Returns (passed, failure list, LoopResult)."""
+        controller = self.build_controller()
+        plant = LongitudinalPlant(speed_mps=self.initial_speed)
+        if self.level == "MiL":
+            result = run_mil(
+                controller, plant, duration=self.duration, faults=self.faults
+            )
+        elif self.level == "SiL":
+            result = run_sil(
+                controller, plant, duration=self.duration, faults=self.faults
+            )
+        else:
+            raise ConfigurationError(f"unknown XiL level {self.level!r}")
+        failures = self.assertions.check(result)
+        return (not failures, failures, result)
+
+
+class XilTestSuite:
+    """Runs a list of test cases and tabulates pass/fail."""
+
+    def __init__(self, cases: List[XilTestCase]) -> None:
+        self.cases = cases
+        self.results: List[tuple] = []
+
+    def run(self) -> int:
+        """Execute all cases; returns the number of failures."""
+        self.results = []
+        failures = 0
+        for case in self.cases:
+            passed, messages, result = case.run()
+            self.results.append((case.name, passed, messages, result))
+            if not passed:
+                failures += 1
+        return failures
+
+    def report(self) -> str:
+        lines = []
+        for name, passed, messages, result in self.results:
+            status = "PASS" if passed else "FAIL"
+            lines.append(f"[{status}] {name} ({result.level})")
+            for message in messages:
+                lines.append(f"    - {message}")
+        return "\n".join(lines)

@@ -1,0 +1,122 @@
+"""Plant models for closed-loop XiL testing (Section 2.4).
+
+Fixed-step longitudinal vehicle dynamics — the "control model" half of
+the MiL/SiL loop.  Good enough physics for controller verification:
+force balance of drive force, aerodynamic drag, rolling resistance and
+brake force.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..errors import ConfigurationError
+
+
+@dataclass
+class VehicleParameters:
+    """Longitudinal dynamics parameters of a mid-size car."""
+
+    mass_kg: float = 1600.0
+    drag_area_cda: float = 0.7          # c_d * A in m^2
+    air_density: float = 1.2            # kg/m^3
+    rolling_coefficient: float = 0.012
+    max_drive_force: float = 4500.0     # N
+    max_brake_force: float = 12000.0    # N
+    gravity: float = 9.81
+
+    def __post_init__(self) -> None:
+        if self.mass_kg <= 0:
+            raise ConfigurationError("vehicle mass must be positive")
+
+
+class LongitudinalPlant:
+    """Point-mass longitudinal vehicle model, stepped at fixed dt.
+
+    The control input is ``u`` in [-1, 1]: positive = throttle fraction,
+    negative = brake fraction.
+    """
+
+    def __init__(
+        self,
+        params: Optional[VehicleParameters] = None,
+        *,
+        speed_mps: float = 0.0,
+        position_m: float = 0.0,
+    ) -> None:
+        self.params = params or VehicleParameters()
+        self.speed_mps = speed_mps
+        self.position_m = position_m
+        self.time = 0.0
+        self.history: List[tuple] = []
+
+    def step(self, u: float, dt: float) -> float:
+        """Advance the plant by ``dt`` seconds; returns the new speed."""
+        if dt <= 0:
+            raise ConfigurationError("dt must be positive")
+        u = min(max(u, -1.0), 1.0)
+        p = self.params
+        drive = p.max_drive_force * u if u > 0 else 0.0
+        brake = p.max_brake_force * (-u) if u < 0 else 0.0
+        drag = 0.5 * p.air_density * p.drag_area_cda * self.speed_mps ** 2
+        rolling = p.rolling_coefficient * p.mass_kg * p.gravity if self.speed_mps > 0 else 0.0
+        accel = (drive - brake - drag - rolling) / p.mass_kg
+        self.speed_mps = max(0.0, self.speed_mps + accel * dt)
+        self.position_m += self.speed_mps * dt
+        self.time += dt
+        self.history.append((self.time, self.speed_mps, u))
+        return self.speed_mps
+
+    def speeds(self) -> List[float]:
+        return [s for _t, s, _u in self.history]
+
+
+class LeadVehicle:
+    """Scripted lead vehicle for ACC scenarios: piecewise-constant speed."""
+
+    def __init__(
+        self,
+        profile: List[tuple],
+        *,
+        initial_gap_m: float = 50.0,
+    ) -> None:
+        """``profile`` is [(until_time, speed_mps), ...], sorted by time."""
+        if not profile:
+            raise ConfigurationError("lead vehicle needs a speed profile")
+        self.profile = sorted(profile)
+        self.position_m = initial_gap_m
+        self.time = 0.0
+
+    def speed_at(self, time: float) -> float:
+        for until, speed in self.profile:
+            if time <= until:
+                return speed
+        return self.profile[-1][1]
+
+    def step(self, dt: float) -> float:
+        """Advance; returns the lead vehicle's new position."""
+        self.position_m += self.speed_at(self.time) * dt
+        self.time += dt
+        return self.position_m
+
+
+@dataclass
+class AccScenario:
+    """An ACC test scenario: ego plant + scripted lead vehicle."""
+
+    plant: LongitudinalPlant
+    lead: LeadVehicle
+    collided: bool = False
+    min_gap_m: float = field(default=float("inf"))
+
+    def gap(self) -> float:
+        return self.lead.position_m - self.plant.position_m
+
+    def step(self, u: float, dt: float) -> None:
+        self.plant.step(u, dt)
+        self.lead.step(dt)
+        gap = self.gap()
+        self.min_gap_m = min(self.min_gap_m, gap)
+        if gap <= 0.0:
+            self.collided = True

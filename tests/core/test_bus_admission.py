@@ -1,0 +1,117 @@
+"""Tests for communication admission (bus headroom)."""
+
+import pytest
+
+from repro.core import (
+    BusLoadTracker,
+    admit_communication,
+    offered_load_of,
+)
+from repro.hw import BusSpec, EcuSpec, Topology
+from repro.model import (
+    AppModel,
+    Deployment,
+    InterfaceDef,
+    InterfaceKind,
+    InterfaceRequirements,
+    Primitive,
+    RequiredInterface,
+    SystemModel,
+)
+from repro.model.types import ArrayType
+from repro.network import Frame, VehicleNetwork
+from repro.sim import Simulator
+
+
+def slow_can_world():
+    topo = Topology()
+    topo.add_bus(BusSpec("can", "can", 500e3))
+    for name in ("a", "b"):
+        topo.add_ecu(EcuSpec(name, ports=(("can0", "can"),)))
+        topo.attach(name, "can0", "can")
+    model = SystemModel(topo)
+    model.add_app(AppModel(name="producer", provides=("feed",)))
+    model.add_app(AppModel(name="consumer", requires=(RequiredInterface("feed"),)))
+    return topo, model
+
+
+def add_feed(model, payload_type, period):
+    model.add_interface(InterfaceDef(
+        name="feed", kind=InterfaceKind.EVENT, owner="producer",
+        data_type=payload_type,
+        requirements=InterfaceRequirements(period=period),
+    ))
+
+
+class TestOfferedLoad:
+    def test_cross_ecu_load_counted(self):
+        topo, model = slow_can_world()
+        add_feed(model, Primitive("uint64"), period=0.01)  # 6.4 kbit/s
+        deployment = Deployment().place("producer", "a").place("consumer", "b")
+        load = offered_load_of(model, "producer", deployment)
+        assert load["can"] == pytest.approx(8 * 8 / 0.01)
+
+    def test_local_communication_is_free(self):
+        topo, model = slow_can_world()
+        add_feed(model, Primitive("uint64"), period=0.01)
+        deployment = Deployment().place("producer", "a").place("consumer", "a")
+        assert offered_load_of(model, "producer", deployment) == {}
+
+    def test_consumer_side_also_counted(self):
+        topo, model = slow_can_world()
+        add_feed(model, Primitive("uint64"), period=0.01)
+        deployment = Deployment().place("producer", "a").place("consumer", "b")
+        load = offered_load_of(model, "consumer", deployment)
+        assert "can" in load
+
+
+class TestAdmitCommunication:
+    def test_light_traffic_admitted(self):
+        topo, model = slow_can_world()
+        add_feed(model, Primitive("uint64"), period=0.01)
+        deployment = Deployment().place("producer", "a").place("consumer", "b")
+        assert admit_communication(model, "producer", deployment)
+
+    def test_heavy_traffic_rejected(self):
+        topo, model = slow_can_world()
+        # 1 KiB every 10 ms = ~820 kbit/s >> 500 kbit/s CAN
+        add_feed(model, ArrayType(Primitive("uint8"), 1024), period=0.01)
+        deployment = Deployment().place("producer", "a").place("consumer", "b")
+        decision = admit_communication(model, "producer", deployment)
+        assert not decision
+        assert "can" in decision.reasons[0]
+
+    def test_observed_load_shrinks_headroom(self):
+        """Unmodelled background traffic counts against new admissions."""
+        topo, model = slow_can_world()
+        # planned load alone would fit: ~40% of the bus
+        add_feed(model, ArrayType(Primitive("uint8"), 256), period=0.01)
+        deployment = Deployment().place("producer", "a").place("consumer", "b")
+        sim = Simulator()
+        net = VehicleNetwork(sim, topo)
+        tracker = BusLoadTracker(sim, net, window=0.5, sample_period=0.05)
+
+        def blast():
+            net.bus("can").submit(
+                Frame(src="a", dst="b", payload_bytes=8, priority=0x200)
+            )
+            if sim.now < 2.0:
+                sim.schedule(0.0004, blast)  # ~close to saturation
+
+        blast()
+        sim.run(until=2.0)
+        assert tracker.observed_utilization("can") > 0.4
+        decision = admit_communication(
+            model, "producer", deployment, tracker=tracker
+        )
+        assert not decision
+
+    def test_tracker_idle_bus_reads_zero(self):
+        topo, model = slow_can_world()
+        sim = Simulator()
+        net = VehicleNetwork(sim, topo)
+        tracker = BusLoadTracker(sim, net, window=0.5, sample_period=0.05)
+        sim.run(until=1.0)
+        assert tracker.observed_bps("can") == 0.0
+        tracker.stop()
+        sim.run(until=1.2)

@@ -1,0 +1,117 @@
+"""Tests for fleet OTA campaigns with monitor-gated waves and rollback."""
+
+import pytest
+
+from repro.errors import UpdateError
+from repro.core import CampaignManager, Fleet
+from repro.model import AppModel, Asil
+from repro.osal import TaskSpec
+from repro.security import TrustStore
+from repro.sim import Simulator, Tracer
+
+
+def healthy_app(version=(1, 0)):
+    return AppModel(
+        name="fn",
+        tasks=(TaskSpec(
+            name="fn_loop", period=0.01, wcet=0.001, deadline=0.008,
+        ),),
+        asil=Asil.C, memory_kib=64, image_kib=128, version=version,
+    )
+
+
+def buggy_app(version=(1, 1)):
+    """The 'regression': the new version's task overruns its deadline
+    even on the fleet's 5x-reference cores (scaled wcet 1.8 ms > 1 ms)."""
+    return AppModel(
+        name="fn",
+        tasks=(TaskSpec(
+            name="fn_loop_v2", period=0.01, wcet=0.009, deadline=0.001,
+        ),),
+        asil=Asil.C, memory_kib=64, image_kib=128, version=version,
+    )
+
+
+def make_fleet(size=4):
+    sim = Simulator(tracer=Tracer())
+    store = TrustStore()
+    store.generate_key("oem")
+    fleet = Fleet(sim, store, size=size)
+    fleet.deploy_everywhere(healthy_app(), "oem")
+    sim.run(until=sim.now + 0.5)
+    return sim, store, fleet
+
+
+class TestFleet:
+    def test_fleet_deploys_to_all_vehicles(self):
+        sim, store, fleet = make_fleet(size=3)
+        versions = fleet.versions("fn")
+        assert all(v == (1, 0) for v in versions.values())
+
+    def test_vehicle_monitors_are_independent(self):
+        sim, store, fleet = make_fleet(size=2)
+        assert all(v.fault_count() == 0 for v in fleet.vehicles)
+
+    def test_minimum_size_enforced(self):
+        sim = Simulator()
+        store = TrustStore()
+        with pytest.raises(UpdateError):
+            Fleet(sim, store, size=0)
+
+
+class TestRollout:
+    def test_healthy_update_reaches_whole_fleet(self):
+        sim, store, fleet = make_fleet(size=4)
+        manager = CampaignManager(fleet, "oem", wave_size=2, soak_time=0.5)
+        result = manager.rollout(healthy_app(), healthy_app(version=(1, 1)))
+        assert not result.aborted
+        assert result.vehicles_updated == 4
+        assert len(result.waves) == 2
+        assert all(
+            v == (1, 1) for v in fleet.versions("fn").values()
+        )
+
+    def test_waves_respect_wave_size(self):
+        sim, store, fleet = make_fleet(size=5)
+        manager = CampaignManager(fleet, "oem", wave_size=2, soak_time=0.2)
+        result = manager.rollout(healthy_app(), healthy_app(version=(1, 1)))
+        assert [len(w.vehicle_indices) for w in result.waves] == [2, 2, 1]
+
+    def test_regression_aborts_and_rolls_back(self):
+        """The Section 3.4 loop: the buggy version's deadline faults are
+        detected by the wave's monitors; the campaign stops after wave 1
+        and the wave rolls back, sparing the rest of the fleet."""
+        sim, store, fleet = make_fleet(size=4)
+        manager = CampaignManager(
+            fleet, "oem", wave_size=2, soak_time=0.5,
+            abort_regression_ratio=0.5,
+        )
+        result = manager.rollout(healthy_app(), buggy_app())
+        assert result.aborted
+        assert result.rolled_back
+        assert len(result.waves) == 1
+        assert result.waves[0].regressions >= 1
+        versions = fleet.versions("fn")
+        # wave-1 vehicles rolled back; later vehicles never updated
+        assert all(v == (1, 0) for v in versions.values())
+
+    def test_faults_reach_manufacturer_backend(self):
+        sim, store, fleet = make_fleet(size=2)
+        manager = CampaignManager(
+            fleet, "oem", wave_size=2, soak_time=0.5,
+        )
+        manager.rollout(healthy_app(), buggy_app())
+        sim.run(until=sim.now + 1.0)  # uplink latency
+        assert any(v.backend.received for v in fleet.vehicles)
+
+    def test_wrong_app_name_rejected(self):
+        sim, store, fleet = make_fleet(size=1)
+        manager = CampaignManager(fleet, "oem")
+        other = AppModel(name="other", memory_kib=16, image_kib=16)
+        with pytest.raises(UpdateError):
+            manager.rollout(healthy_app(), other)
+
+    def test_invalid_wave_size(self):
+        sim, store, fleet = make_fleet(size=1)
+        with pytest.raises(UpdateError):
+            CampaignManager(fleet, "oem", wave_size=0)

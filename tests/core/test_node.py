@@ -1,0 +1,162 @@
+"""Direct tests for PlatformNode: images, processes, instance management."""
+
+import pytest
+
+from repro.errors import ConfigurationError, PlatformError
+from repro.core import AppState, PlatformNode
+from repro.hw import BusSpec, EcuSpec, OsClass, Topology
+from repro.middleware import ServiceRegistry
+from repro.model import AppModel, Asil
+from repro.network import VehicleNetwork
+from repro.osal import TaskSpec
+from repro.sim import Simulator
+
+
+def make_node(mmu=True, memory=4096, cores=2):
+    topo = Topology()
+    topo.add_bus(BusSpec("eth", "ethernet", 1e9))
+    topo.add_ecu(EcuSpec(
+        "n0", cpu_mhz=400, cores=cores, memory_kib=memory, flash_kib=8192,
+        has_mmu=mmu, os_class=OsClass.POSIX_RT,
+        ports=(("eth0", "ethernet"),),
+    ))
+    topo.attach("n0", "eth0", "eth")
+    sim = Simulator()
+    net = VehicleNetwork(sim, topo)
+    node = PlatformNode(sim, topo.ecu("n0"), net, ServiceRegistry())
+    return sim, node
+
+
+def app(name="a", memory=64.0, own_process=True):
+    return AppModel(
+        name=name,
+        tasks=(TaskSpec(name=f"{name}_t", period=0.01, wcet=0.001),),
+        asil=Asil.B, memory_kib=memory, image_kib=128,
+        own_process=own_process,
+    )
+
+
+class TestImages:
+    def test_store_and_drop(self):
+        sim, node = make_node()
+        node.store_image("a", 128)
+        assert node.has_image("a")
+        assert node.state.flash_used_kib == 128
+        node.drop_image("a")
+        assert not node.has_image("a")
+        assert node.state.flash_used_kib == 0
+
+    def test_replacing_image_frees_old_flash(self):
+        sim, node = make_node()
+        node.store_image("a", 128)
+        node.store_image("a", 256)  # update: bigger image
+        assert node.state.flash_used_kib == 256
+
+    def test_flash_exhaustion(self):
+        sim, node = make_node()
+        with pytest.raises(ConfigurationError):
+            node.store_image("huge", 1 << 20)
+
+    def test_drop_unknown_is_noop(self):
+        sim, node = make_node()
+        node.drop_image("ghost")
+
+
+class TestInstances:
+    def test_instantiate_allocates_process_memory(self):
+        sim, node = make_node()
+        node.instantiate(app("a", memory=100))
+        assert node.state.memory_used_kib == 100
+        assert len(node.memory.processes) == 1
+
+    def test_duplicate_instance_rejected(self):
+        sim, node = make_node()
+        node.instantiate(app("a"))
+        with pytest.raises(PlatformError):
+            node.instantiate(app("a"))
+
+    def test_same_app_different_instance_ids(self):
+        sim, node = make_node()
+        node.instantiate(app("a"), instance_id=1)
+        node.instantiate(app("a"), instance_id=2)
+        assert len(node.instances_of("a")) == 2
+
+    def test_invalid_core_rejected(self):
+        sim, node = make_node(cores=2)
+        with pytest.raises(ConfigurationError):
+            node.instantiate(app("a"), core_index=5)
+
+    def test_tear_down_releases_memory(self):
+        sim, node = make_node()
+        node.instantiate(app("a", memory=100))
+        node.tear_down("a")
+        assert node.state.memory_used_kib == 0
+        with pytest.raises(PlatformError):
+            node.instance("a")
+
+    def test_tear_down_unknown_raises(self):
+        sim, node = make_node()
+        with pytest.raises(PlatformError):
+            node.tear_down("ghost")
+
+    def test_tear_down_stops_running_instance(self):
+        sim, node = make_node()
+        instance = node.instantiate(app("a"))
+        instance.start()
+        sim.run(until=0.05)
+        assert instance.is_running
+        node.tear_down("a")
+        assert instance.state is AppState.STOPPED
+
+    def test_shared_process_apps(self):
+        sim, node = make_node()
+        node.instantiate(app("a", own_process=False))
+        node.instantiate(app("b", own_process=False))
+        groups = node.memory.isolation_groups()
+        shared = [g for g in groups if len(g) >= 1]
+        assert len(node.memory.processes) == 1
+        proc = node.memory.processes[0]
+        assert proc.residents == {"a", "b"}
+
+    def test_shared_process_teardown_keeps_others(self):
+        sim, node = make_node()
+        node.instantiate(app("a", own_process=False, memory=50))
+        node.instantiate(app("b", own_process=False, memory=50))
+        before = node.state.memory_used_kib
+        node.tear_down("a")
+        assert node.state.memory_used_kib == before - 50
+        assert node.memory.processes[0].residents == {"b"}
+
+    def test_failed_node_rejects_instantiation(self):
+        sim, node = make_node()
+        node.fail()
+        with pytest.raises(PlatformError):
+            node.instantiate(app("a"))
+
+
+class TestFailureSemantics:
+    def test_fail_returns_running_victims(self):
+        sim, node = make_node()
+        running = node.instantiate(app("a"))
+        running.start()
+        idle = node.instantiate(app("b"))
+        sim.run(until=0.02)
+        victims = node.fail()
+        assert running in victims
+        assert idle not in victims
+
+    def test_deterministic_tasks_on_core_tracks_running_only(self):
+        sim, node = make_node()
+        instance = node.instantiate(app("a"), core_index=0)
+        assert node.deterministic_tasks_on_core(0) == []
+        instance.start()
+        sim.run(until=0.02)
+        assert len(node.deterministic_tasks_on_core(0)) == 1
+        assert node.deterministic_tasks_on_core(1) == []
+        instance.stop()
+        assert node.deterministic_tasks_on_core(0) == []
+
+    def test_memory_headroom(self):
+        sim, node = make_node(memory=1000)
+        node.instantiate(app("a", memory=400))
+        assert node.memory_headroom_kib() == 600

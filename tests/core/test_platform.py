@@ -1,0 +1,276 @@
+"""Tests for the dynamic platform: install, admission, lifecycle, failure."""
+
+import pytest
+
+from repro.errors import AdmissionError, PlatformError, SecurityError
+from repro.hw import CryptoCapability, EcuSpec, OsClass, centralized_topology
+from repro.model import AppModel, Asil
+from repro.core import AppState, DynamicPlatform
+from repro.osal import Criticality, TaskSpec
+from repro.security import TrustStore, build_package, forged_package
+from repro.sim import Simulator
+
+
+def det_app(name="ctl", period=0.01, wcet=0.001, memory=64.0):
+    return AppModel(
+        name=name,
+        tasks=(TaskSpec(name=f"{name}_loop", period=period, wcet=wcet),),
+        asil=Asil.C,
+        memory_kib=memory,
+        image_kib=128,
+    )
+
+
+def nda_app(name="info", memory=64.0):
+    return AppModel(
+        name=name,
+        tasks=(TaskSpec(
+            name=f"{name}_work", period=0.05, wcet=0.01,
+            criticality=Criticality.NON_DETERMINISTIC,
+        ),),
+        memory_kib=memory,
+        image_kib=128,
+    )
+
+
+def make_platform(**kw):
+    sim = Simulator()
+    store = TrustStore()
+    store.generate_key("oem")
+    platform = DynamicPlatform(
+        sim, centralized_topology(n_platforms=2), trust_store=store, **kw
+    )
+    return sim, store, platform
+
+
+class TestInstall:
+    def test_valid_package_installs(self):
+        sim, store, platform = make_platform()
+        pkg = build_package(det_app(), store, "oem")
+        outcome = []
+        platform.install(pkg, "platform_0").add_callback(outcome.append)
+        sim.run()
+        assert outcome == [True]
+        assert platform.node("platform_0").has_image("ctl")
+
+    def test_tampered_package_rejected(self):
+        sim, store, platform = make_platform()
+        pkg = build_package(det_app(), store, "oem").tampered()
+        outcome = []
+        platform.install(pkg, "platform_0").add_callback(outcome.append)
+        sim.run()
+        assert outcome == [False]
+        assert not platform.node("platform_0").has_image("ctl")
+        assert platform.installs_rejected == 1
+
+    def test_forged_package_rejected(self):
+        sim, store, platform = make_platform()
+        outcome = []
+        platform.install(forged_package(det_app()), "platform_0").add_callback(
+            outcome.append
+        )
+        sim.run()
+        assert outcome == [False]
+
+    def test_weak_ecu_requires_update_master(self):
+        sim, store, platform = make_platform()
+        pkg = build_package(det_app(memory=16), store, "oem")
+        with pytest.raises(SecurityError):
+            platform.install(pkg, "zone_sensor_0")
+
+    def test_weak_ecu_install_via_update_master(self):
+        sim, store, platform = make_platform()
+        platform.setup_update_masters(["platform_0", "platform_1"])
+        pkg = build_package(det_app(memory=16), store, "oem")
+        outcome = []
+        platform.install(pkg, "zone_sensor_0").add_callback(
+            lambda ok: outcome.append((sim.now, ok))
+        )
+        sim.run()
+        assert outcome[0][1] is True
+        assert outcome[0][0] > 0  # verification + transfer took time
+        assert platform.node("zone_sensor_0").has_image("ctl")
+
+    def test_update_master_failover(self):
+        sim, store, platform = make_platform()
+        group = platform.setup_update_masters(["platform_0", "platform_1"])
+        group.masters[0].fail()
+        pkg = build_package(det_app(memory=16), store, "oem")
+        outcome = []
+        platform.install(pkg, "zone_sensor_0").add_callback(outcome.append)
+        sim.run()
+        assert outcome == [True]
+        assert group.failovers >= 1
+
+    def test_all_masters_down_raises(self):
+        sim, store, platform = make_platform()
+        group = platform.setup_update_masters(["platform_0"])
+        group.masters[0].fail()
+        pkg = build_package(det_app(memory=16), store, "oem")
+        with pytest.raises(SecurityError):
+            platform.install(pkg, "zone_sensor_0")
+
+
+class TestLifecycle:
+    def install_and_run(self, platform, sim, store, app, node="platform_0"):
+        pkg = build_package(app, store, "oem")
+        platform.install(pkg, node)
+        sim.run()
+        return platform.start_app(app.name, node)
+
+    def test_start_requires_install(self):
+        sim, store, platform = make_platform()
+        with pytest.raises(PlatformError):
+            platform.start_app("ghost", "platform_0")
+
+    def test_start_runs_tasks(self):
+        sim, store, platform = make_platform()
+        instance = self.install_and_run(platform, sim, store, det_app())
+        sim.run(until=sim.now + 0.1)
+        assert instance.is_running
+        assert instance.jobs_released() >= 9
+        assert instance.deadline_misses() == 0
+
+    def test_stop_ceases_execution(self):
+        sim, store, platform = make_platform()
+        instance = self.install_and_run(platform, sim, store, det_app())
+        sim.run(until=sim.now + 0.05)
+        platform.stop_app("ctl", "platform_0")
+        released = instance.jobs_released()
+        sim.run(until=sim.now + 0.05)
+        assert instance.state is AppState.STOPPED
+        # a handful may have been released before stop; none after
+        assert instance.jobs_released() == released
+
+    def test_uninstall_frees_resources(self):
+        sim, store, platform = make_platform()
+        self.install_and_run(platform, sim, store, det_app())
+        node = platform.node("platform_0")
+        assert node.state.memory_used_kib > 0
+        platform.uninstall("ctl", "platform_0")
+        assert node.state.memory_used_kib == 0
+        assert not node.has_image("ctl")
+
+    def test_where_is_tracks_instances(self):
+        sim, store, platform = make_platform()
+        self.install_and_run(platform, sim, store, det_app())
+        assert platform.where_is("ctl") == ["platform_0"]
+
+    def test_restart_after_stop(self):
+        sim, store, platform = make_platform()
+        instance = self.install_and_run(platform, sim, store, det_app())
+        platform.stop_app("ctl", "platform_0")
+        platform.node("platform_0").tear_down("ctl", 1)
+        instance2 = platform.start_app("ctl", "platform_0")
+        sim.run(until=sim.now + 0.05)
+        assert instance2.is_running
+
+
+class TestAdmission:
+    def test_overload_rejected(self):
+        sim, store, platform = make_platform()
+        platform.setup_update_masters(["platform_0"])
+        heavy = AppModel(
+            name="heavy",
+            tasks=(TaskSpec(name="h", period=0.01, wcet=0.0095),),
+            asil=Asil.C, memory_kib=64, image_kib=64,
+        )
+        pkg = build_package(heavy, store, "oem")
+        platform.install(pkg, "zone_sensor_1")
+        sim.run()
+        # zone sensor: 80 MHz -> speed 0.4; wcet 9.5ms/0.4 = 23.75ms > period
+        with pytest.raises(AdmissionError):
+            platform.start_app("heavy", "zone_sensor_1")
+        assert platform.admission.rejected_count >= 1
+
+    def test_admitted_on_fast_node(self):
+        sim, store, platform = make_platform()
+        heavy = AppModel(
+            name="heavy",
+            tasks=(TaskSpec(name="h", period=0.01, wcet=0.005),),
+            asil=Asil.C, memory_kib=64, image_kib=64,
+        )
+        pkg = build_package(heavy, store, "oem")
+        platform.install(pkg, "platform_0")
+        sim.run()
+        instance = platform.start_app("heavy", "platform_0")
+        assert instance.is_running or instance.state is AppState.STARTING
+
+    def test_memory_exhaustion_rejected(self):
+        sim, store, platform = make_platform()
+        hog = AppModel(name="hog", memory_kib=1 << 23, image_kib=64)
+        pkg = build_package(hog, store, "oem")
+        platform.install(pkg, "platform_1")
+        sim.run()
+        with pytest.raises(AdmissionError, match="memory"):
+            platform.start_app("hog", "platform_1")
+
+    def test_da_on_gp_os_rejected(self):
+        sim, store, platform = make_platform()
+        pkg = build_package(det_app(), store, "oem")
+        platform.install(pkg, "head_unit")
+        sim.run()
+        with pytest.raises(AdmissionError, match="non-real-time"):
+            platform.start_app("ctl", "head_unit")
+
+    def test_nda_on_gp_os_accepted(self):
+        sim, store, platform = make_platform()
+        pkg = build_package(nda_app(), store, "oem")
+        platform.install(pkg, "head_unit")
+        sim.run()
+        instance = platform.start_app("info", "head_unit")
+        sim.run(until=sim.now + 0.1)
+        assert instance.is_running
+
+    def test_best_core_spreads_load(self):
+        """Apps too heavy to share a core land on distinct cores."""
+        sim, store, platform = make_platform()
+        platform.setup_update_masters(["platform_0"])
+        # zone sensor speed factor 0.4: 2ms wcet -> 5ms/10ms = 50% per core,
+        # above the 70% share only pairwise (2 x 50% > 70%)
+        app = AppModel(
+            name="ctl0",
+            tasks=(TaskSpec(name="c0", period=0.01, wcet=0.002),),
+            asil=Asil.C, memory_kib=16, image_kib=16,
+        )
+        platform.install(build_package(app, store, "oem"), "zone_sensor_0")
+        sim.run()
+        platform.start_app("ctl0", "zone_sensor_0")
+        # second heavy app would exceed the single core's share
+        app2 = AppModel(
+            name="ctl_extra",
+            tasks=(TaskSpec(name="cx", period=0.01, wcet=0.002),),
+            asil=Asil.C, memory_kib=16, image_kib=16,
+        )
+        platform.install(build_package(app2, store, "oem"), "zone_sensor_0")
+        sim.run(until=sim.now + 6.0)  # bounded: an app is already running
+        with pytest.raises(AdmissionError):
+            platform.start_app("ctl_extra", "zone_sensor_0")
+
+
+class TestNodeFailure:
+    def test_fail_kills_instances_and_offers(self):
+        sim, store, platform = make_platform()
+        pkg = build_package(det_app(), store, "oem")
+        platform.install(pkg, "platform_0")
+        sim.run()
+        instance = platform.start_app("ctl", "platform_0")
+        sim.run(until=sim.now + 0.02)
+        victims = platform.fail_node("platform_0")
+        assert instance in victims
+        assert instance.state is AppState.FAILED
+        assert platform.where_is("ctl") == []
+
+    def test_recovered_node_accepts_new_work(self):
+        sim, store, platform = make_platform()
+        pkg = build_package(det_app(), store, "oem")
+        platform.install(pkg, "platform_0")
+        sim.run()
+        platform.start_app("ctl", "platform_0")
+        platform.fail_node("platform_0")
+        platform.recover_node("platform_0")
+        node = platform.node("platform_0")
+        node.tear_down("ctl", 1)
+        instance = platform.start_app("ctl", "platform_0")
+        sim.run(until=sim.now + 0.05)
+        assert instance.is_running

@@ -1,0 +1,199 @@
+"""Tests for runtime reconfiguration: live migration and load balancing."""
+
+import pytest
+
+from repro.errors import AdmissionError, PlatformError, UpdateError
+from repro.core import (
+    AppState,
+    DynamicPlatform,
+    ReconfigurationManager,
+)
+from repro.hw import centralized_topology
+from repro.middleware import ServiceOffer
+from repro.model import AppModel, Asil
+from repro.osal import TaskSpec
+from repro.security import TrustStore, build_package
+from repro.sim import Simulator
+
+
+def det_app(name="mover", util=0.1, memory=64.0):
+    return AppModel(
+        name=name,
+        tasks=(TaskSpec(name=f"{name}_loop", period=0.01, wcet=0.01 * util),),
+        asil=Asil.C, memory_kib=memory, image_kib=128,
+    )
+
+
+def small_topology(n_platforms=2):
+    """Reference-speed (200 MHz) platform nodes so utilizations bite."""
+    from repro.hw import BusSpec, EcuSpec, OsClass, Topology
+
+    topo = Topology()
+    topo.add_bus(BusSpec("eth", "ethernet", 1e9, tsn_capable=True))
+    for i in range(n_platforms):
+        topo.add_ecu(EcuSpec(
+            f"platform_{i}", cpu_mhz=200.0, cores=1, memory_kib=1 << 18,
+            flash_kib=1 << 20, has_mmu=True, os_class=OsClass.POSIX_RT,
+            crypto=__import__("repro.hw", fromlist=["CryptoCapability"]).CryptoCapability.ACCELERATED,
+            ports=(("eth0", "ethernet"),),
+        ))
+        topo.attach(f"platform_{i}", "eth0", "eth")
+    return topo
+
+
+def setup(n_platforms=2, install_everywhere=True):
+    sim = Simulator()
+    store = TrustStore()
+    store.generate_key("oem")
+    platform = DynamicPlatform(
+        sim, small_topology(n_platforms), trust_store=store
+    )
+    manager = ReconfigurationManager(platform)
+    app = det_app()
+    nodes = [f"platform_{i}" for i in range(n_platforms)]
+    targets = nodes if install_everywhere else nodes[:1]
+    for node in targets:
+        platform.install(build_package(app, store, "oem"), node)
+    sim.run()
+    platform.start_app("mover", "platform_0")
+    return sim, store, platform, manager
+
+
+class TestMigration:
+    def test_migrate_moves_instance(self):
+        sim, store, platform, manager = setup()
+        reports = []
+        manager.migrate("mover", "platform_0", "platform_1").add_callback(
+            reports.append
+        )
+        sim.run(until=sim.now + 1.0)
+        report = reports[0]
+        assert report.success
+        assert platform.where_is("mover") == ["platform_1"]
+        assert report.downtime == 0.0
+
+    def test_source_resources_released(self):
+        sim, store, platform, manager = setup()
+        source = platform.node("platform_0")
+        manager.migrate("mover", "platform_0", "platform_1")
+        sim.run(until=sim.now + 1.0)
+        assert source.state.memory_used_kib == 0.0
+        assert source.instances_of("mover") == []
+
+    def test_state_travels_with_the_app(self):
+        sim, store, platform, manager = setup()
+        old = platform.node("platform_0").instance("mover", 1)
+        old.internal_state["odometer"] = 12345
+        manager.migrate("mover", "platform_0", "platform_1")
+        sim.run(until=sim.now + 1.0)
+        new = platform.node("platform_1").instance("mover", 1)
+        assert new.internal_state["odometer"] == 12345
+
+    def test_service_offers_follow(self):
+        sim, store, platform, manager = setup()
+        platform.registry.offer(
+            ServiceOffer(0x700, 1, "platform_0", "mover")
+        )
+        manager.migrate("mover", "platform_0", "platform_1")
+        sim.run(until=sim.now + 1.0)
+        assert platform.registry.find(0x700).ecu == "platform_1"
+
+    def test_function_available_throughout(self):
+        sim, store, platform, manager = setup()
+        gaps = []
+
+        def probe():
+            if not platform.running_instances("mover"):
+                gaps.append(sim.now)
+            if sim.now < 1.0:
+                sim.schedule(0.001, probe)
+
+        probe()
+        sim.schedule(0.1, lambda: manager.migrate(
+            "mover", "platform_0", "platform_1"))
+        sim.run(until=1.1)
+        assert gaps == []
+
+    def test_same_node_rejected(self):
+        sim, store, platform, manager = setup()
+        with pytest.raises(UpdateError):
+            manager.migrate("mover", "platform_0", "platform_0")
+
+    def test_missing_target_image_rejected(self):
+        sim, store, platform, manager = setup(install_everywhere=False)
+        with pytest.raises(PlatformError):
+            manager.migrate("mover", "platform_0", "platform_1")
+
+    def test_stopped_app_rejected(self):
+        sim, store, platform, manager = setup()
+        platform.stop_app("mover", "platform_0")
+        with pytest.raises(UpdateError):
+            manager.migrate("mover", "platform_0", "platform_1")
+
+    def test_target_admission_enforced(self):
+        sim, store, platform, manager = setup()
+        # saturate platform_1's single core with deterministic load
+        hog = det_app(name="hog", util=0.65, memory=16)
+        platform.install(build_package(hog, store, "oem"), "platform_1")
+        sim.run(until=sim.now + 1.0)
+        platform.start_app("hog", "platform_1", core_index=0)
+        with pytest.raises(AdmissionError):
+            manager.migrate("mover", "platform_0", "platform_1")
+
+
+class TestLoadBalancing:
+    def test_utilization_reporting(self):
+        sim, store, platform, manager = setup()
+        assert manager.node_det_utilization("platform_0") > 0.0
+        assert manager.node_det_utilization("platform_1") == 0.0
+
+    def test_no_proposals_when_balanced(self):
+        sim, store, platform, manager = setup()
+        assert manager.propose_rebalance(threshold=0.6) == []
+
+    def test_overload_produces_proposal(self):
+        sim, store, platform, manager = setup()
+        # overload one core of platform_0 beyond the threshold
+        extra = det_app(name="heavy", util=0.55, memory=16)
+        platform.install(build_package(extra, store, "oem"), "platform_0")
+        sim.run(until=sim.now + 1.0)
+        node = platform.node("platform_0")
+        core_of_mover = node.cores.index(node.instance("mover", 1).core)
+        platform.start_app("heavy", "platform_0", core_index=core_of_mover)
+        proposals = manager.propose_rebalance(threshold=0.6)
+        assert proposals
+        app, source, target = proposals[0]
+        assert source == "platform_0"
+        assert target != "platform_0"
+        # the lightest app is proposed for migration
+        assert app == "mover"
+
+    def test_rebalance_executes_and_relieves(self):
+        sim, store, platform, manager = setup()
+        extra = det_app(name="heavy", util=0.55, memory=16)
+        platform.install(build_package(extra, store, "oem"), "platform_0")
+        sim.run(until=sim.now + 1.0)
+        node = platform.node("platform_0")
+        core_of_mover = node.cores.index(node.instance("mover", 1).core)
+        platform.start_app("heavy", "platform_0", core_index=core_of_mover)
+        before = manager.node_det_utilization("platform_0")
+        signals = manager.rebalance(threshold=0.6)
+        assert signals
+        sim.run(until=sim.now + 1.0)
+        after = manager.node_det_utilization("platform_0")
+        assert after < before
+        assert platform.where_is("mover") == ["platform_1"]
+
+    def test_rebalance_ships_image_if_missing(self):
+        sim, store, platform, manager = setup(install_everywhere=False)
+        extra = det_app(name="heavy", util=0.55, memory=16)
+        platform.install(build_package(extra, store, "oem"), "platform_0")
+        sim.run(until=sim.now + 1.0)
+        node = platform.node("platform_0")
+        core_of_mover = node.cores.index(node.instance("mover", 1).core)
+        platform.start_app("heavy", "platform_0", core_index=core_of_mover)
+        signals = manager.rebalance(threshold=0.6)
+        assert signals
+        sim.run(until=sim.now + 1.0)
+        assert platform.node("platform_1").has_image("mover")
+        assert platform.where_is("mover") == ["platform_1"]

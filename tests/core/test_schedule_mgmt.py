@@ -1,0 +1,96 @@
+"""Tests for the cloud-based schedule management framework (ref [21])."""
+
+import pytest
+
+from repro.core import ComputeSite, ScheduleManagementFramework, validate_by_simulation
+from repro.hw import EcuSpec
+from repro.osal import TaskSpec, synthesize_table
+from repro.sim import Simulator
+
+
+def tasks_ok():
+    return [
+        TaskSpec(name="a", period=0.005, wcet=0.001),
+        TaskSpec(name="b", period=0.010, wcet=0.002),
+        TaskSpec(name="c", period=0.020, wcet=0.004),
+    ]
+
+
+def tasks_overloaded():
+    return [
+        TaskSpec(name="x", period=0.01, wcet=0.009),
+        TaskSpec(name="y", period=0.01, wcet=0.009),
+    ]
+
+
+class TestComputeSites:
+    def test_backend_vastly_faster_than_ecu(self):
+        backend = ComputeSite.backend()
+        ecu = ComputeSite.on_ecu(EcuSpec("legacy", cpu_mhz=200.0))
+        assert backend.rate / ecu.rate > 100
+
+
+class TestSynthesis:
+    def test_backend_synthesis_returns_validated_table(self):
+        sim = Simulator()
+        framework = ScheduleManagementFramework(sim)
+        outcomes = []
+        framework.synthesize(tasks_ok(), ComputeSite.backend()).add_callback(
+            outcomes.append
+        )
+        sim.run()
+        outcome = outcomes[0]
+        assert outcome.feasible
+        assert outcome.validated
+        assert outcome.table is not None
+
+    def test_on_ecu_synthesis_slower(self):
+        """C2: the same synthesis takes orders of magnitude longer on-ECU."""
+        def run(site):
+            sim = Simulator()
+            framework = ScheduleManagementFramework(sim)
+            outcomes = []
+            framework.synthesize(
+                tasks_ok(), site, validate=False
+            ).add_callback(outcomes.append)
+            sim.run()
+            return outcomes[0]
+
+        backend = run(ComputeSite.backend())
+        on_ecu = run(ComputeSite.on_ecu(EcuSpec("legacy", cpu_mhz=200.0)))
+        assert on_ecu.synthesis_time > backend.synthesis_time * 100
+        assert on_ecu.feasible == backend.feasible
+
+    def test_infeasible_set_reported(self):
+        sim = Simulator()
+        framework = ScheduleManagementFramework(sim)
+        outcomes = []
+        framework.synthesize(
+            tasks_overloaded(), ComputeSite.backend()
+        ).add_callback(outcomes.append)
+        sim.run()
+        assert not outcomes[0].feasible
+        assert outcomes[0].table is None
+        assert outcomes[0].error
+
+    def test_outcomes_recorded(self):
+        sim = Simulator()
+        framework = ScheduleManagementFramework(sim)
+        framework.synthesize(tasks_ok(), ComputeSite.backend())
+        sim.run()
+        assert len(framework.outcomes) == 1
+
+
+class TestValidation:
+    def test_good_table_validates(self):
+        table = synthesize_table(tasks_ok())
+        assert validate_by_simulation(table, tasks_ok())
+
+    def test_validation_catches_wrong_speed_assumption(self):
+        """A table synthesized for a fast core fails validation against a
+        slow one — the 'test against the current configuration of the
+        installing vehicle' step doing its job."""
+        table = synthesize_table(tasks_ok(), speed_factor=4.0)
+        assert validate_by_simulation(table, tasks_ok(), speed_factor=4.0)
+        # same table driven by a core 4x slower: jobs overrun their slots
+        assert not validate_by_simulation(table, tasks_ok(), speed_factor=1.0)

@@ -1,0 +1,240 @@
+"""Tests for the update orchestrator (staged, stop-restart, naive switch)."""
+
+import pytest
+
+from repro.errors import UpdateError
+from repro.core import AppState, DynamicPlatform, UpdateOrchestrator
+from repro.hw import centralized_topology
+from repro.model import AppModel, Asil
+from repro.osal import Criticality, TaskSpec
+from repro.security import TrustStore, build_package
+from repro.sim import Simulator
+
+
+def ctl_app(version=(1, 0)):
+    return AppModel(
+        name="ctl",
+        tasks=(TaskSpec(name="ctl_loop", period=0.01, wcet=0.001),),
+        asil=Asil.C, memory_kib=64, image_kib=128, version=version,
+    )
+
+
+def setup():
+    sim = Simulator()
+    store = TrustStore()
+    store.generate_key("oem")
+    platform = DynamicPlatform(
+        sim, centralized_topology(n_platforms=2), trust_store=store
+    )
+    orchestrator = UpdateOrchestrator(platform)
+    pkg = build_package(ctl_app(), store, "oem")
+    platform.install(pkg, "platform_0")
+    sim.run()
+    instance = platform.start_app("ctl", "platform_0")
+    instance.internal_state["integrator"] = 42.5
+    return sim, store, platform, orchestrator, instance
+
+
+class TestStagedUpdate:
+    def test_zero_downtime(self):
+        sim, store, platform, orch, old = setup()
+        new_pkg = build_package(ctl_app(version=(1, 1)), store, "oem")
+        reports = []
+        orch.staged_update("ctl", "platform_0", new_pkg).add_callback(reports.append)
+        sim.run(until=sim.now + 1.0)
+        report = reports[0]
+        assert report.success
+        assert report.downtime == 0.0
+        assert report.strategy == "staged"
+
+    def test_state_synchronised_to_new_instance(self):
+        sim, store, platform, orch, old = setup()
+        new_pkg = build_package(ctl_app(version=(1, 1)), store, "oem")
+        orch.staged_update("ctl", "platform_0", new_pkg)
+        sim.run(until=sim.now + 1.0)
+        node = platform.node("platform_0")
+        new_instance = node.instance("ctl", instance_id=2)
+        assert new_instance.is_running
+        assert new_instance.internal_state["integrator"] == 42.5
+
+    def test_old_instance_torn_down(self):
+        sim, store, platform, orch, old = setup()
+        new_pkg = build_package(ctl_app(version=(1, 1)), store, "oem")
+        orch.staged_update("ctl", "platform_0", new_pkg)
+        sim.run(until=sim.now + 1.0)
+        assert old.state is AppState.STOPPED
+        node = platform.node("platform_0")
+        assert len(node.instances_of("ctl")) == 1
+
+    def test_double_memory_during_update(self):
+        """The paper's stated disadvantage (C5): the app is instantiated
+        twice while the update is in flight."""
+        sim, store, platform, orch, old = setup()
+        node = platform.node("platform_0")
+        base_memory = node.state.memory_used_kib
+        peaks = []
+        new_pkg = build_package(ctl_app(version=(1, 1)), store, "oem")
+        orch.staged_update("ctl", "platform_0", new_pkg, startup_latency=0.05)
+        sim.schedule(0.06, lambda: peaks.append(node.state.memory_used_kib))
+        sim.run(until=sim.now + 1.0)
+        assert peaks[0] == pytest.approx(base_memory * 2)
+        assert node.state.memory_used_kib == pytest.approx(base_memory)
+
+    def test_function_never_stops_running(self):
+        """At every sampled instant, at least one ctl instance is RUNNING."""
+        sim, store, platform, orch, old = setup()
+        gaps = []
+
+        def probe():
+            if not platform.running_instances("ctl"):
+                gaps.append(sim.now)
+            if sim.now < 2.0:
+                sim.schedule(0.002, probe)
+
+        sim.run(until=sim.now + 0.05)
+        new_pkg = build_package(ctl_app(version=(1, 1)), store, "oem")
+        orch.staged_update("ctl", "platform_0", new_pkg)
+        probe()
+        sim.run(until=2.1)
+        assert gaps == []
+
+    def test_tampered_update_aborts_cleanly(self):
+        sim, store, platform, orch, old = setup()
+        bad = build_package(ctl_app(version=(1, 1)), store, "oem").tampered()
+        reports = []
+        orch.staged_update("ctl", "platform_0", bad).add_callback(reports.append)
+        sim.run(until=sim.now + 1.0)
+        assert not reports[0].success
+        assert old.is_running  # the old version keeps serving
+
+    def test_update_of_stopped_app_rejected(self):
+        sim, store, platform, orch, old = setup()
+        platform.stop_app("ctl", "platform_0")
+        new_pkg = build_package(ctl_app(version=(1, 1)), store, "oem")
+        with pytest.raises(UpdateError):
+            orch.staged_update("ctl", "platform_0", new_pkg)
+
+
+class TestStopUpdateRestart:
+    def test_downtime_measured(self):
+        sim, store, platform, orch, old = setup()
+        new_pkg = build_package(ctl_app(version=(1, 1)), store, "oem")
+        reports = []
+        orch.stop_update_restart("ctl", "platform_0", new_pkg).add_callback(
+            reports.append
+        )
+        sim.run(until=sim.now + 5.0)
+        report = reports[0]
+        assert report.success
+        assert report.downtime > 0.0  # verify + flash + restart all down
+
+    def test_downtime_exceeds_staged(self):
+        sim, store, platform, orch, old = setup()
+        new_pkg = build_package(ctl_app(version=(1, 1)), store, "oem")
+        r1 = []
+        orch.stop_update_restart("ctl", "platform_0", new_pkg).add_callback(r1.append)
+        sim.run(until=sim.now + 5.0)
+        assert r1[0].downtime > 0.01  # flash write alone is 128KiB / 2MBps
+
+
+class TestNaiveSwitch:
+    def test_zero_skew_still_has_startup_gap(self):
+        sim, store, platform, orch, old = setup()
+        new_pkg = build_package(ctl_app(version=(1, 1)), store, "oem")
+        reports = []
+        orch.naive_switch(
+            "ctl", "platform_0", new_pkg, switch_at=1.0, clock_skew=0.0,
+            startup_latency=0.02,
+        ).add_callback(reports.append)
+        sim.run(until=sim.now + 5.0)
+        assert reports[0].downtime == pytest.approx(0.02, abs=1e-6)
+
+    def test_positive_skew_widens_gap(self):
+        sim, store, platform, orch, old = setup()
+        new_pkg = build_package(ctl_app(version=(1, 1)), store, "oem")
+        reports = []
+        orch.naive_switch(
+            "ctl", "platform_0", new_pkg, switch_at=1.0, clock_skew=0.05,
+            startup_latency=0.02,
+        ).add_callback(reports.append)
+        sim.run(until=sim.now + 5.0)
+        assert reports[0].downtime == pytest.approx(0.07, abs=1e-6)
+
+    def test_switch_in_past_rejected(self):
+        sim, store, platform, orch, old = setup()
+        new_pkg = build_package(ctl_app(version=(1, 1)), store, "oem")
+        with pytest.raises(UpdateError):
+            orch.naive_switch("ctl", "platform_0", new_pkg, switch_at=-1.0)
+
+
+class TestUpdatePath:
+    def multi_setup(self):
+        sim = Simulator()
+        store = TrustStore()
+        store.generate_key("oem")
+        platform = DynamicPlatform(
+            sim, centralized_topology(n_platforms=2), trust_store=store
+        )
+        orch = UpdateOrchestrator(platform)
+        apps = []
+        for i in range(3):
+            app = AppModel(
+                name=f"fn{i}",
+                tasks=(TaskSpec(name=f"fn{i}_t", period=0.01, wcet=0.0005),),
+                asil=Asil.C, memory_kib=32, image_kib=64,
+            )
+            apps.append(app)
+            platform.install(build_package(app, store, "oem"), "platform_0")
+        sim.run()
+        for app in apps:
+            platform.start_app(app.name, "platform_0")
+        return sim, store, platform, orch, apps
+
+    def test_path_updates_all_steps(self):
+        sim, store, platform, orch, apps = self.multi_setup()
+        steps = [
+            (app.name, "platform_0", build_package(app.bumped(), store, "oem"))
+            for app in apps
+        ]
+        results = []
+        orch.update_path(steps).add_callback(results.append)
+        sim.run(until=sim.now + 5.0)
+        reports = results[0]
+        assert len(reports) == 3
+        assert all(r.success for r in reports)
+
+    def test_failed_verification_stops_path(self):
+        sim, store, platform, orch, apps = self.multi_setup()
+        verified = []
+
+        def verify_step(app_name):
+            verified.append(app_name)
+            return app_name != "fn1"  # fn1's check fails
+
+        steps = [
+            (app.name, "platform_0", build_package(app.bumped(), store, "oem"))
+            for app in apps
+        ]
+        results = []
+        orch.update_path(steps, verify_step=verify_step).add_callback(results.append)
+        sim.run(until=sim.now + 5.0)
+        reports = results[0]
+        assert len(reports) == 2  # fn2 never attempted
+        assert verified == ["fn0", "fn1"]
+
+    def test_bad_package_stops_path(self):
+        sim, store, platform, orch, apps = self.multi_setup()
+        steps = [
+            (apps[0].name, "platform_0",
+             build_package(apps[0].bumped(), store, "oem")),
+            (apps[1].name, "platform_0",
+             build_package(apps[1].bumped(), store, "oem").tampered()),
+            (apps[2].name, "platform_0",
+             build_package(apps[2].bumped(), store, "oem")),
+        ]
+        results = []
+        orch.update_path(steps).add_callback(results.append)
+        sim.run(until=sim.now + 5.0)
+        reports = results[0]
+        assert len(reports) == 2
+        assert reports[0].success and not reports[1].success

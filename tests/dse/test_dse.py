@@ -1,0 +1,194 @@
+"""Tests for the design space exploration layer."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.dse import (
+    Candidate,
+    Evaluation,
+    MappingProblem,
+    ParetoArchive,
+    annealing_search,
+    exhaustive_search,
+    genetic_search,
+    random_search,
+)
+from repro.hw import BusSpec, EcuSpec, OsClass, Topology
+from repro.model import AppModel, Asil, SystemModel
+from repro.osal import TaskSpec
+from repro.sim import RngStreams
+
+
+def make_model(n_apps=4, n_ecus=3):
+    topo = Topology()
+    topo.add_bus(BusSpec("eth", "ethernet", 1e9, tsn_capable=True))
+    for i in range(n_ecus):
+        topo.add_ecu(EcuSpec(
+            f"e{i}", cpu_mhz=800, cores=2, memory_kib=1 << 18,
+            flash_kib=1 << 20, has_mmu=True, os_class=OsClass.POSIX_RT,
+            ports=(("eth0", "ethernet"),), unit_cost=50.0 + 10 * i,
+        ))
+        topo.attach(f"e{i}", "eth0", "eth")
+    model = SystemModel(topo)
+    for i in range(n_apps):
+        model.add_app(AppModel(
+            name=f"app{i}",
+            tasks=(TaskSpec(name=f"t{i}", period=0.01, wcet=0.002),),
+            asil=Asil.C, memory_kib=64, image_kib=64,
+        ))
+    return model
+
+
+class TestEvaluation:
+    def ev(self, feasible=True, cost=10.0, latency=0.001, imbalance=0.1):
+        return Evaluation(feasible, cost, latency, imbalance, 0 if feasible else 3)
+
+    def test_dominance(self):
+        better = self.ev(cost=10.0)
+        worse = self.ev(cost=20.0)
+        assert better.dominates(worse)
+        assert not worse.dominates(better)
+
+    def test_feasible_dominates_infeasible(self):
+        assert self.ev(feasible=True).dominates(self.ev(feasible=False))
+        assert not self.ev(feasible=False).dominates(self.ev(feasible=True))
+
+    def test_equal_does_not_dominate(self):
+        a, b = self.ev(), self.ev()
+        assert not a.dominates(b) and not b.dominates(a)
+
+    def test_infeasible_penalised_in_score(self):
+        assert self.ev(feasible=False).weighted_score() > 1e5
+        assert self.ev(feasible=True).weighted_score() < 1e5
+
+
+class TestMappingProblem:
+    def test_default_candidates_filter_capabilities(self):
+        model = make_model()
+        model.add_app(AppModel(name="nn", needs_gpu=True, memory_kib=16, image_kib=16))
+        problem = MappingProblem(model)
+        # no ECU has a GPU: falls back to a single (rejected) option
+        assert len(problem.candidates["nn"]) >= 1
+
+    def test_decode_round_trip(self):
+        problem = MappingProblem(make_model())
+        genome = [0] * problem.genome_length()
+        deployment = problem.decode(genome)
+        assert set(deployment.apps) == set(problem.app_names)
+
+    def test_decode_length_mismatch(self):
+        problem = MappingProblem(make_model())
+        with pytest.raises(ConfigurationError):
+            problem.decode([0])
+
+    def test_evaluate_feasible_deployment(self):
+        problem = MappingProblem(make_model(n_apps=2))
+        # two apps on distinct cheap ECUs
+        genome = [0, 0]
+        evaluation = problem.evaluate_genome(genome)
+        assert evaluation.feasible
+        assert evaluation.cost > 0
+
+    def test_colocated_cheaper_than_spread(self):
+        problem = MappingProblem(make_model(n_apps=2))
+        colocated = problem.decode([0, 0])
+        # force both onto e0 cores
+        colocated.place("app0", "e0", 0).place("app1", "e0", 1)
+        spread = problem.decode([0, 0])
+        spread.place("app0", "e0", 0).place("app1", "e2", 0)
+        assert problem.evaluate(colocated).cost < problem.evaluate(spread).cost
+
+    def test_empty_candidate_set_rejected(self):
+        model = make_model(n_apps=1)
+        with pytest.raises(ConfigurationError):
+            MappingProblem(model, candidates={"app0": []})
+
+    def test_missing_app_candidates_rejected(self):
+        model = make_model(n_apps=2)
+        with pytest.raises(ConfigurationError):
+            MappingProblem(model, candidates={"app0": [("e0", 0)]})
+
+
+class TestParetoArchive:
+    def cand(self, cost, latency=0.001, feasible=True):
+        return Candidate(
+            [0], Evaluation(feasible, cost, latency, 0.0, 0 if feasible else 1)
+        )
+
+    def test_dominated_rejected(self):
+        archive = ParetoArchive()
+        assert archive.offer(self.cand(10.0))
+        assert not archive.offer(self.cand(20.0))
+        assert len(archive) == 1
+
+    def test_dominating_evicts(self):
+        archive = ParetoArchive()
+        archive.offer(self.cand(20.0))
+        archive.offer(self.cand(10.0))
+        assert len(archive) == 1
+        assert archive.members[0].evaluation.cost == 10.0
+
+    def test_tradeoffs_coexist(self):
+        archive = ParetoArchive()
+        archive.offer(self.cand(10.0, latency=0.01))
+        archive.offer(self.cand(20.0, latency=0.001))
+        assert len(archive) == 2
+
+    def test_infeasible_never_archived(self):
+        archive = ParetoArchive()
+        assert not archive.offer(self.cand(10.0, feasible=False))
+
+    def test_best_by_score_empty(self):
+        assert ParetoArchive().best_by_score() is None
+
+
+class TestEngines:
+    def test_random_search_finds_feasible(self):
+        problem = MappingProblem(make_model())
+        result = random_search(problem, RngStreams(1), budget=100)
+        assert result.found_feasible
+        assert result.evaluations == 100
+
+    def test_ga_finds_feasible_and_cheap(self):
+        problem = MappingProblem(make_model())
+        result = genetic_search(
+            problem, RngStreams(2), population=20, generations=10
+        )
+        assert result.found_feasible
+        # all four light apps fit on the cheapest ECU's two cores
+        assert result.best.evaluation.cost <= 120.0
+
+    def test_sa_finds_feasible(self):
+        problem = MappingProblem(make_model())
+        result = annealing_search(problem, RngStreams(3), budget=300)
+        assert result.found_feasible
+
+    def test_exhaustive_on_small_space(self):
+        model = make_model(n_apps=2, n_ecus=2)
+        problem = MappingProblem(model)
+        result = exhaustive_search(problem)
+        assert result.found_feasible
+        # exhaustive finds the global optimum: both apps on the cheapest ECU
+        assert result.best.evaluation.cost == pytest.approx(50.0)
+
+    def test_exhaustive_refuses_large_space(self):
+        problem = MappingProblem(make_model(n_apps=8, n_ecus=3))
+        with pytest.raises(ConfigurationError):
+            exhaustive_search(problem, limit=10)
+
+    def test_heuristics_match_exhaustive_optimum(self):
+        """On a small problem, GA and SA should find the global optimum."""
+        model = make_model(n_apps=3, n_ecus=2)
+        problem = MappingProblem(model)
+        optimum = exhaustive_search(problem).best.evaluation.cost
+        ga = genetic_search(problem, RngStreams(7), population=20, generations=15)
+        sa = annealing_search(problem, RngStreams(7), budget=500)
+        assert ga.best.evaluation.cost == pytest.approx(optimum)
+        assert sa.best.evaluation.cost == pytest.approx(optimum)
+
+    def test_search_reproducible(self):
+        problem_a = MappingProblem(make_model())
+        problem_b = MappingProblem(make_model())
+        r1 = genetic_search(problem_a, RngStreams(5), population=10, generations=5)
+        r2 = genetic_search(problem_b, RngStreams(5), population=10, generations=5)
+        assert r1.best.genome == r2.best.genome

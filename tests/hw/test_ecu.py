@@ -1,0 +1,93 @@
+"""Tests for ECU specs and runtime state."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw import CryptoCapability, EcuSpec, EcuState, OsClass
+
+
+class TestEcuSpec:
+    def test_speed_factor_reference(self):
+        assert EcuSpec("a").speed_factor == 1.0
+        assert EcuSpec("b", cpu_mhz=1000.0).speed_factor == 5.0
+
+    def test_scale_wcet(self):
+        fast = EcuSpec("fast", cpu_mhz=400.0)
+        assert fast.scale_wcet(0.010) == pytest.approx(0.005)
+
+    def test_total_capacity(self):
+        quad = EcuSpec("q", cpu_mhz=400.0, cores=4)
+        assert quad.total_capacity == pytest.approx(8.0)
+
+    def test_invalid_cpu_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EcuSpec("bad", cpu_mhz=0.0)
+
+    def test_invalid_cores_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EcuSpec("bad", cores=0)
+
+    def test_negative_memory_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EcuSpec("bad", memory_kib=-1)
+
+    def test_duplicate_ports_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EcuSpec("bad", ports=(("p", "can"), ("p", "ethernet")))
+
+    def test_port_technology_lookup(self):
+        ecu = EcuSpec("e", ports=(("can0", "can"), ("eth0", "ethernet")))
+        assert ecu.port_technology("eth0") == "ethernet"
+        with pytest.raises(ConfigurationError):
+            ecu.port_technology("missing")
+
+    def test_crypto_rate_ordering(self):
+        none = EcuSpec("n", crypto=CryptoCapability.NONE)
+        soft = EcuSpec("s", crypto=CryptoCapability.SOFTWARE)
+        accel = EcuSpec("a", crypto=CryptoCapability.ACCELERATED)
+        assert none.crypto_rate == 0.0
+        assert soft.crypto_rate < accel.crypto_rate
+
+    def test_os_class_determinism_support(self):
+        assert OsClass.RTOS.supports_deterministic
+        assert OsClass.POSIX_RT.supports_deterministic
+        assert not OsClass.POSIX_GP.supports_deterministic
+
+
+class TestEcuState:
+    def test_memory_accounting(self):
+        state = EcuState(EcuSpec("e", memory_kib=100))
+        state.allocate_memory(60)
+        assert state.memory_free_kib == 40
+        state.free_memory(60)
+        assert state.memory_free_kib == 100
+
+    def test_memory_overflow_rejected(self):
+        state = EcuState(EcuSpec("e", memory_kib=100))
+        with pytest.raises(ConfigurationError):
+            state.allocate_memory(101)
+
+    def test_negative_allocation_rejected(self):
+        state = EcuState(EcuSpec("e"))
+        with pytest.raises(ConfigurationError):
+            state.allocate_memory(-5)
+
+    def test_flash_accounting(self):
+        state = EcuState(EcuSpec("e", flash_kib=10))
+        state.allocate_flash(8)
+        with pytest.raises(ConfigurationError):
+            state.allocate_flash(3)
+        state.free_flash(8)
+        state.allocate_flash(3)
+
+    def test_free_never_goes_negative(self):
+        state = EcuState(EcuSpec("e", memory_kib=10))
+        state.free_memory(100)
+        assert state.memory_used_kib == 0.0
+
+    def test_fail_and_recover(self):
+        state = EcuState(EcuSpec("e"))
+        state.fail(5.0)
+        assert state.failed and state.failure_time == 5.0
+        state.recover()
+        assert not state.failed and state.failure_time is None

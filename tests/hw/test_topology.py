@@ -1,0 +1,147 @@
+"""Tests for bus specs, topologies and the ECU catalog."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw import (
+    BusSpec,
+    EcuSpec,
+    Topology,
+    catalog_specs,
+    centralized_topology,
+    federated_topology,
+)
+
+
+def small_topology():
+    topo = Topology("t")
+    topo.add_bus(BusSpec("can0", "can", 500_000.0))
+    topo.add_bus(BusSpec("eth0", "ethernet", 100e6))
+    a = EcuSpec("a", ports=(("can0", "can"),))
+    b = EcuSpec("b", ports=(("can0", "can"),))
+    gw = EcuSpec("gw", ports=(("can0", "can"), ("eth0", "ethernet")))
+    c = EcuSpec("c", ports=(("eth0", "ethernet"),))
+    for e in (a, b, gw, c):
+        topo.add_ecu(e)
+    topo.attach("a", "can0", "can0")
+    topo.attach("b", "can0", "can0")
+    topo.attach("gw", "can0", "can0")
+    topo.attach("gw", "eth0", "eth0")
+    topo.attach("c", "eth0", "eth0")
+    return topo
+
+
+class TestBusSpec:
+    def test_unknown_technology_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BusSpec("b", "token_ring", 1e6)
+
+    def test_zero_bitrate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BusSpec("b", "can", 0.0)
+
+    def test_tsn_requires_ethernet(self):
+        with pytest.raises(ConfigurationError):
+            BusSpec("b", "can", 500e3, tsn_capable=True)
+        BusSpec("b", "ethernet", 1e9, tsn_capable=True)  # fine
+
+    def test_bytes_per_second(self):
+        assert BusSpec("b", "can", 500_000.0).bytes_per_second == 62_500.0
+
+
+class TestTopology:
+    def test_duplicate_names_rejected(self):
+        topo = Topology()
+        topo.add_ecu(EcuSpec("x"))
+        with pytest.raises(ConfigurationError):
+            topo.add_ecu(EcuSpec("x"))
+        with pytest.raises(ConfigurationError):
+            topo.add_bus(BusSpec("x", "can", 1e6))
+
+    def test_attach_technology_mismatch_rejected(self):
+        topo = Topology()
+        topo.add_bus(BusSpec("eth", "ethernet", 1e9))
+        topo.add_ecu(EcuSpec("e", ports=(("can0", "can"),)))
+        with pytest.raises(ConfigurationError):
+            topo.attach("e", "can0", "eth")
+
+    def test_unknown_lookups_raise(self):
+        topo = Topology()
+        with pytest.raises(ConfigurationError):
+            topo.ecu("nope")
+        with pytest.raises(ConfigurationError):
+            topo.bus("nope")
+
+    def test_membership_queries(self):
+        topo = small_topology()
+        assert {e.name for e in topo.ecus_on("can0")} == {"a", "b", "gw"}
+        assert [b.name for b in topo.buses_of("gw")] == ["can0", "eth0"]
+        assert [g.name for g in topo.gateways()] == ["gw"]
+
+    def test_route_same_bus(self):
+        topo = small_topology()
+        buses = topo.route_buses("a", "b")
+        assert [b.name for b in buses] == ["can0"]
+        assert topo.hop_count("a", "b") == 1
+
+    def test_route_via_gateway(self):
+        topo = small_topology()
+        buses = topo.route_buses("a", "c")
+        assert [b.name for b in buses] == ["can0", "eth0"]
+        assert topo.hop_count("a", "c") == 2
+
+    def test_hop_count_same_ecu_is_zero(self):
+        topo = small_topology()
+        assert topo.hop_count("a", "a") == 0
+
+    def test_no_path_raises(self):
+        topo = Topology()
+        topo.add_ecu(EcuSpec("lonely_1"))
+        topo.add_ecu(EcuSpec("lonely_2"))
+        with pytest.raises(ConfigurationError):
+            topo.route("lonely_1", "lonely_2")
+
+    def test_connectivity_check(self):
+        topo = small_topology()
+        assert topo.is_fully_connected()
+        topo.add_ecu(EcuSpec("island"))
+        assert not topo.is_fully_connected()
+
+    def test_total_cost_sums_ecus(self):
+        topo = Topology()
+        topo.add_ecu(EcuSpec("a", unit_cost=10.0))
+        topo.add_ecu(EcuSpec("b", unit_cost=15.0))
+        assert topo.total_cost() == 25.0
+
+    def test_describe_mentions_every_bus(self):
+        text = small_topology().describe()
+        assert "can0" in text and "eth0" in text
+
+
+class TestCatalog:
+    def test_catalog_instantiates(self):
+        specs = catalog_specs()
+        assert len(specs) == 5
+        assert len({s.name for s in specs}) == 5
+
+    def test_federated_topology_connected(self):
+        topo = federated_topology(n_function_ecus=8)
+        assert topo.is_fully_connected()
+        assert len(topo.ecus) == 8 + 3  # functions + 2 gateways + head unit
+        # legacy ECU on CAN must reach the head unit on Ethernet
+        assert topo.hop_count("ecu_00", "head_unit") >= 2
+
+    def test_centralized_topology_connected(self):
+        topo = centralized_topology(n_platforms=2)
+        assert topo.is_fully_connected()
+        assert topo.bus("eth_backbone").tsn_capable
+
+    def test_centralized_requires_platform(self):
+        with pytest.raises(ValueError):
+            centralized_topology(n_platforms=0)
+
+    def test_consolidation_is_cheaper_at_scale(self):
+        """The F1 premise: fewer, bigger boxes beat many small ones."""
+        federated = federated_topology(n_function_ecus=30)
+        central = centralized_topology(n_platforms=2)
+        assert len(central.ecus) < len(federated.ecus)

@@ -1,0 +1,238 @@
+"""End-to-end integration scenarios crossing every layer of the stack."""
+
+import pytest
+
+from repro.core import (
+    BackendLink,
+    DynamicPlatform,
+    ReconfigurationManager,
+    RedundancyManager,
+    RuntimeMonitor,
+    UpdateOrchestrator,
+)
+from repro.hw import centralized_topology
+from repro.middleware import (
+    Endpoint,
+    EventConsumer,
+    EventProducer,
+    RpcClient,
+    RpcServer,
+)
+from repro.model import (
+    AppModel,
+    Asil,
+    Deployment,
+    generate_config,
+    verify,
+)
+from repro.security import (
+    AccessControlMatrix,
+    TrustStore,
+    build_package,
+)
+from repro.sim import Simulator, Tracer
+from repro.workloads import reference_system
+
+
+def full_stack(n_platforms=2):
+    tracer = Tracer()
+    sim = Simulator(tracer=tracer)
+    store = TrustStore()
+    store.generate_key("oem")
+    platform = DynamicPlatform(
+        sim, centralized_topology(n_platforms=n_platforms), trust_store=store
+    )
+    return sim, store, platform
+
+
+class TestModelToRuntime:
+    def test_reference_system_comes_up_clean(self):
+        """Model -> verify -> ACL -> install -> admit -> run, 10 apps."""
+        sim, store, platform = full_stack()
+        model = reference_system(platform.topology)
+        deployment = Deployment()
+        placements = {
+            "wheel_sensor_fusion": ("platform_0", 0),
+            "vehicle_state_estimator": ("platform_0", 1),
+            "brake_controller": ("platform_0", 2),
+            "suspension_control": ("platform_0", 3),
+            "front_camera": ("platform_1", 0),
+            "object_fusion": ("platform_0", 4),
+            "acc": ("platform_1", 1),
+            "diagnosis_service": ("platform_1", 2),
+            "media_server": ("head_unit", 0),
+            "navigation": ("head_unit", 1),
+        }
+        for app, (ecu, core) in placements.items():
+            deployment.place(app, ecu, core)
+        assert verify(model, deployment).ok
+        config = generate_config(model)
+        AccessControlMatrix.from_config(config).install_on(platform.registry)
+        for app in model.apps:
+            ecu, core = placements[app.name]
+            done = []
+            platform.install(
+                build_package(app, store, "oem"), ecu
+            ).add_callback(done.append)
+            while not done:
+                sim.run(until=sim.now + 5.0)
+            assert done == [True]
+            platform.start_app(app.name, ecu, core_index=core)
+        sim.run(until=sim.now + 1.0)
+        assert len(platform.running_instances()) == 10
+        assert platform.total_deterministic_misses() == 0
+
+    def test_monitored_update_during_interference(self):
+        """A DA app is staged-updated while NDAs hammer the same node;
+        the monitor sees zero deadline faults throughout."""
+        sim, store, platform = full_stack()
+        monitor = RuntimeMonitor(sim)
+        from repro.osal import Criticality, TaskSpec
+
+        da = AppModel(
+            name="ctl",
+            tasks=(TaskSpec(
+                name="ctl_loop", period=0.01, wcet=0.002, deadline=0.008,
+            ),),
+            asil=Asil.C, memory_kib=64, image_kib=128,
+        )
+        nda = AppModel(
+            name="bulk",
+            tasks=(TaskSpec(
+                name="bulk_work", period=0.02, wcet=0.019,
+                criticality=Criticality.NON_DETERMINISTIC,
+            ),),
+            memory_kib=64, image_kib=128,
+        )
+        monitor.watch(da.tasks[0])
+        for app in (da, nda):
+            platform.install(build_package(app, store, "oem"), "platform_0")
+        sim.run()
+        instance = platform.start_app("ctl", "platform_0", core_index=0)
+        platform.start_app("bulk", "platform_0", core_index=0)
+        sim.run(until=sim.now + 0.5)
+        orchestrator = UpdateOrchestrator(platform)
+        new_pkg = build_package(da.bumped(), store, "oem")
+        reports = []
+        orchestrator.staged_update("ctl", "platform_0", new_pkg).add_callback(
+            reports.append
+        )
+        sim.run(until=sim.now + 2.0)
+        assert reports[0].success
+        assert monitor.faults_of_kind("deadline") == []
+
+    def test_failover_then_migration_back(self):
+        """Node dies -> failover; node recovers -> app migrated home."""
+        sim, store, platform = full_stack(n_platforms=3)
+        from repro.osal import TaskSpec
+
+        app = AppModel(
+            name="fn",
+            tasks=(TaskSpec(name="fn_loop", period=0.01, wcet=0.001),),
+            asil=Asil.D, memory_kib=64, image_kib=128,
+        )
+        for node in ("platform_0", "platform_1"):
+            platform.install(build_package(app, store, "oem"), node)
+        sim.run()
+        redundancy = RedundancyManager(platform, heartbeat_period=0.005)
+        replica_set = redundancy.deploy("fn", ["platform_0", "platform_1"])
+        sim.run(until=sim.now + 0.1)
+        platform.fail_node("platform_0")
+        sim.run(until=sim.now + 0.2)
+        assert replica_set.primary.node_name == "platform_1"
+        # recover the node and migrate the function home
+        platform.recover_node("platform_0")
+        platform.node("platform_0").tear_down("fn", 1)
+        reconfig = ReconfigurationManager(platform)
+        reconfig.migrate("fn", "platform_1", "platform_0")
+        sim.run(until=sim.now + 0.5)
+        assert platform.where_is("fn") == ["platform_0"]
+
+
+class TestServiceCommunicationOnPlatform:
+    def test_services_across_platform_nodes(self):
+        """RPC + pub/sub between apps hosted on different platform nodes,
+        using the platform's own endpoints and registry."""
+        sim, store, platform = full_stack()
+        node0 = platform.node("platform_0")
+        node1 = platform.node("platform_1")
+        server = RpcServer(node0.endpoint, 0x900, provider_app="door_ctrl")
+        server.register_method(1, lambda req: ("unlocked", 8), latency=0.001)
+        client = RpcClient(node1.endpoint, 0x900, client_app="key_app")
+        producer = EventProducer(
+            node0.endpoint, 0x901, 1, provider_app="speed_svc"
+        )
+        got_events = []
+        EventConsumer(
+            node1.endpoint, 0x901, 1, client_app="dash",
+            on_data=lambda m: got_events.append(m.payload),
+        )
+        got_rpc = []
+        client.call(1, payload="unlock").add_callback(got_rpc.append)
+        sim.run(until=sim.now + 0.5)
+        producer.publish({"v": 100}, 16)
+        sim.run(until=sim.now + 0.5)
+        assert got_rpc[0].payload == "unlocked"
+        assert got_events == [{"v": 100}]
+
+    def test_acl_blocks_cross_node_binding(self):
+        from repro.errors import SecurityError
+
+        sim, store, platform = full_stack()
+        acm = AccessControlMatrix()
+        acm.grant("key_app", 0x900)
+        acm.install_on(platform.registry)
+        node0 = platform.node("platform_0")
+        node1 = platform.node("platform_1")
+        RpcServer(node0.endpoint, 0x900, provider_app="door_ctrl")
+        ok_client = RpcClient(node1.endpoint, 0x900, client_app="key_app")
+        ok_client.call(1)
+        bad_client = RpcClient(node1.endpoint, 0x900, client_app="malware")
+        with pytest.raises(SecurityError):
+            bad_client.call(1)
+
+    def test_node_failure_breaks_then_restores_service(self):
+        sim, store, platform = full_stack()
+        from repro.errors import ConfigurationError
+
+        node0 = platform.node("platform_0")
+        server = RpcServer(node0.endpoint, 0x910, provider_app="svc")
+        server.register_method(1, lambda req: "pong")
+        client = RpcClient(
+            platform.node("platform_1").endpoint, 0x910, client_app="c"
+        )
+        got = []
+        client.call(1).add_callback(got.append)
+        sim.run(until=sim.now + 0.5)
+        assert got[0].payload == "pong"
+        platform.fail_node("platform_0")
+        with pytest.raises(ConfigurationError):
+            client.call(1)  # offer withdrawn with the node
+        platform.recover_node("platform_0")
+        RpcServer(node0.endpoint, 0x910, provider_app="svc").register_method(
+            1, lambda req: "pong"
+        )
+        got2 = []
+        client.call(1).add_callback(got2.append)
+        sim.run(until=sim.now + 0.5)
+        assert got2[0].payload == "pong"
+
+
+class TestMonitorBackendLoop:
+    def test_fault_report_reaches_backend_with_uplink_delay(self):
+        tracer = Tracer()
+        sim = Simulator(tracer=tracer)
+        backend = BackendLink(sim, uplink_latency=0.3)
+        monitor = RuntimeMonitor(sim, backend=backend)
+        from repro.osal import Core, FixedPriorityPolicy, PeriodicSource, TaskSpec
+
+        core = Core(sim, "c", 1.0, FixedPriorityPolicy())
+        bad = TaskSpec(name="bad", period=0.01, wcet=0.009, deadline=0.005)
+        monitor.watch(bad)
+        PeriodicSource(sim, core, bad, horizon=0.015)
+        sim.run(until=0.2)
+        local_count = len(monitor.faults)
+        assert local_count > 0
+        assert len(backend.received) == 0  # uplink still in flight
+        sim.run(until=0.5)
+        assert len(backend.received) == local_count

@@ -1,0 +1,332 @@
+"""Integration tests: endpoints + paradigms over a simulated network."""
+
+import pytest
+
+from repro.hw import BusSpec, EcuSpec, Topology
+from repro.middleware import (
+    Endpoint,
+    EventConsumer,
+    EventProducer,
+    Message,
+    MessageType,
+    QOS_BULK,
+    QOS_CONTROL,
+    ReturnCode,
+    RpcClient,
+    RpcServer,
+    ServiceRegistry,
+    StreamSink,
+    StreamSource,
+)
+from repro.network import VehicleNetwork
+from repro.sim import Simulator
+
+
+def eth_world(n_ecus=3):
+    """n ECUs on one 100 Mbit/s Ethernet segment."""
+    topo = Topology()
+    topo.add_bus(BusSpec("eth", "ethernet", 100e6))
+    names = [f"e{i}" for i in range(n_ecus)]
+    for name in names:
+        topo.add_ecu(EcuSpec(name, ports=(("eth0", "ethernet"),)))
+        topo.attach(name, "eth0", "eth")
+    sim = Simulator()
+    net = VehicleNetwork(sim, topo)
+    registry = ServiceRegistry()
+    endpoints = {name: Endpoint(sim, net, name, registry) for name in names}
+    return sim, net, registry, endpoints
+
+
+def can_world():
+    """Two ECUs on a 500 kbit/s CAN segment."""
+    topo = Topology()
+    topo.add_bus(BusSpec("can", "can", 500e3))
+    for name in ("e0", "e1"):
+        topo.add_ecu(EcuSpec(name, ports=(("can0", "can"),)))
+        topo.attach(name, "can0", "can")
+    sim = Simulator()
+    net = VehicleNetwork(sim, topo)
+    registry = ServiceRegistry()
+    endpoints = {n: Endpoint(sim, net, n, registry) for n in ("e0", "e1")}
+    return sim, net, registry, endpoints
+
+
+class TestEndpoint:
+    def test_message_delivery_and_dispatch(self):
+        sim, net, reg, eps = eth_world()
+        got = []
+        eps["e1"].on_message(0x10, MessageType.NOTIFICATION, lambda m: got.append(m))
+        m = Message(
+            service_id=0x10, method_id=1, msg_type=MessageType.NOTIFICATION,
+            payload_bytes=64, src="e0", dst="e1", payload="data",
+        )
+        done = eps["e0"].send(m)
+        sim.run()
+        assert done.fired
+        assert got[0].payload == "data"
+
+    def test_local_delivery_is_instant(self):
+        sim, net, reg, eps = eth_world()
+        got = []
+        eps["e0"].on_message(0x10, MessageType.NOTIFICATION, lambda m: got.append(sim.now))
+        m = Message(
+            service_id=0x10, method_id=1, msg_type=MessageType.NOTIFICATION,
+            payload_bytes=64, src="e0", dst="e0",
+        )
+        eps["e0"].send(m)
+        sim.run()
+        assert got == [0.0]
+
+    def test_large_message_segments_on_can(self):
+        sim, net, reg, eps = can_world()
+        got = []
+        eps["e1"].on_message(0x10, MessageType.NOTIFICATION, lambda m: got.append(sim.now))
+        m = Message(
+            service_id=0x10, method_id=1, msg_type=MessageType.NOTIFICATION,
+            payload_bytes=100, src="e0", dst="e1",
+        )
+        eps["e0"].send(m)
+        sim.run()
+        assert len(got) == 1
+        # (100 + 16 header) / 7 per frame = 17 frames
+        assert net.bus("can").frames_delivered == 17
+
+    def test_small_message_single_frame_on_ethernet(self):
+        sim, net, reg, eps = eth_world()
+        m = Message(
+            service_id=0x10, method_id=1, msg_type=MessageType.NOTIFICATION,
+            payload_bytes=100, src="e0", dst="e1",
+        )
+        eps["e0"].send(m)
+        sim.run()
+        assert net.bus("eth").frames_delivered == 1
+
+    def test_default_handler_catches_unregistered(self):
+        sim, net, reg, eps = eth_world()
+        got = []
+        eps["e1"].on_any_message(lambda m: got.append(m.service_id))
+        m = Message(
+            service_id=0x77, method_id=1, msg_type=MessageType.NOTIFICATION,
+            payload_bytes=8, src="e0", dst="e1",
+        )
+        eps["e0"].send(m)
+        sim.run()
+        assert got == [0x77]
+
+    def test_detached_endpoint_receives_nothing(self):
+        sim, net, reg, eps = eth_world()
+        got = []
+        eps["e1"].on_any_message(lambda m: got.append(1))
+        eps["e1"].detach()
+        m = Message(
+            service_id=0x10, method_id=1, msg_type=MessageType.NOTIFICATION,
+            payload_bytes=8, src="e0", dst="e1",
+        )
+        eps["e0"].send(m)
+        sim.run()
+        assert got == []
+
+    def test_reattach_restores_delivery(self):
+        sim, net, reg, eps = eth_world()
+        got = []
+        eps["e1"].on_any_message(lambda m: got.append(1))
+        eps["e1"].detach()
+        eps["e1"].reattach()
+        m = Message(
+            service_id=0x10, method_id=1, msg_type=MessageType.NOTIFICATION,
+            payload_bytes=8, src="e0", dst="e1",
+        )
+        eps["e0"].send(m)
+        sim.run()
+        assert got == [1]
+
+    def test_discover_round_trip_has_latency(self):
+        sim, net, reg, eps = eth_world()
+        EventProducer(eps["e1"], 0x20, 1, provider_app="prod")
+        found = []
+        eps["e0"].discover(0x20).add_callback(lambda o: found.append((sim.now, o)))
+        sim.run()
+        assert found
+        t, offer = found[0]
+        assert offer.ecu == "e1"
+        assert t > 0.0  # FIND/OFFER round trip took network time
+
+    def test_discover_local_service_instant(self):
+        sim, net, reg, eps = eth_world()
+        EventProducer(eps["e0"], 0x20, 1, provider_app="prod")
+        found = []
+        eps["e0"].discover(0x20).add_callback(lambda o: found.append(sim.now))
+        sim.run()
+        assert found == [0.0]
+
+
+class TestEventParadigm:
+    def test_publish_reaches_subscriber(self):
+        sim, net, reg, eps = eth_world()
+        producer = EventProducer(eps["e0"], 0x100, 1, provider_app="speedo")
+        got = []
+        EventConsumer(
+            eps["e1"], 0x100, 1, client_app="dash",
+            on_data=lambda m: got.append(m.payload),
+        )
+        sim.run()  # let subscription settle
+        producer.publish({"speed": 88}, payload_bytes=8)
+        sim.run()
+        assert got == [{"speed": 88}]
+
+    def test_multiple_subscribers_all_receive(self):
+        sim, net, reg, eps = eth_world(4)
+        producer = EventProducer(eps["e0"], 0x100, 1, provider_app="p")
+        counters = {name: [] for name in ("e1", "e2", "e3")}
+        for name in counters:
+            EventConsumer(
+                eps[name], 0x100, 1, client_app=f"c_{name}",
+                on_data=lambda m, name=name: counters[name].append(m),
+            )
+        sim.run()
+        signals = producer.publish("x", 8)
+        assert len(signals) == 3
+        sim.run()
+        assert all(len(v) == 1 for v in counters.values())
+
+    def test_publish_without_subscribers_is_legal(self):
+        sim, net, reg, eps = eth_world()
+        producer = EventProducer(eps["e0"], 0x100, 1, provider_app="p")
+        assert producer.publish("x", 8) == []
+
+    def test_subscribe_ack_round_trip(self):
+        sim, net, reg, eps = eth_world()
+        EventProducer(eps["e0"], 0x100, 1, provider_app="p")
+        consumer = EventConsumer(
+            eps["e1"], 0x100, 1, client_app="c", on_data=lambda m: None
+        )
+        sim.run()
+        assert consumer.subscribed.fired
+
+    def test_unsubscribed_client_stops_receiving(self):
+        sim, net, reg, eps = eth_world()
+        producer = EventProducer(eps["e0"], 0x100, 1, provider_app="p")
+        got = []
+        consumer = EventConsumer(
+            eps["e1"], 0x100, 1, client_app="c", on_data=lambda m: got.append(m)
+        )
+        sim.run()
+        consumer.unsubscribe()
+        producer.publish("x", 8)
+        sim.run()
+        assert got == []
+
+
+class TestRpcParadigm:
+    def test_request_response(self):
+        sim, net, reg, eps = eth_world()
+        server = RpcServer(eps["e0"], 0x200, provider_app="door")
+        server.register_method(1, lambda req: ("unlocked", 8))
+        client = RpcClient(eps["e1"], 0x200, client_app="key")
+        got = []
+        client.call(1, payload="unlock").add_callback(lambda r: got.append(r))
+        sim.run()
+        assert got[0].payload == "unlocked"
+        assert got[0].return_code is ReturnCode.OK
+        assert server.calls_served == 1
+
+    def test_unknown_method_returns_error(self):
+        sim, net, reg, eps = eth_world()
+        RpcServer(eps["e0"], 0x200, provider_app="p")
+        client = RpcClient(eps["e1"], 0x200, client_app="c")
+        got = []
+        client.call(99).add_callback(lambda r: got.append(r))
+        sim.run()
+        assert got[0].return_code is ReturnCode.UNKNOWN_METHOD
+
+    def test_server_latency_modelled(self):
+        sim, net, reg, eps = eth_world()
+        server = RpcServer(eps["e0"], 0x200, provider_app="p")
+        server.register_method(1, lambda req: "ok", latency=0.005)
+        client = RpcClient(eps["e1"], 0x200, client_app="c")
+        got = []
+        client.call(1).add_callback(lambda r: got.append(sim.now))
+        sim.run()
+        assert got[0] > 0.005
+
+    def test_timeout_fires_none(self):
+        sim, net, reg, eps = eth_world()
+        server = RpcServer(eps["e0"], 0x200, provider_app="p")
+        server.register_method(1, lambda req: "late", latency=0.5)
+        client = RpcClient(eps["e1"], 0x200, client_app="c")
+        got = []
+        client.call(1, timeout=0.01).add_callback(lambda r: got.append(r))
+        sim.run()
+        assert got[0] is None
+        assert client.timeouts == 1
+
+    def test_concurrent_calls_correlated_by_session(self):
+        sim, net, reg, eps = eth_world()
+        server = RpcServer(eps["e0"], 0x200, provider_app="p")
+        server.register_method(1, lambda req: (f"r:{req.payload}", 8))
+        client = RpcClient(eps["e1"], 0x200, client_app="c")
+        got = {}
+        for tag in ("a", "b", "c"):
+            client.call(1, payload=tag).add_callback(
+                lambda r, tag=tag: got.__setitem__(tag, r.payload)
+            )
+        sim.run()
+        assert got == {"a": "r:a", "b": "r:b", "c": "r:c"}
+
+
+class TestStreamParadigm:
+    def test_samples_arrive_in_order(self):
+        sim, net, reg, eps = eth_world()
+        source = StreamSource(
+            eps["e0"], 0x300, 1, provider_app="camera",
+            sample_bytes=1000, period=0.001,
+        )
+        sink = StreamSink(eps["e1"], 0x300, 1, client_app="viewer")
+        source.start("e1", n_samples=10)
+        sim.run(until=0.1)
+        assert len(sink.released) == 10
+        assert [m.sequence for m in sink.released] == list(range(10))
+        assert sink.samples_pending == 0
+
+    def test_playout_latencies_positive_and_bounded(self):
+        sim, net, reg, eps = eth_world()
+        source = StreamSource(
+            eps["e0"], 0x300, 1, provider_app="cam",
+            sample_bytes=1000, period=0.001,
+        )
+        sink = StreamSink(eps["e1"], 0x300, 1, client_app="v")
+        source.start("e1", n_samples=5)
+        sim.run(until=0.1)
+        lats = sink.playout_latencies()
+        assert len(lats) == 5
+        assert all(0 < lat < 0.001 for lat in lats)
+
+    def test_stop_halts_stream(self):
+        sim, net, reg, eps = eth_world()
+        source = StreamSource(
+            eps["e0"], 0x300, 1, provider_app="cam",
+            sample_bytes=100, period=0.001,
+        )
+        sink = StreamSink(eps["e1"], 0x300, 1, client_app="v")
+        source.start("e1")
+        sim.schedule(0.0045, source.stop)
+        sim.run(until=0.05)
+        assert len(sink.released) == 5  # t=0,1,2,3,4 ms
+
+    def test_out_of_order_sample_held_back(self):
+        """Manually inject a gap: sample 1 before sample 0."""
+        sim, net, reg, eps = eth_world()
+        sink = StreamSink(eps["e1"], 0x300, 1, client_app="v")
+        m1 = Message(
+            service_id=0x300, method_id=1, msg_type=MessageType.STREAM_SAMPLE,
+            payload_bytes=10, src="e0", dst="e1", sequence=1,
+        )
+        m0 = Message(
+            service_id=0x300, method_id=1, msg_type=MessageType.STREAM_SAMPLE,
+            payload_bytes=10, src="e0", dst="e1", sequence=0,
+        )
+        sink._on_sample(m1)
+        assert sink.released == []
+        assert sink.samples_pending == 1
+        sink._on_sample(m0)
+        assert [m.sequence for m in sink.released] == [0, 1]

@@ -1,0 +1,152 @@
+"""Tests for the wire format and the service registry."""
+
+import pytest
+
+from repro.errors import ConfigurationError, NetworkError, SecurityError
+from repro.middleware import (
+    HEADER_BYTES,
+    Message,
+    MessageType,
+    ServiceOffer,
+    ServiceRegistry,
+    segment_payload_for,
+    segments_needed,
+)
+
+
+def msg(**kw):
+    defaults = dict(
+        service_id=0x1234,
+        method_id=1,
+        msg_type=MessageType.NOTIFICATION,
+        payload_bytes=100,
+        src="a",
+        dst="b",
+    )
+    defaults.update(kw)
+    return Message(**defaults)
+
+
+class TestWire:
+    def test_total_bytes_includes_header(self):
+        assert msg(payload_bytes=100).total_bytes == 100 + HEADER_BYTES
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(NetworkError):
+            msg(payload_bytes=-1)
+
+    def test_session_ids_unique(self):
+        assert msg().session_id != msg().session_id
+
+    def test_segment_payloads(self):
+        assert segment_payload_for("can") == 7
+        assert segment_payload_for("ethernet") == 1400
+        assert segment_payload_for("flexray") == 254
+        with pytest.raises(NetworkError):
+            segment_payload_for("lin")
+
+    def test_segments_needed(self):
+        assert segments_needed(7, 7) == 1
+        assert segments_needed(8, 7) == 2
+        assert segments_needed(0, 7) == 1
+        assert segments_needed(1400 * 3, 1400) == 3
+
+    def test_invalid_segment_size(self):
+        with pytest.raises(NetworkError):
+            segments_needed(10, 0)
+
+
+class TestRegistry:
+    def offer(self, sid=0x10, iid=1, ecu="e1", app="p"):
+        return ServiceOffer(service_id=sid, instance_id=iid, ecu=ecu, provider_app=app)
+
+    def test_offer_and_find(self):
+        reg = ServiceRegistry()
+        reg.offer(self.offer())
+        found = reg.find(0x10)
+        assert found.ecu == "e1"
+
+    def test_find_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            ServiceRegistry().find(0x99)
+
+    def test_withdraw(self):
+        reg = ServiceRegistry()
+        reg.offer(self.offer())
+        reg.withdraw(0x10, 1)
+        with pytest.raises(ConfigurationError):
+            reg.find(0x10)
+
+    def test_withdraw_all_of_ecu(self):
+        reg = ServiceRegistry()
+        reg.offer(self.offer(sid=0x10, ecu="dead"))
+        reg.offer(self.offer(sid=0x11, ecu="dead"))
+        reg.offer(self.offer(sid=0x12, ecu="alive"))
+        assert reg.withdraw_all_of_ecu("dead") == 2
+        assert len(reg.offers) == 1
+
+    def test_lowest_instance_preferred(self):
+        reg = ServiceRegistry()
+        reg.offer(self.offer(iid=2, ecu="backup"))
+        reg.offer(self.offer(iid=1, ecu="primary"))
+        assert reg.find(0x10).ecu == "primary"
+
+    def test_instances_of_sorted(self):
+        reg = ServiceRegistry()
+        reg.offer(self.offer(iid=3, ecu="c"))
+        reg.offer(self.offer(iid=1, ecu="a"))
+        assert [o.ecu for o in reg.instances_of(0x10)] == ["a", "c"]
+
+    def test_binding_guard_denies(self):
+        reg = ServiceRegistry()
+        reg.offer(self.offer())
+        reg.set_binding_guard(lambda app, ecu, sid: app == "trusted")
+        assert reg.find(0x10, client_app="trusted").ecu == "e1"
+        with pytest.raises(SecurityError):
+            reg.find(0x10, client_app="malware")
+        assert reg.denied_bindings == 1
+
+    def test_guard_cleared(self):
+        reg = ServiceRegistry()
+        reg.offer(self.offer())
+        reg.set_binding_guard(lambda *a: False)
+        reg.set_binding_guard(None)
+        reg.find(0x10, client_app="anyone")
+
+    def test_subscribe_and_query(self):
+        reg = ServiceRegistry()
+        reg.subscribe(0x10, 1, "appA", "e2")
+        subs = reg.subscribers(0x10, 1)
+        assert len(subs) == 1 and subs[0].client_app == "appA"
+
+    def test_subscribe_idempotent(self):
+        reg = ServiceRegistry()
+        reg.subscribe(0x10, 1, "appA", "e2")
+        reg.subscribe(0x10, 1, "appA", "e2")
+        assert len(reg.subscribers(0x10, 1)) == 1
+
+    def test_unsubscribe_deactivates(self):
+        reg = ServiceRegistry()
+        reg.subscribe(0x10, 1, "appA", "e2")
+        reg.unsubscribe(0x10, 1, "appA")
+        assert reg.subscribers(0x10, 1) == []
+
+    def test_resubscribe_after_unsubscribe(self):
+        reg = ServiceRegistry()
+        reg.subscribe(0x10, 1, "appA", "e2")
+        reg.unsubscribe(0x10, 1, "appA")
+        reg.subscribe(0x10, 1, "appA", "e2")
+        assert len(reg.subscribers(0x10, 1)) == 1
+
+    def test_subscription_guard_enforced(self):
+        reg = ServiceRegistry()
+        reg.set_binding_guard(lambda app, ecu, sid: False)
+        with pytest.raises(SecurityError):
+            reg.subscribe(0x10, 1, "appA", "e2")
+
+    def test_subscriptions_of_client(self):
+        reg = ServiceRegistry()
+        reg.subscribe(0x10, 1, "appA", "e2")
+        reg.subscribe(0x11, 1, "appA", "e2")
+        reg.subscribe(0x10, 1, "appB", "e3")
+        assert len(reg.subscriptions_of("appA")) == 2

@@ -1,0 +1,121 @@
+"""Tests for middleware-config and stub generation."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.hw import centralized_topology
+from repro.model import (
+    AppModel,
+    Asil,
+    InterfaceDef,
+    InterfaceKind,
+    Primitive,
+    RequiredInterface,
+    SERVICE_ID_BASE,
+    SystemModel,
+    derive_qos,
+    generate_config,
+    generate_stub,
+)
+from repro.middleware import QOS_BULK, QOS_CONTROL, QOS_DEFAULT
+from repro.workloads import reference_system
+
+
+def tiny_model():
+    model = SystemModel(centralized_topology())
+    model.add_app(AppModel(name="p", provides=("evt",), asil=Asil.B))
+    model.add_app(AppModel(name="c", requires=(RequiredInterface("evt"),)))
+    model.add_interface(InterfaceDef(
+        name="evt", kind=InterfaceKind.EVENT, owner="p",
+        data_type=Primitive("uint32"),
+    ))
+    return model
+
+
+class TestGenerateConfig:
+    def test_service_ids_assigned_from_base(self):
+        config = generate_config(tiny_model())
+        assert config.service_id("evt") == SERVICE_ID_BASE
+
+    def test_explicit_service_id_respected(self):
+        model = SystemModel(centralized_topology())
+        model.add_app(AppModel(name="p", provides=("evt",)))
+        model.add_interface(InterfaceDef(
+            name="evt", kind=InterfaceKind.EVENT, owner="p",
+            data_type=Primitive("uint8"), service_id=0x4242,
+        ))
+        config = generate_config(model)
+        assert config.service_id("evt") == 0x4242
+
+    def test_producers_and_consumers_recorded(self):
+        config = generate_config(tiny_model())
+        assert config.producers["evt"] == "p"
+        assert config.consumers["evt"] == ["c"]
+
+    def test_allowed_bindings_cover_owner_and_consumers_only(self):
+        config = generate_config(tiny_model())
+        sid = config.service_id("evt")
+        assert config.may_bind("p", sid)
+        assert config.may_bind("c", sid)
+        assert not config.may_bind("stranger", sid)
+
+    def test_every_app_has_an_entry(self):
+        model = tiny_model()
+        model.add_app(AppModel(name="loner"))
+        config = generate_config(model)
+        assert config.allowed_bindings["loner"] == set()
+
+    def test_inconsistent_model_rejected(self):
+        model = tiny_model()
+        model.add_app(AppModel(
+            name="broken", requires=(RequiredInterface("ghost"),),
+        ))
+        with pytest.raises(ModelError):
+            generate_config(model)
+
+    def test_unknown_service_lookup_raises(self):
+        config = generate_config(tiny_model())
+        with pytest.raises(ModelError):
+            config.service_id("ghost")
+
+    def test_qos_derivation(self):
+        model = reference_system(centralized_topology())
+        config = generate_config(model)
+        # deterministic owner + non-stream -> control QoS
+        assert config.qos_for("vehicle_state") == QOS_CONTROL
+        # streams ride bulk QoS
+        assert config.qos_for("camera_stream") == QOS_BULK
+        # NDA-owned RPC -> default
+        assert config.qos_for("diagnostics") == QOS_DEFAULT
+        # unknown interfaces default safely
+        assert config.qos_for("nonexistent") == QOS_DEFAULT
+
+
+class TestGenerateStub:
+    def test_stub_for_reference_acc(self):
+        model = reference_system(centralized_topology())
+        stub = generate_stub(model, "acc")
+        assert "def bind_acc(endpoint):" in stub
+        assert "EventConsumer" in stub       # object_list / vehicle_state
+        assert "RpcClient" in stub           # brake_request
+        compile(stub, "<stub>", "exec")      # generated code parses
+
+    def test_stub_for_provider(self):
+        model = reference_system(centralized_topology())
+        stub = generate_stub(model, "brake_controller")
+        assert "RpcServer" in stub
+        assert "register_method" in stub
+        compile(stub, "<stub>", "exec")
+
+    def test_stub_for_stream_provider(self):
+        model = reference_system(centralized_topology())
+        stub = generate_stub(model, "front_camera")
+        assert "StreamSource" in stub
+        compile(stub, "<stub>", "exec")
+
+    def test_stub_for_app_without_interfaces(self):
+        model = tiny_model()
+        model.add_app(AppModel(name="quiet"))
+        stub = generate_stub(model, "quiet")
+        assert "pass" in stub
+        compile(stub, "<stub>", "exec")

@@ -1,0 +1,94 @@
+"""Tests for the fail-operational verification rule and app model fields."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.hw import BusSpec, EcuSpec, OsClass, Topology
+from repro.model import AppModel, Asil, Deployment, SystemModel, verify
+from repro.osal import TaskSpec
+
+
+def topo_with_platforms(n):
+    topo = Topology()
+    topo.add_bus(BusSpec("eth", "ethernet", 1e9, tsn_capable=True))
+    for i in range(n):
+        topo.add_ecu(EcuSpec(
+            f"p{i}", cpu_mhz=800, cores=2, memory_kib=1 << 18,
+            flash_kib=1 << 20, has_mmu=True, os_class=OsClass.POSIX_RT,
+            ports=(("eth0", "ethernet"),),
+        ))
+        topo.attach(f"p{i}", "eth0", "eth")
+    return topo
+
+
+def fo_app(**kw):
+    defaults = dict(
+        name="steer",
+        tasks=(TaskSpec(name="steer_loop", period=0.01, wcet=0.001),),
+        asil=Asil.D, memory_kib=64, image_kib=64,
+        fail_operational=True,
+    )
+    defaults.update(kw)
+    return AppModel(**defaults)
+
+
+class TestAppModelFields:
+    def test_fail_operational_needs_two_replicas(self):
+        with pytest.raises(ModelError):
+            fo_app(min_replicas=1)
+
+    def test_bumped_preserves_new_fields(self):
+        app = fo_app()
+        bumped = app.bumped()
+        assert bumped.version == (1, 1)
+        assert bumped.fail_operational
+        assert bumped.min_replicas == 2
+
+
+class TestRedundancyRule:
+    def test_enough_hosts_passes(self):
+        model = SystemModel(topo_with_platforms(2))
+        model.add_app(fo_app())
+        d = Deployment().place("steer", "p0")
+        result = verify(model, d)
+        assert not any(v.rule == "redundancy" for v in result.errors)
+
+    def test_single_host_topology_fails(self):
+        model = SystemModel(topo_with_platforms(1))
+        model.add_app(fo_app())
+        d = Deployment().place("steer", "p0")
+        result = verify(model, d)
+        assert any(v.rule == "redundancy" for v in result.errors)
+
+    def test_capability_screen_counts_only_fitting_hosts(self):
+        """Two ECUs, but only one has a GPU: a fail-operational GPU app
+        cannot be replicated."""
+        topo = topo_with_platforms(1)
+        topo.add_ecu(EcuSpec(
+            "gpu_box", cpu_mhz=800, cores=2, memory_kib=1 << 18,
+            flash_kib=1 << 20, has_mmu=True, has_gpu=True,
+            os_class=OsClass.POSIX_RT, ports=(("eth0", "ethernet"),),
+        ))
+        topo.attach("gpu_box", "eth0", "eth")
+        model = SystemModel(topo)
+        model.add_app(fo_app(needs_gpu=True))
+        d = Deployment().place("steer", "gpu_box")
+        result = verify(model, d)
+        assert any(v.rule == "redundancy" for v in result.errors)
+
+    def test_three_replicas_requirement(self):
+        model = SystemModel(topo_with_platforms(2))
+        model.add_app(fo_app(min_replicas=3))
+        d = Deployment().place("steer", "p0")
+        result = verify(model, d)
+        assert any(v.rule == "redundancy" for v in result.errors)
+        model3 = SystemModel(topo_with_platforms(3))
+        model3.add_app(fo_app(min_replicas=3))
+        result3 = verify(model3, Deployment().place("steer", "p0"))
+        assert not any(v.rule == "redundancy" for v in result3.errors)
+
+    def test_non_fo_app_unaffected(self):
+        model = SystemModel(topo_with_platforms(1))
+        model.add_app(fo_app(fail_operational=False))
+        result = verify(model, Deployment().place("steer", "p0"))
+        assert not any(v.rule == "redundancy" for v in result.errors)

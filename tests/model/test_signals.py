@@ -1,0 +1,147 @@
+"""Tests for the legacy signal catalog and its migration to interfaces."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model import (
+    InterfaceKind,
+    SignalCatalog,
+    SignalDef,
+    legacy_body_catalog,
+    migrate_catalog,
+)
+
+
+def sig(name="s", frame=0x100, offset=0, length=8, cycle=0.02,
+        emitter="ecu_a", consumers=("ecu_b",)):
+    return SignalDef(name, frame, offset, length, cycle, emitter, consumers)
+
+
+class TestSignalDef:
+    def test_valid_signal(self):
+        s = sig()
+        assert s.documented
+        assert s.fits_primitive() == "uint8"
+
+    def test_primitive_fitting(self):
+        assert sig(length=1).fits_primitive() == "uint8"
+        assert sig(length=9, offset=0).fits_primitive() == "uint16"
+        assert sig(length=17).fits_primitive() == "uint32"
+        assert sig(length=64, offset=0).fits_primitive() == "uint64"
+
+    def test_invalid_offsets(self):
+        with pytest.raises(ModelError):
+            sig(offset=64)
+        with pytest.raises(ModelError):
+            sig(offset=60, length=8)
+        with pytest.raises(ModelError):
+            sig(length=0)
+
+    def test_invalid_cycle(self):
+        with pytest.raises(ModelError):
+            sig(cycle=0.0)
+
+    def test_undocumented_flags(self):
+        assert not sig(emitter=None).documented
+        assert not sig(consumers=()).documented
+
+
+class TestSignalCatalog:
+    def test_add_and_get(self):
+        catalog = SignalCatalog()
+        catalog.add(sig("speed"))
+        assert catalog.get("speed").name == "speed"
+        with pytest.raises(ModelError):
+            catalog.get("ghost")
+
+    def test_duplicate_rejected(self):
+        catalog = SignalCatalog()
+        catalog.add(sig("speed"))
+        with pytest.raises(ModelError):
+            catalog.add(sig("speed", offset=16))
+
+    def test_overlap_detected(self):
+        catalog = SignalCatalog()
+        catalog.add(sig("a", offset=0, length=8))
+        with pytest.raises(ModelError, match="overlaps"):
+            catalog.add(sig("b", offset=4, length=8))
+
+    def test_no_overlap_across_frames(self):
+        catalog = SignalCatalog()
+        catalog.add(sig("a", frame=0x100, offset=0))
+        catalog.add(sig("b", frame=0x101, offset=0))  # same bits, other frame
+
+    def test_signals_in_frame_sorted(self):
+        catalog = SignalCatalog()
+        catalog.add(sig("hi", offset=16))
+        catalog.add(sig("lo", offset=0))
+        assert [s.name for s in catalog.signals_in_frame(0x100)] == ["lo", "hi"]
+
+    def test_undocumented_listing(self):
+        catalog = legacy_body_catalog()
+        names = {s.name for s in catalog.undocumented()}
+        assert names == {"mystery_counter", "legacy_flag_7"}
+
+    def test_emitters(self):
+        catalog = legacy_body_catalog()
+        assert "esp" in catalog.emitters()
+        assert None not in catalog.emitters()
+
+
+class TestMigration:
+    def test_documented_signals_become_events(self):
+        report = migrate_catalog(legacy_body_catalog())
+        assert report.migrated_count == 6
+        for interface in report.interfaces:
+            assert interface.kind is InterfaceKind.EVENT
+            assert interface.owner  # the emitter owns the event
+
+    def test_undocumented_signals_reported_not_guessed(self):
+        report = migrate_catalog(legacy_body_catalog())
+        skipped_names = {name for name, _r in report.skipped}
+        assert skipped_names == {"mystery_counter", "legacy_flag_7"}
+        reasons = dict(report.skipped)
+        assert "emitter" in reasons["mystery_counter"]
+        assert "consumers" in reasons["legacy_flag_7"]
+
+    def test_periods_carried_over(self):
+        report = migrate_catalog(legacy_body_catalog())
+        by_name = {i.name: i for i in report.interfaces}
+        assert by_name["sig_vehicle_speed"].requirements.period == 0.02
+
+    def test_type_sizing(self):
+        report = migrate_catalog(legacy_body_catalog())
+        by_name = {i.name: i for i in report.interfaces}
+        assert by_name["sig_vehicle_speed"].payload_bytes == 2  # 16 bits
+        assert by_name["sig_door_fl_open"].payload_bytes == 1   # 1 bit
+
+    def test_frames_consolidated_counted(self):
+        report = migrate_catalog(legacy_body_catalog())
+        assert report.frames_consolidated == 2  # 0x100 and 0x210
+
+    def test_summary_readable(self):
+        text = migrate_catalog(legacy_body_catalog()).summary()
+        assert "migrated 6 signals" in text
+        assert "mystery_counter" in text
+
+    def test_interfaces_integrate_with_system_model(self):
+        """Migrated interfaces are real InterfaceDefs: they can be wired
+        into a SystemModel with apps standing in for the legacy ECUs."""
+        from repro.hw import centralized_topology
+        from repro.model import AppModel, RequiredInterface, SystemModel
+
+        report = migrate_catalog(legacy_body_catalog())
+        model = SystemModel(centralized_topology())
+        emitters = {i.owner for i in report.interfaces}
+        for emitter in emitters:
+            provides = tuple(
+                i.name for i in report.interfaces if i.owner == emitter
+            )
+            model.add_app(AppModel(name=emitter, provides=provides))
+        model.add_app(AppModel(
+            name="dashboard",
+            requires=(RequiredInterface("sig_vehicle_speed"),),
+        ))
+        for interface in report.interfaces:
+            model.add_interface(interface)
+        assert model.structural_violations() == []

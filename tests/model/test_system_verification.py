@@ -1,0 +1,335 @@
+"""Tests for the system model, deployments and the verification engine."""
+
+import pytest
+
+from repro.errors import ModelError, VerificationError
+from repro.hw import BusSpec, EcuSpec, OsClass, Topology
+from repro.model import (
+    AppModel,
+    Asil,
+    Deployment,
+    InterfaceDef,
+    InterfaceKind,
+    InterfaceRequirements,
+    Primitive,
+    RequiredInterface,
+    SystemModel,
+    VariantSpace,
+    estimate_latency,
+    verify,
+    verify_variant_space,
+)
+from repro.osal import Criticality, TaskSpec
+from repro.workloads import reference_system
+from repro.hw import centralized_topology
+
+
+def det_task(name="loop", period=0.01, wcet=0.001):
+    return TaskSpec(name=name, period=period, wcet=wcet)
+
+
+def small_world():
+    """Two capable ECUs on TSN ethernet + one weak legacy ECU on CAN."""
+    topo = Topology()
+    topo.add_bus(BusSpec("eth", "ethernet", 1e9, tsn_capable=True))
+    topo.add_bus(BusSpec("can", "can", 500e3))
+    topo.add_ecu(EcuSpec(
+        "pc0", cpu_mhz=2000, cores=2, memory_kib=1 << 20, flash_kib=1 << 22,
+        has_mmu=True, has_gpu=True, os_class=OsClass.POSIX_RT,
+        ports=(("eth0", "ethernet"), ("can0", "can")),
+    ))
+    topo.add_ecu(EcuSpec(
+        "pc1", cpu_mhz=2000, cores=2, memory_kib=1 << 20, flash_kib=1 << 22,
+        has_mmu=True, os_class=OsClass.POSIX_RT,
+        ports=(("eth0", "ethernet"),),
+    ))
+    topo.add_ecu(EcuSpec(
+        "legacy", cpu_mhz=200, memory_kib=512, flash_kib=2048,
+        os_class=OsClass.RTOS, ports=(("can0", "can"),),
+    ))
+    topo.attach("pc0", "eth0", "eth")
+    topo.attach("pc0", "can0", "can")
+    topo.attach("pc1", "eth0", "eth")
+    topo.attach("legacy", "can0", "can")
+    return topo
+
+
+def two_app_model():
+    model = SystemModel(small_world())
+    model.add_app(AppModel(
+        name="producer", tasks=(det_task("p"),), provides=("data",), asil=Asil.C,
+        memory_kib=100, image_kib=100,
+    ))
+    model.add_app(AppModel(
+        name="consumer", tasks=(det_task("c"),),
+        requires=(RequiredInterface("data"),), asil=Asil.B,
+        memory_kib=100, image_kib=100,
+    ))
+    model.add_interface(InterfaceDef(
+        name="data", kind=InterfaceKind.EVENT, owner="producer",
+        data_type=Primitive("float32"),
+        requirements=InterfaceRequirements(max_latency=0.01, period=0.01),
+    ))
+    return model
+
+
+class TestSystemModel:
+    def test_duplicate_app_rejected(self):
+        model = two_app_model()
+        with pytest.raises(ModelError):
+            model.add_app(AppModel(name="producer"))
+
+    def test_duplicate_interface_rejected(self):
+        model = two_app_model()
+        with pytest.raises(ModelError):
+            model.add_interface(InterfaceDef(
+                name="data", kind=InterfaceKind.EVENT, owner="producer",
+                data_type=Primitive("uint8"),
+            ))
+
+    def test_consumers_and_pairs(self):
+        model = two_app_model()
+        assert [a.name for a in model.consumers_of("data")] == ["consumer"]
+        pairs = model.communication_pairs()
+        assert pairs[0][0] == "producer" and pairs[0][1] == "consumer"
+
+    def test_replace_app_for_update(self):
+        model = two_app_model()
+        updated = model.app("producer").bumped()
+        model.replace_app(updated)
+        assert model.app("producer").version == (1, 1)
+        with pytest.raises(ModelError):
+            model.replace_app(AppModel(name="ghost"))
+
+    def test_remove_app(self):
+        model = two_app_model()
+        model.remove_app("consumer")
+        with pytest.raises(ModelError):
+            model.app("consumer")
+        with pytest.raises(ModelError):
+            model.remove_app("consumer")
+
+    def test_structural_ok(self):
+        assert two_app_model().structural_violations() == []
+
+    def test_dangling_interface_owner(self):
+        model = two_app_model()
+        model.add_interface(InterfaceDef(
+            name="orphan", kind=InterfaceKind.EVENT, owner="ghost",
+            data_type=Primitive("uint8"),
+        ))
+        violations = model.structural_violations()
+        assert any("orphan" in v for v in violations)
+
+    def test_version_incompatibility_detected(self):
+        model = SystemModel(small_world())
+        model.add_app(AppModel(name="p", provides=("i",), asil=Asil.B))
+        model.add_app(AppModel(
+            name="c", requires=(RequiredInterface("i", version=(2, 0)),),
+        ))
+        model.add_interface(InterfaceDef(
+            name="i", kind=InterfaceKind.EVENT, owner="p",
+            data_type=Primitive("uint8"), version=(1, 0),
+        ))
+        assert any("v(2, 0)" in v for v in model.structural_violations())
+
+    def test_asil_dependency_violation_detected(self):
+        model = SystemModel(small_world())
+        model.add_app(AppModel(name="weak_provider", provides=("i",), asil=Asil.A))
+        model.add_app(AppModel(
+            name="critical_consumer", tasks=(det_task(),),
+            requires=(RequiredInterface("i"),), asil=Asil.D,
+        ))
+        model.add_interface(InterfaceDef(
+            name="i", kind=InterfaceKind.EVENT, owner="weak_provider",
+            data_type=Primitive("uint8"),
+        ))
+        violations = model.structural_violations()
+        assert any("ASIL" in v for v in violations)
+
+
+class TestDeployment:
+    def test_place_and_query(self):
+        d = Deployment().place("a", "pc0", 1).place("b", "pc0", 0)
+        assert d.ecu_of("a") == "pc0"
+        assert d.apps_on("pc0") == ["a", "b"]
+        assert d.apps_on_core("pc0", 1) == ["a"]
+        assert d.used_ecus() == ["pc0"]
+
+    def test_unplaced_lookup_raises(self):
+        with pytest.raises(ModelError):
+            Deployment().placement("ghost")
+
+    def test_copy_is_independent(self):
+        d = Deployment().place("a", "x")
+        d2 = d.copy()
+        d2.place("a", "y")
+        assert d.ecu_of("a") == "x"
+
+    def test_equality(self):
+        assert Deployment().place("a", "x") == Deployment().place("a", "x")
+        assert Deployment().place("a", "x") != Deployment().place("a", "y")
+
+
+class TestVariantSpace:
+    def test_enumerate_all_combinations(self):
+        space = VariantSpace()
+        space.allow("a", "e1").allow("a", "e2")
+        space.allow("b", "e1")
+        deployments = list(space.enumerate())
+        assert len(deployments) == 2
+        assert space.size() == 2
+
+    def test_duplicate_option_ignored(self):
+        space = VariantSpace().allow("a", "e1").allow("a", "e1")
+        assert len(space.candidates("a")) == 1
+
+    def test_empty_space(self):
+        assert VariantSpace().size() == 0
+        assert list(VariantSpace().enumerate()) == []
+
+    def test_unknown_app_candidates(self):
+        with pytest.raises(ModelError):
+            VariantSpace().candidates("ghost")
+
+
+class TestVerification:
+    def test_good_deployment_passes(self):
+        model = two_app_model()
+        d = Deployment().place("producer", "pc0").place("consumer", "pc1")
+        result = verify(model, d)
+        assert result.ok, [str(v) for v in result.violations]
+
+    def test_unplaced_app_fails(self):
+        model = two_app_model()
+        d = Deployment().place("producer", "pc0")
+        result = verify(model, d)
+        assert not result.ok
+        assert any(v.rule == "placement" for v in result.errors)
+
+    def test_memory_overflow_fails(self):
+        model = two_app_model()
+        model.add_app(AppModel(name="hog", memory_kib=1 << 21, image_kib=1))
+        d = (Deployment().place("producer", "pc0").place("consumer", "pc1")
+             .place("hog", "pc0"))
+        result = verify(model, d)
+        assert any(v.rule == "memory" for v in result.errors)
+
+    def test_deterministic_on_gp_os_fails(self):
+        topo = small_world()
+        topo.add_ecu(EcuSpec(
+            "head", cpu_mhz=1500, os_class=OsClass.POSIX_GP, has_mmu=True,
+            memory_kib=1 << 20, flash_kib=1 << 20,
+            ports=(("eth0", "ethernet"),),
+        ))
+        topo.attach("head", "eth0", "eth")
+        model = SystemModel(topo)
+        model.add_app(AppModel(name="ctl", tasks=(det_task(),), asil=Asil.C,
+                               memory_kib=10, image_kib=10))
+        result = verify(model, Deployment().place("ctl", "head"))
+        assert any(v.rule == "os_class" for v in result.errors)
+
+    def test_mixed_criticality_without_mmu_fails(self):
+        model = SystemModel(small_world())
+        model.add_app(AppModel(name="da", tasks=(det_task("d"),), asil=Asil.C,
+                               memory_kib=10, image_kib=10))
+        model.add_app(AppModel(
+            name="nda",
+            tasks=(TaskSpec(name="n", period=0.1, wcet=0.001,
+                            criticality=Criticality.NON_DETERMINISTIC),),
+            memory_kib=10, image_kib=10,
+        ))
+        d = Deployment().place("da", "legacy").place("nda", "legacy")
+        result = verify(model, d)
+        assert any(v.rule == "mmu" for v in result.errors)
+
+    def test_unschedulable_core_fails(self):
+        model = SystemModel(small_world())
+        for i in range(3):
+            model.add_app(AppModel(
+                name=f"heavy{i}",
+                tasks=(TaskSpec(name=f"h{i}", period=0.01, wcet=0.009),),
+                asil=Asil.C, memory_kib=10, image_kib=10,
+            ))
+        d = Deployment()
+        for i in range(3):
+            d.place(f"heavy{i}", "legacy")
+        result = verify(model, d)
+        assert any(v.rule == "schedulability" for v in result.errors)
+
+    def test_core_out_of_range_fails(self):
+        model = two_app_model()
+        d = Deployment().place("producer", "pc0", core=7).place("consumer", "pc1")
+        result = verify(model, d)
+        assert any("out of range" in v.message for v in result.errors)
+
+    def test_gpu_requirement_enforced(self):
+        model = SystemModel(small_world())
+        model.add_app(AppModel(name="nn", needs_gpu=True, memory_kib=10, image_kib=10))
+        result = verify(model, Deployment().place("nn", "pc1"))  # pc1: no GPU
+        assert any(v.rule == "gpu" for v in result.errors)
+        result2 = verify(model, Deployment().place("nn", "pc0"))  # pc0: GPU
+        assert result2.ok
+
+    def test_latency_budget_violation(self):
+        """A tight latency budget across the slow CAN segment must fail."""
+        model = SystemModel(small_world())
+        model.add_app(AppModel(name="p", tasks=(det_task("pt"),), provides=("i",),
+                               asil=Asil.C, memory_kib=10, image_kib=10))
+        model.add_app(AppModel(name="c", requires=(RequiredInterface("i"),),
+                               memory_kib=10, image_kib=10))
+        model.add_interface(InterfaceDef(
+            name="i", kind=InterfaceKind.EVENT, owner="p",
+            data_type=Primitive("float64"),
+            requirements=InterfaceRequirements(max_latency=0.0001),
+        ))
+        d = Deployment().place("p", "legacy").place("c", "pc1")
+        result = verify(model, d)
+        assert any(v.rule == "latency" for v in result.errors)
+
+    def test_colocated_communication_has_zero_latency(self):
+        model = two_app_model()
+        assert estimate_latency(model, "pc0", "pc0", 100) == 0.0
+
+    def test_raise_if_failed(self):
+        model = two_app_model()
+        result = verify(model, Deployment())
+        with pytest.raises(VerificationError):
+            result.raise_if_failed()
+
+    def test_verify_variant_space_counts(self):
+        model = two_app_model()
+        space = VariantSpace()
+        space.allow("producer", "pc0").allow("producer", "legacy")
+        space.allow("consumer", "pc1")
+        n_ok, n_total, failures = verify_variant_space(model, space)
+        assert n_total == 2
+        # both should verify: producer fits on the legacy RTOS ECU too
+        assert n_ok + len(failures) == n_total
+
+
+class TestReferenceSystem:
+    def test_reference_model_is_structurally_sound(self):
+        model = reference_system(centralized_topology(n_platforms=2))
+        assert model.structural_violations() == []
+
+    def test_reference_model_verifies_on_platform_computers(self):
+        model = reference_system(centralized_topology(n_platforms=2))
+        d = Deployment()
+        # spread deterministic apps over both platform computers
+        placements = {
+            "wheel_sensor_fusion": ("platform_0", 0),
+            "vehicle_state_estimator": ("platform_0", 1),
+            "brake_controller": ("platform_0", 2),
+            "suspension_control": ("platform_0", 3),
+            "front_camera": ("platform_1", 0),
+            "object_fusion": ("platform_0", 4),
+            "acc": ("platform_1", 1),
+            "diagnosis_service": ("platform_1", 2),
+            "media_server": ("head_unit", 0),
+            "navigation": ("head_unit", 1),
+        }
+        for app, (ecu, core) in placements.items():
+            d.place(app, ecu, core)
+        result = verify(model, d)
+        assert result.ok, [str(v) for v in result.errors]

@@ -1,0 +1,157 @@
+"""Tests for the type system and interface definitions."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model import (
+    ArrayType,
+    InterfaceDef,
+    InterfaceKind,
+    InterfaceRequirements,
+    Primitive,
+    StructType,
+    TypeRegistry,
+    standard_types,
+)
+
+
+class TestTypes:
+    def test_primitive_sizes(self):
+        assert Primitive("uint8").byte_size() == 1
+        assert Primitive("float64").byte_size() == 8
+
+    def test_unknown_primitive_rejected(self):
+        with pytest.raises(ModelError):
+            Primitive("string")
+
+    def test_array_size(self):
+        arr = ArrayType(Primitive("float32"), 4)
+        assert arr.byte_size() == 16
+        assert arr.describe() == "float32[4]"
+
+    def test_array_invalid_length(self):
+        with pytest.raises(ModelError):
+            ArrayType(Primitive("uint8"), 0)
+
+    def test_struct_size_and_fields(self):
+        s = StructType("S", (("a", Primitive("uint32")), ("b", Primitive("uint8"))))
+        assert s.byte_size() == 5
+        assert s.field_type("a").byte_size() == 4
+        with pytest.raises(ModelError):
+            s.field_type("missing")
+
+    def test_struct_duplicate_fields_rejected(self):
+        with pytest.raises(ModelError):
+            StructType("S", (("a", Primitive("uint8")), ("a", Primitive("uint8"))))
+
+    def test_empty_struct_rejected(self):
+        with pytest.raises(ModelError):
+            StructType("S", ())
+
+    def test_nested_types(self):
+        inner = StructType("P", (("x", Primitive("float32")), ("y", Primitive("float32"))))
+        outer = StructType("Track", (("points", ArrayType(inner, 10)),))
+        assert outer.byte_size() == 80
+
+
+class TestTypeRegistry:
+    def test_primitives_preloaded(self):
+        reg = TypeRegistry()
+        assert "uint32" in reg
+        assert reg.size_of("uint32") == 4
+
+    def test_define_struct_by_names(self):
+        reg = TypeRegistry()
+        reg.define_struct("Pair", [("a", "uint16"), ("b", "uint16")])
+        assert reg.size_of("Pair") == 4
+
+    def test_define_array(self):
+        reg = TypeRegistry()
+        reg.define_array("Buf", "uint8", 100)
+        assert reg.size_of("Buf") == 100
+
+    def test_duplicate_definition_rejected(self):
+        reg = TypeRegistry()
+        reg.define_struct("X", [("a", "uint8")])
+        with pytest.raises(ModelError):
+            reg.define_struct("X", [("a", "uint8")])
+        with pytest.raises(ModelError):
+            reg.define_array("X", "uint8", 2)
+
+    def test_unknown_type_lookup(self):
+        with pytest.raises(ModelError):
+            TypeRegistry().get("nope")
+
+    def test_standard_types_catalog(self):
+        reg = standard_types()
+        assert reg.size_of("WheelSpeeds") == 16
+        assert reg.size_of("ObjectList") == 32 * reg.size_of("ObjectHypothesis")
+        assert reg.size_of("CameraFrameChunk") == 1024
+
+
+class TestInterfaceDef:
+    def event(self, **kw):
+        defaults = dict(
+            name="speed",
+            kind=InterfaceKind.EVENT,
+            owner="speedo",
+            data_type=Primitive("float32"),
+        )
+        defaults.update(kw)
+        return InterfaceDef(**defaults)
+
+    def test_event_interface(self):
+        i = self.event()
+        assert i.payload_bytes == 4
+        assert i.response_bytes == 0
+
+    def test_message_requires_response_type(self):
+        with pytest.raises(ModelError):
+            InterfaceDef(
+                name="m", kind=InterfaceKind.MESSAGE, owner="o",
+                data_type=Primitive("uint8"),
+            )
+        i = InterfaceDef(
+            name="m", kind=InterfaceKind.MESSAGE, owner="o",
+            data_type=Primitive("uint8"), response_type=Primitive("uint32"),
+        )
+        assert i.response_bytes == 4
+
+    def test_event_cannot_have_response(self):
+        with pytest.raises(ModelError):
+            self.event(response_type=Primitive("uint8"))
+
+    def test_stream_requires_period(self):
+        with pytest.raises(ModelError):
+            InterfaceDef(
+                name="s", kind=InterfaceKind.STREAM, owner="o",
+                data_type=Primitive("uint8"),
+            )
+
+    def test_offered_bandwidth(self):
+        i = self.event(
+            requirements=InterfaceRequirements(period=0.01),
+            data_type=Primitive("float64"),
+        )
+        assert i.offered_bandwidth_bps() == pytest.approx(8 * 8 / 0.01)
+
+    def test_no_period_no_bandwidth(self):
+        assert self.event().offered_bandwidth_bps() == 0.0
+
+    def test_version_compatibility_rule(self):
+        i = self.event(version=(2, 3))
+        assert i.compatible_with((2, 3))
+        assert i.compatible_with((2, 1))
+        assert not i.compatible_with((2, 4))
+        assert not i.compatible_with((1, 0))
+        assert not i.compatible_with((3, 0))
+
+    def test_invalid_requirements(self):
+        with pytest.raises(ModelError):
+            InterfaceRequirements(max_latency=0.0)
+        with pytest.raises(ModelError):
+            InterfaceRequirements(period=-1.0)
+
+    def test_missing_owner_rejected(self):
+        with pytest.raises(ModelError):
+            self.event(owner="")

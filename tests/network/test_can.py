@@ -1,0 +1,148 @@
+"""Tests for the CAN bus simulator."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.network import CanBus, Frame, TrafficClass, can_frame_bits
+from repro.sim import Simulator
+
+
+def make_bus(bitrate=500_000.0):
+    sim = Simulator()
+    bus = CanBus(sim, "can0", bitrate)
+    return sim, bus
+
+
+def frame(src="a", dst=None, size=8, can_id=0x100, **kw):
+    return Frame(src=src, dst=dst, payload_bytes=size, priority=can_id, **kw)
+
+
+class TestFrameTiming:
+    def test_frame_bits_formula(self):
+        # 0 bytes: 47 + 0 + floor(33/4)=8 -> 55
+        assert can_frame_bits(0) == 55
+        # 8 bytes: 47 + 64 + floor(97/4)=24 -> 135
+        assert can_frame_bits(8) == 135
+
+    def test_oversized_payload_rejected(self):
+        with pytest.raises(NetworkError):
+            can_frame_bits(9)
+
+    def test_single_frame_latency(self):
+        sim, bus = make_bus(bitrate=500_000.0)
+        done = bus.submit(frame(size=8))
+        sim.run()
+        assert done.fired
+        assert done.value.latency == pytest.approx(135 / 500_000.0)
+
+
+class TestArbitration:
+    def test_lower_id_wins(self):
+        sim, bus = make_bus()
+        order = []
+        # submit at the same instant; bus idle -> first grabs the wire
+        first = bus.submit(frame(can_id=0x300, size=8))
+        low = bus.submit(frame(can_id=0x010, size=8))
+        high = bus.submit(frame(can_id=0x700, size=8))
+        for sig, tag in ((first, "first"), (low, "low"), (high, "high")):
+            sig.add_callback(lambda _f, tag=tag: order.append(tag))
+        sim.run()
+        # the started frame finishes, then the low id beats the high id
+        assert order == ["first", "low", "high"]
+
+    def test_non_preemptive_blocking(self):
+        """An urgent frame waits for a started lower-priority frame."""
+        sim, bus = make_bus(bitrate=500_000.0)
+        bulk_done = bus.submit(frame(can_id=0x7FF, size=8))
+        urgent_latency = []
+        sim.schedule(
+            0.00001,
+            lambda: bus.submit(frame(can_id=0x001, size=1)).add_callback(
+                lambda f: urgent_latency.append(f.latency)
+            ),
+        )
+        sim.run()
+        assert bulk_done.fired
+        # the urgent frame had to wait out most of the bulk frame
+        assert urgent_latency[0] > bus.wire_time(can_frame_bits(1) / 8.0)
+
+    def test_worst_case_blocking_bound(self):
+        sim, bus = make_bus(bitrate=500_000.0)
+        assert bus.worst_case_blocking() == pytest.approx(135 / 500_000.0)
+
+    def test_invalid_identifier_rejected(self):
+        sim, bus = make_bus()
+        with pytest.raises(NetworkError):
+            bus.submit(frame(can_id=0x800))
+        with pytest.raises(NetworkError):
+            bus.submit(frame(can_id=-1))
+
+    def test_fifo_among_same_id_frames(self):
+        sim, bus = make_bus()
+        tags = []
+        bus.submit(frame(can_id=0x100, size=8))  # occupies the bus
+        for tag in ("x", "y"):
+            bus.submit(frame(can_id=0x200, size=1, label=tag)).add_callback(
+                lambda f: tags.append(f.label)
+            )
+        sim.run()
+        assert tags == ["x", "y"]
+
+
+class TestDelivery:
+    def test_broadcast_reaches_all_but_sender(self):
+        sim, bus = make_bus()
+        seen = []
+        for node in ("a", "b", "c"):
+            bus.add_listener(node, lambda f, node=node: seen.append(node))
+        bus.submit(frame(src="a", dst=None))
+        sim.run()
+        assert sorted(seen) == ["b", "c"]
+
+    def test_unicast_reaches_only_destination(self):
+        sim, bus = make_bus()
+        seen = []
+        for node in ("a", "b", "c"):
+            bus.add_listener(node, lambda f, node=node: seen.append(node))
+        bus.submit(frame(src="a", dst="c"))
+        sim.run()
+        assert seen == ["c"]
+
+    def test_removed_listener_not_called(self):
+        sim, bus = make_bus()
+        seen = []
+        bus.add_listener("b", lambda f: seen.append("b"))
+        bus.remove_listener("b")
+        bus.submit(frame(src="a"))
+        sim.run()
+        assert seen == []
+
+    def test_stats_accumulate(self):
+        sim, bus = make_bus()
+        bus.submit(frame(size=8))
+        bus.submit(frame(size=4))
+        sim.run()
+        assert bus.frames_delivered == 2
+        assert bus.bytes_delivered == 12
+
+    def test_delivery_trace_recorded(self):
+        from repro.sim import Tracer
+
+        tracer = Tracer()
+        sim = Simulator(tracer=tracer)
+        bus = CanBus(sim, "can0", 500e3)
+        bus.submit(frame(label="t1"))
+        sim.run()
+        entries = tracer.select("net.delivery", label="t1")
+        assert len(entries) == 1
+        assert entries[0]["bus"] == "can0"
+
+    def test_utilization_saturation(self):
+        """At 100% offered load the bus stays busy back to back."""
+        sim, bus = make_bus(bitrate=500_000.0)
+        n = 50
+        for i in range(n):
+            bus.submit(frame(can_id=0x100 + i, size=8))
+        sim.run()
+        per_frame = (135 + 3) / 500_000.0
+        assert sim.now == pytest.approx(n * per_frame, rel=0.01)

@@ -1,0 +1,174 @@
+"""Tests for the FlexRay TDMA bus simulator."""
+
+import pytest
+
+from repro.errors import ConfigurationError, NetworkError
+from repro.network import FlexRayBus, FlexRayConfig, Frame, TrafficClass
+from repro.sim import Simulator
+
+
+def make_bus(**cfg):
+    sim = Simulator()
+    config = FlexRayConfig(**cfg) if cfg else FlexRayConfig(
+        cycle_length=0.005, static_slots=4, static_slot_length=0.0005,
+        slot_payload_bytes=32,
+    )
+    bus = FlexRayBus(sim, "fr0", 10e6, config=config)
+    return sim, bus
+
+
+def det_frame(src, size=16, **kw):
+    return Frame(
+        src=src, dst=None, payload_bytes=size,
+        traffic_class=TrafficClass.DETERMINISTIC, **kw
+    )
+
+
+def dyn_frame(src, size=16, prio=10, **kw):
+    return Frame(
+        src=src, dst=None, payload_bytes=size, priority=prio,
+        traffic_class=TrafficClass.NON_DETERMINISTIC, **kw
+    )
+
+
+class TestConfig:
+    def test_segment_lengths(self):
+        cfg = FlexRayConfig(0.005, 32, 0.0001, 32)
+        assert cfg.static_segment_length == pytest.approx(0.0032)
+        assert cfg.dynamic_segment_length == pytest.approx(0.0018)
+
+    def test_static_segment_must_fit_cycle(self):
+        with pytest.raises(ConfigurationError):
+            FlexRayConfig(cycle_length=0.001, static_slots=32,
+                          static_slot_length=0.0001)
+
+    def test_invalid_slot_count(self):
+        with pytest.raises(ConfigurationError):
+            FlexRayConfig(static_slots=0)
+
+    def test_slot_start(self):
+        cfg = FlexRayConfig(0.005, 4, 0.0005, 32)
+        assert cfg.slot_start(0, 0) == 0.0
+        assert cfg.slot_start(2, 3) == pytest.approx(2 * 0.005 + 3 * 0.0005)
+
+
+class TestSlotAssignment:
+    def test_double_assignment_rejected(self):
+        sim, bus = make_bus()
+        bus.assign_slot(0, "a")
+        with pytest.raises(ConfigurationError):
+            bus.assign_slot(0, "b")
+
+    def test_out_of_range_slot_rejected(self):
+        sim, bus = make_bus()
+        with pytest.raises(ConfigurationError):
+            bus.assign_slot(99, "a")
+
+    def test_slot_of_lookup(self):
+        sim, bus = make_bus()
+        bus.assign_slot(2, "a")
+        assert bus.slot_of("a") == 2
+        assert bus.slot_of("stranger") is None
+
+    def test_deterministic_frame_without_slot_rejected(self):
+        sim, bus = make_bus()
+        with pytest.raises(NetworkError):
+            bus.submit(det_frame("nobody"))
+
+    def test_oversized_static_frame_rejected(self):
+        sim, bus = make_bus()
+        bus.assign_slot(0, "a")
+        with pytest.raises(NetworkError):
+            bus.submit(det_frame("a", size=64))
+
+
+class TestStaticSegment:
+    def test_frame_sent_in_owned_slot(self):
+        sim, bus = make_bus()
+        bus.assign_slot(1, "a")
+        done = bus.submit(det_frame("a"))
+        sim.run(until=0.01)
+        assert done.fired
+        # delivered at the end of slot 1: 2 * 0.0005
+        assert done.value.delivered_at == pytest.approx(0.001)
+
+    def test_deterministic_latency_is_jitter_free(self):
+        """Frames submitted at the same cycle phase see identical latency."""
+        sim, bus = make_bus()
+        bus.assign_slot(0, "a")
+        latencies = []
+        for k in range(3):
+            sim.at(
+                k * 0.005 + 0.0041,  # just after slot 0 of cycle k
+                lambda: bus.submit(det_frame("a")).add_callback(
+                    lambda f: latencies.append(f.latency)
+                ),
+            )
+        sim.run(until=0.03)
+        assert len(latencies) == 3
+        assert max(latencies) - min(latencies) < 1e-9
+
+    def test_two_senders_use_their_own_slots(self):
+        sim, bus = make_bus()
+        bus.assign_slot(0, "a")
+        bus.assign_slot(2, "b")
+        da = bus.submit(det_frame("a"))
+        db = bus.submit(det_frame("b"))
+        sim.run(until=0.01)
+        assert da.value.delivered_at == pytest.approx(0.0005)
+        assert db.value.delivered_at == pytest.approx(0.0015)
+
+
+class TestDynamicSegment:
+    def test_dynamic_frames_wait_for_dynamic_segment(self):
+        sim, bus = make_bus()
+        done = bus.submit(dyn_frame("x"))
+        sim.run(until=0.01)
+        assert done.fired
+        # static segment is 4*0.0005 = 0.002; dynamic starts after that
+        assert done.value.delivered_at >= 0.002
+
+    def test_dynamic_priority_order(self):
+        sim, bus = make_bus()
+        order = []
+        for prio, tag in ((30, "low"), (5, "high"), (20, "mid")):
+            bus.submit(dyn_frame("x", prio=prio, size=100)).add_callback(
+                lambda f, tag=tag: order.append(tag)
+            )
+        sim.run(until=0.02)
+        assert order == ["high", "mid", "low"]
+
+    def test_large_dynamic_frame_defers_to_next_cycle(self):
+        sim, bus = make_bus()
+        # 3 ms dynamic window at 10 Mbit/s = 3750 bytes; one 1900-byte frame
+        # fits, two do not fit in the same cycle
+        first = bus.submit(dyn_frame("x", size=1900, prio=1))
+        second = bus.submit(dyn_frame("x", size=1900, prio=2))
+        sim.run(until=0.02)
+        assert first.value.delivered_at < 0.005
+        assert second.value.delivered_at > 0.005
+        assert bus.dynamic_deferrals >= 1
+
+    def test_mixed_traffic_isolation(self):
+        """Bulk dynamic load cannot delay a static (deterministic) frame —
+        the paper's FlexRay partitioning argument (Section 5.3)."""
+        sim, bus = make_bus()
+        bus.assign_slot(0, "det")
+        for _ in range(20):
+            bus.submit(dyn_frame("bulk", size=800, prio=1))
+        done = bus.submit(det_frame("det"))
+        sim.run(until=0.05)
+        # still the very first slot of the next cycle
+        assert done.value.delivered_at == pytest.approx(0.0005)
+
+    def test_bus_goes_idle_when_drained(self):
+        sim, bus = make_bus()
+        bus.assign_slot(0, "a")
+        bus.submit(det_frame("a"))
+        sim.run(until=0.1)
+        queue_empty_time = sim.now
+        assert queue_empty_time == 0.1
+        # engine restarts on a new submit after idling
+        done = bus.submit(det_frame("a"))
+        sim.run(until=0.2)
+        assert done.fired

@@ -1,0 +1,72 @@
+"""Tests for FlexRay segments inside a VehicleNetwork (auto slot plan)."""
+
+import pytest
+
+from repro.hw import BusSpec, EcuSpec, Topology
+from repro.network import FlexRayBus, TrafficClass, VehicleNetwork
+from repro.sim import Simulator
+
+
+def flexray_world():
+    topo = Topology()
+    topo.add_bus(BusSpec("fr", "flexray", 10e6))
+    for name in ("chassis_a", "chassis_b", "chassis_c"):
+        topo.add_ecu(EcuSpec(name, ports=(("fr0", "flexray"),)))
+        topo.attach(name, "fr0", "fr")
+    sim = Simulator()
+    net = VehicleNetwork(sim, topo)
+    return sim, net
+
+
+class TestAutoSlotAssignment:
+    def test_every_ecu_gets_a_slot(self):
+        sim, net = flexray_world()
+        bus = net.bus("fr")
+        assert isinstance(bus, FlexRayBus)
+        for name in ("chassis_a", "chassis_b", "chassis_c"):
+            assert bus.slot_of(name) is not None
+
+    def test_slots_are_distinct(self):
+        sim, net = flexray_world()
+        bus = net.bus("fr")
+        slots = [bus.slot_of(n) for n in ("chassis_a", "chassis_b", "chassis_c")]
+        assert len(set(slots)) == 3
+
+    def test_deterministic_send_works_out_of_the_box(self):
+        sim, net = flexray_world()
+        got = []
+        net.register_receiver("chassis_b", lambda f: got.append(sim.now))
+        done = net.send(
+            "chassis_a", "chassis_b", 16,
+            traffic_class=TrafficClass.DETERMINISTIC,
+        )
+        sim.run(until=0.05)
+        assert done.fired
+        assert got
+
+    def test_deterministic_latency_bounded_by_cycle(self):
+        sim, net = flexray_world()
+        latencies = []
+
+        def send_one(k=0):
+            if k >= 5:
+                return
+            net.send(
+                "chassis_a", "chassis_b", 16,
+                traffic_class=TrafficClass.DETERMINISTIC,
+            ).add_callback(lambda f: latencies.append(f.latency))
+            sim.schedule(0.011, send_one, k + 1)
+
+        send_one()
+        sim.run(until=0.2)
+        assert len(latencies) == 5
+        cycle = net.bus("fr").config.cycle_length
+        assert all(lat <= cycle + 1e-9 for lat in latencies)
+
+    def test_nondeterministic_uses_dynamic_segment(self):
+        sim, net = flexray_world()
+        done = net.send("chassis_a", "chassis_c", 64, priority=5)
+        sim.run(until=0.05)
+        assert done.fired
+        bus = net.bus("fr")
+        assert bus.dynamic_frames_sent >= 1

@@ -1,0 +1,93 @@
+"""Tests for the process/memory-protection model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw import EcuSpec, EcuState
+from repro.osal import MemoryManager
+
+
+def manager(mmu=True, memory=1024):
+    state = EcuState(EcuSpec("e", memory_kib=memory, has_mmu=mmu))
+    return MemoryManager(state)
+
+
+class TestProcessLifecycle:
+    def test_spawn_allocates_memory(self):
+        mm = manager()
+        mm.spawn("p1", 100)
+        assert mm.ecu_state.memory_used_kib == 100
+        assert mm.memory_in_use_kib() == 100
+
+    def test_duplicate_spawn_rejected(self):
+        mm = manager()
+        mm.spawn("p1", 10)
+        with pytest.raises(ConfigurationError):
+            mm.spawn("p1", 10)
+
+    def test_kill_releases_memory(self):
+        mm = manager()
+        mm.spawn("p1", 100)
+        mm.kill("p1")
+        assert mm.ecu_state.memory_used_kib == 0
+
+    def test_kill_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            manager().kill("ghost")
+
+    def test_oversubscription_rejected(self):
+        mm = manager(memory=100)
+        mm.spawn("p1", 80)
+        with pytest.raises(ConfigurationError):
+            mm.spawn("p2", 30)
+
+    def test_residents_tracked(self):
+        mm = manager()
+        proc = mm.spawn("p1", 10, resident="appA")
+        proc.add_resident("appB")
+        assert proc.residents == {"appA", "appB"}
+        proc.remove_resident("appA")
+        assert proc.residents == {"appB"}
+
+
+class TestIsolation:
+    def test_mmu_gives_private_spaces(self):
+        mm = manager(mmu=True)
+        mm.spawn("p1", 10)
+        mm.spawn("p2", 10)
+        assert len(mm.isolation_groups()) == 2
+
+    def test_no_mmu_shares_one_space(self):
+        mm = manager(mmu=False)
+        mm.spawn("p1", 10)
+        mm.spawn("p2", 10)
+        assert len(mm.isolation_groups()) == 1
+
+    def test_wild_write_contained_by_mmu(self):
+        """The paper's MMU requirement: with memory protection the blast
+        radius of a stray write is the faulty process alone."""
+        mm = manager(mmu=True)
+        mm.spawn("victim", 10)
+        mm.spawn("faulty", 10)
+        corrupted = mm.wild_write("faulty")
+        assert corrupted == ["faulty"]
+        assert not mm.process("victim").corrupted
+
+    def test_wild_write_spreads_without_mmu(self):
+        mm = manager(mmu=False)
+        mm.spawn("victim", 10)
+        mm.spawn("faulty", 10)
+        corrupted = mm.wild_write("faulty")
+        assert sorted(corrupted) == ["faulty", "victim"]
+        assert mm.process("victim").corrupted
+
+    def test_wild_write_unknown_process(self):
+        with pytest.raises(ConfigurationError):
+            manager().wild_write("ghost")
+
+    def test_wild_write_counter(self):
+        mm = manager(mmu=True)
+        mm.spawn("p", 10)
+        mm.wild_write("p")
+        mm.wild_write("p")
+        assert mm.wild_writes == 2

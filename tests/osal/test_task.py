@@ -1,0 +1,103 @@
+"""Tests for the task/job model and hyperperiod math."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.osal import Criticality, Job, TaskSpec, hyperperiod, total_utilization
+
+
+def task(name="t", period=0.01, wcet=0.002, **kw):
+    return TaskSpec(name=name, period=period, wcet=wcet, **kw)
+
+
+class TestTaskSpec:
+    def test_defaults(self):
+        t = task()
+        assert t.effective_deadline == t.period
+        assert t.utilization == pytest.approx(0.2)
+        assert t.is_deterministic
+
+    def test_explicit_deadline(self):
+        t = task(deadline=0.005)
+        assert t.effective_deadline == 0.005
+
+    def test_scaled_utilization(self):
+        assert task().scaled_utilization(2.0) == pytest.approx(0.1)
+
+    def test_invalid_period(self):
+        with pytest.raises(ConfigurationError):
+            task(period=0.0)
+
+    def test_invalid_wcet(self):
+        with pytest.raises(ConfigurationError):
+            task(wcet=0.0)
+
+    def test_wcet_exceeding_period(self):
+        with pytest.raises(ConfigurationError):
+            task(period=0.001, wcet=0.002)
+
+    def test_negative_offset(self):
+        with pytest.raises(ConfigurationError):
+            task(offset=-1.0)
+
+    def test_nondeterministic_flag(self):
+        t = task(criticality=Criticality.NON_DETERMINISTIC)
+        assert not t.is_deterministic
+
+
+class TestJob:
+    def make_job(self, **kw):
+        defaults = dict(
+            task=task(), release_time=1.0, absolute_deadline=1.01, remaining=0.002
+        )
+        defaults.update(kw)
+        return Job(**defaults)
+
+    def test_response_time(self):
+        j = self.make_job()
+        j.finish_time = 1.004
+        assert j.response_time == pytest.approx(0.004)
+
+    def test_response_before_finish_raises(self):
+        with pytest.raises(ConfigurationError):
+            _ = self.make_job().response_time
+
+    def test_start_jitter(self):
+        j = self.make_job()
+        j.start_time = 1.0005
+        assert j.start_jitter == pytest.approx(0.0005)
+
+    def test_missed_deadline_logic(self):
+        j = self.make_job()
+        j.finish_time = 1.02
+        assert j.missed_deadline
+        j2 = self.make_job()
+        j2.finish_time = 1.01
+        assert not j2.missed_deadline
+
+    def test_unfinished_job_not_missed(self):
+        assert not self.make_job().missed_deadline
+
+    def test_job_ids_unique(self):
+        assert self.make_job().job_id != self.make_job().job_id
+
+
+class TestHyperperiod:
+    def test_simple_lcm(self):
+        tasks = [task("a", period=0.004), task("b", period=0.006, wcet=0.001)]
+        assert hyperperiod(tasks) == pytest.approx(0.012)
+
+    def test_float_periods_handled(self):
+        tasks = [task("a", period=0.005), task("b", period=0.003, wcet=0.001)]
+        assert hyperperiod(tasks) == pytest.approx(0.015)
+
+    def test_single_task(self):
+        assert hyperperiod([task(period=0.02)]) == pytest.approx(0.02)
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            hyperperiod([])
+
+    def test_total_utilization(self):
+        tasks = [task("a", period=0.01, wcet=0.002), task("b", period=0.02, wcet=0.01)]
+        assert total_utilization(tasks) == pytest.approx(0.7)

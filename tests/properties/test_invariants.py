@@ -1,0 +1,187 @@
+"""Cross-layer property-based tests (hypothesis) on core invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dse.engines import Candidate, ParetoArchive
+from repro.dse.problem import Evaluation
+from repro.model import ArrayType, Primitive, StructType
+from repro.network import CanBus, Frame, can_frame_bits
+from repro.osal import BudgetServer, TaskSpec, synthesize_table, total_utilization
+from repro.errors import SchedulingError
+from repro.sim import EventQueue, RngStreams, Simulator
+
+
+class TestEventQueueProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1,
+                    max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_pops_are_time_ordered(self, times):
+        q = EventQueue()
+        for t in times:
+            q.push(t, lambda: None)
+        popped = [q.pop().time for _ in range(len(times))]
+        assert popped == sorted(popped)
+
+    @given(st.lists(st.tuples(st.floats(min_value=0, max_value=100),
+                              st.integers(min_value=0, max_value=5)),
+                    min_size=2, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_same_time_priority_order(self, items):
+        q = EventQueue()
+        for t, p in items:
+            q.push(t, lambda: None, priority=p)
+        popped = [(c.time, c.priority) for c in
+                  (q.pop() for _ in range(len(items)))]
+        assert popped == sorted(popped)
+
+
+class TestCanProperties:
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=0x7FF),
+                              st.integers(min_value=0, max_value=8)),
+                    min_size=1, max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_every_submitted_frame_is_delivered_exactly_once(self, frames):
+        sim = Simulator()
+        bus = CanBus(sim, "can0", 500e3)
+        delivered = []
+        for can_id, size in frames:
+            bus.submit(
+                Frame(src="a", dst=None, payload_bytes=size, priority=can_id)
+            ).add_callback(lambda f: delivered.append(f.frame_id))
+        sim.run()
+        assert len(delivered) == len(frames)
+        assert len(set(delivered)) == len(frames)
+        assert bus.frames_delivered == len(frames)
+
+    @given(st.integers(min_value=0, max_value=7))
+    @settings(max_examples=8, deadline=None)
+    def test_frame_bits_monotone_in_payload(self, n):
+        assert can_frame_bits(n + 1) > can_frame_bits(n)
+
+    @given(st.lists(st.integers(min_value=0, max_value=0x7FF),
+                    min_size=2, max_size=20, unique=True))
+    @settings(max_examples=30, deadline=None)
+    def test_simultaneous_frames_deliver_in_priority_order_after_first(
+        self, can_ids
+    ):
+        """All frames queued at t=0: after the bus grabs the first, the
+        rest must win arbitration strictly by identifier."""
+        sim = Simulator()
+        bus = CanBus(sim, "can0", 500e3)
+        order = []
+        for can_id in can_ids:
+            bus.submit(
+                Frame(src="a", dst=None, payload_bytes=1, priority=can_id)
+            ).add_callback(lambda f: order.append(f.priority))
+        sim.run()
+        assert order[1:] == sorted(order[1:])
+
+
+class TestBudgetServerProperties:
+    @given(
+        st.lists(
+            st.tuples(st.floats(min_value=0.0001, max_value=0.01),
+                      st.floats(min_value=0.0, max_value=0.005)),
+            min_size=1, max_size=50,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_budget_never_negative_or_above_capacity(self, ops):
+        server = BudgetServer(capacity=0.003, period=0.01)
+        now = 0.0
+        for advance, consume in ops:
+            now += advance
+            available = server.available(now)
+            assert -1e-15 <= available <= 0.003 + 1e-15
+            server.consume(consume, now)
+            assert server.available(now) >= -1e-15
+
+
+class TestParetoProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=1, max_value=100),
+                st.floats(min_value=0.0001, max_value=0.1),
+                st.floats(min_value=0, max_value=1),
+            ),
+            min_size=1, max_size=40,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_archive_is_mutually_non_dominated(self, points):
+        archive = ParetoArchive()
+        for i, (cost, latency, imbalance) in enumerate(points):
+            archive.offer(Candidate(
+                [i], Evaluation(True, cost, latency, imbalance, 0)
+            ))
+        members = archive.members
+        for a in members:
+            for b in members:
+                if a is not b:
+                    assert not a.evaluation.dominates(b.evaluation)
+
+
+class TestTypeSystemProperties:
+    @given(st.lists(
+        st.sampled_from(["uint8", "uint16", "uint32", "uint64", "float32"]),
+        min_size=1, max_size=12,
+    ))
+    @settings(max_examples=50, deadline=None)
+    def test_struct_size_is_sum_of_fields(self, field_types):
+        fields = tuple(
+            (f"f{i}", Primitive(t)) for i, t in enumerate(field_types)
+        )
+        struct = StructType("S", fields)
+        assert struct.byte_size() == sum(
+            Primitive(t).byte_size() for t in field_types
+        )
+
+    @given(
+        st.sampled_from(["uint8", "uint32", "float64"]),
+        st.integers(min_value=1, max_value=1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_array_size_scales_linearly(self, element, length):
+        assert (
+            ArrayType(Primitive(element), length).byte_size()
+            == Primitive(element).byte_size() * length
+        )
+
+
+class TestSynthesisProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from([0.005, 0.01, 0.02]),
+                st.floats(min_value=0.02, max_value=0.3),
+            ),
+            min_size=1, max_size=5,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_table_utilization_matches_task_set(self, raw):
+        tasks = [
+            TaskSpec(name=f"t{i}", period=p, wcet=round(p * u, 9))
+            for i, (p, u) in enumerate(raw)
+        ]
+        try:
+            table = synthesize_table(tasks)
+        except SchedulingError:
+            return
+        assert table.utilization == pytest.approx(
+            total_utilization(tasks), rel=1e-6
+        )
+
+
+class TestRngProperties:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_stream_independence(self, seed):
+        """Draws on one stream never perturb another stream's sequence."""
+        a = RngStreams(seed)
+        b = RngStreams(seed)
+        a.uniform("noise", 0, 1)
+        a.uniform("noise", 0, 1)
+        assert a.uniform("target", 0, 1) == b.uniform("target", 0, 1)

@@ -1,0 +1,111 @@
+"""Tests for deployment-aware security analysis (apps in the attack graph)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw import centralized_topology
+from repro.model import Deployment
+from repro.security import DeploymentSecurityAnalyzer, SecurityAnnotations
+from repro.workloads import reference_system
+
+
+def deployed_world():
+    model = reference_system(centralized_topology(n_platforms=2))
+    deployment = Deployment()
+    placements = {
+        "wheel_sensor_fusion": "platform_0",
+        "vehicle_state_estimator": "platform_0",
+        "brake_controller": "platform_0",
+        "suspension_control": "platform_0",
+        "front_camera": "platform_1",
+        "object_fusion": "platform_0",
+        "acc": "platform_1",
+        "diagnosis_service": "platform_1",
+        "media_server": "head_unit",
+        "navigation": "head_unit",
+    }
+    for app, ecu in placements.items():
+        deployment.place(app, ecu)
+    return model, deployment
+
+
+def annotations():
+    # infotainment software is soft; safety apps are hardened
+    return SecurityAnnotations(
+        exploitability={
+            "media_server": 0.5,
+            "navigation": 0.4,
+            "head_unit": 0.3,
+            "brake_controller": 0.02,
+            "platform_0": 0.05,
+            "platform_1": 0.05,
+        },
+        default_exploitability=0.1,
+    )
+
+
+class TestExtendedGraph:
+    def test_apps_are_analysable_assets(self):
+        model, deployment = deployed_world()
+        analyzer = DeploymentSecurityAnalyzer(model, deployment, annotations())
+        report = analyzer.analyse(["media_server"], "brake_controller")
+        assert 0.0 < report.compromise_probability < 1.0
+        assert report.most_likely_path is not None
+
+    def test_unplaced_app_not_in_graph(self):
+        model, deployment = deployed_world()
+        deployment.remove("navigation")
+        analyzer = DeploymentSecurityAnalyzer(model, deployment, annotations())
+        with pytest.raises(ConfigurationError):
+            analyzer.analyse(["navigation"], "brake_controller")
+
+    def test_hosting_edge_exists(self):
+        """Compromising an app exposes its host ECU and vice versa."""
+        model, deployment = deployed_world()
+        analyzer = DeploymentSecurityAnalyzer(model, deployment, annotations())
+        report = analyzer.analyse(["media_server"], "head_unit")
+        assert report.compromise_probability > 0.1
+
+    def test_binding_edges_follow_the_model(self):
+        """acc requires brake_request: the binding edge is in the graph."""
+        model, deployment = deployed_world()
+        analyzer = DeploymentSecurityAnalyzer(model, deployment, annotations())
+        direct = analyzer.analyse(["acc"], "brake_controller")
+        assert direct.most_likely_path is not None
+        # the most likely route is the logical binding, not the network
+        assert len(direct.most_likely_path.nodes) == 2
+
+
+class TestAclBenefit:
+    def test_acl_reduces_brake_exposure(self):
+        """The Section 4.2 payoff, quantified: without access control any
+        app binds to any service and the infotainment attacker gets a
+        direct logical route to the brakes."""
+        model, deployment = deployed_world()
+        analyzer = DeploymentSecurityAnalyzer(model, deployment, annotations())
+        with_acl, without_acl = analyzer.acl_benefit(
+            ["media_server"], "brake_controller"
+        )
+        assert with_acl < without_acl
+        # open bindings put the brakes one logical hop from infotainment:
+        # an order-of-magnitude exposure increase at least
+        assert without_acl > 10 * with_acl
+        assert without_acl > 0.01
+
+    def test_acl_noop_for_already_authorized_pairs(self):
+        """For an entry that is *modelled* as a brake client, the ACL does
+        not change its direct exposure path."""
+        model, deployment = deployed_world()
+        analyzer = DeploymentSecurityAnalyzer(model, deployment, annotations())
+        with_acl = DeploymentSecurityAnalyzer(
+            model, deployment, annotations(), enforce_acl=True
+        ).analyse(["acc"], "brake_controller")
+        assert with_acl.compromise_probability > 0.0
+
+    def test_hardening_app_reduces_exposure(self):
+        model, deployment = deployed_world()
+        analyzer = DeploymentSecurityAnalyzer(model, deployment, annotations())
+        before, after = analyzer.hardening_effect(
+            ["media_server"], "vehicle_state_estimator", "head_unit", 0.001
+        )
+        assert after < before

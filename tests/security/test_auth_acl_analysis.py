@@ -1,0 +1,208 @@
+"""Tests for auth broker, access control and probabilistic analysis."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SecurityError
+from repro.hw import BusSpec, EcuSpec, Topology, federated_topology
+from repro.middleware import ServiceRegistry, ServiceOffer
+from repro.security import (
+    AccessControlMatrix,
+    AuthBroker,
+    SecurityAnalyzer,
+    SecurityAnnotations,
+    TrustStore,
+    permissive_matrix,
+)
+from repro.sim import Simulator
+
+
+class TestAuthBroker:
+    def make(self):
+        sim = Simulator()
+        store = TrustStore()
+        store.generate_key("client_key")
+        broker = AuthBroker(sim, store, token_lifetime=10.0)
+        return sim, store, broker
+
+    def test_handshake_issues_token(self):
+        sim, store, broker = self.make()
+        got = []
+        broker.establish_session("appA", "client_key", 0x10).add_callback(got.append)
+        sim.run()
+        token = got[0]
+        assert token is not None
+        assert broker.validate(token, 0x10)
+        assert broker.active_sessions == 1
+
+    def test_handshake_takes_time(self):
+        sim, store, broker = self.make()
+        got = []
+        broker.establish_session("appA", "client_key", 0x10).add_callback(
+            lambda t: got.append(sim.now)
+        )
+        sim.run()
+        assert got[0] == pytest.approx(AuthBroker.HANDSHAKE_CPU_TIME)
+
+    def test_unknown_credential_denied(self):
+        sim, store, broker = self.make()
+        got = []
+        broker.establish_session("mal", "stolen", 0x10).add_callback(got.append)
+        sim.run()
+        assert got[0] is None
+        assert broker.denials == 1
+
+    def test_authorizer_consulted(self):
+        sim, store, broker = self.make()
+        broker.set_authorizer(lambda app, sid: sid == 0x20)
+        denied, granted = [], []
+        broker.establish_session("a", "client_key", 0x10).add_callback(denied.append)
+        broker.establish_session("a", "client_key", 0x20).add_callback(granted.append)
+        sim.run()
+        assert denied[0] is None and granted[0] is not None
+
+    def test_token_scoped_to_service(self):
+        sim, store, broker = self.make()
+        got = []
+        broker.establish_session("a", "client_key", 0x10).add_callback(got.append)
+        sim.run()
+        assert not broker.validate(got[0], 0x99)
+
+    def test_token_expiry(self):
+        sim, store, broker = self.make()
+        got = []
+        broker.establish_session("a", "client_key", 0x10).add_callback(got.append)
+        sim.run()
+        sim.run(until=sim.now + 11.0)
+        assert not broker.validate(got[0], 0x10)
+
+    def test_revoke_client_sessions(self):
+        sim, store, broker = self.make()
+        got = []
+        broker.establish_session("a", "client_key", 0x10).add_callback(got.append)
+        broker.establish_session("a", "client_key", 0x11).add_callback(got.append)
+        sim.run()
+        assert broker.revoke_client("a") == 2
+        assert not broker.validate(got[0], 0x10)
+
+
+class TestAccessControl:
+    def test_grant_and_deny(self):
+        acm = AccessControlMatrix()
+        acm.grant("logger", 0x10)
+        assert acm.allows("logger", 0x10)
+        acm.deny("logger", 0x10)
+        assert not acm.allows("logger", 0x10)
+        assert acm.denials == 1
+
+    def test_wildcard_holder(self):
+        acm = AccessControlMatrix()
+        acm.grant_wildcard("data_logger")
+        assert acm.allows("data_logger", 0xDEAD)
+        assert acm.wildcard_holders == ["data_logger"]
+        acm.revoke_wildcard("data_logger")
+        assert not acm.allows("data_logger", 0xDEAD)
+
+    def test_from_config_extraction(self):
+        from repro.hw import centralized_topology
+        from repro.model import generate_config
+        from repro.workloads import reference_system
+
+        model = reference_system(centralized_topology())
+        config = generate_config(model)
+        acm = AccessControlMatrix.from_config(config)
+        sid = config.service_id("vehicle_state")
+        # the owner and declared consumers may bind...
+        assert acm.allows("vehicle_state_estimator", sid)
+        assert acm.allows("acc", sid)
+        # ...an undeclared app may not (D4: model-derived least privilege)
+        assert not acm.allows("media_server", sid)
+
+    def test_install_on_registry(self):
+        acm = AccessControlMatrix()
+        acm.grant("good", 0x10)
+        registry = ServiceRegistry()
+        registry.offer(ServiceOffer(0x10, 1, "e", "provider"))
+        acm.install_on(registry)
+        assert registry.find(0x10, client_app="good").ecu == "e"
+        with pytest.raises(SecurityError):
+            registry.find(0x10, client_app="evil")
+
+    def test_permissive_matrix_allows_everything(self):
+        acm = permissive_matrix()
+        assert acm.allows("anyone", 0xBEEF)
+        assert acm.denials == 0
+
+    def test_as_authorizer_adapter(self):
+        acm = AccessControlMatrix()
+        acm.grant("a", 1)
+        authorizer = acm.as_authorizer()
+        assert authorizer("a", 1) and not authorizer("a", 2)
+
+
+class TestSecurityAnalyzer:
+    def topo(self):
+        return federated_topology(n_function_ecus=4)
+
+    def test_direct_asset_probability(self):
+        analyzer = SecurityAnalyzer(
+            self.topo(),
+            SecurityAnnotations(exploitability={"head_unit": 0.5}),
+        )
+        report = analyzer.analyse(["head_unit"], "head_unit")
+        assert report.compromise_probability == pytest.approx(0.5)
+
+    def test_deeper_assets_are_harder(self):
+        analyzer = SecurityAnalyzer(
+            self.topo(), SecurityAnnotations(default_exploitability=0.5)
+        )
+        shallow = analyzer.analyse(["head_unit"], "eth_info")
+        deep = analyzer.analyse(["head_unit"], "ecu_00")
+        assert deep.compromise_probability < shallow.compromise_probability
+
+    def test_unreachable_asset_zero(self):
+        topo = Topology()
+        topo.add_ecu(EcuSpec("island"))
+        topo.add_ecu(EcuSpec("entry"))
+        analyzer = SecurityAnalyzer(topo)
+        report = analyzer.analyse(["entry"], "island")
+        assert report.compromise_probability == 0.0
+        assert not report.exposed
+
+    def test_unknown_nodes_raise(self):
+        analyzer = SecurityAnalyzer(self.topo())
+        with pytest.raises(ConfigurationError):
+            analyzer.analyse(["ghost"], "head_unit")
+        with pytest.raises(ConfigurationError):
+            analyzer.analyse(["head_unit"], "ghost")
+
+    def test_rank_assets_orders_by_exposure(self):
+        analyzer = SecurityAnalyzer(
+            self.topo(), SecurityAnnotations(default_exploitability=0.4)
+        )
+        reports = analyzer.rank_assets(["head_unit"], ["ecu_00", "eth_info"])
+        assert reports[0].asset == "eth_info"
+
+    def test_hardening_reduces_exposure(self):
+        """Hardening the gateway must reduce the brake ECU's exposure —
+        the architecture-evaluation use case of [11]."""
+        analyzer = SecurityAnalyzer(
+            self.topo(), SecurityAnnotations(default_exploitability=0.5)
+        )
+        before, after = analyzer.hardening_effect(
+            ["head_unit"], "ecu_00", "gateway", 0.01
+        )
+        assert after < before
+
+    def test_invalid_probability_rejected(self):
+        annotations = SecurityAnnotations(exploitability={"x": 1.5})
+        with pytest.raises(ConfigurationError):
+            annotations.probability("x")
+
+    def test_most_likely_path_reported(self):
+        analyzer = SecurityAnalyzer(
+            self.topo(), SecurityAnnotations(default_exploitability=0.5)
+        )
+        report = analyzer.analyse(["head_unit"], "gateway")
+        assert report.most_likely_path is not None
+        assert report.most_likely_path.nodes[0] == "head_unit"
+        assert report.most_likely_path.nodes[-1] == "gateway"

@@ -1,0 +1,140 @@
+"""Tests for the trust store, package signing and verification."""
+
+import pytest
+
+from repro.errors import SecurityError
+from repro.hw import CryptoCapability, EcuSpec
+from repro.model import AppModel
+from repro.security import (
+    PackageVerifier,
+    TrustStore,
+    build_package,
+    digest,
+    forged_package,
+)
+from repro.sim import Simulator
+
+
+def app(name="app", image_kib=1024.0):
+    return AppModel(name=name, image_kib=image_kib)
+
+
+class TestTrustStore:
+    def test_sign_and_verify(self):
+        store = TrustStore()
+        store.generate_key("oem")
+        d = digest(b"content")
+        sig = store.sign("oem", d)
+        assert store.verify(sig, d)
+
+    def test_tampered_digest_fails(self):
+        store = TrustStore()
+        store.generate_key("oem")
+        sig = store.sign("oem", digest(b"content"))
+        assert not store.verify(sig, digest(b"evil"))
+
+    def test_unknown_key_fails_verification(self):
+        a, b = TrustStore(), TrustStore()
+        a.generate_key("oem")
+        sig = a.sign("oem", digest(b"x"))
+        assert not b.verify(sig, digest(b"x"))
+
+    def test_key_distribution(self):
+        a, b = TrustStore(), TrustStore()
+        a.generate_key("oem")
+        b.import_key("oem", a.export_key("oem"))
+        sig = a.sign("oem", digest(b"x"))
+        assert b.verify(sig, digest(b"x"))
+
+    def test_revoked_key_fails(self):
+        store = TrustStore()
+        store.generate_key("oem")
+        sig = store.sign("oem", digest(b"x"))
+        store.revoke("oem")
+        assert not store.verify(sig, digest(b"x"))
+        with pytest.raises(SecurityError):
+            store.sign("oem", digest(b"y"))
+
+    def test_duplicate_key_rejected(self):
+        store = TrustStore()
+        store.generate_key("oem")
+        with pytest.raises(SecurityError):
+            store.generate_key("oem")
+
+    def test_sign_with_unknown_key_raises(self):
+        with pytest.raises(SecurityError):
+            TrustStore().sign("ghost", digest(b"x"))
+
+    def test_export_unknown_key_raises(self):
+        with pytest.raises(SecurityError):
+            TrustStore().export_key("ghost")
+
+
+class TestPackages:
+    def make(self):
+        store = TrustStore()
+        store.generate_key("oem")
+        return store, build_package(app(), store, "oem")
+
+    def test_valid_package_verifies(self):
+        store, pkg = self.make()
+        sim = Simulator()
+        verifier = PackageVerifier(sim, EcuSpec("e"), store)
+        assert verifier.check_now(pkg)
+        assert verifier.verified == 1
+
+    def test_tampered_package_rejected(self):
+        store, pkg = self.make()
+        verifier = PackageVerifier(Simulator(), EcuSpec("e"), store)
+        assert not verifier.check_now(pkg.tampered())
+        assert verifier.rejected == 1
+
+    def test_unsigned_package_rejected(self):
+        store, pkg = self.make()
+        from dataclasses import replace
+        unsigned = replace(pkg, signature=None)
+        verifier = PackageVerifier(Simulator(), EcuSpec("e"), store)
+        assert not verifier.check_now(unsigned)
+
+    def test_forged_package_rejected(self):
+        store, _pkg = self.make()
+        verifier = PackageVerifier(Simulator(), EcuSpec("e"), store)
+        assert not verifier.check_now(forged_package(app()))
+
+    def test_resigned_after_tamper_verifies(self):
+        """A legitimately patched & re-signed package is fine."""
+        store, pkg = self.make()
+        patched = pkg.tampered().resigned_by(store, "oem")
+        verifier = PackageVerifier(Simulator(), EcuSpec("e"), store)
+        assert verifier.check_now(patched)
+
+    def test_async_verification_takes_crypto_time(self):
+        store, pkg = self.make()  # 1024 KiB image
+        sim = Simulator()
+        soft_ecu = EcuSpec("soft", crypto=CryptoCapability.SOFTWARE)
+        verifier = PackageVerifier(sim, soft_ecu, store)
+        expected = 1024 * 1024 / soft_ecu.crypto_rate
+        outcome = []
+        verifier.verify(pkg).add_callback(lambda ok: outcome.append((sim.now, ok)))
+        sim.run()
+        assert outcome[0][1] is True
+        assert outcome[0][0] == pytest.approx(expected)
+
+    def test_accelerated_ecu_verifies_much_faster(self):
+        store, pkg = self.make()
+        soft = PackageVerifier(
+            Simulator(), EcuSpec("s", crypto=CryptoCapability.SOFTWARE), store
+        )
+        accel = PackageVerifier(
+            Simulator(), EcuSpec("a", crypto=CryptoCapability.ACCELERATED), store
+        )
+        assert accel.verification_time(pkg) < soft.verification_time(pkg) / 10
+
+    def test_cryptoless_ecu_cannot_verify(self):
+        store, pkg = self.make()
+        verifier = PackageVerifier(
+            Simulator(), EcuSpec("weak", crypto=CryptoCapability.NONE), store
+        )
+        assert not verifier.can_verify
+        with pytest.raises(SecurityError):
+            verifier.verification_time(pkg)

@@ -1,0 +1,304 @@
+"""Tests for the discrete-event kernel (events, processes, signals)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import (
+    PRIORITY_URGENT,
+    EventQueue,
+    Interrupted,
+    Simulator,
+    Timeout,
+)
+
+
+class TestEventQueue:
+    def test_pop_orders_by_time(self):
+        q = EventQueue()
+        order = []
+        q.push(2.0, order.append, ("b",))
+        q.push(1.0, order.append, ("a",))
+        q.push(3.0, order.append, ("c",))
+        for _ in range(3):
+            call = q.pop()
+            call.callback(*call.args)
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_orders_by_priority_then_insertion(self):
+        q = EventQueue()
+        q.push(1.0, lambda: None, (), priority=100)
+        q.push(1.0, lambda: None, (), priority=10)
+        q.push(1.0, lambda: None, (), priority=100)
+        priorities = [q.pop().priority for _ in range(3)]
+        assert priorities == [10, 100, 100]
+
+    def test_cancelled_events_are_skipped(self):
+        q = EventQueue()
+        call = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        call.cancel()
+        assert q.pop().time == 2.0
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_peek_time_skips_cancelled(self):
+        q = EventQueue()
+        call = q.push(1.0, lambda: None)
+        q.push(5.0, lambda: None)
+        call.cancel()
+        assert q.peek_time() == 5.0
+
+    def test_peek_time_empty_is_none(self):
+        assert EventQueue().peek_time() is None
+
+
+class TestSchedule:
+    def test_schedule_advances_clock(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [1.5]
+        assert sim.now == 1.5
+
+    def test_at_absolute_time(self):
+        sim = Simulator()
+        seen = []
+        sim.at(4.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [4.0]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_at_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.at(1.0, lambda: None)
+
+    def test_run_until_stops_clock_exactly(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10.0, lambda: fired.append(True))
+        sim.run(until=3.0)
+        assert sim.now == 3.0
+        assert not fired
+        sim.run()
+        assert fired
+
+    def test_run_until_advances_clock_even_with_empty_queue(self):
+        sim = Simulator()
+        sim.run(until=7.0)
+        assert sim.now == 7.0
+
+    def test_cancelled_schedule_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        call = sim.schedule(1.0, lambda: fired.append(True))
+        call.cancel()
+        sim.run()
+        assert not fired
+
+    def test_events_at_same_time_fire_in_insertion_order(self):
+        sim = Simulator()
+        order = []
+        for tag in ("x", "y", "z"):
+            sim.schedule(1.0, order.append, tag)
+        sim.run()
+        assert order == ["x", "y", "z"]
+
+    def test_urgent_priority_fires_first(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, order.append, "normal")
+        sim.schedule(1.0, order.append, "urgent", priority=PRIORITY_URGENT)
+        sim.run()
+        assert order == ["urgent", "normal"]
+
+
+class TestProcess:
+    def test_process_timeout_sequence(self):
+        sim = Simulator()
+        times = []
+
+        def proc():
+            times.append(sim.now)
+            yield Timeout(1.0)
+            times.append(sim.now)
+            yield 2.5  # bare numbers work too
+            times.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert times == [0.0, 1.0, 3.5]
+
+    def test_process_return_value_in_result(self):
+        sim = Simulator()
+
+        def proc():
+            yield Timeout(1.0)
+            return 42
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.result == 42
+        assert not p.alive
+
+    def test_waiting_on_signal_receives_value(self):
+        sim = Simulator()
+        sig = sim.signal()
+        got = []
+
+        def waiter():
+            value = yield sig
+            got.append(value)
+
+        sim.process(waiter())
+        sim.schedule(2.0, sig.fire, "payload")
+        sim.run()
+        assert got == ["payload"]
+
+    def test_waiting_on_already_fired_signal_resumes(self):
+        sim = Simulator()
+        sig = sim.signal()
+        sig.fire("early")
+        got = []
+
+        def waiter():
+            value = yield sig
+            got.append((sim.now, value))
+
+        sim.process(waiter())
+        sim.run()
+        assert got == [(0.0, "early")]
+
+    def test_waiting_on_process_gets_its_result(self):
+        sim = Simulator()
+
+        def child():
+            yield Timeout(3.0)
+            return "done"
+
+        def parent():
+            result = yield sim.process(child())
+            return result
+
+        p = sim.process(parent())
+        sim.run()
+        assert p.result == "done"
+        assert sim.now == 3.0
+
+    def test_interrupt_raises_inside_process(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            try:
+                yield Timeout(10.0)
+            except Interrupted as exc:
+                log.append((sim.now, exc.cause))
+
+        p = sim.process(proc())
+        sim.schedule(2.0, p.interrupt, "reason")
+        sim.run()
+        assert log == [(2.0, "reason")]
+        assert sim.now == 2.0  # the 10s timeout never completed
+
+    def test_unhandled_interrupt_terminates_cleanly(self):
+        sim = Simulator()
+
+        def proc():
+            yield Timeout(10.0)
+
+        p = sim.process(proc())
+        sim.schedule(1.0, p.interrupt)
+        sim.run()
+        assert not p.alive
+        assert p.error is None
+
+    def test_interrupt_dead_process_is_noop(self):
+        sim = Simulator()
+
+        def proc():
+            yield Timeout(1.0)
+
+        p = sim.process(proc())
+        sim.run()
+        p.interrupt()
+        sim.run()
+        assert not p.alive
+
+    def test_crashing_process_surfaces_error(self):
+        sim = Simulator()
+
+        def proc():
+            yield Timeout(1.0)
+            raise ValueError("boom")
+
+        sim.process(proc())
+        with pytest.raises(SimulationError, match="crashed"):
+            sim.run()
+
+    def test_yielding_garbage_is_an_error(self):
+        sim = Simulator()
+
+        def proc():
+            yield "not a yieldable"
+
+        sim.process(proc())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_two_processes_interleave_deterministically(self):
+        sim = Simulator()
+        order = []
+
+        def ticker(tag, period):
+            while sim.now < 5.0:
+                order.append((sim.now, tag))
+                yield Timeout(period)
+
+        sim.process(ticker("a", 2.0))
+        sim.process(ticker("b", 3.0))
+        sim.run(until=10.0)
+        assert order == [
+            (0.0, "a"),
+            (0.0, "b"),
+            (2.0, "a"),
+            (3.0, "b"),
+            (4.0, "a"),
+        ]
+
+
+class TestSignal:
+    def test_double_fire_raises(self):
+        sim = Simulator()
+        sig = sim.signal("s")
+        sig.fire()
+        with pytest.raises(SimulationError):
+            sig.fire()
+
+    def test_callback_after_fire_runs(self):
+        sim = Simulator()
+        sig = sim.signal()
+        sig.fire(5)
+        seen = []
+        sig.add_callback(seen.append)
+        sim.run()
+        assert seen == [5]
+
+    def test_multiple_waiters_all_wake(self):
+        sim = Simulator()
+        sig = sim.signal()
+        seen = []
+        for i in range(3):
+            sig.add_callback(lambda v, i=i: seen.append(i))
+        sig.fire()
+        sim.run()
+        assert sorted(seen) == [0, 1, 2]

@@ -1,0 +1,178 @@
+"""Tests for Resource, Store and ThroughputServer."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Resource, Simulator, Store, ThroughputServer, Timeout
+
+
+class TestResource:
+    def test_immediate_grant_when_free(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        grant = res.request()
+        assert grant.fired
+        assert res.in_use == 1
+
+    def test_waiter_granted_on_release(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        res.request()
+        second = res.request()
+        assert not second.fired
+        res.release()
+        assert second.fired
+        assert res.in_use == 1
+
+    def test_priority_order_beats_fifo(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        res.request()
+        low = res.request(priority=10)
+        high = res.request(priority=1)
+        res.release()
+        assert high.fired and not low.fired
+
+    def test_fifo_among_equal_priority(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        res.request()
+        first = res.request(priority=5)
+        second = res.request(priority=5)
+        res.release()
+        assert first.fired and not second.fired
+
+    def test_capacity_two_grants_two(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=2)
+        a, b, c = res.request(), res.request(), res.request()
+        assert a.fired and b.fired and not c.fired
+
+    def test_release_idle_raises(self):
+        sim = Simulator()
+        res = Resource(sim)
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            Resource(Simulator(), capacity=0)
+
+    def test_queue_length(self):
+        sim = Simulator()
+        res = Resource(sim)
+        res.request()
+        res.request()
+        res.request()
+        assert res.queue_length == 2
+
+    def test_process_usage_pattern(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        log = []
+
+        def worker(tag, hold):
+            grant = res.request()
+            yield grant
+            log.append((sim.now, tag, "acquired"))
+            yield Timeout(hold)
+            res.release()
+
+        sim.process(worker("a", 2.0))
+        sim.process(worker("b", 1.0))
+        sim.run()
+        assert log == [(0.0, "a", "acquired"), (2.0, "b", "acquired")]
+
+
+class TestStore:
+    def test_put_then_get(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put("x")
+        sig = store.get()
+        assert sig.fired and sig.value == "x"
+
+    def test_get_then_put_wakes_getter(self):
+        sim = Simulator()
+        store = Store(sim)
+        sig = store.get()
+        assert not sig.fired
+        store.put("y")
+        assert sig.fired and sig.value == "y"
+
+    def test_fifo_ordering(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put(1)
+        store.put(2)
+        assert store.get().value == 1
+        assert store.get().value == 2
+
+    def test_getters_fifo(self):
+        sim = Simulator()
+        store = Store(sim)
+        g1, g2 = store.get(), store.get()
+        store.put("a")
+        assert g1.fired and not g2.fired
+
+    def test_len_and_peek(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2
+        assert store.peek_all() == [1, 2]
+        assert len(store) == 2  # peek does not consume
+
+
+class TestThroughputServer:
+    def test_single_job_duration(self):
+        sim = Simulator()
+        server = ThroughputServer(sim, rate=100.0)  # 100 units/s
+        done = server.submit(50.0)
+        sim.run()
+        assert done.fired
+        assert sim.now == pytest.approx(0.5)
+
+    def test_jobs_serialise(self):
+        sim = Simulator()
+        server = ThroughputServer(sim, rate=10.0)
+        times = []
+        for size in (10.0, 20.0):
+            server.submit(size).add_callback(lambda _v: times.append(sim.now))
+        sim.run()
+        assert times == [pytest.approx(1.0), pytest.approx(3.0)]
+
+    def test_overhead_added_per_job(self):
+        sim = Simulator()
+        server = ThroughputServer(sim, rate=10.0, overhead=0.5)
+        server.submit(10.0)
+        sim.run()
+        assert sim.now == pytest.approx(1.5)
+
+    def test_backlog_reporting(self):
+        sim = Simulator()
+        server = ThroughputServer(sim, rate=1.0)
+        server.submit(4.0)
+        assert server.backlog_seconds == pytest.approx(4.0)
+        sim.run()
+        assert server.backlog_seconds == 0.0
+        assert server.jobs_done == 1
+
+    def test_idle_gap_then_new_job(self):
+        sim = Simulator()
+        server = ThroughputServer(sim, rate=1.0)
+        server.submit(1.0)
+        sim.run()
+        sim.schedule(5.0, lambda: server.submit(2.0))
+        sim.run()
+        assert sim.now == pytest.approx(1.0 + 5.0 + 2.0)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(SimulationError):
+            ThroughputServer(Simulator(), rate=0.0)
+
+    def test_negative_size_rejected(self):
+        server = ThroughputServer(Simulator(), rate=1.0)
+        with pytest.raises(SimulationError):
+            server.submit(-1.0)

@@ -1,0 +1,82 @@
+"""Tests for tracer analysis helpers and the diagnosis RPC path."""
+
+import pytest
+
+from repro.sim import Tracer
+
+
+class TestTraceAnalysis:
+    def make(self):
+        tracer = Tracer()
+        tracer.record(0.0, "net.delivery", {"latency": 0.001})
+        tracer.record(0.5, "net.delivery", {"latency": 0.003})
+        tracer.record(1.0, "os.done", {"response": 0.002, "missed": False})
+        return tracer
+
+    def test_category_counts(self):
+        counts = self.make().category_counts()
+        assert counts == {"net.delivery": 2, "os.done": 1}
+
+    def test_field_stats(self):
+        stats = self.make().field_stats("net.delivery", "latency")
+        assert stats["count"] == 2
+        assert stats["min"] == pytest.approx(0.001)
+        assert stats["max"] == pytest.approx(0.003)
+        assert stats["mean"] == pytest.approx(0.002)
+
+    def test_field_stats_skips_non_numeric_and_bools(self):
+        tracer = Tracer()
+        tracer.record(0.0, "c", {"v": True})
+        tracer.record(0.0, "c", {"v": "text"})
+        tracer.record(0.0, "c", {"v": 2.0})
+        stats = tracer.field_stats("c", "v")
+        assert stats["count"] == 1
+
+    def test_field_stats_empty(self):
+        assert self.make().field_stats("missing", "x") == {}
+
+    def test_summary_lists_categories(self):
+        text = self.make().summary()
+        assert "net.delivery: 2" in text
+        assert "os.done: 1" in text
+
+    def test_empty_summary(self):
+        assert Tracer().summary() == "trace: empty"
+
+
+class TestDiagnosisOverRpc:
+    def test_tester_reads_and_clears_dtcs_remotely(self):
+        """A diagnostic tester queries the diagnosis service over RPC,
+        exactly as a workshop tester would."""
+        from repro.core import DIAGNOSIS_SERVICE_ID, DiagnosisService
+        from repro.hw import BusSpec, EcuSpec, Topology
+        from repro.middleware import Endpoint, RpcClient, ServiceRegistry
+        from repro.network import VehicleNetwork
+        from repro.sim import Simulator
+
+        topo = Topology()
+        topo.add_bus(BusSpec("eth", "ethernet", 100e6))
+        for name in ("vecu", "tester"):
+            topo.add_ecu(EcuSpec(name, ports=(("eth0", "ethernet"),)))
+            topo.attach(name, "eth0", "eth")
+        sim = Simulator()
+        net = VehicleNetwork(sim, topo)
+        registry = ServiceRegistry()
+        vecu_ep = Endpoint(sim, net, "vecu", registry)
+        tester_ep = Endpoint(sim, net, "tester", registry)
+
+        diagnosis = DiagnosisService(sim, endpoint=vecu_ep)
+        diagnosis.report("P0420")
+        diagnosis.report("U0101")
+
+        client = RpcClient(tester_ep, DIAGNOSIS_SERVICE_ID, client_app="tester")
+        codes = []
+        client.call(1).add_callback(lambda r: codes.append(r.payload))
+        sim.run()
+        assert codes[0] == ["P0420", "U0101"]
+
+        cleared = []
+        client.call(2).add_callback(lambda r: cleared.append(r.payload))
+        sim.run()
+        assert cleared[0] == 2
+        assert diagnosis.dtcs() == []

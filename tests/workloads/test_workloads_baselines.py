@@ -1,0 +1,145 @@
+"""Tests for workload generators and the static-platform baselines."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import (
+    FirmwareImageUpdater,
+    federated_deployment,
+    federated_topology_for,
+)
+from repro.errors import ConfigurationError
+from repro.model import Deployment, SystemModel, verify
+from repro.osal import Criticality, total_utilization
+from repro.sim import RngStreams, Simulator
+from repro.workloads import (
+    build_app_catalog,
+    synthetic_app,
+    synthetic_app_set,
+    synthetic_task_set,
+    uunifast,
+)
+
+
+class TestUUniFast:
+    @given(
+        st.integers(min_value=1, max_value=20),
+        st.floats(min_value=0.05, max_value=3.0),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_sums_to_target(self, n, total, seed):
+        utils = uunifast(RngStreams(seed), n, total)
+        assert len(utils) == n
+        assert sum(utils) == pytest.approx(total)
+        assert all(u >= 0 for u in utils)
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            uunifast(RngStreams(0), 0, 0.5)
+        with pytest.raises(ConfigurationError):
+            uunifast(RngStreams(0), 3, 0.0)
+
+    def test_reproducible(self):
+        assert uunifast(RngStreams(1), 5, 0.8) == uunifast(RngStreams(1), 5, 0.8)
+
+
+class TestTaskSetGeneration:
+    def test_total_utilization_hit(self):
+        tasks = synthetic_task_set(RngStreams(4), 8, 0.6)
+        assert total_utilization(tasks) == pytest.approx(0.6, rel=0.05)
+
+    def test_wcet_never_exceeds_period(self):
+        tasks = synthetic_task_set(RngStreams(5), 20, 2.5)
+        assert all(t.wcet <= t.period for t in tasks)
+
+    def test_constrained_deadlines(self):
+        tasks = synthetic_task_set(RngStreams(6), 5, 0.3, deadline_factor=0.8)
+        assert all(t.effective_deadline == pytest.approx(t.period * 0.8) for t in tasks)
+
+    def test_invalid_deadline_factor(self):
+        with pytest.raises(ConfigurationError):
+            synthetic_task_set(RngStreams(0), 3, 0.5, deadline_factor=0.0)
+
+    def test_criticality_assignment(self):
+        tasks = synthetic_task_set(
+            RngStreams(7), 4, 0.4, criticality=Criticality.NON_DETERMINISTIC
+        )
+        assert all(t.criticality is Criticality.NON_DETERMINISTIC for t in tasks)
+
+
+class TestAppGeneration:
+    def test_synthetic_app_shape(self):
+        app = synthetic_app(RngStreams(8), "appX", n_tasks=3, utilization=0.2)
+        assert len(app.tasks) == 3
+        assert app.utilization == pytest.approx(0.2, rel=0.05)
+        assert app.is_deterministic
+
+    def test_app_set_mix(self):
+        apps = synthetic_app_set(RngStreams(9), 10, det_fraction=0.4)
+        det = [a for a in apps if a.is_deterministic]
+        assert len(det) == 4
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ConfigurationError):
+            synthetic_app_set(RngStreams(0), 4, det_fraction=1.5)
+
+
+class TestCatalog:
+    def test_catalog_interfaces_match_apps(self):
+        interfaces, apps = build_app_catalog()
+        app_names = {a.name for a in apps}
+        for interface in interfaces:
+            assert interface.owner in app_names
+        provided = {name for a in apps for name in a.provides}
+        assert provided == {i.name for i in interfaces} - set()
+
+
+class TestFederatedBaseline:
+    def test_one_ecu_per_app(self):
+        _ifaces, apps = build_app_catalog()
+        topo, deployment = federated_deployment(apps)
+        assert len(deployment.used_ecus()) == len(apps)
+        for app in apps:
+            assert deployment.ecu_of(app.name) == f"ecu_{app.name}"
+
+    def test_federated_costs_more_than_centralized(self):
+        """F1's premise at the cost level."""
+        from repro.hw import centralized_topology
+
+        _ifaces, apps = build_app_catalog()
+        federated, _d = federated_deployment(apps)
+        central = centralized_topology(n_platforms=2)
+        assert federated.total_cost() > 0
+        assert len(central.ecus) < len(federated.ecus)
+
+    def test_topology_is_connected(self):
+        _ifaces, apps = build_app_catalog()
+        topo = federated_topology_for(apps)
+        assert topo.is_fully_connected()
+
+
+class TestFirmwareUpdater:
+    def test_flash_takes_realistic_time(self):
+        sim = Simulator()
+        updater = FirmwareImageUpdater(sim)
+        reports = []
+        updater.update("ecu_x", 2048).add_callback(reports.append)
+        sim.run()
+        report = reports[0]
+        # 2 MiB over a 30 KB/s diag link ~ 70 s, plus reboot
+        assert report.downtime > 60.0
+        assert report.requires_standstill
+
+    def test_downtime_scales_with_image(self):
+        sim = Simulator()
+        updater = FirmwareImageUpdater(sim)
+        small, big = [], []
+        updater.update("a", 512).add_callback(small.append)
+        updater.update("b", 8192).add_callback(big.append)
+        sim.run()
+        assert big[0].downtime > small[0].downtime * 4
+
+    def test_invalid_rate(self):
+        with pytest.raises(ConfigurationError):
+            FirmwareImageUpdater(Simulator(), flash_rate=0.0)

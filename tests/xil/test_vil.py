@@ -1,0 +1,33 @@
+"""Tests for the ViL (virtual-vehicle-in-the-loop) level."""
+
+import pytest
+
+from repro.xil import CruiseController, LongitudinalPlant, run_mil, run_vil
+
+
+class TestVil:
+    def test_loop_converges_over_the_network(self):
+        result = run_vil(CruiseController(25.0), duration=80.0)
+        assert result.loop.level == "ViL"
+        assert result.loop.steady_state_error() < 0.5
+        # the platform app never missed a control deadline
+        assert result.deterministic_misses == 0
+
+    def test_events_flow_every_period(self):
+        result = run_vil(CruiseController(20.0), duration=5.0)
+        # one sensor event per period, actuation keeps pace
+        assert result.sensor_events == pytest.approx(500, abs=3)
+        assert result.actuation_events >= result.sensor_events - 5
+
+    def test_vil_tracks_mil_reference(self):
+        """Network + scheduling latency perturbs but does not break the
+        loop: final speeds agree with the MiL reference within 1 m/s."""
+        mil = run_mil(CruiseController(25.0), LongitudinalPlant(), duration=60.0)
+        vil = run_vil(CruiseController(25.0), duration=60.0)
+        assert abs(mil.speeds[-1] - vil.loop.speeds[-1]) < 1.0
+
+    def test_vil_slower_than_mil_but_still_fast(self):
+        mil = run_mil(CruiseController(25.0), LongitudinalPlant(), duration=20.0)
+        vil = run_vil(CruiseController(25.0), duration=20.0)
+        assert vil.loop.realtime_factor < mil.realtime_factor
+        assert vil.loop.realtime_factor > 5.0

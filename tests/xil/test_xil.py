@@ -1,0 +1,207 @@
+"""Tests for the XiL framework: plants, controllers, MiL/SiL harness."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.xil import (
+    AccController,
+    AccScenario,
+    BuggyCruiseController,
+    CruiseController,
+    FaultInjector,
+    LeadVehicle,
+    LongitudinalPlant,
+    LoopAssertions,
+    XilTestCase,
+    XilTestSuite,
+    run_mil,
+    run_sil,
+)
+
+
+class TestPlant:
+    def test_accelerates_under_throttle(self):
+        plant = LongitudinalPlant()
+        for _ in range(100):
+            plant.step(1.0, 0.01)
+        assert plant.speed_mps > 1.0
+
+    def test_decelerates_under_brake(self):
+        plant = LongitudinalPlant(speed_mps=30.0)
+        for _ in range(100):
+            plant.step(-1.0, 0.01)
+        assert plant.speed_mps < 30.0
+
+    def test_speed_never_negative(self):
+        plant = LongitudinalPlant(speed_mps=0.5)
+        for _ in range(500):
+            plant.step(-1.0, 0.01)
+        assert plant.speed_mps == 0.0
+
+    def test_drag_limits_top_speed(self):
+        plant = LongitudinalPlant()
+        for _ in range(60000):
+            plant.step(1.0, 0.01)
+        v1 = plant.speed_mps
+        plant.step(1.0, 0.01)
+        assert plant.speed_mps == pytest.approx(v1, rel=1e-3)  # terminal velocity
+
+    def test_invalid_dt(self):
+        with pytest.raises(ConfigurationError):
+            LongitudinalPlant().step(1.0, 0.0)
+
+    def test_lead_vehicle_profile(self):
+        lead = LeadVehicle([(10.0, 20.0), (20.0, 10.0)], initial_gap_m=40.0)
+        assert lead.speed_at(5.0) == 20.0
+        assert lead.speed_at(15.0) == 10.0
+        assert lead.speed_at(99.0) == 10.0
+
+    def test_empty_profile_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LeadVehicle([])
+
+    def test_acc_scenario_detects_collision(self):
+        plant = LongitudinalPlant(speed_mps=30.0)
+        lead = LeadVehicle([(100.0, 0.0)], initial_gap_m=5.0)  # parked car
+        scenario = AccScenario(plant=plant, lead=lead)
+        for _ in range(200):
+            scenario.step(1.0, 0.01)  # full throttle into it
+        assert scenario.collided
+        assert scenario.min_gap_m <= 0.0
+
+
+class TestControllers:
+    def test_cruise_reaches_target(self):
+        controller = CruiseController(25.0)
+        plant = LongitudinalPlant()
+        result = run_mil(controller, plant, duration=120.0)
+        assert result.steady_state_error() < 0.5
+        assert result.settling_time() is not None
+
+    def test_anti_windup_limits_overshoot(self):
+        good = run_mil(CruiseController(25.0), LongitudinalPlant(), duration=120.0)
+        buggy = run_mil(
+            BuggyCruiseController(25.0, kind="windup"),
+            LongitudinalPlant(),
+            duration=120.0,
+        )
+        assert buggy.overshoot() > good.overshoot()
+
+    def test_sign_bug_diverges(self):
+        result = run_mil(
+            BuggyCruiseController(25.0, kind="sign"),
+            LongitudinalPlant(speed_mps=20.0),
+            duration=60.0,
+        )
+        assert result.steady_state_error() > 5.0
+
+    def test_unknown_bug_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BuggyCruiseController(25.0, kind="race")
+
+    def test_negative_target_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CruiseController(-1.0)
+
+    def test_state_snapshot_round_trip(self):
+        a = CruiseController(25.0)
+        plant = LongitudinalPlant()
+        run_mil(a, plant, duration=30.0)
+        b = CruiseController(25.0)
+        b.adopt_state(a.state_snapshot())
+        assert b.integral == a.integral
+
+    def test_acc_keeps_time_gap(self):
+        controller = AccController(set_speed_mps=30.0, time_gap_s=1.8)
+        plant = LongitudinalPlant(speed_mps=20.0)
+        lead = LeadVehicle([(300.0, 20.0)], initial_gap_m=60.0)
+        scenario = AccScenario(plant=plant, lead=lead)
+        dt = 0.01
+        for _ in range(30000):
+            u = controller.compute(plant.speed_mps, scenario.gap(), dt)
+            scenario.step(u, dt)
+        assert not scenario.collided
+        desired = controller.desired_gap(plant.speed_mps)
+        assert scenario.gap() == pytest.approx(desired, rel=0.25)
+
+    def test_acc_brakes_for_cut_in(self):
+        controller = AccController(set_speed_mps=30.0)
+        plant = LongitudinalPlant(speed_mps=30.0)
+        lead = LeadVehicle([(300.0, 15.0)], initial_gap_m=25.0)
+        scenario = AccScenario(plant=plant, lead=lead)
+        dt = 0.01
+        for _ in range(20000):
+            u = controller.compute(plant.speed_mps, scenario.gap(), dt)
+            scenario.step(u, dt)
+        assert not scenario.collided
+        assert plant.speed_mps == pytest.approx(15.0, abs=1.5)
+
+
+class TestHarness:
+    def test_mil_faster_than_realtime(self):
+        result = run_mil(CruiseController(25.0), LongitudinalPlant(), duration=60.0)
+        assert result.realtime_factor > 10.0  # the paper's speed argument
+
+    def test_sil_matches_mil_closely(self):
+        """With an unloaded core, SiL behaviour tracks MiL."""
+        mil = run_mil(CruiseController(25.0), LongitudinalPlant(), duration=80.0)
+        sil = run_sil(CruiseController(25.0), LongitudinalPlant(), duration=80.0)
+        assert sil.level == "SiL"
+        assert abs(mil.speeds[-1] - sil.speeds[-1]) < 1.0
+
+    def test_sensor_dropout_perturbs_loop(self):
+        faults = FaultInjector()
+        faults.sensor_dropout_window = (30.0, 40.0)
+        result = run_mil(
+            CruiseController(25.0), LongitudinalPlant(), duration=80.0,
+            faults=faults,
+        )
+        # during dropout the controller sees 0 and floors the throttle
+        speeds_during = [
+            s for t, s in zip(result.times, result.speeds) if 30.0 < t < 45.0
+        ]
+        assert max(speeds_during) > 26.0  # overspeed due to blind controller
+
+    def test_stuck_actuator_detected_by_assertions(self):
+        faults = FaultInjector()
+        faults.actuator_stuck_at = 0.0
+        result = run_mil(
+            CruiseController(25.0), LongitudinalPlant(), duration=30.0,
+            faults=faults,
+        )
+        failures = LoopAssertions(max_settling_time=30.0).check(result)
+        assert failures  # never reaches target
+
+
+class TestSuite:
+    def suite(self):
+        return XilTestSuite([
+            XilTestCase(
+                name="nominal_cruise",
+                build_controller=lambda: CruiseController(25.0),
+                duration=120.0,
+                assertions=LoopAssertions(max_settling_time=120.0),
+            ),
+            XilTestCase(
+                name="sign_bug",
+                build_controller=lambda: BuggyCruiseController(25.0, "sign"),
+                duration=60.0,
+                assertions=LoopAssertions(max_settling_time=60.0),
+            ),
+        ])
+
+    def test_suite_finds_the_buggy_controller(self):
+        suite = self.suite()
+        failures = suite.run()
+        assert failures == 1
+        report = suite.report()
+        assert "[PASS] nominal_cruise" in report
+        assert "[FAIL] sign_bug" in report
+
+    def test_unknown_level_rejected(self):
+        case = XilTestCase(
+            name="x", build_controller=lambda: CruiseController(10.0),
+            level="HiL",
+        )
+        with pytest.raises(ConfigurationError):
+            case.run()
