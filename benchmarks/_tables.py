@@ -35,3 +35,26 @@ def fmt_ratio(numerator: float, denominator: float) -> str:
     if denominator <= 0:
         return "inf"
     return f"{numerator / denominator:.1f}x"
+
+
+def print_obs_digest(sim, *, title: str = "observability digest", top: int = 10) -> None:
+    """Print the observability digest of a simulator (metrics + profile +
+    trace), using :mod:`repro.obs.report` so benchmark output and the
+    machine-readable JSON stay consistent."""
+    from repro.obs.report import render_for
+
+    print()
+    print(render_for(sim, title=title, top=top))
+    print()
+
+
+def write_obs_json(sim, path: str) -> dict:
+    """Dump a simulator's observability digest to ``path`` as JSON."""
+    from repro.obs.report import digest_for
+    import json
+
+    report = digest_for(sim)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True, default=str)
+        fh.write("\n")
+    return report

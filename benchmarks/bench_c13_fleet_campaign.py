@@ -40,7 +40,9 @@ def app_v(version, *, buggy=False):
 
 
 def run_campaign(buggy: bool):
-    sim = Simulator(tracer=Tracer())
+    # ring-buffer mode: fleet campaigns are the long-running workload, so
+    # bound the in-memory trace instead of growing it without limit
+    sim = Simulator(tracer=Tracer(max_entries=50_000))
     store = TrustStore()
     store.generate_key("oem")
     fleet = Fleet(sim, store, size=FLEET_SIZE)

@@ -11,8 +11,9 @@ from __future__ import annotations
 
 import pytest
 
-from _tables import print_table
+from _tables import print_obs_digest, print_table
 from repro.core import BackendLink, RuntimeMonitor
+from repro.obs import KernelProfiler, MetricsRegistry
 from repro.osal import Core, FixedPriorityPolicy, PeriodicSource, TaskSpec
 from repro.sim import RngStreams, Simulator, Tracer
 
@@ -21,7 +22,9 @@ DURATION = 2.0
 
 def run_scenario(kind: str):
     tracer = Tracer()
-    sim = Simulator(tracer=tracer)
+    sim = Simulator(
+        tracer=tracer, metrics=MetricsRegistry(), profiler=KernelProfiler()
+    )
     backend = BackendLink(sim, uplink_latency=0.2)
     monitor = RuntimeMonitor(sim, backend=backend, period_drift_tolerance=0.2)
     core = Core(sim, "c", 1.0, FixedPriorityPolicy())
@@ -51,6 +54,8 @@ def run_scenario(kind: str):
             jitter_draw=lambda: streams.stream("drift").random(),
         )
     sim.run(until=DURATION + 0.5)
+    if kind == "deadline":
+        print_obs_digest(sim, title="C7 observability digest (deadline scenario)")
     return {
         "deadline": len(monitor.faults_of_kind("deadline")),
         "jitter": len(monitor.faults_of_kind("jitter")),

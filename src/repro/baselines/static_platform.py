@@ -13,14 +13,13 @@ One function per ECU, whole-firmware-image updates at the dealership:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from ..errors import ConfigurationError
 from ..hw.catalog import domain_controller, infotainment_unit, legacy_ecu
 from ..hw.topology import BusSpec, Topology
 from ..model.applications import AppModel
 from ..model.deployment import Deployment
-from ..model.system import SystemModel
 from ..sim import Signal, Simulator
 
 #: Flash throughput over the diagnostic link (bytes/second) — a slow

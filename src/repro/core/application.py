@@ -15,7 +15,6 @@ from typing import Dict, List, Optional
 from ..errors import PlatformError
 from ..model.applications import AppModel
 from ..osal.core import Core, PeriodicSource
-from ..osal.task import Criticality
 from ..sim import Simulator
 
 

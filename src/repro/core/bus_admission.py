@@ -17,7 +17,6 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Tuple
 
-from ..errors import AdmissionError
 from ..model.deployment import Deployment
 from ..model.system import SystemModel
 from ..network.gateway import VehicleNetwork

@@ -16,15 +16,15 @@ crosses the threshold.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
 from ..errors import UpdateError
 from ..hw.ecu import CryptoCapability, OsClass
 from ..hw.topology import BusSpec, EcuSpec, Topology
 from ..model.applications import AppModel
 from ..security.crypto import TrustStore
-from ..security.package import SoftwarePackage, build_package
-from ..sim import Signal, Simulator, Tracer
+from ..security.package import build_package
+from ..sim import Simulator
 from .monitor import BackendLink, RuntimeMonitor
 from .platform import DynamicPlatform
 from .update import UpdateOrchestrator

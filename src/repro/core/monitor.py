@@ -16,7 +16,7 @@ support the safety certification processes".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..osal.task import TaskSpec
@@ -25,7 +25,13 @@ from ..sim import Simulator, TraceEntry
 
 @dataclass
 class TaskStats:
-    """Running statistics for one monitored task."""
+    """Running statistics for one monitored task.
+
+    Scalar aggregates live here; distribution statistics (response-time
+    and jitter quantiles) live in the simulator's metrics registry as
+    streaming histograms, referenced by :attr:`response_hist` and
+    :attr:`jitter_hist`.
+    """
 
     spec: TaskSpec
     releases: int = 0
@@ -36,6 +42,8 @@ class TaskStats:
     max_jitter: float = 0.0
     last_release: Optional[float] = None
     max_period_drift: float = 0.0
+    response_hist: Optional[object] = None
+    jitter_hist: Optional[object] = None
 
     @property
     def miss_ratio(self) -> float:
@@ -87,9 +95,14 @@ class RuntimeMonitor:
         self.backend = backend
         self.period_drift_tolerance = period_drift_tolerance
         self.core_prefix = core_prefix
+        self.metrics = sim.metrics
         self._watched: Dict[str, TaskStats] = {}
         self.faults: List[FaultRecord] = []
         self.trace_events_processed = 0
+        self._m_faults = {
+            kind: self.metrics.counter("monitor.faults", kind=kind)
+            for kind in ("deadline", "jitter", "period", "memory")
+        }
         sim.tracer.subscribe(self._on_trace)
 
     # -- configuration ---------------------------------------------------------
@@ -97,7 +110,15 @@ class RuntimeMonitor:
     def watch(self, task: TaskSpec) -> TaskStats:
         """Start monitoring a task (idempotent)."""
         if task.name not in self._watched:
-            self._watched[task.name] = TaskStats(spec=task)
+            self._watched[task.name] = TaskStats(
+                spec=task,
+                response_hist=self.metrics.histogram(
+                    "monitor.response", task=task.name
+                ),
+                jitter_hist=self.metrics.histogram(
+                    "monitor.jitter", task=task.name
+                ),
+            )
         return self._watched[task.name]
 
     def unwatch(self, task_name: str) -> None:
@@ -154,6 +175,10 @@ class RuntimeMonitor:
         jitter = entry["jitter"]
         stats.max_response = max(stats.max_response, response)
         stats.max_jitter = max(stats.max_jitter, jitter)
+        if stats.response_hist is not None:
+            stats.response_hist.observe(response)
+        if stats.jitter_hist is not None:
+            stats.jitter_hist.observe(jitter)
         if entry["missed"]:
             stats.deadline_misses += 1
             self._fault(
@@ -193,6 +218,12 @@ class RuntimeMonitor:
     def _fault(self, time: float, task: str, kind: str, detail: str) -> FaultRecord:
         record = FaultRecord(time=time, task=task, kind=kind, detail=detail)
         self.faults.append(record)
+        counter = self._m_faults.get(kind)
+        if counter is None:
+            counter = self._m_faults[kind] = self.metrics.counter(
+                "monitor.faults", kind=kind
+            )
+        counter.inc()
         if self.backend is not None:
             self.backend.ship(record)
         return record
@@ -201,15 +232,29 @@ class RuntimeMonitor:
         return [f for f in self.faults if f.kind == kind]
 
     def certification_report(self) -> Dict[str, Dict[str, float]]:
-        """Aggregate per-task evidence for safety certification."""
-        return {
-            name: {
+        """Aggregate per-task evidence for safety certification.
+
+        Quantile columns come straight from the streaming histograms in
+        the metrics registry (no trace rescans), so the report stays O(1)
+        in trace length.  They are zero when metrics were disabled.
+        """
+        report = {}
+        for name, stats in self._watched.items():
+            row = {
                 "releases": stats.releases,
                 "completions": stats.completions,
                 "miss_ratio": stats.miss_ratio,
                 "max_response": stats.max_response,
                 "max_jitter": stats.max_jitter,
                 "max_period_drift": stats.max_period_drift,
+                "response_p50": 0.0,
+                "response_p95": 0.0,
+                "response_p99": 0.0,
             }
-            for name, stats in self._watched.items()
-        }
+            hist = stats.response_hist
+            if hist is not None and hist.count:
+                row["response_p50"] = hist.quantile(0.50)
+                row["response_p95"] = hist.quantile(0.95)
+                row["response_p99"] = hist.quantile(0.99)
+            report[name] = row
+        return report

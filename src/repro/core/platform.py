@@ -29,7 +29,7 @@ from ..security.crypto import TrustStore
 from ..security.package import PackageVerifier, SoftwarePackage
 from ..security.update_master import UpdateMaster, UpdateMasterGroup
 from ..sim import Signal, Simulator
-from .admission import AdmissionController, AdmissionDecision
+from .admission import AdmissionController
 from .application import AppInstance, AppState
 from .node import PlatformNode
 

@@ -21,9 +21,8 @@ from typing import List, Optional, Tuple
 from ..errors import AdmissionError, PlatformError, UpdateError
 from ..middleware.registry import ServiceOffer
 from ..osal.analysis import scaled_utilization
-from ..osal.task import Criticality
 from ..sim import Signal, Simulator
-from .application import AppInstance, AppState
+from .application import AppState
 from .platform import DynamicPlatform
 from .update import REDIRECT_LATENCY, STATE_SYNC_RATE
 

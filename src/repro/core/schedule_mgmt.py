@@ -73,7 +73,6 @@ def validate_by_simulation(
     This is the backend's "test this schedule in simulations ... against
     the current configuration" step — a digital twin of the target ECU.
     """
-    from ..osal.core import PeriodicSource
 
     twin = Simulator()
     executive = TimeTriggeredExecutive(twin, "twin", table)

@@ -24,7 +24,7 @@ proceeding (the paper's distributed update paths).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from ..errors import UpdateError

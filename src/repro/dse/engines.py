@@ -10,11 +10,10 @@ from __future__ import annotations
 
 import itertools
 import math
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional
 
 from ..errors import ConfigurationError
-from ..model.deployment import Deployment
 from ..sim.rng import RngStreams
 from .problem import Evaluation, MappingProblem
 

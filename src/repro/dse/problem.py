@@ -13,7 +13,7 @@ feasibility (via the verification engine) and the objective vector
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import ConfigurationError

@@ -10,7 +10,7 @@ by the verification engine, the DSE and the simulation builders.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List
 
 import networkx as nx
 

@@ -11,18 +11,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
-from ..errors import ConfigurationError, NetworkError
 from ..network import TrafficClass, VehicleNetwork
 from ..sim import Signal, Simulator
-from .registry import ServiceOffer, ServiceRegistry
-from .wire import (
-    HEADER_BYTES,
-    Message,
-    MessageType,
-    ReturnCode,
-    segment_payload_for,
-    segments_needed,
-)
+from .registry import ServiceRegistry
+from .wire import Message, MessageType, segment_payload_for, segments_needed
 
 #: Handler signature for incoming messages.
 MessageHandler = Callable[[Message], None]
@@ -73,6 +65,27 @@ class Endpoint:
         self.messages_sent = 0
         self.messages_received = 0
         self.detached = False
+        # cached per-paradigm delivery-latency histograms (send accept to
+        # full reassembly at the destination); no-ops while metrics are off
+        metrics = sim.metrics
+        self._m_received = metrics.counter("mw.messages", ecu=ecu_name)
+        self._m_latency = {
+            MessageType.NOTIFICATION: metrics.histogram(
+                "mw.delivery_latency", ecu=ecu_name, paradigm="event"
+            ),
+            MessageType.REQUEST: metrics.histogram(
+                "mw.delivery_latency", ecu=ecu_name, paradigm="message"
+            ),
+            MessageType.RESPONSE: metrics.histogram(
+                "mw.delivery_latency", ecu=ecu_name, paradigm="message"
+            ),
+            MessageType.STREAM_SAMPLE: metrics.histogram(
+                "mw.delivery_latency", ecu=ecu_name, paradigm="stream"
+            ),
+        }
+        self._m_latency_other = metrics.histogram(
+            "mw.delivery_latency", ecu=ecu_name, paradigm="control"
+        )
         network.register_receiver(ecu_name, self._on_frame)
 
     # -- handler registration ---------------------------------------------------
@@ -112,6 +125,8 @@ class Endpoint:
         """
         done = self.sim.signal(name=f"mw.{message.src}->{message.dst}")
         self.messages_sent += 1
+        if message.sent_at is None:
+            message.sent_at = self.sim.now
         if message.dst == self.ecu_name:
             self.sim.schedule(0.0, self._deliver_local, message, done)
             return done
@@ -180,6 +195,11 @@ class Endpoint:
                 done.fire(message)
 
     def _dispatch(self, message: Message) -> None:
+        self._m_received.inc()
+        if message.sent_at is not None:
+            self._m_latency.get(message.msg_type, self._m_latency_other).observe(
+                self.sim.now - message.sent_at
+            )
         self.sim.trace(
             "mw.delivery",
             ecu=self.ecu_name,
@@ -244,4 +264,6 @@ class Endpoint:
         self, src_ecu: str, message: Message, qos: QoS, done: Signal
     ) -> None:
         """Send a message on behalf of another ECU (SD reply modelling)."""
+        if message.sent_at is None:
+            message.sent_at = self.sim.now
         self._transmit(src_ecu, message, qos, done)

@@ -11,13 +11,12 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from ..errors import ConfigurationError, NetworkError
 from ..sim import Signal
 from .endpoint import Endpoint, QOS_DEFAULT, QoS
-from .registry import ServiceOffer, ServiceRegistry
+from .registry import ServiceOffer
 from .wire import Message, MessageType, ReturnCode
 
 

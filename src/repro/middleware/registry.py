@@ -10,8 +10,8 @@ authenticated and that communication is authorized".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import ConfigurationError, SecurityError
 

@@ -82,6 +82,9 @@ class Message:
     return_code: ReturnCode = ReturnCode.OK
     sequence: Optional[int] = None  # stream sample ordering
     sender_app: str = ""
+    #: simulated time the endpoint accepted the message for transmission
+    #: (stamped by :meth:`repro.middleware.endpoint.Endpoint.send`)
+    sent_at: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.payload_bytes < 0:

@@ -9,9 +9,9 @@ and security layer reason over.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import IntEnum
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from ..errors import ModelError
 from ..osal.task import Criticality, TaskSpec

@@ -15,7 +15,7 @@ Outputs:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Set
 
 from ..errors import ModelError
 from ..middleware.endpoint import QOS_BULK, QOS_CONTROL, QOS_DEFAULT, QoS

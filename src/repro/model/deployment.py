@@ -13,7 +13,7 @@ concrete deployment for exhaustive pre-verification.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..errors import ModelError

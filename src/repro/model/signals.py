@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from ..errors import ModelError
 from .interfaces import InterfaceDef, InterfaceKind, InterfaceRequirements
-from .types import Primitive, TypeRegistry
+from .types import TypeRegistry
 
 
 @dataclass(frozen=True)

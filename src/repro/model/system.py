@@ -8,13 +8,12 @@ dynamic platform all consume.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ..errors import ModelError
 from ..hw.topology import Topology
 from .applications import AppModel, check_asil_dependencies
-from .interfaces import InterfaceDef, InterfaceKind
+from .interfaces import InterfaceDef
 
 
 class SystemModel:

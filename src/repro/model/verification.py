@@ -25,10 +25,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from ..errors import VerificationError
-from ..hw.ecu import EcuSpec
 from ..middleware.wire import HEADER_BYTES, segment_payload_for, segments_needed
 from ..network.can import can_frame_bits
 from ..network.ethernet import ethernet_wire_bytes

@@ -42,6 +42,11 @@ class BusModel:
         #: accumulated seconds the medium spent transmitting (wire
         #: occupancy; the basis for observed-utilization measurements)
         self.transmit_time = 0.0
+        # cached per-bus instruments; no-ops while metrics are disabled
+        metrics = sim.metrics
+        self._m_frames = metrics.counter("net.frames", bus=name)
+        self._m_bytes = metrics.counter("net.bytes", bus=name)
+        self._m_latency = metrics.histogram("net.latency", bus=name)
 
     def record_transmission(self, seconds: float) -> None:
         """Account wire occupancy for a completed transmission."""
@@ -74,6 +79,9 @@ class BusModel:
         frame.delivered_at = self.sim.now
         self.frames_delivered += 1
         self.bytes_delivered += frame.payload_bytes
+        self._m_frames.inc()
+        self._m_bytes.inc(frame.payload_bytes)
+        self._m_latency.observe(frame.latency)
         self.sim.trace(
             "net.delivery",
             bus=self.name,

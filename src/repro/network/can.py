@@ -19,7 +19,7 @@ identifier frame.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from ..errors import NetworkError
 from ..sim import Signal, Simulator

@@ -16,7 +16,7 @@ from ..errors import ConfigurationError, NetworkError
 from ..sim import Signal, Simulator
 from ..hw.topology import BusSpec, Topology
 from .base import BusModel, Listener
-from .can import CAN_MAX_PAYLOAD, CanBus
+from .can import CanBus
 from .ethernet import EthernetBus
 from .flexray import FlexRayBus
 from .frame import Frame, TrafficClass

@@ -19,7 +19,7 @@ A frame may only start transmission if
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, List, Optional, Sequence, Tuple
+from typing import FrozenSet, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError
 from ..sim import Signal, Simulator

@@ -1,0 +1,31 @@
+"""Observability: metrics, kernel profiling and reporting.
+
+The measurement substrate for the dynamic platform (Section 3.4 of the
+paper: runtime monitoring feeding adaptation decisions).  Three parts:
+
+* :mod:`repro.obs.metrics` — counters, gauges and streaming histograms
+  in a :class:`MetricsRegistry`, near-free when disabled;
+* :mod:`repro.obs.profiler` — :class:`KernelProfiler` attributing
+  wall-clock time and event counts per callback / process / category;
+* :mod:`repro.obs.report` — text digest and machine-readable JSON over
+  any combination of registry, profiler and tracer.
+"""
+
+from .metrics import Counter, Gauge, Histogram, Instrument, MetricsRegistry
+from .profiler import KernelProfiler, ProfileRecord
+from .report import digest, digest_for, render_for, render_text, write_json
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Instrument",
+    "KernelProfiler",
+    "MetricsRegistry",
+    "ProfileRecord",
+    "digest",
+    "digest_for",
+    "render_for",
+    "render_text",
+    "write_json",
+]

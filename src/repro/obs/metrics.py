@@ -1,0 +1,288 @@
+"""Counters, gauges and streaming histograms.
+
+The registry is the platform-level telemetry substrate demanded by the
+paper's runtime-monitoring story (Section 3.4): every layer of the stack
+publishes its health through named instruments instead of ad-hoc state.
+
+Design rules:
+
+* **Instruments are cached handles.**  ``registry.counter("net.frames",
+  bus="can0")`` is called once at construction time; the hot path only
+  calls ``inc()`` / ``observe()`` on the returned object.
+* **Disabling is near-free.**  Every instrument carries its own
+  ``_enabled`` flag (kept in sync by the registry), so a disabled
+  ``inc()`` is a single attribute test and allocates nothing.
+* **Histograms are streaming.**  Quantiles (p50/p95/p99) come from
+  log-spaced buckets with a bounded relative error — no per-sample
+  storage, so fleet-scale campaigns cannot grow memory without limit.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+#: Label set normalised to a hashable, order-independent key component.
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _format_name(name: str, labels: LabelKey) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Instrument:
+    """Base of all metric instruments."""
+
+    kind = "instrument"
+    __slots__ = ("name", "labels", "_enabled")
+
+    def __init__(self, name: str, labels: LabelKey, enabled: bool) -> None:
+        self.name = name
+        self.labels = labels
+        self._enabled = enabled
+
+    @property
+    def full_name(self) -> str:
+        return _format_name(self.name, self.labels)
+
+    def snapshot(self) -> Dict[str, Any]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<{type(self).__name__} {self.full_name}>"
+
+
+class Counter(Instrument):
+    """Monotonically increasing count."""
+
+    kind = "counter"
+    __slots__ = ("value",)
+
+    def __init__(self, name: str, labels: LabelKey, enabled: bool) -> None:
+        super().__init__(name, labels, enabled)
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if not self._enabled:
+            return
+        self.value += amount
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"value": self.value}
+
+
+class Gauge(Instrument):
+    """A value that can go up and down (queue depth, utilisation, ...)."""
+
+    kind = "gauge"
+    __slots__ = ("value",)
+
+    def __init__(self, name: str, labels: LabelKey, enabled: bool) -> None:
+        super().__init__(name, labels, enabled)
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        if not self._enabled:
+            return
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        if not self._enabled:
+            return
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        if not self._enabled:
+            return
+        self.value -= amount
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"value": self.value}
+
+
+class Histogram(Instrument):
+    """Streaming histogram with log-spaced buckets.
+
+    ``observe(v)`` maps positive values onto bucket ``ceil(log_g(v))``
+    where ``g`` is the per-bucket growth factor, so quantile estimates
+    carry a relative error of at most ``growth - 1`` (10% by default)
+    while memory stays proportional to the dynamic range, not the sample
+    count.  Non-positive values land in a dedicated zero bucket.
+    """
+
+    kind = "histogram"
+    __slots__ = ("count", "sum", "min", "max", "growth", "_log_growth",
+                 "_buckets", "_zero_count")
+
+    def __init__(
+        self, name: str, labels: LabelKey, enabled: bool, growth: float = 1.1
+    ) -> None:
+        super().__init__(name, labels, enabled)
+        if growth <= 1.0:
+            raise ValueError(f"histogram growth must exceed 1.0, got {growth}")
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.growth = growth
+        self._log_growth = math.log(growth)
+        self._buckets: Dict[int, int] = {}
+        self._zero_count = 0
+
+    def observe(self, value: float) -> None:
+        if not self._enabled:
+            return
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if value <= 0.0:
+            self._zero_count += 1
+            return
+        index = math.ceil(math.log(value) / self._log_growth)
+        self._buckets[index] = self._buckets.get(index, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated value at quantile ``q`` in [0, 1]."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be within [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        seen = float(self._zero_count)
+        if seen >= target:
+            return max(self.min, 0.0) if self.min is not math.inf else 0.0
+        for index in sorted(self._buckets):
+            seen += self._buckets[index]
+            if seen >= target:
+                # upper edge of the bucket, clamped to the observed range
+                return min(self.growth ** index, self.max)
+        return self.max
+
+    def snapshot(self) -> Dict[str, Any]:
+        if self.count == 0:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                    "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """Creates and owns instruments, keyed by ``(name, labels)``.
+
+    Asking twice for the same instrument returns the same object, so
+    layers that label by a shared dimension (e.g. two RPC message types
+    mapping to the ``message`` paradigm) transparently aggregate.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self._enabled = enabled
+        self._instruments: Dict[Tuple[str, str, LabelKey], Instrument] = {}
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self) -> None:
+        """Turn collection on for every existing and future instrument."""
+        self._enabled = True
+        for instrument in self._instruments.values():
+            instrument._enabled = True
+
+    def disable(self) -> None:
+        """Stop collection; cached handles become near-free no-ops."""
+        self._enabled = False
+        for instrument in self._instruments.values():
+            instrument._enabled = False
+
+    # -- instrument factories -------------------------------------------
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get_or_create("counter", Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get_or_create("gauge", Gauge, name, labels)
+
+    def histogram(
+        self, name: str, *, growth: float = 1.1, **labels: Any
+    ) -> Histogram:
+        key = ("histogram", name, _label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = Histogram(name, key[2], self._enabled, growth=growth)
+            self._instruments[key] = instrument
+        return instrument  # type: ignore[return-value]
+
+    def _get_or_create(self, kind, cls, name: str, labels: Dict[str, Any]):
+        key = (kind, name, _label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = cls(name, key[2], self._enabled)
+            self._instruments[key] = instrument
+        return instrument
+
+    # -- inspection ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __iter__(self) -> Iterator[Instrument]:
+        return iter(self._instruments.values())
+
+    def instruments(self, kind: Optional[str] = None) -> List[Instrument]:
+        """All instruments, optionally filtered by kind, sorted by name."""
+        out = [
+            i for i in self._instruments.values()
+            if kind is None or i.kind == kind
+        ]
+        out.sort(key=lambda i: i.full_name)
+        return out
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Machine-readable state: ``{kind: {full_name: values}}``."""
+        out: Dict[str, Dict[str, Any]] = {}
+        for instrument in self.instruments():
+            out.setdefault(instrument.kind, {})[instrument.full_name] = (
+                instrument.snapshot()
+            )
+        return out
+
+    def render(self) -> str:
+        """Human-readable digest, one instrument per line."""
+        lines = []
+        for counter in self.instruments("counter"):
+            lines.append(f"counter   {counter.full_name} = {counter.value:g}")
+        for gauge in self.instruments("gauge"):
+            lines.append(f"gauge     {gauge.full_name} = {gauge.value:g}")
+        for hist in self.instruments("histogram"):
+            snap = hist.snapshot()
+            lines.append(
+                f"histogram {hist.full_name}: n={snap['count']} "
+                f"mean={snap['mean']:.6g} p50={snap['p50']:.6g} "
+                f"p95={snap['p95']:.6g} p99={snap['p99']:.6g} "
+                f"max={snap['max']:.6g}"
+            )
+        return "\n".join(lines) if lines else "metrics: empty"

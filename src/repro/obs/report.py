@@ -1,0 +1,102 @@
+"""Observability reports: one text digest, one machine-readable JSON.
+
+Benchmarks (via ``benchmarks/_tables.py``) and the XiL harness use this
+module to render a uniform end-of-run health summary from whatever
+observability parts a simulation carried: a
+:class:`~repro.obs.metrics.MetricsRegistry`, a
+:class:`~repro.obs.profiler.KernelProfiler` and/or a
+:class:`~repro.sim.trace.Tracer`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+
+def digest(
+    metrics: Optional[Any] = None,
+    profiler: Optional[Any] = None,
+    tracer: Optional[Any] = None,
+) -> Dict[str, Any]:
+    """Machine-readable report combining the supplied observability parts.
+
+    Parts are duck-typed (``snapshot()`` on registry/profiler, the public
+    ``Tracer`` API) so callers can pass any subset, including none.
+    """
+    out: Dict[str, Any] = {}
+    if metrics is not None:
+        out["metrics"] = metrics.snapshot()
+    if profiler is not None:
+        out["profile"] = profiler.snapshot()
+    if tracer is not None:
+        out["trace"] = {
+            "entries": len(tracer),
+            "evicted": getattr(tracer, "evicted_count", 0),
+            "categories": tracer.category_counts(),
+        }
+    return out
+
+
+def digest_for(sim: Any) -> Dict[str, Any]:
+    """Machine-readable report for a simulator's attached observability."""
+    metrics = getattr(sim, "metrics", None)
+    if metrics is not None and not metrics.enabled:
+        metrics = None  # collection was off: nothing meaningful to report
+    return digest(
+        metrics=metrics,
+        profiler=getattr(sim, "profiler", None),
+        tracer=getattr(sim, "tracer", None),
+    )
+
+
+def render_text(
+    metrics: Optional[Any] = None,
+    profiler: Optional[Any] = None,
+    tracer: Optional[Any] = None,
+    *,
+    title: str = "observability digest",
+    top: int = 20,
+) -> str:
+    """Human-readable report combining the supplied observability parts."""
+    sections = [f"--- {title} ---"]
+    if metrics is not None:
+        sections.append(metrics.render())
+    if profiler is not None:
+        sections.append(profiler.render(top=top))
+    if tracer is not None:
+        sections.append(tracer.summary())
+        evicted = getattr(tracer, "evicted_count", 0)
+        if evicted:
+            sections.append(f"  (ring buffer evicted {evicted} older entries)")
+    if len(sections) == 1:
+        sections.append("(no observability attached)")
+    return "\n".join(sections)
+
+
+def render_for(sim: Any, *, title: str = "observability digest", top: int = 20) -> str:
+    """Human-readable report for a simulator's attached observability."""
+    metrics = getattr(sim, "metrics", None)
+    if metrics is not None and not metrics.enabled:
+        metrics = None  # collection was off: nothing meaningful to report
+    return render_text(
+        metrics=metrics,
+        profiler=getattr(sim, "profiler", None),
+        tracer=getattr(sim, "tracer", None),
+        title=title,
+        top=top,
+    )
+
+
+def write_json(
+    path: str,
+    metrics: Optional[Any] = None,
+    profiler: Optional[Any] = None,
+    tracer: Optional[Any] = None,
+) -> Dict[str, Any]:
+    """Write the machine-readable digest to ``path`` and return it."""
+    report = digest(metrics=metrics, profiler=profiler, tracer=tracer)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True, default=str)
+        fh.write("\n")
+    return report

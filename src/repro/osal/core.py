@@ -16,7 +16,7 @@ from typing import Callable, List, Optional
 
 from ..errors import SchedulingError
 from ..sim import ScheduledCall, Simulator
-from .task import Criticality, Job, TaskSpec
+from .task import Job, TaskSpec
 
 
 class SchedulingPolicy:
@@ -72,6 +72,12 @@ class Core:
         self._completion_listeners: List[Callable[[Job], None]] = []
         self.halted = False
         self._parked_until: Optional[float] = None
+        # cached per-core instruments; no-ops while metrics are disabled
+        metrics = sim.metrics
+        self._m_releases = metrics.counter("os.releases", core=name)
+        self._m_misses = metrics.counter("os.deadline_misses", core=name)
+        self._m_preemptions = metrics.counter("os.preemptions", core=name)
+        self._m_response = metrics.histogram("os.response", core=name)
 
     # -- public API ----------------------------------------------------------
 
@@ -80,6 +86,7 @@ class Core:
         if self.halted:
             return
         self.ready.append(job)
+        self._m_releases.inc()
         self.sim.trace(
             "os.release",
             core=self.name,
@@ -195,6 +202,7 @@ class Core:
             # never actually executed, so it has not "started" yet
             job.start_time = None
         job.preemptions += 1
+        self._m_preemptions.inc()
         self.ready.append(job)
         self.current = None
         self.sim.trace(
@@ -257,6 +265,9 @@ class Core:
     def _finish_job(self, job: Job) -> None:
         job.finish_time = self.sim.now
         self.completed_jobs.append(job)
+        self._m_response.observe(job.response_time)
+        if job.missed_deadline:
+            self._m_misses.inc()
         self.sim.trace(
             "os.done",
             core=self.name,

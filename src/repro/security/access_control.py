@@ -16,7 +16,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set
 
-from ..errors import SecurityError
 from ..middleware.registry import ServiceRegistry
 from ..model.codegen import MiddlewareConfig
 

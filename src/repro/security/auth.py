@@ -12,11 +12,10 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, Optional, Set, Tuple
+from typing import Dict
 
-from ..errors import SecurityError
 from ..sim import Signal, Simulator
-from .crypto import TrustStore, digest
+from .crypto import TrustStore
 
 _token_counter = itertools.count(1)
 

@@ -20,7 +20,7 @@ import hashlib
 import hmac
 import os
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 from ..errors import SecurityError
 

@@ -10,7 +10,7 @@ update master (see :mod:`repro.security.update_master`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from ..errors import SecurityError

@@ -14,11 +14,11 @@ forwards the image to the weak target over the network.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from ..errors import SecurityError
 from ..hw.ecu import EcuSpec
-from ..middleware.endpoint import QOS_BULK, Endpoint, QoS
+from ..middleware.endpoint import QOS_BULK, Endpoint
 from ..middleware.wire import Message, MessageType
 from ..sim import Signal, Simulator
 from .crypto import TrustStore

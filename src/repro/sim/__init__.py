@@ -9,7 +9,7 @@ from .events import PRIORITY_LATE, PRIORITY_NORMAL, PRIORITY_URGENT, EventQueue,
 from .kernel import Interrupted, Process, Signal, Simulator, Timeout
 from .resources import Resource, Store, ThroughputServer
 from .rng import RngStreams
-from .trace import TraceEntry, Tracer
+from .trace import TraceEntry, Tracer, read_jsonl
 
 __all__ = [
     "EventQueue",
@@ -28,4 +28,5 @@ __all__ = [
     "Timeout",
     "TraceEntry",
     "Tracer",
+    "read_jsonl",
 ]

@@ -33,7 +33,7 @@ class ScheduledCall:
     and may be cancelled before they fire via :meth:`cancel`.
     """
 
-    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled", "_queue")
 
     def __init__(
         self,
@@ -42,6 +42,7 @@ class ScheduledCall:
         seq: int,
         callback: Callable[..., Any],
         args: tuple,
+        queue: Optional["EventQueue"] = None,
     ) -> None:
         self.time = time
         self.priority = priority
@@ -49,10 +50,15 @@ class ScheduledCall:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._queue = queue
 
     def cancel(self) -> None:
         """Prevent this call from firing.  Safe to call more than once."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._queue is not None:
+            self._queue._note_cancelled()
 
     def __lt__(self, other: "ScheduledCall") -> bool:
         return (self.time, self.priority, self.seq) < (
@@ -72,9 +78,15 @@ class EventQueue:
     def __init__(self) -> None:
         self._heap: List[ScheduledCall] = []
         self._counter = itertools.count()
+        #: cancelled calls still sitting in the heap awaiting lazy removal
+        self._cancelled_in_heap = 0
 
     def __len__(self) -> int:
-        return len(self._heap)
+        """Number of *live* (non-cancelled) pending calls."""
+        return len(self._heap) - self._cancelled_in_heap
+
+    def _note_cancelled(self) -> None:
+        self._cancelled_in_heap += 1
 
     def push(
         self,
@@ -84,7 +96,7 @@ class EventQueue:
         priority: int = PRIORITY_NORMAL,
     ) -> ScheduledCall:
         """Insert a call at ``time`` and return a cancellable handle."""
-        call = ScheduledCall(time, priority, next(self._counter), callback, args)
+        call = ScheduledCall(time, priority, next(self._counter), callback, args, self)
         heapq.heappush(self._heap, call)
         return call
 
@@ -96,18 +108,25 @@ class EventQueue:
         """
         while self._heap:
             call = heapq.heappop(self._heap)
+            # detach so a late cancel() cannot skew the live count
+            call._queue = None
             if not call.cancelled:
                 return call
+            self._cancelled_in_heap -= 1
         raise SimulationError("event queue is empty")
 
     def peek_time(self) -> Optional[float]:
         """Return the firing time of the next live event, or ``None``."""
         while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+            heapq.heappop(self._heap)._queue = None
+            self._cancelled_in_heap -= 1
         if not self._heap:
             return None
         return self._heap[0].time
 
     def clear(self) -> None:
         """Drop every pending event."""
+        for call in self._heap:
+            call._queue = None
         self._heap.clear()
+        self._cancelled_in_heap = 0

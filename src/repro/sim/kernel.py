@@ -15,9 +15,12 @@ must flow through :class:`repro.sim.rng.RngStreams`.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Any, Callable, Generator, List, Optional, Union
 
 from ..errors import SimulationError
+from ..obs.metrics import MetricsRegistry
+from ..obs.profiler import KernelProfiler
 from .events import PRIORITY_NORMAL, PRIORITY_URGENT, EventQueue, ScheduledCall
 from .trace import Tracer
 
@@ -99,8 +102,8 @@ class Process:
     generator returns; the return value becomes :attr:`result` and the
     :attr:`done` signal fires with it.  If the generator raises, the
     exception is stored in :attr:`error` and re-raised by the simulator on
-    the next :meth:`Simulator.run` unless ``defused`` (by some party waiting
-    on :attr:`done`).
+    the next :meth:`Simulator.run` unless :attr:`defused` (by some party
+    waiting on :attr:`done` at the instant of the crash).
     """
 
     def __init__(self, sim: "Simulator", gen: Generator, name: str = "") -> None:
@@ -111,6 +114,12 @@ class Process:
         self.result: Any = None
         self.error: Optional[BaseException] = None
         self.alive = True
+        #: set on crash when somebody supervised us through :attr:`done`;
+        #: a defused crash does not abort the simulation.
+        self.defused = False
+        # cached at construction: a profiler is attached when the simulator
+        # is built, and processes are always created afterwards
+        self._profiler = sim.profiler
         self._pending_wait: Optional[ScheduledCall] = None
         self._waiting_on_signal = False
 
@@ -122,11 +131,22 @@ class Process:
             return
         self._pending_wait = None
         self._waiting_on_signal = False
+        profiler = self._profiler
         try:
-            if throw is not None:
-                target = self.gen.throw(throw)
+            if profiler is None:
+                if throw is not None:
+                    target = self.gen.throw(throw)
+                else:
+                    target = self.gen.send(send_value)
             else:
-                target = self.gen.send(send_value)
+                start = perf_counter()
+                try:
+                    if throw is not None:
+                        target = self.gen.throw(throw)
+                    else:
+                        target = self.gen.send(send_value)
+                finally:
+                    profiler.account_generator(self.name, perf_counter() - start)
         except StopIteration as stop:
             self.alive = False
             self.result = getattr(stop, "value", None)
@@ -141,6 +161,9 @@ class Process:
         except BaseException as exc:  # noqa: BLE001 - surfaced to caller
             self.alive = False
             self.error = exc
+            # A party already waiting on `done` is a supervisor: it receives
+            # the exception and the crash is defused (see the class docstring).
+            self.defused = bool(self.done._callbacks)
             self.sim._crashed_processes.append(self)
             self.done.fire(exc)
             return
@@ -190,12 +213,30 @@ class Process:
 
 
 class Simulator:
-    """The simulation world: clock, event queue and process registry."""
+    """The simulation world: clock, event queue and process registry.
 
-    def __init__(self, tracer: Optional[Tracer] = None) -> None:
+    Observability is opt-in: pass a :class:`~repro.obs.metrics.MetricsRegistry`
+    to collect layer metrics (a disabled private registry is created
+    otherwise, so cached instrument handles stay valid no-ops) and a
+    :class:`~repro.obs.profiler.KernelProfiler` to attribute wall-clock
+    time per event callback.  With neither attached the kernel hot path
+    pays two branch tests per event and allocates nothing.
+    """
+
+    def __init__(
+        self,
+        tracer: Optional[Tracer] = None,
+        *,
+        metrics: Optional[MetricsRegistry] = None,
+        profiler: Optional[KernelProfiler] = None,
+    ) -> None:
         self.now: float = 0.0
         self.queue = EventQueue()
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.metrics = metrics if metrics is not None else MetricsRegistry(enabled=False)
+        self.profiler = profiler
+        self._m_events = self.metrics.counter("sim.events")
+        self._m_crashes = self.metrics.counter("sim.crashes")
         self._crashed_processes: List[Process] = []
         self._running = False
 
@@ -234,7 +275,10 @@ class Simulator:
     def process(self, gen: Generator, name: str = "") -> Process:
         """Register a generator as a process and start it at this instant."""
         proc = Process(self, gen, name=name)
-        self.schedule(0.0, proc._step)
+        # Track the start event like any other pending wait so that an
+        # interrupt before the first step cancels it (otherwise the
+        # generator would be stepped twice and `done` would double-fire).
+        proc._pending_wait = self.schedule(0.0, proc._step)
         return proc
 
     # -- execution -------------------------------------------------------
@@ -245,7 +289,18 @@ class Simulator:
         if call.time < self.now:
             raise SimulationError("event queue time went backwards")
         self.now = call.time
-        call.callback(*call.args)
+        m = self._m_events
+        if m._enabled:
+            m.inc()
+        profiler = self.profiler
+        if profiler is None:
+            call.callback(*call.args)
+        else:
+            start = perf_counter()
+            try:
+                call.callback(*call.args)
+            finally:
+                profiler.account(call.callback, perf_counter() - start)
         self._raise_crashes()
 
     def run(self, until: Optional[float] = None) -> None:
@@ -272,11 +327,25 @@ class Simulator:
         self._raise_crashes()
 
     def _raise_crashes(self) -> None:
-        if self._crashed_processes:
-            proc = self._crashed_processes.pop(0)
-            raise SimulationError(
-                f"process {proc.name!r} crashed: {proc.error!r}"
-            ) from proc.error
+        if not self._crashed_processes:
+            return
+        # Drain everything: a crash must never resurface on an unrelated
+        # later run() call, and defused crashes must not abort anything.
+        crashed, self._crashed_processes = self._crashed_processes, []
+        self._m_crashes.inc(len(crashed))
+        fatal = [p for p in crashed if not p.defused]
+        if not fatal:
+            return
+        first = fatal[0]
+        if len(fatal) == 1:
+            message = f"process {first.name!r} crashed: {first.error!r}"
+        else:
+            names = ", ".join(repr(p.name) for p in fatal)
+            message = (
+                f"{len(fatal)} processes crashed ({names}); "
+                f"first error: {first.error!r}"
+            )
+        raise SimulationError(message) from first.error
 
     # -- convenience -----------------------------------------------------
 

@@ -8,7 +8,7 @@ memory, middleware queues, etc.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, List, Optional, Tuple
+from typing import Any, Deque, List, Tuple
 
 from ..errors import SimulationError
 from .kernel import Signal, Simulator

@@ -3,10 +3,18 @@
 Every subsystem records structured trace entries through
 :meth:`repro.sim.kernel.Simulator.trace`.  Traces power the runtime monitor,
 the XiL harness assertions and the benchmark reports.
+
+Long-running campaigns should bound the tracer: with ``max_entries`` set
+the tracer keeps only the most recent entries in a ring buffer, and with
+``spill_path`` also set, evicted entries are appended to a JSONL file
+instead of being lost — so memory stays constant while the full trace
+survives on disk.
 """
 
 from __future__ import annotations
 
+import json
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
@@ -25,6 +33,35 @@ class TraceEntry:
     def get(self, key: str, default: Any = None) -> Any:
         return self.fields.get(key, default)
 
+    def to_json(self) -> str:
+        """One-line JSON form (non-serialisable field values are stringified)."""
+        return json.dumps(
+            {"time": self.time, "category": self.category, "fields": self.fields},
+            default=str,
+            separators=(",", ":"),
+        )
+
+
+def entry_from_json(line: str) -> TraceEntry:
+    """Parse one JSONL line back into a :class:`TraceEntry`."""
+    raw = json.loads(line)
+    return TraceEntry(
+        time=float(raw["time"]),
+        category=str(raw["category"]),
+        fields=dict(raw.get("fields", {})),
+    )
+
+
+def read_jsonl(path: str) -> List[TraceEntry]:
+    """Load every entry from a JSONL trace file."""
+    entries = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                entries.append(entry_from_json(line))
+    return entries
+
 
 @dataclass
 class Tracer:
@@ -33,12 +70,26 @@ class Tracer:
     Attributes:
         enabled: master switch; a disabled tracer costs almost nothing.
         categories: if non-empty, only these categories are recorded.
+        max_entries: if set, keep at most this many entries in memory
+            (oldest evicted first — ring-buffer mode).
+        spill_path: if set together with ``max_entries``, evicted entries
+            are appended to this JSONL file instead of being dropped.
     """
 
     enabled: bool = True
     categories: Optional[set] = None
-    entries: List[TraceEntry] = field(default_factory=list)
+    entries: Any = field(default_factory=list)
+    max_entries: Optional[int] = None
+    spill_path: Optional[str] = None
     _listeners: List[Callable[[TraceEntry], None]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.max_entries is not None and self.max_entries <= 0:
+            raise ValueError(f"max_entries must be positive, got {self.max_entries}")
+        if self.max_entries is not None and not isinstance(self.entries, deque):
+            self.entries = deque(self.entries)
+        self.evicted_count = 0
+        self._spill_file = None
 
     def record(self, time: float, category: str, fields: Dict[str, Any]) -> None:
         """Store one entry (and notify listeners) if recording is active."""
@@ -47,9 +98,43 @@ class Tracer:
         if self.categories is not None and category not in self.categories:
             return
         entry = TraceEntry(time, category, fields)
+        if self.max_entries is not None and len(self.entries) >= self.max_entries:
+            self._evict(self.entries.popleft())
         self.entries.append(entry)
         for listener in self._listeners:
             listener(entry)
+
+    # -- bounded mode ------------------------------------------------------
+
+    def _evict(self, entry: TraceEntry) -> None:
+        self.evicted_count += 1
+        if self.spill_path is None:
+            return
+        if self._spill_file is None:
+            self._spill_file = open(self.spill_path, "a", encoding="utf-8")
+        self._spill_file.write(entry.to_json())
+        self._spill_file.write("\n")
+
+    def flush(self) -> None:
+        """Flush any open spill file to disk."""
+        if self._spill_file is not None:
+            self._spill_file.flush()
+
+    def close(self) -> None:
+        """Flush and close the spill file (reopened on the next eviction)."""
+        if self._spill_file is not None:
+            self._spill_file.close()
+            self._spill_file = None
+
+    def export_jsonl(self, path: str) -> int:
+        """Write the in-memory entries to ``path`` as JSONL; returns count."""
+        with open(path, "w", encoding="utf-8") as fh:
+            for entry in self.entries:
+                fh.write(entry.to_json())
+                fh.write("\n")
+        return len(self.entries)
+
+    # -- subscription ------------------------------------------------------
 
     def subscribe(self, listener: Callable[[TraceEntry], None]) -> None:
         """Call ``listener`` synchronously for every recorded entry."""
@@ -72,6 +157,7 @@ class Tracer:
     def clear(self) -> None:
         """Drop all stored entries (listeners stay subscribed)."""
         self.entries.clear()
+        self.evicted_count = 0
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -91,12 +177,13 @@ class Tracer:
         Entries lacking the field (or holding non-numeric values) are
         skipped; an all-empty selection returns an empty dict.
         """
-        values = [
-            entry.fields[field_name]
-            for entry in self.iter_category(category)
-            if isinstance(entry.fields.get(field_name), (int, float))
-            and not isinstance(entry.fields.get(field_name), bool)
-        ]
+        values = []
+        for entry in self.entries:
+            if entry.category != category:
+                continue
+            value = entry.fields.get(field_name)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                values.append(value)
         if not values:
             return {}
         return {

@@ -7,8 +7,7 @@ sets into :class:`~repro.model.applications.AppModel` objects.
 
 from __future__ import annotations
 
-import math
-from typing import List, Optional
+from typing import List
 
 from ..errors import ConfigurationError
 from ..model.applications import AppModel, Asil

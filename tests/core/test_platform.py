@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import AdmissionError, PlatformError, SecurityError
-from repro.hw import CryptoCapability, EcuSpec, OsClass, centralized_topology
+from repro.hw import centralized_topology
 from repro.model import AppModel, Asil
 from repro.core import AppState, DynamicPlatform
 from repro.osal import Criticality, TaskSpec

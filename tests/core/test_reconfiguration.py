@@ -3,12 +3,7 @@
 import pytest
 
 from repro.errors import AdmissionError, PlatformError, UpdateError
-from repro.core import (
-    AppState,
-    DynamicPlatform,
-    ReconfigurationManager,
-)
-from repro.hw import centralized_topology
+from repro.core import DynamicPlatform, ReconfigurationManager
 from repro.middleware import ServiceOffer
 from repro.model import AppModel, Asil
 from repro.osal import TaskSpec

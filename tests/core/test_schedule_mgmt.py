@@ -1,6 +1,5 @@
 """Tests for the cloud-based schedule management framework (ref [21])."""
 
-import pytest
 
 from repro.core import ComputeSite, ScheduleManagementFramework, validate_by_simulation
 from repro.hw import EcuSpec

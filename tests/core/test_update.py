@@ -6,7 +6,7 @@ from repro.errors import UpdateError
 from repro.core import AppState, DynamicPlatform, UpdateOrchestrator
 from repro.hw import centralized_topology
 from repro.model import AppModel, Asil
-from repro.osal import Criticality, TaskSpec
+from repro.osal import TaskSpec
 from repro.security import TrustStore, build_package
 from repro.sim import Simulator
 

@@ -11,13 +11,7 @@ from repro.core import (
     UpdateOrchestrator,
 )
 from repro.hw import centralized_topology
-from repro.middleware import (
-    Endpoint,
-    EventConsumer,
-    EventProducer,
-    RpcClient,
-    RpcServer,
-)
+from repro.middleware import EventConsumer, EventProducer, RpcClient, RpcServer
 from repro.model import (
     AppModel,
     Asil,

@@ -1,23 +1,8 @@
 """Integration tests: endpoints + paradigms over a simulated network."""
 
-import pytest
 
 from repro.hw import BusSpec, EcuSpec, Topology
-from repro.middleware import (
-    Endpoint,
-    EventConsumer,
-    EventProducer,
-    Message,
-    MessageType,
-    QOS_BULK,
-    QOS_CONTROL,
-    ReturnCode,
-    RpcClient,
-    RpcServer,
-    ServiceRegistry,
-    StreamSink,
-    StreamSource,
-)
+from repro.middleware import Endpoint, EventConsumer, EventProducer, Message, MessageType, ReturnCode, RpcClient, RpcServer, ServiceRegistry, StreamSink, StreamSource
 from repro.network import VehicleNetwork
 from repro.sim import Simulator
 

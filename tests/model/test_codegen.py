@@ -4,19 +4,7 @@ import pytest
 
 from repro.errors import ModelError
 from repro.hw import centralized_topology
-from repro.model import (
-    AppModel,
-    Asil,
-    InterfaceDef,
-    InterfaceKind,
-    Primitive,
-    RequiredInterface,
-    SERVICE_ID_BASE,
-    SystemModel,
-    derive_qos,
-    generate_config,
-    generate_stub,
-)
+from repro.model import AppModel, Asil, InterfaceDef, InterfaceKind, Primitive, RequiredInterface, SERVICE_ID_BASE, SystemModel, generate_config, generate_stub
 from repro.middleware import QOS_BULK, QOS_CONTROL, QOS_DEFAULT
 from repro.workloads import reference_system
 

@@ -1,22 +1,8 @@
 """Tests for latency estimation and verification warnings."""
 
-import pytest
 
 from repro.hw import BusSpec, EcuSpec, OsClass, Topology
-from repro.model import (
-    AppModel,
-    Asil,
-    Deployment,
-    InterfaceDef,
-    InterfaceKind,
-    InterfaceRequirements,
-    Primitive,
-    RequiredInterface,
-    Severity,
-    SystemModel,
-    estimate_latency,
-    verify,
-)
+from repro.model import AppModel, Asil, Deployment, InterfaceDef, InterfaceKind, InterfaceRequirements, Primitive, RequiredInterface, SystemModel, estimate_latency, verify
 from repro.model.types import ArrayType
 from repro.osal import TaskSpec
 

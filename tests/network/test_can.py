@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import NetworkError
-from repro.network import CanBus, Frame, TrafficClass, can_frame_bits
+from repro.network import CanBus, Frame, can_frame_bits
 from repro.sim import Simulator
 
 

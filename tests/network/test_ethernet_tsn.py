@@ -3,15 +3,7 @@
 import pytest
 
 from repro.errors import ConfigurationError, NetworkError
-from repro.network import (
-    EthernetBus,
-    Frame,
-    GateControlList,
-    GateEntry,
-    TrafficClass,
-    TsnBus,
-    ethernet_wire_bytes,
-)
+from repro.network import EthernetBus, Frame, GateControlList, GateEntry, TsnBus, ethernet_wire_bytes
 from repro.sim import Simulator
 
 

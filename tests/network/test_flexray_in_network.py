@@ -1,6 +1,5 @@
 """Tests for FlexRay segments inside a VehicleNetwork (auto slot plan)."""
 
-import pytest
 
 from repro.hw import BusSpec, EcuSpec, Topology
 from repro.network import FlexRayBus, TrafficClass, VehicleNetwork

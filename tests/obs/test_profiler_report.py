@@ -1,0 +1,141 @@
+"""Tests for the kernel profiler, its Simulator hooks and the report module."""
+
+import json
+
+from repro.obs import KernelProfiler, MetricsRegistry, digest, digest_for, render_for, render_text
+from repro.sim import Simulator, Timeout, Tracer
+
+
+def _tick():
+    pass
+
+
+class TestKernelProfiler:
+    def test_step_attributes_plain_callbacks_by_qualname(self):
+        profiler = KernelProfiler()
+        sim = Simulator(profiler=profiler)
+        for i in range(5):
+            sim.schedule(float(i), _tick)
+        sim.run()
+        assert profiler.events == 5
+        record = profiler.record("function", "_tick")
+        assert record.calls == 5
+        assert record.total_s >= 0.0
+        assert record.max_s >= record.mean_s
+
+    def test_processes_attributed_by_name_with_generator_rows(self):
+        profiler = KernelProfiler()
+        sim = Simulator(profiler=profiler)
+
+        def worker():
+            yield Timeout(1.0)
+            yield Timeout(1.0)
+
+        sim.process(worker(), name="w1")
+        sim.run()
+        # dispatch rows: one per _step event, attributed to the Process
+        assert profiler.record("Process", "w1").calls == 3
+        # generator rows: pure user-code time inside the generator body
+        assert profiler.record("generator", "w1").calls == 3
+
+    def test_records_sorted_most_expensive_first(self):
+        profiler = KernelProfiler()
+        profiler.account(_tick, 0.5)
+        profiler.account(len, 0.1)
+        records = profiler.records()
+        assert records[0].total_s >= records[-1].total_s
+
+    def test_by_kind_and_total(self):
+        profiler = KernelProfiler()
+        profiler.account(_tick, 0.25)
+        profiler.account_generator("p", 0.5)
+        assert profiler.by_kind()["function"] == 0.25
+        assert profiler.by_kind()["generator"] == 0.5
+        # generator rows are a subset of their dispatch rows: not totalled
+        assert profiler.total_s == 0.25
+
+    def test_render_and_snapshot(self):
+        profiler = KernelProfiler()
+        sim = Simulator(profiler=profiler)
+        sim.schedule(1.0, _tick)
+        sim.run()
+        assert "_tick" in profiler.render()
+        snap = profiler.snapshot()
+        assert snap["events"] == 1
+        assert snap["records"][0]["name"] == "_tick"
+        assert KernelProfiler().render() == "profile: no events recorded"
+
+    def test_clear(self):
+        profiler = KernelProfiler()
+        profiler.account(_tick, 0.1)
+        profiler.clear()
+        assert profiler.events == 0
+        assert profiler.records() == []
+
+    def test_no_profiler_means_no_accounting(self):
+        sim = Simulator()
+        sim.schedule(1.0, _tick)
+        sim.run()
+        assert sim.profiler is None
+
+
+class TestReport:
+    def _sim(self):
+        profiler = KernelProfiler()
+        sim = Simulator(
+            tracer=Tracer(),
+            metrics=MetricsRegistry(),
+            profiler=profiler,
+        )
+        sim.metrics.counter("hits").inc(3)
+        sim.metrics.histogram("lat").observe(0.5)
+        sim.schedule(1.0, _tick)
+        sim.trace("cat.a", value=1)
+        sim.run()
+        return sim
+
+    def test_digest_combines_all_parts(self):
+        sim = self._sim()
+        report = digest_for(sim)
+        assert report["metrics"]["counter"]["hits"]["value"] == 3
+        assert report["profile"]["events"] >= 1
+        assert report["trace"]["categories"] == {"cat.a": 1}
+
+    def test_digest_is_json_serialisable(self):
+        sim = self._sim()
+        encoded = json.dumps(digest_for(sim), default=str)
+        assert "hits" in encoded
+
+    def test_render_text_sections(self):
+        sim = self._sim()
+        text = render_for(sim, title="unit digest")
+        assert "unit digest" in text
+        assert "hits" in text
+        assert "profile:" in text
+        assert "trace:" in text
+
+    def test_empty_digest(self):
+        assert digest() == {}
+        assert "(no observability attached)" in render_text()
+
+    def test_plain_simulator_renders_without_metrics_noise(self):
+        # A default Simulator has a disabled, empty registry and no
+        # profiler: the digest should only show the (empty) trace section.
+        sim = Simulator()
+        report = digest_for(sim)
+        assert "metrics" not in report
+        assert "profile" not in report
+        assert report["trace"]["entries"] == 0
+
+    def test_write_json(self, tmp_path):
+        sim = self._sim()
+        path = tmp_path / "obs.json"
+        report = digest_for(sim)
+        from repro.obs import write_json
+
+        written = write_json(
+            str(path), metrics=sim.metrics, profiler=sim.profiler, tracer=sim.tracer
+        )
+        assert written["metrics"] == report["metrics"]
+        loaded = json.loads(path.read_text())
+        assert loaded["trace"]["entries"] == 1

@@ -1,0 +1,116 @@
+"""Tests for the bounded (ring-buffer) tracer and JSONL spill/export."""
+
+import pytest
+
+from repro.sim import Simulator, TraceEntry, Tracer, read_jsonl
+
+
+class TestRingBuffer:
+    def test_eviction_keeps_most_recent(self):
+        tracer = Tracer(max_entries=3)
+        for i in range(10):
+            tracer.record(float(i), "cat", {"i": i})
+        assert len(tracer) == 3
+        assert [e["i"] for e in tracer.entries] == [7, 8, 9]
+        assert tracer.evicted_count == 7
+
+    def test_unbounded_by_default(self):
+        tracer = Tracer()
+        for i in range(100):
+            tracer.record(float(i), "cat", {"i": i})
+        assert len(tracer) == 100
+        assert tracer.evicted_count == 0
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(max_entries=0)
+
+    def test_analysis_helpers_work_on_ring(self):
+        tracer = Tracer(max_entries=5)
+        for i in range(20):
+            tracer.record(float(i), "cat", {"v": float(i)})
+        stats = tracer.field_stats("cat", "v")
+        assert stats["count"] == 5.0
+        assert stats["min"] == 15.0
+        assert stats["max"] == 19.0
+        assert tracer.category_counts() == {"cat": 5}
+
+    def test_listeners_see_every_entry_despite_eviction(self):
+        tracer = Tracer(max_entries=2)
+        seen = []
+        tracer.subscribe(lambda e: seen.append(e["i"]))
+        for i in range(6):
+            tracer.record(float(i), "cat", {"i": i})
+        assert seen == list(range(6))
+
+    def test_clear_resets_eviction_count(self):
+        tracer = Tracer(max_entries=1)
+        tracer.record(0.0, "a", {})
+        tracer.record(1.0, "a", {})
+        assert tracer.evicted_count == 1
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.evicted_count == 0
+
+    def test_simulator_with_bounded_tracer(self):
+        sim = Simulator(tracer=Tracer(max_entries=4))
+        for i in range(10):
+            sim.schedule(float(i), sim.trace, "tick")
+        sim.run()
+        assert len(sim.tracer) == 4
+        assert sim.tracer.evicted_count == 6
+
+
+class TestJsonl:
+    def test_export_round_trip(self, tmp_path):
+        tracer = Tracer()
+        tracer.record(0.5, "net.delivery", {"bus": "can0", "latency": 0.001})
+        tracer.record(1.0, "os.done", {"task": "t1", "missed": False})
+        path = tmp_path / "trace.jsonl"
+        assert tracer.export_jsonl(str(path)) == 2
+        loaded = read_jsonl(str(path))
+        assert loaded == list(tracer.entries)
+
+    def test_non_serialisable_fields_are_stringified(self, tmp_path):
+        tracer = Tracer()
+        tracer.record(0.0, "cat", {"obj": object()})
+        path = tmp_path / "trace.jsonl"
+        tracer.export_jsonl(str(path))
+        (entry,) = read_jsonl(str(path))
+        assert entry.category == "cat"
+        assert isinstance(entry["obj"], str)
+
+    def test_spill_on_eviction(self, tmp_path):
+        path = tmp_path / "spill.jsonl"
+        tracer = Tracer(max_entries=3, spill_path=str(path))
+        for i in range(10):
+            tracer.record(float(i), "cat", {"i": i})
+        tracer.flush()
+        spilled = read_jsonl(str(path))
+        # the 7 oldest entries went to disk, the 3 newest stayed in memory
+        assert [e["i"] for e in spilled] == list(range(7))
+        assert [e["i"] for e in tracer.entries] == [7, 8, 9]
+        tracer.close()
+
+    def test_spill_plus_memory_reconstructs_full_trace(self, tmp_path):
+        path = tmp_path / "spill.jsonl"
+        tracer = Tracer(max_entries=2, spill_path=str(path))
+        for i in range(5):
+            tracer.record(float(i), "cat", {"i": i})
+        tracer.close()
+        full = read_jsonl(str(path)) + list(tracer.entries)
+        assert [e["i"] for e in full] == list(range(5))
+
+    def test_no_spill_without_path(self, tmp_path):
+        tracer = Tracer(max_entries=1)
+        tracer.record(0.0, "a", {})
+        tracer.record(1.0, "a", {})
+        tracer.flush()
+        tracer.close()  # no file ever opened; must not raise
+
+    def test_entry_json_shape(self):
+        entry = TraceEntry(1.25, "cat", {"x": 1})
+        import json
+
+        raw = json.loads(entry.to_json())
+        assert raw == {"time": 1.25, "category": "cat", "fields": {"x": 1}}

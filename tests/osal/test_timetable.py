@@ -4,16 +4,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import SchedulingError
-from repro.osal import (
-    Criticality,
-    Job,
-    TableSlot,
-    TaskSpec,
-    TimeTable,
-    TimeTriggeredExecutive,
-    hyperperiod,
-    synthesize_table,
-)
+from repro.osal import Criticality, Job, TableSlot, TaskSpec, TimeTable, TimeTriggeredExecutive, synthesize_table
 from repro.sim import Simulator
 
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ConfigurationError, SecurityError
-from repro.hw import BusSpec, EcuSpec, Topology, federated_topology
+from repro.hw import EcuSpec, Topology, federated_topology
 from repro.middleware import ServiceRegistry, ServiceOffer
 from repro.security import (
     AccessControlMatrix,

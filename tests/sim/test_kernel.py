@@ -276,6 +276,231 @@ class TestProcess:
         ]
 
 
+class TestProcessLifecycleRegressions:
+    """Regressions for the kernel lifecycle bugfixes (PR 1)."""
+
+    def test_interrupt_before_start_cancels_initial_step(self):
+        # Bug: the start event scheduled by Simulator.process() was not
+        # tracked in _pending_wait, so interrupting a not-yet-started
+        # process stepped the generator twice and double-fired `done`.
+        sim = Simulator()
+        body_ran = []
+
+        def proc():
+            body_ran.append(True)
+            yield Timeout(1.0)
+
+        p = sim.process(proc())
+        p.interrupt("early")
+        sim.run()  # must not raise "signal fired twice"
+        assert not p.alive
+        assert p.error is None
+        assert not body_ran  # the body never executed
+
+    def test_interrupt_before_start_fires_done_once(self):
+        sim = Simulator()
+
+        def proc():
+            yield Timeout(1.0)
+
+        p = sim.process(proc())
+        fired = []
+        p.done.add_callback(fired.append)
+        p.interrupt()
+        sim.run()
+        assert len(fired) == 1
+
+    def test_interrupt_before_start_can_be_handled(self):
+        # A generator that catches Interrupted at its first yield point
+        # never runs, because the interrupt lands before the first step.
+        sim = Simulator()
+
+        def proc():
+            try:
+                yield Timeout(1.0)
+            except Interrupted:
+                return "handled"
+
+        p = sim.process(proc())
+        p.interrupt()
+        sim.run()
+        assert not p.alive
+        assert p.result is None
+
+    def test_multiple_crashes_all_drained(self):
+        # Bug: _raise_crashes popped only the first crashed process, so
+        # further entries lingered and resurfaced on a later, unrelated
+        # run() call.  With several defused crashes pending at once, all
+        # of them must be drained in one go.
+        sim = Simulator()
+        caught = []
+
+        def bang(tag):
+            yield Timeout(1.0)
+            raise ValueError(tag)
+
+        def supervisor(child):
+            try:
+                yield child
+            except ValueError as exc:
+                caught.append(str(exc))
+
+        for tag in ("first", "second", "third"):
+            sim.process(supervisor(sim.process(bang(tag), name=tag)))
+        sim.run()  # all three crashes are defused: no abort
+        assert sorted(caught) == ["first", "second", "third"]
+        assert sim._crashed_processes == []
+        # an unrelated follow-up run stays clean
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+
+    def test_raise_crashes_drains_every_entry(self):
+        # White-box: with several crashed processes pending (mixed defused
+        # and fatal), one _raise_crashes call must consume them all and
+        # report every fatal one.
+        sim = Simulator()
+
+        def bang(tag):
+            yield Timeout(1.0)
+            raise ValueError(tag)
+
+        procs = [sim.process(bang(t), name=t) for t in ("a", "b", "c")]
+        for p in procs:
+            p.alive = False
+            p.error = ValueError(p.name)
+        procs[1].defused = True
+        sim._crashed_processes = list(procs)
+        with pytest.raises(SimulationError, match="2 processes crashed"):
+            sim._raise_crashes()
+        assert sim._crashed_processes == []
+        sim._raise_crashes()  # nothing left: no raise
+
+    def test_fatal_crashes_surface_one_per_run(self):
+        # Two unsupervised processes crash at the same instant; each run()
+        # surfaces its own crash and leaves nothing stale behind.
+        sim = Simulator()
+
+        def bang(tag):
+            yield Timeout(1.0)
+            raise ValueError(tag)
+
+        sim.process(bang("first"), name="p_first")
+        sim.process(bang("second"), name="p_second")
+        with pytest.raises(SimulationError, match="p_first"):
+            sim.run()
+        with pytest.raises(SimulationError, match="p_second"):
+            sim.run()
+        assert sim._crashed_processes == []
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+
+    def test_supervised_crash_is_defused(self):
+        # The Process docstring promises: a party waiting on `done` defuses
+        # the crash.  The supervisor receives the exception instead.
+        sim = Simulator()
+        caught = []
+
+        def child():
+            yield Timeout(1.0)
+            raise ValueError("boom")
+
+        def supervisor():
+            try:
+                yield sim.process(child(), name="child")
+            except ValueError as exc:
+                caught.append(str(exc))
+
+        sim.process(supervisor())
+        sim.run()  # must not raise
+        assert caught == ["boom"]
+
+    def test_callback_waiter_also_defuses(self):
+        sim = Simulator()
+
+        def child():
+            yield Timeout(1.0)
+            raise ValueError("boom")
+
+        p = sim.process(child())
+        seen = []
+        p.done.add_callback(seen.append)
+        sim.run()  # defused: no SimulationError
+        assert len(seen) == 1
+        assert isinstance(seen[0], ValueError)
+
+    def test_unsupervised_crash_still_raises(self):
+        sim = Simulator()
+
+        def child():
+            yield Timeout(1.0)
+            raise ValueError("boom")
+
+        sim.process(child())
+        with pytest.raises(SimulationError, match="crashed"):
+            sim.run()
+
+    def test_unhandled_crash_in_supervisor_propagates(self):
+        # The supervisor defuses the child but crashes itself; with nobody
+        # supervising the supervisor, the simulation aborts.
+        sim = Simulator()
+
+        def child():
+            yield Timeout(1.0)
+            raise ValueError("boom")
+
+        def supervisor():
+            yield sim.process(child())
+
+        sim.process(supervisor(), name="sup")
+        with pytest.raises(SimulationError, match="crashed"):
+            sim.run()
+
+
+class TestCancelledEventAccounting:
+    def test_len_excludes_cancelled(self):
+        # Bug: __len__ counted cancelled calls still sitting in the heap.
+        q = EventQueue()
+        calls = [q.push(float(i), lambda: None) for i in range(5)]
+        assert len(q) == 5
+        calls[2].cancel()
+        calls[4].cancel()
+        assert len(q) == 3
+
+    def test_double_cancel_counted_once(self):
+        q = EventQueue()
+        call = q.push(1.0, lambda: None)
+        call.cancel()
+        call.cancel()
+        assert len(q) == 0
+
+    def test_len_after_pop_and_peek_pruning(self):
+        q = EventQueue()
+        first = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        first.cancel()
+        assert q.peek_time() == 2.0  # prunes the cancelled head
+        assert len(q) == 1
+        q.pop()
+        assert len(q) == 0
+
+    def test_cancel_after_pop_does_not_corrupt_count(self):
+        q = EventQueue()
+        call = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        assert q.pop() is call
+        call.cancel()  # already executed; must not skew the live count
+        assert len(q) == 1
+
+    def test_simulator_repr_reports_live_pending(self):
+        sim = Simulator()
+        keep = sim.schedule(1.0, lambda: None)
+        drop = sim.schedule(2.0, lambda: None)
+        drop.cancel()
+        assert "pending=1" in repr(sim)
+        keep.cancel()
+        assert "pending=0" in repr(sim)
+
+
 class TestSignal:
     def test_double_fire_raises(self):
         sim = Simulator()

@@ -9,7 +9,6 @@ from repro.baselines import (
     federated_topology_for,
 )
 from repro.errors import ConfigurationError
-from repro.model import Deployment, SystemModel, verify
 from repro.osal import Criticality, total_utilization
 from repro.sim import RngStreams, Simulator
 from repro.workloads import (
