@@ -1,0 +1,148 @@
+"""Frozen pre-optimization kernel hot path, for benchmark baselines.
+
+This module is a verbatim-in-spirit copy of the event queue, scheduler
+and signal fan-out as they stood *before* the hot-path optimization PR
+(tuple-allocating ``__lt__``, unconditional negative-delay branch, one
+heap push per signal waiter, fully lazy cancelled-entry removal).  The
+benchmark runner executes the same workload against this shim and
+against the live :mod:`repro.sim` kernel, so ``BENCH_kernel.json``
+records the before/after trajectory on the *same* hardware and Python.
+
+Do not "fix" this module: its whole value is staying slow the old way.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional
+
+PRIORITY_NORMAL = 100
+PRIORITY_URGENT = 10
+
+
+class LegacyScheduledCall:
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled", "_queue")
+
+    def __init__(self, time, priority, seq, callback, args, queue=None):
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self._queue = queue
+
+    def cancel(self) -> None:
+        if self.cancelled:
+            return
+        self.cancelled = True
+        if self._queue is not None:
+            self._queue._note_cancelled()
+
+    def __lt__(self, other: "LegacyScheduledCall") -> bool:
+        # The pre-change comparison: allocates two tuples per heap sift step.
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
+
+class LegacyEventQueue:
+    def __init__(self) -> None:
+        self._heap: List[LegacyScheduledCall] = []
+        self._counter = itertools.count()
+        self._cancelled_in_heap = 0
+
+    def __len__(self) -> int:
+        return len(self._heap) - self._cancelled_in_heap
+
+    def _note_cancelled(self) -> None:
+        # Pre-change behaviour: purely lazy, cancelled entries linger until
+        # they surface at the heap root.
+        self._cancelled_in_heap += 1
+
+    def push(self, time, callback, args=(), priority=PRIORITY_NORMAL):
+        call = LegacyScheduledCall(
+            time, priority, next(self._counter), callback, args, self
+        )
+        heapq.heappush(self._heap, call)
+        return call
+
+    def pop(self) -> LegacyScheduledCall:
+        while self._heap:
+            call = heapq.heappop(self._heap)
+            call._queue = None
+            if not call.cancelled:
+                return call
+            self._cancelled_in_heap -= 1
+        raise RuntimeError("event queue is empty")
+
+    def peek_time(self) -> Optional[float]:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)._queue = None
+            self._cancelled_in_heap -= 1
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+
+class LegacySignal:
+    """Pre-change signal: one urgent heap push per registered waiter."""
+
+    __slots__ = ("sim", "fired", "value", "_callbacks")
+
+    def __init__(self, sim: "LegacySimulator") -> None:
+        self.sim = sim
+        self.fired = False
+        self.value: Any = None
+        self._callbacks: List[Callable[[Any], None]] = []
+
+    def fire(self, value: Any = None) -> None:
+        if self.fired:
+            raise RuntimeError("signal fired twice")
+        self.fired = True
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            self.sim.schedule(0.0, cb, value, priority=PRIORITY_URGENT)
+
+    def add_callback(self, callback: Callable[[Any], None]) -> None:
+        if self.fired:
+            self.sim.schedule(0.0, callback, self.value, priority=PRIORITY_URGENT)
+        else:
+            self._callbacks.append(callback)
+
+
+class LegacySimulator:
+    """Pre-change scheduling loop, stripped of tracing/metrics/profiling
+    (both sides of the benchmark run bare, so the comparison isolates the
+    hot-path changes themselves)."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self.queue = LegacyEventQueue()
+
+    def schedule(self, delay, callback, *args, priority=PRIORITY_NORMAL):
+        # Pre-change: the negative-delay branch is tested on every call,
+        # including the extremely common delay=0 urgent wakeup.
+        if delay < 0:
+            raise RuntimeError(f"cannot schedule in the past (delay={delay})")
+        return self.queue.push(self.now + delay, callback, args, priority)
+
+    def signal(self) -> LegacySignal:
+        return LegacySignal(self)
+
+    def run(self, until: Optional[float] = None) -> None:
+        while True:
+            next_time = self.queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                break
+            call = self.queue.pop()
+            self.now = call.time
+            call.callback(*call.args)
+        if until is not None and until > self.now:
+            self.now = until

@@ -1,0 +1,327 @@
+#!/usr/bin/env python
+"""Perf-trajectory benchmark runner.
+
+Measures (a) the kernel hot path against a frozen pre-optimization shim
+(:mod:`_legacy_kernel`) and (b) the :mod:`repro.exec` parallel executor
+against serial execution, then writes ``BENCH_kernel.json`` and
+``BENCH_exec.json`` at the repo root so every future PR has a recorded
+baseline to beat.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py           # full run
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --smoke   # CI-sized
+
+Both kernel variants run the *same* workload in the same process, so the
+events/sec ratio isolates the code change from the hardware.  Executor
+speedups depend on available cores; the report records ``cpu_count`` so
+single-core CI boxes are read in context.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+from time import perf_counter
+
+sys.path.insert(0, os.path.dirname(__file__))
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+import _legacy_kernel  # noqa: E402
+
+
+# -- kernel microbenchmark ----------------------------------------------
+
+
+def _kernel_workload(sim, signal_factory, *, chains, chain_length, fanout,
+                     cancel_every):
+    """A scheduling-heavy workload exercising every optimized path.
+
+    * ``chains`` timer chains of ``chain_length`` rescheduled callbacks
+      (heap push/pop churn → sort_key comparisons);
+    * one signal per chain link waking ``fanout`` registered waiters
+      (Signal.fire batching);
+    * every ``cancel_every``-th link schedules a decoy timer and cancels
+      it (cancelled-entry pruning).
+
+    Returns the number of events executed.
+    """
+    executed = [0]
+    decoys = []
+
+    def link(chain_id, depth):
+        executed[0] += 1
+        if cancel_every and depth % cancel_every == 0:
+            decoys.append(sim.schedule(1e6, _noop))
+            if len(decoys) >= 64:
+                for handle in decoys:
+                    handle.cancel()
+                decoys.clear()
+        signal = signal_factory(sim)
+        for _ in range(fanout):
+            signal.add_callback(_count_cb(executed))
+        signal.fire(depth)
+        if depth < chain_length:
+            sim.schedule(1e-6 * ((chain_id + depth) % 7 + 1),
+                         link, chain_id, depth + 1)
+
+    for chain_id in range(chains):
+        sim.schedule(1e-6 * chain_id, link, chain_id, 1)
+    sim.run()
+    return executed[0]
+
+
+def _noop():
+    pass
+
+
+def _count_cb(executed):
+    def cb(_value):
+        executed[0] += 1
+    return cb
+
+
+def _run_kernel_side(make_sim, signal_factory, params):
+    start = perf_counter()
+    executed = _kernel_workload(make_sim(), signal_factory, **params)
+    elapsed = perf_counter() - start
+    return executed, elapsed
+
+
+def bench_kernel(*, smoke: bool) -> dict:
+    from repro.sim import Simulator
+
+    params = dict(
+        chains=20 if smoke else 100,
+        chain_length=60 if smoke else 300,
+        fanout=4,
+        cancel_every=3,
+    )
+    repeats = 2 if smoke else 3
+
+    def optimized_sim():
+        return Simulator()
+
+    def legacy_sim():
+        return _legacy_kernel.LegacySimulator()
+
+    def legacy_signal(sim):
+        return sim.signal()
+
+    def optimized_signal(sim):
+        return sim.signal()
+
+    # interleave repeats so frequency scaling hits both sides equally
+    best = {"legacy": None, "optimized": None}
+    events = {"legacy": 0, "optimized": 0}
+    for _ in range(repeats):
+        for name, make_sim, factory in (
+            ("legacy", legacy_sim, legacy_signal),
+            ("optimized", optimized_sim, optimized_signal),
+        ):
+            executed, elapsed = _run_kernel_side(make_sim, factory, params)
+            events[name] = executed
+            if best[name] is None or elapsed < best[name]:
+                best[name] = elapsed
+    assert events["legacy"] == events["optimized"], (
+        "legacy and optimized kernels must execute identical workloads"
+    )
+    baseline_eps = events["legacy"] / best["legacy"]
+    optimized_eps = events["optimized"] / best["optimized"]
+    return {
+        "workload": params,
+        "events": events["optimized"],
+        "repeats": repeats,
+        "baseline_events_per_sec": round(baseline_eps),
+        "optimized_events_per_sec": round(optimized_eps),
+        "speedup": round(optimized_eps / baseline_eps, 3),
+    }
+
+
+# -- executor benchmarks ------------------------------------------------
+
+
+def _dse_problem():
+    from repro.dse import MappingProblem
+    from repro.hw import centralized_topology
+    from repro.workloads import reference_system
+
+    return MappingProblem(reference_system(centralized_topology(n_platforms=2)))
+
+
+def bench_exec_dse(*, smoke: bool, workers: int) -> dict:
+    from repro.dse import random_search
+    from repro.exec import ParallelExecutor
+    from repro.sim import RngStreams
+
+    budget = 50 if smoke else 200
+    t0 = perf_counter()
+    serial = random_search(_dse_problem(), RngStreams(11), budget=budget)
+    serial_s = perf_counter() - t0
+    with ParallelExecutor(workers=workers, master_seed=0) as executor:
+        t0 = perf_counter()
+        parallel = random_search(
+            _dse_problem(), RngStreams(11), budget=budget, executor=executor
+        )
+        parallel_s = perf_counter() - t0
+    identical = (
+        serial.best.genome == parallel.best.genome
+        and serial.best.evaluation == parallel.best.evaluation
+        and [c.evaluation for c in serial.archive.members]
+        == [c.evaluation for c in parallel.archive.members]
+    )
+    return {
+        "workload": f"random-search DSE, budget={budget}",
+        "evaluations": budget,
+        "serial_seconds": round(serial_s, 4),
+        "parallel_seconds": round(parallel_s, 4),
+        "workers": workers,
+        "speedup": round(serial_s / parallel_s, 3) if parallel_s > 0 else None,
+        "results_identical": identical,
+    }
+
+
+def bench_exec_campaign(*, smoke: bool, workers: int) -> dict:
+    from repro.core import CampaignSpec, sweep_campaigns
+    from repro.exec import ParallelExecutor
+
+    replications = 4 if smoke else 8
+    spec = CampaignSpec(
+        fleet_size=2 if smoke else 4,
+        soak_time=0.3 if smoke else 0.5,
+        target_wcet=0.004,
+        target_wcet_jitter=0.004,
+        target_deadline=0.002,
+    )
+    t0 = perf_counter()
+    serial = sweep_campaigns(spec, replications=replications, master_seed=3)
+    serial_s = perf_counter() - t0
+    with ParallelExecutor(workers=workers, master_seed=3) as executor:
+        t0 = perf_counter()
+        parallel = sweep_campaigns(
+            spec, replications=replications, executor=executor
+        )
+        parallel_s = perf_counter() - t0
+    return {
+        "workload": f"fleet-campaign sweep, {replications} replications",
+        "replications": replications,
+        "serial_seconds": round(serial_s, 4),
+        "parallel_seconds": round(parallel_s, 4),
+        "workers": workers,
+        "speedup": round(serial_s / parallel_s, 3) if parallel_s > 0 else None,
+        "results_identical": serial.outcomes == parallel.outcomes,
+    }
+
+
+def bench_exec_xil(*, smoke: bool, workers: int) -> dict:
+    from repro.exec import ParallelExecutor
+    from repro.xil import ScenarioSpec, run_battery
+
+    duration = 10.0 if smoke else 40.0
+    scenarios = [
+        ScenarioSpec(name="nominal", duration=duration, max_settling_time=None,
+                     max_steady_state_error=30.0),
+        ScenarioSpec(name="sil_nominal", level="SiL", duration=duration,
+                     max_settling_time=None, max_steady_state_error=30.0),
+        ScenarioSpec(name="dropout", duration=duration,
+                     sensor_dropout_window=(2.0, 3.0),
+                     max_settling_time=None, max_steady_state_error=30.0),
+        ScenarioSpec(name="stuck_actuator", duration=duration,
+                     actuator_stuck_at=0.3,
+                     max_settling_time=None, max_steady_state_error=30.0),
+    ]
+    t0 = perf_counter()
+    serial = run_battery(scenarios)
+    serial_s = perf_counter() - t0
+    with ParallelExecutor(workers=workers) as executor:
+        t0 = perf_counter()
+        parallel = run_battery(scenarios, executor=executor)
+        parallel_s = perf_counter() - t0
+    return {
+        "workload": f"XiL battery, {len(scenarios)} scenarios x {duration}s",
+        "scenarios": len(scenarios),
+        "serial_seconds": round(serial_s, 4),
+        "parallel_seconds": round(parallel_s, 4),
+        "workers": workers,
+        "speedup": round(serial_s / parallel_s, 3) if parallel_s > 0 else None,
+        "results_identical": serial.verdicts == parallel.verdicts,
+    }
+
+
+# -- entry point ---------------------------------------------------------
+
+
+def _environment() -> dict:
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def _write(path: str, payload: dict) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {path}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small configs for CI smoke runs")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="worker count for executor benchmarks")
+    parser.add_argument("--out-dir", default=REPO_ROOT,
+                        help="directory for BENCH_*.json (default: repo root)")
+    args = parser.parse_args(argv)
+
+    print(f"kernel microbenchmark ({'smoke' if args.smoke else 'full'})...")
+    kernel = bench_kernel(smoke=args.smoke)
+    print(
+        f"  legacy   {kernel['baseline_events_per_sec']:>12,} events/s\n"
+        f"  current  {kernel['optimized_events_per_sec']:>12,} events/s\n"
+        f"  speedup  {kernel['speedup']:.2f}x"
+    )
+    _write(os.path.join(args.out_dir, "BENCH_kernel.json"), {
+        "environment": _environment(),
+        "mode": "smoke" if args.smoke else "full",
+        **kernel,
+    })
+
+    print(f"\nexecutor benchmarks (workers={args.workers})...")
+    sections = {}
+    for name, fn in (
+        ("dse_random_search", bench_exec_dse),
+        ("fleet_campaign_sweep", bench_exec_campaign),
+        ("xil_battery", bench_exec_xil),
+    ):
+        result = fn(smoke=args.smoke, workers=args.workers)
+        sections[name] = result
+        print(
+            f"  {name}: serial {result['serial_seconds']}s, "
+            f"parallel {result['parallel_seconds']}s "
+            f"({result['speedup']}x, identical="
+            f"{result['results_identical']})"
+        )
+    _write(os.path.join(args.out_dir, "BENCH_exec.json"), {
+        "environment": _environment(),
+        "mode": "smoke" if args.smoke else "full",
+        **sections,
+    })
+
+    failures = []
+    if not all(s["results_identical"] for s in sections.values()):
+        failures.append("parallel results diverged from serial")
+    if failures:
+        print("\nFAILED: " + "; ".join(failures))
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,6 +12,7 @@ Subpackages, bottom-up:
 * :mod:`repro.security` — signed packages, update masters, auth, analysis
 * :mod:`repro.core` — **the dynamic platform** (the paper's contribution)
 * :mod:`repro.dse` — design space exploration
+* :mod:`repro.exec` — deterministic parallel experiment execution
 * :mod:`repro.xil` — MiL/SiL closed-loop testing
 * :mod:`repro.workloads` — synthetic and realistic automotive workloads
 * :mod:`repro.baselines` — the static federated architecture
@@ -24,6 +25,7 @@ from . import (  # noqa: F401
     core,
     dse,
     errors,
+    exec,
     hw,
     middleware,
     model,
@@ -41,6 +43,7 @@ __all__ = [
     "core",
     "dse",
     "errors",
+    "exec",
     "hw",
     "middleware",
     "model",

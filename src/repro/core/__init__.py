@@ -9,11 +9,16 @@ cloud-based schedule management.
 from .admission import AdmissionController, AdmissionDecision
 from .application import AppInstance, AppState
 from .campaign import (
+    CampaignJob,
     CampaignManager,
+    CampaignOutcome,
     CampaignResult,
+    CampaignSpec,
     Fleet,
+    SweepResult,
     Vehicle,
     WaveResult,
+    sweep_campaigns,
 )
 from .bus_admission import (
     BUS_HEADROOM_LIMIT,
@@ -69,13 +74,18 @@ __all__ = [
     "BackendLink",
     "BusAdmissionDecision",
     "BusLoadTracker",
+    "CampaignJob",
     "CampaignManager",
+    "CampaignOutcome",
     "CampaignResult",
+    "CampaignSpec",
     "Fleet",
+    "SweepResult",
     "Vehicle",
     "WaveResult",
     "admit_communication",
     "offered_load_of",
+    "sweep_campaigns",
     "ComputeSite",
     "DIAGNOSIS_SERVICE_ID",
     "DiagnosisService",

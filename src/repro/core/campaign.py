@@ -16,18 +16,23 @@ crosses the threshold.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..errors import UpdateError
+from ..exec.jobs import JobContext, SimJob
 from ..hw.ecu import CryptoCapability, OsClass
 from ..hw.topology import BusSpec, EcuSpec, Topology
 from ..model.applications import AppModel
+from ..osal.task import TaskSpec
 from ..security.crypto import TrustStore
 from ..security.package import build_package
 from ..sim import Simulator
 from .monitor import BackendLink, RuntimeMonitor
 from .platform import DynamicPlatform
 from .update import UpdateOrchestrator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..exec.pool import ParallelExecutor
 
 
 def _vehicle_topology(index: int) -> Topology:
@@ -234,3 +239,181 @@ class CampaignManager:
             except UpdateError:
                 continue  # the app died entirely; nothing to roll back
             sim.run(until=sim.now + 0.5)
+
+
+# -- multi-replication campaign sweeps (repro.exec fan-out site) ---------
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Picklable description of one fleet-campaign replication.
+
+    Each replication builds a fresh fleet inside its own simulator, rolls
+    ``app_name`` from ``base_version`` to ``target_version`` and reports
+    a :class:`CampaignOutcome`.  ``target_wcet_jitter`` adds a
+    replication-seeded uniform perturbation to the new version's task
+    execution time, so a sweep explores the uncertainty band around the
+    nominal update instead of replaying one trajectory N times.
+    """
+
+    fleet_size: int = 4
+    wave_size: int = 2
+    soak_time: float = 0.5
+    abort_regression_ratio: float = 0.5
+    app_name: str = "fn"
+    period: float = 0.01
+    deadline: float = 0.008
+    base_version: Tuple[int, int] = (1, 0)
+    base_wcet: float = 0.001
+    target_version: Tuple[int, int] = (1, 1)
+    target_wcet: float = 0.001
+    target_wcet_jitter: float = 0.0
+    target_deadline: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class CampaignOutcome:
+    """Picklable summary of one campaign replication."""
+
+    replication: str
+    target_wcet: float
+    aborted: bool
+    rolled_back: bool
+    vehicles_updated: int
+    wave_count: int
+    regressions: int
+    final_versions: Tuple[Tuple[int, Optional[Tuple[int, ...]]], ...]
+
+    @property
+    def completed(self) -> bool:
+        return not self.aborted
+
+
+def _app_for(spec: CampaignSpec, version, wcet: float, deadline: float,
+             task_suffix: str) -> AppModel:
+    return AppModel(
+        name=spec.app_name,
+        tasks=(TaskSpec(
+            name=f"{spec.app_name}_loop{task_suffix}",
+            period=spec.period, wcet=wcet, deadline=deadline,
+        ),),
+        memory_kib=64, image_kib=128, version=tuple(version),
+    )
+
+
+class CampaignJob(SimJob):
+    """One fleet-campaign replication as a :class:`~repro.exec.SimJob`.
+
+    Builds simulator, trust store, fleet and campaign manager fresh in
+    the worker; all replication-specific randomness (the wcet jitter)
+    comes from the job context's derived seed, so a sweep's outcomes are
+    independent of worker count and completion order.
+    """
+
+    def __init__(self, job_id: str, spec: CampaignSpec) -> None:
+        self.job_id = job_id
+        self.spec = spec
+
+    def run(self, ctx: JobContext) -> CampaignOutcome:
+        spec = self.spec
+        target_wcet = spec.target_wcet
+        if spec.target_wcet_jitter:
+            target_wcet += ctx.rng().uniform(
+                "campaign.wcet_jitter", 0.0, spec.target_wcet_jitter
+            )
+        sim = Simulator(metrics=ctx.metrics)
+        store = TrustStore()
+        store.generate_key("oem")
+        fleet = Fleet(sim, store, size=spec.fleet_size)
+        old_app = _app_for(
+            spec, spec.base_version, spec.base_wcet, spec.deadline, ""
+        )
+        fleet.deploy_everywhere(old_app, "oem")
+        sim.run(until=sim.now + 0.5)
+        manager = CampaignManager(
+            fleet, "oem",
+            wave_size=spec.wave_size,
+            soak_time=spec.soak_time,
+            abort_regression_ratio=spec.abort_regression_ratio,
+        )
+        new_app = _app_for(
+            spec, spec.target_version, target_wcet,
+            spec.target_deadline if spec.target_deadline is not None
+            else spec.deadline,
+            "_v2",
+        )
+        result = manager.rollout(old_app, new_app)
+        updated = ctx.metrics.counter("campaign.vehicles_updated")
+        updated.inc(result.vehicles_updated)
+        regressed = ctx.metrics.counter("campaign.regressions")
+        regressed.inc(sum(w.regressions for w in result.waves))
+        aborted = ctx.metrics.counter("campaign.aborted")
+        if result.aborted:
+            aborted.inc()
+        versions = tuple(sorted(
+            (index, version)
+            for index, version in fleet.versions(spec.app_name).items()
+        ))
+        return CampaignOutcome(
+            replication=self.job_id,
+            target_wcet=target_wcet,
+            aborted=result.aborted,
+            rolled_back=result.rolled_back,
+            vehicles_updated=result.vehicles_updated,
+            wave_count=len(result.waves),
+            regressions=sum(w.regressions for w in result.waves),
+            final_versions=versions,
+        )
+
+
+@dataclass
+class SweepResult:
+    """Aggregate outcome of a multi-replication campaign sweep."""
+
+    outcomes: List[CampaignOutcome]
+    digest: Dict
+
+    @property
+    def aborted_count(self) -> int:
+        return sum(1 for o in self.outcomes if o.aborted)
+
+    @property
+    def completed_count(self) -> int:
+        return sum(1 for o in self.outcomes if o.completed)
+
+
+def sweep_campaigns(
+    spec: CampaignSpec,
+    *,
+    replications: int,
+    executor: Optional["ParallelExecutor"] = None,
+    master_seed: int = 0,
+) -> SweepResult:
+    """Run ``replications`` independent campaign replications.
+
+    With an executor the replications fan out across its workers; without
+    one they run inline.  Either way, replication ``i`` is seeded from
+    ``master_seed`` (the executor's own master seed when one is given)
+    and its id alone, so the outcome list is byte-identical for any
+    worker count.
+    """
+    if replications < 1:
+        raise UpdateError("sweep needs at least one replication")
+    jobs = [
+        CampaignJob(f"campaign.rep{i}", spec) for i in range(replications)
+    ]
+    if executor is None:
+        from ..exec.pool import ParallelExecutor
+
+        with ParallelExecutor(workers=1, master_seed=master_seed) as inline:
+            report = inline.run_jobs(jobs)
+    else:
+        report = executor.run_jobs(jobs)
+    failed = [r for r in report.results if not r.ok]
+    if failed:
+        detail = "; ".join(f"{r.job_id}: {r.error}" for r in failed[:5])
+        raise UpdateError(
+            f"{len(failed)}/{replications} campaign replications failed "
+            f"({detail})"
+        )
+    return SweepResult(outcomes=report.values, digest=report.merged_digest())

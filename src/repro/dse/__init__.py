@@ -10,12 +10,19 @@ from .engines import (
     genetic_search,
     random_search,
 )
-from .problem import Evaluation, MappingProblem
+from .problem import (
+    Evaluation,
+    GenomeBatchJob,
+    MappingProblem,
+    evaluate_genomes,
+)
 
 __all__ = [
     "Candidate",
     "Evaluation",
+    "GenomeBatchJob",
     "MappingProblem",
+    "evaluate_genomes",
     "ParetoArchive",
     "SearchResult",
     "annealing_search",

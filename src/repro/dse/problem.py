@@ -14,9 +14,13 @@ feasibility (via the verification engine) and the objective vector
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..errors import ConfigurationError
+from ..exec.jobs import JobContext, SimJob
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..exec.pool import ParallelExecutor
 from ..model.deployment import Deployment
 from ..model.system import SystemModel
 from ..model.verification import estimate_latency, verify
@@ -168,3 +172,57 @@ class MappingProblem:
 
     def evaluate_genome(self, genome: List[int]) -> Evaluation:
         return self.evaluate(self.decode(genome))
+
+
+class GenomeBatchJob(SimJob):
+    """Picklable evaluation entry point for parallel DSE.
+
+    Carries the problem plus a chunk of genomes to a worker process and
+    returns their :class:`Evaluation` vector in genome order.  Evaluation
+    is pure (verification + analytic objectives, no RNG), so results are
+    identical wherever the chunk runs; chunking amortises the one-time
+    cost of pickling the system model.
+    """
+
+    def __init__(
+        self, job_id: str, problem: MappingProblem, genomes: List[List[int]]
+    ) -> None:
+        self.job_id = job_id
+        self.problem = problem
+        self.genomes = genomes
+
+    def run(self, ctx: JobContext) -> List[Evaluation]:
+        evaluated = ctx.metrics.counter("dse.evaluations")
+        evaluated.inc(len(self.genomes))
+        return [self.problem.evaluate_genome(g) for g in self.genomes]
+
+
+def evaluate_genomes(
+    problem: MappingProblem,
+    genomes: List[List[int]],
+    executor: Optional["ParallelExecutor"] = None,
+    *,
+    tag: str = "batch",
+) -> List[Evaluation]:
+    """Evaluate a batch of genomes, serially or through an executor.
+
+    With ``executor=None`` this is a plain in-process loop; otherwise the
+    batch is split into one :class:`GenomeBatchJob` per executor worker
+    slot.  Both paths return evaluations in genome order and produce
+    identical results — the search engines call this at every fan-out
+    point so parallelism never changes a trajectory.
+    """
+    if executor is None or executor.workers <= 1 or len(genomes) <= 1:
+        return [problem.evaluate_genome(g) for g in genomes]
+    chunk = max(1, -(-len(genomes) // (executor.workers * 2)))
+    jobs = [
+        GenomeBatchJob(f"dse.{tag}.{i}", problem, genomes[i:i + chunk])
+        for i in range(0, len(genomes), chunk)
+    ]
+    evaluations: List[Evaluation] = []
+    for batch in executor.run(jobs):
+        evaluations.extend(batch)
+    # worker-side copies of the problem counted their own evaluations;
+    # mirror the count on the caller's instance
+    problem.evaluations += len(genomes)
+    return evaluations

@@ -50,3 +50,7 @@ class NetworkError(ReproError):
 
 class PlatformError(ReproError):
     """The dynamic platform detected an illegal lifecycle transition."""
+
+
+class ExecutionError(ReproError):
+    """A parallel experiment batch could not complete (failed jobs)."""

@@ -1,0 +1,36 @@
+"""Deterministic parallel experiment execution.
+
+The paper's workloads are embarrassingly parallel at the experiment
+level — DSE candidate evaluations (Section 2.3), fleet-campaign
+replications (Section 3.4) and XiL scenario batteries (Section 2.4) are
+all independent simulation runs.  This package fans them out across
+worker processes without ever changing results:
+
+* :class:`SimJob` — a picklable spec that builds a fresh simulator in a
+  worker and returns a picklable result;
+* :class:`ParallelExecutor` — a ``fork``-aware process pool with chunked
+  dispatch, per-job seed derivation, per-job timeout + bounded retry,
+  and merged :mod:`repro.obs` batch reports;
+* :func:`derive_job_seed` — the seed contract that makes parallel runs
+  byte-identical to serial ones.
+"""
+
+from .jobs import (
+    BatchReport,
+    FunctionJob,
+    JobContext,
+    JobResult,
+    SimJob,
+    derive_job_seed,
+)
+from .pool import ParallelExecutor
+
+__all__ = [
+    "BatchReport",
+    "FunctionJob",
+    "JobContext",
+    "JobResult",
+    "ParallelExecutor",
+    "SimJob",
+    "derive_job_seed",
+]

@@ -1,0 +1,256 @@
+"""A deterministic multi-process executor for independent simulation runs.
+
+:class:`ParallelExecutor` fans a batch of :class:`~repro.exec.jobs.SimJob`
+specs out over a ``concurrent.futures.ProcessPoolExecutor`` (preferring
+the cheap ``fork`` start method where the platform offers it) and returns
+results **in job order**, no matter which workers finished first.
+
+Guarantees:
+
+* **Determinism** — each job's RNG seed is derived from the master seed
+  and the job id only, so results are byte-identical to serial execution
+  for any worker count, chunking, or completion order.
+* **Chunked dispatch** — jobs are grouped into chunks to amortise pickle
+  and IPC cost; chunk composition never affects results.
+* **Bounded failure handling** — a job that raises is retried up to
+  ``retries`` times (the retry replays the same seed); a chunk that
+  exceeds its timeout or loses its worker poisons only that chunk, the
+  pool is rebuilt and the chunk's jobs count as failed for the round.
+* **Merged observability** — each job runs against a fresh
+  :class:`~repro.obs.metrics.MetricsRegistry`; per-job digests are folded
+  into one :mod:`repro.obs` batch report.
+
+With ``workers=1`` the batch runs inline through the *same* chunk-runner
+code path — that is the reference serial execution all parallel runs
+must match.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, TimeoutError
+from time import perf_counter
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ExecutionError
+from ..obs.metrics import MetricsRegistry
+from .jobs import BatchReport, JobContext, JobResult, SimJob, derive_job_seed
+
+#: (index, job, seed, attempt) — what travels to a worker per job
+_Payload = Tuple[int, SimJob, int, int]
+
+
+def _run_chunk(payload: Sequence[_Payload]) -> List[tuple]:
+    """Execute a chunk of jobs in this process (worker entry point).
+
+    Per-job exceptions are caught and reported as data so one bad job
+    neither loses its chunk-mates' completed work nor kills the worker.
+    """
+    out = []
+    pid = os.getpid()
+    for index, job, seed, attempt in payload:
+        registry = MetricsRegistry()
+        ctx = JobContext(job_id=job.job_id, seed=seed, attempt=attempt,
+                         metrics=registry)
+        start = perf_counter()
+        try:
+            value = job.run(ctx)
+        except Exception as exc:  # noqa: BLE001 - reported to the parent
+            out.append((index, False, repr(exc), None, pid,
+                        perf_counter() - start))
+        else:
+            digest: Optional[Dict[str, Any]] = None
+            if len(registry):
+                digest = {"metrics": registry.snapshot()}
+            out.append((index, True, value, digest, pid,
+                        perf_counter() - start))
+    return out
+
+
+class ParallelExecutor:
+    """Runs batches of :class:`SimJob` across a worker-process pool.
+
+    The pool is created lazily and reused across :meth:`run_jobs` calls
+    (a GA evaluating one population per generation pays the fork cost
+    once, not per generation).  Use as a context manager or call
+    :meth:`close` when done.
+
+    Args:
+        workers: worker-process count; ``1`` executes inline (the
+            serial reference path).  Defaults to the machine's CPU count.
+        master_seed: root of all per-job seed derivation.
+        retries: extra attempts granted to a failed job (same seed).
+        job_timeout: wall-clock budget **per job** in seconds; a chunk's
+            deadline is ``job_timeout * len(chunk) + grace``.  ``None``
+            waits forever.
+        chunk_size: jobs per worker submission; defaults to spreading
+            the batch ~4 chunks per worker.
+        start_method: multiprocessing start method; defaults to ``fork``
+            where available (cheap, inherits the parent's modules).
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        *,
+        master_seed: int = 0,
+        retries: int = 1,
+        job_timeout: Optional[float] = None,
+        chunk_size: Optional[int] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise ExecutionError(f"workers must be >= 1, got {workers}")
+        if retries < 0:
+            raise ExecutionError(f"retries must be >= 0, got {retries}")
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        self.master_seed = master_seed
+        self.retries = retries
+        self.job_timeout = job_timeout
+        self.chunk_size = chunk_size
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self.start_method = start_method
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def _get_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            context = multiprocessing.get_context(self.start_method)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=context
+            )
+        return self._pool
+
+    def _discard_pool(self) -> None:
+        """Drop a pool whose workers may be hung or dead."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    # -- execution -------------------------------------------------------
+
+    def run(self, jobs: Sequence[SimJob]) -> List[Any]:
+        """Execute ``jobs``; return their values in job order.
+
+        Raises :class:`ExecutionError` if any job still fails after its
+        retry budget.  Use :meth:`run_jobs` for non-strict execution.
+        """
+        report = self.run_jobs(jobs)
+        if report.failed:
+            bad = [r for r in report.results if not r.ok]
+            detail = "; ".join(f"{r.job_id}: {r.error}" for r in bad[:5])
+            raise ExecutionError(
+                f"{report.failed}/{len(report.results)} jobs failed "
+                f"after {self.retries} retries ({detail})"
+            )
+        return report.values
+
+    def run_jobs(self, jobs: Sequence[SimJob]) -> BatchReport:
+        """Execute ``jobs``; return a :class:`BatchReport` in job order.
+
+        Failed jobs (after retries) appear as :class:`JobResult` entries
+        with ``error`` set — the caller decides whether that is fatal.
+        """
+        jobs = list(jobs)
+        seen: Dict[str, int] = {}
+        for index, job in enumerate(jobs):
+            if job.job_id in seen:
+                raise ExecutionError(
+                    f"duplicate job_id {job.job_id!r} (indices "
+                    f"{seen[job.job_id]} and {index}): seed derivation "
+                    f"requires unique ids"
+                )
+            seen[job.job_id] = index
+        report = BatchReport()
+        if not jobs:
+            return report
+        pending: List[_Payload] = [
+            (i, job, derive_job_seed(self.master_seed, job.job_id), 0)
+            for i, job in enumerate(jobs)
+        ]
+        results: Dict[int, JobResult] = {}
+        for round_no in range(self.retries + 1):
+            failed = self._run_round(pending, results)
+            if not failed or round_no == self.retries:
+                break
+            report.retried += len(failed)
+            pending = [(i, job, seed, attempt + 1)
+                       for (i, job, seed, attempt) in failed]
+        report.results = [results[i] for i in range(len(jobs))]
+        report.failed = sum(1 for r in report.results if not r.ok)
+        return report
+
+    def _run_round(
+        self, payloads: List[_Payload], results: Dict[int, JobResult]
+    ) -> List[_Payload]:
+        """Run one attempt round; record outcomes; return failed payloads."""
+        by_index = {p[0]: p for p in payloads}
+        failed: List[_Payload] = []
+
+        def record(raw: tuple) -> None:
+            index, ok, value, digest, pid, elapsed = raw
+            _, job, seed, attempt = by_index[index]
+            result = JobResult(
+                index=index, job_id=job.job_id, seed=seed,
+                attempts=attempt + 1, worker_pid=pid, elapsed=elapsed,
+            )
+            if ok:
+                result.value = value
+                result.digest = digest
+            else:
+                result.error = value
+                failed.append(by_index[index])
+            results[index] = result
+
+        if self.workers == 1:
+            for raw in _run_chunk(payloads):
+                record(raw)
+            return failed
+
+        chunks = self._chunk(payloads)
+        pool = self._get_pool()
+        futures = [(pool.submit(_run_chunk, chunk), chunk) for chunk in chunks]
+        for future, chunk in futures:
+            timeout = None
+            if self.job_timeout is not None:
+                timeout = self.job_timeout * len(chunk) + 1.0
+            try:
+                raws = future.result(timeout=timeout)
+            except (TimeoutError, BrokenExecutor) as exc:
+                # A hung or dead worker poisons its pool slot: rebuild the
+                # pool and count the whole chunk as failed for this round.
+                self._discard_pool()
+                for payload in chunk:
+                    record((payload[0], False, repr(exc), None, 0, 0.0))
+                continue
+            for raw in raws:
+                record(raw)
+        return failed
+
+    def _chunk(self, payloads: List[_Payload]) -> List[List[_Payload]]:
+        size = self.chunk_size
+        if size is None:
+            size = max(1, -(-len(payloads) // (self.workers * 4)))
+        return [payloads[i:i + size] for i in range(0, len(payloads), size)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"<ParallelExecutor workers={self.workers} "
+            f"seed={self.master_seed} retries={self.retries}>"
+        )

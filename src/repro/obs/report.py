@@ -50,6 +50,75 @@ def digest_for(sim: Any) -> Dict[str, Any]:
     )
 
 
+def merge_digests(
+    digests: Any, *, jobs: int = 0, failed: int = 0, retried: int = 0
+) -> Dict[str, Any]:
+    """Fold per-job metric digests into one batch-level report.
+
+    Used by :class:`repro.exec.pool.ParallelExecutor` to aggregate the
+    :class:`~repro.obs.metrics.MetricsRegistry` snapshots that each worker
+    shipped home.  Merge rules per instrument kind:
+
+    * **counter** — values sum (a count of events is additive);
+    * **gauge** — the maximum is kept (gauges are point-in-time levels;
+      the merged report answers "how high did it get anywhere?");
+    * **histogram** — ``count``/``sum`` add, ``min``/``max`` extend and
+      the mean is recomputed.  Per-job quantiles cannot be combined
+      exactly from snapshots, so the merged histogram omits them rather
+      than report a number that looks more precise than it is.
+
+    The ``jobs``/``failed``/``retried`` totals are recorded under an
+    ``exec`` section so the batch shape travels with the metrics.
+    """
+    merged_metrics: Dict[str, Dict[str, Any]] = {}
+    sources = 0
+    for entry in digests:
+        if not entry:
+            continue
+        metrics = entry.get("metrics") if isinstance(entry, dict) else None
+        if not metrics:
+            continue
+        sources += 1
+        for kind, instruments in metrics.items():
+            bucket = merged_metrics.setdefault(kind, {})
+            for name, snap in instruments.items():
+                current = bucket.get(name)
+                if current is None:
+                    snap = dict(snap)
+                    if kind == "histogram":
+                        for q in ("p50", "p95", "p99"):
+                            snap.pop(q, None)
+                    bucket[name] = snap
+                    continue
+                if kind == "counter":
+                    current["value"] += snap["value"]
+                elif kind == "gauge":
+                    current["value"] = max(current["value"], snap["value"])
+                elif kind == "histogram":
+                    if snap["count"]:
+                        if current["count"]:
+                            current["min"] = min(current["min"], snap["min"])
+                            current["max"] = max(current["max"], snap["max"])
+                        else:
+                            current["min"] = snap["min"]
+                            current["max"] = snap["max"]
+                    count = current["count"] + snap["count"]
+                    current["count"] = count
+                    current["sum"] += snap["sum"]
+                    current["mean"] = current["sum"] / count if count else 0.0
+                else:  # unknown kinds pass through first-seen
+                    pass
+    return {
+        "exec": {
+            "jobs": jobs,
+            "failed": failed,
+            "retried": retried,
+            "digests_merged": sources,
+        },
+        "metrics": merged_metrics,
+    }
+
+
 def render_text(
     metrics: Optional[Any] = None,
     profiler: Optional[Any] = None,

@@ -4,6 +4,12 @@ The kernel is organised around a single priority queue of
 :class:`ScheduledCall` objects.  Each call fires at a simulated time; ties
 are broken first by an integer priority (lower fires first) and then by
 insertion order, which makes every simulation run fully deterministic.
+
+Hot-path notes: every heap sift step compares two calls, so ``__lt__``
+works on a ``sort_key`` tuple precomputed at construction instead of
+allocating two fresh tuples per comparison; and cancelled entries are
+pruned eagerly once they outnumber the live ones, so long campaigns that
+cancel many timers keep O(log live) heap operations.
 """
 
 from __future__ import annotations
@@ -33,7 +39,8 @@ class ScheduledCall:
     and may be cancelled before they fire via :meth:`cancel`.
     """
 
-    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled", "_queue")
+    __slots__ = ("time", "priority", "seq", "sort_key", "callback", "args",
+                 "cancelled", "_queue")
 
     def __init__(
         self,
@@ -47,6 +54,8 @@ class ScheduledCall:
         self.time = time
         self.priority = priority
         self.seq = seq
+        #: ordering key, precomputed so heap comparisons allocate nothing
+        self.sort_key = (time, priority, seq)
         self.callback = callback
         self.args = args
         self.cancelled = False
@@ -61,11 +70,7 @@ class ScheduledCall:
             self._queue._note_cancelled()
 
     def __lt__(self, other: "ScheduledCall") -> bool:
-        return (self.time, self.priority, self.seq) < (
-            other.time,
-            other.priority,
-            other.seq,
-        )
+        return self.sort_key < other.sort_key
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         state = "cancelled" if self.cancelled else "pending"
@@ -87,6 +92,23 @@ class EventQueue:
 
     def _note_cancelled(self) -> None:
         self._cancelled_in_heap += 1
+        # Eager pruning: once cancelled entries exceed half the heap, one
+        # O(n) rebuild is cheaper than letting every push/pop sift through
+        # the dead weight.  Amortised cost stays O(1) per cancellation.
+        if self._cancelled_in_heap * 2 > len(self._heap) and len(self._heap) >= 8:
+            self._prune()
+
+    def _prune(self) -> None:
+        """Rebuild the heap without cancelled entries."""
+        live = []
+        for call in self._heap:
+            if call.cancelled:
+                call._queue = None
+            else:
+                live.append(call)
+        heapq.heapify(live)
+        self._heap = live
+        self._cancelled_in_heap = 0
 
     def push(
         self,

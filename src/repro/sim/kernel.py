@@ -48,6 +48,18 @@ class Interrupted(Exception):
         self.cause = cause
 
 
+def _drain_callbacks(callbacks: List[Callable[[Any], None]], value: Any) -> None:
+    """Run a batch of signal waiters back-to-back inside one event.
+
+    Firing a signal with N waiters used to push N urgent events; since the
+    waiters were pushed consecutively they always ran consecutively anyway,
+    so collapsing them into one drain event preserves ordering exactly
+    while cutting N heap operations down to one.
+    """
+    for cb in callbacks:
+        cb(value)
+
+
 class Signal:
     """A one-shot waitable event carrying an optional value.
 
@@ -71,9 +83,17 @@ class Signal:
             raise SimulationError(f"signal {self.name!r} fired twice")
         self.fired = True
         self.value = value
-        callbacks, self._callbacks = self._callbacks, []
-        for cb in callbacks:
-            self.sim.schedule(0.0, cb, value, priority=PRIORITY_URGENT)
+        callbacks = self._callbacks
+        if not callbacks:
+            return
+        self._callbacks = []
+        sim = self.sim
+        if len(callbacks) == 1:
+            sim.queue.push(sim.now, callbacks[0], (value,), PRIORITY_URGENT)
+        else:
+            sim.queue.push(
+                sim.now, _drain_callbacks, (callbacks, value), PRIORITY_URGENT
+            )
 
     def add_callback(self, callback: Callable[[Any], None]) -> None:
         """Invoke ``callback(value)`` when the signal fires.
@@ -250,9 +270,13 @@ class Simulator:
         priority: int = PRIORITY_NORMAL,
     ) -> ScheduledCall:
         """Run ``callback(*args)`` after ``delay`` simulated seconds."""
-        if delay < 0:
-            raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        return self.queue.push(self.now + delay, callback, args, priority)
+        if delay:
+            if delay < 0:
+                raise SimulationError(f"cannot schedule in the past (delay={delay})")
+            return self.queue.push(self.now + delay, callback, args, priority)
+        # delay == 0 fast path — the dominant case (urgent wakeups, signal
+        # fan-out, process starts): skip the sign test and the addition.
+        return self.queue.push(self.now, callback, args, priority)
 
     def at(
         self,

@@ -8,11 +8,16 @@ from .controller import (
     PiGains,
 )
 from .harness import (
+    BatteryResult,
     FaultInjector,
     LoopAssertions,
     LoopResult,
+    ScenarioSpec,
+    ScenarioVerdict,
+    XilScenarioJob,
     XilTestCase,
     XilTestSuite,
+    run_battery,
     run_mil,
     run_sil,
 )
@@ -22,6 +27,7 @@ from .vil import VilResult, run_vil, vil_topology
 __all__ = [
     "AccController",
     "AccScenario",
+    "BatteryResult",
     "BuggyCruiseController",
     "CruiseController",
     "FaultInjector",
@@ -30,10 +36,14 @@ __all__ = [
     "LoopAssertions",
     "LoopResult",
     "PiGains",
+    "ScenarioSpec",
+    "ScenarioVerdict",
     "VehicleParameters",
     "VilResult",
+    "XilScenarioJob",
     "XilTestCase",
     "XilTestSuite",
+    "run_battery",
     "run_mil",
     "run_sil",
     "run_vil",

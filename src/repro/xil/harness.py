@@ -18,15 +18,19 @@ from __future__ import annotations
 
 import time as wallclock
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from ..errors import ConfigurationError
+from ..exec.jobs import JobContext, SimJob
 from ..osal.core import Core
 from ..osal.policies import FixedPriorityPolicy
 from ..osal.task import Job, TaskSpec
 from ..sim import Simulator
-from .controller import CruiseController
+from .controller import CruiseController, PiGains
 from .plant import LongitudinalPlant
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..exec.pool import ParallelExecutor
 
 
 @dataclass
@@ -274,3 +278,155 @@ class XilTestSuite:
             for message in messages:
                 lines.append(f"    - {message}")
         return "\n".join(lines)
+
+
+# -- parallel scenario batteries (repro.exec fan-out site) ---------------
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Picklable description of one closed-loop scenario.
+
+    Unlike :class:`XilTestCase` (which carries a live controller factory
+    callable), a spec holds only plain data — controller gains, loop
+    level, fault parameters, assertion limits — so it can travel to a
+    worker process and rebuild the scenario there.
+    """
+
+    name: str
+    level: str = "MiL"
+    duration: float = 30.0
+    target_mps: float = 25.0
+    initial_speed: float = 0.0
+    kp: float = 0.12
+    ki: float = 0.02
+    # fault injection (None = healthy)
+    sensor_stuck_at: Optional[float] = None
+    sensor_dropout_window: Optional[Tuple[float, float]] = None
+    actuator_stuck_at: Optional[float] = None
+    # assertion limits
+    max_overshoot: float = 2.0
+    max_settling_time: Optional[float] = 60.0
+    max_steady_state_error: float = 0.5
+
+    def build_case(self) -> XilTestCase:
+        """Materialise the runnable test case (in whatever process)."""
+        faults: Optional[FaultInjector] = None
+        if (self.sensor_stuck_at is not None
+                or self.sensor_dropout_window is not None
+                or self.actuator_stuck_at is not None):
+            faults = FaultInjector()
+            faults.sensor_stuck_at = self.sensor_stuck_at
+            faults.sensor_dropout_window = self.sensor_dropout_window
+            faults.actuator_stuck_at = self.actuator_stuck_at
+        gains = PiGains(kp=self.kp, ki=self.ki)
+        target = self.target_mps
+        return XilTestCase(
+            name=self.name,
+            build_controller=lambda: CruiseController(target, gains),
+            assertions=LoopAssertions(
+                max_overshoot=self.max_overshoot,
+                max_settling_time=self.max_settling_time,
+                max_steady_state_error=self.max_steady_state_error,
+            ),
+            level=self.level,
+            duration=self.duration,
+            initial_speed=self.initial_speed,
+            faults=faults,
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioVerdict:
+    """Picklable pass/fail outcome of one scenario."""
+
+    name: str
+    level: str
+    passed: bool
+    failures: Tuple[str, ...]
+    overshoot: float
+    settling_time: Optional[float]
+    steady_state_error: float
+    samples: int
+
+
+class XilScenarioJob(SimJob):
+    """Runs one :class:`ScenarioSpec` closed loop in a worker process."""
+
+    def __init__(self, job_id: str, spec: ScenarioSpec) -> None:
+        self.job_id = job_id
+        self.spec = spec
+
+    def run(self, ctx: JobContext) -> ScenarioVerdict:
+        passed, failures, result = self.spec.build_case().run()
+        verdicts = ctx.metrics.counter(
+            "xil.verdicts", outcome="pass" if passed else "fail"
+        )
+        verdicts.inc()
+        overshoot_hist = ctx.metrics.histogram("xil.overshoot_mps")
+        overshoot_hist.observe(result.overshoot())
+        return ScenarioVerdict(
+            name=self.spec.name,
+            level=result.level,
+            passed=passed,
+            failures=tuple(failures),
+            overshoot=result.overshoot(),
+            settling_time=result.settling_time(),
+            steady_state_error=result.steady_state_error(),
+            samples=len(result.speeds),
+        )
+
+
+@dataclass
+class BatteryResult:
+    """Aggregate outcome of one scenario battery."""
+
+    verdicts: List[ScenarioVerdict]
+    digest: Dict
+
+    @property
+    def failures(self) -> int:
+        return sum(1 for v in self.verdicts if not v.passed)
+
+    def report(self) -> str:
+        lines = []
+        for verdict in self.verdicts:
+            status = "PASS" if verdict.passed else "FAIL"
+            lines.append(f"[{status}] {verdict.name} ({verdict.level})")
+            for message in verdict.failures:
+                lines.append(f"    - {message}")
+        return "\n".join(lines)
+
+
+def run_battery(
+    scenarios: List[ScenarioSpec],
+    *,
+    executor: Optional["ParallelExecutor"] = None,
+    master_seed: int = 0,
+) -> BatteryResult:
+    """Run a scenario battery, serially or fanned out over an executor.
+
+    Scenario order is preserved in the verdict list regardless of which
+    worker finished first; closed loops are deterministic given their
+    spec, so parallel verdicts equal serial ones exactly.
+    """
+    if not scenarios:
+        raise ConfigurationError("battery needs at least one scenario")
+    names = [s.name for s in scenarios]
+    if len(set(names)) != len(names):
+        raise ConfigurationError(f"duplicate scenario names in battery: {names}")
+    jobs = [XilScenarioJob(f"xil.{s.name}", s) for s in scenarios]
+    if executor is None:
+        from ..exec.pool import ParallelExecutor
+
+        with ParallelExecutor(workers=1, master_seed=master_seed) as inline:
+            report = inline.run_jobs(jobs)
+    else:
+        report = executor.run_jobs(jobs)
+    failed = [r for r in report.results if not r.ok]
+    if failed:
+        detail = "; ".join(f"{r.job_id}: {r.error}" for r in failed[:5])
+        raise ConfigurationError(
+            f"{len(failed)}/{len(jobs)} battery scenarios crashed ({detail})"
+        )
+    return BatteryResult(verdicts=report.values, digest=report.merged_digest())
