@@ -1,0 +1,373 @@
+"""Frozen pre-optimization communication stack, for benchmark baselines.
+
+Companion to :mod:`_legacy_kernel`: these classes restore the network and
+middleware hot paths exactly as they stood *before* the comms fast-path
+PR, so ``BENCH_comms.json`` records a before/after trajectory on the same
+hardware and Python:
+
+* ``LegacyVehicleNetwork`` — recomputes the shortest path on **every**
+  send (including the per-call ``import networkx`` on the degraded-mode
+  branch), rebuilds the bus-name set per ``route_buses`` call, and runs
+  the per-segment ``_send_hop`` chain with one end-to-end signal and one
+  forwarding closure per segment per hop;
+* ``LegacyCanBus`` — full ``O(n log n)`` sort of the pending list per
+  arbitration round, K-times-counted arbitration losses, unguarded
+  trace-kwargs construction;
+* ``LegacyFlexRayBus`` — sorts the dynamic queue on every dynamic-segment
+  iteration;
+* ``LegacyEthernetBus`` / ``LegacyTsnBus`` — recompute each frame's wire
+  duration at every selection round and scan the whole GCL per enqueue;
+* ``LegacyEndpoint`` — re-resolves the route (and the per-technology
+  segment payloads) for every message, then issues one independent
+  ``network.send`` per segment;
+* unguarded ``_deliver`` — builds the trace kwargs dict and copies the
+  listener table on every delivery, tracing or not.
+
+Do not "fix" this module: its whole value is staying slow the old way.
+The delivery semantics are identical to the live stack — the benchmark
+asserts byte-identical delivery traces between the two.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError, NetworkError
+from repro.middleware.endpoint import Endpoint
+from repro.middleware.wire import Message, segment_payload_for, segments_needed
+from repro.network.base import BusModel
+from repro.network.can import CanBus, can_frame_bits
+from repro.network.ethernet import (
+    EgressPort,
+    EthernetBus,
+    N_PRIORITIES,
+    ethernet_wire_bytes,
+)
+from repro.network.flexray import FlexRayBus
+from repro.network.frame import Frame, TrafficClass
+from repro.network.gateway import VehicleNetwork
+from repro.network.tsn import GatedEgressPort, TsnBus
+from repro.sim import Signal
+
+
+class _LegacyDeliverMixin(BusModel):
+    """The pre-change ``_deliver``: unguarded trace kwargs, per-delivery
+    listener-table copy."""
+
+    def _deliver(self, frame, done):
+        frame.delivered_at = self.sim.now
+        self.frames_delivered += 1
+        self.bytes_delivered += frame.payload_bytes
+        self._m_frames.inc()
+        self._m_bytes.inc(frame.payload_bytes)
+        self._m_latency.observe(frame.latency)
+        self.sim.trace(
+            "net.delivery",
+            bus=self.name,
+            frame_id=frame.frame_id,
+            src=frame.src,
+            dst=frame.dst,
+            label=frame.label,
+            latency=frame.latency,
+            traffic_class=frame.traffic_class.value,
+        )
+        if frame.dst is None:
+            for ecu, listener in list(self._listeners.items()):
+                if ecu != frame.src:
+                    listener(frame)
+        else:
+            listener = self._listeners.get(frame.dst)
+            if listener is not None:
+                listener(frame)
+        if done is not None:
+            done.fire(frame)
+
+
+class LegacyCanBus(_LegacyDeliverMixin, CanBus):
+    """Pending list sorted in full on every arbitration round."""
+
+    def submit(self, frame: Frame) -> Signal:
+        from repro.network.can import CAN_MAX_ID
+
+        if not 0 <= frame.priority <= CAN_MAX_ID:
+            raise NetworkError(
+                f"CAN identifier must be 0..{CAN_MAX_ID}, got {frame.priority}"
+            )
+        can_frame_bits(frame.payload_bytes)  # validates payload size
+        frame.created_at = self.sim.now
+        done = self.sim.signal(name=f"{self.name}.tx")
+        self._seq += 1
+        self._pending.append((frame.priority, self._seq, frame, done))
+        if not self._busy:
+            self._start_next()
+        return done
+
+    def _start_next(self) -> None:
+        if not self._pending:
+            return
+        self._busy = True
+        if len(self._pending) > 1:
+            self.arbitration_losses += len(self._pending) - 1
+        self._pending.sort(key=lambda item: (item[0], item[1]))
+        __, __, frame, done = self._pending.pop(0)
+        duration = can_frame_bits(frame.payload_bytes) / self.bitrate_bps
+        self.sim.trace(
+            "net.tx_start",
+            bus=self.name,
+            frame_id=frame.frame_id,
+            can_id=frame.priority,
+            duration=duration,
+        )
+        self.sim.schedule(duration, self._finish, frame, done, duration)
+
+
+class LegacyFlexRayBus(_LegacyDeliverMixin, FlexRayBus):
+    """Dynamic queue re-sorted on every dynamic-segment iteration."""
+
+    def submit(self, frame: Frame) -> Signal:
+        self._ensure_cycle_process()
+        frame.created_at = self.sim.now
+        done = self.sim.signal(name=f"{self.name}.tx")
+        if frame.traffic_class is TrafficClass.DETERMINISTIC:
+            slot = self.slot_of(frame.src)
+            if slot is None:
+                raise NetworkError(
+                    f"{frame.src!r} owns no static slot on {self.name!r}"
+                )
+            if frame.payload_bytes > self.config.slot_payload_bytes:
+                raise NetworkError(
+                    f"frame exceeds static slot payload "
+                    f"({frame.payload_bytes} > {self.config.slot_payload_bytes})"
+                )
+            self._slot_queue[slot].append((frame, done))
+        else:
+            self._seq += 1
+            self._dynamic.append((frame.priority, self._seq, frame, done))
+        return done
+
+    def _cycle_loop(self):
+        cfg = self.config
+        cycle = int(self.sim.now // cfg.cycle_length)
+        while True:
+            cycle_start = cycle * cfg.cycle_length
+            for slot in range(cfg.static_slots):
+                slot_start = cfg.slot_start(cycle, slot)
+                if slot_start < self.sim.now:
+                    continue
+                wait = slot_start - self.sim.now
+                if wait > 0:
+                    yield wait
+                queue = self._slot_queue.get(slot)
+                if queue:
+                    frame, done = queue.pop(0)
+                    yield cfg.static_slot_length
+                    self.static_frames_sent += 1
+                    self.record_transmission(cfg.static_slot_length)
+                    self._deliver(frame, done)
+            dyn_start = cycle_start + cfg.static_segment_length
+            dyn_end = cycle_start + cfg.cycle_length
+            if self.sim.now < dyn_start:
+                yield dyn_start - self.sim.now
+            while self._dynamic and self.sim.now < dyn_end:
+                self._dynamic.sort(key=lambda item: (item[0], item[1]))
+                __, __, frame, done = self._dynamic[0]
+                duration = self.wire_time(frame.payload_bytes + 8)
+                if self.sim.now + duration > dyn_end:
+                    self.dynamic_deferrals += 1
+                    break
+                self._dynamic.pop(0)
+                yield duration
+                self.dynamic_frames_sent += 1
+                self.record_transmission(duration)
+                self._deliver(frame, done)
+            if dyn_end > self.sim.now:
+                yield dyn_end - self.sim.now
+            cycle += 1
+            if not self._has_pending():
+                self._cycle_proc_started = False
+                return
+
+
+class LegacyEgressPort(EgressPort):
+    """(frame, done) pairs; wire duration recomputed per transmission."""
+
+    def enqueue(self, frame: Frame, done: Signal) -> None:
+        if not 0 <= frame.priority < N_PRIORITIES:
+            raise NetworkError(
+                f"Ethernet PCP must be 0..{N_PRIORITIES - 1}, got {frame.priority}"
+            )
+        self.queues[frame.priority].append((frame, done))
+        if not self.busy:
+            self._start_next()
+
+    def _select(self):
+        for pcp in range(N_PRIORITIES - 1, -1, -1):
+            if self.queues[pcp]:
+                return self.queues[pcp].popleft()
+        return None
+
+    def _start_next(self) -> None:
+        item = self._select()
+        if item is None:
+            return
+        frame, done = item
+        self.busy = True
+        duration = self.bus.wire_time(ethernet_wire_bytes(frame.payload_bytes))
+        self.bus.sim.schedule(duration, self._finish, frame, done, duration)
+
+
+class LegacyGatedEgressPort(GatedEgressPort):
+    """(frame, done) pairs; full GCL scan per enqueue, per-round duration
+    recomputation in transmission selection."""
+
+    def enqueue(self, frame: Frame, done: Signal) -> None:
+        duration = self.bus.wire_time(ethernet_wire_bytes(frame.payload_bytes))
+        fits_somewhere = any(
+            frame.priority in entry.open_priorities
+            and duration <= entry.duration + 1e-12
+            for entry in self.gcl.entries
+        )
+        if not fits_somewhere:
+            raise NetworkError(
+                f"frame of {frame.payload_bytes} B can never fit a gate window "
+                f"open for priority {frame.priority}"
+            )
+        self.queues[frame.priority].append((frame, done))
+        if not self.busy:
+            self._start_next()
+
+    def _select(self):
+        now = self.bus.sim.now
+        open_set, remaining = self.gcl.state_at(now)
+        for pcp in range(7, -1, -1):
+            if not self.queues[pcp]:
+                continue
+            if pcp not in open_set:
+                continue
+            frame, done = self.queues[pcp][0]
+            duration = self.bus.wire_time(ethernet_wire_bytes(frame.payload_bytes))
+            if duration <= remaining + 1e-12:
+                self.queues[pcp].popleft()
+                return frame, done
+            self.gate_deferrals += 1
+        self._arm_wakeup()
+        return None
+
+    def _start_next(self) -> None:
+        item = self._select()
+        if item is None:
+            self.busy = False
+            return
+        frame, done = item
+        self.busy = True
+        duration = self.bus.wire_time(ethernet_wire_bytes(frame.payload_bytes))
+        self.bus.sim.schedule(duration, self._finish, frame, done, duration)
+
+
+class LegacyEthernetBus(_LegacyDeliverMixin, EthernetBus):
+    def _make_port(self, dst: str):
+        return LegacyEgressPort(self, dst)
+
+
+class LegacyTsnBus(_LegacyDeliverMixin, TsnBus):
+    def _make_port(self, dst: str):
+        return LegacyGatedEgressPort(self, dst, self.gcl)
+
+
+def legacy_build_bus(sim, spec, gcl=None):
+    """Instantiate the legacy simulator class for a bus spec."""
+    if spec.technology == "can":
+        return LegacyCanBus(sim, spec.name, spec.bitrate_bps)
+    if spec.technology == "flexray":
+        return LegacyFlexRayBus(sim, spec.name, spec.bitrate_bps)
+    if spec.technology == "ethernet":
+        if spec.tsn_capable:
+            return LegacyTsnBus(sim, spec.name, spec.bitrate_bps, gcl=gcl)
+        return LegacyEthernetBus(sim, spec.name, spec.bitrate_bps)
+    raise ConfigurationError(f"no simulator for technology {spec.technology!r}")
+
+
+class LegacyVehicleNetwork(VehicleNetwork):
+    """Per-send shortest-path recomputation, per-segment signal chains."""
+
+    _bus_factory = staticmethod(legacy_build_bus)
+
+    def _route(self, src: str, dst: str) -> List[str]:
+        if not self._failed_buses:
+            return self.topology.route(src, dst)
+        import networkx as nx
+
+        graph = self.topology.graph.copy()
+        graph.remove_nodes_from(self._failed_buses)
+        try:
+            route = nx.shortest_path(graph, src, dst)
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            raise ConfigurationError(
+                f"no surviving path {src!r} -> {dst!r} "
+                f"(failed buses: {sorted(self._failed_buses)})"
+            ) from None
+        self.reroutes += 1
+        return route
+
+    def send(
+        self,
+        src: str,
+        dst: str,
+        payload_bytes: int,
+        *,
+        priority: int = 0,
+        traffic_class: TrafficClass = TrafficClass.NON_DETERMINISTIC,
+        payload: object = None,
+        label: str = "",
+    ) -> Signal:
+        route = self._route(src, dst)
+        hops: List[Tuple[str, str, str]] = []
+        for i in range(0, len(route) - 1, 2):
+            hops.append((route[i], route[i + 1], route[i + 2]))
+        done = self.sim.signal(name=f"net.{src}->{dst}")
+        self._send_hop(
+            tuple(hops), 0, payload_bytes, priority, traffic_class, payload, label, done
+        )
+        return done
+
+    def route_buses(self, src: str, dst: str):
+        return [
+            self.topology.bus(node)
+            for node in self._route(src, dst)
+            if node in {b.name for b in self.topology.buses}
+        ]
+
+
+class LegacyEndpoint(Endpoint):
+    """Route re-resolved per message; one ``network.send`` per segment."""
+
+    def _segment_sizes(self, src: str, message: Message) -> List[int]:
+        route_buses = self.network.route_buses(src, message.dst)
+        min_segment = min(
+            segment_payload_for(spec.technology) for spec in route_buses
+        )
+        total = message.total_bytes
+        n_segments = segments_needed(total, min_segment)
+        sizes = []
+        remaining = total
+        can_route = min_segment == segment_payload_for("can")
+        for _ in range(n_segments):
+            seg = min(min_segment, remaining) if remaining > 0 else 0
+            remaining -= seg
+            sizes.append(min(seg + 1, 8) if can_route else max(seg, 1))
+        return sizes
+
+    def _transmit(self, src: str, message: Message, qos, done: Signal) -> None:
+        sizes = self._segment_sizes(src, message)
+        n_segments = len(sizes)
+        for index, frame_payload in enumerate(sizes):
+            marker = (message, index, n_segments, done)
+            self.network.send(
+                src,
+                message.dst,
+                frame_payload,
+                priority=qos.priority,
+                traffic_class=qos.traffic_class,
+                payload=marker,
+                label=f"svc{message.service_id:04x}.{message.msg_type.value}",
+            )

@@ -2,25 +2,31 @@
 """Perf-trajectory benchmark runner.
 
 Measures (a) the kernel hot path against a frozen pre-optimization shim
-(:mod:`_legacy_kernel`) and (b) the :mod:`repro.exec` parallel executor
-against serial execution, then writes ``BENCH_kernel.json`` and
-``BENCH_exec.json`` at the repo root so every future PR has a recorded
-baseline to beat.
+(:mod:`_legacy_kernel`), (b) the :mod:`repro.exec` parallel executor
+against serial execution, and (c) the communication stack (route cache,
+heap arbitration, batched segmented transfer) against the frozen
+:mod:`_legacy_comms` shim, then writes ``BENCH_kernel.json``,
+``BENCH_exec.json`` and ``BENCH_comms.json`` at the repo root so every
+future PR has a recorded baseline to beat.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py           # full run
     PYTHONPATH=src python benchmarks/run_benchmarks.py --smoke   # CI-sized
 
-Both kernel variants run the *same* workload in the same process, so the
-events/sec ratio isolates the code change from the hardware.  Executor
-speedups depend on available cores; the report records ``cpu_count`` so
-single-core CI boxes are read in context.
+Legacy and optimized variants run the *same* workload in the same
+process, so the throughput ratio isolates the code change from the
+hardware; the comms benchmark additionally asserts that both sides
+produce **byte-identical delivery traces** (same frames, same order,
+same timestamps).  Executor speedups depend on available cores; the
+report records ``cpu_count`` so single-core CI boxes are read in
+context.
 """
 
 from __future__ import annotations
 
 import argparse
+import itertools
 import json
 import os
 import platform
@@ -138,6 +144,198 @@ def bench_kernel(*, smoke: bool) -> dict:
         "baseline_events_per_sec": round(baseline_eps),
         "optimized_events_per_sec": round(optimized_eps),
         "speedup": round(optimized_eps / baseline_eps, 3),
+    }
+
+
+# -- comms-stack benchmark ----------------------------------------------
+
+
+def _comms_topology():
+    """Mixed CAN / FlexRay / Ethernet vehicle with a redundant ring.
+
+    Two CAN legs joined to an Ethernet backbone through gateways, one
+    FlexRay chassis cluster, and a second Ethernet segment (``eth_ring``)
+    giving every gateway a redundant channel — so failing the backbone
+    mid-run exercises rerouting without partitioning the vehicle.
+    """
+    from repro.hw import BusSpec, EcuSpec, Topology
+
+    topo = Topology("bench-comms")
+    topo.add_bus(BusSpec("can_front", "can", 500_000.0))
+    topo.add_bus(BusSpec("can_rear", "can", 500_000.0))
+    topo.add_bus(BusSpec("flexray_chassis", "flexray", 10_000_000.0))
+    topo.add_bus(BusSpec("eth_backbone", "ethernet", 100e6))
+    topo.add_bus(BusSpec("eth_ring", "ethernet", 100e6))
+
+    eth2 = (("eth0", "ethernet"), ("eth1", "ethernet"))
+    topo.add_ecu(EcuSpec("sensor1", ports=(("can0", "can"),)))
+    topo.add_ecu(EcuSpec("sensor2", ports=(("can0", "can"),)))
+    topo.add_ecu(EcuSpec("actuator1", ports=(("can0", "can"),)))
+    topo.add_ecu(EcuSpec("actuator2", ports=(("can0", "can"),)))
+    topo.add_ecu(EcuSpec("brake1", ports=(("fr0", "flexray"),)))
+    topo.add_ecu(EcuSpec("brake2", ports=(("fr0", "flexray"),)))
+    topo.add_ecu(EcuSpec("cam", ports=(("eth0", "ethernet"),)))
+    topo.add_ecu(EcuSpec("fusion", ports=eth2))
+    topo.add_ecu(EcuSpec("gw_front", ports=(("can0", "can"),) + eth2))
+    topo.add_ecu(EcuSpec("gw_rear", ports=(("can0", "can"),) + eth2))
+    topo.add_ecu(EcuSpec("gw_chassis", ports=(("fr0", "flexray"),) + eth2))
+
+    topo.attach("sensor1", "can0", "can_front")
+    topo.attach("sensor2", "can0", "can_front")
+    topo.attach("gw_front", "can0", "can_front")
+    topo.attach("actuator1", "can0", "can_rear")
+    topo.attach("actuator2", "can0", "can_rear")
+    topo.attach("gw_rear", "can0", "can_rear")
+    topo.attach("brake1", "fr0", "flexray_chassis")
+    topo.attach("brake2", "fr0", "flexray_chassis")
+    topo.attach("gw_chassis", "fr0", "flexray_chassis")
+    for gw in ("gw_front", "gw_rear", "gw_chassis", "fusion"):
+        topo.attach(gw, "eth0", "eth_backbone")
+        topo.attach(gw, "eth1", "eth_ring")
+    topo.attach("cam", "eth0", "eth_backbone")
+    return topo
+
+
+def _reset_comms_counters():
+    """Pin frame/session id streams so trace runs are comparable."""
+    import repro.middleware.wire as wire
+    import repro.network.frame as frame_mod
+
+    frame_mod._frame_ids = itertools.count(1)
+    wire._session_ids = itertools.count(1)
+
+
+def _comms_run(network_cls, endpoint_cls, *, rounds, tracer=None):
+    """Run the mixed-topology SOA workload; returns (messages, elapsed).
+
+    Each 5 ms round issues six service messages spanning every transport:
+    CAN-segmented sensor fan-in, bulk Ethernet camera samples, cross-CAN
+    commands, a deterministic FlexRay brake request and an intra-cluster
+    FlexRay notification.  The middle half of the run fails the Ethernet
+    backbone, forcing reroutes over the ring (camera traffic, which has
+    no redundant path, pauses for that window).
+    """
+    from repro.middleware import (
+        Message,
+        MessageType,
+        QOS_BULK,
+        QOS_CONTROL,
+        QoS,
+        ServiceRegistry,
+    )
+    from repro.sim import Simulator
+
+    _reset_comms_counters()
+    period = 0.005
+    topo = _comms_topology()
+    sim = Simulator(tracer=tracer)
+    net = network_cls(sim, topo)
+    registry = ServiceRegistry()
+    endpoints = {
+        name: endpoint_cls(sim, net, name, registry)
+        for name in ("sensor1", "sensor2", "actuator1", "actuator2",
+                     "brake1", "brake2", "cam", "fusion")
+    }
+
+    def sender(src, dst, svc, msg_type, size, qos):
+        ep = endpoints[src]
+
+        def _send():
+            ep.send(
+                Message(service_id=svc, method_id=1, msg_type=msg_type,
+                        payload_bytes=size, src=src, dst=dst),
+                qos,
+            )
+
+        return _send
+
+    traffic = [
+        sender("sensor1", "fusion", 0x100, MessageType.NOTIFICATION, 48,
+               QoS(priority=0x120)),
+        sender("cam", "fusion", 0x200, MessageType.STREAM_SAMPLE, 3000,
+               QOS_BULK),
+        sender("fusion", "actuator1", 0x300, MessageType.REQUEST, 24,
+               QoS(priority=0x340)),
+        sender("sensor2", "actuator2", 0x101, MessageType.NOTIFICATION, 16,
+               QoS(priority=0x210)),
+        sender("fusion", "brake1", 0x400, MessageType.REQUEST, 8,
+               QOS_CONTROL),
+        sender("brake2", "brake1", 0x401, MessageType.NOTIFICATION, 12,
+               QoS(priority=0x500)),
+    ]
+    cam_index = 1
+
+    fail_round = rounds // 4
+    repair_round = (3 * rounds) // 4
+    start = perf_counter()
+    # backbone outage window: between the boundary rounds, offset so the
+    # failure event never ties with a round's sends
+    sim.at(fail_round * period - period / 2, net.fail_bus, "eth_backbone")
+    sim.at(repair_round * period - period / 2, net.repair_bus, "eth_backbone")
+    for r in range(rounds):
+        in_outage = fail_round <= r < repair_round
+        base = r * period
+        for index, send in enumerate(traffic):
+            if in_outage and index == cam_index:
+                continue  # the camera has no redundant path
+            sim.at(base, send)
+    sim.run()
+    elapsed = perf_counter() - start
+    messages = sum(ep.messages_sent for ep in endpoints.values())
+    return messages, elapsed
+
+
+def bench_comms(*, smoke: bool) -> dict:
+    import _legacy_comms
+
+    from repro.middleware import Endpoint
+    from repro.network import VehicleNetwork
+    from repro.sim import Tracer
+
+    rounds = 80 if smoke else 400
+    repeats = 2 if smoke else 3
+    sides = {
+        "legacy": (_legacy_comms.LegacyVehicleNetwork,
+                   _legacy_comms.LegacyEndpoint),
+        "optimized": (VehicleNetwork, Endpoint),
+    }
+
+    # interleave timing repeats so frequency scaling hits both sides equally
+    best = {"legacy": None, "optimized": None}
+    messages = {"legacy": 0, "optimized": 0}
+    for _ in range(repeats):
+        for name, (net_cls, ep_cls) in sides.items():
+            count, elapsed = _comms_run(net_cls, ep_cls, rounds=rounds)
+            messages[name] = count
+            if best[name] is None or elapsed < best[name]:
+                best[name] = elapsed
+    assert messages["legacy"] == messages["optimized"], (
+        "legacy and optimized comms stacks must send identical workloads"
+    )
+
+    # equivalence pass: full tracing on, delivery traces must be
+    # byte-identical (same frames, same order, same timestamps)
+    traces = {}
+    for name, (net_cls, ep_cls) in sides.items():
+        tracer = Tracer(enabled=True)
+        _comms_run(net_cls, ep_cls, rounds=max(rounds // 4, 30), tracer=tracer)
+        traces[name] = [e.to_json() for e in tracer.entries]
+    identical = traces["legacy"] == traces["optimized"]
+
+    baseline_mps = messages["legacy"] / best["legacy"]
+    optimized_mps = messages["optimized"] / best["optimized"]
+    return {
+        "workload": (
+            f"mixed CAN/FlexRay/Ethernet topology, {rounds} rounds x 6 "
+            f"messages, backbone outage in the middle half"
+        ),
+        "messages": messages["optimized"],
+        "repeats": repeats,
+        "trace_entries_compared": len(traces["optimized"]),
+        "baseline_messages_per_sec": round(baseline_mps),
+        "optimized_messages_per_sec": round(optimized_mps),
+        "speedup": round(optimized_mps / baseline_mps, 3),
+        "results_identical": identical,
     }
 
 
@@ -293,6 +491,20 @@ def main(argv=None) -> int:
         **kernel,
     })
 
+    print(f"\ncomms-stack benchmark ({'smoke' if args.smoke else 'full'})...")
+    comms = bench_comms(smoke=args.smoke)
+    print(
+        f"  legacy   {comms['baseline_messages_per_sec']:>12,} messages/s\n"
+        f"  current  {comms['optimized_messages_per_sec']:>12,} messages/s\n"
+        f"  speedup  {comms['speedup']:.2f}x "
+        f"(traces identical={comms['results_identical']})"
+    )
+    _write(os.path.join(args.out_dir, "BENCH_comms.json"), {
+        "environment": _environment(),
+        "mode": "smoke" if args.smoke else "full",
+        **comms,
+    })
+
     print(f"\nexecutor benchmarks (workers={args.workers})...")
     sections = {}
     for name, fn in (
@@ -315,6 +527,11 @@ def main(argv=None) -> int:
     })
 
     failures = []
+    if not comms["results_identical"]:
+        failures.append(
+            "comms fast path diverged from the legacy shim (delivery traces "
+            "not byte-identical)"
+        )
     if not all(s["results_identical"] for s in sections.values()):
         failures.append("parallel results diverged from serial")
     if failures:

@@ -31,6 +31,8 @@ from .wire import (
     Message,
     MessageType,
     ReturnCode,
+    SEGMENT_PAYLOADS,
+    plan_segment_sizes,
     segment_payload_for,
     segments_needed,
 )
@@ -57,11 +59,13 @@ __all__ = [
     "ReturnCode",
     "RpcClient",
     "RpcServer",
+    "SEGMENT_PAYLOADS",
     "ServiceOffer",
     "ServiceRegistry",
     "StreamSink",
     "StreamSource",
     "Subscription",
+    "plan_segment_sizes",
     "segment_payload_for",
     "segments_needed",
 ]

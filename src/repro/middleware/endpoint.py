@@ -14,7 +14,13 @@ from typing import Callable, Dict, List, Optional, Tuple
 from ..network import TrafficClass, VehicleNetwork
 from ..sim import Signal, Simulator
 from .registry import ServiceRegistry
-from .wire import Message, MessageType, segment_payload_for, segments_needed
+from .wire import (
+    CAN_SEGMENT_PAYLOAD,
+    Message,
+    MessageType,
+    plan_segment_sizes,
+    segment_payload_for,
+)
 
 #: Handler signature for incoming messages.
 MessageHandler = Callable[[Message], None]
@@ -62,6 +68,10 @@ class Endpoint:
         self._default_handlers: List[MessageHandler] = []
         #: (session_id) -> [received segments, needed, message]
         self._reassembly: Dict[int, List] = {}
+        #: (src, dst) -> (route_epoch, min_segment, can_route): the
+        #: segmentation plan for a route, valid while the network's
+        #: failure set is unchanged (``route_epoch`` guards staleness)
+        self._segment_plans: Dict[Tuple[str, str], Tuple[int, int, bool]] = {}
         self.messages_sent = 0
         self.messages_received = 0
         self.detached = False
@@ -133,38 +143,40 @@ class Endpoint:
         self._transmit(self.ecu_name, message, qos, done)
         return done
 
-    def _segment_sizes(self, src: str, message: Message) -> List[int]:
-        """Frame payload sizes (bytes on each frame) for the live route."""
-        route_buses = self.network.route_buses(src, message.dst)
+    def _segment_plan(self, src: str, dst: str) -> Tuple[int, bool]:
+        """(min_segment, can_route) for the live route, cached per
+        ``(src, dst)`` and invalidated by the network's ``route_epoch``
+        (any ``fail_bus``/``repair_bus`` cycle)."""
+        epoch = self.network.route_epoch
+        plan = self._segment_plans.get((src, dst))
+        if plan is not None and plan[0] == epoch:
+            return plan[1], plan[2]
+        route_buses = self.network.route_buses(src, dst)
         min_segment = min(
             segment_payload_for(spec.technology) for spec in route_buses
         )
-        total = message.total_bytes
-        n_segments = segments_needed(total, min_segment)
-        sizes = []
-        remaining = total
-        can_route = min_segment == segment_payload_for("can")
-        for _ in range(n_segments):
-            seg = min(min_segment, remaining) if remaining > 0 else 0
-            remaining -= seg
-            # ISO-TP style: one transport byte per CAN frame
-            sizes.append(min(seg + 1, 8) if can_route else max(seg, 1))
-        return sizes
+        can_route = min_segment == CAN_SEGMENT_PAYLOAD
+        self._segment_plans[(src, dst)] = (epoch, min_segment, can_route)
+        return min_segment, can_route
+
+    def _segment_sizes(self, src: str, message: Message) -> List[int]:
+        """Frame payload sizes (bytes on each frame) for the live route."""
+        min_segment, can_route = self._segment_plan(src, message.dst)
+        return plan_segment_sizes(message.total_bytes, min_segment, can_route)
 
     def _transmit(self, src: str, message: Message, qos: QoS, done: Signal) -> None:
         sizes = self._segment_sizes(src, message)
         n_segments = len(sizes)
-        for index, frame_payload in enumerate(sizes):
-            marker = (message, index, n_segments, done)
-            self.network.send(
-                src,
-                message.dst,
-                frame_payload,
-                priority=qos.priority,
-                traffic_class=qos.traffic_class,
-                payload=marker,
-                label=f"svc{message.service_id:04x}.{message.msg_type.value}",
-            )
+        markers = [(message, index, n_segments, done) for index in range(n_segments)]
+        self.network.send_segments(
+            src,
+            message.dst,
+            sizes,
+            priority=qos.priority,
+            traffic_class=qos.traffic_class,
+            payloads=markers,
+            label=f"svc{message.service_id:04x}.{message.msg_type.value}",
+        )
 
     def _deliver_local(self, message: Message, done: Signal) -> None:
         self.messages_received += 1

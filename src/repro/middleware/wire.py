@@ -96,15 +96,20 @@ class Message:
         return self.payload_bytes + HEADER_BYTES
 
 
+#: Effective per-frame payload by bus technology (hot-path lookup table).
+SEGMENT_PAYLOADS = {
+    "can": CAN_SEGMENT_PAYLOAD,
+    "ethernet": ETH_SEGMENT_PAYLOAD,
+    "flexray": FLEXRAY_SEGMENT_PAYLOAD,
+}
+
+
 def segment_payload_for(technology: str) -> int:
     """Effective per-frame payload for a bus technology."""
-    if technology == "can":
-        return CAN_SEGMENT_PAYLOAD
-    if technology == "ethernet":
-        return ETH_SEGMENT_PAYLOAD
-    if technology == "flexray":
-        return FLEXRAY_SEGMENT_PAYLOAD
-    raise NetworkError(f"unknown technology {technology!r}")
+    try:
+        return SEGMENT_PAYLOADS[technology]
+    except KeyError:
+        raise NetworkError(f"unknown technology {technology!r}") from None
 
 
 def segments_needed(total_bytes: int, segment_payload: int) -> int:
@@ -114,3 +119,23 @@ def segments_needed(total_bytes: int, segment_payload: int) -> int:
     if total_bytes <= 0:
         return 1  # header-only message still needs one frame
     return -(-total_bytes // segment_payload)  # ceil division
+
+
+def plan_segment_sizes(total_bytes: int, min_segment: int, can_route: bool) -> list:
+    """Per-frame payload sizes (bytes on the wire of each frame).
+
+    ``min_segment`` is the smallest effective segment payload along the
+    route; ``can_route`` selects ISO-TP framing (one transport byte per
+    8-byte CAN frame).  A pure function of its inputs, so endpoints can
+    cache the ``(min_segment, can_route)`` pair per route and re-plan
+    per message size without re-resolving the route.
+    """
+    n_segments = segments_needed(total_bytes, min_segment)
+    sizes = []
+    remaining = total_bytes
+    for _ in range(n_segments):
+        seg = min(min_segment, remaining) if remaining > 0 else 0
+        remaining -= seg
+        # ISO-TP style: one transport byte per CAN frame
+        sizes.append(min(seg + 1, 8) if can_route else max(seg, 1))
+    return sizes

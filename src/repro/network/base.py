@@ -37,6 +37,9 @@ class BusModel:
         self.name = name
         self.bitrate_bps = bitrate_bps
         self._listeners: Dict[str, Listener] = {}
+        # broadcast fan-out snapshot, rebuilt lazily after add/remove so
+        # the hot path never copies the listener table per delivery
+        self._listener_snapshot: Optional[List[tuple]] = None
         self.frames_delivered = 0
         self.bytes_delivered = 0
         #: accumulated seconds the medium spent transmitting (wire
@@ -57,10 +60,12 @@ class BusModel:
     def add_listener(self, ecu_name: str, listener: Listener) -> None:
         """Register ``listener`` as ECU ``ecu_name``'s receive handler."""
         self._listeners[ecu_name] = listener
+        self._listener_snapshot = None
 
     def remove_listener(self, ecu_name: str) -> None:
         """Detach an ECU's receive handler (e.g. on ECU failure)."""
         self._listeners.pop(ecu_name, None)
+        self._listener_snapshot = None
 
     @property
     def attached_ecus(self) -> List[str]:
@@ -68,8 +73,15 @@ class BusModel:
 
     # -- transmission --------------------------------------------------------
 
-    def submit(self, frame: Frame) -> Signal:
-        """Queue ``frame``; the returned signal fires on delivery."""
+    def submit(self, frame: Frame, done: Optional[Signal] = None) -> Signal:
+        """Queue ``frame``; the returned signal fires on delivery.
+
+        ``done`` lets a batching caller supply its own completion sink —
+        any object with ``fire(frame)`` — so the hot path can skip the
+        per-frame :class:`Signal` allocation and its deferred-dispatch
+        event (see ``VehicleNetwork.send_segments``).  When omitted, a
+        fresh signal is created and returned.
+        """
         raise NotImplementedError
 
     # -- shared helpers ------------------------------------------------------
@@ -82,19 +94,30 @@ class BusModel:
         self._m_frames.inc()
         self._m_bytes.inc(frame.payload_bytes)
         self._m_latency.observe(frame.latency)
-        self.sim.trace(
-            "net.delivery",
-            bus=self.name,
-            frame_id=frame.frame_id,
-            src=frame.src,
-            dst=frame.dst,
-            label=frame.label,
-            latency=frame.latency,
-            traffic_class=frame.traffic_class.value,
-        )
+        if self.sim.tracer.enabled:
+            # guarded at the call site: building the kwargs dict per
+            # delivery is pure overhead while tracing is off
+            self.sim.trace(
+                "net.delivery",
+                bus=self.name,
+                frame_id=frame.frame_id,
+                src=frame.src,
+                dst=frame.dst,
+                label=frame.label,
+                latency=frame.latency,
+                traffic_class=frame.traffic_class.value,
+            )
         if frame.dst is None:
-            for ecu, listener in list(self._listeners.items()):
-                if ecu != frame.src:
+            # iterate a prebuilt snapshot: a listener mutating the table
+            # mid-fan-out invalidates the cache for the *next* delivery,
+            # while this delivery keeps the pre-mutation view — exactly
+            # the semantics the per-delivery list() copy provided
+            listeners = self._listener_snapshot
+            if listeners is None:
+                listeners = self._listener_snapshot = list(self._listeners.items())
+            src = frame.src
+            for ecu, listener in listeners:
+                if ecu != src:
                     listener(frame)
         else:
             listener = self._listeners.get(frame.dst)

@@ -15,10 +15,16 @@ Classic CAN 2.0A semantics at frame granularity:
 
 Frame timing uses the standard worst-case stuffed length for an 11-bit
 identifier frame.
+
+The pending queue is a binary heap keyed on ``(identifier, submit
+sequence)`` — each arbitration round is O(log n) instead of the former
+full O(n log n) sort, with identical winner selection (ties between equal
+identifiers break by submission order, exactly as the sort did).
 """
 
 from __future__ import annotations
 
+import heapq
 from typing import List, Tuple
 
 from ..errors import NetworkError
@@ -58,13 +64,21 @@ class CanBus(BusModel):
 
     def __init__(self, sim: Simulator, name: str, bitrate_bps: float) -> None:
         super().__init__(sim, name, bitrate_bps)
-        # pending (priority/id, submit sequence, frame, done-signal)
+        # heap of (priority/id, submit sequence, frame, done-signal); the
+        # (priority, seq) prefix is unique, so the Frame is never compared
         self._pending: List[Tuple[int, int, Frame, Signal]] = []
         self._seq = 0
         self._busy = False
+        #: Frames that have lost at least one arbitration round — each
+        #: frame is counted once, at its *first* loss (a frame stuck
+        #: behind heavy traffic for K rounds still counts as one loss).
         self.arbitration_losses = 0
+        # first-loss bookkeeping, O(1) per round: every entry with a
+        # submit sequence above the watermark has never lost a round yet
+        self._loss_watermark = 0
+        self._fresh_pending = 0
 
-    def submit(self, frame: Frame) -> Signal:
+    def submit(self, frame: Frame, done: Signal = None) -> Signal:
         """Queue ``frame`` for arbitration; identifier = ``frame.priority``."""
         if not 0 <= frame.priority <= CAN_MAX_ID:
             raise NetworkError(
@@ -72,9 +86,11 @@ class CanBus(BusModel):
             )
         can_frame_bits(frame.payload_bytes)  # validates payload size
         frame.created_at = self.sim.now
-        done = self.sim.signal(name=f"{self.name}.tx")
+        if done is None:
+            done = self.sim.signal(name=f"{self.name}.tx")
         self._seq += 1
-        self._pending.append((frame.priority, self._seq, frame, done))
+        heapq.heappush(self._pending, (frame.priority, self._seq, frame, done))
+        self._fresh_pending += 1
         if not self._busy:
             self._start_next()
         return done
@@ -85,18 +101,24 @@ class CanBus(BusModel):
         if not self._pending:
             return
         self._busy = True
-        if len(self._pending) > 1:
-            self.arbitration_losses += len(self._pending) - 1
-        self._pending.sort(key=lambda item: (item[0], item[1]))
-        __, __, frame, done = self._pending.pop(0)
+        __, seq, frame, done = heapq.heappop(self._pending)
+        if seq > self._loss_watermark:
+            self._fresh_pending -= 1
+        if self._pending:
+            # every still-pending frame just lost this round; only frames
+            # above the watermark are losing for the first time
+            self.arbitration_losses += self._fresh_pending
+            self._fresh_pending = 0
+            self._loss_watermark = self._seq
         duration = can_frame_bits(frame.payload_bytes) / self.bitrate_bps
-        self.sim.trace(
-            "net.tx_start",
-            bus=self.name,
-            frame_id=frame.frame_id,
-            can_id=frame.priority,
-            duration=duration,
-        )
+        if self.sim.tracer.enabled:
+            self.sim.trace(
+                "net.tx_start",
+                bus=self.name,
+                frame_id=frame.frame_id,
+                can_id=frame.priority,
+                duration=duration,
+            )
         self.sim.schedule(duration, self._finish, frame, done, duration)
 
     def _finish(self, frame: Frame, done: Signal, duration: float) -> None:

@@ -41,12 +41,17 @@ def ethernet_wire_bytes(payload_bytes: int) -> int:
 
 
 class EgressPort:
-    """One switch egress port: 8 strict-priority FIFO queues."""
+    """One switch egress port: 8 strict-priority FIFO queues.
+
+    Each queued entry carries its precomputed wire duration — computed
+    once at enqueue time, not re-derived at selection/transmission (the
+    gated TSN subclass re-inspects the head duration on every selection
+    round, so this caching is what keeps guard-band checks O(1))."""
 
     def __init__(self, bus: "EthernetBus", dst: str) -> None:
         self.bus = bus
         self.dst = dst
-        self.queues: List[Deque[Tuple[Frame, Signal]]] = [
+        self.queues: List[Deque[Tuple[Frame, Signal, float]]] = [
             deque() for _ in range(N_PRIORITIES)
         ]
         self.busy = False
@@ -57,11 +62,17 @@ class EgressPort:
             raise NetworkError(
                 f"Ethernet PCP must be 0..{N_PRIORITIES - 1}, got {frame.priority}"
             )
-        self.queues[frame.priority].append((frame, done))
+        duration = self.bus.wire_time(ethernet_wire_bytes(frame.payload_bytes))
+        self._admit(frame, duration)
+        self.queues[frame.priority].append((frame, done, duration))
         if not self.busy:
             self._start_next()
 
-    def _select(self) -> Optional[Tuple[Frame, Signal]]:
+    def _admit(self, frame: Frame, duration: float) -> None:
+        """Admission hook; the TSN subclass rejects frames that can never
+        fit any open gate window."""
+
+    def _select(self) -> Optional[Tuple[Frame, Signal, float]]:
         """Strict priority: highest non-empty PCP queue first."""
         for pcp in range(N_PRIORITIES - 1, -1, -1):
             if self.queues[pcp]:
@@ -72,9 +83,8 @@ class EgressPort:
         item = self._select()
         if item is None:
             return
-        frame, done = item
+        frame, done, duration = item
         self.busy = True
-        duration = self.bus.wire_time(ethernet_wire_bytes(frame.payload_bytes))
         self.bus.sim.schedule(duration, self._finish, frame, done, duration)
 
     def _finish(self, frame: Frame, done: Signal, duration: float) -> None:
@@ -111,14 +121,15 @@ class EthernetBus(BusModel):
         """Factory hook so the TSN subclass can install gated ports."""
         return EgressPort(self, dst)
 
-    def submit(self, frame: Frame) -> Signal:
+    def submit(self, frame: Frame, done: Signal = None) -> Signal:
         """Queue ``frame`` at its destination's egress port.
 
         Broadcast (``dst=None``) fans out one copy per attached ECU except
         the sender; the returned signal fires when the *last* copy lands.
         """
         frame.created_at = self.sim.now
-        done = self.sim.signal(name=f"{self.name}.tx")
+        if done is None:
+            done = self.sim.signal(name=f"{self.name}.tx")
         if frame.dst is not None:
             # ingress-link serialisation is negligible next to egress
             # queueing for a store-and-forward switch; model egress only.

@@ -18,6 +18,7 @@ Model, at frame granularity:
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -85,7 +86,13 @@ class FlexRayBus(BusModel):
         self._slot_owner: Dict[int, str] = {}
         # slot index -> queued (frame, done)
         self._slot_queue: Dict[int, List[Tuple[Frame, Signal]]] = {}
-        # dynamic frames: (identifier, seq, frame, done)
+        # owned slot indices in slot order: the cycle engine only visits
+        # these — an unowned slot has no queue, so it can never transmit
+        self._owned_slots: List[int] = []
+        # sender -> first owned slot (slot_of is on the submit hot path)
+        self._ecu_slot: Dict[str, int] = {}
+        # dynamic frames: heap of (identifier, seq, frame, done) — the
+        # (identifier, seq) prefix is unique, so frames are never compared
         self._dynamic: List[Tuple[int, int, Frame, Signal]] = []
         self._seq = 0
         self._cycle_proc_started = False
@@ -107,17 +114,17 @@ class FlexRayBus(BusModel):
             )
         self._slot_owner[slot] = ecu_name
         self._slot_queue[slot] = []
+        self._owned_slots = sorted(self._slot_owner)
+        if ecu_name not in self._ecu_slot or slot < self._ecu_slot[ecu_name]:
+            self._ecu_slot[ecu_name] = slot
 
     def slot_of(self, ecu_name: str) -> Optional[int]:
         """First slot owned by ``ecu_name`` (None if it owns no slot)."""
-        for slot, owner in sorted(self._slot_owner.items()):
-            if owner == ecu_name:
-                return slot
-        return None
+        return self._ecu_slot.get(ecu_name)
 
     # -- transmission --------------------------------------------------------
 
-    def submit(self, frame: Frame) -> Signal:
+    def submit(self, frame: Frame, done: Signal = None) -> Signal:
         """Queue a frame.
 
         Deterministic frames go into the sender's static slot; others are
@@ -125,7 +132,8 @@ class FlexRayBus(BusModel):
         """
         self._ensure_cycle_process()
         frame.created_at = self.sim.now
-        done = self.sim.signal(name=f"{self.name}.tx")
+        if done is None:
+            done = self.sim.signal(name=f"{self.name}.tx")
         if frame.traffic_class is TrafficClass.DETERMINISTIC:
             slot = self.slot_of(frame.src)
             if slot is None:
@@ -140,7 +148,7 @@ class FlexRayBus(BusModel):
             self._slot_queue[slot].append((frame, done))
         else:
             self._seq += 1
-            self._dynamic.append((frame.priority, self._seq, frame, done))
+            heapq.heappush(self._dynamic, (frame.priority, self._seq, frame, done))
         return done
 
     # -- cycle engine --------------------------------------------------------
@@ -155,8 +163,10 @@ class FlexRayBus(BusModel):
         cycle = int(self.sim.now // cfg.cycle_length)
         while True:
             cycle_start = cycle * cfg.cycle_length
-            # static segment
-            for slot in range(cfg.static_slots):
+            # static segment: only owned slots can transmit (assign_slot is
+            # the sole way a slot gains a queue), so idle unowned slots are
+            # skipped without a yield — they elapse inside the next wait
+            for slot in self._owned_slots:
                 slot_start = cfg.slot_start(cycle, slot)
                 if slot_start < self.sim.now:
                     continue
@@ -177,13 +187,13 @@ class FlexRayBus(BusModel):
             if self.sim.now < dyn_start:
                 yield dyn_start - self.sim.now
             while self._dynamic and self.sim.now < dyn_end:
-                self._dynamic.sort(key=lambda item: (item[0], item[1]))
+                # heap root == former sort-then-head: lowest (id, seq)
                 __, __, frame, done = self._dynamic[0]
                 duration = self.wire_time(frame.payload_bytes + 8)
                 if self.sim.now + duration > dyn_end:
                     self.dynamic_deferrals += 1
                     break  # does not fit; defer to next cycle
-                self._dynamic.pop(0)
+                heapq.heappop(self._dynamic)
                 yield duration
                 self.dynamic_frames_sent += 1
                 self.record_transmission(duration)

@@ -6,11 +6,20 @@ A :class:`VehicleNetwork` instantiates one bus simulator per
 along the topology's shortest routes.  The result is a single
 :meth:`VehicleNetwork.send` primitive with end-to-end delivery signals,
 which the middleware builds on.
+
+Routing is cached: the shortest path (and its hop decomposition) for a
+``(src, dst)`` pair is computed once per *failure set* and reused for
+every subsequent send.  The cache key includes ``frozenset(failed_buses)``,
+so :meth:`fail_bus`/:meth:`repair_bus` never serve stale routes — entries
+computed under a different failure set simply stop matching, and routes
+for a previously seen failure set are reused without recomputation.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+import networkx as nx
 
 from ..errors import ConfigurationError, NetworkError
 from ..sim import Signal, Simulator
@@ -24,6 +33,26 @@ from .tsn import GateControlList, TsnBus
 
 #: Per-hop store-and-forward processing delay in a gateway ECU.
 GATEWAY_LATENCY = 0.0002
+
+#: One gateway hop: (from_ecu, bus, to_ecu).
+Hop = Tuple[str, str, str]
+
+
+class _HopCompletion:
+    """Minimal completion sink for batched segment hops.
+
+    Quacks like a :class:`~repro.sim.Signal` as far as the bus simulators
+    care (they only call ``fire``), but invokes its callback synchronously
+    — no per-frame Signal allocation and no deferred-dispatch event.  The
+    callback only *schedules* follow-up work (gateway forward after
+    ``GATEWAY_LATENCY``, or the countdown latch), so delivery timing is
+    unchanged; one sink is shared by every segment crossing its hop.
+    """
+
+    __slots__ = ("fire",)
+
+    def __init__(self, callback: Callable[[Frame], None]) -> None:
+        self.fire = callback
 
 
 def build_bus(sim: Simulator, spec: BusSpec, gcl: Optional[GateControlList] = None) -> BusModel:
@@ -42,6 +71,9 @@ def build_bus(sim: Simulator, spec: BusSpec, gcl: Optional[GateControlList] = No
 class VehicleNetwork:
     """All bus segments of a topology plus gateway forwarding."""
 
+    #: Factory hook: benchmark shims substitute legacy bus simulators here.
+    _bus_factory = staticmethod(build_bus)
+
     def __init__(
         self,
         sim: Simulator,
@@ -51,12 +83,26 @@ class VehicleNetwork:
         self.sim = sim
         self.topology = topology
         self.buses: Dict[str, BusModel] = {
-            spec.name: build_bus(sim, spec, gcl) for spec in topology.buses
+            spec.name: self._bus_factory(sim, spec, gcl) for spec in topology.buses
         }
+        #: Bus-node names, frozen once — route filtering must not rebuild
+        #: this set per call.
+        self._bus_names: FrozenSet[str] = frozenset(self.buses)
         self._receivers: Dict[str, Callable[[Frame], None]] = {}
         self.gateway_forwards = 0
         self._failed_buses: set = set()
+        self._failed_key: FrozenSet[str] = frozenset()
+        #: (src, dst, frozenset(failed_buses)) -> (route, hops)
+        self._route_cache: Dict[
+            Tuple[str, str, FrozenSet[str]], Tuple[List[str], Tuple[Hop, ...]]
+        ] = {}
+        #: Bumped whenever the failure set changes; layers caching derived
+        #: route data (e.g. middleware segment plans) key on this.
+        self.route_epoch = 0
         self.reroutes = 0
+        metrics = sim.metrics
+        self._m_cache_hit = metrics.counter("net.route_cache.hit")
+        self._m_cache_miss = metrics.counter("net.route_cache.miss")
         for ecu in topology.ecus:
             for bus_spec in topology.buses_of(ecu.name):
                 self.buses[bus_spec.name].add_listener(
@@ -100,8 +146,6 @@ class VehicleNetwork:
 
         return on_frame
 
-    # -- sending ------------------------------------------------------------
-
     # -- bus failure & redundant channels -------------------------------------
 
     def fail_bus(self, bus_name: str) -> None:
@@ -112,33 +156,71 @@ class VehicleNetwork:
         they raise :class:`~repro.errors.ConfigurationError` (no path).
         """
         self.bus(bus_name)  # validate
-        self._failed_buses.add(bus_name)
+        if bus_name not in self._failed_buses:
+            self._failed_buses.add(bus_name)
+            self._failed_key = frozenset(self._failed_buses)
+            self.route_epoch += 1
 
     def repair_bus(self, bus_name: str) -> None:
         """Return a failed segment to service."""
-        self._failed_buses.discard(bus_name)
+        if bus_name in self._failed_buses:
+            self._failed_buses.discard(bus_name)
+            self._failed_key = frozenset(self._failed_buses)
+            self.route_epoch += 1
 
     @property
     def failed_buses(self) -> List[str]:
         return sorted(self._failed_buses)
 
-    def _route(self, src: str, dst: str) -> List[str]:
-        """Topology route honouring failed segments."""
+    def invalidate_routes(self) -> None:
+        """Drop every cached route (call after mutating the topology)."""
+        self._route_cache.clear()
+        self.route_epoch += 1
+
+    def _resolve(self, src: str, dst: str) -> Tuple[List[str], Tuple[Hop, ...]]:
+        """Cached (route, hops) for the current failure set.
+
+        ``reroutes`` counts every resolution performed while at least one
+        bus is failed — i.e. sends routed under degraded conditions —
+        whether or not the route came from the cache.
+        """
+        key = (src, dst, self._failed_key)
+        entry = self._route_cache.get(key)
+        if entry is None:
+            self._m_cache_miss.inc()
+            route = self._compute_route(src, dst)
+            # route alternates ecu, bus, ecu, bus, ..., ecu
+            hops = tuple(
+                (route[i], route[i + 1], route[i + 2])
+                for i in range(0, len(route) - 1, 2)
+            )
+            entry = (route, hops)
+            self._route_cache[key] = entry
+        else:
+            self._m_cache_hit.inc()
+        if self._failed_key:
+            self.reroutes += 1
+        return entry
+
+    def _compute_route(self, src: str, dst: str) -> List[str]:
+        """Topology route honouring failed segments (cache miss path)."""
         if not self._failed_buses:
             return self.topology.route(src, dst)
-        import networkx as nx
-
         graph = self.topology.graph.copy()
         graph.remove_nodes_from(self._failed_buses)
         try:
-            route = nx.shortest_path(graph, src, dst)
+            return nx.shortest_path(graph, src, dst)
         except (nx.NetworkXNoPath, nx.NodeNotFound):
             raise ConfigurationError(
                 f"no surviving path {src!r} -> {dst!r} "
                 f"(failed buses: {sorted(self._failed_buses)})"
             ) from None
-        self.reroutes += 1
-        return route
+
+    def _route(self, src: str, dst: str) -> List[str]:
+        """Topology route honouring failed segments."""
+        return self._resolve(src, dst)[0]
+
+    # -- sending ------------------------------------------------------------
 
     def send(
         self,
@@ -158,18 +240,87 @@ class VehicleNetwork:
         limit raise :class:`NetworkError` — segmentation belongs to the
         transport layer in :mod:`repro.middleware`.
         """
-        route = self._route(src, dst)
-        # route alternates ecu, bus, ecu, bus, ..., ecu
-        hops: List[Tuple[str, str, str]] = []  # (from_ecu, bus, to_ecu)
-        for i in range(0, len(route) - 1, 2):
-            hops.append((route[i], route[i + 1], route[i + 2]))
+        __, hops = self._resolve(src, dst)
         done = self.sim.signal(name=f"net.{src}->{dst}")
         self._send_hop(hops, 0, payload_bytes, priority, traffic_class, payload, label, done)
         return done
 
+    def send_segments(
+        self,
+        src: str,
+        dst: str,
+        sizes: Sequence[int],
+        *,
+        priority: int = 0,
+        traffic_class: TrafficClass = TrafficClass.NON_DETERMINISTIC,
+        payloads: Optional[Sequence[object]] = None,
+        label: str = "",
+    ) -> Signal:
+        """Submit ``len(sizes)`` related frames along one route, batched.
+
+        The fast path behind middleware segmentation: the route is resolved
+        once for the whole batch, per-hop segment priorities are computed
+        once, gateway forwarding uses one shared closure per hop (instead
+        of one per segment per hop), and completion is a single countdown
+        latch — the returned signal fires with the final segment's frame
+        once *all* segments have reached ``dst``.  Per-segment delivery
+        order and timing are identical to ``len(sizes)`` individual
+        :meth:`send` calls issued back-to-back.
+        """
+        __, hops = self._resolve(src, dst)
+        done = self.sim.signal(name=f"net.{src}->{dst}")
+        n_segments = len(sizes)
+        if n_segments == 0:
+            self.sim.schedule(0.0, done.fire, None)
+            return done
+        if payloads is None:
+            payloads = [None] * n_segments
+        buses = self.buses
+        hop_buses = [buses[bus_name] for (__, bus_name, __) in hops]
+        hop_priorities = [
+            self._segment_priority(bus, priority, traffic_class) for bus in hop_buses
+        ]
+        last_index = len(hops) - 1
+        remaining = [n_segments]
+
+        def count_down(frame: Frame) -> None:
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                done.fire(frame)
+
+        # one completion sink per hop, shared by all segments: the
+        # delivered frame itself carries everything the next hop needs
+        def submit_hop(index: int, payload_bytes: int, payload: object) -> None:
+            from_ecu, __, to_ecu = hops[index]
+            frame = Frame(
+                src=from_ecu,
+                dst=to_ecu,
+                payload_bytes=payload_bytes,
+                priority=hop_priorities[index],
+                traffic_class=traffic_class,
+                payload=payload,
+                label=label,
+            )
+            hop_buses[index].submit(frame, hop_done[index])
+
+        hop_done: List[_HopCompletion] = []
+        for index in range(last_index):
+            def forward(frame: Frame, _next: int = index + 1) -> None:
+                self.gateway_forwards += 1
+                self.sim.schedule(
+                    GATEWAY_LATENCY, submit_hop, _next, frame.payload_bytes, frame.payload
+                )
+
+            hop_done.append(_HopCompletion(forward))
+        hop_done.append(_HopCompletion(count_down))
+
+        for size, payload in zip(sizes, payloads):
+            submit_hop(0, size, payload)
+        return done
+
     def _send_hop(
         self,
-        hops: List[Tuple[str, str, str]],
+        hops: Tuple[Hop, ...],
         index: int,
         payload_bytes: int,
         priority: int,
@@ -230,10 +381,11 @@ class VehicleNetwork:
 
     def route_buses(self, src: str, dst: str) -> List[BusSpec]:
         """Bus specs along the live route (failed segments excluded)."""
+        bus_names = self._bus_names
         return [
             self.topology.bus(node)
             for node in self._route(src, dst)
-            if node in {b.name for b in self.topology.buses}
+            if node in bus_names
         ]
 
     # -- stats ----------------------------------------------------------------

@@ -22,8 +22,8 @@ from dataclasses import dataclass
 from typing import FrozenSet, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError
-from ..sim import Signal, Simulator
-from .ethernet import EgressPort, EthernetBus, ethernet_wire_bytes
+from ..sim import Simulator
+from .ethernet import EgressPort, EthernetBus
 from .frame import Frame
 
 
@@ -110,22 +110,22 @@ class GatedEgressPort(EgressPort):
         self.gcl = gcl
         self.gate_deferrals = 0
         self._wakeup_pending = False
+        # widest gate window ever open per priority class, precomputed so
+        # the can-this-frame-ever-fit admission check is O(1) per enqueue
+        self._max_open_window = [0.0] * 8
+        for entry in gcl.entries:
+            for pcp in entry.open_priorities:
+                if entry.duration > self._max_open_window[pcp]:
+                    self._max_open_window[pcp] = entry.duration
 
-    def enqueue(self, frame: Frame, done: Signal) -> None:
-        duration = self.bus.wire_time(ethernet_wire_bytes(frame.payload_bytes))
-        fits_somewhere = any(
-            frame.priority in entry.open_priorities
-            and duration <= entry.duration + 1e-12
-            for entry in self.gcl.entries
-        )
-        if not fits_somewhere:
+    def _admit(self, frame: Frame, duration: float) -> None:
+        if duration > self._max_open_window[frame.priority] + 1e-12:
             from ..errors import NetworkError
 
             raise NetworkError(
                 f"frame of {frame.payload_bytes} B can never fit a gate window "
                 f"open for priority {frame.priority}"
             )
-        super().enqueue(frame, done)
 
     def _select(self):
         """Strict priority among queues whose gate is open *and* whose head
@@ -137,11 +137,9 @@ class GatedEgressPort(EgressPort):
                 continue
             if pcp not in open_set:
                 continue
-            frame, done = self.queues[pcp][0]
-            duration = self.bus.wire_time(ethernet_wire_bytes(frame.payload_bytes))
+            duration = self.queues[pcp][0][2]
             if duration <= remaining + 1e-12:
-                self.queues[pcp].popleft()
-                return frame, done
+                return self.queues[pcp].popleft()
             self.gate_deferrals += 1
         self._arm_wakeup()
         return None
@@ -178,9 +176,8 @@ class GatedEgressPort(EgressPort):
         if item is None:
             self.busy = False
             return
-        frame, done = item
+        frame, done, duration = item
         self.busy = True
-        duration = self.bus.wire_time(ethernet_wire_bytes(frame.payload_bytes))
         self.bus.sim.schedule(duration, self._finish, frame, done, duration)
 
 

@@ -5,11 +5,13 @@ The kernel is organised around a single priority queue of
 are broken first by an integer priority (lower fires first) and then by
 insertion order, which makes every simulation run fully deterministic.
 
-Hot-path notes: every heap sift step compares two calls, so ``__lt__``
-works on a ``sort_key`` tuple precomputed at construction instead of
-allocating two fresh tuples per comparison; and cancelled entries are
-pruned eagerly once they outnumber the live ones, so long campaigns that
-cancel many timers keep O(log live) heap operations.
+Hot-path notes: the heap stores plain ``(time, priority, seq, call)``
+tuples, so every sift comparison runs in C and — because ``seq`` is
+unique — never falls through to comparing the call objects themselves;
+``ScheduledCall`` keeps a precomputed ``sort_key`` for callers that order
+handles directly; and cancelled entries are pruned eagerly once they
+outnumber the live ones, so long campaigns that cancel many timers keep
+O(log live) heap operations.
 """
 
 from __future__ import annotations
@@ -81,7 +83,9 @@ class EventQueue:
     """Deterministic priority queue of :class:`ScheduledCall` objects."""
 
     def __init__(self) -> None:
-        self._heap: List[ScheduledCall] = []
+        # (time, priority, seq, call): the unique seq guarantees the
+        # ScheduledCall itself is never reached during tuple comparison
+        self._heap: List[tuple] = []
         self._counter = itertools.count()
         #: cancelled calls still sitting in the heap awaiting lazy removal
         self._cancelled_in_heap = 0
@@ -101,11 +105,12 @@ class EventQueue:
     def _prune(self) -> None:
         """Rebuild the heap without cancelled entries."""
         live = []
-        for call in self._heap:
+        for entry in self._heap:
+            call = entry[3]
             if call.cancelled:
                 call._queue = None
             else:
-                live.append(call)
+                live.append(entry)
         heapq.heapify(live)
         self._heap = live
         self._cancelled_in_heap = 0
@@ -118,8 +123,9 @@ class EventQueue:
         priority: int = PRIORITY_NORMAL,
     ) -> ScheduledCall:
         """Insert a call at ``time`` and return a cancellable handle."""
-        call = ScheduledCall(time, priority, next(self._counter), callback, args, self)
-        heapq.heappush(self._heap, call)
+        seq = next(self._counter)
+        call = ScheduledCall(time, priority, seq, callback, args, self)
+        heapq.heappush(self._heap, (time, priority, seq, call))
         return call
 
     def pop(self) -> ScheduledCall:
@@ -129,7 +135,7 @@ class EventQueue:
             SimulationError: if the queue holds no live events.
         """
         while self._heap:
-            call = heapq.heappop(self._heap)
+            call = heapq.heappop(self._heap)[3]
             # detach so a late cancel() cannot skew the live count
             call._queue = None
             if not call.cancelled:
@@ -139,16 +145,17 @@ class EventQueue:
 
     def peek_time(self) -> Optional[float]:
         """Return the firing time of the next live event, or ``None``."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)._queue = None
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)[3]._queue = None
             self._cancelled_in_heap -= 1
-        if not self._heap:
+        if not heap:
             return None
-        return self._heap[0].time
+        return heap[0][0]
 
     def clear(self) -> None:
         """Drop every pending event."""
-        for call in self._heap:
-            call._queue = None
+        for entry in self._heap:
+            entry[3]._queue = None
         self._heap.clear()
         self._cancelled_in_heap = 0

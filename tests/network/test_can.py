@@ -88,6 +88,46 @@ class TestArbitration:
         sim.run()
         assert tags == ["x", "y"]
 
+    def test_heap_tie_break_by_submit_sequence_under_contention(self):
+        """Equal identifiers drain strictly in submission order even when
+        interleaved with other priorities — pins the heap's (id, seq) key."""
+        sim, bus = make_bus()
+        tags = []
+        bus.submit(frame(can_id=0x400, size=8, label="first"))  # on the wire
+        for tag in ("a", "b"):
+            bus.submit(frame(can_id=0x200, size=1, label=tag))
+        bus.submit(frame(can_id=0x100, size=1, label="urgent"))
+        for tag in ("c", "d"):
+            bus.submit(frame(can_id=0x200, size=1, label=tag))
+        for node in ("rx",):
+            bus.add_listener(node, lambda f: tags.append(f.label))
+        sim.run()
+        assert tags == ["first", "urgent", "a", "b", "c", "d"]
+
+    def test_arbitration_losses_count_first_loss_only(self):
+        """A frame stuck behind heavy traffic for many rounds is one loss,
+        not one loss per round it spent waiting (regression: the old
+        sort-per-round accounting recounted survivors every round)."""
+        sim, bus = make_bus()
+        bus.submit(frame(can_id=0x100, size=8))  # starts unopposed
+        bus.submit(frame(can_id=0x200, size=8))
+        bus.submit(frame(can_id=0x300, size=8))
+        bus.submit(frame(can_id=0x400, size=8))
+        sim.run()
+        # round 1: 0x200 wins, 0x300 + 0x400 lose for the first time;
+        # rounds 2-3: no frame loses for the first time again
+        assert bus.arbitration_losses == 2
+
+    def test_arbitration_losses_count_late_arrivals(self):
+        sim, bus = make_bus()
+        bus.submit(frame(can_id=0x100, size=8))
+        bus.submit(frame(can_id=0x200, size=8))
+        # a third frame submitted mid-transmission loses its first round
+        # against 0x200 once the bus goes idle
+        sim.schedule(0.00005, lambda: bus.submit(frame(can_id=0x300, size=8)))
+        sim.run()
+        assert bus.arbitration_losses == 1
+
 
 class TestDelivery:
     def test_broadcast_reaches_all_but_sender(self):

@@ -1,0 +1,166 @@
+"""Tests for the route cache and gateway rerouting under bus failures.
+
+The cache is keyed on ``(src, dst, frozenset(failed_buses))``, so entries
+computed under one failure set never leak into another; ``fail_bus`` /
+``repair_bus`` switch the active key instead of flushing, which also makes
+previously seen failure sets warm again.  Hit/miss behaviour is observable
+through the ``net.route_cache.{hit,miss}`` metrics.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw import BusSpec, EcuSpec, Topology
+from repro.network import VehicleNetwork
+from repro.obs.metrics import MetricsRegistry
+from repro.sim import Simulator
+
+
+def ring_topology():
+    """Two CAN islands bridged by a redundant pair of Ethernet backbones.
+
+    ``sensor -can_a- gw1 =eth_main|eth_alt= gw2 -can_b- actuator``; the
+    camera sits on ``eth_main`` only, so it loses all connectivity when
+    the main backbone fails.
+    """
+    topo = Topology("ring")
+    topo.add_bus(BusSpec("can_a", "can", 500_000.0))
+    topo.add_bus(BusSpec("can_b", "can", 500_000.0))
+    topo.add_bus(BusSpec("eth_main", "ethernet", 100e6))
+    topo.add_bus(BusSpec("eth_alt", "ethernet", 100e6))
+    topo.add_ecu(EcuSpec("sensor", ports=(("can0", "can"),)))
+    topo.add_ecu(EcuSpec("actuator", ports=(("can0", "can"),)))
+    topo.add_ecu(EcuSpec("cam", ports=(("eth0", "ethernet"),)))
+    for gw in ("gw1", "gw2"):
+        topo.add_ecu(
+            EcuSpec(
+                gw,
+                ports=(
+                    ("can0", "can"),
+                    ("eth0", "ethernet"),
+                    ("eth1", "ethernet"),
+                ),
+            )
+        )
+    topo.attach("sensor", "can0", "can_a")
+    topo.attach("gw1", "can0", "can_a")
+    topo.attach("actuator", "can0", "can_b")
+    topo.attach("gw2", "can0", "can_b")
+    topo.attach("gw1", "eth0", "eth_main")
+    topo.attach("gw2", "eth0", "eth_main")
+    topo.attach("cam", "eth0", "eth_main")
+    topo.attach("gw1", "eth1", "eth_alt")
+    topo.attach("gw2", "eth1", "eth_alt")
+    return topo
+
+
+def make_net():
+    sim = Simulator(metrics=MetricsRegistry(enabled=True))
+    net = VehicleNetwork(sim, ring_topology())
+    return sim, net
+
+
+def cache_counts(sim):
+    metrics = sim.metrics
+    return (
+        metrics.counter("net.route_cache.hit").value,
+        metrics.counter("net.route_cache.miss").value,
+    )
+
+
+class TestRouteCache:
+    def test_repeated_sends_hit_cache(self):
+        sim, net = make_net()
+        for _ in range(5):
+            net.send("sensor", "actuator", 8, priority=0x100)
+        sim.run()
+        hits, misses = cache_counts(sim)
+        assert misses == 1
+        assert hits == 4
+
+    def test_distinct_pairs_miss_separately(self):
+        sim, net = make_net()
+        net.send("sensor", "actuator", 8, priority=0x100)
+        net.send("actuator", "sensor", 8, priority=0x100)
+        net.send("sensor", "actuator", 8, priority=0x100)
+        sim.run()
+        hits, misses = cache_counts(sim)
+        assert misses == 2  # each direction is its own key
+        assert hits == 1
+
+    def test_failure_switches_key_and_detour_is_cached(self):
+        sim, net = make_net()
+        net.send("sensor", "actuator", 8, priority=0x100)
+        sim.run()
+        net.fail_bus("eth_main")
+        got = []
+        net.register_receiver("actuator", lambda f: got.append(f.label))
+        net.send("sensor", "actuator", 8, priority=0x100, label="detour")
+        net.send("sensor", "actuator", 8, priority=0x100, label="detour2")
+        sim.run()
+        assert got == ["detour", "detour2"]
+        hits, misses = cache_counts(sim)
+        # healthy route: 1 miss; degraded route: 1 miss + 1 hit
+        assert misses == 2
+        assert hits == 1
+        assert net.reroutes == 2  # every degraded-mode send, cached or not
+
+    def test_repair_restores_cached_healthy_route(self):
+        sim, net = make_net()
+        net.send("sensor", "actuator", 8, priority=0x100)
+        net.fail_bus("eth_main")
+        net.send("sensor", "actuator", 8, priority=0x100)
+        net.repair_bus("eth_main")
+        net.send("sensor", "actuator", 8, priority=0x100)
+        sim.run()
+        hits, misses = cache_counts(sim)
+        # the healthy-route entry survives the fail/repair cycle
+        assert misses == 2
+        assert hits == 1
+        # and a second outage reuses the cached detour
+        net.fail_bus("eth_main")
+        net.send("sensor", "actuator", 8, priority=0x100)
+        sim.run()
+        assert cache_counts(sim) == (2, 2)
+
+    def test_detour_avoids_failed_bus(self):
+        sim, net = make_net()
+        net.fail_bus("eth_main")
+        specs = net.route_buses("sensor", "actuator")
+        names = [spec.name for spec in specs]
+        assert "eth_main" not in names
+        assert "eth_alt" in names
+
+    def test_no_surviving_path_raises(self):
+        sim, net = make_net()
+        net.fail_bus("eth_main")
+        with pytest.raises(ConfigurationError):
+            net.send("cam", "actuator", 8, priority=0x100)
+
+    def test_route_epoch_bumps_only_on_membership_change(self):
+        sim, net = make_net()
+        epoch = net.route_epoch
+        net.fail_bus("eth_main")
+        assert net.route_epoch == epoch + 1
+        net.fail_bus("eth_main")  # already failed: no change
+        assert net.route_epoch == epoch + 1
+        net.repair_bus("eth_alt")  # was never failed: no change
+        assert net.route_epoch == epoch + 1
+        net.repair_bus("eth_main")
+        assert net.route_epoch == epoch + 2
+
+    def test_invalidate_routes_forces_recompute(self):
+        sim, net = make_net()
+        net.send("sensor", "actuator", 8, priority=0x100)
+        net.invalidate_routes()
+        net.send("sensor", "actuator", 8, priority=0x100)
+        sim.run()
+        assert cache_counts(sim) == (0.0, 2.0)
+
+    def test_route_buses_uses_frozen_bus_name_set(self):
+        sim, net = make_net()
+        assert net._bus_names == frozenset(
+            ("can_a", "can_b", "eth_main", "eth_alt")
+        )
+        specs = net.route_buses("sensor", "actuator")
+        assert [spec.name for spec in specs] == ["can_a", "eth_main", "can_b"]
