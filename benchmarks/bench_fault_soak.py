@@ -1,0 +1,219 @@
+#!/usr/bin/env python3
+"""Fault-soak benchmark: determinism check + idle-injector overhead.
+
+Two gates, both of which fail the process (exit 1) when violated:
+
+1. **Determinism** — the seeded chaos scenario is built and soaked twice
+   from the same ``(plan, seed)``; the fault timelines and condensed
+   outcomes must be byte-identical.  Any divergence means hidden global
+   state leaked into the fault path.
+
+2. **Idle overhead** — a message-heavy soak is timed with no injector
+   and with an *armed but idle* injector (every fault scheduled far
+   beyond the horizon, so no hook is ever installed).  The armed-idle
+   run must stay within ``MAX_OVERHEAD_PCT`` of the baseline: the fault
+   layer's cost when unused is one ``None`` test per delivery.
+
+Writes ``BENCH_faults.json`` at the repo root (CI uploads it as an
+artifact next to the other BENCH files).
+"""
+
+import argparse
+import json
+import os
+import platform
+import sys
+from time import perf_counter
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.faults import (  # noqa: E402
+    FaultCampaignSpec,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    build_chaos_scenario,
+    campaign_outcome,
+)
+from repro.hw import BusSpec, EcuSpec, Topology  # noqa: E402
+from repro.middleware import Endpoint, Message, MessageType, ServiceRegistry  # noqa: E402
+from repro.network import VehicleNetwork  # noqa: E402
+from repro.sim import Simulator  # noqa: E402
+
+MAX_OVERHEAD_PCT = 5.0
+
+CHAOS_PLAN = FaultPlan(
+    name="soak",
+    faults=(
+        FaultSpec(kind="ecu_crash", target="platform_0", start=0.1, duration=0.15),
+        FaultSpec(kind="bus_outage", target="eth_backbone", start=0.05, duration=0.08),
+        FaultSpec(
+            kind="frame_drop", target="eth_ring", start=0.06,
+            duration=0.04, probability=0.5, count=3, period=0.12, jitter=0.01,
+        ),
+        FaultSpec(
+            kind="task_overrun", target="platform_1", start=0.2,
+            duration=0.1, magnitude=0.5,
+        ),
+        FaultSpec(
+            kind="clock_drift", target="platform_1", start=0.3,
+            duration=0.1, magnitude=0.01,
+        ),
+    ),
+)
+
+
+def run_chaos_once(seed: int, soak_time: float):
+    spec = FaultCampaignSpec(plan=CHAOS_PLAN, soak_time=soak_time)
+    sim = Simulator()
+    scenario = build_chaos_scenario(sim, spec, seed)
+    sim.run(until=sim.now + soak_time)
+    outcome = campaign_outcome("soak", scenario)
+    return tuple(scenario["injector"].timeline), outcome
+
+
+def check_determinism(seed: int, soak_time: float) -> dict:
+    first_timeline, first_outcome = run_chaos_once(seed, soak_time)
+    second_timeline, second_outcome = run_chaos_once(seed, soak_time)
+    identical = (
+        first_timeline == second_timeline and first_outcome == second_outcome
+    )
+    return {
+        "seed": seed,
+        "soak_time": soak_time,
+        "timeline_events": len(first_timeline),
+        "failovers": first_outcome.failovers,
+        "rpc_calls": first_outcome.rpc_calls,
+        "timelines_identical": first_timeline == second_timeline,
+        "outcomes_identical": first_outcome == second_outcome,
+        "identical": identical,
+    }
+
+
+def message_soak(n_messages: int, with_idle_injector: bool) -> float:
+    """Wall-clock seconds to pump ``n_messages`` through one segment."""
+    topo = Topology()
+    topo.add_bus(BusSpec("eth", "ethernet", 1e9))
+    for name in ("e0", "e1"):
+        topo.add_ecu(EcuSpec(name, ports=(("eth0", "ethernet"),)))
+        topo.attach(name, "eth0", "eth")
+    sim = Simulator()
+    net = VehicleNetwork(sim, topo)
+    registry = ServiceRegistry()
+    endpoints = {n: Endpoint(sim, net, n, registry) for n in ("e0", "e1")}
+    endpoints["e1"].on_message(0x10, MessageType.NOTIFICATION, lambda m: None)
+    if with_idle_injector:
+        # armed, but every occurrence is far beyond the soak horizon:
+        # no hook is ever installed, so this measures the pure cost of
+        # having the fault layer present
+        idle_plan = FaultPlan(name="idle", faults=(
+            FaultSpec(kind="frame_drop", target="eth", start=1e6),
+            FaultSpec(kind="bus_outage", target="eth", start=1e6),
+        ))
+        FaultInjector(sim, idle_plan, 0, network=net).arm()
+
+    def sender():
+        for _ in range(n_messages):
+            endpoints["e0"].send(Message(
+                service_id=0x10, method_id=1,
+                msg_type=MessageType.NOTIFICATION,
+                payload_bytes=64, src="e0", dst="e1",
+            ))
+            yield 1e-5
+
+    sim.process(sender())
+    t0 = perf_counter()
+    sim.run(until=(n_messages + 10) * 1e-5)
+    elapsed = perf_counter() - t0
+    assert net.bus("eth").frames_delivered == n_messages
+    return elapsed
+
+
+def check_overhead(n_messages: int, repeats: int, max_batches: int = 3) -> dict:
+    # Shared-runner wall-clock noise (CPU steal bursts) routinely exceeds
+    # the sub-1% effect being measured, so the estimator is the *median of
+    # per-pair ratios*: each armed run is divided by the baseline run
+    # taken immediately before it.  A noise burst skews a pair only if it
+    # hits exactly one half, and the median discards such pairs.  When a
+    # batch still looks like a breach, more pairs are accumulated — a
+    # real overhead persists across batches, a noise spike washes out.
+    pair_ratios = []
+    baseline_runs = []
+    armed_runs = []
+    for _ in range(max_batches):
+        for _ in range(repeats):
+            baseline_runs.append(message_soak(n_messages, False))
+            armed_runs.append(message_soak(n_messages, True))
+            pair_ratios.append(armed_runs[-1] / baseline_runs[-1])
+        median_ratio = sorted(pair_ratios)[len(pair_ratios) // 2]
+        overhead_pct = (median_ratio - 1.0) * 100.0
+        if overhead_pct < MAX_OVERHEAD_PCT:
+            break
+    return {
+        "messages": n_messages,
+        "repeats": len(pair_ratios),
+        "baseline_seconds": round(min(baseline_runs), 4),
+        "armed_idle_seconds": round(min(armed_runs), 4),
+        "overhead_pct": round(overhead_pct, 2),
+        "max_overhead_pct": MAX_OVERHEAD_PCT,
+        "within_budget": overhead_pct < MAX_OVERHEAD_PCT,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small configs for CI smoke runs")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--out-dir", default=REPO_ROOT)
+    args = parser.parse_args(argv)
+
+    soak_time = 0.5 if args.smoke else 2.0
+    n_messages = 20_000 if args.smoke else 100_000
+    repeats = 3 if args.smoke else 5
+
+    print(f"determinism soak (seed {args.seed}, {soak_time}s twice) ...")
+    determinism = check_determinism(args.seed, soak_time)
+    print(f"  {determinism['timeline_events']} timeline events, "
+          f"{determinism['failovers']} failovers, "
+          f"identical={determinism['identical']}")
+
+    print(f"idle-injector overhead ({n_messages:,} messages x {repeats}) ...")
+    overhead = check_overhead(n_messages, repeats)
+    print(f"  baseline {overhead['baseline_seconds']}s, "
+          f"armed-idle {overhead['armed_idle_seconds']}s "
+          f"({overhead['overhead_pct']:+.2f}%, budget "
+          f"{MAX_OVERHEAD_PCT:.0f}%)")
+
+    payload = {
+        "environment": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "mode": "smoke" if args.smoke else "full",
+        "determinism": determinism,
+        "idle_overhead": overhead,
+    }
+    out_path = os.path.join(args.out_dir, "BENCH_faults.json")
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {out_path}")
+
+    if not determinism["identical"]:
+        print("FAIL: fault timeline diverged between identical seeded runs",
+              file=sys.stderr)
+        return 1
+    if not overhead["within_budget"]:
+        print(f"FAIL: idle injector overhead {overhead['overhead_pct']}% "
+              f"exceeds {MAX_OVERHEAD_PCT}% budget", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

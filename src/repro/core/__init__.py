@@ -27,6 +27,11 @@ from .bus_admission import (
     admit_communication,
     offered_load_of,
 )
+from .degradation import (
+    DegradationController,
+    DegradationEvent,
+    DegradationMode,
+)
 from .monitor import BackendLink, FaultRecord, RuntimeMonitor, TaskStats
 from .node import PlatformNode
 from .platform import DynamicPlatform
@@ -88,6 +93,9 @@ __all__ = [
     "sweep_campaigns",
     "ComputeSite",
     "DIAGNOSIS_SERVICE_ID",
+    "DegradationController",
+    "DegradationEvent",
+    "DegradationMode",
     "DiagnosisService",
     "DiagnosticTroubleCode",
     "DynamicPlatform",

@@ -16,8 +16,9 @@ support the safety certification processes".
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Deque, Dict, List, Optional
 
 from ..osal.task import TaskSpec
 from ..sim import Simulator, TraceEntry
@@ -87,10 +88,13 @@ class RuntimeMonitor:
         backend: Optional[BackendLink] = None,
         period_drift_tolerance: float = 0.1,
         core_prefix: str = "",
+        backlog_limit: int = 256,
     ) -> None:
         """``core_prefix`` scopes the monitor to cores whose names start
         with it — required when several vehicles (or platforms) share one
-        simulation and tracer."""
+        simulation and tracer.  ``backlog_limit`` bounds the fault records
+        buffered while no backend link is attached (or the link is down);
+        the oldest records are evicted first once the buffer is full."""
         self.sim = sim
         self.backend = backend
         self.period_drift_tolerance = period_drift_tolerance
@@ -98,6 +102,8 @@ class RuntimeMonitor:
         self.metrics = sim.metrics
         self._watched: Dict[str, TaskStats] = {}
         self.faults: List[FaultRecord] = []
+        self._backlog: Deque[FaultRecord] = deque(maxlen=backlog_limit)
+        self.backlog_dropped = 0
         self.trace_events_processed = 0
         self._m_faults = {
             kind: self.metrics.counter("monitor.faults", kind=kind)
@@ -215,6 +221,26 @@ class RuntimeMonitor:
 
     # -- fault handling -----------------------------------------------------------------
 
+    def attach_backend(self, backend: BackendLink) -> None:
+        """Attach (or replace) the backend link and flush buffered faults."""
+        self.backend = backend
+        self.flush_backlog()
+
+    def flush_backlog(self) -> int:
+        """Ship buffered fault records if the link is up. Returns count."""
+        backend = self.backend
+        if backend is None or not backend.connected:
+            return 0
+        flushed = 0
+        while self._backlog:
+            backend.ship(self._backlog.popleft())
+            flushed += 1
+        return flushed
+
+    @property
+    def backlog_size(self) -> int:
+        return len(self._backlog)
+
     def _fault(self, time: float, task: str, kind: str, detail: str) -> FaultRecord:
         record = FaultRecord(time=time, task=task, kind=kind, detail=detail)
         self.faults.append(record)
@@ -224,8 +250,22 @@ class RuntimeMonitor:
                 "monitor.faults", kind=kind
             )
         counter.inc()
-        if self.backend is not None:
-            self.backend.ship(record)
+        backend = self.backend
+        if backend is not None and backend.connected:
+            # drain anything buffered during an outage first, preserving
+            # the original detection order on the uplink
+            if self._backlog:
+                self.flush_backlog()
+            backend.ship(record)
+        else:
+            # no link (or link down): buffer in a bounded deque instead of
+            # silently dropping; oldest records are evicted on overflow
+            if (
+                self._backlog.maxlen is not None
+                and len(self._backlog) == self._backlog.maxlen
+            ):
+                self.backlog_dropped += 1
+            self._backlog.append(record)
         return record
 
     def faults_of_kind(self, kind: str) -> List[FaultRecord]:

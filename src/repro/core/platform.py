@@ -31,6 +31,7 @@ from ..security.update_master import UpdateMaster, UpdateMasterGroup
 from ..sim import Signal, Simulator
 from .admission import AdmissionController
 from .application import AppInstance, AppState
+from .degradation import DegradationController
 from .node import PlatformNode
 
 
@@ -67,6 +68,8 @@ class DynamicPlatform:
         self.update_masters: Optional[UpdateMasterGroup] = None
         self.models: Dict[str, AppModel] = {}
         self.installs_rejected = 0
+        #: declared degradation modes (limp-home app sets etc.)
+        self.degradation = DegradationController(self)
 
     # -- plumbing ---------------------------------------------------------------
 

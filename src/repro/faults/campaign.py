@@ -1,0 +1,332 @@
+"""Fault campaigns: sweepable chaos experiments via :mod:`repro.exec`.
+
+A :class:`FaultCampaignSpec` describes one replicable chaos scenario: a
+redundant platform, a replicated control service under heartbeat
+supervision, an RPC client hammering that service with retries and
+circuit breaking — and a :class:`~repro.faults.spec.FaultPlan` injected
+on top.  :func:`run_fault_campaign` fans N replications out through a
+:class:`~repro.exec.pool.ParallelExecutor`; each replication's RNG is
+derived from the campaign master seed and the replication id alone, so
+the outcome list is byte-identical for any worker count (serial ≡
+parallel), which the test suite and the CI fault-soak job assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from ..errors import ExecutionError
+from ..exec.jobs import JobContext, SimJob
+from ..hw.catalog import platform_computer
+from ..hw.topology import BusSpec, Topology
+from ..middleware.endpoint import QOS_CONTROL
+from ..middleware.paradigms import RetryPolicy, RpcClient, RpcServer
+from ..model.applications import AppModel
+from ..osal.task import TaskSpec
+from ..security.crypto import TrustStore
+from ..security.package import build_package
+from ..sim import Simulator
+from .injector import FaultInjector, TimelineEvent
+from .report import build_resilience_report
+from .spec import FaultPlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.redundancy import RedundancyManager
+    from ..exec.pool import ParallelExecutor
+
+
+def redundant_ring_topology(n_platforms: int = 3) -> Topology:
+    """``n_platforms`` platform computers on *two* Ethernet segments.
+
+    Every computer attaches ``eth0`` to the backbone and ``eth1`` to a
+    second ring segment, so a single bus outage always leaves a detour —
+    the precondition for exercising reroute-under-failure scenarios.
+    """
+    if n_platforms < 2:
+        raise ExecutionError("a redundant ring needs at least two platforms")
+    topo = Topology("redundant_ring")
+    backbone = topo.add_bus(
+        BusSpec("eth_backbone", "ethernet", 1_000_000_000.0, tsn_capable=True)
+    )
+    ring = topo.add_bus(
+        BusSpec("eth_ring", "ethernet", 100_000_000.0, tsn_capable=True)
+    )
+    for i in range(n_platforms):
+        pc = platform_computer(f"platform_{i}")
+        topo.add_ecu(pc)
+        topo.attach(pc.name, "eth0", backbone.name)
+        topo.attach(pc.name, "eth1", ring.name)
+    return topo
+
+
+@dataclass(frozen=True)
+class FaultCampaignSpec:
+    """Picklable description of one chaos-scenario replication."""
+
+    plan: FaultPlan
+    n_nodes: int = 3
+    replicas: int = 2
+    soak_time: float = 0.5
+    heartbeat_period: float = 0.005
+    app_name: str = "ctl"
+    task_period: float = 0.01
+    task_wcet: float = 0.001
+    service_id: int = 0x500
+    rpc_period: float = 0.01
+    rpc_timeout: float = 0.02
+    retry: Optional[RetryPolicy] = RetryPolicy(max_attempts=3, backoff=0.005)
+    breaker_threshold: int = 0  # 0 disables circuit breaking
+    breaker_reset: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 2 or not 1 <= self.replicas <= self.n_nodes:
+            raise ExecutionError(
+                "campaign needs >= 2 nodes and 1 <= replicas <= nodes"
+            )
+        if self.soak_time <= 0:
+            raise ExecutionError("campaign soak time must be positive")
+
+
+@dataclass(frozen=True)
+class FaultCampaignOutcome:
+    """Picklable, bitwise-comparable summary of one replication.
+
+    Deliberately excludes process-global identifiers (frame ids, session
+    ids): those depend on what else ran in the worker process before this
+    job, which would break the serial ≡ parallel guarantee.
+    """
+
+    replication: str
+    timeline: Tuple[TimelineEvent, ...]
+    failovers: int
+    interruptions: Tuple[float, ...]
+    rpc_calls: int
+    rpc_successes: int
+    rpc_timeouts: int
+    rpc_retries: int
+    rpc_failures: int
+    rpc_fastfails: int
+    breakers_opened: int
+    frames_dropped: int
+    frames_corrupted: int
+    frames_delayed: int
+
+    @property
+    def success_ratio(self) -> float:
+        return self.rpc_successes / self.rpc_calls if self.rpc_calls else 0.0
+
+
+def _ctl_app(spec: FaultCampaignSpec) -> AppModel:
+    return AppModel(
+        name=spec.app_name,
+        tasks=(
+            TaskSpec(
+                name=f"{spec.app_name}_loop",
+                period=spec.task_period,
+                wcet=spec.task_wcet,
+            ),
+        ),
+        memory_kib=64,
+        image_kib=128,
+    )
+
+
+def build_chaos_scenario(
+    sim: Simulator, spec: FaultCampaignSpec, rng
+) -> Dict[str, object]:
+    """Assemble the chaos scenario on ``sim`` and return its components.
+
+    Shared by :class:`FaultCampaignJob`, the examples and the fault-soak
+    benchmark, so every consumer exercises the identical scenario.
+    """
+    from ..core.platform import DynamicPlatform
+    from ..core.redundancy import RedundancyManager
+
+    store = TrustStore()
+    store.generate_key("oem")
+    platform = DynamicPlatform(
+        sim, redundant_ring_topology(spec.n_nodes), trust_store=store
+    )
+    if spec.breaker_threshold > 0:
+        platform.registry.configure_breakers(
+            failure_threshold=spec.breaker_threshold,
+            reset_timeout=spec.breaker_reset,
+        )
+    app = _ctl_app(spec)
+    replica_nodes = [f"platform_{i}" for i in range(spec.replicas)]
+    for node in replica_nodes:
+        platform.install(build_package(app, store, "oem"), node)
+    sim.run()  # let install verification settle before deployment
+
+    # one RPC server per replica node; the registry's single offer entry
+    # is (re)pointed at the primary by the redundancy manager
+    servers = []
+    for node in replica_nodes:
+        server = RpcServer(
+            platform.nodes[node].endpoint,
+            spec.service_id,
+            provider_app=spec.app_name,
+        )
+        server.register_method(1, lambda request: ("pong", 8))
+        servers.append(server)
+
+    manager = RedundancyManager(
+        platform, heartbeat_period=spec.heartbeat_period
+    )
+    manager.deploy(
+        spec.app_name, replica_nodes, service_id=spec.service_id
+    )
+
+    client_node = f"platform_{spec.n_nodes - 1}"
+    client = RpcClient(
+        platform.nodes[client_node].endpoint,
+        spec.service_id,
+        client_app="chaos_client",
+    )
+    successes: List[int] = [0]
+
+    def caller():
+        while True:
+            response = yield client.call(
+                1,
+                payload_bytes=32,
+                qos=QOS_CONTROL,
+                timeout=spec.rpc_timeout,
+                retry=spec.retry,
+            )
+            if response is not None:
+                successes[0] += 1
+            yield spec.rpc_period
+
+    sim.process(caller(), name="chaos.caller")
+    injector = FaultInjector(sim, spec.plan, rng, platform=platform)
+    injector.arm()
+    return {
+        "platform": platform,
+        "manager": manager,
+        "servers": servers,
+        "client": client,
+        "successes": successes,
+        "injector": injector,
+    }
+
+
+def campaign_outcome(
+    replication: str, scenario: Dict[str, object]
+) -> FaultCampaignOutcome:
+    """Condense a finished scenario into its picklable outcome."""
+    platform = scenario["platform"]
+    manager: "RedundancyManager" = scenario["manager"]
+    client: RpcClient = scenario["client"]
+    injector: FaultInjector = scenario["injector"]
+    failovers = manager.all_failovers()
+    buses = platform.network.buses.values()
+    return FaultCampaignOutcome(
+        replication=replication,
+        timeline=tuple(injector.timeline),
+        failovers=len(failovers),
+        interruptions=tuple(f.interruption for f in failovers),
+        rpc_calls=client.calls_made,
+        rpc_successes=scenario["successes"][0],
+        rpc_timeouts=client.timeouts,
+        rpc_retries=client.retries,
+        rpc_failures=client.failures,
+        rpc_fastfails=client.breaker_fastfails,
+        breakers_opened=platform.registry.breakers_opened(),
+        frames_dropped=sum(b.frames_dropped for b in buses),
+        frames_corrupted=sum(b.frames_corrupted for b in buses),
+        frames_delayed=sum(b.frames_delayed for b in buses),
+    )
+
+
+class FaultCampaignJob(SimJob):
+    """One chaos replication as a :class:`~repro.exec.SimJob`.
+
+    Everything — simulator, platform, injector RNG — is built fresh in
+    the worker from the picklable spec and the job's derived seed.
+    """
+
+    def __init__(self, job_id: str, spec: FaultCampaignSpec) -> None:
+        self.job_id = job_id
+        self.spec = spec
+
+    def run(self, ctx: JobContext) -> FaultCampaignOutcome:
+        sim = Simulator(metrics=ctx.metrics)
+        scenario = build_chaos_scenario(sim, self.spec, ctx.rng())
+        sim.run(until=sim.now + self.spec.soak_time)
+        outcome = campaign_outcome(self.job_id, scenario)
+        ctx.metrics.counter("faults.campaign.failovers").inc(outcome.failovers)
+        ctx.metrics.counter("faults.campaign.rpc_failures").inc(
+            outcome.rpc_failures
+        )
+        return outcome
+
+
+@dataclass
+class FaultCampaignResult:
+    """Aggregate outcome of a multi-replication fault campaign."""
+
+    outcomes: List[FaultCampaignOutcome]
+    digest: Dict = field(default_factory=dict)
+
+    def worst_interruption(self) -> float:
+        worst = 0.0
+        for outcome in self.outcomes:
+            if outcome.interruptions:
+                worst = max(worst, max(outcome.interruptions))
+        return worst
+
+    def total_timeline_events(self) -> int:
+        return sum(len(o.timeline) for o in self.outcomes)
+
+
+def run_fault_campaign(
+    spec: FaultCampaignSpec,
+    *,
+    replications: int,
+    executor: Optional["ParallelExecutor"] = None,
+    master_seed: int = 0,
+) -> FaultCampaignResult:
+    """Run ``replications`` independent chaos replications.
+
+    With an executor the replications fan out across worker processes;
+    without one they run inline.  Replication ``i`` draws all fault
+    randomness from a seed derived from the master seed and the job id
+    ``faults.rep{i}`` alone, so outcomes are byte-identical for any
+    worker count and completion order.
+    """
+    if replications < 1:
+        raise ExecutionError("fault campaign needs at least one replication")
+    jobs = [
+        FaultCampaignJob(f"faults.rep{i}", spec) for i in range(replications)
+    ]
+    if executor is None:
+        from ..exec.pool import ParallelExecutor
+
+        with ParallelExecutor(workers=1, master_seed=master_seed) as inline:
+            report = inline.run_jobs(jobs)
+    else:
+        report = executor.run_jobs(jobs)
+    failed = [r for r in report.results if not r.ok]
+    if failed:
+        detail = "; ".join(f"{r.job_id}: {r.error}" for r in failed[:5])
+        raise ExecutionError(
+            f"{len(failed)}/{replications} fault replications failed ({detail})"
+        )
+    return FaultCampaignResult(
+        outcomes=report.values, digest=report.merged_digest()
+    )
+
+
+__all__ = [
+    "FaultCampaignJob",
+    "FaultCampaignOutcome",
+    "FaultCampaignResult",
+    "FaultCampaignSpec",
+    "build_chaos_scenario",
+    "build_resilience_report",
+    "campaign_outcome",
+    "redundant_ring_topology",
+    "run_fault_campaign",
+]

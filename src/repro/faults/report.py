@@ -1,0 +1,147 @@
+"""Closing the resilience loop: what did the faults cost us?
+
+A :class:`ResilienceReport` aggregates, for one faulted run, the
+injector's timeline, the service interruptions observed by the
+:class:`~repro.core.redundancy.RedundancyManager`, the retry/breaker
+counters of the RPC layer and the platform's degradation-mode events —
+the quantities the paper's Section 3.3/3.4 argue a dynamic platform must
+keep visible while managing uncertainty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass
+class ResilienceReport:
+    """Aggregated outcome of one fault-injected run."""
+
+    plan: str = ""
+    faults_declared: int = 0
+    timeline_events: int = 0
+    activations: Dict[str, int] = field(default_factory=dict)
+    #: per-failover service interruption times (seconds)
+    interruptions: List[float] = field(default_factory=list)
+    failovers: int = 0
+    rpc_calls: int = 0
+    rpc_attempts: int = 0
+    rpc_timeouts: int = 0
+    rpc_retries: int = 0
+    rpc_failures: int = 0
+    rpc_fastfails: int = 0
+    breakers_opened: int = 0
+    degradation_entries: int = 0
+    degradation_exits: int = 0
+    degradation_events: List[Tuple[float, str, str]] = field(default_factory=list)
+
+    @property
+    def worst_interruption(self) -> float:
+        return max(self.interruptions) if self.interruptions else 0.0
+
+    @property
+    def mean_interruption(self) -> float:
+        if not self.interruptions:
+            return 0.0
+        return sum(self.interruptions) / len(self.interruptions)
+
+    def to_digest(self) -> Dict[str, object]:
+        """JSON-serialisable summary (for BENCH files and CI artifacts)."""
+        return {
+            "plan": self.plan,
+            "faults_declared": self.faults_declared,
+            "timeline_events": self.timeline_events,
+            "activations": dict(sorted(self.activations.items())),
+            "failovers": self.failovers,
+            "interruptions": list(self.interruptions),
+            "worst_interruption": self.worst_interruption,
+            "mean_interruption": self.mean_interruption,
+            "rpc": {
+                "calls": self.rpc_calls,
+                "attempts": self.rpc_attempts,
+                "timeouts": self.rpc_timeouts,
+                "retries": self.rpc_retries,
+                "failures": self.rpc_failures,
+                "breaker_fastfails": self.rpc_fastfails,
+            },
+            "breakers_opened": self.breakers_opened,
+            "degradation": {
+                "entries": self.degradation_entries,
+                "exits": self.degradation_exits,
+                "events": [list(e) for e in self.degradation_events],
+            },
+        }
+
+    def render(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [
+            f"Resilience report — plan {self.plan!r}",
+            f"  faults declared     : {self.faults_declared}",
+            f"  timeline events     : {self.timeline_events}",
+        ]
+        for kind, count in sorted(self.activations.items()):
+            lines.append(f"    {kind:<18}: {count}")
+        lines.append(
+            f"  failovers           : {self.failovers} "
+            f"(worst interruption {self.worst_interruption * 1e3:.2f} ms, "
+            f"mean {self.mean_interruption * 1e3:.2f} ms)"
+        )
+        lines.append(
+            f"  rpc                 : {self.rpc_calls} calls, "
+            f"{self.rpc_attempts} attempts, {self.rpc_timeouts} timeouts, "
+            f"{self.rpc_retries} retries, {self.rpc_failures} failures, "
+            f"{self.rpc_fastfails} breaker fast-fails"
+        )
+        lines.append(f"  breakers opened     : {self.breakers_opened}")
+        lines.append(
+            f"  degradation         : {self.degradation_entries} entries, "
+            f"{self.degradation_exits} exits"
+        )
+        for time, mode, action in self.degradation_events:
+            lines.append(f"    t={time:.4f}s {action} {mode}")
+        return "\n".join(lines)
+
+
+def build_resilience_report(
+    *,
+    injector=None,
+    redundancy=None,
+    clients: Tuple = (),
+    registry=None,
+    degradation=None,
+) -> ResilienceReport:
+    """Assemble a :class:`ResilienceReport` from the run's components.
+
+    Every component is optional, so partial setups (e.g. OS-only fault
+    experiments without a network) still report what they have.
+    """
+    report = ResilienceReport()
+    if injector is not None:
+        report.plan = injector.plan.name
+        report.faults_declared = len(injector.plan)
+        report.timeline_events = len(injector.timeline)
+        activations: Dict[str, int] = {}
+        for _time, kind, _target, _action in injector.timeline:
+            activations[kind] = activations.get(kind, 0) + 1
+        report.activations = activations
+    if redundancy is not None:
+        failovers = redundancy.all_failovers()
+        report.failovers = len(failovers)
+        report.interruptions = [f.interruption for f in failovers]
+    for client in clients:
+        report.rpc_calls += client.calls_made
+        report.rpc_attempts += client.attempts_made
+        report.rpc_timeouts += client.timeouts
+        report.rpc_retries += client.retries
+        report.rpc_failures += client.failures
+        report.rpc_fastfails += client.breaker_fastfails
+    if registry is not None:
+        report.breakers_opened = registry.breakers_opened()
+    if degradation is not None:
+        report.degradation_entries = degradation.entries
+        report.degradation_exits = degradation.exits
+        report.degradation_events = [
+            (e.time, e.mode, e.action) for e in degradation.events
+        ]
+    return report

@@ -1,0 +1,166 @@
+"""Declarative fault descriptions.
+
+A :class:`FaultSpec` describes *one* fault — what kind, which target,
+when, for how long, how often and how severe.  A :class:`FaultPlan` is an
+ordered collection of specs.  Both are frozen dataclasses built from
+plain values, so plans are hashable, picklable (they travel to
+:mod:`repro.exec` worker processes unchanged) and cheap to compare.
+
+All randomness (occurrence jitter, per-frame probabilities, perturbation
+magnitudes) is drawn by the :class:`~repro.faults.injector.FaultInjector`
+from named :class:`~repro.sim.rng.RngStreams` sub-streams, never here —
+the same ``(plan, seed)`` pair therefore always produces a byte-identical
+fault timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from ..errors import ConfigurationError
+
+#: Fault kinds understood by the injector.
+KIND_ECU_CRASH = "ecu_crash"
+KIND_BUS_OUTAGE = "bus_outage"
+KIND_FRAME_DROP = "frame_drop"
+KIND_FRAME_CORRUPT = "frame_corrupt"
+KIND_FRAME_DELAY = "frame_delay"
+KIND_TASK_OVERRUN = "task_overrun"
+KIND_TASK_JITTER = "task_jitter"
+KIND_CLOCK_DRIFT = "clock_drift"
+
+FAULT_KINDS = frozenset(
+    {
+        KIND_ECU_CRASH,
+        KIND_BUS_OUTAGE,
+        KIND_FRAME_DROP,
+        KIND_FRAME_CORRUPT,
+        KIND_FRAME_DELAY,
+        KIND_TASK_OVERRUN,
+        KIND_TASK_JITTER,
+        KIND_CLOCK_DRIFT,
+    }
+)
+
+#: Kinds targeting a bus (window faults applied per delivered frame).
+FRAME_KINDS = frozenset({KIND_FRAME_DROP, KIND_FRAME_CORRUPT, KIND_FRAME_DELAY})
+#: Kinds targeting a core (window faults applied per task activation).
+TASK_KINDS = frozenset({KIND_TASK_OVERRUN, KIND_TASK_JITTER})
+#: Kinds that need a positive magnitude to mean anything.
+MAGNITUDE_KINDS = frozenset(
+    {KIND_FRAME_DELAY, KIND_TASK_OVERRUN, KIND_TASK_JITTER, KIND_CLOCK_DRIFT}
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One declarative fault.
+
+    Attributes:
+        kind: one of :data:`FAULT_KINDS`.
+        target: name of the faulted entity — a platform node for
+            ``ecu_crash``, a bus for ``bus_outage`` and the frame faults,
+            a core (or a node, meaning all its cores) for the task faults
+            and ``clock_drift``.
+        start: activation time of the first occurrence (seconds).
+        duration: how long each occurrence stays active.  ``0`` means
+            permanent — the bus stays down, the crashed ECU never
+            reboots, the fault window never closes.
+        magnitude: kind-specific severity — delay seconds for
+            ``frame_delay``, relative execution stretch for
+            ``task_overrun`` (``0.5`` → +50 % wcet), maximum release
+            delay for ``task_jitter``, relative drift for ``clock_drift``.
+        probability: per-event application probability for the frame and
+            task faults (``1.0`` hits every frame/activation in window).
+        count: number of occurrences (intermittent faults recur).
+        period: spacing between occurrence starts when ``count > 1``.
+        jitter: each occurrence start is shifted by a uniform draw from
+            ``[0, jitter)`` out of the seeded fault stream.
+    """
+
+    kind: str
+    target: str
+    start: float
+    duration: float = 0.0
+    magnitude: float = 0.0
+    probability: float = 1.0
+    count: int = 1
+    period: float = 0.0
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{sorted(FAULT_KINDS)}"
+            )
+        if not self.target:
+            raise ConfigurationError(f"{self.kind} fault needs a target")
+        if self.start < 0:
+            raise ConfigurationError("fault start time cannot be negative")
+        if self.duration < 0:
+            raise ConfigurationError("fault duration cannot be negative")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigurationError("fault probability must be within [0, 1]")
+        if self.count < 1:
+            raise ConfigurationError("fault count must be >= 1")
+        if self.count > 1 and self.period <= 0:
+            raise ConfigurationError(
+                "recurring faults (count > 1) need a positive period"
+            )
+        if self.jitter < 0:
+            raise ConfigurationError("occurrence jitter cannot be negative")
+        if self.kind in MAGNITUDE_KINDS and self.magnitude == 0.0:
+            raise ConfigurationError(
+                f"{self.kind} fault needs a non-zero magnitude"
+            )
+        if self.kind in FRAME_KINDS | TASK_KINDS and self.count > 1 \
+                and self.duration > self.period:
+            raise ConfigurationError(
+                "recurring window faults must not overlap themselves "
+                "(duration > period)"
+            )
+
+    @property
+    def intermittent(self) -> bool:
+        return self.count > 1
+
+    @property
+    def permanent(self) -> bool:
+        return self.duration == 0.0
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered, picklable collection of faults to inject.
+
+    The order of ``faults`` is meaningful: occurrence-jitter draws are
+    consumed in plan order at arm time, so two plans with the same specs
+    in the same order produce identical timelines for a given seed.
+    """
+
+    name: str
+    faults: Tuple[FaultSpec, ...] = field(default_factory=tuple)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("fault plan needs a name")
+        # accept any iterable of specs but store a tuple (hashable/frozen)
+        object.__setattr__(self, "faults", tuple(self.faults))
+        for entry in self.faults:
+            if not isinstance(entry, FaultSpec):
+                raise ConfigurationError(
+                    f"fault plan {self.name!r} contains a non-FaultSpec "
+                    f"entry: {entry!r}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def of_kind(self, kind: str) -> Tuple[FaultSpec, ...]:
+        return tuple(f for f in self.faults if f.kind == kind)
+
+    def targets(self) -> Tuple[str, ...]:
+        return tuple(sorted({f.target for f in self.faults}))

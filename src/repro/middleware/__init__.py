@@ -17,12 +17,19 @@ from .endpoint import (
 from .paradigms import (
     EventConsumer,
     EventProducer,
+    RetryPolicy,
     RpcClient,
     RpcServer,
     StreamSink,
     StreamSource,
 )
-from .registry import BindingGuard, ServiceOffer, ServiceRegistry, Subscription
+from .registry import (
+    BindingGuard,
+    CircuitBreaker,
+    ServiceOffer,
+    ServiceRegistry,
+    Subscription,
+)
 from .wire import (
     CAN_SEGMENT_PAYLOAD,
     ETH_SEGMENT_PAYLOAD,
@@ -40,6 +47,7 @@ from .wire import (
 __all__ = [
     "BindingGuard",
     "CAN_SEGMENT_PAYLOAD",
+    "CircuitBreaker",
     "DeadlineMonitor",
     "DeadlineViolation",
     "DurableEventProducer",
@@ -56,6 +64,7 @@ __all__ = [
     "QOS_CONTROL",
     "QOS_DEFAULT",
     "QoS",
+    "RetryPolicy",
     "ReturnCode",
     "RpcClient",
     "RpcServer",

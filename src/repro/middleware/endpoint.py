@@ -74,6 +74,7 @@ class Endpoint:
         self._segment_plans: Dict[Tuple[str, str], Tuple[int, int, bool]] = {}
         self.messages_sent = 0
         self.messages_received = 0
+        self.frames_discarded = 0
         self.detached = False
         # cached per-paradigm delivery-latency histograms (send accept to
         # full reassembly at the destination); no-ops while metrics are off
@@ -187,6 +188,11 @@ class Endpoint:
 
     def _on_frame(self, frame) -> None:
         if self.detached:
+            return
+        if frame.corrupted:
+            # CRC check failed: the segment is discarded, so the carrying
+            # message never completes reassembly (a lost transmission)
+            self.frames_discarded += 1
             return
         marker = frame.payload
         if not isinstance(marker, tuple) or len(marker) != 4:

@@ -11,7 +11,8 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import ConfigurationError, NetworkError
 from ..sim import Signal
@@ -237,8 +238,48 @@ class RpcServer:
         self.endpoint.send(response, QOS_DEFAULT)
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff for :meth:`RpcClient.call`.
+
+    Attributes:
+        max_attempts: total attempts, including the first (>= 1).
+        backoff: wait after the first failed attempt, in seconds.
+        backoff_factor: multiplier applied to the wait per further failure.
+        deadline: optional *total* time budget across all attempts and
+            backoffs, measured from the original ``call``; once spent, the
+            call fails even if attempts remain.
+    """
+
+    max_attempts: int = 3
+    backoff: float = 0.005
+    backoff_factor: float = 2.0
+    deadline: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("retry policy needs max_attempts >= 1")
+        if self.backoff < 0:
+            raise ConfigurationError("retry backoff cannot be negative")
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError("retry backoff factor must be >= 1")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ConfigurationError("retry deadline budget must be positive")
+
+    def backoff_for(self, attempt: int) -> float:
+        """Backoff to wait after failed attempt number ``attempt`` (1-based)."""
+        return self.backoff * self.backoff_factor ** (attempt - 1)
+
+
 class RpcClient:
-    """Caller side of a message interface."""
+    """Caller side of a message interface.
+
+    Optionally resilient: a :class:`RetryPolicy` adds bounded retries with
+    exponential backoff under a total deadline budget, and when the
+    registry has circuit breakers configured, calls consult the breaker of
+    the resolved offer — an open circuit fast-fails the attempt without
+    touching the network.
+    """
 
     def __init__(
         self,
@@ -250,9 +291,20 @@ class RpcClient:
         self.endpoint = endpoint
         self.service_id = service_id
         self.client_app = client_app
-        self._pending: Dict[int, Signal] = {}
+        #: session -> (result signal, expire timer, breaker, attempt context)
+        self._pending: Dict[int, Tuple] = {}
         self.calls_made = 0
+        self.attempts_made = 0
         self.timeouts = 0
+        self.retries = 0
+        self.failures = 0
+        self.breaker_fastfails = 0
+        metrics = endpoint.sim.metrics
+        label = f"{service_id:04x}"
+        self._m_timeouts = metrics.counter("rpc.timeouts", service=label)
+        self._m_retries = metrics.counter("rpc.retries", service=label)
+        self._m_fastfails = metrics.counter("rpc.breaker_fastfail", service=label)
+        self._m_failures = metrics.counter("rpc.failures", service=label)
         endpoint.on_message(service_id, MessageType.RESPONSE, self._on_response)
 
     def call(
@@ -263,16 +315,62 @@ class RpcClient:
         *,
         qos: QoS = QOS_DEFAULT,
         timeout: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> Signal:
         """Invoke a method; the signal fires with the response message.
 
-        On timeout the signal fires with ``None`` instead.
+        On timeout — or once every retry attempt is exhausted — the signal
+        fires with ``None`` instead.  ``retry`` requires ``timeout`` (the
+        per-attempt timeout is what detects a lost attempt).
         """
-        offer = self.endpoint.registry.find(
-            self.service_id,
-            client_app=self.client_app,
-            client_ecu=self.endpoint.ecu_name,
+        if retry is not None and timeout is None:
+            raise ConfigurationError(
+                "a retrying call needs a per-attempt timeout"
+            )
+        self.calls_made += 1
+        result = self.endpoint.sim.signal(name=f"rpc.{self.service_id:04x}")
+        self._attempt(
+            result, method_id, payload, payload_bytes, qos, timeout, retry,
+            self.endpoint.sim.now, 1,
         )
+        return result
+
+    # -- attempt machinery -------------------------------------------------
+
+    def _attempt(
+        self,
+        result: Signal,
+        method_id: int,
+        payload: object,
+        payload_bytes: int,
+        qos: QoS,
+        timeout: Optional[float],
+        retry: Optional[RetryPolicy],
+        started: float,
+        attempt: int,
+    ) -> None:
+        sim = self.endpoint.sim
+        self.attempts_made += 1
+        ctx = (method_id, payload, payload_bytes, qos, timeout, retry, started, attempt)
+        # resolve the offer per attempt: after a failover the service may
+        # have moved to another ECU between attempts
+        try:
+            offer = self.endpoint.registry.find(
+                self.service_id,
+                client_app=self.client_app,
+                client_ecu=self.endpoint.ecu_name,
+            )
+        except ConfigurationError:
+            if retry is None:
+                raise  # legacy behaviour: unoffered service raises
+            self._attempt_failed(result, ctx)
+            return
+        breaker = self.endpoint.registry.breaker_for(self.service_id, offer.ecu)
+        if breaker is not None and not breaker.allow(sim.now):
+            self.breaker_fastfails += 1
+            self._m_fastfails.inc()
+            self._attempt_failed(result, ctx)
+            return
         request = Message(
             service_id=self.service_id,
             method_id=method_id,
@@ -283,26 +381,66 @@ class RpcClient:
             payload=payload,
             sender_app=self.client_app,
         )
-        self.calls_made += 1
-        result = self.endpoint.sim.signal(name=f"rpc.{self.service_id:04x}")
-        self._pending[request.session_id] = result
-        if timeout is not None:
-            self.endpoint.sim.schedule(
-                timeout, self._expire, request.session_id
-            )
+        expire = None
+        effective_timeout = timeout
+        if retry is not None and retry.deadline is not None:
+            # clip the attempt to the remaining total budget
+            remaining = started + retry.deadline - sim.now
+            if effective_timeout is None or remaining < effective_timeout:
+                effective_timeout = remaining
+        if effective_timeout is not None:
+            expire = sim.schedule(effective_timeout, self._expire, request.session_id)
+        self._pending[request.session_id] = (result, expire, breaker, ctx)
         self.endpoint.send(request, qos)
-        return result
+
+    def _attempt_failed(self, result: Signal, ctx: Tuple) -> None:
+        method_id, payload, payload_bytes, qos, timeout, retry, started, attempt = ctx
+        sim = self.endpoint.sim
+        if retry is not None and attempt < retry.max_attempts:
+            backoff = retry.backoff_for(attempt)
+            if retry.deadline is None or sim.now + backoff < started + retry.deadline:
+                self.retries += 1
+                self._m_retries.inc()
+                sim.schedule(
+                    backoff, self._attempt, result, method_id, payload,
+                    payload_bytes, qos, timeout, retry, started, attempt + 1,
+                )
+                return
+        self.failures += 1
+        self._m_failures.inc()
+        if not result.fired:
+            # fire through the event queue so a call failing synchronously
+            # (open breaker, vanished service) still resolves asynchronously
+            sim.schedule(0.0, self._fire_failure, result)
+
+    def _fire_failure(self, result: Signal) -> None:
+        if not result.fired:
+            result.fire(None)
 
     def _on_response(self, response: Message) -> None:
-        waiter = self._pending.pop(response.session_id, None)
-        if waiter is not None and not waiter.fired:
-            waiter.fire(response)
+        entry = self._pending.pop(response.session_id, None)
+        if entry is None:
+            return
+        result, expire, breaker, _ctx = entry
+        if expire is not None:
+            # cancel the pending timeout so long soak runs don't accumulate
+            # dead timer events in the kernel heap
+            expire.cancel()
+        if breaker is not None:
+            breaker.record_success(self.endpoint.sim.now)
+        if not result.fired:
+            result.fire(response)
 
     def _expire(self, session_id: int) -> None:
-        waiter = self._pending.pop(session_id, None)
-        if waiter is not None and not waiter.fired:
-            self.timeouts += 1
-            waiter.fire(None)
+        entry = self._pending.pop(session_id, None)
+        if entry is None:
+            return
+        result, _expire, breaker, ctx = entry
+        self.timeouts += 1
+        self._m_timeouts.inc()
+        if breaker is not None:
+            breaker.record_failure(self.endpoint.sim.now)
+        self._attempt_failed(result, ctx)
 
 
 # ---------------------------------------------------------------------------

@@ -34,6 +34,76 @@ class ServiceOffer:
         return (self.service_id, self.instance_id)
 
 
+class CircuitBreaker:
+    """Per-offer circuit breaker protecting clients from a sick provider.
+
+    Classic three-state machine: **closed** (traffic flows; consecutive
+    failures are counted), **open** (calls fast-fail without touching the
+    network) and **half-open** (after ``reset_timeout`` one probe call is
+    let through; its outcome closes or re-opens the circuit).
+
+    The breaker is simulation-agnostic: callers pass the current time
+    explicitly, so the registry needs no simulator reference.
+    """
+
+    __slots__ = (
+        "failure_threshold",
+        "reset_timeout",
+        "state",
+        "consecutive_failures",
+        "opened_at",
+        "times_opened",
+        "fast_failures",
+    )
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(self, *, failure_threshold: int = 3, reset_timeout: float = 0.5) -> None:
+        if failure_threshold < 1:
+            raise ConfigurationError("breaker failure threshold must be >= 1")
+        if reset_timeout <= 0:
+            raise ConfigurationError("breaker reset timeout must be positive")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.state = self.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at = 0.0
+        self.times_opened = 0
+        self.fast_failures = 0
+
+    def allow(self, now: float) -> bool:
+        """May a call go out right now?  Counts fast-failed rejections."""
+        if self.state == self.CLOSED:
+            return True
+        if self.state == self.OPEN:
+            if now - self.opened_at >= self.reset_timeout:
+                # the reset timer elapsed: admit exactly one probe call
+                self.state = self.HALF_OPEN
+                return True
+            self.fast_failures += 1
+            return False
+        # half-open: a probe is already in flight — hold further calls
+        self.fast_failures += 1
+        return False
+
+    def record_success(self, now: float) -> None:
+        self.state = self.CLOSED
+        self.consecutive_failures = 0
+
+    def record_failure(self, now: float) -> None:
+        self.consecutive_failures += 1
+        if (
+            self.state == self.HALF_OPEN
+            or self.consecutive_failures >= self.failure_threshold
+        ):
+            if self.state != self.OPEN:
+                self.times_opened += 1
+            self.state = self.OPEN
+            self.opened_at = now
+
+
 @dataclass
 class Subscription:
     """One client's subscription to an eventgroup of a service."""
@@ -59,6 +129,46 @@ class ServiceRegistry:
         self._subscriptions: List[Subscription] = []
         self._guard: Optional[BindingGuard] = None
         self.denied_bindings = 0
+        #: (service_id, provider ecu) -> CircuitBreaker; populated lazily
+        #: once breakers are configured, empty (and bypassed) otherwise
+        self._breakers: Dict[Tuple[int, str], CircuitBreaker] = {}
+        self._breaker_config: Optional[Tuple[int, float]] = None
+
+    # -- circuit breaking ------------------------------------------------------
+
+    def configure_breakers(
+        self, *, failure_threshold: int = 3, reset_timeout: float = 0.5
+    ) -> None:
+        """Enable per-offer circuit breakers (opt-in; off by default).
+
+        Each ``(service_id, provider ecu)`` pair gets its own breaker the
+        first time a client asks for it.  Reconfiguring clears existing
+        breaker state.
+        """
+        self._breaker_config = (failure_threshold, reset_timeout)
+        self._breakers.clear()
+
+    def breaker_for(self, service_id: int, ecu: str) -> Optional[CircuitBreaker]:
+        """The breaker guarding ``service_id`` on ``ecu``; ``None`` while
+        breakers are not configured."""
+        config = self._breaker_config
+        if config is None:
+            return None
+        key = (service_id, ecu)
+        breaker = self._breakers.get(key)
+        if breaker is None:
+            breaker = self._breakers[key] = CircuitBreaker(
+                failure_threshold=config[0], reset_timeout=config[1]
+            )
+        return breaker
+
+    def breakers_opened(self) -> int:
+        """Total circuit-open transitions across all offers."""
+        return sum(b.times_opened for b in self._breakers.values())
+
+    def breaker_fast_failures(self) -> int:
+        """Total calls rejected without touching the network."""
+        return sum(b.fast_failures for b in self._breakers.values())
 
     # -- security hook --------------------------------------------------------
 

@@ -42,6 +42,16 @@ class BusModel:
         self._listener_snapshot: Optional[List[tuple]] = None
         self.frames_delivered = 0
         self.bytes_delivered = 0
+        self.frames_dropped = 0
+        self.frames_corrupted = 0
+        self.frames_delayed = 0
+        #: fault-injection hook consulted at delivery time.  ``None`` (the
+        #: default) keeps the hot path at a single attribute test — the
+        #: same zero-overhead pattern as the tracing guards.  When set, it
+        #: is called as ``hook(bus, frame)`` and returns ``None`` (deliver
+        #: normally) or an action tuple: ``("drop",)``, ``("corrupt",)``
+        #: or ``("delay", seconds)``.
+        self._fault_hook: Optional[Callable[["BusModel", Frame], Optional[tuple]]] = None
         #: accumulated seconds the medium spent transmitting (wire
         #: occupancy; the basis for observed-utilization measurements)
         self.transmit_time = 0.0
@@ -88,6 +98,27 @@ class BusModel:
 
     def _deliver(self, frame: Frame, done: Optional[Signal]) -> None:
         """Mark ``frame`` delivered now and fan it out to receivers."""
+        hook = self._fault_hook
+        if hook is not None:
+            action = hook(self, frame)
+            if action is not None:
+                kind = action[0]
+                if kind == "drop":
+                    # the frame vanishes: completion sinks never fire, so
+                    # upper layers see it exactly as a lost transmission
+                    self.frames_dropped += 1
+                    return
+                if kind == "delay":
+                    self.frames_delayed += 1
+                    self.sim.schedule(action[1], self._finish_delivery, frame, done)
+                    return
+                # "corrupt": deliver the mangled frame; receivers model a
+                # CRC check and discard it (see Endpoint._on_frame)
+                frame.corrupted = True
+                self.frames_corrupted += 1
+        self._finish_delivery(frame, done)
+
+    def _finish_delivery(self, frame: Frame, done: Optional[Signal]) -> None:
         frame.delivered_at = self.sim.now
         self.frames_delivered += 1
         self.bytes_delivered += frame.payload_bytes

@@ -43,6 +43,8 @@ class Frame:
         payload: opaque application data carried along for delivery.
         created_at: simulated time the frame was enqueued by the sender.
         delivered_at: simulated time of complete reception (set by the bus).
+        corrupted: set by fault injection; receivers model a CRC check and
+            discard corrupted frames instead of dispatching them.
     """
 
     src: str
@@ -54,6 +56,7 @@ class Frame:
     label: str = ""
     created_at: float = 0.0
     delivered_at: Optional[float] = None
+    corrupted: bool = False
     frame_id: int = field(default_factory=lambda: next(_frame_ids))
 
     def __post_init__(self) -> None:
@@ -68,7 +71,11 @@ class Frame:
         return self.delivered_at - self.created_at
 
     def clone_for_segment(self) -> "Frame":
-        """Fresh copy (new id, reset timestamps) for the next bus segment."""
+        """Fresh copy (new id, reset timestamps) for the next bus segment.
+
+        Corruption is sticky: a gateway forwards the payload bit-for-bit,
+        so a frame mangled on one hop stays mangled on the next.
+        """
         return Frame(
             src=self.src,
             dst=self.dst,
@@ -77,4 +84,5 @@ class Frame:
             traffic_class=self.traffic_class,
             payload=self.payload,
             label=self.label,
+            corrupted=self.corrupted,
         )

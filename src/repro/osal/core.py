@@ -72,6 +72,20 @@ class Core:
         self._completion_listeners: List[Callable[[Job], None]] = []
         self.halted = False
         self._parked_until: Optional[float] = None
+        #: fault-injection hook consulted per activation.  ``None`` (the
+        #: default) keeps the hot path at one attribute test.  When set,
+        #: called as ``hook(task, scaled_wcet)`` and returns the possibly
+        #: perturbed ``(scaled_wcet, release_delay)`` pair: an execution
+        #: overrun stretches the wcet, release jitter delays the release
+        #: while the deadline stays anchored at the nominal activation.
+        self.fault_perturb: Optional[
+            Callable[[TaskSpec, float], "tuple[float, float]"]
+        ] = None
+        #: relative clock drift of this core's timer hardware (e.g. 1e-4
+        #: means periods run 0.01% long).  Applied by PeriodicSource to
+        #: activation instants later than ``clock_drift_since``.
+        self.clock_drift = 0.0
+        self.clock_drift_since = 0.0
         # cached per-core instruments; no-ops while metrics are disabled
         metrics = sim.metrics
         self._m_releases = metrics.counter("os.releases", core=name)
@@ -98,14 +112,33 @@ class Core:
 
     def submit_task_activation(self, task: TaskSpec, scaled_wcet: float) -> Job:
         """Create and release a job for ``task`` at the current instant."""
+        release_delay = 0.0
+        perturb = self.fault_perturb
+        if perturb is not None:
+            scaled_wcet, release_delay = perturb(task, scaled_wcet)
         job = Job(
             task=task,
             release_time=self.sim.now,
             absolute_deadline=self.sim.now + task.effective_deadline,
             remaining=scaled_wcet,
         )
-        self.submit(job)
+        if release_delay > 0.0:
+            # the deadline stays anchored at the nominal activation, so
+            # injected release jitter produces genuine deadline pressure
+            self.sim.schedule(release_delay, self.submit, job)
+        else:
+            self.submit(job)
         return job
+
+    def set_clock_drift(self, drift: float) -> None:
+        """Set (or clear, with ``0.0``) this core's relative clock drift.
+
+        Drift takes effect from the current instant: activation times
+        earlier than now are unaffected, later ones are stretched by
+        ``(1 + drift)`` around the onset point.
+        """
+        self.clock_drift = drift
+        self.clock_drift_since = self.sim.now
 
     def on_completion(self, listener: Callable[[Job], None]) -> None:
         """Register a callback invoked for every finished job."""
@@ -327,6 +360,13 @@ class PeriodicSource:
         from ..sim import PRIORITY_URGENT
 
         when = self._epoch + self.task.offset + self._activation_index * self.task.period
+        drift = self.core.clock_drift
+        if drift:
+            # stretch nominal instants after the drift onset: the local
+            # timer ticks (1 + drift) slower/faster than the true clock
+            since = self.core.clock_drift_since
+            if when > since:
+                when = since + (when - since) * (1.0 + drift)
         self.sim.at(max(when, self.sim.now), self._activate, priority=PRIORITY_URGENT)
 
     def _activate(self) -> None:

@@ -1,0 +1,144 @@
+"""Declared degradation modes and fault-rate driven activation."""
+
+import pytest
+
+from repro.core import DegradationMode, RuntimeMonitor
+from repro.core.platform import DynamicPlatform
+from repro.errors import PlatformError
+from repro.faults import redundant_ring_topology
+from repro.model.applications import AppModel
+from repro.osal.task import TaskSpec
+from repro.security.crypto import TrustStore
+from repro.security.package import build_package
+from repro.sim import Simulator
+
+
+def app(name):
+    return AppModel(
+        name=name,
+        tasks=(TaskSpec(name=f"{name}_loop", period=0.01, wcet=0.001),),
+        memory_kib=64,
+        image_kib=128,
+    )
+
+
+def degradable_platform():
+    sim = Simulator()
+    store = TrustStore()
+    store.generate_key("oem")
+    platform = DynamicPlatform(sim, redundant_ring_topology(2), trust_store=store)
+    for name in ("comfort", "limp"):
+        platform.install(build_package(app(name), store, "oem"), "platform_0")
+    sim.run()
+    platform.start_app("comfort", "platform_0")
+    platform.degradation.declare(
+        DegradationMode(
+            name="limp_home",
+            stop_apps=(("comfort", "platform_0"),),
+            start_apps=(("limp", "platform_0"),),
+            description="shed comfort, keep minimal drive",
+        )
+    )
+    return sim, platform
+
+
+class TestModeTransitions:
+    def test_enter_swaps_app_sets(self):
+        sim, platform = degradable_platform()
+        assert platform.degradation.enter("limp_home")
+        assert platform.degradation.is_active("limp_home")
+        assert platform.where_is("comfort") == []
+        assert platform.where_is("limp") == ["platform_0"]
+        assert platform.degradation.entries == 1
+
+    def test_exit_restores_original_set(self):
+        sim, platform = degradable_platform()
+        platform.degradation.enter("limp_home")
+        assert platform.degradation.exit("limp_home")
+        assert platform.where_is("comfort") == ["platform_0"]
+        assert platform.where_is("limp") == []
+        assert platform.degradation.exits == 1
+        actions = [e.action for e in platform.degradation.events]
+        assert actions == ["enter", "exit"]
+
+    def test_enter_is_idempotent(self):
+        sim, platform = degradable_platform()
+        assert platform.degradation.enter("limp_home")
+        assert not platform.degradation.enter("limp_home")
+        assert platform.degradation.entries == 1
+
+    def test_exit_of_inactive_mode_is_noop(self):
+        sim, platform = degradable_platform()
+        assert not platform.degradation.exit("limp_home")
+        assert platform.degradation.exits == 0
+
+    def test_undeclared_mode_rejected(self):
+        sim, platform = degradable_platform()
+        with pytest.raises(PlatformError, match="not declared"):
+            platform.degradation.enter("ghost_mode")
+
+    def test_unapplicable_actions_counted_not_fatal(self):
+        sim, platform = degradable_platform()
+        platform.degradation.declare(
+            DegradationMode(
+                name="broken",
+                start_apps=(("never_installed", "platform_0"),),
+            )
+        )
+        assert platform.degradation.enter("broken")
+        assert platform.degradation.skipped_actions == 1
+
+
+class TestFaultRateWatch:
+    def test_high_fault_rate_enters_then_recovery_exits(self):
+        sim, platform = degradable_platform()
+        monitor = RuntimeMonitor(sim)
+        platform.degradation.watch(
+            monitor, "limp_home", fault_rate_threshold=100.0, window=0.01
+        )
+
+        def fault_storm():
+            yield 0.02
+            for _ in range(20):
+                monitor._fault(sim.now, "t", "deadline", "missed")
+                yield 0.002
+
+        sim.process(fault_storm())
+        sim.run(until=0.2)
+        degradation = platform.degradation
+        assert degradation.entries == 1
+        assert degradation.exits == 1
+        enter, exit_ = degradation.events
+        assert enter.trigger == "fault_rate"
+        assert enter.fault_rate >= 100.0
+        assert exit_.trigger == "fault_rate"
+        assert exit_.fault_rate <= 50.0  # hysteresis: half the threshold
+        assert not degradation.is_active("limp_home")
+
+    def test_manual_entry_not_auto_exited(self):
+        sim, platform = degradable_platform()
+        monitor = RuntimeMonitor(sim)
+        platform.degradation.watch(
+            monitor, "limp_home", fault_rate_threshold=100.0, window=0.01
+        )
+        platform.degradation.enter("limp_home")  # operator decision
+        sim.run(until=0.1)
+        # zero fault rate, but the watch must not override the operator
+        assert platform.degradation.is_active("limp_home")
+
+    def test_watch_validation(self):
+        sim, platform = degradable_platform()
+        monitor = RuntimeMonitor(sim)
+        with pytest.raises(PlatformError):
+            platform.degradation.watch(
+                monitor, "ghost", fault_rate_threshold=1.0
+            )
+        with pytest.raises(PlatformError):
+            platform.degradation.watch(
+                monitor, "limp_home", fault_rate_threshold=0.0
+            )
+        with pytest.raises(PlatformError):
+            platform.degradation.watch(
+                monitor, "limp_home", fault_rate_threshold=1.0,
+                recovery_factor=2.0,
+            )

@@ -1,0 +1,92 @@
+"""Fault-record buffering while the backend link is absent or down."""
+
+from repro.core import BackendLink, RuntimeMonitor
+from repro.sim import Simulator
+
+
+def fault(monitor, i):
+    return monitor._fault(monitor.sim.now, f"t{i}", "deadline", "missed")
+
+
+class TestBacklogBuffering:
+    def test_faults_buffered_without_backend(self):
+        sim = Simulator()
+        monitor = RuntimeMonitor(sim)
+        for i in range(3):
+            fault(monitor, i)
+        assert monitor.backlog_size == 3
+        assert len(monitor.faults) == 3
+
+    def test_attach_backend_flushes_in_detection_order(self):
+        sim = Simulator()
+        monitor = RuntimeMonitor(sim)
+        for i in range(3):
+            fault(monitor, i)
+        backend = BackendLink(sim, uplink_latency=0.01)
+        monitor.attach_backend(backend)
+        assert monitor.backlog_size == 0
+        sim.run()
+        assert [r.task for r in backend.received] == ["t0", "t1", "t2"]
+
+    def test_link_down_buffers_then_reconnect_flushes(self):
+        sim = Simulator()
+        backend = BackendLink(sim, uplink_latency=0.01)
+        monitor = RuntimeMonitor(sim, backend=backend)
+        backend.connected = False
+        fault(monitor, 0)
+        fault(monitor, 1)
+        assert monitor.backlog_size == 2
+        assert backend.received == []
+        backend.connected = True
+        # the next fault drains the backlog first, keeping uplink order
+        fault(monitor, 2)
+        assert monitor.backlog_size == 0
+        sim.run()
+        assert [r.task for r in backend.received] == ["t0", "t1", "t2"]
+
+    def test_explicit_flush_after_reconnect(self):
+        sim = Simulator()
+        backend = BackendLink(sim, uplink_latency=0.01)
+        monitor = RuntimeMonitor(sim, backend=backend)
+        backend.connected = False
+        fault(monitor, 0)
+        backend.connected = True
+        assert monitor.flush_backlog() == 1
+        assert monitor.backlog_size == 0
+        sim.run()
+        assert len(backend.received) == 1
+
+    def test_flush_is_noop_while_down(self):
+        sim = Simulator()
+        backend = BackendLink(sim, uplink_latency=0.01)
+        monitor = RuntimeMonitor(sim, backend=backend)
+        backend.connected = False
+        fault(monitor, 0)
+        assert monitor.flush_backlog() == 0
+        assert monitor.backlog_size == 1
+
+
+class TestBacklogBounds:
+    def test_overflow_evicts_oldest_and_counts(self):
+        sim = Simulator()
+        monitor = RuntimeMonitor(sim, backlog_limit=2)
+        for i in range(4):
+            fault(monitor, i)
+        assert monitor.backlog_size == 2
+        assert monitor.backlog_dropped == 2
+        backend = BackendLink(sim, uplink_latency=0.01)
+        monitor.attach_backend(backend)
+        sim.run()
+        # only the newest two survived the bounded buffer
+        assert [r.task for r in backend.received] == ["t2", "t3"]
+
+    def test_connected_backend_never_touches_backlog(self):
+        sim = Simulator()
+        backend = BackendLink(sim, uplink_latency=0.01)
+        monitor = RuntimeMonitor(sim, backend=backend, backlog_limit=1)
+        for i in range(5):
+            fault(monitor, i)
+        assert monitor.backlog_size == 0
+        assert monitor.backlog_dropped == 0
+        sim.run()
+        assert len(backend.received) == 5

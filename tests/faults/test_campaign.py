@@ -1,0 +1,140 @@
+"""Chaos campaigns: scenario wiring, reports, serial ≡ parallel."""
+
+import pickle
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.exec.pool import ParallelExecutor
+from repro.faults import (
+    FaultCampaignSpec,
+    FaultPlan,
+    FaultSpec,
+    build_chaos_scenario,
+    build_resilience_report,
+    campaign_outcome,
+    redundant_ring_topology,
+    run_fault_campaign,
+)
+from repro.sim import Simulator
+
+CRASH_PLAN = FaultPlan(
+    name="crash_primary",
+    faults=(
+        FaultSpec(kind="ecu_crash", target="platform_0", start=0.1, duration=0.2),
+    ),
+)
+
+MIXED_PLAN = FaultPlan(
+    name="mixed",
+    faults=(
+        FaultSpec(kind="ecu_crash", target="platform_0", start=0.1, duration=0.15),
+        FaultSpec(
+            kind="frame_drop", target="eth_backbone", start=0.05,
+            duration=0.04, probability=0.6, count=3, period=0.1, jitter=0.01,
+        ),
+        FaultSpec(
+            kind="task_jitter", target="platform_1", start=0.2,
+            duration=0.1, magnitude=0.002,
+        ),
+    ),
+)
+
+
+class TestTopology:
+    def test_ring_has_two_segments_per_node(self):
+        topo = redundant_ring_topology(3)
+        assert {b.name for b in topo.buses} == {"eth_backbone", "eth_ring"}
+        assert len(topo.ecus) == 3
+
+    def test_ring_needs_two_platforms(self):
+        with pytest.raises(ExecutionError):
+            redundant_ring_topology(1)
+
+
+class TestScenario:
+    def test_crash_triggers_failover_and_service_survives(self):
+        spec = FaultCampaignSpec(plan=CRASH_PLAN, soak_time=0.5)
+        sim = Simulator()
+        scenario = build_chaos_scenario(sim, spec, 3)
+        sim.run(until=sim.now + spec.soak_time)
+        outcome = campaign_outcome("rep0", scenario)
+        assert outcome.failovers == 1
+        assert all(0 < i < 0.05 for i in outcome.interruptions)
+        # the failover is fast enough that no call is ever lost for good
+        assert outcome.rpc_calls > 20
+        assert outcome.rpc_successes == outcome.rpc_calls
+        assert outcome.rpc_failures == 0
+        assert outcome.success_ratio == 1.0
+
+    def test_resilience_report_aggregates_scenario(self):
+        spec = FaultCampaignSpec(plan=MIXED_PLAN, soak_time=0.4)
+        sim = Simulator()
+        scenario = build_chaos_scenario(sim, spec, 3)
+        sim.run(until=sim.now + spec.soak_time)
+        report = build_resilience_report(
+            injector=scenario["injector"],
+            redundancy=scenario["manager"],
+            clients=(scenario["client"],),
+            registry=scenario["platform"].registry,
+            degradation=scenario["platform"].degradation,
+        )
+        assert report.plan == "mixed"
+        assert report.faults_declared == 3
+        assert report.timeline_events == len(scenario["injector"].timeline)
+        assert report.failovers == 1
+        assert report.worst_interruption >= report.mean_interruption > 0
+        assert report.rpc_attempts >= report.rpc_calls
+        digest = report.to_digest()
+        assert digest["activations"]["ecu_crash"] == 2  # crash + reboot
+        assert "ecu_crash" in report.render()
+
+    def test_outcome_is_picklable(self):
+        spec = FaultCampaignSpec(plan=CRASH_PLAN, soak_time=0.3)
+        sim = Simulator()
+        scenario = build_chaos_scenario(sim, spec, 3)
+        sim.run(until=sim.now + spec.soak_time)
+        outcome = campaign_outcome("rep0", scenario)
+        assert pickle.loads(pickle.dumps(outcome)) == outcome
+
+    def test_spec_validation(self):
+        with pytest.raises(ExecutionError):
+            FaultCampaignSpec(plan=CRASH_PLAN, n_nodes=1)
+        with pytest.raises(ExecutionError):
+            FaultCampaignSpec(plan=CRASH_PLAN, replicas=5)
+        with pytest.raises(ExecutionError):
+            FaultCampaignSpec(plan=CRASH_PLAN, soak_time=0.0)
+
+
+class TestCampaign:
+    SPEC = FaultCampaignSpec(plan=MIXED_PLAN, soak_time=0.4)
+
+    def test_repeat_run_is_byte_identical(self):
+        first = run_fault_campaign(self.SPEC, replications=3, master_seed=11)
+        second = run_fault_campaign(self.SPEC, replications=3, master_seed=11)
+        assert first.outcomes == second.outcomes
+        assert first.digest == second.digest
+
+    def test_parallel_equals_serial(self):
+        serial = run_fault_campaign(self.SPEC, replications=4, master_seed=11)
+        with ParallelExecutor(workers=2, master_seed=11) as executor:
+            parallel = run_fault_campaign(
+                self.SPEC, replications=4, executor=executor, master_seed=11
+            )
+        assert serial.outcomes == parallel.outcomes
+
+    def test_different_seed_changes_outcomes(self):
+        a = run_fault_campaign(self.SPEC, replications=2, master_seed=11)
+        b = run_fault_campaign(self.SPEC, replications=2, master_seed=12)
+        assert a.outcomes != b.outcomes
+
+    def test_result_helpers(self):
+        result = run_fault_campaign(self.SPEC, replications=2, master_seed=11)
+        assert result.worst_interruption() > 0
+        assert result.total_timeline_events() == sum(
+            len(o.timeline) for o in result.outcomes
+        )
+
+    def test_needs_at_least_one_replication(self):
+        with pytest.raises(ExecutionError):
+            run_fault_campaign(self.SPEC, replications=0)

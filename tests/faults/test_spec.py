@@ -1,0 +1,125 @@
+"""Validation and value semantics of FaultSpec / FaultPlan."""
+
+import pickle
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import (
+    FAULT_KINDS,
+    KIND_BUS_OUTAGE,
+    KIND_CLOCK_DRIFT,
+    KIND_ECU_CRASH,
+    KIND_FRAME_DELAY,
+    KIND_FRAME_DROP,
+    KIND_TASK_JITTER,
+    KIND_TASK_OVERRUN,
+    FaultPlan,
+    FaultSpec,
+)
+
+
+class TestFaultSpec:
+    def test_minimal_spec(self):
+        spec = FaultSpec(kind=KIND_ECU_CRASH, target="n0", start=0.1)
+        assert spec.permanent
+        assert not spec.intermittent
+
+    def test_duration_marks_transient(self):
+        spec = FaultSpec(kind=KIND_ECU_CRASH, target="n0", start=0.1, duration=0.05)
+        assert not spec.permanent
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fault kind"):
+            FaultSpec(kind="meteor_strike", target="n0", start=0.0)
+
+    def test_empty_target_rejected(self):
+        with pytest.raises(ConfigurationError, match="needs a target"):
+            FaultSpec(kind=KIND_ECU_CRASH, target="", start=0.0)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ConfigurationError, match="start time"):
+            FaultSpec(kind=KIND_ECU_CRASH, target="n0", start=-1.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ConfigurationError, match="duration"):
+            FaultSpec(kind=KIND_ECU_CRASH, target="n0", start=0.0, duration=-0.1)
+
+    def test_probability_bounds(self):
+        with pytest.raises(ConfigurationError, match="probability"):
+            FaultSpec(kind=KIND_FRAME_DROP, target="bus", start=0.0, probability=1.5)
+
+    def test_recurring_needs_period(self):
+        with pytest.raises(ConfigurationError, match="positive period"):
+            FaultSpec(kind=KIND_ECU_CRASH, target="n0", start=0.0, count=3)
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ConfigurationError, match="jitter"):
+            FaultSpec(kind=KIND_ECU_CRASH, target="n0", start=0.0, jitter=-0.01)
+
+    @pytest.mark.parametrize(
+        "kind",
+        [KIND_FRAME_DELAY, KIND_TASK_OVERRUN, KIND_TASK_JITTER, KIND_CLOCK_DRIFT],
+    )
+    def test_magnitude_kinds_need_magnitude(self, kind):
+        with pytest.raises(ConfigurationError, match="magnitude"):
+            FaultSpec(kind=kind, target="x", start=0.0)
+
+    def test_recurring_windows_must_not_self_overlap(self):
+        with pytest.raises(ConfigurationError, match="overlap"):
+            FaultSpec(
+                kind=KIND_FRAME_DROP, target="bus", start=0.0,
+                duration=0.2, count=3, period=0.1,
+            )
+        # touching exactly (duration == period) is fine
+        FaultSpec(
+            kind=KIND_FRAME_DROP, target="bus", start=0.0,
+            duration=0.1, count=3, period=0.1,
+        )
+
+    def test_specs_are_hashable_and_picklable(self):
+        spec = FaultSpec(
+            kind=KIND_FRAME_DELAY, target="bus", start=0.1,
+            duration=0.05, magnitude=0.001,
+        )
+        assert spec == pickle.loads(pickle.dumps(spec))
+        assert hash(spec) == hash(pickle.loads(pickle.dumps(spec)))
+
+    def test_all_kinds_constructible(self):
+        for kind in FAULT_KINDS:
+            FaultSpec(kind=kind, target="x", start=0.0, magnitude=0.1)
+
+
+class TestFaultPlan:
+    def test_plan_needs_name(self):
+        with pytest.raises(ConfigurationError, match="needs a name"):
+            FaultPlan(name="")
+
+    def test_plan_coerces_faults_to_tuple(self):
+        spec = FaultSpec(kind=KIND_ECU_CRASH, target="n0", start=0.0)
+        plan = FaultPlan(name="p", faults=[spec])
+        assert isinstance(plan.faults, tuple)
+        assert len(plan) == 1
+
+    def test_plan_rejects_non_spec_entries(self):
+        with pytest.raises(ConfigurationError, match="non-FaultSpec"):
+            FaultPlan(name="p", faults=("not a spec",))
+
+    def test_of_kind_and_targets(self):
+        plan = FaultPlan(
+            name="p",
+            faults=(
+                FaultSpec(kind=KIND_ECU_CRASH, target="n1", start=0.0),
+                FaultSpec(kind=KIND_BUS_OUTAGE, target="b0", start=0.0),
+                FaultSpec(kind=KIND_ECU_CRASH, target="n0", start=0.1),
+            ),
+        )
+        assert len(plan.of_kind(KIND_ECU_CRASH)) == 2
+        assert plan.targets() == ("b0", "n0", "n1")
+
+    def test_plan_is_picklable(self):
+        plan = FaultPlan(
+            name="p",
+            faults=(FaultSpec(kind=KIND_ECU_CRASH, target="n0", start=0.0),),
+        )
+        assert pickle.loads(pickle.dumps(plan)) == plan
