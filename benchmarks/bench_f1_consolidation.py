@@ -81,9 +81,11 @@ def run_f1(n_functions: int, seed: int = 42):
         federated_topo.ecu(f"ecu_{a.name}").unit_cost for a in apps
     )
     central_cost = (
+        # sorted: float addition is order-sensitive, and set order is not
+        # stable across processes under hash randomisation
         sum(
             central_topo.ecu(name).unit_cost
-            for name in {central_dep.ecu_of(a.name) for a in apps}
+            for name in sorted({central_dep.ecu_of(a.name) for a in apps})
         )
         if central_dep
         else None

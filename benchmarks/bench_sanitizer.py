@@ -1,0 +1,223 @@
+#!/usr/bin/env python3
+"""Sanitizer benchmark: race-freedom, non-perturbation and overhead.
+
+Three gates, each failing the process (exit 1) when violated:
+
+1. **Race freedom** — the seeded chaos scenario (the same one
+   ``bench_fault_soak.py`` soaks) runs with the
+   :class:`~repro.analysis.sanitizer.KernelSanitizer` attached to both
+   the kernel and the fault injector's RNG streams; it must finish with
+   ``race_count == 0``.  Tiebreak diagnostics are allowed (they are
+   informational), races are not.
+
+2. **Non-perturbation** — the chaos scenario soaked with and without
+   the sanitizer must produce byte-identical fault timelines and
+   condensed outcomes.  A sanitizer that changes the simulation it
+   observes would be worse than none.
+
+3. **Attached overhead** — a message-heavy soak is timed bare and with
+   the sanitizer attached; the sanitized run must stay within
+   ``MAX_OVERHEAD_PCT`` of the baseline.  (When *detached* the kernel
+   pays exactly one ``is None`` branch per event — the same contract as
+   the fault layer, covered by ``bench_fault_soak.py``'s idle gate.)
+
+Writes ``BENCH_sanitizer.json`` at the repo root.
+"""
+
+import argparse
+import json
+import os
+import platform
+import sys
+from time import perf_counter
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.analysis import KernelSanitizer  # noqa: E402
+from repro.faults import (  # noqa: E402
+    FaultCampaignSpec,
+    FaultPlan,
+    FaultSpec,
+    build_chaos_scenario,
+    campaign_outcome,
+)
+from repro.hw import BusSpec, EcuSpec, Topology  # noqa: E402
+from repro.middleware import Endpoint, Message, MessageType, ServiceRegistry  # noqa: E402
+from repro.network import VehicleNetwork  # noqa: E402
+from repro.sim import Simulator  # noqa: E402
+
+MAX_OVERHEAD_PCT = 5.0
+
+CHAOS_PLAN = FaultPlan(
+    name="sanitized-soak",
+    faults=(
+        FaultSpec(kind="ecu_crash", target="platform_0", start=0.1, duration=0.15),
+        FaultSpec(kind="bus_outage", target="eth_backbone", start=0.05, duration=0.08),
+        FaultSpec(
+            kind="frame_drop", target="eth_ring", start=0.06,
+            duration=0.04, probability=0.5, count=3, period=0.12, jitter=0.01,
+        ),
+        FaultSpec(
+            kind="task_overrun", target="platform_1", start=0.2,
+            duration=0.1, magnitude=0.5,
+        ),
+    ),
+)
+
+
+def run_chaos_once(seed: int, soak_time: float, sanitized: bool):
+    spec = FaultCampaignSpec(plan=CHAOS_PLAN, soak_time=soak_time)
+    sim = Simulator()
+    scenario = build_chaos_scenario(sim, spec, seed)
+    sanitizer = None
+    if sanitized:
+        sanitizer = KernelSanitizer(
+            sim, rng=scenario["injector"].rng
+        ).attach()
+    sim.run(until=sim.now + soak_time)
+    outcome = campaign_outcome("sanitized-soak", scenario)
+    return tuple(scenario["injector"].timeline), outcome, sanitizer
+
+
+def check_chaos(seed: int, soak_time: float) -> dict:
+    bare_timeline, bare_outcome, _ = run_chaos_once(seed, soak_time, False)
+    san_timeline, san_outcome, sanitizer = run_chaos_once(
+        seed, soak_time, True
+    )
+    return {
+        "seed": seed,
+        "soak_time": soak_time,
+        "timeline_events": len(san_timeline),
+        "race_count": sanitizer.race_count,
+        "tie_count": sanitizer.tie_count,
+        "counts": dict(sorted(sanitizer.counts.items())),
+        "summary": sanitizer.summary().splitlines()[0],
+        "unperturbed": (
+            bare_timeline == san_timeline and bare_outcome == san_outcome
+        ),
+    }
+
+
+def message_soak(n_messages: int, sanitized: bool) -> float:
+    """Wall-clock seconds to pump ``n_messages`` through one segment."""
+    topo = Topology()
+    topo.add_bus(BusSpec("eth", "ethernet", 1e9))
+    for name in ("e0", "e1"):
+        topo.add_ecu(EcuSpec(name, ports=(("eth0", "ethernet"),)))
+        topo.attach(name, "eth0", "eth")
+    sim = Simulator()
+    net = VehicleNetwork(sim, topo)
+    registry = ServiceRegistry()
+    endpoints = {n: Endpoint(sim, net, n, registry) for n in ("e0", "e1")}
+    endpoints["e1"].on_message(0x10, MessageType.NOTIFICATION, lambda m: None)
+    if sanitized:
+        KernelSanitizer(sim).attach()
+
+    def sender():
+        for _ in range(n_messages):
+            endpoints["e0"].send(Message(
+                service_id=0x10, method_id=1,
+                msg_type=MessageType.NOTIFICATION,
+                payload_bytes=64, src="e0", dst="e1",
+            ))
+            yield 1e-5
+
+    sim.process(sender())
+    t0 = perf_counter()
+    sim.run(until=(n_messages + 10) * 1e-5)
+    elapsed = perf_counter() - t0
+    assert net.bus("eth").frames_delivered == n_messages
+    return elapsed
+
+
+def check_overhead(n_messages: int, repeats: int, max_batches: int = 5) -> dict:
+    # Shared-runner noise (CPU steal) is one-sided: it only ever *adds*
+    # wall time.  The robust estimator under such noise is the ratio of
+    # minimums — with many short interleaved runs, min(bare) and
+    # min(sanitized) both converge on the true undisturbed cost (short
+    # runs matter: each is another chance to land in a quiet window).  A
+    # batch that still looks like a breach accumulates more runs before
+    # judging: real overhead persists, noise washes out.
+    baseline_runs = []
+    sanitized_runs = []
+    for _ in range(max_batches):
+        for _ in range(repeats):
+            baseline_runs.append(message_soak(n_messages, False))
+            sanitized_runs.append(message_soak(n_messages, True))
+        ratio = min(sanitized_runs) / min(baseline_runs)
+        overhead_pct = (ratio - 1.0) * 100.0
+        if overhead_pct < MAX_OVERHEAD_PCT:
+            break
+    return {
+        "messages": n_messages,
+        "repeats": len(baseline_runs),
+        "baseline_seconds": round(min(baseline_runs), 4),
+        "sanitized_seconds": round(min(sanitized_runs), 4),
+        "overhead_pct": round(overhead_pct, 2),
+        "max_overhead_pct": MAX_OVERHEAD_PCT,
+        "within_budget": overhead_pct < MAX_OVERHEAD_PCT,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small configs for CI smoke runs")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--out-dir", default=REPO_ROOT)
+    args = parser.parse_args(argv)
+
+    soak_time = 0.5 if args.smoke else 2.0
+    n_messages = 2_000 if args.smoke else 10_000
+    repeats = 10 if args.smoke else 12
+
+    print(f"sanitized chaos soak (seed {args.seed}, {soak_time}s) ...")
+    chaos = check_chaos(args.seed, soak_time)
+    print(f"  {chaos['timeline_events']} timeline events, "
+          f"races={chaos['race_count']}, ties={chaos['tie_count']}, "
+          f"unperturbed={chaos['unperturbed']}")
+
+    print(f"attached-sanitizer overhead ({n_messages:,} messages x {repeats}) ...")
+    overhead = check_overhead(n_messages, repeats)
+    print(f"  baseline {overhead['baseline_seconds']}s, "
+          f"sanitized {overhead['sanitized_seconds']}s "
+          f"({overhead['overhead_pct']:+.2f}%, budget "
+          f"{MAX_OVERHEAD_PCT:.0f}%)")
+
+    payload = {
+        "environment": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "mode": "smoke" if args.smoke else "full",
+        "chaos": chaos,
+        "attached_overhead": overhead,
+    }
+    out_path = os.path.join(args.out_dir, "BENCH_sanitizer.json")
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {out_path}")
+
+    if chaos["race_count"] != 0:
+        print(f"FAIL: sanitizer found {chaos['race_count']} race(s) in the "
+              f"seeded chaos scenario: {chaos['summary']}", file=sys.stderr)
+        return 1
+    if not chaos["unperturbed"]:
+        print("FAIL: attaching the sanitizer changed the fault timeline "
+              "or outcome", file=sys.stderr)
+        return 1
+    if not overhead["within_budget"]:
+        print(f"FAIL: attached sanitizer overhead "
+              f"{overhead['overhead_pct']}% exceeds {MAX_OVERHEAD_PCT}% "
+              "budget", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""Determinism sanitizer: static linter + runtime race detector.
+
+Two pillars enforce the repo's ``(plan, seed) -> byte-identical
+timeline`` guarantee *before* benchmarks ever compare traces:
+
+* :mod:`repro.analysis.lint` / :mod:`repro.analysis.detectors` — an AST
+  linter (CLI: ``python -m repro.analysis``) that flags nondeterminism
+  hazards in source: raw ``random`` use, wall-clock reads, unordered set
+  iteration, hash-order sort keys, environment reads and mutable
+  defaults — with per-line ``# repro: allow[RULE]`` pragmas and a
+  committed baseline so CI fails only on new violations.
+* :mod:`repro.analysis.sanitizer` — an opt-in kernel mode detecting
+  same-instant ordering races, same-tick shared-resource mutation and
+  RNG stream sharing at run time, with zero overhead when detached.
+"""
+
+from .detectors import RULES, Finding, Rule, detect
+from .lint import (
+    LintReport,
+    baseline_from_report,
+    load_baseline,
+    new_findings,
+    run_lint,
+    save_baseline,
+)
+from .sanitizer import KernelSanitizer, SanitizerReport
+
+__all__ = [
+    "Finding",
+    "KernelSanitizer",
+    "LintReport",
+    "RULES",
+    "Rule",
+    "SanitizerReport",
+    "baseline_from_report",
+    "detect",
+    "load_baseline",
+    "new_findings",
+    "run_lint",
+    "save_baseline",
+]

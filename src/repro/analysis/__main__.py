@@ -1,0 +1,154 @@
+"""Command-line entry point: ``python -m repro.analysis``.
+
+Typical invocations::
+
+    # report every hazard under src/ and tests/ (informational)
+    python -m repro.analysis
+
+    # CI gate: fail (exit 1) on any finding not in the baseline
+    python -m repro.analysis --check
+
+    # accept the current findings as the new baseline
+    python -m repro.analysis --update-baseline
+
+    # machine-readable report for tooling / golden tests
+    python -m repro.analysis --json report.json
+
+Exit codes: ``0`` clean (or informational run), ``1`` new violations or
+unparseable files under ``--check``, ``2`` bad usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from .detectors import RULES
+from .lint import (
+    LintReport,
+    baseline_from_report,
+    load_baseline,
+    new_findings,
+    run_lint,
+    save_baseline,
+)
+
+DEFAULT_PATHS = ("src", "tests")
+DEFAULT_BASELINE = "determinism-baseline.json"
+
+
+def _print_rules() -> None:
+    for rule_id, rule in sorted(RULES.items()):
+        print(f"{rule_id}  [{rule.severity}] {rule.title}")
+        print(f"        fix: {rule.hint}")
+
+
+def _render_report(report: LintReport, fresh_count: Optional[int]) -> None:
+    for finding in report.findings:
+        print(finding.render())
+    for error in report.parse_errors:
+        print(f"parse error: {error}", file=sys.stderr)
+    summary = (
+        f"{report.files_scanned} files scanned: "
+        f"{len(report.errors)} error(s), {len(report.warnings)} warning(s), "
+        f"{report.suppressed} suppressed by pragma"
+    )
+    if fresh_count is not None:
+        summary += f", {fresh_count} new vs baseline"
+    print(summary)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Determinism sanitizer: AST nondeterminism linter",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=None,
+        help=f"files/directories to scan (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--root", default=os.getcwd(),
+        help="repository root paths and the baseline resolve against "
+        "(default: cwd)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit 1 if any finding is not covered by the baseline",
+    )
+    parser.add_argument(
+        "--baseline", default=None,
+        help=f"baseline file (default: <root>/{DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file: every finding counts as new",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="write the current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="also write the full JSON report to FILE ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        _print_rules()
+        return 0
+
+    root = os.path.abspath(args.root)
+    paths = args.paths or [
+        p for p in DEFAULT_PATHS if os.path.exists(os.path.join(root, p))
+    ]
+    if not paths:
+        print(f"nothing to scan under {root}", file=sys.stderr)
+        return 2
+    baseline_path = args.baseline or os.path.join(root, DEFAULT_BASELINE)
+
+    report = run_lint(paths, root)
+
+    if args.json:
+        payload = report.to_json()
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                fh.write(payload)
+                fh.write("\n")
+
+    if args.update_baseline:
+        save_baseline(baseline_from_report(report), baseline_path)
+        print(
+            f"baseline updated: {baseline_path} "
+            f"({len(report.findings)} finding(s) accepted)"
+        )
+        return 0
+
+    baseline = {} if args.no_baseline else load_baseline(baseline_path)
+    fresh = new_findings(report, baseline)
+    _render_report(report, len(fresh))
+
+    if args.check:
+        if report.parse_errors:
+            return 1
+        if fresh:
+            print(
+                f"FAIL: {len(fresh)} determinism violation(s) not in "
+                f"baseline {os.path.basename(baseline_path)}",
+                file=sys.stderr,
+            )
+            return 1
+        print("OK: no new determinism violations")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

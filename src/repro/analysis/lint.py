@@ -1,0 +1,271 @@
+"""Lint driver: file walking, pragmas, baselines and JSON reports.
+
+This module turns the per-file detectors of
+:mod:`repro.analysis.detectors` into a repository-level check:
+
+* **Walking** — :func:`run_lint` scans every ``.py`` file under the
+  given paths in sorted order, so reports are byte-identical across
+  machines (the linter holds itself to the determinism bar it enforces).
+* **Pragmas** — a trailing ``# repro: allow[DET201]`` comment suppresses
+  the named rule(s) on that line (comma-separate for several); a bare
+  ``# repro: allow`` suppresses every rule on the line; a
+  ``# repro: allow-file[DET301]`` comment anywhere in the file
+  suppresses the rule for the whole file.  For multi-line statements the
+  pragma may sit on the first or last physical line of the statement.
+* **Baselines** — a baseline file maps finding fingerprints (path, rule
+  and source-line text — not line numbers, which shift on unrelated
+  edits) to occurrence counts.  :func:`new_findings` returns only the
+  occurrences *beyond* the baselined count, so CI fails on regressions
+  without forcing a big-bang cleanup of historical debt.
+* **Reports** — :meth:`LintReport.to_dict` is a stable JSON schema
+  (``schema: 1``) consumed by the golden-file tests and the CI job.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .detectors import RULES, Finding, detect
+
+#: JSON report / baseline schema version.
+SCHEMA_VERSION = 1
+
+#: Files where DET101 is suppressed by design: the seeded-stream registry
+#: itself has to wrap ``random.Random``.
+RAW_RANDOM_ALLOWED = ("sim/rng.py",)
+
+_LINE_PRAGMA = re.compile(
+    r"#\s*repro:\s*allow\s*(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?"
+)
+_FILE_PRAGMA = re.compile(
+    r"#\s*repro:\s*allow-file\s*\[(?P<rules>[A-Za-z0-9_,\s]+)\]"
+)
+
+#: Sentinel meaning "every rule" inside a pragma rule set.
+_ALL_RULES = "*"
+
+
+def _parse_rules(raw: Optional[str]) -> Set[str]:
+    if raw is None:
+        return {_ALL_RULES}
+    return {part.strip().upper() for part in raw.split(",") if part.strip()}
+
+
+@dataclass
+class PragmaIndex:
+    """Suppressions declared inside one source file."""
+
+    line_allows: Dict[int, Set[str]] = field(default_factory=dict)
+    file_allows: Set[str] = field(default_factory=set)
+
+    @classmethod
+    def scan(cls, source_lines: List[str]) -> "PragmaIndex":
+        index = cls()
+        for number, line in enumerate(source_lines, start=1):
+            if "repro:" not in line:
+                continue
+            file_match = _FILE_PRAGMA.search(line)
+            if file_match:
+                index.file_allows |= _parse_rules(file_match.group("rules"))
+                continue
+            line_match = _LINE_PRAGMA.search(line)
+            if line_match:
+                index.line_allows.setdefault(number, set()).update(
+                    _parse_rules(line_match.group("rules"))
+                )
+        return index
+
+    def _matches(self, allowed: Set[str], rule: str) -> bool:
+        return _ALL_RULES in allowed or rule in allowed
+
+    def suppresses(self, finding: Finding, end_line: Optional[int] = None) -> bool:
+        if self._matches(self.file_allows, finding.rule):
+            return True
+        last = end_line or finding.line
+        lines = (finding.line,) if last == finding.line else (finding.line, last)
+        for line in lines:
+            allowed = self.line_allows.get(line)
+            if allowed and self._matches(allowed, finding.rule):
+                return True
+        return False
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    suppressed: int = 0
+    parse_errors: List[str] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "warning"]
+
+    def by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def to_dict(self) -> Dict:
+        return {
+            "schema": SCHEMA_VERSION,
+            "files_scanned": self.files_scanned,
+            "suppressed": self.suppressed,
+            "parse_errors": list(self.parse_errors),
+            "summary": {
+                "errors": len(self.errors),
+                "warnings": len(self.warnings),
+                "by_rule": self.by_rule(),
+            },
+            "rules": {
+                rule_id: {
+                    "title": rule.title,
+                    "severity": rule.severity,
+                    "hint": rule.hint,
+                }
+                for rule_id, rule in sorted(RULES.items())
+            },
+            "findings": [
+                {
+                    "rule": f.rule,
+                    "severity": f.severity,
+                    "path": f.path,
+                    "line": f.line,
+                    "col": f.col,
+                    "message": f.message,
+                    "hint": f.hint,
+                    "text": f.text,
+                }
+                for f in self.findings
+            ],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+
+def _iter_python_files(paths: Iterable[str], root: str) -> List[str]:
+    """Absolute paths of every ``.py`` file under ``paths``, sorted."""
+    out: Set[str] = set()
+    for path in paths:
+        absolute = path if os.path.isabs(path) else os.path.join(root, path)
+        if os.path.isfile(absolute):
+            if absolute.endswith(".py"):
+                out.add(os.path.abspath(absolute))
+            continue
+        for dirpath, dirnames, filenames in os.walk(absolute):
+            dirnames[:] = sorted(
+                d for d in dirnames
+                if d != "__pycache__" and not d.startswith(".")
+            )
+            for name in filenames:
+                if name.endswith(".py"):
+                    out.add(os.path.abspath(os.path.join(dirpath, name)))
+    return sorted(out)
+
+
+def _relpath(path: str, root: str) -> str:
+    rel = os.path.relpath(path, root)
+    return rel.replace(os.sep, "/")
+
+
+def scan_file(
+    absolute: str, rel: str
+) -> Tuple[List[Finding], int, Optional[str]]:
+    """Lint one file.
+
+    Returns ``(findings, suppressed_count, parse_error)``; a file that
+    fails to parse produces no findings and a non-None error string.
+    """
+    with open(absolute, "r", encoding="utf-8") as fh:
+        source = fh.read()
+    allow_raw = any(rel.endswith(suffix) for suffix in RAW_RANDOM_ALLOWED)
+    try:
+        findings = detect(source, rel, allow_raw_random=allow_raw)
+    except SyntaxError as exc:
+        return [], 0, f"{rel}: {exc.msg} (line {exc.lineno})"
+    pragmas = PragmaIndex.scan(source.splitlines())
+    kept: List[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        if pragmas.suppresses(finding, finding.end_line):
+            suppressed += 1
+        else:
+            kept.append(finding)
+    return kept, suppressed, None
+
+
+def run_lint(paths: Iterable[str], root: str) -> LintReport:
+    """Lint every Python file under ``paths`` (relative to ``root``)."""
+    report = LintReport()
+    for absolute in _iter_python_files(paths, root):
+        rel = _relpath(absolute, root)
+        findings, suppressed, parse_error = scan_file(absolute, rel)
+        report.files_scanned += 1
+        report.suppressed += suppressed
+        if parse_error is not None:
+            report.parse_errors.append(parse_error)
+        report.findings.extend(findings)
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return report
+
+
+# -- baselines -----------------------------------------------------------
+
+
+def baseline_from_report(report: LintReport) -> Dict:
+    """Serializable baseline: fingerprint -> occurrence count."""
+    counts: Dict[str, int] = {}
+    for finding in report.findings:
+        counts[finding.fingerprint] = counts.get(finding.fingerprint, 0) + 1
+    return {
+        "schema": SCHEMA_VERSION,
+        "fingerprints": dict(sorted(counts.items())),
+    }
+
+
+def save_baseline(baseline: Dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(baseline, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_baseline(path: str) -> Dict[str, int]:
+    """Fingerprint counts from a baseline file (empty if absent)."""
+    if not os.path.exists(path):
+        return {}
+    with open(path, "r", encoding="utf-8") as fh:
+        raw = json.load(fh)
+    fingerprints = raw.get("fingerprints", {})
+    return {str(k): int(v) for k, v in fingerprints.items()}
+
+
+def new_findings(
+    report: LintReport, baseline: Dict[str, int]
+) -> List[Finding]:
+    """Findings not covered by the baseline.
+
+    For each fingerprint, the first ``baseline[fp]`` occurrences (in
+    path/line order) are considered historical; everything beyond that
+    count is new.  A fingerprint absent from the baseline is entirely new.
+    """
+    remaining = dict(baseline)
+    fresh: List[Finding] = []
+    for finding in report.findings:
+        credit = remaining.get(finding.fingerprint, 0)
+        if credit > 0:
+            remaining[finding.fingerprint] = credit - 1
+        else:
+            fresh.append(finding)
+    return fresh

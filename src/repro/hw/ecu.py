@@ -33,6 +33,17 @@ class OsClass(Enum):
         """Whether deterministic applications may run on this OS class."""
         return self in (OsClass.RTOS, OsClass.POSIX_RT, OsClass.BARE_METAL)
 
+    @property
+    def preemption_jitter(self) -> bool:
+        """Whether the OS may preempt a running task, introducing
+        start-time jitter between co-located tasks.
+
+        Every scheduler-driven class preempts; only bare metal runs each
+        activation to completion, so co-location there cannot delay a
+        deterministic task's start.
+        """
+        return self is not OsClass.BARE_METAL
+
 
 class CryptoCapability(Enum):
     """How fast an ECU can perform cryptographic operations (Section 4.1)."""

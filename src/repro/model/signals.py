@@ -118,8 +118,9 @@ class SignalCatalog:
         """The paper's pain point: signals nobody can account for."""
         return [s for s in self._signals.values() if not s.documented]
 
-    def emitters(self) -> Set[str]:
-        return {s.emitter for s in self._signals.values() if s.emitter}
+    def emitters(self) -> Tuple[str, ...]:
+        """Distinct emitter ECUs, sorted so callers can iterate safely."""
+        return tuple(sorted({s.emitter for s in self._signals.values() if s.emitter}))
 
 
 @dataclass

@@ -8,6 +8,8 @@ against every rule the paper names:
 
 * resource feasibility — memory, flash, CPU schedulability per core;
 * OS-class rules — deterministic apps only on real-time OSs;
+* jitter declarations — deterministic tasks sharing a preemptive core
+  must bound their tolerated start jitter;
 * hardware attribute rules — GPU, MMU for mixed-criticality co-location;
 * interface wiring — providers exist, versions compatible, routes exist;
 * bandwidth feasibility per bus segment;
@@ -204,6 +206,50 @@ def _check_os_rules(
                 )
 
 
+def _check_determinism(
+    model: SystemModel, deployment: Deployment, result: VerificationResult
+) -> None:
+    """Deterministic tasks sharing a preemptive core need jitter bounds.
+
+    On an OS class that preempts (anything but bare metal), a
+    deterministic task co-located with other tasks can see its start
+    delayed by whoever holds the core.  That is fine when the task
+    declares how much jitter it tolerates (the runtime monitor enforces
+    the bound) — but a task with the default unbounded
+    ``jitter_tolerance`` silently absorbs the interference, so the
+    engine flags it as a warning.
+    """
+    for ecu_name in deployment.used_ecus():
+        try:
+            spec = model.topology.ecu(ecu_name)
+        except Exception:
+            continue
+        if not spec.os_class.preemption_jitter:
+            continue
+        for core in range(spec.cores):
+            core_apps = [
+                model.app(a) for a in deployment.apps_on_core(ecu_name, core)
+            ]
+            core_tasks = [t for a in core_apps for t in a.tasks]
+            if len(core_tasks) < 2:
+                continue  # a lone task cannot be preempted by a peer
+            for app in core_apps:
+                for task in app.tasks:
+                    if task.criticality is not Criticality.DETERMINISTIC:
+                        continue
+                    if task.jitter_tolerance != float("inf"):
+                        continue
+                    result.add(
+                        "jitter",
+                        f"{app.name}.{task.name}",
+                        f"deterministic task shares {ecu_name}.core{core} "
+                        f"({len(core_tasks)} tasks) under preemptive "
+                        f"{spec.os_class.value} without a declared "
+                        "jitter_tolerance bound",
+                        severity=Severity.WARNING,
+                    )
+
+
 def _check_communication(
     model: SystemModel, deployment: Deployment, result: VerificationResult
 ) -> None:
@@ -340,18 +386,22 @@ def verify(model: SystemModel, deployment: Deployment) -> VerificationResult:
             )
     _check_resources(model, deployment, result)
     _check_os_rules(model, deployment, result)
+    _check_determinism(model, deployment, result)
     _check_communication(model, deployment, result)
     _check_redundancy(model, deployment, result)
     return result
 
 
 def verify_variant_space(
-    model: SystemModel, space: VariantSpace
+    model: SystemModel, space: VariantSpace, *, include_warnings: bool = False
 ) -> Tuple[int, int, Dict[str, VerificationResult]]:
     """Verify every concrete deployment of ``space``.
 
     Returns ``(n_ok, n_total, failures)`` where ``failures`` maps a
-    deployment's repr to its failing result.
+    deployment's repr to its failing result.  With ``include_warnings``
+    a deployment also counts as failing when it only carries warnings
+    (e.g. unbounded-jitter deterministic tasks), for callers that want
+    the strict reading of "every possible mapping is functional".
     """
     n_ok = 0
     n_total = 0
@@ -359,7 +409,7 @@ def verify_variant_space(
     for deployment in space.enumerate():
         n_total += 1
         result = verify(model, deployment)
-        if result.ok:
+        if result.ok and not (include_warnings and result.warnings):
             n_ok += 1
         else:
             failures[repr(deployment.as_dict())] = result

@@ -103,7 +103,11 @@ class EventQueue:
             self._prune()
 
     def _prune(self) -> None:
-        """Rebuild the heap without cancelled entries."""
+        """Rebuild the heap without cancelled entries.
+
+        In place: observers (the kernel sanitizer) cache the heap list
+        object, so pruning must never rebind ``_heap``.
+        """
         live = []
         for entry in self._heap:
             call = entry[3]
@@ -112,7 +116,7 @@ class EventQueue:
             else:
                 live.append(entry)
         heapq.heapify(live)
-        self._heap = live
+        self._heap[:] = live
         self._cancelled_in_heap = 0
 
     def push(
@@ -142,6 +146,18 @@ class EventQueue:
                 return call
             self._cancelled_in_heap -= 1
         raise SimulationError("event queue is empty")
+
+    def peek_call(self) -> Optional["ScheduledCall"]:
+        """Return the next live call without removing it, or ``None``.
+
+        Cancelled heads are pruned on the way, exactly like
+        :meth:`peek_time`, so the returned handle is always live.
+        """
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)[3]._queue = None
+            self._cancelled_in_heap -= 1
+        return heap[0][3] if heap else None
 
     def peek_time(self) -> Optional[float]:
         """Return the firing time of the next live event, or ``None``."""

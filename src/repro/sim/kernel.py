@@ -239,8 +239,11 @@ class Simulator:
     to collect layer metrics (a disabled private registry is created
     otherwise, so cached instrument handles stay valid no-ops) and a
     :class:`~repro.obs.profiler.KernelProfiler` to attribute wall-clock
-    time per event callback.  With neither attached the kernel hot path
-    pays two branch tests per event and allocates nothing.
+    time per event callback.  A
+    :class:`~repro.analysis.sanitizer.KernelSanitizer` attaches itself
+    through :attr:`sanitizer` to detect ordering races.  With none of
+    them attached the kernel hot path pays one branch test per optional
+    layer per event and allocates nothing.
     """
 
     def __init__(
@@ -255,6 +258,9 @@ class Simulator:
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
         self.metrics = metrics if metrics is not None else MetricsRegistry(enabled=False)
         self.profiler = profiler
+        #: opt-in :class:`repro.analysis.sanitizer.KernelSanitizer`;
+        #: ``None`` keeps the hot path at a single branch per event
+        self.sanitizer = None
         self._m_events = self.metrics.counter("sim.events")
         self._m_crashes = self.metrics.counter("sim.crashes")
         self._crashed_processes: List[Process] = []
@@ -310,9 +316,21 @@ class Simulator:
     def step(self) -> None:
         """Execute the single next event."""
         call = self.queue.pop()
-        if call.time < self.now:
+        t = call.time
+        if t < self.now:
             raise SimulationError("event queue time went backwards")
-        self.now = call.time
+        self.now = t
+        san = self.sanitizer
+        if san is not None:
+            # inline tie screen: only same (time, priority) heads can be
+            # order-sensitive, so the sanitizer is called solely for
+            # candidate ties and the per-event cost stays at a few loads
+            san._current_event = call
+            heap = san._heap
+            if heap:
+                head = heap[0]
+                if head[0] == t and head[1] == call.priority:
+                    san.on_tie(call, head[3])
         m = self._m_events
         if m._enabled:
             m.inc()

@@ -38,6 +38,9 @@ class Resource:
 
     def request(self, priority: int = 0) -> Signal:
         """Ask for one unit; the returned signal fires when granted."""
+        sanitizer = self.sim.sanitizer
+        if sanitizer is not None:
+            sanitizer.note_mutation(self, "request", self.name)
         grant = self.sim.signal(name=f"{self.name}.grant")
         if self.in_use < self.capacity and not self._waiters:
             self.in_use += 1
@@ -52,6 +55,9 @@ class Resource:
         """Return one unit, granting it to the best waiter if any."""
         if self.in_use <= 0:
             raise SimulationError(f"release of idle resource {self.name!r}")
+        sanitizer = self.sim.sanitizer
+        if sanitizer is not None:
+            sanitizer.note_mutation(self, "release", self.name)
         if self._waiters:
             __, __, grant = self._waiters.pop(0)
             grant.fire()
@@ -79,6 +85,9 @@ class Store:
 
     def put(self, item: Any) -> None:
         """Enqueue ``item``, waking the oldest waiting getter if any."""
+        sanitizer = self.sim.sanitizer
+        if sanitizer is not None:
+            sanitizer.note_mutation(self, "put", self.name)
         if self._getters:
             self._getters.popleft().fire(item)
         else:
@@ -86,6 +95,9 @@ class Store:
 
     def get(self) -> Signal:
         """Return a signal that fires with the next available item."""
+        sanitizer = self.sim.sanitizer
+        if sanitizer is not None:
+            sanitizer.note_mutation(self, "get", self.name)
         sig = self.sim.signal(name=f"{self.name}.get")
         if self._items:
             sig.fire(self._items.popleft())
@@ -133,6 +145,9 @@ class ThroughputServer:
         del priority
         if size < 0:
             raise SimulationError(f"job size must be >= 0, got {size}")
+        sanitizer = self.sim.sanitizer
+        if sanitizer is not None:
+            sanitizer.note_mutation(self, "submit", self.name)
         start = max(self.sim.now, self._busy_until)
         duration = self.overhead + size / self.rate
         self._busy_until = start + duration

@@ -26,6 +26,10 @@ class RngStreams:
     def __init__(self, master_seed: int = 0) -> None:
         self.master_seed = master_seed
         self._streams: Dict[str, random.Random] = {}
+        #: opt-in :class:`repro.analysis.sanitizer.KernelSanitizer` hook
+        #: guarding against one stream being shared by two consumers;
+        #: ``None`` keeps :meth:`stream` at a single extra branch
+        self._sanitizer = None
 
     def stream(self, name: str) -> random.Random:
         """Return (creating on first use) the stream called ``name``."""
@@ -33,6 +37,8 @@ class RngStreams:
         if rng is None:
             rng = random.Random(_derive_seed(self.master_seed, name))
             self._streams[name] = rng
+        if self._sanitizer is not None:
+            self._sanitizer.note_stream(name)
         return rng
 
     # -- convenience draws -------------------------------------------------

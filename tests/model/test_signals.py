@@ -87,6 +87,13 @@ class TestSignalCatalog:
         assert "esp" in catalog.emitters()
         assert None not in catalog.emitters()
 
+    def test_emitters_deterministic_order(self):
+        # regression: emitters() used to return a set, whose iteration
+        # order varies across processes under hash randomisation
+        emitters = legacy_body_catalog().emitters()
+        assert isinstance(emitters, tuple)
+        assert list(emitters) == sorted(emitters)
+
 
 class TestMigration:
     def test_documented_signals_become_events(self):
@@ -133,7 +140,7 @@ class TestMigration:
         report = migrate_catalog(legacy_body_catalog())
         model = SystemModel(centralized_topology())
         emitters = {i.owner for i in report.interfaces}
-        for emitter in emitters:
+        for emitter in sorted(emitters):
             provides = tuple(
                 i.name for i in report.interfaces if i.owner == emitter
             )

@@ -308,6 +308,80 @@ class TestVerification:
         assert n_ok + len(failures) == n_total
 
 
+class TestJitterRule:
+    """Deterministic tasks on shared preemptive cores need jitter bounds."""
+
+    def _model_with_pair(self, tolerance=float("inf")):
+        model = SystemModel(small_world())
+        model.add_app(AppModel(
+            name="ctl",
+            tasks=(TaskSpec(name="loop", period=0.01, wcet=0.001,
+                            jitter_tolerance=tolerance),),
+            asil=Asil.C, memory_kib=10, image_kib=10,
+        ))
+        model.add_app(AppModel(
+            name="peer", tasks=(det_task("peer_loop"),
+                                ), memory_kib=10, image_kib=10,
+        ))
+        return model
+
+    def test_unbounded_jitter_on_shared_core_warns(self):
+        model = self._model_with_pair()
+        d = Deployment().place("ctl", "pc0", 0).place("peer", "pc0", 0)
+        result = verify(model, d)
+        warned = [v for v in result.warnings if v.rule == "jitter"]
+        assert warned, [str(v) for v in result.violations]
+        # both tasks are deterministic and unbounded, so both are flagged
+        assert {v.subject for v in warned} == {"ctl.loop", "peer.peer_loop"}
+        assert result.ok  # warnings never fail the deployment outright
+
+    def test_declared_bound_silences_warning(self):
+        model = self._model_with_pair(tolerance=0.002)
+        d = Deployment().place("ctl", "pc0", 0).place("peer", "pc0", 0)
+        result = verify(model, d)
+        assert not any(v.subject == "ctl.loop" for v in result.warnings)
+
+    def test_lone_task_on_core_does_not_warn(self):
+        model = self._model_with_pair()
+        d = Deployment().place("ctl", "pc0", 0).place("peer", "pc0", 1)
+        result = verify(model, d)
+        assert not any(v.rule == "jitter" for v in result.warnings)
+
+    def test_bare_metal_core_does_not_warn(self):
+        topo = small_world()
+        topo.add_ecu(EcuSpec(
+            "bm", cpu_mhz=400, memory_kib=1 << 16, flash_kib=1 << 16,
+            os_class=OsClass.BARE_METAL, ports=(("can0", "can"),),
+        ))
+        topo.attach("bm", "can0", "can")
+        model = SystemModel(topo)
+        model.add_app(AppModel(name="a", tasks=(det_task("a0"),),
+                               asil=Asil.C, memory_kib=10, image_kib=10))
+        model.add_app(AppModel(name="b", tasks=(det_task("b0"),),
+                               memory_kib=10, image_kib=10))
+        d = Deployment().place("a", "bm", 0).place("b", "bm", 0)
+        result = verify(model, d)
+        assert not any(v.rule == "jitter" for v in result.warnings)
+
+    def test_preemption_jitter_property(self):
+        assert OsClass.RTOS.preemption_jitter
+        assert OsClass.POSIX_RT.preemption_jitter
+        assert OsClass.POSIX_GP.preemption_jitter
+        assert not OsClass.BARE_METAL.preemption_jitter
+
+    def test_variant_space_include_warnings(self):
+        model = self._model_with_pair()
+        space = VariantSpace()
+        space.allow("ctl", "pc0").allow("peer", "pc0")
+        lax = verify_variant_space(model, space)
+        strict = verify_variant_space(model, space, include_warnings=True)
+        # both apps default to core 0 on pc0, so the only deployment
+        # carries the jitter warning: ok in the lax reading, a failure
+        # in the strict one
+        assert lax[0] == 1 and lax[2] == {}
+        assert strict[0] == 0 and len(strict[2]) == 1
+
+
 class TestReferenceSystem:
     def test_reference_model_is_structurally_sound(self):
         model = reference_system(centralized_topology(n_platforms=2))
