@@ -18,9 +18,18 @@ Legacy and optimized variants run the *same* workload in the same
 process, so the throughput ratio isolates the code change from the
 hardware; the comms benchmark additionally asserts that both sides
 produce **byte-identical delivery traces** (same frames, same order,
-same timestamps).  Executor speedups depend on available cores; the
-report records ``cpu_count`` so single-core CI boxes are read in
-context.
+same timestamps).
+
+The executor benchmarks share **one warm worker pool** across all three
+workloads (spawn + import paid once, outside the timed regions — the
+deployment model of the warm-pool architecture).  Speedups depend on
+available cores: each section records ``effective_workers =
+min(workers, cpu_count)`` and the report carries ``speedup_gate``
+(``"enforced"`` on multi-core hosts, ``"advisory"`` when
+``cpu_count < 2`` so single-core CI runners never gate on scheduling
+noise).  Pass ``--gate-exec BENCH_exec.json`` to fail on any workload
+whose speedup regresses below 90% of its committed value (multi-core
+runners only); ``results_identical`` is always gating.
 """
 
 from __future__ import annotations
@@ -340,6 +349,13 @@ def bench_comms(*, smoke: bool) -> dict:
 
 
 # -- executor benchmarks ------------------------------------------------
+#
+# All three workloads share ONE warm executor: the pool is spawned and
+# warm-up-pinged once (outside every timed region) and then serves the
+# DSE batch, the fleet sweep and the XiL battery back to back — the
+# deployment model the warm-pool architecture is built for.  Serial and
+# parallel sides are timed best-of-``repeats`` interleaved so frequency
+# scaling and CPU steal hit both equally.
 
 
 def _dse_problem():
@@ -350,41 +366,68 @@ def _dse_problem():
     return MappingProblem(reference_system(centralized_topology(n_platforms=2)))
 
 
-def bench_exec_dse(*, smoke: bool, workers: int) -> dict:
+def _best_of(repeats, serial_fn, parallel_fn):
+    """Interleaved best-of timing; returns (serial_s, parallel_s, last)."""
+    best_serial = best_parallel = None
+    serial = parallel = None
+    for _ in range(repeats):
+        t0 = perf_counter()
+        serial = serial_fn()
+        elapsed = perf_counter() - t0
+        if best_serial is None or elapsed < best_serial:
+            best_serial = elapsed
+        t0 = perf_counter()
+        parallel = parallel_fn()
+        elapsed = perf_counter() - t0
+        if best_parallel is None or elapsed < best_parallel:
+            best_parallel = elapsed
+    return best_serial, best_parallel, (serial, parallel)
+
+
+def _exec_section(workload, serial_s, parallel_s, workers, identical, extra):
+    section = {
+        "workload": workload,
+        "serial_seconds": round(serial_s, 4),
+        "parallel_seconds": round(parallel_s, 4),
+        "workers": workers,
+        "effective_workers": min(workers, os.cpu_count() or 1),
+        "speedup": round(serial_s / parallel_s, 3) if parallel_s > 0 else None,
+        "results_identical": identical,
+    }
+    section.update(extra)
+    return section
+
+
+def bench_exec_dse(executor, *, smoke: bool, repeats: int) -> dict:
     from repro.dse import random_search
-    from repro.exec import ParallelExecutor
     from repro.sim import RngStreams
 
     budget = 50 if smoke else 200
-    t0 = perf_counter()
-    serial = random_search(_dse_problem(), RngStreams(11), budget=budget)
-    serial_s = perf_counter() - t0
-    with ParallelExecutor(workers=workers, master_seed=0) as executor:
-        t0 = perf_counter()
-        parallel = random_search(
-            _dse_problem(), RngStreams(11), budget=budget, executor=executor
-        )
-        parallel_s = perf_counter() - t0
+
+    def serial_side():
+        return random_search(_dse_problem(), RngStreams(11), budget=budget)
+
+    def parallel_side():
+        return random_search(_dse_problem(), RngStreams(11), budget=budget,
+                             executor=executor)
+
+    serial_s, parallel_s, (serial, parallel) = _best_of(
+        repeats, serial_side, parallel_side
+    )
     identical = (
         serial.best.genome == parallel.best.genome
         and serial.best.evaluation == parallel.best.evaluation
         and [c.evaluation for c in serial.archive.members]
         == [c.evaluation for c in parallel.archive.members]
     )
-    return {
-        "workload": f"random-search DSE, budget={budget}",
-        "evaluations": budget,
-        "serial_seconds": round(serial_s, 4),
-        "parallel_seconds": round(parallel_s, 4),
-        "workers": workers,
-        "speedup": round(serial_s / parallel_s, 3) if parallel_s > 0 else None,
-        "results_identical": identical,
-    }
+    return _exec_section(
+        f"random-search DSE, budget={budget}", serial_s, parallel_s,
+        executor.workers, identical, {"evaluations": budget},
+    )
 
 
-def bench_exec_campaign(*, smoke: bool, workers: int) -> dict:
+def bench_exec_campaign(executor, *, smoke: bool, repeats: int) -> dict:
     from repro.core import CampaignSpec, sweep_campaigns
-    from repro.exec import ParallelExecutor
 
     replications = 4 if smoke else 8
     spec = CampaignSpec(
@@ -394,28 +437,26 @@ def bench_exec_campaign(*, smoke: bool, workers: int) -> dict:
         target_wcet_jitter=0.004,
         target_deadline=0.002,
     )
-    t0 = perf_counter()
-    serial = sweep_campaigns(spec, replications=replications, master_seed=3)
-    serial_s = perf_counter() - t0
-    with ParallelExecutor(workers=workers, master_seed=3) as executor:
-        t0 = perf_counter()
-        parallel = sweep_campaigns(
-            spec, replications=replications, executor=executor
-        )
-        parallel_s = perf_counter() - t0
-    return {
-        "workload": f"fleet-campaign sweep, {replications} replications",
-        "replications": replications,
-        "serial_seconds": round(serial_s, 4),
-        "parallel_seconds": round(parallel_s, 4),
-        "workers": workers,
-        "speedup": round(serial_s / parallel_s, 3) if parallel_s > 0 else None,
-        "results_identical": serial.outcomes == parallel.outcomes,
-    }
+
+    def serial_side():
+        return sweep_campaigns(spec, replications=replications, master_seed=3)
+
+    def parallel_side():
+        return sweep_campaigns(spec, replications=replications,
+                               executor=executor, master_seed=3)
+
+    serial_s, parallel_s, (serial, parallel) = _best_of(
+        repeats, serial_side, parallel_side
+    )
+    return _exec_section(
+        f"fleet-campaign sweep, {replications} replications",
+        serial_s, parallel_s, executor.workers,
+        serial.outcomes == parallel.outcomes,
+        {"replications": replications},
+    )
 
 
-def bench_exec_xil(*, smoke: bool, workers: int) -> dict:
-    from repro.exec import ParallelExecutor
+def bench_exec_xil(executor, *, smoke: bool, repeats: int) -> dict:
     from repro.xil import ScenarioSpec, run_battery
 
     duration = 10.0 if smoke else 40.0
@@ -431,22 +472,39 @@ def bench_exec_xil(*, smoke: bool, workers: int) -> dict:
                      actuator_stuck_at=0.3,
                      max_settling_time=None, max_steady_state_error=30.0),
     ]
-    t0 = perf_counter()
-    serial = run_battery(scenarios)
-    serial_s = perf_counter() - t0
-    with ParallelExecutor(workers=workers) as executor:
-        t0 = perf_counter()
-        parallel = run_battery(scenarios, executor=executor)
-        parallel_s = perf_counter() - t0
-    return {
-        "workload": f"XiL battery, {len(scenarios)} scenarios x {duration}s",
-        "scenarios": len(scenarios),
-        "serial_seconds": round(serial_s, 4),
-        "parallel_seconds": round(parallel_s, 4),
-        "workers": workers,
-        "speedup": round(serial_s / parallel_s, 3) if parallel_s > 0 else None,
-        "results_identical": serial.verdicts == parallel.verdicts,
-    }
+
+    def serial_side():
+        return run_battery(scenarios)
+
+    def parallel_side():
+        return run_battery(scenarios, executor=executor, master_seed=0)
+
+    serial_s, parallel_s, (serial, parallel) = _best_of(
+        repeats, serial_side, parallel_side
+    )
+    return _exec_section(
+        f"XiL battery, {len(scenarios)} scenarios x {duration}s",
+        serial_s, parallel_s, executor.workers,
+        serial.verdicts == parallel.verdicts,
+        {"scenarios": len(scenarios)},
+    )
+
+
+def bench_exec(*, smoke: bool, workers: int) -> dict:
+    """Run all three executor workloads against one shared warm pool."""
+    from repro.exec import ParallelExecutor
+
+    repeats = 2 if smoke else 5
+    sections = {}
+    with ParallelExecutor(workers=workers, master_seed=0) as executor:
+        executor.warm_up()  # spawn + import outside every timed region
+        for name, fn in (
+            ("dse_random_search", bench_exec_dse),
+            ("fleet_campaign_sweep", bench_exec_campaign),
+            ("xil_battery", bench_exec_xil),
+        ):
+            sections[name] = fn(executor, smoke=smoke, repeats=repeats)
+    return sections
 
 
 # -- entry point ---------------------------------------------------------
@@ -468,6 +526,31 @@ def _write(path: str, payload: dict) -> None:
     print(f"wrote {path}")
 
 
+def _load_exec_floors(path, mode):
+    """Committed per-workload speedup floors from a prior BENCH_exec.json.
+
+    Floors only apply like-for-like: the committed run must have the
+    same mode (smoke vs full) and must itself have been recorded on a
+    multi-core host (``speedup_gate: enforced``) — single-core numbers
+    measure overhead, not parallelism, and make meaningless floors.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            committed = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    if committed.get("speedup_gate") != "enforced":
+        return None
+    if committed.get("mode") != mode:
+        return None
+    floors = {}
+    for name in ("dse_random_search", "fleet_campaign_sweep", "xil_battery"):
+        speedup = committed.get(name, {}).get("speedup")
+        if isinstance(speedup, (int, float)):
+            floors[name] = speedup
+    return floors or None
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
@@ -476,7 +559,16 @@ def main(argv=None) -> int:
                         help="worker count for executor benchmarks")
     parser.add_argument("--out-dir", default=REPO_ROOT,
                         help="directory for BENCH_*.json (default: repo root)")
+    parser.add_argument(
+        "--gate-exec", metavar="PATH", default=None,
+        help="committed BENCH_exec.json to gate against: fail if any "
+             "workload speedup regresses below 90%% of its committed "
+             "value (advisory — never failing — when cpu_count < 2)")
     args = parser.parse_args(argv)
+    # read committed floors before this run overwrites the file in place
+    mode = "smoke" if args.smoke else "full"
+    exec_floors = (_load_exec_floors(args.gate_exec, mode)
+                   if args.gate_exec else None)
 
     print(f"kernel microbenchmark ({'smoke' if args.smoke else 'full'})...")
     kernel = bench_kernel(smoke=args.smoke)
@@ -505,24 +597,25 @@ def main(argv=None) -> int:
         **comms,
     })
 
-    print(f"\nexecutor benchmarks (workers={args.workers})...")
-    sections = {}
-    for name, fn in (
-        ("dse_random_search", bench_exec_dse),
-        ("fleet_campaign_sweep", bench_exec_campaign),
-        ("xil_battery", bench_exec_xil),
-    ):
-        result = fn(smoke=args.smoke, workers=args.workers)
-        sections[name] = result
+    cpu_count = os.cpu_count() or 1
+    multi_core = cpu_count >= 2
+    print(f"\nexecutor benchmarks (workers={args.workers}, "
+          f"effective={min(args.workers, cpu_count)}, one shared warm pool)...")
+    sections = bench_exec(smoke=args.smoke, workers=args.workers)
+    for name, result in sections.items():
         print(
             f"  {name}: serial {result['serial_seconds']}s, "
             f"parallel {result['parallel_seconds']}s "
             f"({result['speedup']}x, identical="
             f"{result['results_identical']})"
         )
+    # speedups on a single-core runner measure pure overhead, not
+    # parallelism — record them, but never gate on them
+    speedup_gate = "enforced" if multi_core else "advisory"
     _write(os.path.join(args.out_dir, "BENCH_exec.json"), {
         "environment": _environment(),
         "mode": "smoke" if args.smoke else "full",
+        "speedup_gate": speedup_gate,
         **sections,
     })
 
@@ -534,6 +627,17 @@ def main(argv=None) -> int:
         )
     if not all(s["results_identical"] for s in sections.values()):
         failures.append("parallel results diverged from serial")
+    if exec_floors and multi_core:
+        for name, floor in exec_floors.items():
+            speedup = sections.get(name, {}).get("speedup")
+            if speedup is not None and speedup < floor * 0.9:
+                failures.append(
+                    f"{name} speedup {speedup}x regressed below committed "
+                    f"{floor}x (floor {floor * 0.9:.2f}x)"
+                )
+    elif exec_floors:
+        print(f"\nspeedup gate advisory: cpu_count={cpu_count} < 2, "
+              "not gating on parallel speedups")
     if failures:
         print("\nFAILED: " + "; ".join(failures))
         return 1

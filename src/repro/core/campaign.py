@@ -387,15 +387,16 @@ def sweep_campaigns(
     *,
     replications: int,
     executor: Optional["ParallelExecutor"] = None,
-    master_seed: int = 0,
+    master_seed: Optional[int] = None,
 ) -> SweepResult:
     """Run ``replications`` independent campaign replications.
 
-    With an executor the replications fan out across its workers; without
-    one they run inline.  Either way, replication ``i`` is seeded from
-    ``master_seed`` (the executor's own master seed when one is given)
-    and its id alone, so the outcome list is byte-identical for any
-    worker count.
+    With an executor the replications fan out across its warm worker
+    pool; without one they run inline through the shared serial
+    executor.  Either way, replication ``i`` is seeded from
+    ``master_seed`` (defaulting to the executor's own master seed when
+    one is given, else ``0``) and its id alone, so the outcome list is
+    byte-identical for any worker count.
     """
     if replications < 1:
         raise UpdateError("sweep needs at least one replication")
@@ -403,12 +404,12 @@ def sweep_campaigns(
         CampaignJob(f"campaign.rep{i}", spec) for i in range(replications)
     ]
     if executor is None:
-        from ..exec.pool import ParallelExecutor
+        from ..exec.pool import get_inline_executor
 
-        with ParallelExecutor(workers=1, master_seed=master_seed) as inline:
-            report = inline.run_jobs(jobs)
+        seed = 0 if master_seed is None else master_seed
+        report = get_inline_executor().run_jobs(jobs, master_seed=seed)
     else:
-        report = executor.run_jobs(jobs)
+        report = executor.run_jobs(jobs, master_seed=master_seed)
     failed = [r for r in report.results if not r.ok]
     if failed:
         detail = "; ".join(f"{r.job_id}: {r.error}" for r in failed[:5])

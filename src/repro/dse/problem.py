@@ -177,24 +177,24 @@ class MappingProblem:
 class GenomeBatchJob(SimJob):
     """Picklable evaluation entry point for parallel DSE.
 
-    Carries the problem plus a chunk of genomes to a worker process and
-    returns their :class:`Evaluation` vector in genome order.  Evaluation
-    is pure (verification + analytic objectives, no RNG), so results are
-    identical wherever the chunk runs; chunking amortises the one-time
-    cost of pickling the system model.
+    Carries only a chunk of genomes; the problem (with its full system
+    model) travels separately as the batch's **shared context** — pickled
+    once per worker and cached there, so a GA running many generations
+    against one warm pool ships the model ``workers`` times total, not
+    ``workers × generations`` times.  Evaluation is pure (verification +
+    analytic objectives, no RNG), so results are identical wherever the
+    chunk runs.
     """
 
-    def __init__(
-        self, job_id: str, problem: MappingProblem, genomes: List[List[int]]
-    ) -> None:
+    def __init__(self, job_id: str, genomes: List[List[int]]) -> None:
         self.job_id = job_id
-        self.problem = problem
         self.genomes = genomes
 
     def run(self, ctx: JobContext) -> List[Evaluation]:
+        problem: MappingProblem = ctx.shared
         evaluated = ctx.metrics.counter("dse.evaluations")
         evaluated.inc(len(self.genomes))
-        return [self.problem.evaluate_genome(g) for g in self.genomes]
+        return [problem.evaluate_genome(g) for g in self.genomes]
 
 
 def evaluate_genomes(
@@ -214,13 +214,17 @@ def evaluate_genomes(
     """
     if executor is None or executor.workers <= 1 or len(genomes) <= 1:
         return [problem.evaluate_genome(g) for g in genomes]
-    chunk = max(1, -(-len(genomes) // (executor.workers * 2)))
+    # the problem ships once per worker as shared context; jobs carry
+    # only genomes, so one job per worker is enough — over-splitting
+    # into workers*2 jobs just multiplies dispatch round-trips
+    batches = executor.plan_batches(len(genomes))
+    chunk = max(1, -(-len(genomes) // batches))
     jobs = [
-        GenomeBatchJob(f"dse.{tag}.{i}", problem, genomes[i:i + chunk])
+        GenomeBatchJob(f"dse.{tag}.{i}", genomes[i:i + chunk])
         for i in range(0, len(genomes), chunk)
     ]
     evaluations: List[Evaluation] = []
-    for batch in executor.run(jobs):
+    for batch in executor.run(jobs, context=problem):
         evaluations.extend(batch)
     # worker-side copies of the problem counted their own evaluations;
     # mirror the count on the caller's instance

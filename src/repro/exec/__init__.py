@@ -7,10 +7,15 @@ all independent simulation runs.  This package fans them out across
 worker processes without ever changing results:
 
 * :class:`SimJob` — a picklable spec that builds a fresh simulator in a
-  worker and returns a picklable result;
-* :class:`ParallelExecutor` — a ``fork``-aware process pool with chunked
-  dispatch, per-job seed derivation, per-job timeout + bounded retry,
-  and merged :mod:`repro.obs` batch reports;
+  worker and returns a picklable result (optionally carrying a
+  ``cost_hint`` to prime the chunk cost model);
+* :class:`ParallelExecutor` — a persistent warm worker pool with
+  cost-model chunking, overlapped dispatch/collection, per-job seed
+  derivation, per-chunk deadlines with surgical single-worker rebuild,
+  bounded retry, and merged :mod:`repro.obs` batch reports;
+* :func:`warm_executor` / :func:`get_inline_executor` — process-wide
+  shared executors so call sites reuse one warm pool across campaigns
+  instead of paying spawn/import per call;
 * :func:`derive_job_seed` — the seed contract that makes parallel runs
   byte-identical to serial ones.
 """
@@ -23,7 +28,7 @@ from .jobs import (
     SimJob,
     derive_job_seed,
 )
-from .pool import ParallelExecutor
+from .pool import ParallelExecutor, get_inline_executor, warm_executor
 
 __all__ = [
     "BatchReport",
@@ -33,4 +38,6 @@ __all__ = [
     "ParallelExecutor",
     "SimJob",
     "derive_job_seed",
+    "get_inline_executor",
+    "warm_executor",
 ]

@@ -46,6 +46,11 @@ class JobContext:
     #: fresh per-job registry; attach it to the job's Simulator and the
     #: executor will fold its digest into the merged batch report
     metrics: MetricsRegistry
+    #: the batch's shared context, if one was passed to ``run_jobs``:
+    #: pickled once per worker and cached there across batches, so jobs
+    #: that all read one heavy object (a DSE problem with its system
+    #: model) don't each ship a private copy
+    shared: Any = None
 
     def rng(self) -> RngStreams:
         """Fresh deterministic stream registry seeded for this job."""
@@ -61,6 +66,13 @@ class SimJob:
     """
 
     job_id: str = "job"
+
+    #: optional estimate of this job's wall-clock runtime in seconds.
+    #: When set, it seeds the executor's cost model before the first
+    #: measurement arrives, so the very first round already dispatches
+    #: well-sized chunks instead of single-job probes.  Purely advisory:
+    #: it can never affect results, only chunk sizing.
+    cost_hint: Optional[float] = None
 
     def run(self, ctx: JobContext) -> Any:
         """Execute the job and return a picklable result."""

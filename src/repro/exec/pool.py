@@ -1,35 +1,58 @@
 """A deterministic multi-process executor for independent simulation runs.
 
 :class:`ParallelExecutor` fans a batch of :class:`~repro.exec.jobs.SimJob`
-specs out over a ``concurrent.futures.ProcessPoolExecutor`` (preferring
-the cheap ``fork`` start method where the platform offers it) and returns
+specs out over a pool of **persistent warm worker processes** and returns
 results **in job order**, no matter which workers finished first.
+
+Architecture (why parallel wins):
+
+* **Warm persistent pool** — workers are plain long-lived processes
+  joined to the parent by duplex pipes.  Each worker imports :mod:`repro`
+  once and then serves many chunks, batches and campaigns; the fork/spawn
+  and import cost is paid once per executor, not once per batch.  Use
+  :meth:`warm_up` to pay it before a timed region.
+* **Cost-model chunking** — with ``chunk_size=None`` the executor sizes
+  chunks from measured per-job runtime (an EMA over every completed job,
+  seeded by the optional ``SimJob.cost_hint``): each chunk targets
+  ``target_chunk_seconds`` of work so one IPC round-trip is amortised
+  over many short sims, while a fair-share cap keeps every worker busy.
+  Until the first measurement arrives, single-job probe chunks run.
+* **Overlapped dispatch/collection** — the parent tops up every idle
+  worker before draining ready pipes, so submission of chunk *k+1*
+  overlaps execution of chunk *k*; workers reply with one pre-pickled
+  bytes blob per chunk (compact tuples + metric digests, no rich result
+  objects cross the pipe).
+* **Surgical failure recovery** — a chunk that exceeds its deadline
+  (``job_timeout * len(chunk) + grace``) or loses its worker fails only
+  its own jobs; **only that worker** is killed and respawned, the rest
+  of the warm pool keeps serving.  Failed jobs retry (same seed) on
+  healthy workers up to ``retries`` times.
 
 Guarantees:
 
 * **Determinism** — each job's RNG seed is derived from the master seed
   and the job id only, so results are byte-identical to serial execution
-  for any worker count, chunking, or completion order.
-* **Chunked dispatch** — jobs are grouped into chunks to amortise pickle
-  and IPC cost; chunk composition never affects results.
+  for any worker count, chunking, cost-model state, or completion order.
 * **Bounded failure handling** — a job that raises is retried up to
-  ``retries`` times (the retry replays the same seed); a chunk that
-  exceeds its timeout or loses its worker poisons only that chunk, the
-  pool is rebuilt and the chunk's jobs count as failed for the round.
+  ``retries`` times (the retry replays the same seed).
 * **Merged observability** — each job runs against a fresh
   :class:`~repro.obs.metrics.MetricsRegistry`; per-job digests are folded
   into one :mod:`repro.obs` batch report.
 
 With ``workers=1`` the batch runs inline through the *same* chunk-runner
 code path — that is the reference serial execution all parallel runs
-must match.
+must match, and the right mode when jobs are too short (microseconds)
+for any fan-out to pay for its IPC.
 """
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import os
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, TimeoutError
+import pickle
+from collections import deque
+from multiprocessing import connection as _mp_connection
 from time import perf_counter
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -40,8 +63,39 @@ from .jobs import BatchReport, JobContext, JobResult, SimJob, derive_job_seed
 #: (index, job, seed, attempt) — what travels to a worker per job
 _Payload = Tuple[int, SimJob, int, int]
 
+#: explicit preference order — ``fork`` is cheapest (inherits the warm
+#: parent), ``forkserver`` next, ``spawn`` is the portable fallback
+_START_METHODS = ("fork", "forkserver", "spawn")
 
-def _run_chunk(payload: Sequence[_Payload]) -> List[tuple]:
+#: EMA weight for new per-job runtime observations
+_COST_ALPHA = 0.2
+
+#: control frames on the worker pipe (never valid pickles)
+_STOP = b"\x00stop"
+_PING = b"\x00ping"
+_PONG = b"\x00pong"
+
+
+def _pick_start_method(requested: Optional[str]) -> str:
+    available = multiprocessing.get_all_start_methods()
+    if requested is not None:
+        if requested not in available:
+            raise ExecutionError(
+                f"start_method {requested!r} not available on this platform "
+                f"(available: {available})"
+            )
+        return requested
+    for method in _START_METHODS:
+        if method in available:
+            return method
+    raise ExecutionError(
+        f"no supported multiprocessing start method: tried "
+        f"{list(_START_METHODS)}, platform offers {available}"
+    )
+
+
+def _run_chunk(payload: Sequence[_Payload],
+               shared: Any = None) -> List[tuple]:
     """Execute a chunk of jobs in this process (worker entry point).
 
     Per-job exceptions are caught and reported as data so one bad job
@@ -52,7 +106,7 @@ def _run_chunk(payload: Sequence[_Payload]) -> List[tuple]:
     for index, job, seed, attempt in payload:
         registry = MetricsRegistry()
         ctx = JobContext(job_id=job.job_id, seed=seed, attempt=attempt,
-                         metrics=registry)
+                         metrics=registry, shared=shared)
         start = perf_counter()
         try:
             value = job.run(ctx)
@@ -68,26 +122,147 @@ def _run_chunk(payload: Sequence[_Payload]) -> List[tuple]:
     return out
 
 
-class ParallelExecutor:
-    """Runs batches of :class:`SimJob` across a worker-process pool.
+def _worker_main(conn) -> None:
+    """Long-lived worker loop: recv a pickled chunk, reply with bytes.
 
-    The pool is created lazily and reused across :meth:`run_jobs` calls
-    (a GA evaluating one population per generation pays the fork cost
-    once, not per generation).  Use as a context manager or call
-    :meth:`close` when done.
+    The worker imports :mod:`repro` once (a no-op under ``fork``, the
+    real warm-up under ``spawn``/``forkserver``) and then serves chunks
+    until it receives the stop frame or its pipe closes.  Replies travel
+    as one pre-pickled blob per chunk — compact tuples, not rich result
+    objects.
+    """
+    import repro  # noqa: F401 - warm the module cache once per worker
+
+    shared_token: Optional[int] = None
+    shared_obj: Any = None
+    while True:
+        try:
+            blob = conn.recv_bytes()
+        except (EOFError, OSError):
+            break
+        if blob == _STOP:
+            break
+        if blob == _PING:
+            conn.send_bytes(_PONG)
+            continue
+        token, ctx_blob, payload = pickle.loads(blob)
+        if token is None:
+            shared = None
+        elif token == shared_token:
+            shared = shared_obj  # context cached from an earlier chunk
+        elif ctx_blob is not None:
+            shared_obj = pickle.loads(ctx_blob)
+            shared_token = token
+            shared = shared_obj
+        else:  # pragma: no cover - parent/worker token desync
+            out = [(index, False,
+                    f"shared context token {token} unknown to worker",
+                    None, os.getpid(), 0.0)
+                   for (index, _job, _seed, _attempt) in payload]
+            conn.send_bytes(pickle.dumps(out, pickle.HIGHEST_PROTOCOL))
+            continue
+        out = _run_chunk(payload, shared)
+        try:
+            reply = pickle.dumps(out, pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:  # noqa: BLE001 - unpicklable job value
+            out = [(index, False,
+                    f"job value not picklable: {exc!r}", None,
+                    os.getpid(), 0.0)
+                   for (index, _job, _seed, _attempt) in payload]
+            reply = pickle.dumps(out, pickle.HIGHEST_PROTOCOL)
+        try:
+            conn.send_bytes(reply)
+        except (BrokenPipeError, OSError):
+            break
+    try:
+        conn.close()
+    except OSError:  # pragma: no cover - already torn down
+        pass
+
+
+class _WorkerHandle:
+    """One persistent worker process plus its duplex pipe."""
+
+    __slots__ = ("proc", "conn", "chunk", "deadline", "ctx_token")
+
+    def __init__(self, ctx) -> None:
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        self.proc = ctx.Process(target=_worker_main, args=(child_conn,),
+                                daemon=True)
+        self.proc.start()
+        child_conn.close()
+        self.conn = parent_conn
+        #: payload list currently in flight on this worker (None = idle)
+        self.chunk: Optional[List[_Payload]] = None
+        #: absolute perf_counter deadline for the in-flight chunk
+        self.deadline: Optional[float] = None
+        #: token of the shared context this worker has cached
+        self.ctx_token: Optional[int] = None
+
+    @property
+    def alive(self) -> bool:
+        return self.proc.is_alive()
+
+    def ping(self) -> bool:
+        """Round-trip the pipe once (forces import/warm-up to finish)."""
+        try:
+            self.conn.send_bytes(_PING)
+            return self.conn.recv_bytes() == _PONG
+        except (EOFError, OSError):
+            return False
+
+    def stop(self) -> None:
+        """Ask the worker to exit and reap it (bounded wait)."""
+        try:
+            self.conn.send_bytes(_STOP)
+        except (BrokenPipeError, OSError):
+            pass
+        self.proc.join(timeout=2.0)
+        self.kill()
+
+    def kill(self) -> None:
+        """Hard-stop the worker (hung or poisoned; no reply expected)."""
+        if self.proc.is_alive():
+            self.proc.terminate()
+            self.proc.join(timeout=2.0)
+            if self.proc.is_alive():  # pragma: no cover - stuck in kernel
+                self.proc.kill()
+                self.proc.join(timeout=2.0)
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+
+class ParallelExecutor:
+    """Runs batches of :class:`SimJob` across a warm worker-process pool.
+
+    Workers are created lazily (or eagerly via :meth:`warm_up`) and
+    persist across :meth:`run_jobs` calls — a GA evaluating one
+    population per generation, or a benchmark running three campaigns
+    back to back, pays the spawn/import cost once.  Use as a context
+    manager or call :meth:`close` when done; crashed workers are
+    respawned transparently on the next run.
 
     Args:
         workers: worker-process count; ``1`` executes inline (the
             serial reference path).  Defaults to the machine's CPU count.
-        master_seed: root of all per-job seed derivation.
+        master_seed: root of all per-job seed derivation (a per-run
+            override can be passed to :meth:`run_jobs`).
         retries: extra attempts granted to a failed job (same seed).
         job_timeout: wall-clock budget **per job** in seconds; a chunk's
             deadline is ``job_timeout * len(chunk) + grace``.  ``None``
             waits forever.
-        chunk_size: jobs per worker submission; defaults to spreading
-            the batch ~4 chunks per worker.
-        start_method: multiprocessing start method; defaults to ``fork``
-            where available (cheap, inherits the parent's modules).
+        grace: fixed slack in seconds added to every chunk deadline to
+            absorb dispatch/unpickle latency (default ``1.0``).
+        chunk_size: fixed jobs per worker submission; ``None`` (default)
+            enables cost-model chunking (see ``target_chunk_seconds``).
+        target_chunk_seconds: desired wall-clock duration of one chunk
+            under cost-model chunking; chunks are sized to
+            ``target_chunk_seconds / estimated_job_seconds``, capped to
+            a fair share of the remaining jobs so workers never starve.
+        start_method: multiprocessing start method; defaults to the
+            first available of ``fork``, ``forkserver``, ``spawn``.
     """
 
     def __init__(
@@ -97,23 +272,38 @@ class ParallelExecutor:
         master_seed: int = 0,
         retries: int = 1,
         job_timeout: Optional[float] = None,
+        grace: float = 1.0,
         chunk_size: Optional[int] = None,
+        target_chunk_seconds: float = 0.05,
         start_method: Optional[str] = None,
     ) -> None:
         if workers is not None and workers < 1:
             raise ExecutionError(f"workers must be >= 1, got {workers}")
         if retries < 0:
             raise ExecutionError(f"retries must be >= 0, got {retries}")
+        if grace < 0:
+            raise ExecutionError(f"grace must be >= 0, got {grace}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ExecutionError(f"chunk_size must be >= 1, got {chunk_size}")
+        if target_chunk_seconds <= 0:
+            raise ExecutionError(
+                f"target_chunk_seconds must be > 0, got {target_chunk_seconds}"
+            )
         self.workers = workers if workers is not None else (os.cpu_count() or 1)
         self.master_seed = master_seed
         self.retries = retries
         self.job_timeout = job_timeout
+        self.grace = grace
         self.chunk_size = chunk_size
-        if start_method is None:
-            methods = multiprocessing.get_all_start_methods()
-            start_method = "fork" if "fork" in methods else methods[0]
-        self.start_method = start_method
-        self._pool: Optional[ProcessPoolExecutor] = None
+        self.target_chunk_seconds = target_chunk_seconds
+        self.start_method = _pick_start_method(start_method)
+        self._ctx = None
+        self._handles: List[_WorkerHandle] = []
+        #: EMA of per-job wall-clock seconds (the cost model)
+        self._cost_ema: Optional[float] = None
+        #: (object, token, pickled bytes) of the last shared context
+        self._context_cache: Optional[Tuple[Any, int, bytes]] = None
+        self._context_seq = 0
 
     # -- lifecycle -------------------------------------------------------
 
@@ -123,35 +313,81 @@ class ParallelExecutor:
     def __exit__(self, *exc_info: Any) -> None:
         self.close()
 
+    def warm_up(self) -> None:
+        """Spawn the full pool now and wait until every worker answers.
+
+        Call before a timed region so fork/spawn and the workers'
+        one-time ``import repro`` happen outside the measurement.
+        Idempotent; a no-op for ``workers=1``.
+        """
+        if self.workers <= 1:
+            return
+        for handle in self._ensure_workers():
+            if not handle.ping():
+                raise ExecutionError(
+                    f"worker pid={handle.proc.pid} failed its warm-up ping"
+                )
+
     def close(self) -> None:
         """Shut the worker pool down (idempotent)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True, cancel_futures=True)
-            self._pool = None
+        handles, self._handles = self._handles, []
+        for handle in handles:
+            handle.stop()
 
-    def _get_pool(self) -> ProcessPoolExecutor:
-        if self._pool is None:
-            context = multiprocessing.get_context(self.start_method)
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.workers, mp_context=context
-            )
-        return self._pool
+    def _discard_workers(self) -> None:
+        """Hard-drop every worker (hung, poisoned, or unknown state)."""
+        handles, self._handles = self._handles, []
+        for handle in handles:
+            handle.kill()
 
-    def _discard_pool(self) -> None:
-        """Drop a pool whose workers may be hung or dead."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=False, cancel_futures=True)
-            self._pool = None
+    def _context(self):
+        if self._ctx is None:
+            self._ctx = multiprocessing.get_context(self.start_method)
+        return self._ctx
+
+    def _ensure_workers(self) -> List[_WorkerHandle]:
+        """Top the pool up to ``workers`` live processes.
+
+        Dead handles (worker crashed between runs, or killed after a
+        poisoned chunk) are replaced individually — the warm survivors
+        are never torn down.
+        """
+        ctx = self._context()
+        kept = []
+        for handle in self._handles:
+            if handle.alive:
+                kept.append(handle)
+            else:
+                handle.kill()
+        while len(kept) < self.workers:
+            kept.append(_WorkerHandle(ctx))
+        self._handles = kept
+        return self._handles
+
+    def _replace_worker(self, handle: _WorkerHandle) -> _WorkerHandle:
+        """Kill one poisoned worker and swap a fresh one into its slot."""
+        handle.kill()
+        fresh = _WorkerHandle(self._context())
+        for i, existing in enumerate(self._handles):
+            if existing is handle:
+                self._handles[i] = fresh
+                break
+        else:  # pragma: no cover - handle always registered
+            self._handles.append(fresh)
+        return fresh
 
     # -- execution -------------------------------------------------------
 
-    def run(self, jobs: Sequence[SimJob]) -> List[Any]:
+    def run(self, jobs: Sequence[SimJob], *,
+            master_seed: Optional[int] = None,
+            context: Any = None) -> List[Any]:
         """Execute ``jobs``; return their values in job order.
 
         Raises :class:`ExecutionError` if any job still fails after its
         retry budget.  Use :meth:`run_jobs` for non-strict execution.
         """
-        report = self.run_jobs(jobs)
+        report = self.run_jobs(jobs, master_seed=master_seed,
+                               context=context)
         if report.failed:
             bad = [r for r in report.results if not r.ok]
             detail = "; ".join(f"{r.job_id}: {r.error}" for r in bad[:5])
@@ -161,11 +397,25 @@ class ParallelExecutor:
             )
         return report.values
 
-    def run_jobs(self, jobs: Sequence[SimJob]) -> BatchReport:
+    def run_jobs(self, jobs: Sequence[SimJob], *,
+                 master_seed: Optional[int] = None,
+                 context: Any = None) -> BatchReport:
         """Execute ``jobs``; return a :class:`BatchReport` in job order.
 
         Failed jobs (after retries) appear as :class:`JobResult` entries
         with ``error`` set — the caller decides whether that is fatal.
+
+        ``master_seed`` overrides the executor's configured seed for
+        this batch only, so one warm pool can serve many differently
+        seeded campaigns without rebuilding.
+
+        ``context`` is an optional picklable object every job of the
+        batch reads through ``ctx.shared``.  It is pickled once per
+        distinct object and shipped once per worker (workers cache it
+        across batches), so a heavy model shared by hundreds of jobs
+        crosses each pipe exactly once — not once per job.  It must be
+        treated as read-only: worker-side mutations are invisible to
+        the parent and to jobs on other workers.
         """
         jobs = list(jobs)
         seen: Dict[str, int] = {}
@@ -180,24 +430,39 @@ class ParallelExecutor:
         report = BatchReport()
         if not jobs:
             return report
+        seed_root = self.master_seed if master_seed is None else master_seed
         pending: List[_Payload] = [
-            (i, job, derive_job_seed(self.master_seed, job.job_id), 0)
+            (i, job, derive_job_seed(seed_root, job.job_id), 0)
             for i, job in enumerate(jobs)
         ]
         results: Dict[int, JobResult] = {}
-        for round_no in range(self.retries + 1):
-            failed = self._run_round(pending, results)
-            if not failed or round_no == self.retries:
-                break
-            report.retried += len(failed)
-            pending = [(i, job, seed, attempt + 1)
-                       for (i, job, seed, attempt) in failed]
+        try:
+            for round_no in range(self.retries + 1):
+                failed = self._run_round(pending, results, context)
+                if not failed or round_no == self.retries:
+                    break
+                report.retried += len(failed)
+                # completion order is timing-dependent; re-sort so retry
+                # rounds dispatch deterministically
+                pending = sorted(
+                    ((i, job, seed, attempt + 1)
+                     for (i, job, seed, attempt) in failed),
+                    key=lambda p: p[0],
+                )
+        except BaseException:
+            # error escaping mid-batch (dispatch bug, KeyboardInterrupt):
+            # workers may hold half-submitted chunks — drop them all so
+            # no orphan processes outlive the failed call; the next run
+            # rebuilds transparently
+            self._discard_workers()
+            raise
         report.results = [results[i] for i in range(len(jobs))]
         report.failed = sum(1 for r in report.results if not r.ok)
         return report
 
     def _run_round(
-        self, payloads: List[_Payload], results: Dict[int, JobResult]
+        self, payloads: List[_Payload], results: Dict[int, JobResult],
+        context: Any = None,
     ) -> List[_Payload]:
         """Run one attempt round; record outcomes; return failed payloads."""
         by_index = {p[0]: p for p in payloads}
@@ -219,38 +484,223 @@ class ParallelExecutor:
             results[index] = result
 
         if self.workers == 1:
-            for raw in _run_chunk(payloads):
+            for raw in _run_chunk(payloads, context):
                 record(raw)
             return failed
 
-        chunks = self._chunk(payloads)
-        pool = self._get_pool()
-        futures = [(pool.submit(_run_chunk, chunk), chunk) for chunk in chunks]
-        for future, chunk in futures:
+        token, ctx_blob = self._context_frame(context)
+        self._seed_cost_model(payloads)
+        pending = deque(payloads)
+        idle = deque(self._ensure_workers())
+        busy: Dict[Any, _WorkerHandle] = {}
+
+        def fail_chunk(handle: _WorkerHandle, reason: str) -> None:
+            pid = handle.proc.pid or 0
+            for p in handle.chunk or ():
+                record((p[0], False, reason, None, pid, 0.0))
+            idle.append(self._replace_worker(handle))
+
+        while pending or busy:
+            # dispatch first: every idle worker gets its next chunk
+            # before we block collecting, overlapping submission with
+            # execution and drain
+            while pending and idle:
+                handle = idle.popleft()
+                chunk = self._carve(pending)
+                # ship the shared context only to workers that don't
+                # already cache this batch's token
+                ship_ctx = (token is not None
+                            and handle.ctx_token != token)
+                frame = (token, ctx_blob if ship_ctx else None, chunk)
+                try:
+                    blob = pickle.dumps(frame, pickle.HIGHEST_PROTOCOL)
+                    handle.conn.send_bytes(blob)
+                except (BrokenPipeError, OSError):
+                    # pipe died between runs: replace the worker and
+                    # put the chunk back for the next idle one
+                    pending.extendleft(reversed(chunk))
+                    idle.append(self._replace_worker(handle))
+                    continue
+                except Exception as exc:  # noqa: BLE001 - unpicklable job
+                    for p in chunk:
+                        record((p[0], False,
+                                f"job not picklable: {exc!r}", None, 0, 0.0))
+                    idle.append(handle)
+                    continue
+                if ship_ctx:
+                    handle.ctx_token = token
+                handle.chunk = chunk
+                if self.job_timeout is not None:
+                    handle.deadline = (perf_counter()
+                                       + self.job_timeout * len(chunk)
+                                       + self.grace)
+                busy[handle.conn] = handle
+            if not busy:
+                break  # nothing in flight and nothing dispatchable
+            deadlines = [h.deadline for h in busy.values()
+                         if h.deadline is not None]
             timeout = None
-            if self.job_timeout is not None:
-                timeout = self.job_timeout * len(chunk) + 1.0
-            try:
-                raws = future.result(timeout=timeout)
-            except (TimeoutError, BrokenExecutor) as exc:
-                # A hung or dead worker poisons its pool slot: rebuild the
-                # pool and count the whole chunk as failed for this round.
-                self._discard_pool()
-                for payload in chunk:
-                    record((payload[0], False, repr(exc), None, 0, 0.0))
-                continue
-            for raw in raws:
-                record(raw)
+            if deadlines:
+                timeout = max(0.0, min(deadlines) - perf_counter())
+            ready = _mp_connection.wait(list(busy), timeout)
+            for conn in ready:
+                handle = busy.pop(conn)
+                try:
+                    raws = pickle.loads(handle.conn.recv_bytes())
+                except (EOFError, OSError) as exc:
+                    fail_chunk(handle, f"worker died mid-chunk: {exc!r}")
+                    continue
+                for raw in raws:
+                    record(raw)
+                    self._observe_cost(raw)
+                handle.chunk = None
+                handle.deadline = None
+                idle.append(handle)
+            # deadline sweep — a hung worker only poisons its own slot
+            now = perf_counter()
+            for conn in [c for c, h in busy.items()
+                         if h.deadline is not None and h.deadline <= now]:
+                handle = busy.pop(conn)
+                n = len(handle.chunk or ())
+                budget = (self.job_timeout or 0.0) * n + self.grace
+                fail_chunk(
+                    handle,
+                    f"TimeoutError: chunk of {n} jobs exceeded its "
+                    f"{budget:.3f}s deadline "
+                    f"(job_timeout={self.job_timeout}, grace={self.grace})",
+                )
         return failed
 
-    def _chunk(self, payloads: List[_Payload]) -> List[List[_Payload]]:
-        size = self.chunk_size
-        if size is None:
-            size = max(1, -(-len(payloads) // (self.workers * 4)))
-        return [payloads[i:i + size] for i in range(0, len(payloads), size)]
+    def _context_frame(self, context: Any) -> Tuple[Optional[int],
+                                                    Optional[bytes]]:
+        """``(token, blob)`` transport frame for a batch's shared context.
+
+        The blob is pickled once per distinct context object and reused
+        across retry rounds, consecutive batches and worker respawns —
+        workers that already cache the token receive only the token.
+        """
+        if context is None:
+            return None, None
+        cached = self._context_cache
+        if cached is not None and cached[0] is context:
+            return cached[1], cached[2]
+        self._context_seq += 1
+        blob = pickle.dumps(context, pickle.HIGHEST_PROTOCOL)
+        self._context_cache = (context, self._context_seq, blob)
+        return self._context_seq, blob
+
+    # -- cost model ------------------------------------------------------
+
+    def _seed_cost_model(self, payloads: Sequence[_Payload]) -> None:
+        """Prime the runtime estimate from job-declared ``cost_hint``s."""
+        if self._cost_ema is not None:
+            return
+        hints = [job.cost_hint for _, job, _, _ in payloads
+                 if getattr(job, "cost_hint", None)]
+        if hints:
+            self._cost_ema = sum(hints) / len(hints)
+
+    def _observe_cost(self, raw: tuple) -> None:
+        """Fold one completed job's measured runtime into the EMA."""
+        ok, elapsed = raw[1], raw[5]
+        if not ok or elapsed <= 0:
+            return
+        if self._cost_ema is None:
+            self._cost_ema = elapsed
+        else:
+            self._cost_ema += _COST_ALPHA * (elapsed - self._cost_ema)
+
+    def _carve(self, pending: deque) -> List[_Payload]:
+        """Pop the next chunk off ``pending``, sized by the cost model.
+
+        Fixed ``chunk_size`` wins if set.  Otherwise: no estimate yet →
+        single-job probe chunks (the first round of measurements);
+        with an estimate → ``target_chunk_seconds`` worth of jobs,
+        capped at a fair share of what remains so the tail of a batch
+        still spreads across all workers.
+        """
+        if self.chunk_size is not None:
+            size = self.chunk_size
+        else:
+            est = self._cost_ema
+            if est is None or est <= 0.0:
+                size = 1
+            else:
+                size = max(1, int(self.target_chunk_seconds / est))
+                fair = -(-len(pending) // max(1, self.workers * 2))
+                size = max(1, min(size, fair))
+        size = min(size, len(pending))
+        return [pending.popleft() for _ in range(size)]
+
+    # -- planning helpers for heavy-context jobs -------------------------
+
+    def plan_batches(self, n_items: int) -> int:
+        """How many jobs a heavy-context batch of ``n_items`` should form.
+
+        For fan-out sites whose jobs each carry an expensive pickled
+        context (e.g. a DSE problem with its full system model), fewer
+        jobs mean fewer copies of that context on the wire.  One job per
+        worker is the floor; the executor's own chunking cannot split a
+        job, so this is also the unit of load balancing.
+        """
+        if n_items <= 0:
+            return 0
+        return max(1, min(self.workers, n_items))
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (
             f"<ParallelExecutor workers={self.workers} "
-            f"seed={self.master_seed} retries={self.retries}>"
+            f"seed={self.master_seed} retries={self.retries} "
+            f"warm={len(self._handles)}>"
         )
+
+
+# -- shared executors ----------------------------------------------------
+
+_INLINE_EXECUTOR: Optional[ParallelExecutor] = None
+_WARM_EXECUTORS: Dict[tuple, ParallelExecutor] = {}
+
+
+def get_inline_executor() -> ParallelExecutor:
+    """Process-wide ``workers=1`` executor for serial fallback paths.
+
+    Call sites that accept ``executor=None`` share this instance instead
+    of constructing a fresh one per call; it owns no worker processes,
+    and callers pass their seed per run via
+    ``run_jobs(..., master_seed=...)``.
+    """
+    global _INLINE_EXECUTOR
+    if _INLINE_EXECUTOR is None:
+        _INLINE_EXECUTOR = ParallelExecutor(workers=1)
+    return _INLINE_EXECUTOR
+
+
+def warm_executor(workers: Optional[int] = None, **kwargs: Any
+                  ) -> ParallelExecutor:
+    """Process-wide warm executor shared across campaigns.
+
+    Returns (creating on first use) a cached :class:`ParallelExecutor`
+    keyed by ``(workers, start_method)``; its pool stays warm between
+    calls and is shut down at interpreter exit.  Per-campaign seeds go
+    through ``run_jobs(..., master_seed=...)`` — do not pass
+    ``master_seed`` here.
+    """
+    if "master_seed" in kwargs:
+        raise ExecutionError(
+            "warm_executor() is shared across campaigns; pass master_seed "
+            "per run (run_jobs(jobs, master_seed=...)) instead"
+        )
+    resolved = workers if workers is not None else (os.cpu_count() or 1)
+    key = (resolved, kwargs.get("start_method"))
+    executor = _WARM_EXECUTORS.get(key)
+    if executor is None:
+        executor = ParallelExecutor(resolved, **kwargs)
+        _WARM_EXECUTORS[key] = executor
+    return executor
+
+
+@atexit.register
+def _shutdown_shared_executors() -> None:  # pragma: no cover - exit hook
+    for executor in list(_WARM_EXECUTORS.values()):
+        executor.close()
+    _WARM_EXECUTORS.clear()

@@ -286,7 +286,7 @@ def run_fault_campaign(
     *,
     replications: int,
     executor: Optional["ParallelExecutor"] = None,
-    master_seed: int = 0,
+    master_seed: Optional[int] = None,
 ) -> FaultCampaignResult:
     """Run ``replications`` independent chaos replications.
 
@@ -302,12 +302,12 @@ def run_fault_campaign(
         FaultCampaignJob(f"faults.rep{i}", spec) for i in range(replications)
     ]
     if executor is None:
-        from ..exec.pool import ParallelExecutor
+        from ..exec.pool import get_inline_executor
 
-        with ParallelExecutor(workers=1, master_seed=master_seed) as inline:
-            report = inline.run_jobs(jobs)
+        seed = 0 if master_seed is None else master_seed
+        report = get_inline_executor().run_jobs(jobs, master_seed=seed)
     else:
-        report = executor.run_jobs(jobs)
+        report = executor.run_jobs(jobs, master_seed=master_seed)
     failed = [r for r in report.results if not r.ok]
     if failed:
         detail = "; ".join(f"{r.job_id}: {r.error}" for r in failed[:5])

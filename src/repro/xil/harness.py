@@ -402,13 +402,15 @@ def run_battery(
     scenarios: List[ScenarioSpec],
     *,
     executor: Optional["ParallelExecutor"] = None,
-    master_seed: int = 0,
+    master_seed: Optional[int] = None,
 ) -> BatteryResult:
     """Run a scenario battery, serially or fanned out over an executor.
 
     Scenario order is preserved in the verdict list regardless of which
     worker finished first; closed loops are deterministic given their
-    spec, so parallel verdicts equal serial ones exactly.
+    spec, so parallel verdicts equal serial ones exactly.  Pass a warm
+    executor (reused across batteries) for fan-out; ``executor=None``
+    runs inline through the shared serial executor.
     """
     if not scenarios:
         raise ConfigurationError("battery needs at least one scenario")
@@ -417,12 +419,12 @@ def run_battery(
         raise ConfigurationError(f"duplicate scenario names in battery: {names}")
     jobs = [XilScenarioJob(f"xil.{s.name}", s) for s in scenarios]
     if executor is None:
-        from ..exec.pool import ParallelExecutor
+        from ..exec.pool import get_inline_executor
 
-        with ParallelExecutor(workers=1, master_seed=master_seed) as inline:
-            report = inline.run_jobs(jobs)
+        seed = 0 if master_seed is None else master_seed
+        report = get_inline_executor().run_jobs(jobs, master_seed=seed)
     else:
-        report = executor.run_jobs(jobs)
+        report = executor.run_jobs(jobs, master_seed=master_seed)
     failed = [r for r in report.results if not r.ok]
     if failed:
         detail = "; ".join(f"{r.job_id}: {r.error}" for r in failed[:5])

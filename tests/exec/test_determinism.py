@@ -159,6 +159,31 @@ class TestXilDeterminism:
         assert result.failures >= 1
 
 
+class TestWarmPoolMatrixDeterminism:
+    """workers x chunk_size x warm-pool reuse, at the fan-out-site level."""
+
+    @pytest.mark.parametrize("chunk_size", [1, 3, None])
+    def test_sweep_digests_identical_across_matrix(self, chunk_size):
+        reference = sweep_campaigns(
+            CAMPAIGN_SPEC, replications=4, master_seed=17
+        )
+        for workers in WORKER_COUNTS:
+            with ParallelExecutor(workers=workers, master_seed=17,
+                                  chunk_size=chunk_size) as executor:
+                first = sweep_campaigns(
+                    CAMPAIGN_SPEC, replications=4, executor=executor
+                )
+                # second batch reuses the same warm pool (and, with
+                # chunk_size=None, a trained cost model)
+                second = sweep_campaigns(
+                    CAMPAIGN_SPEC, replications=4, executor=executor
+                )
+            assert first.outcomes == reference.outcomes
+            assert second.outcomes == reference.outcomes
+            assert first.digest == reference.digest
+            assert second.digest == reference.digest
+
+
 class FlakyCampaignJob(CampaignJob):
     """Crashes on its first attempt — exercises retry under fan-out."""
 
