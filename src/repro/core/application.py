@@ -9,6 +9,7 @@ same app may be instantiated more than once — for redundancy (Section
 
 from __future__ import annotations
 
+import copy
 from enum import Enum
 from typing import Dict, List, Optional
 
@@ -152,10 +153,14 @@ class AppInstance:
         return 64 + 32 * len(self.internal_state)
 
     def snapshot_state(self) -> Dict[str, object]:
-        return dict(self.internal_state)
+        return copy.deepcopy(self.internal_state)
 
     def adopt_state(self, snapshot: Dict[str, object]) -> None:
-        self.internal_state = dict(snapshot)
+        # Deep copy, not dict(): a shallow copy would share nested mutable
+        # values (lists, dicts) between the old and new instance, so a
+        # failed-over replica or updated app mutating its state would
+        # silently corrupt its donor's.
+        self.internal_state = copy.deepcopy(snapshot)
 
     # -- metrics --------------------------------------------------------------------
 
@@ -163,7 +168,7 @@ class AppInstance:
         return sum(src.miss_count() for src in self.sources)
 
     def jobs_released(self) -> int:
-        return sum(len(src.jobs) for src in self.sources)
+        return sum(src.released for src in self.sources)
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"<AppInstance {self.qualified_name} {self.state.value}>"

@@ -45,19 +45,22 @@ class BusLoadTracker:
             name: deque() for name in network.buses
         }
         self._running = True
-        sim.process(self._sampler(), name="bus_load_tracker")
+        # callback style so a snapshot can capture the tracker mid-window
+        # (generator processes block sim.snapshot()/fork())
+        sim.post(0.0, self._tick)
 
     def stop(self) -> None:
         self._running = False
 
-    def _sampler(self):
-        while self._running:
-            for name, bus in self.network.buses.items():
-                samples = self._samples[name]
-                samples.append((self.sim.now, bus.transmit_time))
-                while samples and samples[0][0] < self.sim.now - self.window:
-                    samples.popleft()
-            yield self.sample_period
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        for name, bus in self.network.buses.items():
+            samples = self._samples[name]
+            samples.append((self.sim.now, bus.transmit_time))
+            while samples and samples[0][0] < self.sim.now - self.window:
+                samples.popleft()
+        self.sim.post(self.sample_period, self._tick)
 
     def observed_utilization(self, bus_name: str) -> float:
         """Wire occupancy of ``bus_name`` over the sliding window."""

@@ -269,6 +269,9 @@ class CampaignSpec:
     target_wcet: float = 0.001
     target_wcet_jitter: float = 0.0
     target_deadline: Optional[float] = None
+    # post-deploy warm-up before the rollout starts; part of the shared
+    # base, so fork-per-replication pays it once per sweep
+    settle_time: float = 0.5
 
 
 @dataclass(frozen=True)
@@ -301,6 +304,89 @@ def _app_for(spec: CampaignSpec, version, wcet: float, deadline: float,
     )
 
 
+def build_fleet_base(sim: Simulator, spec: CampaignSpec) -> Dict[str, object]:
+    """Build the deterministic, RNG-free half of a campaign replication.
+
+    Trust store, fleet, base-version deployment and the post-deploy
+    settle run — everything every replication shares verbatim.  The
+    returned dict is registered under ``sim.world["campaign"]`` so a
+    forked world can retrieve its private copies of the handles.
+    """
+    store = TrustStore()
+    store.generate_key("oem")
+    fleet = Fleet(sim, store, size=spec.fleet_size)
+    # sweeps judge replications by monitor faults and version state, not
+    # the per-job history; bound it so the shared base snapshot stays the
+    # same size regardless of settle length
+    for vehicle in fleet.vehicles:
+        for node in vehicle.platform.nodes.values():
+            for core in node.cores:
+                core.job_history_limit = 64
+    old_app = _app_for(
+        spec, spec.base_version, spec.base_wcet, spec.deadline, ""
+    )
+    fleet.deploy_everywhere(old_app, "oem")
+    sim.run(until=sim.now + spec.settle_time)
+    base: Dict[str, object] = {"fleet": fleet, "old_app": old_app}
+    sim.adopt("campaign", base)
+    return base
+
+
+def _finish_campaign(
+    base: Dict[str, object],
+    spec: CampaignSpec,
+    target_wcet: float,
+    job_id: str,
+    ctx: JobContext,
+) -> CampaignOutcome:
+    """Roll out the jittered target version on a built base and report."""
+    fleet: Fleet = base["fleet"]
+    old_app: AppModel = base["old_app"]
+    manager = CampaignManager(
+        fleet, "oem",
+        wave_size=spec.wave_size,
+        soak_time=spec.soak_time,
+        abort_regression_ratio=spec.abort_regression_ratio,
+    )
+    new_app = _app_for(
+        spec, spec.target_version, target_wcet,
+        spec.target_deadline if spec.target_deadline is not None
+        else spec.deadline,
+        "_v2",
+    )
+    result = manager.rollout(old_app, new_app)
+    updated = ctx.metrics.counter("campaign.vehicles_updated")
+    updated.inc(result.vehicles_updated)
+    regressed = ctx.metrics.counter("campaign.regressions")
+    regressed.inc(sum(w.regressions for w in result.waves))
+    aborted = ctx.metrics.counter("campaign.aborted")
+    if result.aborted:
+        aborted.inc()
+    versions = tuple(sorted(
+        (index, version)
+        for index, version in fleet.versions(spec.app_name).items()
+    ))
+    return CampaignOutcome(
+        replication=job_id,
+        target_wcet=target_wcet,
+        aborted=result.aborted,
+        rolled_back=result.rolled_back,
+        vehicles_updated=result.vehicles_updated,
+        wave_count=len(result.waves),
+        regressions=sum(w.regressions for w in result.waves),
+        final_versions=versions,
+    )
+
+
+def _jittered_wcet(spec: CampaignSpec, ctx: JobContext) -> float:
+    target_wcet = spec.target_wcet
+    if spec.target_wcet_jitter:
+        target_wcet += ctx.rng().uniform(
+            "campaign.wcet_jitter", 0.0, spec.target_wcet_jitter
+        )
+    return target_wcet
+
+
 class CampaignJob(SimJob):
     """One fleet-campaign replication as a :class:`~repro.exec.SimJob`.
 
@@ -316,54 +402,56 @@ class CampaignJob(SimJob):
 
     def run(self, ctx: JobContext) -> CampaignOutcome:
         spec = self.spec
-        target_wcet = spec.target_wcet
-        if spec.target_wcet_jitter:
-            target_wcet += ctx.rng().uniform(
-                "campaign.wcet_jitter", 0.0, spec.target_wcet_jitter
-            )
+        target_wcet = _jittered_wcet(spec, ctx)
         sim = Simulator(metrics=ctx.metrics)
-        store = TrustStore()
-        store.generate_key("oem")
-        fleet = Fleet(sim, store, size=spec.fleet_size)
-        old_app = _app_for(
-            spec, spec.base_version, spec.base_wcet, spec.deadline, ""
-        )
-        fleet.deploy_everywhere(old_app, "oem")
-        sim.run(until=sim.now + 0.5)
-        manager = CampaignManager(
-            fleet, "oem",
-            wave_size=spec.wave_size,
-            soak_time=spec.soak_time,
-            abort_regression_ratio=spec.abort_regression_ratio,
-        )
-        new_app = _app_for(
-            spec, spec.target_version, target_wcet,
-            spec.target_deadline if spec.target_deadline is not None
-            else spec.deadline,
-            "_v2",
-        )
-        result = manager.rollout(old_app, new_app)
-        updated = ctx.metrics.counter("campaign.vehicles_updated")
-        updated.inc(result.vehicles_updated)
-        regressed = ctx.metrics.counter("campaign.regressions")
-        regressed.inc(sum(w.regressions for w in result.waves))
-        aborted = ctx.metrics.counter("campaign.aborted")
-        if result.aborted:
-            aborted.inc()
-        versions = tuple(sorted(
-            (index, version)
-            for index, version in fleet.versions(spec.app_name).items()
-        ))
-        return CampaignOutcome(
-            replication=self.job_id,
-            target_wcet=target_wcet,
-            aborted=result.aborted,
-            rolled_back=result.rolled_back,
-            vehicles_updated=result.vehicles_updated,
-            wave_count=len(result.waves),
-            regressions=sum(w.regressions for w in result.waves),
-            final_versions=versions,
-        )
+        base = build_fleet_base(sim, spec)
+        return _finish_campaign(base, spec, target_wcet, self.job_id, ctx)
+
+
+class ForkedCampaignJob(SimJob):
+    """One fleet-campaign replication cloned from a pre-built base world.
+
+    The sweep builds the deployed-and-settled fleet once, snapshots it,
+    and ships the snapshot per worker as shared context; each replication
+    restores a private copy and runs only the rollout with its own
+    jittered target wcet.  Outcomes are byte-identical to
+    :class:`CampaignJob` because the base construction is RNG-free.
+    """
+
+    def __init__(self, job_id: str, spec: CampaignSpec) -> None:
+        self.job_id = job_id
+        self.spec = spec
+
+    def run(self, ctx: JobContext) -> CampaignOutcome:
+        snap = ctx.shared
+        if snap is None:
+            raise UpdateError(
+                "forked campaign job needs a SimSnapshot as shared context"
+            )
+        spec = self.spec
+        target_wcet = _jittered_wcet(spec, ctx)
+        sim = snap.restore()
+        base = sim.world["campaign"]
+        outcome = _finish_campaign(base, spec, target_wcet, self.job_id, ctx)
+        # the restored world counted into its own (forked) registry; fold
+        # it into the job registry so digests match the rebuild path
+        ctx.metrics.absorb(sim.metrics)
+        return outcome
+
+
+def build_sweep_snapshot(spec: CampaignSpec):
+    """Build the fleet base once and return its reusable snapshot.
+
+    The base world gets its own enabled metrics registry: forks inherit
+    it (base counts included), keep counting through the rollout, and
+    the job folds the final registry into the job context — so the
+    merged digest is identical to the rebuild path's.
+    """
+    from ..obs.metrics import MetricsRegistry
+
+    sim = Simulator(metrics=MetricsRegistry())
+    build_fleet_base(sim, spec)
+    return sim.snapshot()
 
 
 @dataclass
@@ -388,6 +476,7 @@ def sweep_campaigns(
     replications: int,
     executor: Optional["ParallelExecutor"] = None,
     master_seed: Optional[int] = None,
+    fork: bool = True,
 ) -> SweepResult:
     """Run ``replications`` independent campaign replications.
 
@@ -397,19 +486,37 @@ def sweep_campaigns(
     ``master_seed`` (defaulting to the executor's own master seed when
     one is given, else ``0``) and its id alone, so the outcome list is
     byte-identical for any worker count.
+
+    With ``fork=True`` (the default) the deployed-and-settled fleet is
+    built once, snapshotted and forked per replication instead of being
+    rebuilt in every job — same outcomes, a fraction of the time.
+    ``fork=False`` keeps the rebuild path for equivalence checks.
     """
     if replications < 1:
         raise UpdateError("sweep needs at least one replication")
-    jobs = [
-        CampaignJob(f"campaign.rep{i}", spec) for i in range(replications)
-    ]
+    context = None
+    if fork:
+        context = build_sweep_snapshot(spec)
+        jobs: List[SimJob] = [
+            ForkedCampaignJob(f"campaign.rep{i}", spec)
+            for i in range(replications)
+        ]
+    else:
+        jobs = [
+            CampaignJob(f"campaign.rep{i}", spec)
+            for i in range(replications)
+        ]
     if executor is None:
         from ..exec.pool import get_inline_executor
 
         seed = 0 if master_seed is None else master_seed
-        report = get_inline_executor().run_jobs(jobs, master_seed=seed)
+        report = get_inline_executor().run_jobs(
+            jobs, master_seed=seed, context=context
+        )
     else:
-        report = executor.run_jobs(jobs, master_seed=master_seed)
+        report = executor.run_jobs(
+            jobs, master_seed=master_seed, context=context
+        )
     failed = [r for r in report.results if not r.ok]
     if failed:
         detail = "; ".join(f"{r.job_id}: {r.error}" for r in failed[:5])

@@ -200,31 +200,33 @@ class RedundancyManager:
         if self._supervising:
             return
         self._supervising = True
-        self.sim.process(self._supervise(), name="redundancy.heartbeat")
+        # callback style (self-rescheduling bound method) rather than a
+        # generator process: suspended generator frames cannot be deep-
+        # copied, and supervision must survive sim.snapshot()/fork()
+        self.sim.post(self.heartbeat_period, self._heartbeat_tick)
 
-    def _supervise(self):
-        while True:
-            yield self.heartbeat_period
-            now = self.sim.now
+    def _heartbeat_tick(self) -> None:
+        now = self.sim.now
+        for replica_set in self.replica_sets.values():
+            primary_node = self.platform.node(replica_set.primary.node_name)
+            failure_time = (
+                primary_node.state.failure_time
+                if primary_node.state.failure_time is not None
+                else now
+            )
+            replica_set.check_and_failover(now, failure_time)
+        # periodic state sync on the sync cadence
+        if (
+            round(now / self.heartbeat_period)
+            % max(1, int(self.sync_period / self.heartbeat_period))
+            == 0
+        ):
             for replica_set in self.replica_sets.values():
-                primary_node = self.platform.node(replica_set.primary.node_name)
-                failure_time = (
-                    primary_node.state.failure_time
-                    if primary_node.state.failure_time is not None
-                    else now
-                )
-                replica_set.check_and_failover(now, failure_time)
-            # periodic state sync on the sync cadence
-            if (
-                round(now / self.heartbeat_period)
-                % max(1, int(self.sync_period / self.heartbeat_period))
-                == 0
-            ):
-                for replica_set in self.replica_sets.values():
-                    if not self.platform.node(
-                        replica_set.primary.node_name
-                    ).failed:
-                        replica_set.sync_state()
+                if not self.platform.node(
+                    replica_set.primary.node_name
+                ).failed:
+                    replica_set.sync_state()
+        self.sim.post(self.heartbeat_period, self._heartbeat_tick)
 
     def all_failovers(self) -> List[FailoverEvent]:
         events = []

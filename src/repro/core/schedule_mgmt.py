@@ -96,6 +96,7 @@ def validate_by_simulation(
                 release_time=self.sim.now,
                 absolute_deadline=self.sim.now + self.task.effective_deadline,
                 remaining=self.scaled,
+                job_id=self.sim.next_job_id(),
             )
             self.executive.submit(job)
             self.k += 1

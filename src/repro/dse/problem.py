@@ -23,7 +23,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..exec.pool import ParallelExecutor
 from ..model.deployment import Deployment
 from ..model.system import SystemModel
-from ..model.verification import estimate_latency, verify
+from ..model.verification import VerifyCache, verify
 from ..osal.analysis import scaled_utilization
 from ..osal.task import Criticality
 
@@ -85,6 +85,11 @@ class MappingProblem:
             if not options:
                 raise ConfigurationError(f"empty candidate set for {app!r}")
         self.evaluations = 0
+        # deployment-independent verification facts (structural checks,
+        # redundancy counts, routes, latency estimates) are computed once
+        # and reused across every evaluate() call; the cache pickles with
+        # the problem, so executor workers receive it warm
+        self.cache = VerifyCache(model)
 
     def _default_candidates(self) -> Dict[str, List[Tuple[str, int]]]:
         """Every app may go on every (ECU, core) pair that could host it."""
@@ -130,19 +135,18 @@ class MappingProblem:
     def evaluate(self, deployment: Deployment) -> Evaluation:
         """Verify and score one deployment."""
         self.evaluations += 1
-        result = verify(self.model, deployment)
+        result = verify(self.model, deployment, cache=self.cache)
         cost = sum(
             self.model.topology.ecu(name).unit_cost
             for name in deployment.used_ecus()
         )
         latency = 0.0
-        for producer, consumer, interface in self.model.communication_pairs():
-            if deployment.is_placed(producer) and deployment.is_placed(consumer):
-                latency += estimate_latency(
-                    self.model,
-                    deployment.ecu_of(producer),
-                    deployment.ecu_of(consumer),
-                    interface.payload_bytes,
+        for pair in self.cache.communication_pairs():
+            if deployment.is_placed(pair.producer) and deployment.is_placed(pair.consumer):
+                latency += self.cache.estimate_latency(
+                    deployment.ecu_of(pair.producer),
+                    deployment.ecu_of(pair.consumer),
+                    pair.payload_bytes,
                 )
         utilizations: List[float] = []
         for ecu_name in deployment.used_ecus():

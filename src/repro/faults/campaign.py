@@ -78,6 +78,9 @@ class FaultCampaignSpec:
     retry: Optional[RetryPolicy] = RetryPolicy(max_attempts=3, backoff=0.005)
     breaker_threshold: int = 0  # 0 disables circuit breaking
     breaker_reset: float = 0.05
+    # fault-free warm-up under heartbeats/supervision before the workload
+    # arms; part of the shared base, so fork-per-replication pays it once
+    settle_time: float = 0.0
 
     def __post_init__(self) -> None:
         if self.n_nodes < 2 or not 1 <= self.replicas <= self.n_nodes:
@@ -86,6 +89,8 @@ class FaultCampaignSpec:
             )
         if self.soak_time <= 0:
             raise ExecutionError("campaign soak time must be positive")
+        if self.settle_time < 0:
+            raise ExecutionError("campaign settle time must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -132,13 +137,58 @@ def _ctl_app(spec: FaultCampaignSpec) -> AppModel:
     )
 
 
-def build_chaos_scenario(
-    sim: Simulator, spec: FaultCampaignSpec, rng
-) -> Dict[str, object]:
-    """Assemble the chaos scenario on ``sim`` and return its components.
+def _pong(request) -> Tuple[str, int]:
+    """The chaos service's only method (module-level: must pickle with a
+    snapshotted world, which a lambda would not)."""
+    return ("pong", 8)
 
-    Shared by :class:`FaultCampaignJob`, the examples and the fault-soak
-    benchmark, so every consumer exercises the identical scenario.
+
+class ChaosCaller:
+    """The RPC hammering loop, in snapshot-safe callback style.
+
+    Mirrors the event pattern of the previous generator process exactly —
+    start event at the current instant, issue/await/count/re-arm — but
+    with bound methods instead of a suspended frame, so a mid-soak
+    snapshot copies the loop (successes counter included) cleanly.
+    """
+
+    def __init__(self, sim: Simulator, client: RpcClient, spec: FaultCampaignSpec) -> None:
+        self.sim = sim
+        self.client = client
+        self.spec = spec
+        #: single-element list for drop-in compatibility with the old
+        #: scenario["successes"] closure cell
+        self.successes: List[int] = [0]
+
+    def start(self) -> None:
+        self.sim.post(0.0, self._issue)
+
+    def _issue(self) -> None:
+        result = self.client.call(
+            1,
+            payload_bytes=32,
+            qos=QOS_CONTROL,
+            timeout=self.spec.rpc_timeout,
+            retry=self.spec.retry,
+        )
+        result.add_callback(self._on_response)
+
+    def _on_response(self, response) -> None:
+        if isinstance(response, BaseException):
+            raise response  # the generator version crashed here too
+        if response is not None:
+            self.successes[0] += 1
+        self.sim.post(self.spec.rpc_period, self._issue)
+
+
+def build_chaos_base(sim: Simulator, spec: FaultCampaignSpec) -> Dict[str, object]:
+    """Assemble the warmed-up, fault-free part of the chaos scenario.
+
+    Everything here is deterministic and RNG-free: platform, installs,
+    settle run, RPC servers, redundancy supervision and the client.  The
+    returned dict is registered under ``sim.world["chaos"]``, so a world
+    forked after this call can retrieve *its own copies* of every handle
+    — the basis of fork-per-replication campaigns.
     """
     from ..core.platform import DynamicPlatform
     from ..core.redundancy import RedundancyManager
@@ -148,6 +198,12 @@ def build_chaos_scenario(
     platform = DynamicPlatform(
         sim, redundant_ring_topology(spec.n_nodes), trust_store=store
     )
+    # campaigns read aggregate outcomes, never the per-job history; a
+    # bounded window keeps the base world (and its snapshot) the same
+    # size no matter how long it settles or soaks
+    for node in platform.nodes.values():
+        for core in node.cores:
+            core.job_history_limit = 16
     if spec.breaker_threshold > 0:
         platform.registry.configure_breakers(
             failure_threshold=spec.breaker_threshold,
@@ -168,7 +224,7 @@ def build_chaos_scenario(
             spec.service_id,
             provider_app=spec.app_name,
         )
-        server.register_method(1, lambda request: ("pong", 8))
+        server.register_method(1, _pong)
         servers.append(server)
 
     manager = RedundancyManager(
@@ -184,32 +240,48 @@ def build_chaos_scenario(
         spec.service_id,
         client_app="chaos_client",
     )
-    successes: List[int] = [0]
-
-    def caller():
-        while True:
-            response = yield client.call(
-                1,
-                payload_bytes=32,
-                qos=QOS_CONTROL,
-                timeout=spec.rpc_timeout,
-                retry=spec.retry,
-            )
-            if response is not None:
-                successes[0] += 1
-            yield spec.rpc_period
-
-    sim.process(caller(), name="chaos.caller")
-    injector = FaultInjector(sim, spec.plan, rng, platform=platform)
-    injector.arm()
-    return {
+    base: Dict[str, object] = {
         "platform": platform,
         "manager": manager,
         "servers": servers,
         "client": client,
-        "successes": successes,
-        "injector": injector,
     }
+    sim.adopt("chaos", base)
+    if spec.settle_time > 0:
+        # warm up heartbeats and supervision fault-free; deterministic,
+        # so it belongs to the base every replication shares
+        sim.run(until=sim.now + spec.settle_time)
+    return base
+
+
+def start_chaos_workload(
+    sim: Simulator, base: Dict[str, object], spec: FaultCampaignSpec, rng
+) -> Dict[str, object]:
+    """Arm the per-replication part: the RPC caller and the fault plan.
+
+    This is the only RNG-consuming stage, so it runs *after* a fork —
+    each replication forks the shared base world and arms its own
+    injector with its own derived streams.
+    """
+    caller = ChaosCaller(sim, base["client"], spec)
+    caller.start()
+    injector = FaultInjector(sim, spec.plan, rng, platform=base["platform"])
+    injector.arm()
+    base["caller"] = caller
+    base["successes"] = caller.successes
+    base["injector"] = injector
+    return base
+
+
+def build_chaos_scenario(
+    sim: Simulator, spec: FaultCampaignSpec, rng
+) -> Dict[str, object]:
+    """Assemble the full chaos scenario on ``sim`` (base + workload).
+
+    Shared by :class:`FaultCampaignJob`, the examples and the fault-soak
+    benchmark, so every consumer exercises the identical scenario.
+    """
+    return start_chaos_workload(sim, build_chaos_base(sim, spec), spec, rng)
 
 
 def campaign_outcome(
@@ -263,6 +335,59 @@ class FaultCampaignJob(SimJob):
         return outcome
 
 
+class ForkedFaultCampaignJob(SimJob):
+    """One chaos replication that clones a pre-built base world.
+
+    The campaign builds the RNG-free chaos base once, snapshots it, and
+    ships the snapshot to every worker as shared context (pickled once
+    per worker, not per job).  Each replication restores a private copy
+    — platform installed, supervision armed, ``sim.now`` at the settle
+    point — and only arms its own caller and fault plan.  Because base
+    construction is deterministic and all id sequences are sim-local,
+    the outcome is byte-identical to :class:`FaultCampaignJob`'s
+    rebuild-from-scratch path.
+    """
+
+    def __init__(self, job_id: str, spec: FaultCampaignSpec) -> None:
+        self.job_id = job_id
+        self.spec = spec
+
+    def run(self, ctx: JobContext) -> FaultCampaignOutcome:
+        snap = ctx.shared
+        if snap is None:
+            raise ExecutionError(
+                "forked campaign job needs a SimSnapshot as shared context"
+            )
+        sim = snap.restore()
+        base = sim.world["chaos"]
+        start_chaos_workload(sim, base, self.spec, ctx.rng())
+        sim.run(until=sim.now + self.spec.soak_time)
+        outcome = campaign_outcome(self.job_id, base)
+        # the restored world counted into its own (forked) registry; fold
+        # it into the job registry so digests match the rebuild path
+        ctx.metrics.absorb(sim.metrics)
+        ctx.metrics.counter("faults.campaign.failovers").inc(outcome.failovers)
+        ctx.metrics.counter("faults.campaign.rpc_failures").inc(
+            outcome.rpc_failures
+        )
+        return outcome
+
+
+def build_campaign_snapshot(spec: FaultCampaignSpec):
+    """Build the chaos base once and return its reusable snapshot.
+
+    The base world gets its own enabled metrics registry: forks inherit
+    it (with the base counts already in), keep counting through their
+    soak, and the job folds the final registry into the job context — so
+    the merged digest is identical to the rebuild path's.
+    """
+    from ..obs.metrics import MetricsRegistry
+
+    sim = Simulator(metrics=MetricsRegistry())
+    build_chaos_base(sim, spec)
+    return sim.snapshot()
+
+
 @dataclass
 class FaultCampaignResult:
     """Aggregate outcome of a multi-replication fault campaign."""
@@ -287,6 +412,7 @@ def run_fault_campaign(
     replications: int,
     executor: Optional["ParallelExecutor"] = None,
     master_seed: Optional[int] = None,
+    fork: bool = True,
 ) -> FaultCampaignResult:
     """Run ``replications`` independent chaos replications.
 
@@ -295,19 +421,38 @@ def run_fault_campaign(
     randomness from a seed derived from the master seed and the job id
     ``faults.rep{i}`` alone, so outcomes are byte-identical for any
     worker count and completion order.
+
+    With ``fork=True`` (the default) the deterministic base world is
+    built once, snapshotted, and forked per replication instead of being
+    rebuilt from scratch in every job — same outcomes, a fraction of the
+    time.  ``fork=False`` keeps the rebuild path (used by tests and the
+    snapshot benchmark to prove the equivalence).
     """
     if replications < 1:
         raise ExecutionError("fault campaign needs at least one replication")
-    jobs = [
-        FaultCampaignJob(f"faults.rep{i}", spec) for i in range(replications)
-    ]
+    context = None
+    if fork:
+        context = build_campaign_snapshot(spec)
+        jobs: List[SimJob] = [
+            ForkedFaultCampaignJob(f"faults.rep{i}", spec)
+            for i in range(replications)
+        ]
+    else:
+        jobs = [
+            FaultCampaignJob(f"faults.rep{i}", spec)
+            for i in range(replications)
+        ]
     if executor is None:
         from ..exec.pool import get_inline_executor
 
         seed = 0 if master_seed is None else master_seed
-        report = get_inline_executor().run_jobs(jobs, master_seed=seed)
+        report = get_inline_executor().run_jobs(
+            jobs, master_seed=seed, context=context
+        )
     else:
-        report = executor.run_jobs(jobs, master_seed=master_seed)
+        report = executor.run_jobs(
+            jobs, master_seed=master_seed, context=context
+        )
     failed = [r for r in report.results if not r.ok]
     if failed:
         detail = "; ".join(f"{r.job_id}: {r.error}" for r in failed[:5])
@@ -320,13 +465,18 @@ def run_fault_campaign(
 
 
 __all__ = [
+    "ChaosCaller",
     "FaultCampaignJob",
     "FaultCampaignOutcome",
     "FaultCampaignResult",
     "FaultCampaignSpec",
+    "ForkedFaultCampaignJob",
+    "build_campaign_snapshot",
+    "build_chaos_base",
     "build_chaos_scenario",
     "build_resilience_report",
     "campaign_outcome",
     "redundant_ring_topology",
     "run_fault_campaign",
+    "start_chaos_workload",
 ]

@@ -73,6 +73,7 @@ class DurableEventProducer(EventProducer):
                 dst=message.src,
                 payload=payload,
                 sender_app=self.provider_app,
+                session_id=self.endpoint.sim.next_session_id(),
             )
             self.replays += 1
             self.endpoint.send(note, QOS_DEFAULT)

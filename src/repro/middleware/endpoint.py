@@ -260,6 +260,7 @@ class Endpoint:
             payload_bytes=16,
             src=self.ecu_name,
             dst=offer.ecu,
+            session_id=self.sim.next_session_id(),
         )
 
         def on_find_done(_msg) -> None:
@@ -270,6 +271,7 @@ class Endpoint:
                 payload_bytes=32,
                 src=offer.ecu,
                 dst=self.ecu_name,
+                session_id=self.sim.next_session_id(),
             )
             back = self.sim.signal()
             back.add_callback(lambda _m: result.fire(offer))

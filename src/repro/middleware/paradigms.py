@@ -61,6 +61,7 @@ class EventProducer:
             payload_bytes=8,
             src=self.endpoint.ecu_name,
             dst=message.src,
+            session_id=self.endpoint.sim.next_session_id(),
         )
         self.endpoint.send(ack, QOS_DEFAULT)
 
@@ -86,6 +87,7 @@ class EventProducer:
                 dst=sub.client_ecu,
                 payload=payload,
                 sender_app=self.provider_app,
+                session_id=self.endpoint.sim.next_session_id(),
             )
             signals.append(self.endpoint.send(note, qos))
         return signals
@@ -133,6 +135,7 @@ class EventConsumer:
             src=self.endpoint.ecu_name,
             dst=offer.ecu,
             sender_app=self.client_app,
+            session_id=self.endpoint.sim.next_session_id(),
         )
         self.endpoint.send(sub, QOS_DEFAULT)
 
@@ -380,6 +383,7 @@ class RpcClient:
             dst=offer.ecu,
             payload=payload,
             sender_app=self.client_app,
+            session_id=sim.next_session_id(),
         )
         expire = None
         effective_timeout = timeout
@@ -512,6 +516,7 @@ class StreamSource:
             sequence=self.sequence,
             payload={"seq": self.sequence, "t": self.endpoint.sim.now},
             sender_app=self.provider_app,
+            session_id=self.endpoint.sim.next_session_id(),
         )
         self.sequence += 1
         self.endpoint.send(sample, self.qos)

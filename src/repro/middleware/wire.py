@@ -53,6 +53,10 @@ class ReturnCode(Enum):
     ERROR = "error"
 
 
+# Fallback for standalone Message construction (tests, docs).  Production
+# paths always pass session_id=sim.next_session_id() explicitly: a
+# process-global counter would make forked simulations diverge from their
+# parent's traces (see repro.sim.snapshot).
 _session_ids = itertools.count(1)
 
 

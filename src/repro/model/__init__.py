@@ -23,6 +23,7 @@ from .verification import (
     BUS_UTILIZATION_LIMIT,
     Severity,
     VerificationResult,
+    VerifyCache,
     Violation,
     estimate_latency,
     verify,
@@ -52,6 +53,7 @@ __all__ = [
     "TypeRegistry",
     "VariantSpace",
     "VerificationResult",
+    "VerifyCache",
     "Violation",
     "check_asil_dependencies",
     "derive_qos",

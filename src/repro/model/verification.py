@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Tuple
+from typing import Dict, List, NamedTuple, Optional, Tuple
 
 from ..errors import VerificationError
 from ..middleware.wire import HEADER_BYTES, segment_payload_for, segments_needed
@@ -125,6 +125,96 @@ def estimate_latency(
         if i > 0:
             latency += GATEWAY_LATENCY
     return latency
+
+
+class CommPair(NamedTuple):
+    """One producer/consumer edge with its model-derived constants."""
+
+    producer: str
+    consumer: str
+    interface: object
+    payload_bytes: int
+    bandwidth_bps: float
+    det_producer: bool
+
+
+class VerifyCache:
+    """Memoised deployment-independent facts for repeated :func:`verify`.
+
+    Design space exploration verifies thousands of deployments against
+    ONE model: structural violations, redundancy capability counts,
+    communication pairs (with payload sizes and offered bandwidth), bus
+    routes and per-(src, dst, payload) latency estimates never change
+    between genomes.  A cache computes each once and is picklable, so a
+    warm cache ships to executor workers along with its problem.
+    """
+
+    def __init__(self, model: SystemModel) -> None:
+        self.model = model
+        self._structural: Optional[List[str]] = None
+        self._redundancy: Optional[List[Violation]] = None
+        self._pairs: Optional[Tuple[CommPair, ...]] = None
+        #: (src, dst) -> bus tuple, or None when no route exists
+        self._routes: Dict[Tuple[str, str], Optional[tuple]] = {}
+        self._latency: Dict[Tuple[str, str, int], float] = {}
+
+    def structural_violations(self) -> List[str]:
+        if self._structural is None:
+            self._structural = list(self.model.structural_violations())
+        return self._structural
+
+    def communication_pairs(self) -> Tuple[CommPair, ...]:
+        """Producer/consumer edges with per-interface constants resolved."""
+        if self._pairs is None:
+            self._pairs = tuple(
+                CommPair(
+                    producer,
+                    consumer,
+                    interface,
+                    interface.payload_bytes,
+                    interface.offered_bandwidth_bps(),
+                    self.model.app(producer).is_deterministic,
+                )
+                for producer, consumer, interface
+                in self.model.communication_pairs()
+            )
+        return self._pairs
+
+    def redundancy_violations(self) -> List[Violation]:
+        """The redundancy rule reads only the model, never the placement."""
+        if self._redundancy is None:
+            scratch = VerificationResult()
+            _check_redundancy(self.model, Deployment(), scratch)
+            self._redundancy = scratch.violations
+        return self._redundancy
+
+    def route_buses(self, src: str, dst: str) -> Optional[tuple]:
+        """Route between ECUs, or ``None`` when no path exists."""
+        key = (src, dst)
+        if key not in self._routes:
+            try:
+                self._routes[key] = tuple(
+                    self.model.topology.route_buses(src, dst)
+                )
+            except Exception:
+                self._routes[key] = None
+        return self._routes[key]
+
+    def estimate_latency(self, src: str, dst: str, payload_bytes: int) -> float:
+        key = (src, dst, payload_bytes)
+        cached = self._latency.get(key)
+        if cached is None:
+            cached = estimate_latency(self.model, src, dst, payload_bytes)
+            self._latency[key] = cached
+        return cached
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "routes": len(self._routes),
+            "latencies": len(self._latency),
+            "structural": 0 if self._structural is None else 1,
+            "redundancy": 0 if self._redundancy is None else 1,
+        }
 
 
 def _check_resources(
@@ -251,10 +341,27 @@ def _check_determinism(
 
 
 def _check_communication(
-    model: SystemModel, deployment: Deployment, result: VerificationResult
+    model: SystemModel,
+    deployment: Deployment,
+    result: VerificationResult,
+    cache: Optional[VerifyCache] = None,
 ) -> None:
     bus_load: Dict[str, float] = {}
-    for producer, consumer, interface in model.communication_pairs():
+    if cache is not None:
+        pairs = cache.communication_pairs()
+    else:
+        pairs = tuple(
+            CommPair(
+                producer,
+                consumer,
+                interface,
+                interface.payload_bytes,
+                interface.offered_bandwidth_bps(),
+                model.app(producer).is_deterministic,
+            )
+            for producer, consumer, interface in model.communication_pairs()
+        )
+    for producer, consumer, interface, payload, bw, det_producer in pairs:
         if not deployment.is_placed(producer) or not deployment.is_placed(consumer):
             result.add(
                 "placement",
@@ -266,16 +373,20 @@ def _check_communication(
         dst = deployment.ecu_of(consumer)
         if src == dst:
             continue  # RTE-local
-        try:
-            buses = model.topology.route_buses(src, dst)
-        except Exception:
+        if cache is not None:
+            buses = cache.route_buses(src, dst)
+        else:
+            try:
+                buses = model.topology.route_buses(src, dst)
+            except Exception:
+                buses = None
+        if buses is None:
             result.add(
                 "route",
                 interface.name,
                 f"no communication path {src} -> {dst}",
             )
             continue
-        det_producer = model.app(producer).is_deterministic
         for bus in buses:
             if (
                 det_producer
@@ -288,12 +399,14 @@ def _check_communication(
                     f"deterministic traffic over non-TSN segment {bus.name}",
                     severity=Severity.WARNING,
                 )
-            bw = interface.offered_bandwidth_bps()
             if bw:
                 bus_load[bus.name] = bus_load.get(bus.name, 0.0) + bw
         reqs = interface.requirements
         if reqs.max_latency is not None:
-            est = estimate_latency(model, src, dst, interface.payload_bytes)
+            if cache is not None:
+                est = cache.estimate_latency(src, dst, payload)
+            else:
+                est = estimate_latency(model, src, dst, payload)
             if est > reqs.max_latency:
                 result.add(
                     "latency",
@@ -356,11 +469,25 @@ def _check_redundancy(
             )
 
 
-def verify(model: SystemModel, deployment: Deployment) -> VerificationResult:
+def verify(
+    model: SystemModel,
+    deployment: Deployment,
+    cache: Optional[VerifyCache] = None,
+) -> VerificationResult:
     """Check one deployment against all rules.  Never raises; inspect
-    :attr:`VerificationResult.ok`."""
+    :attr:`VerificationResult.ok`.
+
+    Passing a :class:`VerifyCache` (bound to the same model) reuses the
+    deployment-independent findings — structural checks, redundancy
+    capability counts, routes and latency estimates — which dominate the
+    cost when verifying many deployments of one model (DSE).
+    """
     result = VerificationResult()
-    for message in model.structural_violations():
+    if cache is not None:
+        structural = cache.structural_violations()
+    else:
+        structural = model.structural_violations()
+    for message in structural:
         result.add("structure", "model", message)
     for app in model.apps:
         if not deployment.is_placed(app.name):
@@ -387,8 +514,11 @@ def verify(model: SystemModel, deployment: Deployment) -> VerificationResult:
     _check_resources(model, deployment, result)
     _check_os_rules(model, deployment, result)
     _check_determinism(model, deployment, result)
-    _check_communication(model, deployment, result)
-    _check_redundancy(model, deployment, result)
+    _check_communication(model, deployment, result, cache)
+    if cache is not None:
+        result.violations.extend(cache.redundancy_violations())
+    else:
+        _check_redundancy(model, deployment, result)
     return result
 
 

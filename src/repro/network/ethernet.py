@@ -99,6 +99,28 @@ class EgressPort:
         return sum(len(q) for q in self.queues)
 
 
+class _BroadcastLatch:
+    """Countdown completion sink for a broadcast fan-out.
+
+    A class (not a closure) so snapshots taken with a broadcast in flight
+    deep-copy the latch into the new world instead of sharing its
+    mutable countdown across worlds; it also replaces the per-copy
+    Signal allocation (buses only ever call ``fire``).
+    """
+
+    __slots__ = ("remaining", "frame", "done")
+
+    def __init__(self, remaining: int, frame: Frame, done: Signal) -> None:
+        self.remaining = remaining
+        self.frame = frame
+        self.done = done
+
+    def fire(self, _value: object) -> None:
+        self.remaining -= 1
+        if self.remaining == 0:
+            self.done.fire(self.frame)
+
+
 class EthernetBus(BusModel):
     """Single-switch full-duplex Ethernet segment."""
 
@@ -137,22 +159,14 @@ class EthernetBus(BusModel):
             return done
         receivers = [e for e in self.attached_ecus if e != frame.src]
         if not receivers:
-            self.sim.schedule(0.0, done.fire, frame)
+            self.sim.post(0.0, done.fire, frame)
             return done
-        remaining = [len(receivers)]
-
-        def count_down(_value, frame=frame):
-            remaining[0] -= 1
-            if remaining[0] == 0:
-                done.fire(frame)
-
+        latch = _BroadcastLatch(len(receivers), frame, done)
         for ecu in receivers:
-            copy = frame.clone_for_segment()
+            copy = frame.clone_for_segment(frame_id=self.sim.next_frame_id())
             copy.dst = ecu
             copy.created_at = self.sim.now
-            leg = self.sim.signal()
-            leg.add_callback(count_down)
-            self._port(ecu).enqueue(copy, leg)
+            self._port(ecu).enqueue(copy, latch)
         return done
 
     def port_backlog(self, dst: str) -> int:

@@ -70,11 +70,16 @@ class Frame:
             raise NetworkError(f"frame {self.frame_id} not delivered yet")
         return self.delivered_at - self.created_at
 
-    def clone_for_segment(self) -> "Frame":
+    def clone_for_segment(self, frame_id: Optional[int] = None) -> "Frame":
         """Fresh copy (new id, reset timestamps) for the next bus segment.
 
         Corruption is sticky: a gateway forwards the payload bit-for-bit,
         so a frame mangled on one hop stays mangled on the next.
+
+        Pass ``frame_id`` (e.g. ``sim.next_frame_id()``) to draw from a
+        sim-local sequence — required wherever forked worlds must keep
+        byte-identical traces; the process-global fallback only suits
+        standalone construction.
         """
         return Frame(
             src=self.src,
@@ -85,4 +90,5 @@ class Frame:
             payload=self.payload,
             label=self.label,
             corrupted=self.corrupted,
+            frame_id=next(_frame_ids) if frame_id is None else frame_id,
         )

@@ -17,6 +17,7 @@ for a previously seen failure set are reused without recomputation.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import networkx as nx
@@ -53,6 +54,70 @@ class _HopCompletion:
 
     def __init__(self, callback: Callable[[Frame], None]) -> None:
         self.fire = callback
+
+
+class _SegmentBatch:
+    """In-flight state of one batched multi-segment transfer.
+
+    Everything here is bound methods and :func:`functools.partial` —
+    never closures — so a snapshot taken mid-transfer deep-copies the
+    batch (countdown latch included) into the new world instead of
+    aliasing the original's mutable cells.
+    """
+
+    __slots__ = ("net", "hops", "hop_buses", "hop_priorities", "hop_done",
+                 "traffic_class", "label", "remaining", "done")
+
+    def __init__(
+        self,
+        net: "VehicleNetwork",
+        hops: Tuple[Hop, ...],
+        hop_buses: List[BusModel],
+        hop_priorities: List[int],
+        traffic_class: TrafficClass,
+        label: str,
+        n_segments: int,
+        done: Signal,
+    ) -> None:
+        self.net = net
+        self.hops = hops
+        self.hop_buses = hop_buses
+        self.hop_priorities = hop_priorities
+        self.traffic_class = traffic_class
+        self.label = label
+        self.remaining = n_segments
+        self.done = done
+        # one completion sink per hop, shared by all segments: the
+        # delivered frame itself carries everything the next hop needs
+        self.hop_done = [
+            _HopCompletion(partial(self._forward, index + 1))
+            for index in range(len(hops) - 1)
+        ]
+        self.hop_done.append(_HopCompletion(self._count_down))
+
+    def submit_hop(self, index: int, payload_bytes: int, payload: object) -> None:
+        from_ecu, __, to_ecu = self.hops[index]
+        frame = self.net._new_frame(
+            from_ecu, to_ecu, payload_bytes,
+            self.hop_priorities[index], self.traffic_class, payload, self.label,
+        )
+        self.hop_buses[index].submit(frame, self.hop_done[index])
+
+    def _forward(self, next_index: int, frame: Frame) -> None:
+        net = self.net
+        net.gateway_forwards += 1
+        net.sim.schedule(
+            GATEWAY_LATENCY, self.submit_hop, next_index,
+            frame.payload_bytes, frame.payload,
+        )
+        # the intermediate-hop frame is dead: payload extracted, trace
+        # recorded, no listener retains gateway-addressed frames
+        net._recycle_frame(frame)
+
+    def _count_down(self, frame: Frame) -> None:
+        self.remaining -= 1
+        if self.remaining == 0:
+            self.done.fire(frame)
 
 
 def build_bus(sim: Simulator, spec: BusSpec, gcl: Optional[GateControlList] = None) -> BusModel:
@@ -103,12 +168,26 @@ class VehicleNetwork:
         metrics = sim.metrics
         self._m_cache_hit = metrics.counter("net.route_cache.hit")
         self._m_cache_miss = metrics.counter("net.route_cache.miss")
+        #: free list of dead intermediate-hop frames awaiting reuse
+        self._frame_pool: List[Frame] = []
         for ecu in topology.ecus:
             for bus_spec in topology.buses_of(ecu.name):
                 self.buses[bus_spec.name].add_listener(
-                    ecu.name, self._make_segment_listener(ecu.name)
+                    ecu.name, partial(self._dispatch_frame, ecu.name)
                 )
         self._auto_assign_flexray_slots()
+        # snapshot integration: forks find their copy of the network under
+        # sim.world["network"]; the topology and its routing graph are
+        # immutable structure shared by reference across forks
+        sim.adopt("network", self)
+        sim.share(topology, topology.graph)
+
+    def __getstate__(self) -> dict:
+        # pooled frames belong to this world's free list only (the same
+        # hygiene as EventQueue: restored worlds start with an empty pool)
+        state = self.__dict__.copy()
+        state["_frame_pool"] = []
+        return state
 
     def _auto_assign_flexray_slots(self) -> None:
         """Give every ECU on a FlexRay cluster one static slot, in
@@ -136,15 +215,64 @@ class VehicleNetwork:
         """Remove an ECU's handler (ECU failure or shutdown)."""
         self._receivers.pop(ecu_name, None)
 
-    def _make_segment_listener(self, ecu_name: str) -> Listener:
-        def on_frame(frame: Frame) -> None:
-            if frame.dst is not None and frame.dst != ecu_name:
-                return
-            handler = self._receivers.get(ecu_name)
-            if handler is not None:
-                handler(frame)
+    def _dispatch_frame(self, ecu_name: str, frame: Frame) -> None:
+        """Per-ECU segment listener (installed as a bound partial)."""
+        if frame.dst is not None and frame.dst != ecu_name:
+            return
+        handler = self._receivers.get(ecu_name)
+        if handler is not None:
+            handler(frame)
 
-        return on_frame
+    # -- frame pool ---------------------------------------------------------
+
+    def _new_frame(
+        self,
+        src: str,
+        dst: str,
+        payload_bytes: int,
+        priority: int,
+        traffic_class: TrafficClass,
+        payload: object,
+        label: str,
+    ) -> Frame:
+        """Build (or recycle) one segment frame with a sim-local id."""
+        pool = self._frame_pool
+        if pool:
+            frame = pool.pop()
+            frame.src = src
+            frame.dst = dst
+            frame.payload_bytes = payload_bytes
+            frame.priority = priority
+            frame.traffic_class = traffic_class
+            frame.payload = payload
+            frame.label = label
+            frame.created_at = 0.0
+            frame.delivered_at = None
+            frame.corrupted = False
+            frame.frame_id = self.sim.next_frame_id()
+            return frame
+        return Frame(
+            src=src,
+            dst=dst,
+            payload_bytes=payload_bytes,
+            priority=priority,
+            traffic_class=traffic_class,
+            payload=payload,
+            label=label,
+            frame_id=self.sim.next_frame_id(),
+        )
+
+    def _recycle_frame(self, frame: Frame) -> None:
+        """Return a dead intermediate-hop frame to the free list.
+
+        Only the gateway forwarding path calls this: frames addressed to a
+        gateway ECU are consumed on arrival (their payload moves to a
+        fresh frame on the next segment) and nothing above the network
+        layer ever holds them.  Final-hop frames escape to endpoints and
+        delivery signals and are never recycled.
+        """
+        frame.payload = None
+        self._frame_pool.append(frame)
 
     # -- bus failure & redundant channels -------------------------------------
 
@@ -271,7 +399,7 @@ class VehicleNetwork:
         done = self.sim.signal(name=f"net.{src}->{dst}")
         n_segments = len(sizes)
         if n_segments == 0:
-            self.sim.schedule(0.0, done.fire, None)
+            self.sim.post(0.0, done.fire, None)
             return done
         if payloads is None:
             payloads = [None] * n_segments
@@ -280,42 +408,12 @@ class VehicleNetwork:
         hop_priorities = [
             self._segment_priority(bus, priority, traffic_class) for bus in hop_buses
         ]
-        last_index = len(hops) - 1
-        remaining = [n_segments]
-
-        def count_down(frame: Frame) -> None:
-            remaining[0] -= 1
-            if remaining[0] == 0:
-                done.fire(frame)
-
-        # one completion sink per hop, shared by all segments: the
-        # delivered frame itself carries everything the next hop needs
-        def submit_hop(index: int, payload_bytes: int, payload: object) -> None:
-            from_ecu, __, to_ecu = hops[index]
-            frame = Frame(
-                src=from_ecu,
-                dst=to_ecu,
-                payload_bytes=payload_bytes,
-                priority=hop_priorities[index],
-                traffic_class=traffic_class,
-                payload=payload,
-                label=label,
-            )
-            hop_buses[index].submit(frame, hop_done[index])
-
-        hop_done: List[_HopCompletion] = []
-        for index in range(last_index):
-            def forward(frame: Frame, _next: int = index + 1) -> None:
-                self.gateway_forwards += 1
-                self.sim.schedule(
-                    GATEWAY_LATENCY, submit_hop, _next, frame.payload_bytes, frame.payload
-                )
-
-            hop_done.append(_HopCompletion(forward))
-        hop_done.append(_HopCompletion(count_down))
-
+        batch = _SegmentBatch(
+            self, hops, hop_buses, hop_priorities, traffic_class, label,
+            n_segments, done,
+        )
         for size, payload in zip(sizes, payloads):
-            submit_hop(0, size, payload)
+            batch.submit_hop(0, size, payload)
         return done
 
     def _send_hop(
@@ -331,14 +429,10 @@ class VehicleNetwork:
     ) -> None:
         from_ecu, bus_name, to_ecu = hops[index]
         bus = self.buses[bus_name]
-        frame = Frame(
-            src=from_ecu,
-            dst=to_ecu,
-            payload_bytes=payload_bytes,
-            priority=self._segment_priority(bus, priority, traffic_class),
-            traffic_class=traffic_class,
-            payload=payload,
-            label=label,
+        frame = self._new_frame(
+            from_ecu, to_ecu, payload_bytes,
+            self._segment_priority(bus, priority, traffic_class),
+            traffic_class, payload, label,
         )
         leg_done = bus.submit(frame)
 
@@ -346,22 +440,32 @@ class VehicleNetwork:
             leg_done.add_callback(done.fire)
             return
 
-        def forward(_frame) -> None:
-            self.gateway_forwards += 1
-            self.sim.schedule(
-                GATEWAY_LATENCY,
-                self._send_hop,
-                hops,
-                index + 1,
-                payload_bytes,
-                priority,
-                traffic_class,
-                payload,
-                label,
-                done,
+        leg_done.add_callback(
+            partial(
+                self._forward_single, hops, index + 1,
+                payload_bytes, priority, traffic_class, payload, label, done,
             )
+        )
 
-        leg_done.add_callback(forward)
+    def _forward_single(
+        self,
+        hops: Tuple[Hop, ...],
+        next_index: int,
+        payload_bytes: int,
+        priority: int,
+        traffic_class: TrafficClass,
+        payload: object,
+        label: str,
+        done: Signal,
+        frame: Frame,
+    ) -> None:
+        """Gateway store-and-forward step for an unbatched send."""
+        self.gateway_forwards += 1
+        self.sim.schedule(
+            GATEWAY_LATENCY, self._send_hop, hops, next_index,
+            payload_bytes, priority, traffic_class, payload, label, done,
+        )
+        self._recycle_frame(frame)
 
     @staticmethod
     def _segment_priority(bus: BusModel, priority: int, traffic_class: TrafficClass) -> int:

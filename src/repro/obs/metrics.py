@@ -244,6 +244,40 @@ class MetricsRegistry:
             self._instruments[key] = instrument
         return instrument
 
+    # -- merging ---------------------------------------------------------
+
+    def absorb(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's instruments into this one.
+
+        Counters add, gauges adopt the other registry's latest value,
+        histograms merge their bucket counts exactly.  Used by forked
+        simulation jobs to fold a restored world's own registry into the
+        job context registry, so digests match the rebuild path (where
+        the world counts straight into the job registry).
+        """
+        for (kind, name, labels), theirs in other._instruments.items():
+            if kind == "counter":
+                mine = self._get_or_create(kind, Counter, name, dict(labels))
+                mine.value += theirs.value
+            elif kind == "gauge":
+                mine = self._get_or_create(kind, Gauge, name, dict(labels))
+                mine.value = theirs.value
+            else:
+                mine = self.histogram(
+                    name, growth=theirs.growth, **dict(labels)
+                )
+                if theirs.count == 0:
+                    continue
+                mine.count += theirs.count
+                mine.sum += theirs.sum
+                mine.min = min(mine.min, theirs.min)
+                mine.max = max(mine.max, theirs.max)
+                mine._zero_count += theirs._zero_count
+                for index, bucket_count in theirs._buckets.items():
+                    mine._buckets[index] = (
+                        mine._buckets.get(index, 0) + bucket_count
+                    )
+
     # -- inspection ------------------------------------------------------
 
     def __len__(self) -> int:

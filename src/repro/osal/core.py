@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Callable, List, Optional
 
 from ..errors import SchedulingError
-from ..sim import ScheduledCall, Simulator
+from ..sim import PRIORITY_URGENT, ScheduledCall, Simulator
 from .task import Job, TaskSpec
 
 
@@ -68,6 +68,13 @@ class Core:
         self._quantum_call: Optional[ScheduledCall] = None
         self._run_started_at = 0.0
         self.completed_jobs: List[Job] = []
+        #: optional cap on retained finished jobs.  ``None`` keeps the
+        #: full history (analysis and tests read it); long-running worlds
+        #: that only need recent jobs set a limit so memory — and
+        #: snapshot size — stays constant regardless of run length.
+        #: Aggregates (busy_time, response histogram, miss counter) are
+        #: unaffected by trimming.
+        self.job_history_limit: Optional[int] = None
         self.busy_time = 0.0
         self._completion_listeners: List[Callable[[Job], None]] = []
         self.halted = False
@@ -121,6 +128,7 @@ class Core:
             release_time=self.sim.now,
             absolute_deadline=self.sim.now + task.effective_deadline,
             remaining=scaled_wcet,
+            job_id=self.sim.next_job_id(),
         )
         if release_delay > 0.0:
             # the deadline stays anchored at the nominal activation, so
@@ -255,10 +263,15 @@ class Core:
             self._completion = self.sim.schedule(run_for, self._complete)
 
     def _cancel_timers(self) -> None:
+        # the core holds the only reference to these handles, so a
+        # cancelled timer is provably dead and returns to the event
+        # queue's free list once its heap entry surfaces
         if self._completion is not None:
+            self._completion.pooled = True
             self._completion.cancel()
             self._completion = None
         if self._quantum_call is not None:
+            self._quantum_call.pooled = True
             self._quantum_call.cancel()
             self._quantum_call = None
 
@@ -274,7 +287,10 @@ class Core:
         elapsed = self.sim.now - self._run_started_at
         job.remaining = max(0.0, job.remaining - elapsed)
         self.busy_time += elapsed
-        self._quantum_call = None
+        if self._quantum_call is not None:
+            # currently dispatching and about to be dropped: recycle it
+            self._quantum_call.pooled = True
+            self._quantum_call = None
         self.current = None
         if job.remaining <= 1e-12:
             self._finish_job(job)
@@ -290,7 +306,9 @@ class Core:
         elapsed = self.sim.now - self._run_started_at
         self.busy_time += elapsed
         job.remaining = 0.0
-        self._completion = None
+        if self._completion is not None:
+            self._completion.pooled = True
+            self._completion = None
         self.current = None
         self._finish_job(job)
         self._reschedule()
@@ -298,6 +316,9 @@ class Core:
     def _finish_job(self, job: Job) -> None:
         job.finish_time = self.sim.now
         self.completed_jobs.append(job)
+        limit = self.job_history_limit
+        if limit is not None and len(self.completed_jobs) > limit:
+            del self.completed_jobs[: len(self.completed_jobs) - limit]
         self._m_response.observe(job.response_time)
         if job.missed_deadline:
             self._m_misses.inc()
@@ -343,6 +364,14 @@ class PeriodicSource:
         self.jitter_draw = jitter_draw
         self.horizon = horizon
         self.jobs: List[Job] = []
+        #: total jobs released, including any trimmed out of ``jobs``
+        #: under the core's ``job_history_limit``
+        self.released = 0
+        # finished jobs folded out of ``jobs`` by trimming; miss_count()
+        # and miss_ratio() stay exact, finished_jobs()/response_times()
+        # cover only the retained window
+        self._folded_finished = 0
+        self._folded_misses = 0
         self.stopped = False
         self._activation_index = 0
         self._epoch = sim.now
@@ -357,8 +386,6 @@ class PeriodicSource:
         # epoch (offset + k * period) — no cumulative float drift — and
         # fire at urgent priority so a job released at instant T is visible
         # to any scheduling decision (e.g. a TT slot start) at T.
-        from ..sim import PRIORITY_URGENT
-
         when = self._epoch + self.task.offset + self._activation_index * self.task.period
         drift = self.core.clock_drift
         if drift:
@@ -389,14 +416,37 @@ class PeriodicSource:
             return
         job = self.core.submit_task_activation(self.task, self.scaled_wcet)
         self.jobs.append(job)
+        self.released += 1
+        limit = self.core.job_history_limit
+        if limit is not None and len(self.jobs) > limit:
+            self._trim(limit)
+
+    def _trim(self, limit: int) -> None:
+        # fold the oldest *finished* jobs into aggregate counters;
+        # unfinished jobs are never dropped, so
+        # unfinished_past_deadline() stays exact too
+        jobs = self.jobs
+        keep_from = 0
+        excess = len(jobs) - limit
+        while keep_from < excess and jobs[keep_from].finished:
+            if jobs[keep_from].missed_deadline:
+                self._folded_misses += 1
+            self._folded_finished += 1
+            keep_from += 1
+        if keep_from:
+            del jobs[:keep_from]
 
     # -- metrics ---------------------------------------------------------------
 
     def finished_jobs(self) -> List[Job]:
+        """Finished jobs in the retained window (trimming drops oldest)."""
         return [j for j in self.jobs if j.finished]
 
     def miss_count(self) -> int:
-        return sum(1 for j in self.finished_jobs() if j.missed_deadline)
+        """Total deadline misses — exact even when history is trimmed."""
+        return self._folded_misses + sum(
+            1 for j in self.finished_jobs() if j.missed_deadline
+        )
 
     def unfinished_past_deadline(self, now: float) -> int:
         """Jobs still incomplete although their deadline has passed."""
@@ -408,12 +458,12 @@ class PeriodicSource:
 
     def miss_ratio(self, now: Optional[float] = None) -> float:
         """Deadline-miss ratio over all released jobs."""
-        if not self.jobs:
+        if not self.released:
             return 0.0
         misses = self.miss_count()
         if now is not None:
             misses += self.unfinished_past_deadline(now)
-        return misses / len(self.jobs)
+        return misses / self.released
 
     def response_times(self) -> List[float]:
         return [j.response_time for j in self.finished_jobs()]

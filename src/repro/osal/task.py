@@ -88,6 +88,10 @@ class TaskSpec:
         return self.criticality is Criticality.DETERMINISTIC
 
 
+# Fallback id source for standalone Job construction only.  Production
+# paths pass ``job_id=sim.next_job_id()`` explicitly: job ids appear in
+# the trace, and a process-global counter would make forked worlds
+# diverge from their parent's traces.
 _job_ids = itertools.count(1)
 
 

@@ -77,6 +77,7 @@ class UpdateMaster:
                 src=self.endpoint.ecu_name,
                 dst=target_ecu,
                 payload=package,
+                session_id=self.sim.next_session_id(),
             )
             self.installs_administered += 1
             self.endpoint.send(transfer, QOS_BULK).add_callback(

@@ -9,6 +9,7 @@ from .events import PRIORITY_LATE, PRIORITY_NORMAL, PRIORITY_URGENT, EventQueue,
 from .kernel import Interrupted, Process, Signal, Simulator, Timeout
 from .resources import Resource, Store, ThroughputServer
 from .rng import RngStreams
+from .snapshot import SimSnapshot, SnapshotError, fork_world
 from .trace import TraceEntry, Tracer, read_jsonl
 
 __all__ = [
@@ -22,11 +23,14 @@ __all__ = [
     "RngStreams",
     "ScheduledCall",
     "Signal",
+    "SimSnapshot",
     "Simulator",
+    "SnapshotError",
     "Store",
     "ThroughputServer",
     "Timeout",
     "TraceEntry",
     "Tracer",
+    "fork_world",
     "read_jsonl",
 ]

@@ -11,18 +11,30 @@ The kernel offers two programming styles that interoperate freely:
 Time is a ``float`` in **seconds**.  Determinism is guaranteed: events at the
 same instant fire in (priority, insertion-order) order, and all randomness
 must flow through :class:`repro.sim.rng.RngStreams`.
+
+The kernel also owns the **world registry** used by copy-on-write
+snapshots (:mod:`repro.sim.snapshot`): components register themselves via
+:meth:`Simulator.adopt` so a forked world can look them up, and declare
+immutable structure via :meth:`Simulator.share` so forks alias it instead
+of deep-copying it.
 """
 
 from __future__ import annotations
 
+import itertools
+import weakref
+from heapq import heappop
 from time import perf_counter
-from typing import Any, Callable, Generator, List, Optional, Union
+from typing import TYPE_CHECKING, Any, Callable, Dict, Generator, List, Optional, Union
 
 from ..errors import SimulationError
 from ..obs.metrics import MetricsRegistry
 from ..obs.profiler import KernelProfiler
 from .events import PRIORITY_NORMAL, PRIORITY_URGENT, EventQueue, ScheduledCall
 from .trace import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .snapshot import SimSnapshot
 
 
 class Timeout:
@@ -88,10 +100,12 @@ class Signal:
             return
         self._callbacks = []
         sim = self.sim
+        # fire-and-forget: nobody holds the wakeup's handle, so it comes
+        # from (and returns to) the queue's free list
         if len(callbacks) == 1:
-            sim.queue.push(sim.now, callbacks[0], (value,), PRIORITY_URGENT)
+            sim.queue.push_pooled(sim.now, callbacks[0], (value,), PRIORITY_URGENT)
         else:
-            sim.queue.push(
+            sim.queue.push_pooled(
                 sim.now, _drain_callbacks, (callbacks, value), PRIORITY_URGENT
             )
 
@@ -102,7 +116,7 @@ class Signal:
         instant (still asynchronously, preserving event ordering).
         """
         if self.fired:
-            self.sim.schedule(0.0, callback, self.value, priority=PRIORITY_URGENT)
+            self.sim.post(0.0, callback, self.value, priority=PRIORITY_URGENT)
         else:
             self._callbacks.append(callback)
 
@@ -124,6 +138,11 @@ class Process:
     exception is stored in :attr:`error` and re-raised by the simulator on
     the next :meth:`Simulator.run` unless :attr:`defused` (by some party
     waiting on :attr:`done` at the instant of the crash).
+
+    Snapshot note: a *live* generator cannot be deep-copied or pickled, so
+    worlds with alive processes refuse to fork (see
+    :func:`repro.sim.snapshot.check_forkable`).  Finished processes drop
+    their exhausted generator on capture and snapshot cleanly.
     """
 
     def __init__(self, sim: "Simulator", gen: Generator, name: str = "") -> None:
@@ -143,13 +162,30 @@ class Process:
         self._pending_wait: Optional[ScheduledCall] = None
         self._waiting_on_signal = False
 
+    # -- snapshot support --------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        if not self.alive:
+            # exhausted generators refuse deepcopy/pickle just like live
+            # ones; a finished process no longer needs its frame anyway
+            state["gen"] = None
+        return state
+
     # -- kernel internals ------------------------------------------------
 
     def _step(self, send_value: Any = None, throw: Optional[BaseException] = None):
         """Advance the generator by one yield."""
         if not self.alive:
             return
-        self._pending_wait = None
+        wait = self._pending_wait
+        if wait is not None:
+            self._pending_wait = None
+            if wait._queue is None and not wait.cancelled:
+                # the wait that woke us was just popped for dispatch and
+                # this was its only surviving handle — let the kernel
+                # recycle it after the callback returns
+                wait.pooled = True
         self._waiting_on_signal = False
         profiler = self._profiler
         try:
@@ -219,11 +255,15 @@ class Process:
         """Throw :class:`Interrupted` into the process at the current instant."""
         if not self.alive:
             return
-        if self._pending_wait is not None:
-            self._pending_wait.cancel()
+        wait = self._pending_wait
+        if wait is not None:
             self._pending_wait = None
+            # releasing the only handle: let the queue recycle it when the
+            # cancelled entry surfaces (or is pruned)
+            wait.pooled = True
+            wait.cancel()
         self._waiting_on_signal = False
-        self.sim.schedule(
+        self.sim.post(
             0.0, self._step, None, Interrupted(cause), priority=PRIORITY_URGENT
         )
 
@@ -265,6 +305,99 @@ class Simulator:
         self._m_crashes = self.metrics.counter("sim.crashes")
         self._crashed_processes: List[Process] = []
         self._running = False
+        #: components registered for post-fork lookup (see :meth:`adopt`)
+        self.world: Dict[str, Any] = {}
+        #: immutable structure shared by reference across forks
+        self._shared: List[Any] = []
+        #: weak refs to every process ever started — the snapshot layer
+        #: scans these to refuse forking a world with live generators
+        self._procs: List[weakref.ref] = []
+        #: sim-local middleware session ids (a process-global counter here
+        #: would make forked worlds diverge from their parent's traces)
+        self._session_ids = itertools.count(1)
+        #: sim-local network frame ids, for the same reason
+        self._frame_ids = itertools.count(1)
+        #: sim-local OS job ids, for the same reason (job ids appear in
+        #: the trace via ``os.release`` / ``os.complete``)
+        self._job_ids = itertools.count(1)
+
+    # -- snapshot / world registry ----------------------------------------
+
+    def adopt(self, name: str, obj: Any) -> str:
+        """Register ``obj`` under ``name`` in the world registry.
+
+        Adopted objects are reachable from the simulator, so
+        :meth:`fork` copies them along with the kernel state and the
+        forked world can retrieve its own copy via ``fork.world[name]``.
+        Duplicate names get a ``#2``, ``#3``… suffix; the key actually
+        used is returned.
+        """
+        key = name
+        n = 2
+        while key in self.world:
+            key = f"{name}#{n}"
+            n += 1
+        self.world[key] = obj
+        return key
+
+    def share(self, *objs: Any) -> None:
+        """Declare objects as immutable structure shared across forks.
+
+        Shared objects are aliased (not copied) by :meth:`fork` and
+        :meth:`snapshot` — the copy-on-write boundary.  Only register
+        objects that are never mutated after construction (topologies,
+        specs, routing graphs); sharing mutable state would leak writes
+        between worlds.
+        """
+        shared = self._shared
+        for obj in objs:
+            shared.append(obj)
+
+    def next_session_id(self) -> int:
+        """Allocate a sim-local middleware session id."""
+        return next(self._session_ids)
+
+    def next_frame_id(self) -> int:
+        """Allocate a sim-local network frame id."""
+        return next(self._frame_ids)
+
+    def next_job_id(self) -> int:
+        """Allocate a sim-local OS job id."""
+        return next(self._job_ids)
+
+    def snapshot(self) -> "SimSnapshot":
+        """Capture a reusable frozen copy of the whole world.
+
+        See :class:`repro.sim.snapshot.SimSnapshot`; restore with
+        ``snap.restore()`` (or :meth:`restore`) as many times as needed.
+        """
+        from .snapshot import SimSnapshot
+
+        return SimSnapshot.capture(self)
+
+    def fork(self) -> "Simulator":
+        """Return an independent deep copy of this world.
+
+        Shared structure (:meth:`share`) is aliased; everything else —
+        clock, event heap, RNG streams, registered components — is
+        copied.  Continuing the fork and continuing the original produce
+        byte-identical traces that then evolve independently.
+        """
+        from .snapshot import fork_world
+
+        return fork_world(self)
+
+    def restore(self, snap: "SimSnapshot") -> "Simulator":
+        """Materialize a fresh world from ``snap`` (alias of ``snap.restore()``)."""
+        return snap.restore()
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        # weakrefs neither pickle nor serve any purpose in a copy: the
+        # copied world has no live generators by construction (capture
+        # refuses them), so its guard list can start empty
+        state["_procs"] = []
+        return state
 
     # -- scheduling ------------------------------------------------------
 
@@ -283,6 +416,26 @@ class Simulator:
         # delay == 0 fast path — the dominant case (urgent wakeups, signal
         # fan-out, process starts): skip the sign test and the addition.
         return self.queue.push(self.now, callback, args, priority)
+
+    def post(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = PRIORITY_NORMAL,
+    ) -> None:
+        """Fire-and-forget :meth:`schedule`: no handle, free-list backed.
+
+        Use when the caller will never cancel the event — the scheduled
+        call object is recycled right after dispatch, so steady-state
+        posting allocates nothing.
+        """
+        if delay:
+            if delay < 0:
+                raise SimulationError(f"cannot schedule in the past (delay={delay})")
+            self.queue.push_pooled(self.now + delay, callback, args, priority)
+        else:
+            self.queue.push_pooled(self.now, callback, args, priority)
 
     def at(
         self,
@@ -309,6 +462,10 @@ class Simulator:
         # interrupt before the first step cancels it (otherwise the
         # generator would be stepped twice and `done` would double-fire).
         proc._pending_wait = self.schedule(0.0, proc._step)
+        procs = self._procs
+        procs.append(weakref.ref(proc))
+        if len(procs) > 128:
+            self._procs = [ref for ref in procs if ref() is not None]
         return proc
 
     # -- execution -------------------------------------------------------
@@ -343,6 +500,8 @@ class Simulator:
                 call.callback(*call.args)
             finally:
                 profiler.account(call.callback, perf_counter() - start)
+        if call.pooled:
+            self.queue.recycle(call)
         self._raise_crashes()
 
     def run(self, until: Optional[float] = None) -> None:
@@ -350,18 +509,54 @@ class Simulator:
 
         When ``until`` is given the clock is always advanced to exactly
         ``until`` at the end, even if the queue drained earlier.
+
+        The loop dispatches straight off the heap in batches: cancelled
+        heads are skipped inline and pooled calls are recycled right
+        after their callback returns, so the steady-state path performs
+        one heap pop, one dispatch and zero allocations per event.
         """
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
+        queue = self.queue
+        heap = queue._heap  # queue mutates this list strictly in place
+        m = self._m_events
         try:
             while True:
-                next_time = self.queue.peek_time()
-                if next_time is None:
+                while heap and heap[0][3].cancelled:
+                    queue._discard(heappop(heap)[3])
+                if not heap:
                     break
-                if until is not None and next_time > until:
+                t = heap[0][0]
+                if until is not None and t > until:
                     break
-                self.step()
+                call = heappop(heap)[3]
+                call._queue = None
+                if t < self.now:
+                    raise SimulationError("event queue time went backwards")
+                self.now = t
+                san = self.sanitizer
+                if san is not None:
+                    san._current_event = call
+                    if heap:
+                        head = heap[0]
+                        if head[0] == t and head[1] == call.priority:
+                            san.on_tie(call, head[3])
+                if m._enabled:
+                    m.inc()
+                profiler = self.profiler
+                if profiler is None:
+                    call.callback(*call.args)
+                else:
+                    start = perf_counter()
+                    try:
+                        call.callback(*call.args)
+                    finally:
+                        profiler.account(call.callback, perf_counter() - start)
+                if call.pooled:
+                    queue.recycle(call)
+                if self._crashed_processes:
+                    self._raise_crashes()
             if until is not None and until > self.now:
                 self.now = until
         finally:

@@ -1,0 +1,236 @@
+"""Copy-on-write snapshots of a running simulation.
+
+A snapshot captures the *complete deterministic state* of a
+:class:`~repro.sim.kernel.Simulator` — clock, event heap and sequence
+counters, named RNG streams, every component registered in the world
+registry (network, platform, monitors, fault injectors …) plus anything
+reachable from a pending event callback — as one consistent deep copy.
+
+Copy-on-write boundary
+----------------------
+
+Immutable structure declared via :meth:`Simulator.share` (topologies,
+ECU/bus specs, routing graphs, schedules, offers) is **aliased**: the
+copy machinery stops at each shared object and every fork points at the
+same instance.  Everything else — mutable leaves — is copied.  Internal
+aliasing inside the mutable region is preserved (e.g. the kernel
+sanitizer's cached heap list stays the *copied* queue's heap).
+
+Mechanically, a same-process fork is a :mod:`pickle` round trip with a
+``persistent_id`` hook: shared objects serialize as persistent ids and
+deserialize back to the *original* instances, so the copy runs at
+C speed and the shared structure is never traversed at all.  The
+semantics are identical to ``copy.deepcopy`` with a memo pre-seeded
+``memo[id(obj)] = obj`` per shared object — :func:`fork_world` falls
+back to exactly that when an object defies pickling (e.g. user code
+attached something with ``__reduce__`` quirks mid-experiment).
+
+Restore semantics
+-----------------
+
+Python offers no way to rewind live objects in place, so ``restore()``
+does not mutate an existing world: it materializes a **new** simulator
+from the snapshot's pristine frozen copy.  That makes a snapshot
+reusable — restore it as many times as you like, each restore is an
+independent world — and makes ``restore()`` and ``fork()`` the same
+operation at different times.
+
+Pool hygiene: the event queue's free list is dropped on capture
+(``EventQueue.__getstate__``), so a restored world starts with an empty
+pool and can never resurrect call objects the source world is still
+recycling.
+
+Worlds that cannot fork
+-----------------------
+
+Live generator processes hold suspended Python frames, which neither
+:func:`copy.deepcopy` nor :mod:`pickle` can capture.  Components that
+participate in snapshots are therefore written in callback style (bound
+methods rescheduling themselves); :func:`check_forkable` rejects worlds
+with alive generator processes up front with a clear error naming them.
+Similarly, snapshot-reachable callbacks must be bound methods or
+:func:`functools.partial` objects — plain closures are deep-copy-atomic,
+so a closure would smuggle shared mutable cells across worlds.
+"""
+
+from __future__ import annotations
+
+import copy
+import io
+import pickle
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from ..errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .kernel import Simulator
+
+__all__ = ["SnapshotError", "check_forkable", "fork_world", "SimSnapshot"]
+
+
+class SnapshotError(SimulationError):
+    """The world cannot be captured in its current state."""
+
+
+def check_forkable(sim: "Simulator") -> None:
+    """Raise :class:`SnapshotError` if ``sim`` cannot be safely copied.
+
+    Two conditions block a capture: the simulator is inside ``run()``
+    (the world is mid-event and not at a consistent instant), or alive
+    generator processes exist (suspended frames are uncopyable).
+    """
+    if sim._running:
+        raise SnapshotError(
+            "cannot snapshot/fork while run() is executing; "
+            "capture between run() calls"
+        )
+    live: List[str] = []
+    for ref in sim._procs:
+        proc = ref()
+        if proc is not None and proc.alive and proc.gen is not None:
+            live.append(proc.name)
+    if live:
+        names = ", ".join(repr(n) for n in sorted(live))
+        raise SnapshotError(
+            f"cannot snapshot/fork a world with live generator processes "
+            f"({names}); rewrite them in callback style or let them finish"
+        )
+
+
+def _seed_memo(sim: "Simulator") -> Dict[int, object]:
+    """Pre-seed a deepcopy memo so shared structure is aliased, not copied."""
+    memo: Dict[int, object] = {}
+    for obj in sim._shared:
+        memo[id(obj)] = obj
+    return memo
+
+
+class _ForkPickler(pickle.Pickler):
+    """Pickler that emits shared objects as persistent ids."""
+
+    def __init__(self, buf: io.BytesIO, shared_ids: Dict[int, int]) -> None:
+        super().__init__(buf, protocol=pickle.HIGHEST_PROTOCOL)
+        self._shared_ids = shared_ids
+
+    def persistent_id(self, obj: object) -> Optional[int]:
+        return self._shared_ids.get(id(obj))
+
+
+class _ForkUnpickler(pickle.Unpickler):
+    """Unpickler that resolves persistent ids to the original instances."""
+
+    def __init__(self, buf: io.BytesIO, shared: List[object]) -> None:
+        super().__init__(buf)
+        self._shared = shared
+
+    def persistent_load(self, pid: int) -> object:
+        return self._shared[pid]
+
+
+def _dump_world(sim: "Simulator") -> bytes:
+    """Serialize ``sim`` with shared objects as persistent ids."""
+    buf = io.BytesIO()
+    shared_ids = {id(obj): i for i, obj in enumerate(sim._shared)}
+    _ForkPickler(buf, shared_ids).dump(sim)
+    return buf.getvalue()
+
+
+def _load_world(blob: bytes, shared: List[object]) -> "Simulator":
+    """Materialize a world from :func:`_dump_world` output, aliasing
+    persistent ids back to the *original* shared instances."""
+    return _ForkUnpickler(io.BytesIO(blob), shared).load()
+
+
+def fork_world(sim: "Simulator") -> "Simulator":
+    """Return an independent copy of ``sim`` (shared structure aliased).
+
+    The fast path is a pickle round trip (C speed) whose persistent-id
+    hook aliases every object in ``sim._shared`` instead of copying it.
+    Worlds containing something picklable-by-deepcopy-only fall back to
+    :func:`copy.deepcopy` with a pre-seeded memo — same semantics,
+    slower.
+    """
+    check_forkable(sim)
+    try:
+        return _load_world(_dump_world(sim), sim._shared)
+    except (pickle.PicklingError, TypeError, AttributeError):
+        return copy.deepcopy(sim, _seed_memo(sim))
+
+
+class SimSnapshot:
+    """A frozen, reusable copy of a simulation world.
+
+    Obtain one via :meth:`Simulator.snapshot`.  The capture serializes
+    the world **once** (shared structure reduced to persistent ids, so
+    it is neither traversed nor copied); every :meth:`restore` then only
+    pays the C-speed deserialize, so one snapshot fans out to any number
+    of independent variants at a fraction of a rebuild.  :meth:`to_bytes`
+    / :meth:`from_bytes` give a self-contained frozen form for shipping
+    a warmed-up world once per executor worker as shared context.
+
+    Worlds whose objects pickle poorly are captured via the deepcopy
+    fallback instead: the snapshot then owns a pristine world copy and
+    every restore deep-copies it — identical semantics, slower.
+    """
+
+    __slots__ = ("_blob", "_shared", "_pristine", "_now")
+
+    def __init__(
+        self,
+        blob: Optional[bytes],
+        shared: Optional[List[object]],
+        pristine: Optional["Simulator"],
+        now: float,
+    ) -> None:
+        self._blob = blob
+        self._shared = shared
+        self._pristine = pristine
+        self._now = now
+
+    @classmethod
+    def capture(cls, sim: "Simulator") -> "SimSnapshot":
+        """Snapshot ``sim`` (which keeps running, unaffected)."""
+        check_forkable(sim)
+        try:
+            blob = _dump_world(sim)
+        except (pickle.PicklingError, TypeError, AttributeError):
+            pristine = copy.deepcopy(sim, _seed_memo(sim))
+            return cls(None, None, pristine, sim.now)
+        # alias the live shared list: restores of this snapshot point at
+        # the same shared instances as the source world (the CoW boundary)
+        return cls(blob, sim._shared, None, sim.now)
+
+    def restore(self) -> "Simulator":
+        """Materialize a new independent world at the captured instant."""
+        if self._blob is not None:
+            return _load_world(self._blob, self._shared)
+        return copy.deepcopy(self._pristine, _seed_memo(self._pristine))
+
+    @property
+    def now(self) -> float:
+        """Simulated time at which the world was captured."""
+        return self._now
+
+    def to_bytes(self) -> bytes:
+        """Serialize the frozen world (for cross-process shipping).
+
+        Self-contained: the shared objects are serialized too (they
+        cannot be aliased across process boundaries); restores from the
+        shipped copy alias the receiving process's copy of them.
+        """
+        if self._blob is not None:
+            payload = ("blob", self._blob, self._shared, self._now)
+        else:
+            payload = ("world", self._pristine, None, self._now)
+        return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "SimSnapshot":
+        """Rebuild a snapshot serialized with :meth:`to_bytes`."""
+        kind, primary, shared, now = pickle.loads(data)
+        if kind == "blob":
+            return cls(primary, shared, None, now)
+        return cls(None, None, primary, now)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<SimSnapshot t={self._now:.6f}>"

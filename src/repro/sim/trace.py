@@ -91,6 +91,16 @@ class Tracer:
         self.evicted_count = 0
         self._spill_file = None
 
+    def __getstate__(self) -> dict:
+        # Snapshot support: an open spill file handle cannot be copied or
+        # pickled; the restored tracer reopens it lazily on next eviction.
+        state = self.__dict__.copy()
+        state["_spill_file"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
     def record(self, time: float, category: str, fields: Dict[str, Any]) -> None:
         """Store one entry (and notify listeners) if recording is active."""
         if not self.enabled:

@@ -10,16 +10,21 @@ from .controller import (
 from .harness import (
     BatteryResult,
     FaultInjector,
+    ForkedSilScenarioJob,
     LoopAssertions,
     LoopResult,
     ScenarioSpec,
     ScenarioVerdict,
+    SilLoop,
     XilScenarioJob,
     XilTestCase,
     XilTestSuite,
+    build_sil_loop,
+    build_sil_warm_snapshot,
     run_battery,
     run_mil,
     run_sil,
+    sil_fork_eligible,
 )
 from .plant import AccScenario, LeadVehicle, LongitudinalPlant, VehicleParameters
 from .vil import VilResult, run_vil, vil_topology
@@ -31,6 +36,7 @@ __all__ = [
     "BuggyCruiseController",
     "CruiseController",
     "FaultInjector",
+    "ForkedSilScenarioJob",
     "LeadVehicle",
     "LongitudinalPlant",
     "LoopAssertions",
@@ -38,14 +44,18 @@ __all__ = [
     "PiGains",
     "ScenarioSpec",
     "ScenarioVerdict",
+    "SilLoop",
     "VehicleParameters",
     "VilResult",
     "XilScenarioJob",
     "XilTestCase",
     "XilTestSuite",
+    "build_sil_loop",
+    "build_sil_warm_snapshot",
     "run_battery",
     "run_mil",
     "run_sil",
     "run_vil",
+    "sil_fork_eligible",
     "vil_topology",
 ]

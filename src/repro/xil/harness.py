@@ -53,12 +53,17 @@ class LoopResult:
     def settling_time(self, band: float = 0.02) -> Optional[float]:
         """First time after which speed stays within +/-band*target."""
         tolerance = band * self.target
-        for i in range(len(self.speeds)):
-            if all(
-                abs(s - self.target) <= tolerance for s in self.speeds[i:]
-            ):
-                return self.times[i]
-        return None
+        target = self.target
+        speeds = self.speeds
+        # backward scan for the last out-of-band sample: O(n) and
+        # allocation-free, where the naive forward scan re-checks (and
+        # re-slices) the suffix for every candidate index
+        for i in range(len(speeds) - 1, -1, -1):
+            if abs(speeds[i] - target) > tolerance:
+                if i + 1 < len(speeds):
+                    return self.times[i + 1]
+                return None
+        return self.times[0] if speeds else None
 
     def steady_state_error(self, tail_fraction: float = 0.2) -> float:
         n = max(1, int(len(self.speeds) * tail_fraction))
@@ -153,6 +158,132 @@ def run_mil(
     )
 
 
+class SilLoop:
+    """One SiL closed loop in snapshot-safe callback style.
+
+    The loop body lives in bound methods (not closures), so a world
+    containing a mid-run loop can be snapshotted and forked: each fork
+    gets its own plant, controller, sample lists and in-flight map.
+    Faults are consulted through ``self.faults`` at each cycle, which is
+    what lets a forked healthy warm-up world arm per-scenario faults
+    *after* the fork point.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        core: Core,
+        controller: CruiseController,
+        plant: LongitudinalPlant,
+        *,
+        duration: float,
+        control_period: float,
+        control_wcet: float,
+        core_speed: float,
+        actuation_latency: float,
+        faults: Optional[FaultInjector] = None,
+    ) -> None:
+        self.sim = sim
+        self.core = core
+        self.controller = controller
+        self.plant = plant
+        self.duration = duration
+        self.control_period = control_period
+        self.control_wcet = control_wcet
+        self.core_speed = core_speed
+        self.actuation_latency = actuation_latency
+        self.faults = faults or FaultInjector()
+        self.task = TaskSpec(
+            name="ctl", period=control_period, wcet=control_wcet
+        )
+        self.times: List[float] = []
+        self.speeds: List[float] = []
+        self.pending_u = 0.0
+        self.in_flight: Dict[int, float] = {}  # job_id -> measured speed
+        core.on_completion(self._on_done)
+
+    def start(self) -> None:
+        self.sim.post(0.0, self._control_cycle)
+
+    def _on_done(self, finished_job: Job) -> None:
+        measured = self.in_flight.pop(finished_job.job_id, None)
+        if measured is None:
+            return
+        u = self.faults.actuator(
+            self.controller.compute(measured, self.control_period)
+        )
+        self.sim.post(self.actuation_latency, self._apply_actuation, u)
+
+    def _apply_actuation(self, u: float) -> None:
+        self.pending_u = u
+
+    def _control_cycle(self) -> None:
+        # plant advanced with the last actuation value (zero-order hold)
+        self.plant.step(self.pending_u, self.control_period)
+        self.times.append(self.sim.now)
+        self.speeds.append(self.plant.speed_mps)
+        measured = self.faults.sensor(self.plant.speed_mps, self.sim.now)
+        job = Job(
+            task=self.task,
+            release_time=self.sim.now,
+            absolute_deadline=self.sim.now + self.task.effective_deadline,
+            remaining=self.control_wcet / self.core_speed,
+            job_id=self.sim.next_job_id(),
+        )
+        self.in_flight[job.job_id] = measured
+        self.core.submit(job)
+        if self.sim.now + self.control_period <= self.duration + 1e-9:
+            self.sim.post(self.control_period, self._control_cycle)
+
+    def result(self, wall_seconds: float) -> LoopResult:
+        return LoopResult(
+            times=self.times,
+            speeds=self.speeds,
+            target=self.controller.target_mps,
+            level="SiL",
+            wall_seconds=wall_seconds,
+            realtime_factor=(
+                self.duration / wall_seconds
+                if wall_seconds > 0 else float("inf")
+            ),
+        )
+
+
+def build_sil_loop(
+    controller: CruiseController,
+    plant: LongitudinalPlant,
+    *,
+    duration: float = 60.0,
+    control_period: float = 0.01,
+    control_wcet: float = 0.001,
+    core_speed: float = 1.0,
+    actuation_latency: float = 0.0005,
+    faults: Optional[FaultInjector] = None,
+    extra_load: Optional[Callable[[Simulator, Core], None]] = None,
+) -> SilLoop:
+    """Assemble (but do not run) a SiL loop on a fresh simulator."""
+    sim = Simulator()
+    core = Core(sim, "vecu", core_speed, FixedPriorityPolicy())
+    # verdicts come from the sampled speed trace, never the per-job
+    # history; bounding it keeps long warm-ups (and their snapshots)
+    # constant-size
+    core.job_history_limit = 16
+    if extra_load is not None:
+        extra_load(sim, core)
+    loop = SilLoop(
+        sim, core, controller, plant,
+        duration=duration,
+        control_period=control_period,
+        control_wcet=control_wcet,
+        core_speed=core_speed,
+        actuation_latency=actuation_latency,
+        faults=faults,
+    )
+    sim.adopt("sil", loop)
+    loop.start()
+    return loop
+
+
 def run_sil(
     controller: CruiseController,
     plant: LongitudinalPlant,
@@ -171,55 +302,20 @@ def run_sil(
     computed inside a scheduled job and applied after ``actuation_latency``
     — so scheduler preemption and latency are part of the loop.
     """
-    faults = faults or FaultInjector()
-    sim = Simulator()
-    core = Core(sim, "vecu", core_speed, FixedPriorityPolicy())
-    if extra_load is not None:
-        extra_load(sim, core)
-    task = TaskSpec(name="ctl", period=control_period, wcet=control_wcet)
-    times: List[float] = []
-    speeds: List[float] = []
-    pending_u = [0.0]
-    in_flight: dict = {}  # job_id -> measured speed
-
-    def on_done(finished_job: Job) -> None:
-        measured = in_flight.pop(finished_job.job_id, None)
-        if measured is None:
-            return
-        u = faults.actuator(controller.compute(measured, control_period))
-        sim.schedule(actuation_latency, lambda: pending_u.__setitem__(0, u))
-
-    core.on_completion(on_done)
-
-    def control_cycle() -> None:
-        # plant advanced with the last actuation value (zero-order hold)
-        plant.step(pending_u[0], control_period)
-        times.append(sim.now)
-        speeds.append(plant.speed_mps)
-        measured = faults.sensor(plant.speed_mps, sim.now)
-        job = Job(
-            task=task,
-            release_time=sim.now,
-            absolute_deadline=sim.now + task.effective_deadline,
-            remaining=control_wcet / core_speed,
-        )
-        in_flight[job.job_id] = measured
-        core.submit(job)
-        if sim.now + control_period <= duration + 1e-9:
-            sim.schedule(control_period, control_cycle)
-
-    start = wallclock.perf_counter()
-    sim.schedule(0.0, control_cycle)
-    sim.run(until=duration + 0.1)
-    wall = wallclock.perf_counter() - start
-    return LoopResult(
-        times=times,
-        speeds=speeds,
-        target=controller.target_mps,
-        level="SiL",
-        wall_seconds=wall,
-        realtime_factor=duration / wall if wall > 0 else float("inf"),
+    loop = build_sil_loop(
+        controller, plant,
+        duration=duration,
+        control_period=control_period,
+        control_wcet=control_wcet,
+        core_speed=core_speed,
+        actuation_latency=actuation_latency,
+        faults=faults,
+        extra_load=extra_load,
     )
+    start = wallclock.perf_counter()
+    loop.sim.run(until=duration + 0.1)
+    wall = wallclock.perf_counter() - start
+    return loop.result(wall)
 
 
 @dataclass
@@ -309,30 +405,44 @@ class ScenarioSpec:
     max_settling_time: Optional[float] = 60.0
     max_steady_state_error: float = 0.5
 
+    def build_faults(self) -> Optional[FaultInjector]:
+        """Materialise the spec's fault injector (``None`` = healthy)."""
+        if (self.sensor_stuck_at is None
+                and self.sensor_dropout_window is None
+                and self.actuator_stuck_at is None):
+            return None
+        faults = FaultInjector()
+        faults.sensor_stuck_at = self.sensor_stuck_at
+        faults.sensor_dropout_window = self.sensor_dropout_window
+        faults.actuator_stuck_at = self.actuator_stuck_at
+        return faults
+
+    def build_assertions(self) -> LoopAssertions:
+        return LoopAssertions(
+            max_overshoot=self.max_overshoot,
+            max_settling_time=self.max_settling_time,
+            max_steady_state_error=self.max_steady_state_error,
+        )
+
     def build_case(self) -> XilTestCase:
         """Materialise the runnable test case (in whatever process)."""
-        faults: Optional[FaultInjector] = None
-        if (self.sensor_stuck_at is not None
-                or self.sensor_dropout_window is not None
-                or self.actuator_stuck_at is not None):
-            faults = FaultInjector()
-            faults.sensor_stuck_at = self.sensor_stuck_at
-            faults.sensor_dropout_window = self.sensor_dropout_window
-            faults.actuator_stuck_at = self.actuator_stuck_at
         gains = PiGains(kp=self.kp, ki=self.ki)
         target = self.target_mps
         return XilTestCase(
             name=self.name,
             build_controller=lambda: CruiseController(target, gains),
-            assertions=LoopAssertions(
-                max_overshoot=self.max_overshoot,
-                max_settling_time=self.max_settling_time,
-                max_steady_state_error=self.max_steady_state_error,
-            ),
+            assertions=self.build_assertions(),
             level=self.level,
             duration=self.duration,
             initial_speed=self.initial_speed,
-            faults=faults,
+            faults=self.build_faults(),
+        )
+
+    def loop_key(self) -> Tuple:
+        """Scenarios with equal keys share a healthy warm-up world."""
+        return (
+            self.level, self.duration, self.target_mps,
+            self.initial_speed, self.kp, self.ki,
         )
 
 
@@ -350,6 +460,31 @@ class ScenarioVerdict:
     samples: int
 
 
+def _scenario_verdict(
+    spec: ScenarioSpec,
+    passed: bool,
+    failures: List[str],
+    result: LoopResult,
+    ctx: JobContext,
+) -> ScenarioVerdict:
+    verdicts = ctx.metrics.counter(
+        "xil.verdicts", outcome="pass" if passed else "fail"
+    )
+    verdicts.inc()
+    overshoot_hist = ctx.metrics.histogram("xil.overshoot_mps")
+    overshoot_hist.observe(result.overshoot())
+    return ScenarioVerdict(
+        name=spec.name,
+        level=result.level,
+        passed=passed,
+        failures=tuple(failures),
+        overshoot=result.overshoot(),
+        settling_time=result.settling_time(),
+        steady_state_error=result.steady_state_error(),
+        samples=len(result.speeds),
+    )
+
+
 class XilScenarioJob(SimJob):
     """Runs one :class:`ScenarioSpec` closed loop in a worker process."""
 
@@ -359,21 +494,75 @@ class XilScenarioJob(SimJob):
 
     def run(self, ctx: JobContext) -> ScenarioVerdict:
         passed, failures, result = self.spec.build_case().run()
-        verdicts = ctx.metrics.counter(
-            "xil.verdicts", outcome="pass" if passed else "fail"
-        )
-        verdicts.inc()
-        overshoot_hist = ctx.metrics.histogram("xil.overshoot_mps")
-        overshoot_hist.observe(result.overshoot())
-        return ScenarioVerdict(
-            name=self.spec.name,
-            level=result.level,
-            passed=passed,
-            failures=tuple(failures),
-            overshoot=result.overshoot(),
-            settling_time=result.settling_time(),
-            steady_state_error=result.steady_state_error(),
-            samples=len(result.speeds),
+        return _scenario_verdict(self.spec, passed, failures, result, ctx)
+
+
+#: Fork-eligible SiL scenarios warm up for this fraction of their
+#: duration before the per-scenario fault phase begins.
+SIL_WARMUP_FRACTION = 0.5
+
+
+def sil_fork_eligible(spec: ScenarioSpec, warmup: float) -> bool:
+    """Can this scenario continue from a healthy warm-up world?
+
+    True when the scenario is SiL and behaves identically to the healthy
+    loop up to ``warmup``: stuck-at faults act from t=0 (never eligible),
+    dropout windows qualify when they open strictly after the fork point.
+    """
+    if spec.level != "SiL":
+        return False
+    if spec.sensor_stuck_at is not None or spec.actuator_stuck_at is not None:
+        return False
+    window = spec.sensor_dropout_window
+    return window is None or window[0] > warmup
+
+
+def build_sil_warm_snapshot(spec: ScenarioSpec, warmup: float):
+    """Run the healthy loop for ``spec``'s config to ``warmup``, snapshot."""
+    controller = CruiseController(
+        spec.target_mps, PiGains(kp=spec.kp, ki=spec.ki)
+    )
+    plant = LongitudinalPlant(speed_mps=spec.initial_speed)
+    loop = build_sil_loop(controller, plant, duration=spec.duration)
+    loop.sim.run(until=warmup)
+    return loop.sim.snapshot()
+
+
+class ForkedSilScenarioJob(SimJob):
+    """One SiL scenario continued from a shared healthy warm-up world.
+
+    ``ctx.shared`` carries a dict of warm :class:`~repro.sim.SimSnapshot`
+    objects keyed by loop config; the job restores its config's world,
+    arms the scenario's faults on the restored loop and runs only the
+    post-warm-up half.  Results are bit-identical to the rebuild path
+    because the scenario is healthy before the fork point by
+    construction (:func:`sil_fork_eligible`).
+    """
+
+    def __init__(self, job_id: str, spec: ScenarioSpec, key: Tuple) -> None:
+        self.job_id = job_id
+        self.spec = spec
+        self.key = key
+
+    def run(self, ctx: JobContext) -> ScenarioVerdict:
+        snapshots = ctx.shared
+        snap = snapshots.get(self.key) if snapshots else None
+        if snap is None:
+            raise ConfigurationError(
+                f"forked SiL job {self.job_id} is missing its warm snapshot"
+            )
+        sim = snap.restore()
+        loop: SilLoop = sim.world["sil"]
+        faults = self.spec.build_faults()
+        if faults is not None:
+            loop.faults = faults
+        start = wallclock.perf_counter()
+        sim.run(until=loop.duration + 0.1)
+        wall = wallclock.perf_counter() - start
+        result = loop.result(wall)
+        failures = self.spec.build_assertions().check(result)
+        return _scenario_verdict(
+            self.spec, not failures, failures, result, ctx
         )
 
 
@@ -403,6 +592,8 @@ def run_battery(
     *,
     executor: Optional["ParallelExecutor"] = None,
     master_seed: Optional[int] = None,
+    fork: bool = True,
+    warmup_fraction: float = SIL_WARMUP_FRACTION,
 ) -> BatteryResult:
     """Run a scenario battery, serially or fanned out over an executor.
 
@@ -411,20 +602,47 @@ def run_battery(
     spec, so parallel verdicts equal serial ones exactly.  Pass a warm
     executor (reused across batteries) for fan-out; ``executor=None``
     runs inline through the shared serial executor.
+
+    With ``fork=True`` (the default), SiL scenarios whose faults start
+    after the warm-up point share one healthy warm-up world per loop
+    config: it is built once, snapshotted, shipped per worker, and each
+    scenario forks it and runs only the post-warm-up half.  Ineligible
+    scenarios (MiL, stuck-at faults, early dropout windows) run the
+    rebuild path unchanged, so verdicts are identical either way.
     """
     if not scenarios:
         raise ConfigurationError("battery needs at least one scenario")
     names = [s.name for s in scenarios]
     if len(set(names)) != len(names):
         raise ConfigurationError(f"duplicate scenario names in battery: {names}")
-    jobs = [XilScenarioJob(f"xil.{s.name}", s) for s in scenarios]
+    jobs: List[SimJob] = []
+    context = None
+    if fork:
+        snapshots: Dict[Tuple, object] = {}
+        for s in scenarios:
+            warmup = s.duration * warmup_fraction
+            if sil_fork_eligible(s, warmup):
+                key = s.loop_key()
+                if key not in snapshots:
+                    snapshots[key] = build_sil_warm_snapshot(s, warmup)
+                jobs.append(ForkedSilScenarioJob(f"xil.{s.name}", s, key))
+            else:
+                jobs.append(XilScenarioJob(f"xil.{s.name}", s))
+        if snapshots:
+            context = snapshots
+    else:
+        jobs = [XilScenarioJob(f"xil.{s.name}", s) for s in scenarios]
     if executor is None:
         from ..exec.pool import get_inline_executor
 
         seed = 0 if master_seed is None else master_seed
-        report = get_inline_executor().run_jobs(jobs, master_seed=seed)
+        report = get_inline_executor().run_jobs(
+            jobs, master_seed=seed, context=context
+        )
     else:
-        report = executor.run_jobs(jobs, master_seed=master_seed)
+        report = executor.run_jobs(
+            jobs, master_seed=master_seed, context=context
+        )
     failed = [r for r in report.results if not r.ok]
     if failed:
         detail = "; ".join(f"{r.job_id}: {r.error}" for r in failed[:5])

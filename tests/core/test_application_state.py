@@ -1,0 +1,63 @@
+"""Regression tests for application state hand-over isolation.
+
+``adopt_state`` used to take ``dict(snapshot)`` — a shallow copy that
+shared nested mutable values (lists, dicts) between the donor and the
+adopter.  A failed-over replica or freshly updated instance mutating its
+state then silently corrupted its donor's.  Hand-over must deep-copy.
+"""
+
+from repro.core.application import AppInstance, AppState
+from repro.model.applications import AppModel
+from repro.osal import Core, FixedPriorityPolicy
+from repro.sim import Simulator
+
+
+def make_instance(sim, name="app", instance_id=1):
+    core = Core(sim, f"core{instance_id}", 1.0, FixedPriorityPolicy())
+    return AppInstance(sim, AppModel(name=name), "node", core,
+                       instance_id=instance_id)
+
+
+class TestAdoptStateIsolation:
+    def test_nested_containers_are_not_shared(self):
+        sim = Simulator()
+        donor = make_instance(sim, instance_id=1)
+        donor.internal_state = {
+            "history": [1, 2, 3],
+            "config": {"gain": 0.5, "limits": [0.0, 1.0]},
+        }
+        adopter = make_instance(sim, instance_id=2)
+        adopter.adopt_state(donor.snapshot_state())
+
+        adopter.internal_state["history"].append(99)
+        adopter.internal_state["config"]["gain"] = 9.9
+        adopter.internal_state["config"]["limits"][0] = -5.0
+
+        assert donor.internal_state["history"] == [1, 2, 3]
+        assert donor.internal_state["config"]["gain"] == 0.5
+        assert donor.internal_state["config"]["limits"] == [0.0, 1.0]
+
+    def test_adopting_a_raw_dict_does_not_alias_it(self):
+        sim = Simulator()
+        adopter = make_instance(sim)
+        raw = {"buffer": [0] * 4}
+        adopter.adopt_state(raw)
+        adopter.internal_state["buffer"][0] = 7
+        assert raw["buffer"] == [0, 0, 0, 0]
+
+    def test_snapshot_state_is_itself_isolated(self):
+        sim = Simulator()
+        donor = make_instance(sim)
+        donor.internal_state = {"window": [1.0]}
+        snap = donor.snapshot_state()
+        donor.internal_state["window"].append(2.0)
+        assert snap == {"window": [1.0]}
+
+    def test_state_survives_lifecycle(self):
+        sim = Simulator()
+        instance = make_instance(sim)
+        instance.adopt_state({"k": {"v": 1}})
+        instance.start()
+        sim.run(until=0.01)
+        assert instance.state is AppState.RUNNING
+        assert instance.internal_state == {"k": {"v": 1}}

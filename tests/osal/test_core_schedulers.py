@@ -282,3 +282,37 @@ class TestPeriodicSource:
         assert src.miss_count() == 0
         assert src.miss_ratio(sim.now) == 0.0
         assert src.max_response_time() == pytest.approx(0.002)
+
+
+class TestHistoryTrimming:
+    """job_history_limit bounds retained jobs without losing aggregates."""
+
+    def test_core_completed_jobs_capped(self):
+        sim, core = make_core(FixedPriorityPolicy())
+        core.job_history_limit = 4
+        PeriodicSource(sim, core, det_task("a", 0.01, 0.002), horizon=0.2)
+        sim.run(until=0.25)
+        assert len(core.completed_jobs) == 4
+        # aggregates still cover the whole run, not just the window
+        assert core.busy_time == pytest.approx(20 * 0.002)
+
+    def test_source_metrics_exact_across_trim(self):
+        sim, core = make_core(FixedPriorityPolicy())
+        core.job_history_limit = 4
+        # wcet > deadline: every single job misses
+        missing = det_task("m", 0.01, 0.004, deadline=0.003)
+        src = PeriodicSource(sim, core, missing, horizon=0.2)
+        sim.run(until=0.25)
+        assert len(src.jobs) <= 5  # trimmed on release, one may be in flight
+        assert src.released == 20
+        assert src.miss_count() == 20
+        assert src.miss_ratio(sim.now) == pytest.approx(1.0)
+
+    def test_unlimited_by_default(self):
+        sim, core = make_core(FixedPriorityPolicy())
+        src = PeriodicSource(sim, core, det_task("a", 0.01, 0.002), horizon=0.2)
+        sim.run(until=0.25)
+        assert core.job_history_limit is None
+        assert len(src.jobs) == 20
+        assert len(core.completed_jobs) == 20
+        assert src.released == 20

@@ -206,3 +206,97 @@ class TestCancelledPruning:
         sim.schedule(0.0, tick, 0)
         sim.run()
         assert log == [(round(0.1 * n, 6), n) for n in range(31)]
+
+
+class TestQueueStats:
+    def test_live_len_matches_len(self):
+        queue = EventQueue()
+        handles = [queue.push(float(i), lambda: None) for i in range(6)]
+        handles[0].cancel()
+        handles[1].cancel()
+        assert queue.live_len() == len(queue) == 4
+        assert queue.stats()["cancelled_in_heap"] == len(queue._heap) - 4
+
+    def test_stats_track_compactions(self):
+        queue = EventQueue()
+        before = queue.stats()["compactions"]
+        doomed = [queue.push(1.0, lambda: None) for _ in range(50)]
+        queue.push(9.0, lambda: None)
+        for handle in doomed:
+            handle.cancel()
+        stats = queue.stats()
+        assert stats["compactions"] > before
+        assert stats["live_len"] == 1
+        # the heap only keeps dead weight below the prune threshold
+        # (cancelled * 2 <= heap_len, or heap too small to bother)
+        assert stats["heap_len"] < 10
+        assert stats["cancelled_in_heap"] == stats["heap_len"] - 1
+
+    def test_clear_uses_the_compaction_path(self):
+        queue = EventQueue()
+        for i in range(5):
+            queue.push(float(i), lambda: None)
+        before = queue.stats()["compactions"]
+        queue.clear()
+        stats = queue.stats()
+        assert stats["compactions"] == before + 1
+        assert stats["heap_len"] == stats["live_len"] == 0
+
+    def test_sanitizer_style_observer_survives_prune(self):
+        """Observers cache the heap *list object*; pruning must rebuild
+        it in place, never swap in a fresh list."""
+        queue = EventQueue()
+        observed_heap = queue._heap
+        doomed = [queue.push(1.0, lambda: None) for _ in range(32)]
+        queue.push(2.0, lambda: None)
+        for handle in doomed:
+            handle.cancel()
+        assert queue._heap is observed_heap
+        assert len(observed_heap) < 10  # pruned in place, not swapped
+
+
+class TestEventPooling:
+    def test_pooled_pushes_reuse_objects(self):
+        sim = Simulator()
+        counter = {"n": 0}
+
+        def bump():
+            counter["n"] += 1
+            if counter["n"] < 100:
+                sim.post(0.01, bump)
+
+        sim.post(0.0, bump)
+        sim.run()
+        stats = sim.queue.stats()
+        assert counter["n"] == 100
+        # steady state: one live pooled call recycled over and over
+        assert stats["pool_creations"] <= 2
+        assert stats["pool_reuses"] >= 98
+
+    def test_pooled_dispatch_order_matches_unpooled(self):
+        def drive(post):
+            sim = Simulator()
+            log = []
+            def tick(n):
+                log.append((round(sim.now, 6), n))
+                if n < 50:
+                    if post:
+                        sim.post(0.01, tick, n + 1)
+                    else:
+                        sim.schedule(0.01, tick, n + 1)
+            sim.schedule(0.0, tick, 0)
+            sim.run()
+            return log
+
+        assert drive(post=True) == drive(post=False)
+
+    def test_recycled_call_is_inert(self):
+        queue = EventQueue()
+        queue.push_pooled(1.0, lambda: None)
+        call = queue.pop()
+        queue.recycle(call)
+        assert call.callback is None and call.args == ()
+        assert not call.cancelled and not call.pooled
+        assert call._entry[3] is None  # call<->entry cycle broken
+        queue.push_pooled(2.0, lambda: 1)
+        assert queue.stats()["pool_reuses"] == 1
