@@ -1,0 +1,361 @@
+#!/usr/bin/env python
+"""Fleet-backend benchmark: sharded vehicles/s, identity, memory, halt.
+
+Measures the :mod:`repro.fleet` campaign backend end to end and writes
+``BENCH_fleet.json`` at the repo root:
+
+* **throughput** — vehicles/s at workers=1 (inline) vs. workers=N over
+  one warm pool, forking every vehicle from its variant's snapshotted
+  base world.  The committed floor is deliberately low (~25 % of the
+  measured rate) so slower CI runners gate on real regressions, not on
+  hardware; like the PR 6 exec gates, the floor is only enforced on
+  multi-core runners.
+* **identity** — the determinism matrix on a small fleet: sharded ≡
+  unsharded ≡ rebuilt, byte-compared on the merged digest JSON.
+* **scale** — the O(shards) memory bound: peak RSS after a small fleet
+  vs. after a 100x larger fleet, same process, workers=1 so every
+  vehicle world is built and dropped in-parent.  The large run is also
+  the headline ≥10^5-vehicle measurement.
+* **halt** — the staged-rollout demo: a campaign whose new version
+  carries an injected task-overrun regression must halt at the canary
+  wave and roll it back.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fleet.py           # full run
+    PYTHONPATH=src python benchmarks/bench_fleet.py --smoke   # CI-sized
+
+Pass ``--gate-fleet BENCH_fleet.json`` to gate against the committed
+report: any ``results_identical: false`` or ``halted: false`` fails the
+run unconditionally; vehicles/s below 90 % of the committed floor fails
+too, but only on multi-core runners.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import platform
+import resource
+import sys
+from time import perf_counter
+
+sys.path.insert(0, os.path.dirname(__file__))
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+from repro.exec.pool import ParallelExecutor, get_inline_executor  # noqa: E402
+from repro.fleet import (  # noqa: E402
+    FleetCampaignSpec,
+    FleetSpec,
+    build_fleet_snapshots,
+    run_fleet,
+    run_fleet_campaign,
+)
+
+
+def _spec(size: int, **kwargs) -> FleetSpec:
+    kwargs.setdefault("soak_time", 0.1)
+    return FleetSpec(name="bench", size=size, master_seed=20, **kwargs)
+
+
+def _peak_rss_kib() -> int:
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+
+# -- scale: the O(shards) memory bound + headline run --------------------
+
+
+def bench_scale(*, smoke: bool) -> dict:
+    """Peak RSS may not double while the fleet grows 100x."""
+    small_size = 50 if smoke else 1_000
+    large_size = small_size * 100
+    executor = get_inline_executor()
+
+    snapshots = build_fleet_snapshots(_spec(small_size), tags=("old",))
+    gc.collect()
+    run_fleet(_spec(small_size), executor=executor, snapshots=snapshots)
+    rss_small = _peak_rss_kib()
+
+    spec = _spec(large_size)
+    gc.collect()
+    start = perf_counter()
+    large = run_fleet(spec, executor=executor, snapshots=snapshots)
+    elapsed = perf_counter() - start
+    rss_large = _peak_rss_kib()
+
+    growth = rss_large / rss_small if rss_small else float("inf")
+    return {
+        "small_fleet": small_size,
+        "large_fleet": large_size,
+        "fleet_growth_factor": large_size // small_size,
+        "rss_after_small_kib": rss_small,
+        "rss_after_large_kib": rss_large,
+        "rss_growth": round(growth, 3),
+        "rss_bounded_2x": growth < 2.0,
+        "large_shards": large.shards,
+        "large_seconds": round(elapsed, 2),
+        "large_vehicles_per_sec": round(large_size / elapsed, 1),
+        "large_miss_ratio": round(large.digest.miss_ratio, 6),
+        "large_releases": large.digest.releases,
+    }
+
+
+# -- throughput: workers=1 vs workers=N ----------------------------------
+
+
+def bench_throughput(*, smoke: bool) -> dict:
+    size = 400 if smoke else 20_000
+    workers = min(4, os.cpu_count() or 1)
+    spec = _spec(size)
+    snapshots = build_fleet_snapshots(spec, tags=("old",))
+
+    inline = get_inline_executor()
+    gc.collect()
+    start = perf_counter()
+    serial = run_fleet(spec, executor=inline, snapshots=snapshots)
+    serial_seconds = perf_counter() - start
+
+    if workers > 1:
+        pool = ParallelExecutor(workers=workers, master_seed=0)
+        try:
+            pool.warm_up()
+            gc.collect()
+            start = perf_counter()
+            parallel = run_fleet(spec, executor=pool, snapshots=snapshots)
+            parallel_seconds = perf_counter() - start
+        finally:
+            pool.close()
+        identical = (
+            json.dumps(serial.digest_json, sort_keys=True)
+            == json.dumps(parallel.digest_json, sort_keys=True)
+        )
+    else:
+        parallel_seconds = serial_seconds
+        identical = True
+
+    rate_w1 = size / serial_seconds
+    rate_wn = size / parallel_seconds
+    cpu_count = os.cpu_count() or 1
+    return {
+        "vehicles": size,
+        "workers": workers,
+        "effective_workers": min(workers, cpu_count),
+        "w1_seconds": round(serial_seconds, 2),
+        "wn_seconds": round(parallel_seconds, 2),
+        "vehicles_per_sec_w1": round(rate_w1, 1),
+        "vehicles_per_sec_wn": round(rate_wn, 1),
+        "speedup": round(rate_wn / rate_w1, 2),
+        # floor committed at ~25% of the measured serial rate; the gate
+        # checks 90% of this, and only on multi-core runners
+        "vehicles_per_sec_floor": round(rate_w1 * 0.25, 1),
+        "speedup_gate": "enforced" if cpu_count >= 2 else "advisory",
+        "results_identical": identical,
+    }
+
+
+# -- identity: the determinism matrix ------------------------------------
+
+
+def bench_identity(*, smoke: bool) -> dict:
+    size = 24 if smoke else 60
+    spec = _spec(size, soak_time=0.05)
+    snapshots = build_fleet_snapshots(spec, tags=("old",))
+    inline = get_inline_executor()
+
+    reference = json.dumps(
+        run_fleet(spec, executor=inline, snapshots=snapshots,
+                  shard_size=size).digest_json,
+        sort_keys=True,
+    )
+    combos = []
+    for shard_size in (3, 7):
+        combos.append((
+            f"fork shard_size={shard_size}",
+            json.dumps(
+                run_fleet(spec, executor=inline, snapshots=snapshots,
+                          shard_size=shard_size).digest_json,
+                sort_keys=True,
+            ),
+        ))
+    combos.append((
+        "rebuild unsharded",
+        json.dumps(
+            run_fleet(spec, executor=inline, fork=False,
+                      shard_size=size).digest_json,
+            sort_keys=True,
+        ),
+    ))
+    pool = ParallelExecutor(workers=2, master_seed=0)
+    try:
+        combos.append((
+            "fork workers=2 shard_size=5",
+            json.dumps(
+                run_fleet(spec, executor=pool, snapshots=snapshots,
+                          shard_size=5).digest_json,
+                sort_keys=True,
+            ),
+        ))
+    finally:
+        pool.close()
+    divergent = [name for name, digest in combos if digest != reference]
+    return {
+        "vehicles": size,
+        "combinations": len(combos) + 1,
+        "divergent": divergent,
+        "results_identical": not divergent,
+    }
+
+
+# -- halt: staged rollout catches the injected regression ----------------
+
+
+def bench_halt(*, smoke: bool) -> dict:
+    size = 200 if smoke else 2_000
+    spec = FleetCampaignSpec(
+        fleet=FleetSpec(name="bench_halt", size=size, master_seed=20,
+                        soak_time=0.05, regression_overrun=30.0),
+        stages=(0.01, 0.1, 1.0),
+    )
+    result = run_fleet_campaign(spec)
+    new_waves = [w for w in result.waves if w.tag == "new"]
+    rollbacks = [w for w in result.waves if w.tag == "old"]
+    canary = new_waves[0]
+    return {
+        "fleet": size,
+        "halted": result.halted,
+        "rolled_back": result.rolled_back,
+        "vehicles_updated": result.vehicles_updated,
+        "vehicles_spared": size - (canary.stop - canary.start),
+        "canary_vehicles": canary.stop - canary.start,
+        "canary_miss_ratio": round(canary.miss_ratio, 4),
+        "rollback_miss_ratio": (
+            round(rollbacks[0].miss_ratio, 4) if rollbacks else None
+        ),
+        "halt_threshold": spec.halt_miss_ratio,
+    }
+
+
+# -- report plumbing ----------------------------------------------------
+
+
+def _environment() -> dict:
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def _write(path: str, payload: dict) -> None:
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"\nwrote {path}")
+
+
+def _load_fleet_floor(path):
+    with open(path) as fh:
+        committed = json.load(fh)
+    return committed.get("throughput", {}).get("vehicles_per_sec_floor")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small configs for CI smoke runs")
+    parser.add_argument("--out-dir", default=REPO_ROOT,
+                        help="directory for BENCH_fleet.json "
+                             "(default: repo root)")
+    parser.add_argument(
+        "--gate-fleet", metavar="PATH", default=None,
+        help="committed BENCH_fleet.json to gate against: any "
+             "results_identical=false or halted=false fails "
+             "unconditionally; vehicles/s below 90%% of the committed "
+             "floor fails too, on multi-core runners only")
+    args = parser.parse_args(argv)
+    mode = "smoke" if args.smoke else "full"
+    committed_floor = (_load_fleet_floor(args.gate_fleet)
+                       if args.gate_fleet else None)
+
+    print(f"scale / memory bound ({mode})...")
+    scale = bench_scale(smoke=args.smoke)
+    print(
+        f"  {scale['large_fleet']:,} vehicles in {scale['large_seconds']}s "
+        f"({scale['large_vehicles_per_sec']:,} vehicles/s), RSS "
+        f"{scale['rss_after_small_kib']}→{scale['rss_after_large_kib']} KiB "
+        f"({scale['rss_growth']}x for {scale['fleet_growth_factor']}x fleet)"
+    )
+
+    print(f"\nthroughput w1 vs wN ({mode})...")
+    throughput = bench_throughput(smoke=args.smoke)
+    print(
+        f"  w1 {throughput['vehicles_per_sec_w1']:,}/s, "
+        f"w{throughput['workers']} {throughput['vehicles_per_sec_wn']:,}/s "
+        f"({throughput['speedup']}x, identical="
+        f"{throughput['results_identical']})"
+    )
+
+    print(f"\nidentity matrix ({mode})...")
+    identity = bench_identity(smoke=args.smoke)
+    print(
+        f"  {identity['combinations']} combinations, identical="
+        f"{identity['results_identical']}"
+    )
+
+    print(f"\nstaged-rollout halt demo ({mode})...")
+    halt = bench_halt(smoke=args.smoke)
+    print(
+        f"  canary miss ratio {halt['canary_miss_ratio']} > "
+        f"{halt['halt_threshold']} → halted={halt['halted']}, "
+        f"{halt['vehicles_spared']:,} vehicles spared"
+    )
+
+    sections = {
+        "scale": scale,
+        "throughput": throughput,
+        "identity": identity,
+        "halt": halt,
+    }
+    vehicles_total = (
+        scale["small_fleet"] + scale["large_fleet"]
+        + throughput["vehicles"] * (2 if throughput["workers"] > 1 else 1)
+        + identity["vehicles"] * identity["combinations"]
+        + halt["fleet"]
+    )
+    _write(os.path.join(args.out_dir, "BENCH_fleet.json"), {
+        "environment": _environment(),
+        "mode": mode,
+        "vehicles_simulated_total": vehicles_total,
+        **sections,
+    })
+
+    failures = []
+    for name in ("throughput", "identity"):
+        if not sections[name]["results_identical"]:
+            failures.append(f"{name}: sharded digest diverged")
+    if not halt["halted"] or not halt["rolled_back"]:
+        failures.append("halt: injected regression did not halt the rollout")
+    if not scale["rss_bounded_2x"]:
+        failures.append(
+            f"scale: peak RSS grew {scale['rss_growth']}x while the fleet "
+            f"grew {scale['fleet_growth_factor']}x"
+        )
+    if committed_floor is not None and (os.cpu_count() or 1) >= 2:
+        measured = throughput["vehicles_per_sec_w1"]
+        if measured < committed_floor * 0.9:
+            failures.append(
+                f"vehicles/s {measured} regressed below 90% of the "
+                f"committed floor {committed_floor} "
+                f"({committed_floor * 0.9:.1f})"
+            )
+    if failures:
+        print("\nFAILED: " + "; ".join(failures))
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Fleet-scale staged rollout: sharded digests, canary halt, rollback.
+
+The OEM-backend loop from the paper's Section 3.4, at fleet scale: a
+few thousand simulated vehicles (drawn from a four-trim variant space)
+receive a staged OTA update in canary → cohort → fleet waves.  Every
+wave is sharded over the executor, each vehicle forks its variant's
+snapshotted base world, and shards reduce to constant-size mergeable
+digests — memory stays O(shards) no matter how large the fleet.
+
+Two campaigns run:
+
+1. a **healthy** update, which walks all three waves to completion;
+2. a **buggy** update (an injected task-overrun regression), which the
+   canary wave's merged digest catches — the campaign halts, rolls the
+   canary back to the old version, and the rest of the fleet never sees
+   the bad build.
+
+A third act submits more campaigns than the backend admits, showing the
+admission control that protects the shared worker pool.
+
+Run with::
+
+    PYTHONPATH=src python examples/fleet_rollout.py
+"""
+
+import json
+
+from repro.fleet import (
+    CampaignAdmission,
+    FleetCampaignSpec,
+    FleetService,
+    FleetSpec,
+    run_fleet_campaign,
+)
+
+FLEET_SIZE = 2_000
+
+
+def show_waves(result):
+    for wave in result.waves:
+        label = "rollback" if wave.tag == "old" else f"wave {wave.wave}"
+        print(
+            f"  {label:<9} vehicles [{wave.start:>5}, {wave.stop:>5})  "
+            f"miss ratio {wave.miss_ratio:.4f}"
+            f"{'  ← HALT' if wave.halted else ''}"
+        )
+
+
+def main() -> None:
+    print(f"=== healthy rollout over {FLEET_SIZE} vehicles ===")
+    healthy = FleetCampaignSpec(
+        fleet=FleetSpec(size=FLEET_SIZE, master_seed=7, soak_time=0.05),
+        stages=(0.01, 0.1, 1.0),
+        halt_miss_ratio=0.05,
+    )
+    result = run_fleet_campaign(healthy)
+    show_waves(result)
+    print(
+        f"  halted={result.halted}  "
+        f"updated={result.vehicles_updated}/{FLEET_SIZE}"
+    )
+    digest = result.campaign_digest
+    print(
+        f"  campaign digest: {digest['releases']} releases, "
+        f"miss ratio {digest['miss_ratio']:.4f}, "
+        f"response p95 {digest['response']['p95'] * 1e3:.2f} ms"
+    )
+    print(f"  variants: {json.dumps(digest['variants'])}")
+    print(f"  worst vehicles: {digest['worst'][:3]}")
+
+    print("\n=== buggy rollout (injected overrun regression) ===")
+    buggy = FleetCampaignSpec(
+        fleet=FleetSpec(size=FLEET_SIZE, master_seed=7, soak_time=0.05,
+                        regression_overrun=30.0),
+        stages=(0.01, 0.1, 1.0),
+        halt_miss_ratio=0.05,
+    )
+    result = run_fleet_campaign(buggy)
+    show_waves(result)
+    canary = result.waves[0]
+    spared = FLEET_SIZE - (canary.stop - canary.start)
+    print(
+        f"  halted={result.halted} rolled_back={result.rolled_back} — "
+        f"{spared} vehicles never saw the bad build"
+    )
+
+    print("\n=== admission control over the shared pool ===")
+    service = FleetService(
+        admission=CampaignAdmission(max_active=1, max_queued=1)
+    )
+    small = FleetCampaignSpec(
+        fleet=FleetSpec(size=40, master_seed=1, soak_time=0.02,
+                        spike_probability=0.0),
+        stages=(0.1, 1.0),
+    )
+    for _ in range(3):
+        ticket, state = service.submit(small)
+        print(f"  {ticket}: {state}")
+    done = service.run_until_idle()
+    print(f"  completed: {sorted(done)} "
+          f"(rejected {service.admission.rejected})")
+
+
+if __name__ == "__main__":
+    main()

@@ -18,6 +18,7 @@ from .campaign import (
     SweepResult,
     Vehicle,
     WaveResult,
+    plan_waves,
     sweep_campaigns,
 )
 from .bus_admission import (
@@ -90,6 +91,7 @@ __all__ = [
     "WaveResult",
     "admit_communication",
     "offered_load_of",
+    "plan_waves",
     "sweep_campaigns",
     "ComputeSite",
     "DIAGNOSIS_SERVICE_ID",

@@ -124,6 +124,65 @@ class Fleet:
         }
 
 
+def plan_waves(
+    total: int,
+    *,
+    wave_size: Optional[int] = None,
+    stages: Optional[Tuple[float, ...]] = None,
+) -> List[Tuple[int, int]]:
+    """Partition ``total`` vehicles into rollout waves of ``(start, stop)``.
+
+    Two strategies, exactly one of which must be given:
+
+    * ``wave_size`` — fixed-size waves, the classic
+      :class:`CampaignManager` partition (e.g. 5 vehicles at size 2
+      → ``[(0, 2), (2, 4), (4, 5)]``);
+    * ``stages`` — staged fractions of the fleet, the canary → cohort →
+      fleet shape OTA campaigns use (e.g. ``(0.01, 0.1, 1.0)``).  Each
+      stage's cumulative population is ``ceil(total * fraction)``,
+      clamped so every wave grows by at least one vehicle; trailing
+      stages that add nobody are dropped.
+
+    The plan is a pure function of its arguments — shard- and
+    worker-count independent, like :func:`repro.exec.plan_shards`.
+    """
+    if (wave_size is None) == (stages is None):
+        raise UpdateError("plan_waves needs exactly one of wave_size/stages")
+    if total <= 0:
+        return []
+    if wave_size is not None:
+        if wave_size < 1:
+            raise UpdateError("wave size must be >= 1")
+        return [
+            (start, min(start + wave_size, total))
+            for start in range(0, total, wave_size)
+        ]
+    waves: List[Tuple[int, int]] = []
+    position = 0
+    for fraction in stages:
+        if not 0.0 < fraction <= 1.0:
+            raise UpdateError(
+                f"stage fractions must be in (0, 1], got {fraction}"
+            )
+        stop = min(total, max(position + 1, _ceil_frac(total, fraction)))
+        if stop <= position:
+            continue
+        waves.append((position, stop))
+        position = stop
+        if position >= total:
+            break
+    if position < total:
+        waves.append((position, total))
+    return waves
+
+
+def _ceil_frac(total: int, fraction: float) -> int:
+    """``ceil(total * fraction)`` without float-boundary surprises."""
+    exact = total * fraction
+    rounded = int(exact)
+    return rounded if rounded == exact else rounded + 1
+
+
 @dataclass
 class WaveResult:
     """Outcome of one rollout wave."""
@@ -188,11 +247,19 @@ class CampaignManager:
         result = CampaignResult(app=new_app.name, target_version=new_app.version)
         vehicles = list(self.fleet.vehicles)
         wave_index = 0
-        position = 0
-        while position < len(vehicles):
-            wave = vehicles[position:position + self.wave_size]
+        for start, stop in plan_waves(
+            len(vehicles), wave_size=self.wave_size
+        ):
+            wave = vehicles[start:stop]
             wave_index += 1
             baseline = {v.index: v.fault_count() for v in wave}
+            # capture each vehicle's *own* running model before touching
+            # it: a mixed-version fleet (prior partial rollout) must roll
+            # back to what each vehicle actually ran, not a shared old_app
+            prior_models = {
+                vehicle.index: self._running_model(vehicle, old_app)
+                for vehicle in wave
+            }
             updated = 0
             for vehicle in wave:
                 package = build_package(new_app, self.fleet.store, self.key_id)
@@ -219,22 +286,30 @@ class CampaignManager:
             ))
             if wave and regressions / len(wave) >= self.abort_regression_ratio:
                 result.aborted = True
-                self._rollback_wave(wave, old_app)
+                self._rollback_wave(wave, prior_models)
                 result.rolled_back = True
                 break
-            position += self.wave_size
         self.results.append(result)
         return result
 
-    def _rollback_wave(self, wave: List[Vehicle], old_app: AppModel) -> None:
-        """Staged-update the wave's vehicles back to the previous version."""
+    @staticmethod
+    def _running_model(vehicle: Vehicle, fallback: AppModel) -> AppModel:
+        """The app model this vehicle currently runs (fallback if none)."""
+        instances = vehicle.platform.running_instances(fallback.name)
+        return instances[0].model if instances else fallback
+
+    def _rollback_wave(
+        self, wave: List[Vehicle], prior_models: Dict[int, AppModel]
+    ) -> None:
+        """Staged-update each vehicle back to *its own* prior version."""
         sim = self.fleet.sim
         for vehicle in wave:
-            package = build_package(old_app, self.fleet.store, self.key_id)
+            prior = prior_models[vehicle.index]
+            package = build_package(prior, self.fleet.store, self.key_id)
             orchestrator = UpdateOrchestrator(vehicle.platform)
             try:
                 orchestrator.staged_update(
-                    old_app.name, vehicle.node_name, package
+                    prior.name, vehicle.node_name, package
                 )
             except UpdateError:
                 continue  # the app died entirely; nothing to roll back

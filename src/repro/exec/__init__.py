@@ -26,9 +26,15 @@ from .jobs import (
     JobContext,
     JobResult,
     SimJob,
+    derive_item_seed,
     derive_job_seed,
 )
-from .pool import ParallelExecutor, get_inline_executor, warm_executor
+from .pool import (
+    ParallelExecutor,
+    get_inline_executor,
+    plan_shards,
+    warm_executor,
+)
 
 __all__ = [
     "BatchReport",
@@ -37,7 +43,9 @@ __all__ = [
     "JobResult",
     "ParallelExecutor",
     "SimJob",
+    "derive_item_seed",
     "derive_job_seed",
     "get_inline_executor",
+    "plan_shards",
     "warm_executor",
 ]

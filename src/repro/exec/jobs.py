@@ -35,6 +35,20 @@ def derive_job_seed(master_seed: int, job_id: str) -> int:
     return _derive_seed(master_seed, f"exec.job:{job_id}")
 
 
+def derive_item_seed(master_seed: int, namespace: str, index: int) -> int:
+    """Stable 64-bit seed for item ``index`` of a sharded collection.
+
+    Sharded fan-out sites (the fleet backend) must give every item — a
+    vehicle, a scenario — a seed that depends only on the master seed and
+    the item's own index, **never** on which shard or worker the item
+    landed in.  That is what makes outcomes byte-identical across any
+    shard count × worker count combination.  ``namespace`` keeps
+    different collections (e.g. two campaigns in one process) from
+    colliding.
+    """
+    return _derive_seed(master_seed, f"exec.item:{namespace}:{index}")
+
+
 @dataclass
 class JobContext:
     """Everything the framework hands a job at run time."""

@@ -647,12 +647,46 @@ class ParallelExecutor:
             return 0
         return max(1, min(self.workers, n_items))
 
+    def plan_shards(
+        self, n_items: int, *, shard_size: Optional[int] = None
+    ) -> List[Tuple[int, int]]:
+        """Split ``n_items`` into contiguous ``(start, stop)`` shards.
+
+        Default shard size aims at a few shards per worker so the cost
+        model can still balance load, without shrinking shards so far
+        that per-shard overhead (one snapshot restore, one merged
+        summary) dominates.  The partition depends only on ``n_items``
+        and ``shard_size`` — never on worker count — so per-item seeds
+        derived from global indices keep results shard-layout-proof.
+        """
+        if n_items <= 0:
+            return []
+        if shard_size is None:
+            shard_size = max(1, -(-n_items // max(1, self.workers * 4)))
+        return plan_shards(n_items, shard_size)
+
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (
             f"<ParallelExecutor workers={self.workers} "
             f"seed={self.master_seed} retries={self.retries} "
             f"warm={len(self._handles)}>"
         )
+
+
+def plan_shards(n_items: int, shard_size: int) -> List[Tuple[int, int]]:
+    """Partition ``range(n_items)`` into contiguous ``(start, stop)`` runs.
+
+    Every shard except possibly the last holds exactly ``shard_size``
+    items.  The layout is a pure function of its arguments, so two runs
+    that agree on ``n_items`` and ``shard_size`` agree on every shard
+    boundary regardless of executor configuration.
+    """
+    if shard_size <= 0:
+        raise ValueError(f"shard_size must be positive, got {shard_size}")
+    return [
+        (start, min(start + shard_size, n_items))
+        for start in range(0, max(0, n_items), shard_size)
+    ]
 
 
 # -- shared executors ----------------------------------------------------

@@ -23,7 +23,7 @@ from .campaign import (
     run_fault_campaign,
 )
 from .injector import FaultInjector, TimelineEvent
-from .report import ResilienceReport, build_resilience_report
+from .report import ResilienceDigest, ResilienceReport, build_resilience_report
 from .spec import (
     FAULT_KINDS,
     FRAME_KINDS,
@@ -58,6 +58,7 @@ __all__ = [
     "KIND_FRAME_DROP",
     "KIND_TASK_JITTER",
     "KIND_TASK_OVERRUN",
+    "ResilienceDigest",
     "ResilienceReport",
     "TASK_KINDS",
     "TimelineEvent",

@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
+from ..obs.metrics import accumulate_exact, exact_total
+
 
 @dataclass
 class ResilienceReport:
@@ -101,6 +103,102 @@ class ResilienceReport:
         for time, mode, action in self.degradation_events:
             lines.append(f"    t={time:.4f}s {action} {mode}")
         return "\n".join(lines)
+
+
+@dataclass
+class ResilienceDigest:
+    """Constant-size, mergeable reduction of many resilience reports.
+
+    A :class:`ResilienceReport` keeps per-failover interruption lists and
+    degradation event logs — O(events) state that a fleet-scale campaign
+    cannot afford per vehicle.  The digest keeps only additive counters
+    plus an error-free interruption sum (Shewchuk partials, the same
+    machinery as :class:`repro.obs.metrics.Histogram`), so merging shard
+    digests in any order or grouping yields byte-identical campaign
+    digests.
+    """
+
+    reports: int = 0
+    faults_declared: int = 0
+    timeline_events: int = 0
+    activations: Dict[str, int] = field(default_factory=dict)
+    failovers: int = 0
+    interruption_count: int = 0
+    worst_interruption: float = 0.0
+    breakers_opened: int = 0
+    degradation_entries: int = 0
+    degradation_exits: int = 0
+    _interruption_partials: List[float] = field(default_factory=list)
+
+    @classmethod
+    def from_report(cls, report: ResilienceReport) -> "ResilienceDigest":
+        digest = cls(
+            reports=1,
+            faults_declared=report.faults_declared,
+            timeline_events=report.timeline_events,
+            activations=dict(report.activations),
+            failovers=report.failovers,
+            interruption_count=len(report.interruptions),
+            worst_interruption=report.worst_interruption,
+            breakers_opened=report.breakers_opened,
+            degradation_entries=report.degradation_entries,
+            degradation_exits=report.degradation_exits,
+        )
+        for value in report.interruptions:
+            accumulate_exact(digest._interruption_partials, value)
+        return digest
+
+    @property
+    def interruption_sum(self) -> float:
+        """Correctly rounded total interruption time (exact under merge)."""
+        return exact_total(self._interruption_partials)
+
+    @property
+    def mean_interruption(self) -> float:
+        if not self.interruption_count:
+            return 0.0
+        return self.interruption_sum / self.interruption_count
+
+    def merge(self, other: "ResilienceDigest") -> None:
+        """Fold ``other`` into this digest; commutative and exact."""
+        self.reports += other.reports
+        self.faults_declared += other.faults_declared
+        self.timeline_events += other.timeline_events
+        for kind in sorted(other.activations):
+            self.activations[kind] = (
+                self.activations.get(kind, 0) + other.activations[kind]
+            )
+        self.failovers += other.failovers
+        self.interruption_count += other.interruption_count
+        self.worst_interruption = max(
+            self.worst_interruption, other.worst_interruption
+        )
+        self.breakers_opened += other.breakers_opened
+        self.degradation_entries += other.degradation_entries
+        self.degradation_exits += other.degradation_exits
+        for value in other._interruption_partials:
+            accumulate_exact(self._interruption_partials, value)
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-serialisable form with deterministic key order."""
+        return {
+            "reports": self.reports,
+            "faults_declared": self.faults_declared,
+            "timeline_events": self.timeline_events,
+            "activations": dict(sorted(self.activations.items())),
+            "failovers": self.failovers,
+            "interruptions": {
+                "count": self.interruption_count,
+                "sum": self.interruption_sum,
+                "mean": self.mean_interruption,
+                "worst": self.worst_interruption,
+            },
+            "breakers_opened": self.breakers_opened,
+            "degradation": {
+                "entries": self.degradation_entries,
+                "exits": self.degradation_exits,
+            },
+        }
 
 
 def build_resilience_report(

@@ -1,0 +1,211 @@
+"""Constant-size mergeable summaries for fleet-scale aggregation.
+
+A campaign over 10^5–10^6 vehicles cannot keep per-vehicle results: every
+shard reduces its vehicles into a :class:`FleetDigest` — a fixed set of
+counters, error-free sums (:func:`repro.obs.metrics.accumulate_exact`),
+streaming histograms and a bounded top-K of worst offenders — and digests
+merge shard → wave → campaign.  Campaign memory is O(shards), never
+O(vehicles), and because every reduction is exact and commutative the
+merged digest is byte-identical for any shard layout, worker count or
+fork/rebuild path.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..faults.report import ResilienceDigest, ResilienceReport
+from ..obs.metrics import Histogram, accumulate_exact, exact_total
+
+
+@dataclass
+class StatSummary:
+    """Streaming count/min/max/sum with an error-free sum.
+
+    The sum is kept as Shewchuk partials, so folding values in any
+    grouping (per vehicle, per shard, per wave) yields the same
+    correctly rounded total — the property the determinism matrix
+    (shards × workers × fork) relies on.
+    """
+
+    count: int = 0
+    min: float = math.inf
+    max: float = -math.inf
+    _partials: List[float] = field(default_factory=list)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        accumulate_exact(self._partials, value)
+
+    @property
+    def sum(self) -> float:
+        return exact_total(self._partials)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def merge(self, other: "StatSummary") -> None:
+        self.count += other.count
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        for value in other._partials:
+            accumulate_exact(self._partials, value)
+
+    def to_json(self) -> Dict[str, float]:
+        if not self.count:
+            return {"count": 0, "min": 0.0, "max": 0.0, "sum": 0.0,
+                    "mean": 0.0}
+        return {
+            "count": self.count,
+            "min": self.min,
+            "max": self.max,
+            "sum": self.sum,
+            "mean": self.mean,
+        }
+
+
+@dataclass
+class TopK:
+    """Bounded worst-offender list; exact under disjoint-key merge.
+
+    Entries are ``(score, key)`` kept sorted worst-first with ties broken
+    by ascending key, so the retained set is a pure function of the
+    entries offered.  Because any global top-k element is necessarily in
+    its own shard's top-k, merging per-shard TopKs loses nothing.
+    """
+
+    k: int = 8
+    entries: List[Tuple[float, int]] = field(default_factory=list)
+
+    def add(self, key: int, score: float) -> None:
+        self.entries.append((score, key))
+        self._trim()
+
+    def merge(self, other: "TopK") -> None:
+        self.entries.extend(other.entries)
+        self._trim()
+
+    def _trim(self) -> None:
+        self.entries.sort(key=lambda entry: (-entry[0], entry[1]))
+        del self.entries[self.k:]
+
+    def to_json(self) -> List[Dict[str, float]]:
+        return [
+            {"vehicle": key, "score": score} for score, key in self.entries
+        ]
+
+
+def _response_histogram() -> Histogram:
+    """Label-free response-time histogram for cross-vehicle merging."""
+    return Histogram("fleet.response", (), True)
+
+
+@dataclass
+class FleetDigest:
+    """Mergeable reduction of many per-vehicle simulation outcomes.
+
+    Everything in here is constant-size: scalar counters, a per-variant
+    count map bounded by the variant table, one streaming histogram, one
+    :class:`StatSummary`, one bounded :class:`TopK` and one
+    :class:`~repro.faults.report.ResilienceDigest`.
+    """
+
+    vehicles: int = 0
+    releases: int = 0
+    deadline_misses: int = 0
+    variant_counts: Dict[int, int] = field(default_factory=dict)
+    #: distribution of per-vehicle miss ratios
+    miss_ratio_stats: StatSummary = field(default_factory=StatSummary)
+    #: all task response times across the fleet
+    response: Histogram = field(default_factory=_response_histogram)
+    #: worst vehicles by deadline-miss count
+    worst: TopK = field(default_factory=TopK)
+    resilience: ResilienceDigest = field(default_factory=ResilienceDigest)
+
+    def observe_vehicle(
+        self,
+        index: int,
+        variant_id: int,
+        releases: int,
+        misses: int,
+        response_histograms: Tuple[Histogram, ...] = (),
+        report: Optional[ResilienceReport] = None,
+    ) -> None:
+        """Fold one simulated vehicle's outcome into the digest."""
+        self.vehicles += 1
+        self.releases += releases
+        self.deadline_misses += misses
+        self.variant_counts[variant_id] = (
+            self.variant_counts.get(variant_id, 0) + 1
+        )
+        self.miss_ratio_stats.observe(misses / releases if releases else 0.0)
+        for histogram in response_histograms:
+            self.response.merge(histogram)
+        if misses:
+            self.worst.add(index, float(misses))
+        if report is not None:
+            self.resilience.merge(ResilienceDigest.from_report(report))
+
+    @property
+    def miss_ratio(self) -> float:
+        return self.deadline_misses / self.releases if self.releases else 0.0
+
+    def merge(self, other: "FleetDigest") -> None:
+        """Fold another digest in; commutative, exact, constant-size."""
+        self.vehicles += other.vehicles
+        self.releases += other.releases
+        self.deadline_misses += other.deadline_misses
+        for variant_id in sorted(other.variant_counts):
+            self.variant_counts[variant_id] = (
+                self.variant_counts.get(variant_id, 0)
+                + other.variant_counts[variant_id]
+            )
+        self.miss_ratio_stats.merge(other.miss_ratio_stats)
+        self.response.merge(other.response)
+        self.worst.merge(other.worst)
+        self.resilience.merge(other.resilience)
+
+    def to_json(self) -> Dict[str, object]:
+        """Deterministic JSON form; byte-identical for any merge order."""
+        response: Dict[str, object] = {"count": self.response.count}
+        if self.response.count:
+            response.update(
+                min=self.response.min,
+                max=self.response.max,
+                sum=self.response.sum,
+                mean=self.response.sum / self.response.count,
+                p50=self.response.quantile(0.5),
+                p95=self.response.quantile(0.95),
+                p99=self.response.quantile(0.99),
+            )
+        return {
+            "vehicles": self.vehicles,
+            "releases": self.releases,
+            "deadline_misses": self.deadline_misses,
+            "miss_ratio": self.miss_ratio,
+            "variants": {
+                str(k): self.variant_counts[k]
+                for k in sorted(self.variant_counts)
+            },
+            "miss_ratio_stats": self.miss_ratio_stats.to_json(),
+            "response": response,
+            "worst": self.worst.to_json(),
+            "resilience": self.resilience.to_json(),
+        }
+
+
+def merge_digests(digests: List[FleetDigest]) -> FleetDigest:
+    """Reduce a list of digests into one (order-independent result)."""
+    merged = FleetDigest()
+    for digest in digests:
+        merged.merge(digest)
+    return merged

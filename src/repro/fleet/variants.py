@@ -1,0 +1,101 @@
+"""Deterministic vehicle variants drawn from the DSE-style variant space.
+
+A fleet is never homogeneous: vehicles ship with different ECU trims.
+Each vehicle's variant is derived from the campaign seed and the
+vehicle's **global** index alone (never its shard), so any shard layout
+sees the same fleet.  Per variant there is one canonical base world —
+built RNG-free, snapshotted once, forked per vehicle — mirroring the
+fork-site pattern of :mod:`repro.core.campaign`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..core.platform import DynamicPlatform
+from ..hw.ecu import CryptoCapability, OsClass
+from ..hw.topology import BusSpec, EcuSpec, Topology
+from ..model.applications import AppModel
+from ..obs.metrics import MetricsRegistry
+from ..security.crypto import TrustStore
+from ..security.package import build_package
+from ..sim import Simulator
+from ..sim.rng import _derive_seed
+
+
+@dataclass(frozen=True)
+class VehicleVariant:
+    """One ECU trim level in the fleet's variant space."""
+
+    variant_id: int
+    name: str
+    cpu_mhz: float
+    cores: int = 1
+
+
+#: Default trim levels.  ``cpu_mhz`` scales task execution times through
+#: :attr:`repro.hw.topology.EcuSpec.speed_factor`, so the same app model
+#: produces visibly different response-time distributions per variant.
+VARIANT_TABLE: Tuple[VehicleVariant, ...] = (
+    VehicleVariant(0, "economy", 400.0),
+    VehicleVariant(1, "standard", 600.0),
+    VehicleVariant(2, "premium", 800.0),
+    VehicleVariant(3, "performance", 1000.0),
+)
+
+
+def variant_of(
+    seed: int,
+    index: int,
+    table: Tuple[VehicleVariant, ...] = VARIANT_TABLE,
+) -> VehicleVariant:
+    """The variant vehicle ``index`` ships with, under ``seed``.
+
+    Derived from the campaign seed and global vehicle index via the same
+    SHA-256 scheme as :func:`repro.exec.derive_item_seed` — shard- and
+    worker-independent by construction.
+    """
+    return table[_derive_seed(seed, f"fleet.variant:{index}") % len(table)]
+
+
+def vehicle_topology(variant: VehicleVariant) -> Topology:
+    """Minimal single-ECU vehicle topology for one variant."""
+    topo = Topology(f"fleet_vehicle_{variant.name}")
+    topo.add_bus(BusSpec("veth", "ethernet", 1e9, tsn_capable=True))
+    topo.add_ecu(EcuSpec(
+        "vecu", cpu_mhz=variant.cpu_mhz, cores=variant.cores,
+        memory_kib=1 << 18, flash_kib=1 << 20, has_mmu=True,
+        os_class=OsClass.POSIX_RT, crypto=CryptoCapability.ACCELERATED,
+        ports=(("eth0", "ethernet"),),
+    ))
+    topo.attach("vecu", "eth0", "veth")
+    return topo
+
+
+def build_vehicle_world(variant: VehicleVariant, app: AppModel) -> Simulator:
+    """Build one deployed, started, *not yet run* vehicle world.
+
+    RNG-free and deterministic: the fork path (restore this world's
+    snapshot) and the rebuild path (call this again) yield byte-identical
+    simulators.  The app is installed and started but the world is
+    snapshotted before any task activation, so every release, response
+    time and deadline miss observed later is attributable to the
+    per-vehicle soak — no base-run baseline to subtract.
+    """
+    sim = Simulator(metrics=MetricsRegistry())
+    store = TrustStore()
+    store.generate_key("oem")
+    platform = DynamicPlatform(sim, vehicle_topology(variant),
+                               trust_store=store)
+    platform.install(build_package(app, store, "oem"), "vecu")
+    sim.run(until=sim.now + 1.0)
+    platform.start_app(app.name, "vecu")
+    # fleet digests read exact aggregate counters, not per-job history;
+    # bound the history so snapshots stay small at any soak length
+    for node in platform.nodes.values():
+        for core in node.cores:
+            core.job_history_limit = 16
+    base: Dict[str, object] = {"platform": platform, "app": app}
+    sim.adopt("fleet_vehicle", base)
+    return sim

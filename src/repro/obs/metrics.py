@@ -26,6 +26,42 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 LabelKey = Tuple[Tuple[str, str], ...]
 
 
+def accumulate_exact(partials: List[float], value: float) -> None:
+    """Fold ``value`` into a Shewchuk partials list, without rounding error.
+
+    ``partials`` holds a set of non-overlapping floats whose exact
+    (real-number) sum is the exact sum of every value accumulated so far
+    — the same error-free transformation :func:`math.fsum` uses
+    internally.  Because each step is exact, the represented total is
+    independent of accumulation order *and grouping*: folding a million
+    observations one by one, or folding per-shard partial sums shard by
+    shard, represents the identical real number, and
+    :func:`exact_total` rounds it to the identical float.  That is what
+    makes sharded metric aggregation byte-identical to an unsharded run.
+
+    The list stays tiny in practice (one to three partials for
+    same-magnitude observations), so the cost over ``+=`` is a short
+    loop, not a data structure.
+    """
+    i = 0
+    for y in partials:
+        if abs(value) < abs(y):
+            value, y = y, value
+        high = value + y
+        low = y - (high - value)
+        if low:
+            partials[i] = low
+            i += 1
+        value = high
+    del partials[i:]
+    partials.append(value)
+
+
+def exact_total(partials: List[float]) -> float:
+    """Correctly rounded float value of a partials list."""
+    return math.fsum(partials)
+
+
 def _label_key(labels: Dict[str, Any]) -> LabelKey:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
@@ -118,8 +154,8 @@ class Histogram(Instrument):
     """
 
     kind = "histogram"
-    __slots__ = ("count", "sum", "min", "max", "growth", "_log_growth",
-                 "_buckets", "_zero_count")
+    __slots__ = ("count", "min", "max", "growth", "_log_growth",
+                 "_buckets", "_zero_count", "_partials")
 
     def __init__(
         self, name: str, labels: LabelKey, enabled: bool, growth: float = 1.1
@@ -128,19 +164,22 @@ class Histogram(Instrument):
         if growth <= 1.0:
             raise ValueError(f"histogram growth must exceed 1.0, got {growth}")
         self.count = 0
-        self.sum = 0.0
         self.min = math.inf
         self.max = -math.inf
         self.growth = growth
         self._log_growth = math.log(growth)
         self._buckets: Dict[int, int] = {}
         self._zero_count = 0
+        # the running sum is kept exactly (Shewchuk partials), so merging
+        # histograms is error-free and grouping-independent: any shard
+        # split of the observation stream reports the same total
+        self._partials: List[float] = []
 
     def observe(self, value: float) -> None:
         if not self._enabled:
             return
         self.count += 1
-        self.sum += value
+        accumulate_exact(self._partials, value)
         if value < self.min:
             self.min = value
         if value > self.max:
@@ -150,6 +189,39 @@ class Histogram(Instrument):
             return
         index = math.ceil(math.log(value) / self._log_growth)
         self._buckets[index] = self._buckets.get(index, 0) + 1
+
+    @property
+    def sum(self) -> float:
+        """Correctly rounded sum of every observation (exact under merge)."""
+        return exact_total(self._partials)
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram into this one, exactly.
+
+        Commutative and associative: ``A.merge(B)`` equals ``B.merge(A)``
+        field for field, and merging per-shard histograms reproduces the
+        unsharded histogram byte for byte — counts and buckets are
+        integers, min/max are order-free, and the sum is accumulated
+        without rounding error.  Growth factors must match, otherwise the
+        bucket indices describe different geometries.
+        """
+        if other.growth != self.growth:
+            raise ValueError(
+                f"cannot merge histograms with different growth factors "
+                f"({self.growth} vs {other.growth})"
+            )
+        if other.count == 0:
+            return
+        self.count += other.count
+        for partial in other._partials:
+            accumulate_exact(self._partials, partial)
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        self._zero_count += other._zero_count
+        for index, bucket_count in other._buckets.items():
+            self._buckets[index] = self._buckets.get(index, 0) + bucket_count
 
     @property
     def mean(self) -> float:
@@ -247,36 +319,52 @@ class MetricsRegistry:
     # -- merging ---------------------------------------------------------
 
     def absorb(self, other: "MetricsRegistry") -> None:
-        """Fold another registry's instruments into this one.
+        """Fold another registry's instruments into this one (sequential).
 
-        Counters add, gauges adopt the other registry's latest value,
-        histograms merge their bucket counts exactly.  Used by forked
-        simulation jobs to fold a restored world's own registry into the
-        job context registry, so digests match the rebuild path (where
-        the world counts straight into the job registry).
+        Counters add and histograms merge exactly (see
+        :meth:`Histogram.merge`); gauges adopt the other registry's
+        latest value — the *absorbed* registry is treated as the newer
+        state, which is what forked simulation jobs want when folding a
+        restored world's registry into the job context registry.  For an
+        order-independent fold (shard aggregation), use :meth:`merge`.
         """
+        self._combine(other, gauge_rule="adopt")
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one, commutatively.
+
+        The shard-aggregation merge: counters add, histograms merge
+        exactly (integer counts, order-free min/max, error-free sums —
+        :meth:`Histogram.merge`), and gauges keep the **maximum** (a
+        merged report answers "how high did it get anywhere?", the same
+        rule :func:`repro.obs.report.merge_digests` applies).  Merging
+        shard A then B therefore equals B then A, and equals the registry
+        an unsharded run would have produced, snapshot-byte for
+        snapshot-byte.
+        """
+        self._combine(other, gauge_rule="max")
+
+    def _combine(self, other: "MetricsRegistry", *, gauge_rule: str) -> None:
         for (kind, name, labels), theirs in other._instruments.items():
             if kind == "counter":
                 mine = self._get_or_create(kind, Counter, name, dict(labels))
                 mine.value += theirs.value
             elif kind == "gauge":
+                # A gauge this registry never set must adopt the incoming
+                # value outright: folding into the default 0.0 via max()
+                # would invent a phantom zero level (wrong whenever every
+                # real observation was negative).
+                known = (kind, name, labels) in self._instruments
                 mine = self._get_or_create(kind, Gauge, name, dict(labels))
-                mine.value = theirs.value
+                if gauge_rule == "adopt" or not known:
+                    mine.value = theirs.value
+                else:
+                    mine.value = max(mine.value, theirs.value)
             else:
                 mine = self.histogram(
                     name, growth=theirs.growth, **dict(labels)
                 )
-                if theirs.count == 0:
-                    continue
-                mine.count += theirs.count
-                mine.sum += theirs.sum
-                mine.min = min(mine.min, theirs.min)
-                mine.max = max(mine.max, theirs.max)
-                mine._zero_count += theirs._zero_count
-                for index, bucket_count in theirs._buckets.items():
-                    mine._buckets[index] = (
-                        mine._buckets.get(index, 0) + bucket_count
-                    )
+                mine.merge(theirs)
 
     # -- inspection ------------------------------------------------------
 

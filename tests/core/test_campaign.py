@@ -104,6 +104,38 @@ class TestRollout:
         sim.run(until=sim.now + 1.0)  # uplink latency
         assert any(v.backend.received for v in fleet.vehicles)
 
+    def test_mixed_version_fleet_rolls_back_per_vehicle(self):
+        """Rollback must restore each vehicle's *own* prior version.
+
+        Vehicle 0 already runs a newer healthy build than the rest of
+        the fleet (a prior partial rollout).  When the buggy campaign
+        aborts, vehicle 0 must return to its (1, 2) build — not be
+        downgraded to the shared ``old_app`` (1, 0) the campaign was
+        told about.
+        """
+        from repro.core.update import UpdateOrchestrator
+        from repro.security.package import build_package
+
+        sim, store, fleet = make_fleet(size=3)
+        pioneer = fleet.vehicles[0]
+        package = build_package(healthy_app(version=(1, 2)), store, "oem")
+        UpdateOrchestrator(pioneer.platform).staged_update(
+            "fn", pioneer.node_name, package
+        )
+        sim.run(until=sim.now + 0.5)
+        assert fleet.versions("fn")[0] == (1, 2)
+
+        manager = CampaignManager(
+            fleet, "oem", wave_size=3, soak_time=0.5,
+            abort_regression_ratio=0.3,
+        )
+        result = manager.rollout(healthy_app(), buggy_app(version=(2, 0)))
+        assert result.aborted and result.rolled_back
+        versions = fleet.versions("fn")
+        assert versions[0] == (1, 2)  # per-vehicle prior, not old_app
+        assert versions[1] == (1, 0)
+        assert versions[2] == (1, 0)
+
     def test_wrong_app_name_rejected(self):
         sim, store, fleet = make_fleet(size=1)
         manager = CampaignManager(fleet, "oem")
@@ -115,3 +147,41 @@ class TestRollout:
         sim, store, fleet = make_fleet(size=1)
         with pytest.raises(UpdateError):
             CampaignManager(fleet, "oem", wave_size=0)
+
+
+class TestPlanWaves:
+    def test_fixed_size_partition(self):
+        from repro.core import plan_waves
+
+        assert plan_waves(5, wave_size=2) == [(0, 2), (2, 4), (4, 5)]
+        assert plan_waves(4, wave_size=4) == [(0, 4)]
+        assert plan_waves(0, wave_size=2) == []
+
+    def test_staged_canary_cohort_fleet(self):
+        from repro.core import plan_waves
+
+        assert plan_waves(1000, stages=(0.01, 0.1, 1.0)) == [
+            (0, 10), (10, 100), (100, 1000),
+        ]
+
+    def test_staged_small_fleet_grows_every_wave(self):
+        from repro.core import plan_waves
+
+        waves = plan_waves(3, stages=(0.01, 0.1, 1.0))
+        assert waves == [(0, 1), (1, 2), (2, 3)]
+
+    def test_staged_covers_everyone_even_without_full_stage(self):
+        from repro.core import plan_waves
+
+        waves = plan_waves(10, stages=(0.1, 0.5))
+        assert waves[-1][1] == 10
+
+    def test_exactly_one_strategy_required(self):
+        from repro.core import plan_waves
+
+        with pytest.raises(UpdateError):
+            plan_waves(10)
+        with pytest.raises(UpdateError):
+            plan_waves(10, wave_size=2, stages=(0.5, 1.0))
+        with pytest.raises(UpdateError):
+            plan_waves(10, stages=(0.0, 1.0))

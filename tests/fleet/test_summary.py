@@ -1,0 +1,105 @@
+"""Unit tests for the fleet digest merge algebra."""
+
+import json
+
+from repro.fleet import FleetDigest, StatSummary, TopK, merge_digests
+
+
+class TestStatSummary:
+    def test_observe_and_stats(self):
+        s = StatSummary()
+        for v in (3.0, 1.0, 2.0):
+            s.observe(v)
+        assert s.count == 3
+        assert s.min == 1.0 and s.max == 3.0
+        assert s.sum == 6.0 and s.mean == 2.0
+
+    def test_merge_exact_across_magnitudes(self):
+        a = StatSummary()
+        a.observe(1e16)
+        a.observe(1.0)
+        b = StatSummary()
+        b.observe(-1e16)
+        a.merge(b)
+        assert a.sum == 1.0  # naive float addition would lose the 1.0
+
+    def test_empty_json(self):
+        assert StatSummary().to_json() == {
+            "count": 0, "min": 0.0, "max": 0.0, "sum": 0.0, "mean": 0.0,
+        }
+
+
+class TestTopK:
+    def test_keeps_worst_k(self):
+        top = TopK(k=2)
+        for key, score in ((1, 5.0), (2, 9.0), (3, 1.0), (4, 7.0)):
+            top.add(key, score)
+        assert top.entries == [(9.0, 2), (7.0, 4)]
+
+    def test_merge_equals_global_topk(self):
+        scores = {i: float((i * 7) % 13) for i in range(20)}
+        left, right = TopK(k=4), TopK(k=4)
+        for i, score in scores.items():
+            (left if i < 10 else right).add(i, score)
+        left.merge(right)
+        unsharded = TopK(k=4)
+        for i, score in scores.items():
+            unsharded.add(i, score)
+        assert left.entries == unsharded.entries
+
+    def test_ties_break_by_key(self):
+        top = TopK(k=2)
+        top.add(9, 1.0)
+        top.add(3, 1.0)
+        top.add(5, 1.0)
+        assert top.entries == [(1.0, 3), (1.0, 5)]
+
+
+class TestFleetDigest:
+    def observe_some(self, digest, indices):
+        for i in indices:
+            digest.observe_vehicle(
+                index=i, variant_id=i % 3, releases=10, misses=i % 2,
+            )
+
+    def test_merge_matches_unsharded(self):
+        a, b, whole = FleetDigest(), FleetDigest(), FleetDigest()
+        self.observe_some(a, range(0, 6))
+        self.observe_some(b, range(6, 15))
+        self.observe_some(whole, range(0, 15))
+        a.merge(b)
+        assert json.dumps(a.to_json(), sort_keys=True) == json.dumps(
+            whole.to_json(), sort_keys=True
+        )
+
+    def test_merge_commutative(self):
+        a1, b1 = FleetDigest(), FleetDigest()
+        a2, b2 = FleetDigest(), FleetDigest()
+        self.observe_some(a1, range(0, 5))
+        self.observe_some(a2, range(0, 5))
+        self.observe_some(b1, range(5, 9))
+        self.observe_some(b2, range(5, 9))
+        a1.merge(b1)
+        b2.merge(a2)
+        assert json.dumps(a1.to_json(), sort_keys=True) == json.dumps(
+            b2.to_json(), sort_keys=True
+        )
+
+    def test_miss_ratio(self):
+        digest = FleetDigest()
+        digest.observe_vehicle(index=0, variant_id=0, releases=8, misses=2)
+        assert digest.miss_ratio == 0.25
+        assert FleetDigest().miss_ratio == 0.0
+
+    def test_merge_digests_helper(self):
+        parts = []
+        for lo, hi in ((0, 4), (4, 9), (9, 12)):
+            digest = FleetDigest()
+            self.observe_some(digest, range(lo, hi))
+            parts.append(digest)
+        merged = merge_digests(parts)
+        whole = FleetDigest()
+        self.observe_some(whole, range(0, 12))
+        assert json.dumps(merged.to_json(), sort_keys=True) == json.dumps(
+            whole.to_json(), sort_keys=True
+        )

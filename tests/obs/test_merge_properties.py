@@ -1,0 +1,187 @@
+"""Property tests: histogram/registry merge is exact and commutative.
+
+The fleet backend (``repro.fleet``) merges per-shard registries
+shard -> wave -> campaign and promises the merged digest is byte-identical
+to an unsharded run regardless of how observations were grouped.  That
+only holds if :meth:`Histogram.merge` and :meth:`MetricsRegistry.merge`
+are exact (error-free float sums) and commutative.  These tests pin that
+contract down with hypothesis.
+"""
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    accumulate_exact,
+    exact_total,
+)
+
+# Finite, non-NaN floats spanning many magnitudes so naive summation
+# *would* drift: mixing 1e16 with 1.0 loses the 1.0 unless sums are
+# error-free.
+VALUES = st.floats(
+    min_value=-1e16, max_value=1e16, allow_nan=False, allow_infinity=False
+)
+VALUE_LISTS = st.lists(VALUES, max_size=60)
+
+
+def make_hist(growth=1.1):
+    return Histogram("h", (), True, growth=growth)
+
+
+def hist_from(values):
+    h = make_hist()
+    for v in values:
+        h.observe(v)
+    return h
+
+
+def hist_state(h):
+    return (h.count, h.min, h.max, h.sum, h._zero_count, dict(h._buckets))
+
+
+class TestExactAccumulation:
+    @given(VALUE_LISTS)
+    @settings(max_examples=100, deadline=None)
+    def test_total_matches_fsum(self, values):
+        import math
+
+        partials = []
+        for v in values:
+            accumulate_exact(partials, v)
+        assert exact_total(partials) == math.fsum(values)
+
+    @given(VALUE_LISTS, st.integers(min_value=0, max_value=60))
+    @settings(max_examples=100, deadline=None)
+    def test_split_point_does_not_change_total(self, values, cut):
+        cut = min(cut, len(values))
+        left, right = [], []
+        for v in values[:cut]:
+            accumulate_exact(left, v)
+        for v in values[cut:]:
+            accumulate_exact(right, v)
+        # Fold right's partials into left, the way Histogram.merge does.
+        for y in right:
+            accumulate_exact(left, y)
+        whole = []
+        for v in values:
+            accumulate_exact(whole, v)
+        assert exact_total(left) == exact_total(whole)
+
+
+class TestHistogramMerge:
+    @given(VALUE_LISTS, VALUE_LISTS)
+    @settings(max_examples=100, deadline=None)
+    def test_commutative(self, a_values, b_values):
+        ab = hist_from(a_values)
+        ab.merge(hist_from(b_values))
+        ba = hist_from(b_values)
+        ba.merge(hist_from(a_values))
+        assert hist_state(ab) == hist_state(ba)
+
+    @given(VALUE_LISTS, st.integers(min_value=0, max_value=60))
+    @settings(max_examples=100, deadline=None)
+    def test_sharded_equals_unsharded(self, values, cut):
+        cut = min(cut, len(values))
+        sharded = hist_from(values[:cut])
+        sharded.merge(hist_from(values[cut:]))
+        assert hist_state(sharded) == hist_state(hist_from(values))
+        assert sharded.snapshot() == hist_from(values).snapshot()
+
+    @given(st.lists(VALUE_LISTS, min_size=1, max_size=6))
+    @settings(max_examples=50, deadline=None)
+    def test_any_grouping_equals_unsharded(self, shards):
+        merged = make_hist()
+        for shard in shards:
+            merged.merge(hist_from(shard))
+        flat = [v for shard in shards for v in shard]
+        assert hist_state(merged) == hist_state(hist_from(flat))
+
+    def test_merge_rejects_growth_mismatch(self):
+        import pytest
+
+        a = make_hist(growth=1.5)
+        b = make_hist(growth=2.0)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_quantiles_survive_merge(self):
+        a = hist_from([1.0, 2.0, 3.0])
+        b = hist_from([4.0, 5.0, 6.0])
+        a.merge(b)
+        whole = hist_from([1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+        assert a.quantile(0.5) == whole.quantile(0.5)
+        assert a.quantile(0.95) == whole.quantile(0.95)
+
+
+def registry_from(events):
+    """Build a registry from (kind, name, value) event tuples."""
+    reg = MetricsRegistry()
+    for kind, name, value in events:
+        if kind == "counter":
+            reg.counter(name).inc(int(abs(value)) % 1000)
+        elif kind == "gauge":
+            reg.gauge(name).set(value)
+        else:
+            reg.histogram(name).observe(value)
+    return reg
+
+
+EVENTS = st.lists(
+    st.tuples(
+        st.sampled_from(["counter", "gauge", "histogram"]),
+        st.sampled_from(["a", "b", "c"]),
+        VALUES,
+    ),
+    max_size=40,
+)
+
+
+class TestRegistryMerge:
+    @given(EVENTS, EVENTS)
+    @settings(max_examples=100, deadline=None)
+    def test_commutative_snapshot(self, a_events, b_events):
+        ab = registry_from(a_events)
+        ab.merge(registry_from(b_events))
+        ba = registry_from(b_events)
+        ba.merge(registry_from(a_events))
+        assert json.dumps(ab.snapshot(), sort_keys=True) == json.dumps(
+            ba.snapshot(), sort_keys=True
+        )
+
+    @given(EVENTS, st.integers(min_value=0, max_value=40))
+    @settings(max_examples=100, deadline=None)
+    def test_counter_histogram_shard_identity(self, events, cut):
+        """Counters and histograms merge to exactly the unsharded run.
+
+        Gauges are excluded: a merged gauge is the max over shards by
+        design, which only equals the sequential run when the last write
+        happens to be the largest.
+        """
+        events = [e for e in events if e[0] != "gauge"]
+        cut = min(cut, len(events))
+        sharded = registry_from(events[:cut])
+        sharded.merge(registry_from(events[cut:]))
+        whole = registry_from(events)
+        assert json.dumps(sharded.snapshot(), sort_keys=True) == json.dumps(
+            whole.snapshot(), sort_keys=True
+        )
+
+    def test_gauge_merge_keeps_max(self):
+        a = MetricsRegistry()
+        a.gauge("g").set(3.0)
+        b = MetricsRegistry()
+        b.gauge("g").set(7.0)
+        a.merge(b)
+        assert a.gauge("g").value == 7.0
+
+    def test_absorb_gauge_adopts_latest(self):
+        a = MetricsRegistry()
+        a.gauge("g").set(9.0)
+        b = MetricsRegistry()
+        b.gauge("g").set(2.0)
+        a.absorb(b)
+        assert a.gauge("g").value == 2.0
