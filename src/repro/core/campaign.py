@@ -552,6 +552,8 @@ def sweep_campaigns(
     executor: Optional["ParallelExecutor"] = None,
     master_seed: Optional[int] = None,
     fork: bool = True,
+    checkpoint=None,
+    fault_points=None,
 ) -> SweepResult:
     """Run ``replications`` independent campaign replications.
 
@@ -566,6 +568,12 @@ def sweep_campaigns(
     built once, snapshotted and forked per replication instead of being
     rebuilt in every job — same outcomes, a fraction of the time.
     ``fork=False`` keeps the rebuild path for equivalence checks.
+
+    ``checkpoint`` (a :class:`repro.exec.recovery.CheckpointSpec`)
+    persists each completed replication atomically; an interrupted
+    sweep resumes via :func:`resume_sweep` /
+    :func:`repro.exec.recovery.resume_campaign`, re-running only the
+    missing replications with their original seeds.
     """
     if replications < 1:
         raise UpdateError("sweep needs at least one replication")
@@ -581,17 +589,32 @@ def sweep_campaigns(
             CampaignJob(f"campaign.rep{i}", spec)
             for i in range(replications)
         ]
+    if master_seed is not None:
+        seed = master_seed
+    elif executor is not None:
+        seed = executor.master_seed
+    else:
+        seed = 0
     if executor is None:
         from ..exec.pool import get_inline_executor
 
-        seed = 0 if master_seed is None else master_seed
-        report = get_inline_executor().run_jobs(
-            jobs, master_seed=seed, context=context
+        executor = get_inline_executor()
+    store = None
+    if checkpoint is not None:
+        from ..exec.recovery import CheckpointStore
+
+        store = CheckpointStore(
+            checkpoint, kind="campaign_sweep",
+            plan=(spec, replications, seed),
+            meta={"every_n_shards": checkpoint.every_n_shards},
+            fault_points=fault_points,
         )
-    else:
-        report = executor.run_jobs(
-            jobs, master_seed=master_seed, context=context
-        )
+    from ..exec.recovery import run_jobs_checkpointed
+
+    report = run_jobs_checkpointed(
+        jobs, executor=executor, master_seed=seed, context=context,
+        store=store,
+    )
     failed = [r for r in report.results if not r.ok]
     if failed:
         detail = "; ".join(f"{r.job_id}: {r.error}" for r in failed[:5])
@@ -600,3 +623,13 @@ def sweep_campaigns(
             f"({detail})"
         )
     return SweepResult(outcomes=report.values, digest=report.merged_digest())
+
+
+def resume_sweep(directory: str, *,
+                 executor: Optional["ParallelExecutor"] = None,
+                 fork: bool = True) -> SweepResult:
+    """Resume an interrupted checkpointed campaign sweep (see
+    :func:`repro.exec.recovery.resume_campaign`)."""
+    from ..exec.recovery import resume_campaign
+
+    return resume_campaign(directory, executor=executor, fork=fork)

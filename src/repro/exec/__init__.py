@@ -17,7 +17,11 @@ worker processes without ever changing results:
   shared executors so call sites reuse one warm pool across campaigns
   instead of paying spawn/import per call;
 * :func:`derive_job_seed` — the seed contract that makes parallel runs
-  byte-identical to serial ones.
+  byte-identical to serial ones;
+* :mod:`repro.exec.recovery` — durable checkpoint/resume of sharded
+  campaigns (:class:`CheckpointSpec`, :func:`resume_campaign`) and the
+  seeded executor chaos harness (:class:`ExecChaos`) that proves
+  recovery under worker kills and injected crashes.
 """
 
 from .jobs import (
@@ -31,21 +35,41 @@ from .jobs import (
 )
 from .pool import (
     ParallelExecutor,
+    PoolSupervisor,
     get_inline_executor,
     plan_shards,
     warm_executor,
 )
+from .recovery import (
+    CheckpointCrash,
+    CheckpointSpec,
+    CheckpointStore,
+    ExecChaos,
+    FaultPoints,
+    load_manifest,
+    resume_campaign,
+    run_jobs_checkpointed,
+)
 
 __all__ = [
     "BatchReport",
+    "CheckpointCrash",
+    "CheckpointSpec",
+    "CheckpointStore",
+    "ExecChaos",
+    "FaultPoints",
     "FunctionJob",
     "JobContext",
     "JobResult",
     "ParallelExecutor",
+    "PoolSupervisor",
     "SimJob",
     "derive_item_seed",
     "derive_job_seed",
     "get_inline_executor",
+    "load_manifest",
     "plan_shards",
+    "resume_campaign",
+    "run_jobs_checkpointed",
     "warm_executor",
 ]

@@ -23,10 +23,21 @@ Architecture (why parallel wins):
   bytes blob per chunk (compact tuples + metric digests, no rich result
   objects cross the pipe).
 * **Surgical failure recovery** — a chunk that exceeds its deadline
-  (``job_timeout * len(chunk) + grace``) or loses its worker fails only
-  its own jobs; **only that worker** is killed and respawned, the rest
-  of the warm pool keeps serving.  Failed jobs retry (same seed) on
-  healthy workers up to ``retries`` times.
+  (``job_timeout * len(chunk) + grace``) fails only its own jobs;
+  **only that worker** is killed and respawned, the rest of the warm
+  pool keeps serving.  Failed jobs retry (same seed) on healthy workers
+  up to ``retries`` times.
+* **Worker supervision** — workers heartbeat over their duplex pipe
+  while a chunk is executing, so the parent distinguishes a *slow* job
+  (still beating) from a *hung or dead* worker (beats stopped, or pipe
+  EOF).  A hung worker is escalated SIGTERM → SIGKILL under a bounded
+  grace budget and surgically rebuilt, and its in-flight chunk is
+  **re-dispatched** to a healthy worker — safe because per-job seeds
+  derive from ``(master_seed, job_id)`` alone, a retried job replays
+  the identical draws, and a result is recorded at most once, so
+  redispatch can neither diverge nor double-count.  Supervision health
+  is published through :mod:`repro.obs` as
+  ``pool.supervisor.{restarts,hangs,redispatches,escalations}``.
 
 Guarantees:
 
@@ -51,6 +62,7 @@ import atexit
 import multiprocessing
 import os
 import pickle
+import threading
 from collections import deque
 from multiprocessing import connection as _mp_connection
 from time import perf_counter
@@ -74,6 +86,10 @@ _COST_ALPHA = 0.2
 _STOP = b"\x00stop"
 _PING = b"\x00ping"
 _PONG = b"\x00pong"
+#: heartbeat frame a busy worker emits every ``heartbeat_period`` seconds
+_BEAT = b"\x00beat"
+#: chaos frame: the worker exits without replying (clean pipe EOF)
+_DIE = b"\x00die"
 
 
 def _pick_start_method(requested: Optional[str]) -> str:
@@ -122,16 +138,53 @@ def _run_chunk(payload: Sequence[_Payload],
     return out
 
 
-def _worker_main(conn) -> None:
+def _heartbeat_loop(conn, send_lock, busy, stopped, period: float) -> None:
+    """Worker-side supervision thread: beat while a chunk is executing.
+
+    Beats are only emitted while the main loop is inside a chunk, so an
+    idle worker writes nothing (the pipe buffer of a long-idle pool can
+    never fill with stale beats) and the parent can read a missing beat
+    on a *busy* worker as "this process is hung or gone", not merely
+    "this job is slow" — a slow job still beats, because the beats come
+    from this thread, not from job code.
+    """
+    while not stopped.wait(period):
+        if not busy.is_set():
+            continue
+        with send_lock:
+            if not busy.is_set():
+                continue
+            try:
+                conn.send_bytes(_BEAT)
+            except (BrokenPipeError, OSError):
+                return
+
+
+def _worker_main(conn, heartbeat_period: float = 0.0) -> None:
     """Long-lived worker loop: recv a pickled chunk, reply with bytes.
 
     The worker imports :mod:`repro` once (a no-op under ``fork``, the
     real warm-up under ``spawn``/``forkserver``) and then serves chunks
     until it receives the stop frame or its pipe closes.  Replies travel
     as one pre-pickled blob per chunk — compact tuples, not rich result
-    objects.
+    objects.  With ``heartbeat_period > 0`` a daemon thread beats on the
+    pipe while a chunk executes (see :func:`_heartbeat_loop`).
     """
     import repro  # noqa: F401 - warm the module cache once per worker
+
+    send_lock = threading.Lock()
+    busy = threading.Event()
+    stopped = threading.Event()
+    if heartbeat_period > 0:
+        threading.Thread(
+            target=_heartbeat_loop,
+            args=(conn, send_lock, busy, stopped, heartbeat_period),
+            daemon=True,
+        ).start()
+
+    def send(blob: bytes) -> None:
+        with send_lock:
+            conn.send_bytes(blob)
 
     shared_token: Optional[int] = None
     shared_obj: Any = None
@@ -142,8 +195,10 @@ def _worker_main(conn) -> None:
             break
         if blob == _STOP:
             break
+        if blob == _DIE:
+            os._exit(3)  # chaos: vanish without a reply (pipe EOF)
         if blob == _PING:
-            conn.send_bytes(_PONG)
+            send(_PONG)
             continue
         token, ctx_blob, payload = pickle.loads(blob)
         if token is None:
@@ -159,9 +214,13 @@ def _worker_main(conn) -> None:
                     f"shared context token {token} unknown to worker",
                     None, os.getpid(), 0.0)
                    for (index, _job, _seed, _attempt) in payload]
-            conn.send_bytes(pickle.dumps(out, pickle.HIGHEST_PROTOCOL))
+            send(pickle.dumps(out, pickle.HIGHEST_PROTOCOL))
             continue
-        out = _run_chunk(payload, shared)
+        busy.set()
+        try:
+            out = _run_chunk(payload, shared)
+        finally:
+            busy.clear()
         try:
             reply = pickle.dumps(out, pickle.HIGHEST_PROTOCOL)
         except Exception as exc:  # noqa: BLE001 - unpicklable job value
@@ -171,23 +230,56 @@ def _worker_main(conn) -> None:
                    for (index, _job, _seed, _attempt) in payload]
             reply = pickle.dumps(out, pickle.HIGHEST_PROTOCOL)
         try:
-            conn.send_bytes(reply)
+            send(reply)
         except (BrokenPipeError, OSError):
             break
+    stopped.set()
     try:
         conn.close()
     except OSError:  # pragma: no cover - already torn down
         pass
 
 
+class PoolSupervisor:
+    """Health counters for the warm pool, published via :mod:`repro.obs`.
+
+    The supervisor state machine is: ``HEALTHY`` → (missed heartbeat
+    budget) → ``HUNG`` → SIGTERM → (grace expired) → SIGKILL →
+    ``REBUILT`` — and every transition increments one of these counters,
+    so a campaign can report how much surgery its substrate needed.
+    """
+
+    def __init__(self) -> None:
+        self.metrics = MetricsRegistry()
+        #: workers surgically rebuilt (any cause: death, hang, poison)
+        self.restarts = self.metrics.counter("pool.supervisor.restarts")
+        #: busy workers whose heartbeats stopped (hung, not merely slow)
+        self.hangs = self.metrics.counter("pool.supervisor.hangs")
+        #: jobs re-dispatched to a healthy worker after their worker
+        #: died or hung mid-chunk (idempotent: same seed, recorded once)
+        self.redispatches = self.metrics.counter(
+            "pool.supervisor.redispatches"
+        )
+        #: teardowns that had to escalate SIGTERM -> SIGKILL
+        self.escalations = self.metrics.counter(
+            "pool.supervisor.escalations"
+        )
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Machine-readable counter state (a ``repro.obs`` snapshot)."""
+        return self.metrics.snapshot()
+
+
 class _WorkerHandle:
     """One persistent worker process plus its duplex pipe."""
 
-    __slots__ = ("proc", "conn", "chunk", "deadline", "ctx_token")
+    __slots__ = ("proc", "conn", "chunk", "deadline", "ctx_token",
+                 "last_beat")
 
-    def __init__(self, ctx) -> None:
+    def __init__(self, ctx, heartbeat_period: float = 0.0) -> None:
         parent_conn, child_conn = ctx.Pipe(duplex=True)
-        self.proc = ctx.Process(target=_worker_main, args=(child_conn,),
+        self.proc = ctx.Process(target=_worker_main,
+                                args=(child_conn, heartbeat_period),
                                 daemon=True)
         self.proc.start()
         child_conn.close()
@@ -198,40 +290,80 @@ class _WorkerHandle:
         self.deadline: Optional[float] = None
         #: token of the shared context this worker has cached
         self.ctx_token: Optional[int] = None
+        #: perf_counter instant of the last heartbeat (or dispatch)
+        self.last_beat: float = perf_counter()
 
     @property
     def alive(self) -> bool:
         return self.proc.is_alive()
 
     def ping(self) -> bool:
-        """Round-trip the pipe once (forces import/warm-up to finish)."""
+        """Round-trip the pipe once (forces import/warm-up to finish).
+
+        Stale heartbeat frames left over from a previous chunk are
+        drained and skipped — only the pong answers the ping.
+        """
         try:
             self.conn.send_bytes(_PING)
-            return self.conn.recv_bytes() == _PONG
+            for _ in range(64):
+                reply = self.conn.recv_bytes()
+                if reply == _PONG:
+                    return True
+                if reply != _BEAT:  # pragma: no cover - protocol desync
+                    return False
+            return False  # pragma: no cover - beat flood
         except (EOFError, OSError):
             return False
 
-    def stop(self) -> None:
-        """Ask the worker to exit and reap it (bounded wait)."""
+    def request_stop(self) -> None:
+        """Ask the worker to exit (non-blocking; pair with join/kill)."""
         try:
             self.conn.send_bytes(_STOP)
         except (BrokenPipeError, OSError):
             pass
-        self.proc.join(timeout=2.0)
-        self.kill()
 
-    def kill(self) -> None:
-        """Hard-stop the worker (hung or poisoned; no reply expected)."""
-        if self.proc.is_alive():
-            self.proc.terminate()
-            self.proc.join(timeout=2.0)
-            if self.proc.is_alive():  # pragma: no cover - stuck in kernel
-                self.proc.kill()
-                self.proc.join(timeout=2.0)
+    def join_until(self, deadline: float) -> bool:
+        """Join with an absolute perf_counter deadline; True if reaped."""
+        self.proc.join(timeout=max(0.0, deadline - perf_counter()))
+        return not self.proc.is_alive()
+
+    def close_conn(self) -> None:
         try:
             self.conn.close()
         except OSError:  # pragma: no cover - already closed
             pass
+
+    def stop(self, grace: float = 2.0) -> bool:
+        """Ask the worker to exit and reap it within a bounded budget.
+
+        Escalates stop-frame → SIGTERM → SIGKILL, waiting ``grace``
+        seconds between steps, so a worker that ignores both the frame
+        and SIGTERM can stall teardown for at most ``~2 * grace``
+        seconds before being killed outright.  Returns True if the
+        SIGKILL escalation was needed.
+        """
+        self.request_stop()
+        self.proc.join(timeout=grace)
+        return self.kill(grace)
+
+    def kill(self, grace: float = 2.0) -> bool:
+        """Hard-stop the worker: SIGTERM, then SIGKILL after ``grace``.
+
+        Returns True if the worker ignored SIGTERM and had to be
+        SIGKILLed (the escalation the supervisor counts).  SIGKILL
+        cannot be caught or ignored — a stopped (SIGSTOP) or
+        signal-masking worker still dies here.
+        """
+        escalated = False
+        if self.proc.is_alive():
+            self.proc.terminate()
+            self.proc.join(timeout=grace)
+        if self.proc.is_alive():
+            self.proc.kill()
+            escalated = True
+            self.proc.join(timeout=2.0)
+        self.close_conn()
+        return escalated
 
 
 class ParallelExecutor:
@@ -263,6 +395,26 @@ class ParallelExecutor:
             a fair share of the remaining jobs so workers never starve.
         start_method: multiprocessing start method; defaults to the
             first available of ``fork``, ``forkserver``, ``spawn``.
+        heartbeat_period: seconds between worker heartbeats while a
+            chunk is executing (``0`` disables the beat thread).
+        heartbeat_timeout: if set, a busy worker that has not beaten
+            for this many seconds is declared **hung** — killed with
+            SIGTERM→SIGKILL escalation, rebuilt, and its in-flight
+            chunk re-dispatched to a healthy worker.  Must exceed
+            ``heartbeat_period``.  ``None`` (default) disables hung
+            detection (the per-chunk deadline still applies).
+        max_redispatches: how many times one job may be re-dispatched
+            after its worker died or hung mid-chunk before the job is
+            failed outright (a poison-pill backstop).
+        shutdown_grace: per-escalation-step teardown budget in seconds;
+            :meth:`close` escalates stop-frame → SIGTERM → SIGKILL so a
+            SIGTERM-ignoring worker can stall interpreter shutdown for
+            at most ``~2 * shutdown_grace`` seconds.
+        chaos: optional chaos harness (see
+            :class:`repro.exec.recovery.ExecChaos`) whose
+            ``on_dispatch(handle, executor)`` hook fires after every
+            chunk dispatch; ``None`` (default) keeps the hot path at a
+            single attribute test.
     """
 
     def __init__(
@@ -276,6 +428,11 @@ class ParallelExecutor:
         chunk_size: Optional[int] = None,
         target_chunk_seconds: float = 0.05,
         start_method: Optional[str] = None,
+        heartbeat_period: float = 0.5,
+        heartbeat_timeout: Optional[float] = None,
+        max_redispatches: int = 2,
+        shutdown_grace: float = 2.0,
+        chaos: Any = None,
     ) -> None:
         if workers is not None and workers < 1:
             raise ExecutionError(f"workers must be >= 1, got {workers}")
@@ -289,6 +446,29 @@ class ParallelExecutor:
             raise ExecutionError(
                 f"target_chunk_seconds must be > 0, got {target_chunk_seconds}"
             )
+        if heartbeat_period < 0:
+            raise ExecutionError(
+                f"heartbeat_period must be >= 0, got {heartbeat_period}"
+            )
+        if heartbeat_timeout is not None:
+            if heartbeat_period <= 0:
+                raise ExecutionError(
+                    "heartbeat_timeout requires heartbeat_period > 0 "
+                    "(workers must beat for the parent to miss beats)"
+                )
+            if heartbeat_timeout <= heartbeat_period:
+                raise ExecutionError(
+                    f"heartbeat_timeout ({heartbeat_timeout}) must exceed "
+                    f"heartbeat_period ({heartbeat_period})"
+                )
+        if max_redispatches < 0:
+            raise ExecutionError(
+                f"max_redispatches must be >= 0, got {max_redispatches}"
+            )
+        if shutdown_grace < 0:
+            raise ExecutionError(
+                f"shutdown_grace must be >= 0, got {shutdown_grace}"
+            )
         self.workers = workers if workers is not None else (os.cpu_count() or 1)
         self.master_seed = master_seed
         self.retries = retries
@@ -297,6 +477,12 @@ class ParallelExecutor:
         self.chunk_size = chunk_size
         self.target_chunk_seconds = target_chunk_seconds
         self.start_method = _pick_start_method(start_method)
+        self.heartbeat_period = heartbeat_period
+        self.heartbeat_timeout = heartbeat_timeout
+        self.max_redispatches = max_redispatches
+        self.shutdown_grace = shutdown_grace
+        self.chaos = chaos
+        self.supervisor = PoolSupervisor()
         self._ctx = None
         self._handles: List[_WorkerHandle] = []
         #: EMA of per-job wall-clock seconds (the cost model)
@@ -328,17 +514,45 @@ class ParallelExecutor:
                     f"worker pid={handle.proc.pid} failed its warm-up ping"
                 )
 
-    def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+    def close(self, grace: Optional[float] = None) -> None:
+        """Shut the worker pool down (idempotent, bounded).
+
+        Teardown escalates pool-wide: every worker gets the stop frame
+        at once, then the whole pool shares one ``grace`` join window,
+        then stragglers get SIGTERM and one more shared window, then
+        SIGKILL.  Total wall time is bounded by ``~2 * grace`` no matter
+        how many workers ignore SIGTERM — a single sleep-forever worker
+        can no longer stall interpreter exit (this runs from an atexit
+        hook for shared pools).  Each SIGKILL escalation is counted in
+        ``supervisor.escalations``.
+        """
         handles, self._handles = self._handles, []
+        if not handles:
+            return
+        if grace is None:
+            grace = self.shutdown_grace
         for handle in handles:
-            handle.stop()
+            handle.request_stop()
+        deadline = perf_counter() + grace
+        stragglers = [h for h in handles if not h.join_until(deadline)]
+        for handle in stragglers:
+            if handle.proc.is_alive():
+                handle.proc.terminate()
+        deadline = perf_counter() + grace
+        for handle in stragglers:
+            if not handle.join_until(deadline) and handle.proc.is_alive():
+                handle.proc.kill()
+                self.supervisor.escalations.inc()
+                handle.proc.join(timeout=2.0)
+        for handle in handles:
+            handle.close_conn()
 
     def _discard_workers(self) -> None:
         """Hard-drop every worker (hung, poisoned, or unknown state)."""
         handles, self._handles = self._handles, []
         for handle in handles:
-            handle.kill()
+            if handle.kill(self.shutdown_grace):
+                self.supervisor.escalations.inc()
 
     def _context(self):
         if self._ctx is None:
@@ -358,16 +572,18 @@ class ParallelExecutor:
             if handle.alive:
                 kept.append(handle)
             else:
-                handle.kill()
+                handle.kill(self.shutdown_grace)
         while len(kept) < self.workers:
-            kept.append(_WorkerHandle(ctx))
+            kept.append(_WorkerHandle(ctx, self.heartbeat_period))
         self._handles = kept
         return self._handles
 
     def _replace_worker(self, handle: _WorkerHandle) -> _WorkerHandle:
         """Kill one poisoned worker and swap a fresh one into its slot."""
-        handle.kill()
-        fresh = _WorkerHandle(self._context())
+        if handle.kill(self.shutdown_grace):
+            self.supervisor.escalations.inc()
+        self.supervisor.restarts.inc()
+        fresh = _WorkerHandle(self._context(), self.heartbeat_period)
         for i, existing in enumerate(self._handles):
             if existing is handle:
                 self._handles[i] = fresh
@@ -399,7 +615,8 @@ class ParallelExecutor:
 
     def run_jobs(self, jobs: Sequence[SimJob], *,
                  master_seed: Optional[int] = None,
-                 context: Any = None) -> BatchReport:
+                 context: Any = None,
+                 on_result: Any = None) -> BatchReport:
         """Execute ``jobs``; return a :class:`BatchReport` in job order.
 
         Failed jobs (after retries) appear as :class:`JobResult` entries
@@ -416,6 +633,14 @@ class ParallelExecutor:
         crosses each pipe exactly once — not once per job.  It must be
         treated as read-only: worker-side mutations are invisible to
         the parent and to jobs on other workers.
+
+        ``on_result`` is an optional callback fired once per
+        **successful** :class:`JobResult` in completion order, as soon
+        as the result is recorded — the durability hook checkpoint
+        stores use to persist completed shards mid-batch, so a crash
+        partway through a batch loses only the unflushed tail.  An
+        exception raised by the callback aborts the batch (workers are
+        discarded, the exception propagates).
         """
         jobs = list(jobs)
         seen: Dict[str, int] = {}
@@ -438,7 +663,8 @@ class ParallelExecutor:
         results: Dict[int, JobResult] = {}
         try:
             for round_no in range(self.retries + 1):
-                failed = self._run_round(pending, results, context)
+                failed = self._run_round(pending, results, context,
+                                         on_result)
                 if not failed or round_no == self.retries:
                     break
                 report.retried += len(failed)
@@ -462,7 +688,7 @@ class ParallelExecutor:
 
     def _run_round(
         self, payloads: List[_Payload], results: Dict[int, JobResult],
-        context: Any = None,
+        context: Any = None, on_result: Any = None,
     ) -> List[_Payload]:
         """Run one attempt round; record outcomes; return failed payloads."""
         by_index = {p[0]: p for p in payloads}
@@ -482,6 +708,8 @@ class ParallelExecutor:
                 result.error = value
                 failed.append(by_index[index])
             results[index] = result
+            if ok and on_result is not None:
+                on_result(result)
 
         if self.workers == 1:
             for raw in _run_chunk(payloads, context):
@@ -493,12 +721,44 @@ class ParallelExecutor:
         pending = deque(payloads)
         idle = deque(self._ensure_workers())
         busy: Dict[Any, _WorkerHandle] = {}
+        #: per-job redispatch count this round (worker death/hang only)
+        redispatched: Dict[int, int] = {}
 
         def fail_chunk(handle: _WorkerHandle, reason: str) -> None:
             pid = handle.proc.pid or 0
             for p in handle.chunk or ():
                 record((p[0], False, reason, None, pid, 0.0))
             idle.append(self._replace_worker(handle))
+
+        def requeue(handle: _WorkerHandle, reason: str, *,
+                    hang: bool = False) -> None:
+            """Rebuild a dead/hung worker; re-dispatch its chunk.
+
+            Re-dispatch is idempotent: each payload carries its derived
+            seed, so the retried job replays identical draws, and
+            ``record`` runs at most once per (index, round).  A
+            per-round budget of ``max_redispatches`` per job stops a
+            poison-pill chunk from killing workers forever — past the
+            budget its jobs fail with the last ``reason``.
+            """
+            if hang:
+                self.supervisor.hangs.inc()
+            chunk = handle.chunk or []
+            pid = handle.proc.pid or 0
+            idle.append(self._replace_worker(handle))
+            retriable = []
+            for p in chunk:
+                count = redispatched.get(p[0], 0)
+                if count < self.max_redispatches:
+                    redispatched[p[0]] = count + 1
+                    retriable.append(p)
+                else:
+                    record((p[0], False,
+                            f"{reason} (gave up after {count} redispatches)",
+                            None, pid, 0.0))
+            if retriable:
+                pending.extendleft(reversed(retriable))
+                self.supervisor.redispatches.inc(len(retriable))
 
         while pending or busy:
             # dispatch first: every idle worker gets its next chunk
@@ -530,33 +790,47 @@ class ParallelExecutor:
                 if ship_ctx:
                     handle.ctx_token = token
                 handle.chunk = chunk
+                handle.last_beat = perf_counter()
                 if self.job_timeout is not None:
                     handle.deadline = (perf_counter()
                                        + self.job_timeout * len(chunk)
                                        + self.grace)
                 busy[handle.conn] = handle
+                if self.chaos is not None:
+                    self.chaos.on_dispatch(handle, self)
             if not busy:
                 break  # nothing in flight and nothing dispatchable
             deadlines = [h.deadline for h in busy.values()
                          if h.deadline is not None]
+            if self.heartbeat_timeout is not None:
+                deadlines += [h.last_beat + self.heartbeat_timeout
+                              for h in busy.values()]
             timeout = None
             if deadlines:
                 timeout = max(0.0, min(deadlines) - perf_counter())
             ready = _mp_connection.wait(list(busy), timeout)
             for conn in ready:
-                handle = busy.pop(conn)
+                handle = busy[conn]
                 try:
-                    raws = pickle.loads(handle.conn.recv_bytes())
+                    blob = handle.conn.recv_bytes()
                 except (EOFError, OSError) as exc:
-                    fail_chunk(handle, f"worker died mid-chunk: {exc!r}")
+                    del busy[conn]
+                    requeue(handle, f"worker died mid-chunk: {exc!r}")
                     continue
-                for raw in raws:
+                if blob == _BEAT:
+                    # still executing — refresh liveness, stay busy
+                    handle.last_beat = perf_counter()
+                    continue
+                del busy[conn]
+                for raw in pickle.loads(blob):
                     record(raw)
                     self._observe_cost(raw)
                 handle.chunk = None
                 handle.deadline = None
                 idle.append(handle)
-            # deadline sweep — a hung worker only poisons its own slot
+            # deadline sweep — a hung worker only poisons its own slot.
+            # Deadline overrun keeps fail semantics (the job *ran* too
+            # long); only death/missed-heartbeat paths re-dispatch.
             now = perf_counter()
             for conn in [c for c, h in busy.items()
                          if h.deadline is not None and h.deadline <= now]:
@@ -569,6 +843,22 @@ class ParallelExecutor:
                     f"{budget:.3f}s deadline "
                     f"(job_timeout={self.job_timeout}, grace={self.grace})",
                 )
+            # heartbeat sweep — a busy worker whose beats stopped is
+            # hung (SIGSTOPped, deadlocked, or livelocked in C code):
+            # a merely slow job would still beat, because beats come
+            # from the worker's supervision thread, not from job code
+            if self.heartbeat_timeout is not None:
+                now = perf_counter()
+                for conn in [c for c, h in busy.items()
+                             if h.last_beat + self.heartbeat_timeout <= now]:
+                    handle = busy.pop(conn)
+                    silent = now - handle.last_beat
+                    requeue(
+                        handle,
+                        f"worker hung: no heartbeat for {silent:.3f}s "
+                        f"(heartbeat_timeout={self.heartbeat_timeout})",
+                        hang=True,
+                    )
         return failed
 
     def _context_frame(self, context: Any) -> Tuple[Optional[int],

@@ -413,6 +413,8 @@ def run_fault_campaign(
     executor: Optional["ParallelExecutor"] = None,
     master_seed: Optional[int] = None,
     fork: bool = True,
+    checkpoint=None,
+    fault_points=None,
 ) -> FaultCampaignResult:
     """Run ``replications`` independent chaos replications.
 
@@ -427,6 +429,14 @@ def run_fault_campaign(
     rebuilt from scratch in every job — same outcomes, a fraction of the
     time.  ``fork=False`` keeps the rebuild path (used by tests and the
     snapshot benchmark to prove the equivalence).
+
+    ``checkpoint`` (a :class:`repro.exec.recovery.CheckpointSpec`)
+    persists each completed replication atomically; an interrupted
+    campaign resumes via :func:`resume_fault_campaign` /
+    :func:`repro.exec.recovery.resume_campaign`, re-running only the
+    missing replications with their original seeds.  ``fault_points``
+    threads injected checkpoint-write crashes through the store (chaos
+    testing only).
     """
     if replications < 1:
         raise ExecutionError("fault campaign needs at least one replication")
@@ -442,17 +452,32 @@ def run_fault_campaign(
             FaultCampaignJob(f"faults.rep{i}", spec)
             for i in range(replications)
         ]
+    if master_seed is not None:
+        seed = master_seed
+    elif executor is not None:
+        seed = executor.master_seed
+    else:
+        seed = 0
     if executor is None:
         from ..exec.pool import get_inline_executor
 
-        seed = 0 if master_seed is None else master_seed
-        report = get_inline_executor().run_jobs(
-            jobs, master_seed=seed, context=context
+        executor = get_inline_executor()
+    store = None
+    if checkpoint is not None:
+        from ..exec.recovery import CheckpointStore
+
+        store = CheckpointStore(
+            checkpoint, kind="fault_campaign",
+            plan=(spec, replications, seed),
+            meta={"every_n_shards": checkpoint.every_n_shards},
+            fault_points=fault_points,
         )
-    else:
-        report = executor.run_jobs(
-            jobs, master_seed=master_seed, context=context
-        )
+    from ..exec.recovery import run_jobs_checkpointed
+
+    report = run_jobs_checkpointed(
+        jobs, executor=executor, master_seed=seed, context=context,
+        store=store,
+    )
     failed = [r for r in report.results if not r.ok]
     if failed:
         detail = "; ".join(f"{r.job_id}: {r.error}" for r in failed[:5])
@@ -462,6 +487,16 @@ def run_fault_campaign(
     return FaultCampaignResult(
         outcomes=report.values, digest=report.merged_digest()
     )
+
+
+def resume_fault_campaign(directory: str, *,
+                          executor: Optional["ParallelExecutor"] = None,
+                          fork: bool = True) -> FaultCampaignResult:
+    """Resume an interrupted checkpointed fault campaign (see
+    :func:`repro.exec.recovery.resume_campaign`)."""
+    from ..exec.recovery import resume_campaign
+
+    return resume_campaign(directory, executor=executor, fork=fork)
 
 
 __all__ = [
@@ -477,6 +512,7 @@ __all__ = [
     "build_resilience_report",
     "campaign_outcome",
     "redundant_ring_topology",
+    "resume_fault_campaign",
     "run_fault_campaign",
     "start_chaos_workload",
 ]

@@ -13,7 +13,8 @@ package makes that tractable at 10^5–10^6 vehicles:
   layout;
 * :mod:`repro.fleet.service` — staged canary → cohort → fleet waves with
   digest-gated halt/rollback, plus admission control over the shared
-  pool.
+  pool; checkpointed campaigns survive harness crashes and resume with
+  byte-identical digests (:func:`resume_fleet_campaign`).
 """
 
 from .service import (
@@ -23,6 +24,7 @@ from .service import (
     FleetCampaignSpec,
     FleetService,
     WaveOutcome,
+    resume_fleet_campaign,
     run_fleet_campaign,
 )
 from .shard import (
@@ -61,6 +63,7 @@ __all__ = [
     "build_fleet_snapshots",
     "build_vehicle_world",
     "merge_digests",
+    "resume_fleet_campaign",
     "run_fleet",
     "run_fleet_campaign",
     "simulate_vehicle",

@@ -81,6 +81,8 @@ class FleetCampaign:
         *,
         executor=None,
         fork: bool = True,
+        checkpoint=None,
+        fault_points=None,
     ) -> None:
         if spec.fleet.size < 1:
             raise UpdateError("fleet campaign needs at least one vehicle")
@@ -96,6 +98,21 @@ class FleetCampaign:
                 spec.fleet, tags=(TAG_OLD, TAG_NEW)
             )
         self.result = FleetCampaignResult(spec=spec)
+        #: durable shard store; every wave (rollback included) reads and
+        #: writes it, so an interrupted campaign resumes mid-wave from
+        #: :func:`repro.exec.recovery.resume_campaign` with the exact
+        #: digest an uninterrupted run would produce — wave boundaries,
+        #: halt decisions and rollback are recomputed from the spec, the
+        #: only durable state is the per-shard digests themselves
+        self.store = None
+        if checkpoint is not None:
+            from ..exec.recovery import CheckpointStore
+
+            self.store = CheckpointStore(
+                checkpoint, kind="fleet_campaign", plan=spec,
+                meta={"every_n_shards": checkpoint.every_n_shards},
+                fault_points=fault_points,
+            )
 
     @property
     def done(self) -> bool:
@@ -119,6 +136,7 @@ class FleetCampaign:
             self.spec.fleet, executor=self.executor, fork=self.fork,
             tag=TAG_NEW, shard_size=self.spec.shard_size,
             snapshots=self._snapshots, start=start, stop=stop,
+            store=self.store,
         )
         halted = run.digest.miss_ratio > self.spec.halt_miss_ratio
         outcome = WaveOutcome(
@@ -143,6 +161,7 @@ class FleetCampaign:
             self.spec.fleet, executor=self.executor, fork=self.fork,
             tag=TAG_OLD, shard_size=self.spec.shard_size,
             snapshots=self._snapshots, start=start, stop=stop,
+            store=self.store,
         )
         self.result.rolled_back = True
         self.result.waves.append(WaveOutcome(
@@ -164,9 +183,29 @@ def run_fleet_campaign(
     *,
     executor=None,
     fork: bool = True,
+    checkpoint=None,
+    fault_points=None,
 ) -> FleetCampaignResult:
-    """Build and run one staged campaign to completion."""
-    return FleetCampaign(spec, executor=executor, fork=fork).run()
+    """Build and run one staged campaign to completion.
+
+    With ``checkpoint`` (a :class:`repro.exec.recovery.CheckpointSpec`)
+    every completed shard digest is persisted atomically; if the process
+    dies, :func:`repro.exec.recovery.resume_campaign` finishes the
+    campaign from the directory alone with a byte-identical digest.
+    """
+    return FleetCampaign(
+        spec, executor=executor, fork=fork, checkpoint=checkpoint,
+        fault_points=fault_points,
+    ).run()
+
+
+def resume_fleet_campaign(directory: str, *, executor=None,
+                          fork: bool = True) -> FleetCampaignResult:
+    """Resume an interrupted checkpointed campaign (see
+    :func:`repro.exec.recovery.resume_campaign`)."""
+    from ..exec.recovery import resume_campaign
+
+    return resume_campaign(directory, executor=executor, fork=fork)
 
 
 class CampaignAdmission:
@@ -201,8 +240,19 @@ class CampaignAdmission:
         return "rejected"
 
     def release(self, ticket: str) -> Optional[str]:
-        """Finish ``ticket``; returns the promoted ticket, if any."""
-        self.active.remove(ticket)
+        """Finish ``ticket``; returns the promoted ticket, if any.
+
+        Safe to call for a ticket that is not (or no longer) active —
+        error paths may release defensively, and a double release must
+        not free somebody else's slot.
+        """
+        if ticket in self.active:
+            self.active.remove(ticket)
+        elif ticket in self.queued:
+            self.queued.remove(ticket)
+            return None
+        else:
+            return None
         if self.queued and len(self.active) < self.max_active:
             promoted = self.queued.popleft()
             self.active.append(promoted)
@@ -225,6 +275,8 @@ class FleetService:
         )
         self._campaigns: Dict[str, FleetCampaign] = {}
         self.completed: Dict[str, FleetCampaignResult] = {}
+        #: ticket → repr of the exception that killed its campaign
+        self.failed: Dict[str, str] = {}
         self._counter = 0
 
     def submit(
@@ -248,10 +300,20 @@ class FleetService:
         """Advance every active campaign by one wave (round-robin).
 
         Returns True while any campaign is still active or queued.
+
+        A campaign whose wave raises is recorded in :attr:`failed` and
+        its admission slot is released immediately — a crashed tenant
+        must never permanently shrink ``max_active`` for everyone else.
         """
         for ticket in list(self.admission.active):
             campaign = self._campaigns[ticket]
-            campaign.step()
+            try:
+                campaign.step()
+            except Exception as exc:  # noqa: BLE001 - tenant isolation
+                self.failed[ticket] = repr(exc)
+                del self._campaigns[ticket]
+                self.admission.release(ticket)
+                continue
             if campaign.done:
                 self.completed[ticket] = campaign.result
                 del self._campaigns[ticket]

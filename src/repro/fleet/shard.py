@@ -241,14 +241,24 @@ def run_fleet(
     snapshots: Optional[Dict[Tuple[int, str], object]] = None,
     start: int = 0,
     stop: Optional[int] = None,
+    store=None,
 ) -> FleetRunResult:
     """Simulate vehicles ``[start, stop)`` sharded over ``executor``.
 
     The workhorse behind both the benchmark and the campaign service.
     Returns the merged digest; per-vehicle results never accumulate
     anywhere.
+
+    ``store`` (a :class:`repro.exec.recovery.CheckpointStore`) makes the
+    run durable: shard digests already recorded are loaded instead of
+    re-simulated, fresh ones are persisted as they complete.  Shard job
+    ids name the **global vehicle range** (``fleet.new.100-150``), so
+    records from different waves of one campaign never collide in a
+    shared store — and because vehicle seeds derive from global indices,
+    a loaded digest is byte-identical to what recomputation would yield.
     """
     from ..exec.pool import get_inline_executor, plan_shards
+    from ..exec.recovery import run_jobs_checkpointed
 
     if executor is None:
         executor = get_inline_executor()
@@ -268,14 +278,15 @@ def run_fleet(
         )
     jobs = [
         FleetShardJob(
-            job_id=f"{spec.name}.{tag}.shard{shard_index}",
+            job_id=f"{spec.name}.{tag}.{start + lo}-{start + hi}",
             spec=spec, start=start + lo, stop=start + hi, tag=tag,
             fork=fork,
         )
-        for shard_index, (lo, hi) in enumerate(shards)
+        for lo, hi in shards
     ]
-    report = executor.run_jobs(
-        jobs, master_seed=spec.master_seed, context=context
+    report = run_jobs_checkpointed(
+        jobs, executor=executor, master_seed=spec.master_seed,
+        context=context, store=store,
     )
     failed = [r for r in report.results if not r.ok]
     if failed:

@@ -101,6 +101,23 @@ class TestAdmission:
         with pytest.raises(UpdateError):
             CampaignAdmission(max_queued=-1)
 
+    def test_release_of_unknown_ticket_is_a_noop(self):
+        admission = CampaignAdmission(max_active=1, max_queued=1)
+        admission.admit("a")
+        assert admission.release("ghost") is None
+        assert admission.active == ["a"]
+        # double release must not free somebody else's slot either
+        admission.release("a")
+        assert admission.release("a") is None
+
+    def test_release_of_queued_ticket_dequeues_it(self):
+        admission = CampaignAdmission(max_active=1, max_queued=2)
+        admission.admit("a")
+        admission.admit("b")
+        assert admission.release("b") is None  # cancelled while queued
+        assert list(admission.queued) == []
+        assert admission.active == ["a"]
+
 
 class TestFleetService:
     def small(self, **kwargs):
@@ -133,6 +150,33 @@ class TestFleetService:
         assert len(service.completed) == 0
         service.run_until_idle()
         assert len(service.completed) == 2
+
+    def test_crashed_campaign_releases_its_admission_slot(self):
+        """A campaign that dies with an exception must not shrink the
+        admission capacity for everyone else (the slot-leak regression)."""
+        service = FleetService(
+            admission=CampaignAdmission(max_active=1, max_queued=1)
+        )
+        t1, s1 = service.submit(self.small())
+        t2, s2 = service.submit(self.small())
+        assert (s1, s2) == ("active", "queued")
+
+        def explode():
+            raise RuntimeError("wave blew up")
+
+        service._campaigns[t1].step = explode
+        service.step()
+        assert t1 in service.failed
+        assert "wave blew up" in service.failed[t1]
+        assert t1 not in service._campaigns
+        # the queued campaign was promoted into the freed slot and the
+        # service still drains to idle at full capacity
+        assert service.admission.active == [t2]
+        done = service.run_until_idle()
+        assert t2 in done and done[t2].completed
+        t3, s3 = service.submit(self.small())
+        assert s3 == "active", "crashed campaign leaked its slot"
+        service.run_until_idle()
 
     def test_halted_campaign_completes_with_halt_flag(self):
         service = FleetService()
