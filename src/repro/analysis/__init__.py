@@ -1,41 +1,72 @@
-"""Determinism sanitizer: static linter + runtime race detector.
+"""Whole-program static analysis suite + runtime race detector.
 
-Two pillars enforce the repo's ``(plan, seed) -> byte-identical
-timeline`` guarantee *before* benchmarks ever compare traces:
+Static passes (CLI: ``python -m repro.analysis --pass ...``) enforce the
+repo's ``(plan, seed) -> byte-identical timeline`` guarantee and its
+process model *before* anything runs:
 
-* :mod:`repro.analysis.lint` / :mod:`repro.analysis.detectors` — an AST
-  linter (CLI: ``python -m repro.analysis``) that flags nondeterminism
-  hazards in source: raw ``random`` use, wall-clock reads, unordered set
-  iteration, hash-order sort keys, environment reads and mutable
-  defaults — with per-line ``# repro: allow[RULE]`` pragmas and a
-  committed baseline so CI fails only on new violations.
-* :mod:`repro.analysis.sanitizer` — an opt-in kernel mode detecting
-  same-instant ordering races, same-tick shared-resource mutation and
-  RNG stream sharing at run time, with zero overhead when detached.
+* **det** (:mod:`repro.analysis.detectors`) — nondeterminism hazards:
+  raw ``random`` use, wall-clock reads, unordered set iteration,
+  hash-order sort keys, environment reads, mutable defaults.
+* **pickle-safety** (:mod:`repro.analysis.pickle_safety`) — lambdas,
+  local classes and OS resources statically reaching a serialization
+  boundary (worker pipe, snapshot, checkpoint).
+* **arch** (:mod:`repro.analysis.arch` / :mod:`repro.analysis.graph`) —
+  the declared layer DAG: upward imports, import cycles, undeclared
+  packages.
+* **races** (:mod:`repro.analysis.races`) — schedule-site pairs at one
+  ``(time, priority)`` instant touching the same attribute.
+
+All passes share pragma suppression (``# repro: allow[RULE]``),
+family-split baselines, an incremental content-addressed cache
+(:mod:`repro.analysis.cache`) and a mechanical autofixer
+(:mod:`repro.analysis.fixer`).  :mod:`repro.analysis.sanitizer` is the
+runtime complement: an opt-in kernel mode detecting same-instant races
+on interleavings a seed actually exercises.
 """
 
+from .arch import ARCH_RULES, DEFAULT_CONTRACT, LayerContract
+from .cache import AnalysisCache
 from .detectors import RULES, Finding, Rule, detect
+from .graph import ModuleGraph, collect_imports
 from .lint import (
+    ALL_PASSES,
+    AnalysisReport,
     LintReport,
+    analysis_salt,
     baseline_from_report,
     load_baseline,
     new_findings,
+    run_analysis,
     run_lint,
     save_baseline,
 )
+from .pickle_safety import PICKLE_RULES
+from .races import RACE_RULES
 from .sanitizer import KernelSanitizer, SanitizerReport
 
 __all__ = [
+    "ALL_PASSES",
+    "ARCH_RULES",
+    "AnalysisCache",
+    "AnalysisReport",
+    "DEFAULT_CONTRACT",
     "Finding",
     "KernelSanitizer",
+    "LayerContract",
     "LintReport",
+    "ModuleGraph",
+    "PICKLE_RULES",
+    "RACE_RULES",
     "RULES",
     "Rule",
     "SanitizerReport",
+    "analysis_salt",
     "baseline_from_report",
+    "collect_imports",
     "detect",
     "load_baseline",
     "new_findings",
+    "run_analysis",
     "run_lint",
     "save_baseline",
 ]

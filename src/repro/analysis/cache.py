@@ -1,0 +1,142 @@
+"""Incremental analysis cache (content-addressed, byte-identical).
+
+Every per-file analysis product — findings of each pass, pragma
+suppressions, import edges — is a pure function of
+
+* the file's repo-relative path and exact byte content, and
+* the analyzer version (rule catalogue + layer-contract fingerprint).
+
+So one cache key covers it all::
+
+    key = sha256(version_salt || rel_path || "\\0" || content_bytes)
+
+and a warm run replays stored results without parsing a single AST.
+Whole-program products (import cycles) are *recomputed* each run from
+the cached per-file import lists — graph reduction is microseconds; the
+expensive part is the per-file parse + visit this cache elides.
+
+Correctness guarantees:
+
+* **byte-identical reports** — entries store fully rendered finding
+  dicts (including line/col/text), so a hot report equals a cold one
+  byte for byte; the golden cache tests assert exactly this.
+* **edit safety** — any content change changes the key; any detector or
+  contract change changes the salt; stale entries are simply never
+  addressed again (and are cheap to ``prune``).
+* **crash safety** — entries are written ``tmp -> rename`` (the same
+  atomic idiom as the campaign checkpoints); a torn entry fails JSON
+  parsing and is treated as a miss, never trusted.
+
+Entries live under ``.repro-analysis-cache/<salt>/<key[:2]>/<key>.json``
+(gitignored).  The directory is safe to delete at any time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Any, Dict, Optional
+
+#: bump on any change to detectors, passes, finding schema or cache
+#: layout — it invalidates every existing entry at once
+CACHE_VERSION = "3"
+
+
+def version_salt(*components: str) -> str:
+    """Short stable salt folding ``CACHE_VERSION`` and extra config
+    (rule catalogue fingerprint, layer-contract fingerprint, pass set)."""
+    payload = "\0".join((CACHE_VERSION,) + components)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+class AnalysisCache:
+    """Content-addressed store of per-file analysis results."""
+
+    def __init__(self, directory: str, salt: str) -> None:
+        self.directory = directory
+        self.salt = salt
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # -- keys ------------------------------------------------------------
+
+    def key(self, rel_path: str, content: bytes) -> str:
+        hasher = hashlib.sha256()
+        hasher.update(self.salt.encode("ascii"))
+        hasher.update(rel_path.encode("utf-8"))
+        hasher.update(b"\0")
+        hasher.update(content)
+        return hasher.hexdigest()
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, self.salt, key[:2], f"{key}.json")
+
+    # -- entries ---------------------------------------------------------
+
+    def load(self, key: str) -> Optional[Dict[str, Any]]:
+        """Stored entry for ``key``, or None (miss / torn / unreadable)."""
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if not isinstance(entry, dict):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def store(self, key: str, entry: Dict[str, Any]) -> None:
+        """Atomically persist ``entry`` (best-effort: a read-only cache
+        directory disables caching rather than failing the analysis)."""
+        path = self._path(key)
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=os.path.dirname(path), suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    json.dump(entry, fh, sort_keys=True)
+                os.replace(tmp, path)
+            except BaseException:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+                raise
+            self.stores += 1
+        except OSError:
+            pass
+
+    def prune(self) -> int:
+        """Delete entries written under other salts; returns the count.
+
+        Run opportunistically by the CLI so stale generations don't
+        accumulate after detector upgrades.
+        """
+        removed = 0
+        try:
+            generations = os.listdir(self.directory)
+        except OSError:
+            return 0
+        for generation in generations:
+            if generation == self.salt:
+                continue
+            gen_dir = os.path.join(self.directory, generation)
+            for dirpath, _dirnames, filenames in os.walk(
+                gen_dir, topdown=False
+            ):
+                for name in filenames:
+                    try:
+                        os.unlink(os.path.join(dirpath, name))
+                        removed += 1
+                    except OSError:
+                        pass
+                try:
+                    os.rmdir(dirpath)
+                except OSError:
+                    pass
+        return removed

@@ -148,6 +148,52 @@ class Finding:
             f"[{self.severity}] {self.message} (fix: {self.hint})"
         )
 
+    @property
+    def family(self) -> str:
+        """Rule family: the leading letters of the rule id (``DET``,
+        ``PICK``, ``ARCH``, ``RACE``) — the unit of baseline splitting
+        and summary reporting."""
+        return rule_family(self.rule)
+
+    def to_cache_dict(self) -> Dict[str, object]:
+        """Full serialization for the incremental analysis cache."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+            "text": self.text,
+            "end_line": self.end_line,
+        }
+
+    @classmethod
+    def from_cache_dict(cls, payload: Dict[str, object]) -> "Finding":
+        return cls(
+            rule=str(payload["rule"]),
+            severity=str(payload["severity"]),
+            path=str(payload["path"]),
+            line=int(payload["line"]),  # type: ignore[arg-type]
+            col=int(payload["col"]),  # type: ignore[arg-type]
+            message=str(payload["message"]),
+            hint=str(payload["hint"]),
+            text=str(payload.get("text", "")),
+            end_line=int(payload.get("end_line", 0)),  # type: ignore[arg-type]
+        )
+
+
+def rule_family(rule_id: str) -> str:
+    """Leading alphabetic prefix of a rule id (``PICK503`` -> ``PICK``)."""
+    letters = []
+    for char in rule_id:
+        if char.isalpha():
+            letters.append(char)
+        else:
+            break
+    return "".join(letters) or rule_id
+
 
 def _is_strict_env_path(path: str) -> bool:
     parts = path.replace("\\", "/").split("/")
@@ -575,7 +621,11 @@ class HazardVisitor(ast.NodeVisitor):
 
 
 def detect(
-    source: str, path: str, *, allow_raw_random: bool = False
+    source: str,
+    path: str,
+    *,
+    allow_raw_random: bool = False,
+    tree: Optional[ast.AST] = None,
 ) -> List[Finding]:
     """Run every detector over ``source`` and return its findings.
 
@@ -584,8 +634,12 @@ def detect(
         path: repo-relative posix path used in findings and fingerprints.
         allow_raw_random: disable DET101 for the one sanctioned module
             (``sim/rng.py`` wraps ``random.Random`` by design).
+        tree: optionally a pre-parsed AST of ``source`` — the multi-pass
+            driver parses each file once and shares the tree between
+            passes.
     """
-    tree = ast.parse(source, filename=path)
+    if tree is None:
+        tree = ast.parse(source, filename=path)
     visitor = HazardVisitor(
         path, source.splitlines(), allow_raw_random=allow_raw_random
     )

@@ -1,0 +1,301 @@
+"""Mechanical autofixes for analyzer findings (``--fix``).
+
+The fixer only touches constructs whose repair is *provably* behavior-
+preserving-or-better:
+
+* **DET201** — hash-order set iteration: wrap the iterated expression in
+  ``sorted(...)`` (for-loops, comprehensions, ``str.join``), or turn
+  ``list(s)`` into ``sorted(s)`` directly.  The result iterates the same
+  elements in a deterministic order.
+* **DET101** — ``name = random.Random(seed)``: rewrite to
+  ``name = RngStreams(seed).stream("name")`` (and add the import).
+  :meth:`repro.sim.rng.RngStreams.stream` returns a ``random.Random``,
+  so every draw made through ``name`` behaves identically — but now the
+  stream is named, registered, and snapshot-aware.
+
+Everything else is left to a human: a fix the tool cannot prove is not a
+fix, it is a new bug with tooling provenance.  The driver feeds the
+fixer only *fresh* findings (after pragmas and baselines), so on a clean
+tree ``--fix`` proposes zero edits — CI asserts exactly that.
+
+Proposals are unified diffs by default (dry run); ``apply_fixes``
+rewrites files atomically (``tmp -> rename``, same idiom as the
+checkpoint store).
+"""
+
+from __future__ import annotations
+
+import ast
+import difflib
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .detectors import Finding
+
+#: rules the fixer knows how to repair mechanically
+FIXABLE_RULES = frozenset({"DET101", "DET201"})
+
+
+@dataclass(frozen=True)
+class Splice:
+    """One text replacement: [start, end) byte-offsets into the source."""
+
+    start: int
+    end: int
+    replacement: str
+    description: str
+
+
+@dataclass
+class FileFix:
+    """All proposed edits for one file."""
+
+    path: str                 # repo-relative, posix
+    absolute: str
+    old_source: str
+    new_source: str
+    descriptions: List[str] = field(default_factory=list)
+
+    def diff(self) -> str:
+        return "".join(
+            difflib.unified_diff(
+                self.old_source.splitlines(keepends=True),
+                self.new_source.splitlines(keepends=True),
+                fromfile=f"a/{self.path}",
+                tofile=f"b/{self.path}",
+            )
+        )
+
+
+def _line_offsets(source: str) -> List[int]:
+    offsets = [0]
+    for line in source.splitlines(keepends=True):
+        offsets.append(offsets[-1] + len(line))
+    return offsets
+
+
+def _offset(offsets: List[int], line: int, col: int) -> int:
+    return offsets[line - 1] + col
+
+
+def _span(node: ast.AST, offsets: List[int]) -> Optional[Tuple[int, int]]:
+    end_line = getattr(node, "end_lineno", None)
+    end_col = getattr(node, "end_col_offset", None)
+    if end_line is None or end_col is None:
+        return None
+    return (
+        _offset(offsets, node.lineno, node.col_offset),
+        _offset(offsets, end_line, end_col),
+    )
+
+
+class _FixPlanner(ast.NodeVisitor):
+    """Collect splices for the fixable findings of one module."""
+
+    def __init__(self, source: str, targets: Dict[Tuple[int, int], Finding]) -> None:
+        self.source = source
+        self.offsets = _line_offsets(source)
+        self.targets = dict(targets)
+        self.splices: List[Splice] = []
+        self.needs_rng_import = False
+
+    # -- helpers ---------------------------------------------------------
+
+    def _claim(self, node: ast.AST, rule: str) -> Optional[Finding]:
+        key = (getattr(node, "lineno", -1), getattr(node, "col_offset", -1))
+        finding = self.targets.get(key)
+        if finding is not None and finding.rule == rule:
+            del self.targets[key]
+            return finding
+        return None
+
+    def _wrap_sorted(self, node: ast.AST, what: str) -> bool:
+        span = _span(node, self.offsets)
+        if span is None:
+            return False
+        start, end = span
+        text = self.source[start:end]
+        self.splices.append(
+            Splice(start, end, f"sorted({text})", f"wrap {what} in sorted()")
+        )
+        return True
+
+    # -- DET201 sites ----------------------------------------------------
+
+    def visit_For(self, node: ast.For) -> None:
+        if self._claim(node.iter, "DET201"):
+            self._wrap_sorted(node.iter, "for-loop iterable")
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node) -> None:
+        for comp in node.generators:
+            if self._claim(comp.iter, "DET201"):
+                self._wrap_sorted(comp.iter, "comprehension iterable")
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "list" \
+                and len(node.args) == 1 and not node.keywords:
+            if self._claim(node, "DET201"):
+                span = _span(func, self.offsets)
+                if span is not None:
+                    self.splices.append(
+                        Splice(span[0], span[1], "sorted",
+                               "list(set) -> sorted(set)")
+                    )
+        elif isinstance(func, ast.Name) and func.id == "tuple" \
+                and len(node.args) == 1 and not node.keywords:
+            if self._claim(node, "DET201"):
+                self._wrap_sorted(node.args[0], "tuple() argument")
+        elif isinstance(func, ast.Attribute) and func.attr == "join" \
+                and len(node.args) == 1:
+            if self._claim(node, "DET201"):
+                self._wrap_sorted(node.args[0], "join() argument")
+        self.generic_visit(node)
+
+    # -- DET101: name = random.Random(seed) ------------------------------
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        value = node.value
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr == "Random"
+            and isinstance(value.func.value, ast.Name)
+            and value.func.value.id == "random"
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and len(value.args) == 1
+            and not value.keywords
+        ):
+            finding = self._claim(value.func, "DET101")
+            if finding is not None:
+                span = _span(value, self.offsets)
+                seed_span = _span(value.args[0], self.offsets)
+                if span is not None and seed_span is not None:
+                    name = node.targets[0].id
+                    seed = self.source[seed_span[0]:seed_span[1]]
+                    self.splices.append(
+                        Splice(
+                            span[0], span[1],
+                            f'RngStreams({seed}).stream("{name}")',
+                            "random.Random -> named RngStreams stream",
+                        )
+                    )
+                    self.needs_rng_import = True
+        self.generic_visit(node)
+
+
+_RNG_IMPORT = "from repro.sim.rng import RngStreams"
+
+
+def _has_rng_import(tree: ast.AST) -> bool:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module and \
+                node.module.endswith("sim.rng"):
+            if any(alias.name == "RngStreams" for alias in node.names):
+                return True
+    return False
+
+
+def _import_insert_offset(tree: ast.AST, offsets: List[int]) -> int:
+    """Offset just after the last top-level import (or the docstring)."""
+    last_line = 0
+    body = getattr(tree, "body", [])
+    for stmt in body:
+        if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            last_line = getattr(stmt, "end_lineno", stmt.lineno)
+    if last_line == 0 and body:
+        first = body[0]
+        if isinstance(first, ast.Expr) and isinstance(
+            first.value, ast.Constant
+        ) and isinstance(first.value.value, str):
+            last_line = getattr(first, "end_lineno", first.lineno)
+    return offsets[last_line] if last_line < len(offsets) else offsets[-1]
+
+
+def _apply_splices(source: str, splices: Sequence[Splice]) -> str:
+    ordered = sorted(splices, key=lambda s: s.start, reverse=True)
+    out = source
+    last_start: Optional[int] = None
+    for splice in ordered:
+        if last_start is not None and splice.end > last_start:
+            continue  # overlapping proposal: keep the later one only
+        out = out[:splice.start] + splice.replacement + out[splice.end:]
+        last_start = splice.start
+    return out
+
+
+def propose_fixes(
+    findings: Iterable[Finding], root: str
+) -> List[FileFix]:
+    """Plan mechanical fixes for ``findings``; returns one entry per
+    file that has at least one applicable edit, sorted by path."""
+    by_path: Dict[str, Dict[Tuple[int, int], Finding]] = {}
+    for finding in findings:
+        if finding.rule in FIXABLE_RULES:
+            by_path.setdefault(finding.path, {})[
+                (finding.line, finding.col)
+            ] = finding
+
+    fixes: List[FileFix] = []
+    for path in sorted(by_path):
+        absolute = os.path.join(root, path.replace("/", os.sep))
+        try:
+            with open(absolute, "r", encoding="utf-8") as fh:
+                source = fh.read()
+            tree = ast.parse(source, filename=path)
+        except (OSError, SyntaxError):
+            continue
+        planner = _FixPlanner(source, by_path[path])
+        planner.visit(tree)
+        if not planner.splices:
+            continue
+        splices = list(planner.splices)
+        if planner.needs_rng_import and not _has_rng_import(tree):
+            at = _import_insert_offset(tree, planner.offsets)
+            splices.append(
+                Splice(at, at, _RNG_IMPORT + "\n", "add RngStreams import")
+            )
+        new_source = _apply_splices(source, splices)
+        if new_source == source:
+            continue
+        fixes.append(
+            FileFix(
+                path=path,
+                absolute=absolute,
+                old_source=source,
+                new_source=new_source,
+                descriptions=[s.description for s in planner.splices],
+            )
+        )
+    return fixes
+
+
+def render_diffs(fixes: Sequence[FileFix]) -> str:
+    return "".join(fix.diff() for fix in fixes)
+
+
+def apply_fixes(fixes: Sequence[FileFix]) -> int:
+    """Write every fix atomically; returns the number of files changed."""
+    changed = 0
+    for fix in fixes:
+        directory = os.path.dirname(fix.absolute) or "."
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(fix.new_source)
+            os.replace(tmp, fix.absolute)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        changed += 1
+    return changed

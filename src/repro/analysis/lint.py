@@ -23,16 +23,58 @@ This module turns the per-file detectors of
 
 from __future__ import annotations
 
+import ast
 import json
 import os
 import re
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from .detectors import RULES, Finding, detect
+from .arch import (
+    ARCH_RULES,
+    DEFAULT_CONTRACT,
+    LayerContract,
+    check_cycles,
+    check_module_layers,
+)
+from .cache import AnalysisCache, version_salt
+from .detectors import RULES, Finding, Rule, detect, rule_family
+from .graph import ImportEdge, ModuleGraph, ModuleInfo, collect_imports
+from .pickle_safety import PICKLE_RULES, check_pickle_safety
+from .races import RACE_RULES, check_races
 
-#: JSON report / baseline schema version.
+#: JSON report / baseline schema version (DET-only :func:`run_lint`).
 SCHEMA_VERSION = 1
+
+#: JSON schema of the multi-pass :class:`AnalysisReport`.
+ANALYSIS_SCHEMA_VERSION = 2
+
+#: a directory containing this file is a fixture tree with *planted*
+#: violations: the walker skips it unless it is the scan root itself
+SKIP_SENTINEL = ".repro-analysis-skip"
+
+# -- passes --------------------------------------------------------------
+
+PASS_DET = "det"
+PASS_PICKLE = "pickle-safety"
+PASS_ARCH = "arch"
+PASS_RACES = "races"
+ALL_PASSES: Tuple[str, ...] = (PASS_DET, PASS_PICKLE, PASS_ARCH, PASS_RACES)
+
+#: rule catalogue contributed by each pass
+PASS_RULES: Dict[str, Dict[str, Rule]] = {
+    PASS_DET: RULES,
+    PASS_PICKLE: PICKLE_RULES,
+    PASS_ARCH: ARCH_RULES,
+    PASS_RACES: RACE_RULES,
+}
+
+
+def rules_for_passes(passes: Sequence[str]) -> Dict[str, Rule]:
+    merged: Dict[str, Rule] = {}
+    for name in passes:
+        merged.update(PASS_RULES[name])
+    return dict(sorted(merged.items()))
 
 #: Files where DET101 is suppressed by design: the seeded-stream registry
 #: itself has to wrap ``random.Random``.
@@ -92,6 +134,27 @@ class PragmaIndex:
             if allowed and self._matches(allowed, finding.rule):
                 return True
         return False
+
+    def to_dict(self) -> Dict:
+        """Cache serialization (whole-program passes re-check pragmas
+        for files whose per-file results came from the cache)."""
+        return {
+            "file_allows": sorted(self.file_allows),
+            "line_allows": {
+                str(line): sorted(rules)
+                for line, rules in sorted(self.line_allows.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "PragmaIndex":
+        index = cls()
+        index.file_allows = set(payload.get("file_allows", ()))
+        index.line_allows = {
+            int(line): set(rules)
+            for line, rules in payload.get("line_allows", {}).items()
+        }
+        return index
 
 
 @dataclass
@@ -165,6 +228,12 @@ def _iter_python_files(paths: Iterable[str], root: str) -> List[str]:
                 out.add(os.path.abspath(absolute))
             continue
         for dirpath, dirnames, filenames in os.walk(absolute):
+            if SKIP_SENTINEL in filenames and \
+                    os.path.abspath(dirpath) != os.path.abspath(absolute):
+                # fixture tree with planted violations: invisible to a
+                # repo-wide walk, scannable when targeted explicitly
+                dirnames[:] = []
+                continue
             dirnames[:] = sorted(
                 d for d in dirnames
                 if d != "__pycache__" and not d.startswith(".")
@@ -249,6 +318,234 @@ def load_baseline(path: str) -> Dict[str, int]:
         raw = json.load(fh)
     fingerprints = raw.get("fingerprints", {})
     return {str(k): int(v) for k, v in fingerprints.items()}
+
+
+# -- multi-pass whole-program analysis -----------------------------------
+
+
+@dataclass
+class AnalysisReport(LintReport):
+    """A :class:`LintReport` produced by the multi-pass analyzer.
+
+    Adds the active pass list, per-family summaries, and cache counters
+    (counters are *not* part of :meth:`to_dict` — reports must be
+    byte-identical with the cache hot, cold, or disabled).
+    """
+
+    passes: Tuple[str, ...] = ALL_PASSES
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def by_family(self) -> Dict[str, Dict[str, int]]:
+        """family -> {"errors": n, "warnings": n} over all findings."""
+        out: Dict[str, Dict[str, int]] = {}
+        for name in self.passes:
+            for rule_id in PASS_RULES[name]:
+                out.setdefault(
+                    rule_family(rule_id), {"errors": 0, "warnings": 0}
+                )
+        for finding in self.findings:
+            bucket = out.setdefault(
+                finding.family, {"errors": 0, "warnings": 0}
+            )
+            key = "errors" if finding.severity == "error" else "warnings"
+            bucket[key] += 1
+        return dict(sorted(out.items()))
+
+    def to_dict(self) -> Dict:
+        payload = super().to_dict()
+        payload["schema"] = ANALYSIS_SCHEMA_VERSION
+        payload["passes"] = list(self.passes)
+        payload["summary"]["by_family"] = self.by_family()
+        payload["rules"] = {
+            rule_id: {
+                "title": rule.title,
+                "severity": rule.severity,
+                "hint": rule.hint,
+            }
+            for rule_id, rule in rules_for_passes(self.passes).items()
+        }
+        return payload
+
+
+def _analyze_source(
+    source: str,
+    rel: str,
+    passes: Sequence[str],
+    contract: LayerContract,
+) -> Dict:
+    """Compute one file's cacheable analysis entry (all products)."""
+    lines = source.splitlines()
+    pragmas = PragmaIndex.scan(lines)
+    entry: Dict = {
+        "parse_error": None,
+        "passes": {},
+        "imports": [],
+        "pragmas": pragmas.to_dict(),
+    }
+    try:
+        tree = ast.parse(source, filename=rel)
+    except SyntaxError as exc:
+        entry["parse_error"] = f"{rel}: {exc.msg} (line {exc.lineno})"
+        for name in passes:
+            entry["passes"][name] = {"findings": [], "suppressed": 0}
+        return entry
+
+    info = collect_imports(tree, rel, lines)
+    entry["imports"] = [
+        {
+            "target": edge.target,
+            "line": edge.line,
+            "col": edge.col,
+            "lazy": edge.lazy,
+            "type_checking": edge.type_checking,
+            "maybe_attribute": edge.maybe_attribute,
+            "text": edge.text,
+        }
+        for edge in info.edges
+    ]
+
+    for name in passes:
+        if name == PASS_DET:
+            allow_raw = any(
+                rel.endswith(suffix) for suffix in RAW_RANDOM_ALLOWED
+            )
+            found = detect(
+                source, rel, allow_raw_random=allow_raw, tree=tree
+            )
+        elif name == PASS_PICKLE:
+            found = check_pickle_safety(tree, rel, lines)
+        elif name == PASS_ARCH:
+            found = check_module_layers(info, contract)
+        elif name == PASS_RACES:
+            found = check_races(tree, rel, lines)
+        else:
+            raise ValueError(f"unknown analysis pass {name!r}")
+        kept: List[Dict] = []
+        suppressed = 0
+        for finding in found:
+            if pragmas.suppresses(finding, finding.end_line):
+                suppressed += 1
+            else:
+                kept.append(finding.to_cache_dict())
+        entry["passes"][name] = {
+            "findings": kept, "suppressed": suppressed,
+        }
+    return entry
+
+
+def _module_info_from_entry(rel: str, entry: Dict) -> ModuleInfo:
+    from .graph import module_name_for
+
+    edges = [
+        ImportEdge(
+            target=e["target"],
+            line=int(e["line"]),
+            col=int(e["col"]),
+            lazy=bool(e["lazy"]),
+            type_checking=bool(e["type_checking"]),
+            maybe_attribute=bool(e.get("maybe_attribute", False)),
+            text=str(e.get("text", "")),
+        )
+        for e in entry.get("imports", ())
+    ]
+    return ModuleInfo(path=rel, module=module_name_for(rel), edges=edges)
+
+
+def analysis_salt(
+    passes: Sequence[str] = ALL_PASSES,
+    contract: LayerContract = DEFAULT_CONTRACT,
+) -> str:
+    """Cache salt folding the pass set, rule catalogue and contract.
+
+    Any detector upgrade (new rule id), contract edit, or pass-set
+    change yields a fresh salt, so stale cache generations are never
+    even addressed.
+    """
+    return version_salt(
+        ",".join(passes),
+        ",".join(sorted(rules_for_passes(passes))),
+        contract.fingerprint(),
+    )
+
+
+def run_analysis(
+    paths: Iterable[str],
+    root: str,
+    *,
+    passes: Sequence[str] = ALL_PASSES,
+    cache: Optional[AnalysisCache] = None,
+    contract: LayerContract = DEFAULT_CONTRACT,
+) -> AnalysisReport:
+    """Run the requested passes over every Python file under ``paths``.
+
+    With a cache, per-file work is skipped for files whose (path,
+    content, analyzer version) triple has been seen before; the report
+    is byte-identical either way.  Whole-program products (ARCH602
+    cycles) are recomputed every run from the per-file import lists.
+    """
+    for name in passes:
+        if name not in PASS_RULES:
+            raise ValueError(
+                f"unknown analysis pass {name!r}; "
+                f"expected one of {', '.join(ALL_PASSES)}"
+            )
+    report = AnalysisReport(passes=tuple(passes))
+    entries: List[Tuple[str, Dict]] = []
+    for absolute in _iter_python_files(paths, root):
+        rel = _relpath(absolute, root)
+        with open(absolute, "rb") as fh:
+            content = fh.read()
+        entry: Optional[Dict] = None
+        key = ""
+        if cache is not None:
+            key = cache.key(rel, content)
+            cached = cache.load(key)
+            if cached is not None and all(
+                name in cached.get("passes", {}) for name in passes
+            ):
+                entry = cached
+        if entry is None:
+            source = content.decode("utf-8")
+            entry = _analyze_source(source, rel, passes, contract)
+            if cache is not None:
+                cache.store(key, entry)
+        report.files_scanned += 1
+        entries.append((rel, entry))
+        if entry["parse_error"] is not None:
+            report.parse_errors.append(entry["parse_error"])
+            continue
+        for name in passes:
+            per_pass = entry["passes"][name]
+            report.suppressed += per_pass["suppressed"]
+            report.findings.extend(
+                Finding.from_cache_dict(f) for f in per_pass["findings"]
+            )
+
+    if PASS_ARCH in passes:
+        graph = ModuleGraph(
+            _module_info_from_entry(rel, entry)
+            for rel, entry in entries
+            if entry["parse_error"] is None
+        )
+        pragma_by_path = {
+            rel: PragmaIndex.from_dict(entry.get("pragmas", {}))
+            for rel, entry in entries
+        }
+        for finding in check_cycles(graph):
+            pragmas = pragma_by_path.get(finding.path)
+            if pragmas is not None and pragmas.suppresses(
+                finding, finding.end_line
+            ):
+                report.suppressed += 1
+            else:
+                report.findings.append(finding)
+
+    if cache is not None:
+        report.cache_hits = cache.hits
+        report.cache_misses = cache.misses
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return report
 
 
 def new_findings(

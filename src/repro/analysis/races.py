@@ -1,0 +1,284 @@
+"""Static same-instant race pass (``RACE7xx``).
+
+The runtime :class:`~repro.analysis.sanitizer.KernelSanitizer` reports
+same-instant races it *observes* — two callbacks at one ``(time,
+priority)`` mutating the same state — but only on interleavings a seed
+happens to exercise.  This pass finds the schedule-site pairs that
+*could* collide, with zero execution:
+
+========  ==============================================================
+RACE701   two same-instant schedule sites whose callbacks both write
+          the same attribute — last-writer-wins by insertion order only
+RACE702   two same-instant schedule sites where one callback writes an
+          attribute the other reads — the read's value depends on
+          registration order
+========  ==============================================================
+
+Scope and precision: sites are paired only when they appear in the
+**same class**, use the same scheduling method kind with an identical
+**constant** delay/time and identical priority expression, and both
+callbacks are ``self.<method>`` references resolvable in that class.
+Attribute write/read sets are the ``self.<attr>`` accesses of each
+method body.  These constraints trade recall for a near-zero false
+positive rate: everything reported is a pair the kernel really would
+run back-to-back at one instant, ordered only by registration order.
+Both rules are warnings — the kernel's ``(priority, insertion)`` tie
+order is deterministic, so these are order-*fragility* hazards (the
+order silently flips when an unrelated refactor reorders the two
+``schedule`` calls), not nondeterminism.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from .detectors import Finding, Rule, SEVERITY_WARNING
+
+RACE_RULES: Dict[str, Rule] = {
+    rule.rule_id: rule
+    for rule in (
+        Rule(
+            "RACE701",
+            "same-instant callbacks write the same attribute",
+            SEVERITY_WARNING,
+            "give the two sites distinct priorities (or fold both "
+            "writes into one callback) so the outcome is declared, "
+            "not an accident of registration order",
+        ),
+        Rule(
+            "RACE702",
+            "same-instant callback reads what its peer writes",
+            SEVERITY_WARNING,
+            "order the pair explicitly with distinct priorities so the "
+            "read/write order is part of the design",
+        ),
+    )
+}
+
+_SCHEDULE_METHODS = frozenset({"schedule", "post", "at"})
+
+
+@dataclass(frozen=True)
+class ScheduleSite:
+    """One ``.schedule/.post/.at`` call with a resolvable instant."""
+
+    method: str          # scheduling call kind
+    when: float          # the constant delay / absolute time
+    priority: str        # stable repr of the priority expression
+    callback: str        # self.<method> name
+    line: int
+    col: int
+    end_line: int
+    text: str
+
+
+def _priority_key(node: Optional[ast.AST]) -> Optional[str]:
+    """Stable string for a priority expression (None = default)."""
+    if node is None:
+        return "<default>"
+    if isinstance(node, ast.Constant):
+        return repr(node.value)
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        parts = [node.attr]
+        value = node.value
+        while isinstance(value, ast.Attribute):
+            parts.append(value.attr)
+            value = value.value
+        if isinstance(value, ast.Name):
+            parts.append(value.id)
+            return ".".join(reversed(parts))
+    return None  # dynamic priority: cannot compare instants
+
+
+class _ClassCollector(ast.NodeVisitor):
+    """Per-class schedule sites + per-method self-attribute access sets."""
+
+    def __init__(self, source_lines: List[str]) -> None:
+        self.lines = source_lines
+        self.sites: Dict[str, List[Tuple[str, ScheduleSite]]] = {}
+        self.writes: Dict[Tuple[str, str], Set[str]] = {}
+        self.reads: Dict[Tuple[str, str], Set[str]] = {}
+        self.class_lines: Dict[str, int] = {}
+        self._class: Optional[str] = None
+        self._method: Optional[str] = None
+
+    def _text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        prev, self._class = self._class, node.name
+        self.class_lines.setdefault(node.name, node.lineno)
+        self.generic_visit(node)
+        self._class = prev
+
+    def _visit_method(self, node) -> None:
+        if self._class is None:
+            self.generic_visit(node)
+            return
+        prev, self._method = self._method, node.name
+        key = (self._class, node.name)
+        self.writes.setdefault(key, set())
+        self.reads.setdefault(key, set())
+        self.generic_visit(node)
+        self._method = prev
+
+    visit_FunctionDef = _visit_method
+    visit_AsyncFunctionDef = _visit_method
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if (
+            self._class is not None
+            and self._method is not None
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            key = (self._class, self._method)
+            if isinstance(node.ctx, (ast.Store, ast.Del)):
+                self.writes[key].add(node.attr)
+            else:
+                self.reads[key].add(node.attr)
+        self.generic_visit(node)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        # self.buf[k] = v mutates self.buf: count as a write to the attr
+        if (
+            isinstance(node.ctx, (ast.Store, ast.Del))
+            and self._class is not None
+            and self._method is not None
+            and isinstance(node.value, ast.Attribute)
+            and isinstance(node.value.value, ast.Name)
+            and node.value.value.id == "self"
+        ):
+            self.writes[(self._class, self._method)].add(node.value.attr)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            self._class is not None
+            and self._method is not None
+            and isinstance(func, ast.Attribute)
+            and func.attr in _SCHEDULE_METHODS
+            and len(node.args) >= 2
+        ):
+            when = node.args[0]
+            callback = node.args[1]
+            priority = _priority_key(
+                next(
+                    (k.value for k in node.keywords if k.arg == "priority"),
+                    None,
+                )
+            )
+            if (
+                isinstance(when, ast.Constant)
+                and isinstance(when.value, (int, float))
+                and not isinstance(when.value, bool)
+                and priority is not None
+                and isinstance(callback, ast.Attribute)
+                and isinstance(callback.value, ast.Name)
+                and callback.value.id == "self"
+            ):
+                site = ScheduleSite(
+                    method=func.attr,
+                    when=float(when.value),
+                    priority=priority,
+                    callback=callback.attr,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    end_line=getattr(node, "end_lineno", node.lineno),
+                    text=self._text(node.lineno),
+                )
+                self.sites.setdefault(self._class, []).append(
+                    (self._method, site)
+                )
+        self.generic_visit(node)
+
+
+def check_races(
+    tree: ast.AST, path: str, source_lines: List[str]
+) -> List[Finding]:
+    """Run the static same-instant race pass over one parsed module."""
+    collector = _ClassCollector(source_lines)
+    collector.visit(tree)
+    findings: List[Finding] = []
+    for cls in sorted(collector.sites):
+        sites = collector.sites[cls]
+        groups: Dict[Tuple[str, float, str], List[Tuple[str, ScheduleSite]]] = {}
+        for method, site in sites:
+            # .at(T) and .schedule(T) pin different instants; group by kind
+            kind = "at" if site.method == "at" else "delay"
+            groups.setdefault(
+                (kind, site.when, site.priority), []
+            ).append((method, site))
+        for group in groups.values():
+            reported: Set[Tuple[int, int]] = set()
+            for i in range(len(group)):
+                for j in range(i + 1, len(group)):
+                    _, first = group[i]
+                    _, second = group[j]
+                    if first.callback == second.callback:
+                        continue
+                    key_a = (cls, first.callback)
+                    key_b = (cls, second.callback)
+                    writes_a = collector.writes.get(key_a)
+                    writes_b = collector.writes.get(key_b)
+                    if writes_a is None or writes_b is None:
+                        continue  # callback not resolvable in this class
+                    pair = (first.line, second.line)
+                    if pair in reported:
+                        continue
+                    shared_writes = sorted(writes_a & writes_b)
+                    if shared_writes:
+                        reported.add(pair)
+                        _report_pair(
+                            findings, "RACE701", path, cls, first, second,
+                            f"class {cls}: callbacks "
+                            f"{first.callback!r} (line {first.line}) and "
+                            f"{second.callback!r} both write "
+                            f"self.{shared_writes[0]} at the same "
+                            "(time, priority) instant",
+                        )
+                        continue
+                    reads_b = collector.reads.get(key_b, set())
+                    reads_a = collector.reads.get(key_a, set())
+                    crossed = sorted(
+                        (writes_a & reads_b) | (writes_b & reads_a)
+                    )
+                    if crossed:
+                        reported.add(pair)
+                        _report_pair(
+                            findings, "RACE702", path, cls, first, second,
+                            f"callback {second.callback!r} and "
+                            f"{first.callback!r} (line {first.line}) "
+                            f"race on self.{crossed[0]} (one reads what "
+                            "the other writes) at the same "
+                            "(time, priority) instant",
+                        )
+    findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    return findings
+
+
+def _report_pair(
+    findings: List[Finding], rule_id: str, path: str, cls: str,
+    first: ScheduleSite, second: ScheduleSite, message: str,
+) -> None:
+    rule = RACE_RULES[rule_id]
+    findings.append(
+        Finding(
+            rule=rule_id,
+            severity=rule.severity,
+            path=path,
+            line=second.line,
+            col=second.col,
+            message=message,
+            hint=rule.hint,
+            text=second.text,
+            end_line=second.end_line,
+        )
+    )

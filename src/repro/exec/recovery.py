@@ -447,7 +447,8 @@ def resume_campaign(
     every_n = int(meta.get("every_n_shards", 1))
     checkpoint = CheckpointSpec(dir=directory, every_n_shards=every_n)
     if kind == "fleet_campaign":
-        from ..fleet.service import FleetCampaign
+        # resume re-enters the subsystem that wrote the checkpoint
+        from ..fleet.service import FleetCampaign  # repro: allow[ARCH603]
 
         campaign = FleetCampaign(
             plan, executor=executor, fork=fork, checkpoint=checkpoint,
@@ -455,7 +456,8 @@ def resume_campaign(
         )
         return campaign.run()
     if kind == "fault_campaign":
-        from ..faults.campaign import run_fault_campaign
+        # resume re-enters the subsystem that wrote the checkpoint
+        from ..faults.campaign import run_fault_campaign  # repro: allow[ARCH603]
 
         spec, replications, master_seed = plan
         return run_fault_campaign(
@@ -464,7 +466,8 @@ def resume_campaign(
             fault_points=fault_points,
         )
     if kind == "campaign_sweep":
-        from ..core.campaign import sweep_campaigns
+        # resume re-enters the subsystem that wrote the checkpoint
+        from ..core.campaign import sweep_campaigns  # repro: allow[ARCH603]
 
         spec, replications, master_seed = plan
         return sweep_campaigns(

@@ -1,0 +1,16 @@
+"""PLANTED RACE701: two same-instant callbacks write one attribute."""
+
+
+class Racer:
+    def __init__(self):
+        self.count = 0
+
+    def start(self, sim):
+        sim.schedule(1.0, self.bump)
+        sim.schedule(1.0, self.reset)
+
+    def bump(self):
+        self.count = self.count + 1
+
+    def reset(self):
+        self.count = 0

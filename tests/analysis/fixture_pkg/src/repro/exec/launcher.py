@@ -1,0 +1,7 @@
+"""PLANTED PICK501: a lambda cannot cross the worker pipe."""
+
+from repro.jobs import FunctionJob
+
+
+def build_jobs():
+    return [FunctionJob("planted", lambda seed: seed * 2)]

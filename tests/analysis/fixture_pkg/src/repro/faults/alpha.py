@@ -1,0 +1,7 @@
+"""PLANTED ARCH602 (half 1): alpha and beta import each other."""
+
+from . import beta
+
+
+def ping():
+    return beta.pong()

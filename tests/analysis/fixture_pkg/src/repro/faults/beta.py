@@ -1,0 +1,7 @@
+"""PLANTED ARCH602 (half 2): alpha and beta import each other."""
+
+from . import alpha
+
+
+def pong():
+    return alpha.ping()

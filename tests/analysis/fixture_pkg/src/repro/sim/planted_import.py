@@ -1,0 +1,7 @@
+"""PLANTED ARCH601: the sim layer must never import exec."""
+
+from repro.exec.pool import get_inline_executor
+
+
+def run_with_executor():
+    return get_inline_executor()

@@ -1,0 +1,159 @@
+"""Incremental analysis cache: byte-identical hot/cold, edit-safe.
+
+The load-bearing property is exact: a report produced from a warm cache
+must equal the no-cache report **byte for byte**, including after
+editing one file.  A cache that changes output is not an optimization,
+it is a second analyzer.
+"""
+
+import json
+import os
+import time
+
+from repro.analysis.cache import AnalysisCache, version_salt
+from repro.analysis.lint import analysis_salt, run_analysis
+
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "..")
+)
+
+HAZARD = (
+    "import random\n"
+    "\n"
+    "def jitter():\n"
+    "    return random.random()\n"
+)
+
+CLEAN = "def f():\n    return 1\n"
+
+
+def write(root, rel, content):
+    path = root / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(content, encoding="utf-8")
+
+
+class TestByteIdentical:
+    def test_cold_warm_and_uncached_reports_match(self, tmp_path):
+        write(tmp_path, "src/a.py", HAZARD)
+        write(tmp_path, "src/b.py", CLEAN)
+        cache_dir = str(tmp_path / "cache")
+        salt = analysis_salt()
+        root = str(tmp_path)
+
+        cold_cache = AnalysisCache(cache_dir, salt)
+        cold = run_analysis(["src"], root, cache=cold_cache)
+        assert cold_cache.stores == 2 and cold_cache.hits == 0
+
+        warm_cache = AnalysisCache(cache_dir, salt)
+        warm = run_analysis(["src"], root, cache=warm_cache)
+        assert warm_cache.hits == 2 and warm_cache.misses == 0
+
+        uncached = run_analysis(["src"], root)
+        assert cold.to_json() == warm.to_json() == uncached.to_json()
+
+    def test_one_file_edit_reanalyzes_only_that_file(self, tmp_path):
+        write(tmp_path, "src/a.py", HAZARD)
+        write(tmp_path, "src/b.py", CLEAN)
+        cache_dir = str(tmp_path / "cache")
+        salt = analysis_salt()
+        root = str(tmp_path)
+        run_analysis(["src"], root, cache=AnalysisCache(cache_dir, salt))
+
+        write(tmp_path, "src/b.py", CLEAN + "\n# touched\n")
+        edited_cache = AnalysisCache(cache_dir, salt)
+        edited = run_analysis(["src"], root, cache=edited_cache)
+        assert edited_cache.hits == 1          # a.py replayed
+        assert edited_cache.misses == 1        # b.py recomputed
+        uncached = run_analysis(["src"], root)
+        assert edited.to_json() == uncached.to_json()
+
+    def test_real_repo_warm_run_identical_and_faster(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        salt = analysis_salt()
+
+        t0 = time.perf_counter()
+        cold = run_analysis(
+            ["src/repro"], REPO_ROOT,
+            cache=AnalysisCache(cache_dir, salt),
+        )
+        cold_elapsed = time.perf_counter() - t0
+
+        t1 = time.perf_counter()
+        warm = run_analysis(
+            ["src/repro"], REPO_ROOT,
+            cache=AnalysisCache(cache_dir, salt),
+        )
+        warm_elapsed = time.perf_counter() - t1
+
+        assert cold.to_json() == warm.to_json()
+        # "measurably faster": a full AST parse+visit of the tree versus
+        # JSON loads — anything under half the cold time is real
+        assert warm_elapsed < cold_elapsed / 2, (
+            f"warm {warm_elapsed:.3f}s vs cold {cold_elapsed:.3f}s"
+        )
+
+
+class TestInvalidation:
+    def test_salt_changes_with_rule_or_contract_config(self):
+        assert version_salt("a") != version_salt("b")
+        assert analysis_salt(["det"]) != analysis_salt(["det", "arch"])
+
+    def test_torn_entry_is_a_miss_not_a_crash(self, tmp_path):
+        write(tmp_path, "src/a.py", HAZARD)
+        cache_dir = str(tmp_path / "cache")
+        salt = analysis_salt()
+        root = str(tmp_path)
+        cache = AnalysisCache(cache_dir, salt)
+        baseline = run_analysis(["src"], root, cache=cache)
+
+        # corrupt every stored entry (simulates a crash mid-write)
+        for dirpath, _dirnames, filenames in os.walk(cache_dir):
+            for name in filenames:
+                with open(os.path.join(dirpath, name), "w") as fh:
+                    fh.write("{ torn")
+        recovered = run_analysis(
+            ["src"], root, cache=AnalysisCache(cache_dir, salt)
+        )
+        assert recovered.to_json() == baseline.to_json()
+
+    def test_prune_removes_other_generations(self, tmp_path):
+        write(tmp_path, "src/a.py", CLEAN)
+        cache_dir = str(tmp_path / "cache")
+        root = str(tmp_path)
+        old = AnalysisCache(cache_dir, "oldsalt")
+        run_analysis(["src"], root, cache=old)
+        assert old.stores == 1
+
+        new = AnalysisCache(cache_dir, analysis_salt())
+        run_analysis(["src"], root, cache=new)
+        removed = new.prune()
+        assert removed == 1
+        assert not os.path.exists(os.path.join(cache_dir, "oldsalt"))
+        assert os.path.exists(os.path.join(cache_dir, new.salt))
+
+    def test_unwritable_cache_dir_degrades_gracefully(self, tmp_path):
+        write(tmp_path, "src/a.py", HAZARD)
+        # a regular file where the cache directory should be: every
+        # store raises OSError, which must disable caching, not analysis
+        blocker = tmp_path / "cache"
+        blocker.write_text("not a directory")
+        cache = AnalysisCache(str(blocker), analysis_salt())
+        report = run_analysis(["src"], str(tmp_path), cache=cache)
+        assert cache.stores == 0
+        assert report.to_json() == run_analysis(
+            ["src"], str(tmp_path)
+        ).to_json()
+
+    def test_entries_are_sorted_json(self, tmp_path):
+        write(tmp_path, "src/a.py", HAZARD)
+        cache_dir = str(tmp_path / "cache")
+        salt = analysis_salt()
+        run_analysis(
+            ["src"], str(tmp_path), cache=AnalysisCache(cache_dir, salt)
+        )
+        for dirpath, _dirnames, filenames in os.walk(cache_dir):
+            for name in filenames:
+                with open(os.path.join(dirpath, name)) as fh:
+                    entry = json.load(fh)
+                assert json.dumps(entry, sort_keys=True) == json.dumps(entry)

@@ -1,0 +1,70 @@
+"""The committed planted-violation fixture tree.
+
+Two properties, both load-bearing for CI:
+
+* every planted hazard IS caught when the fixture is scanned directly
+  (the passes do what they claim), and
+* none of them leak into a repo-wide scan (the ``.repro-analysis-skip``
+  sentinel works), so ``python -m repro.analysis`` stays clean.
+"""
+
+import os
+
+from repro.analysis.lint import run_analysis
+
+FIXTURE_ROOT = os.path.join(os.path.dirname(__file__), "fixture_pkg")
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "..")
+)
+
+
+def fixture_report():
+    return run_analysis(["src"], FIXTURE_ROOT)
+
+
+def rules_by_path(report):
+    out = {}
+    for finding in report.findings:
+        out.setdefault(finding.path, set()).add(finding.rule)
+    return out
+
+
+class TestPlantedViolationsDetected:
+    def test_arch601_layering_violation(self):
+        found = rules_by_path(fixture_report())
+        assert "ARCH601" in found.get("src/repro/sim/planted_import.py", set())
+
+    def test_arch602_import_cycle(self):
+        report = fixture_report()
+        cycle = [f for f in report.findings if f.rule == "ARCH602"]
+        assert len(cycle) == 1
+        assert "repro.faults.alpha" in cycle[0].message
+        assert "repro.faults.beta" in cycle[0].message
+
+    def test_pick501_lambda_in_job_payload(self):
+        found = rules_by_path(fixture_report())
+        assert "PICK501" in found.get("src/repro/exec/launcher.py", set())
+
+    def test_race701_same_instant_write_pair(self):
+        report = fixture_report()
+        races = [f for f in report.findings if f.rule == "RACE701"]
+        assert len(races) == 1
+        assert races[0].path == "src/repro/core/racer.py"
+        assert "self.count" in races[0].message
+
+
+class TestSentinelHidesFixture:
+    def test_repo_wide_scan_skips_fixture_tree(self):
+        report = run_analysis(["tests/analysis"], REPO_ROOT)
+        fixture_paths = [
+            p for p in (f.path for f in report.findings)
+            if "fixture_pkg" in p
+        ]
+        assert fixture_paths == []
+        scanned_here = run_analysis(["src"], FIXTURE_ROOT).files_scanned
+        assert scanned_here == 5  # the fixture IS scannable when targeted
+
+    def test_sentinel_exists(self):
+        assert os.path.exists(
+            os.path.join(FIXTURE_ROOT, ".repro-analysis-skip")
+        )

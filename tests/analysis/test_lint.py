@@ -245,7 +245,10 @@ class TestCli:
         out = tmp_path / "report.json"
         main(["--root", str(tmp_path), "--json", str(out)])
         payload = json.loads(out.read_text(encoding="utf-8"))
-        assert payload["schema"] == 1
+        # the CLI runs the multi-pass analyzer (schema 2); the plain
+        # run_lint() report keeps schema 1 (see test_report_schema.py)
+        assert payload["schema"] == 2
+        assert payload["passes"] == ["det", "pickle-safety", "arch", "races"]
         assert payload["summary"]["errors"] == 1
 
     def test_nothing_to_scan_is_usage_error(self, tmp_path):

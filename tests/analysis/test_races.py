@@ -1,0 +1,200 @@
+"""Unit tests for the static same-instant race pass (RACE7xx)."""
+
+import ast
+import textwrap
+
+from repro.analysis.lint import PragmaIndex
+from repro.analysis.races import check_races
+
+
+def scan(source):
+    source = textwrap.dedent(source)
+    tree = ast.parse(source)
+    return check_races(tree, "mod.py", source.splitlines())
+
+
+def rules(source):
+    return [f.rule for f in scan(source)]
+
+
+WRITE_WRITE = """
+    class Node:
+        def start(self, sim):
+            sim.schedule(1.0, self.bump)
+            sim.schedule(1.0, self.reset)
+
+        def bump(self):
+            self.count = self.count + 1
+
+        def reset(self):
+            self.count = 0
+"""
+
+
+class TestWriteWrite:
+    def test_same_instant_writes_same_attribute(self):
+        findings = scan(WRITE_WRITE)
+        assert [f.rule for f in findings] == ["RACE701"]
+        assert "self.count" in findings[0].message
+        # reported at the second site, naming the first
+        assert "line 4" in findings[0].message
+
+    def test_different_delays_do_not_race(self):
+        assert rules("""
+            class Node:
+                def start(self, sim):
+                    sim.schedule(1.0, self.bump)
+                    sim.schedule(2.0, self.reset)
+
+                def bump(self):
+                    self.count = 1
+
+                def reset(self):
+                    self.count = 0
+        """) == []
+
+    def test_distinct_priorities_do_not_race(self):
+        assert rules("""
+            class Node:
+                def start(self, sim):
+                    sim.schedule(1.0, self.bump, priority=0)
+                    sim.schedule(1.0, self.reset, priority=1)
+
+                def bump(self):
+                    self.count = 1
+
+                def reset(self):
+                    self.count = 0
+        """) == []
+
+    def test_disjoint_attributes_do_not_race(self):
+        assert rules("""
+            class Node:
+                def start(self, sim):
+                    sim.schedule(1.0, self.bump)
+                    sim.schedule(1.0, self.reset)
+
+                def bump(self):
+                    self.hits = 1
+
+                def reset(self):
+                    self.misses = 0
+        """) == []
+
+    def test_at_and_schedule_pin_different_instants(self):
+        # .at(1.0) is absolute, .schedule(1.0) is relative: not paired
+        assert rules("""
+            class Node:
+                def start(self, sim):
+                    sim.at(1.0, self.bump)
+                    sim.schedule(1.0, self.reset)
+
+                def bump(self):
+                    self.count = 1
+
+                def reset(self):
+                    self.count = 0
+        """) == []
+
+    def test_subscript_store_counts_as_write(self):
+        assert rules("""
+            class Node:
+                def start(self, sim):
+                    sim.schedule(1.0, self.put_a)
+                    sim.schedule(1.0, self.put_b)
+
+                def put_a(self):
+                    self.buf["a"] = 1
+
+                def put_b(self):
+                    self.buf["b"] = 2
+        """) == ["RACE701"]
+
+
+class TestWriteRead:
+    def test_one_writes_what_the_other_reads(self):
+        findings = scan("""
+            class Node:
+                def start(self, sim):
+                    sim.schedule(1.0, self.produce)
+                    sim.schedule(1.0, self.consume)
+
+                def produce(self):
+                    self.value = 42
+
+                def consume(self):
+                    self.seen.append(self.value)
+        """)
+        assert [f.rule for f in findings] == ["RACE702"]
+        assert "self.value" in findings[0].message
+
+    def test_both_only_read_is_fine(self):
+        assert rules("""
+            class Node:
+                def start(self, sim):
+                    sim.schedule(1.0, self.peek_a)
+                    sim.schedule(1.0, self.peek_b)
+
+                def peek_a(self):
+                    return self.value
+
+                def peek_b(self):
+                    return self.value
+        """) == []
+
+
+class TestScopeLimits:
+    def test_dynamic_delay_not_paired(self):
+        assert rules("""
+            class Node:
+                def start(self, sim, when):
+                    sim.schedule(when, self.bump)
+                    sim.schedule(when, self.reset)
+
+                def bump(self):
+                    self.count = 1
+
+                def reset(self):
+                    self.count = 0
+        """) == []
+
+    def test_external_callback_not_paired(self):
+        assert rules("""
+            class Node:
+                def start(self, sim, other):
+                    sim.schedule(1.0, self.bump)
+                    sim.schedule(1.0, other.reset)
+
+                def bump(self):
+                    self.count = 1
+        """) == []
+
+    def test_sites_in_different_classes_not_paired(self):
+        assert rules("""
+            class A:
+                def start(self, sim):
+                    sim.schedule(1.0, self.bump)
+
+                def bump(self):
+                    self.count = 1
+
+            class B:
+                def start(self, sim):
+                    sim.schedule(1.0, self.reset)
+
+                def reset(self):
+                    self.count = 0
+        """) == []
+
+
+class TestPragmaSuppression:
+    def test_line_pragma_on_second_site(self):
+        source = textwrap.dedent(WRITE_WRITE).replace(
+            "sim.schedule(1.0, self.reset)",
+            "sim.schedule(1.0, self.reset)  # repro: allow[RACE701]",
+        )
+        tree = ast.parse(source)
+        findings = check_races(tree, "mod.py", source.splitlines())
+        pragmas = PragmaIndex.scan(source.splitlines())
+        assert [f.rule for f in findings] == ["RACE701"]
+        assert all(pragmas.suppresses(f, f.end_line) for f in findings)

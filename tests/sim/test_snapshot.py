@@ -84,7 +84,8 @@ class TestForkApi:
             except SnapshotError as exc:
                 failures.append(exc)
 
-        sim.post(0.1, try_fork)
+        # the closure is the point: fork() must refuse mid-run anyway
+        sim.post(0.1, try_fork)  # repro: allow[PICK511]
         sim.run()
         assert len(failures) == 1
 
